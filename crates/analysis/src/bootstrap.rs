@@ -1,0 +1,168 @@
+//! Bootstrap confidence intervals for study aggregates (extension).
+//!
+//! The paper reports point counts; a reproduction can say how stable those
+//! counts are. Resampling *domains* with replacement (the natural exchange
+//! unit — countries are fixed design points, domains are sampled from a
+//! population) yields percentile intervals for any verdict-derived
+//! statistic.
+
+use geoblock_core::confirm::GeoblockVerdict;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Point estimate on the original data.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+/// Bootstrap a statistic of the verdict set by resampling domains.
+///
+/// `stat` receives the verdicts belonging to each resampled domain multiset
+/// (a domain drawn k times contributes its verdicts k times).
+pub fn bootstrap_domains<F>(
+    verdicts: &[GeoblockVerdict],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    stat: F,
+) -> Interval
+where
+    F: Fn(&[&GeoblockVerdict]) -> f64,
+{
+    // Group verdicts per domain.
+    let mut domains: Vec<&str> = verdicts.iter().map(|v| v.domain.as_str()).collect();
+    domains.sort_unstable();
+    domains.dedup();
+    let per_domain: Vec<Vec<&GeoblockVerdict>> = domains
+        .iter()
+        .map(|d| verdicts.iter().filter(|v| v.domain == *d).collect())
+        .collect();
+
+    let all: Vec<&GeoblockVerdict> = verdicts.iter().collect();
+    let estimate = stat(&all);
+    if per_domain.is_empty() || resamples == 0 {
+        return Interval {
+            estimate,
+            lo: estimate,
+            hi: estimate,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sample = Vec::with_capacity(verdicts.len());
+        for _ in 0..per_domain.len() {
+            let pick = rng.gen_range(0..per_domain.len());
+            sample.extend(per_domain[pick].iter().copied());
+        }
+        stats.push(stat(&sample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let idx = |q: f64| ((q * stats.len() as f64) as usize).min(stats.len() - 1);
+    Interval {
+        estimate,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+    }
+}
+
+/// Convenience: a CI on the total instance count.
+pub fn instances_interval(
+    verdicts: &[GeoblockVerdict],
+    resamples: usize,
+    seed: u64,
+) -> Interval {
+    bootstrap_domains(verdicts, resamples, 0.95, seed, |sample| sample.len() as f64)
+}
+
+/// Convenience: a CI on the count of instances in one country.
+pub fn country_interval(
+    verdicts: &[GeoblockVerdict],
+    country: geoblock_worldgen::CountryCode,
+    resamples: usize,
+    seed: u64,
+) -> Interval {
+    bootstrap_domains(verdicts, resamples, 0.95, seed, move |sample| {
+        sample.iter().filter(|v| v.country == country).count() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::PageKind;
+    use geoblock_worldgen::cc;
+
+    /// `n_domains` domains; domain `d` carries `(d % spread) + 1` verdicts.
+    fn verdicts(n_domains: usize, spread: usize) -> Vec<GeoblockVerdict> {
+        let mut out = Vec::new();
+        for d in 0..n_domains {
+            for c in 0..(d % spread) + 1 {
+                out.push(GeoblockVerdict {
+                    domain: format!("d{d}.com"),
+                    country: [cc("IR"), cc("SY"), cc("CN")][c % 3],
+                    kind: PageKind::Cloudflare,
+                    block_count: 23,
+                    total: 23,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let v = verdicts(40, 3); // 40 domains, 1–3 verdicts each = 79
+        let ci = instances_interval(&v, 500, 7);
+        assert_eq!(ci.estimate, 79.0);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.lo > 40.0 && ci.hi < 130.0, "{ci:?}");
+    }
+
+    #[test]
+    fn interval_tightens_with_more_domains() {
+        // Same mean verdicts per domain, 20x the domains: the count CI must
+        // shrink in relative terms.
+        let narrow = instances_interval(&verdicts(200, 4), 400, 7);
+        let wide = instances_interval(&verdicts(10, 4), 400, 7);
+        let rel = |ci: Interval| (ci.hi - ci.lo) / ci.estimate.max(1.0);
+        assert!(rel(narrow) < rel(wide), "{narrow:?} vs {wide:?}");
+    }
+
+    #[test]
+    fn country_interval_counts_only_that_country() {
+        let v = verdicts(30, 3);
+        let expected = v.iter().filter(|x| x.country == cc("IR")).count() as f64;
+        let ci = country_interval(&v, cc("IR"), 300, 7);
+        assert_eq!(ci.estimate, expected);
+        assert!(ci.lo <= expected && expected <= ci.hi);
+        assert!(ci.hi <= 2.0 * expected, "{ci:?}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let ci = instances_interval(&[], 100, 7);
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!((ci.lo, ci.hi), (0.0, 0.0));
+        let v = verdicts(1, 1);
+        let ci = instances_interval(&v, 0, 7);
+        assert_eq!((ci.lo, ci.hi), (1.0, 1.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let v = verdicts(25, 2);
+        let a = instances_interval(&v, 200, 9);
+        let b = instances_interval(&v, 200, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Coverage statistics (§4.1.1, §5.1.3).
+
+use geoblock_core::observation::{ErrKind, Obs, SampleStore};
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Cdf;
+
+/// Coverage of a baseline pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Domains that never produced a response anywhere.
+    pub never_responded: usize,
+    /// Domains the proxy refused at least once (`X-Luminati-Error`).
+    pub proxy_refused_domains: usize,
+    /// 90th percentile of per-domain error rates.
+    pub error_rate_p90: f64,
+    /// Per-country fraction of domains with ≥1 valid response, sorted
+    /// ascending by rate.
+    pub country_response_rates: Vec<(CountryCode, f64)>,
+}
+
+impl CoverageStats {
+    /// Compute over a store.
+    pub fn compute(store: &SampleStore) -> CoverageStats {
+        let nd = store.domains.len();
+        let nc = store.countries.len();
+
+        let mut never_responded = 0usize;
+        let mut proxy_refused_domains = 0usize;
+        let mut error_rates = Vec::with_capacity(nd);
+        for d in 0..nd {
+            let mut responded = false;
+            let mut refused = false;
+            for c in 0..nc {
+                for obs in store.cell(d, c) {
+                    match obs {
+                        Obs::Response { .. } => responded = true,
+                        Obs::Error(ErrKind::ProxyRefused) => refused = true,
+                        Obs::Error(_) => {}
+                    }
+                }
+            }
+            if !responded {
+                never_responded += 1;
+            }
+            if refused {
+                proxy_refused_domains += 1;
+            }
+            error_rates.push(store.domain_error_rate(d));
+        }
+
+        let mut country_response_rates = Vec::with_capacity(nc);
+        for (c, country) in store.countries.iter().enumerate() {
+            let with_response = (0..nd)
+                .filter(|&d| store.cell(d, c).iter().any(Obs::responded))
+                .count();
+            country_response_rates.push((*country, with_response as f64 / nd.max(1) as f64));
+        }
+        country_response_rates
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+
+        CoverageStats {
+            never_responded,
+            proxy_refused_domains,
+            error_rate_p90: Cdf::new(error_rates).quantile(0.9).unwrap_or(0.0),
+            country_response_rates,
+        }
+    }
+
+    /// The least-covered country (Comoros in the paper, at 76.4%).
+    pub fn worst_country(&self) -> Option<(CountryCode, f64)> {
+        self.country_response_rates.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    #[test]
+    fn counts_dead_and_refused_domains() {
+        let mut s = SampleStore::new(
+            vec!["alive.com".into(), "dead.com".into(), "refused.com".into()],
+            vec![cc("US")],
+        );
+        s.push(0, 0, Obs::Response { status: 200, len: 10, page: None });
+        s.push(1, 0, Obs::Error(ErrKind::Timeout));
+        s.push(2, 0, Obs::Error(ErrKind::ProxyRefused));
+        let stats = CoverageStats::compute(&s);
+        assert_eq!(stats.never_responded, 2);
+        assert_eq!(stats.proxy_refused_domains, 1);
+    }
+
+    #[test]
+    fn worst_country_is_lowest_response_rate() {
+        let mut s = SampleStore::new(
+            vec!["a.com".into(), "b.com".into()],
+            vec![cc("US"), cc("KM")],
+        );
+        // US: both respond. KM: only one responds.
+        for d in 0..2 {
+            s.push(d, 0, Obs::Response { status: 200, len: 10, page: None });
+        }
+        s.push(0, 1, Obs::Response { status: 200, len: 10, page: None });
+        s.push(1, 1, Obs::Error(ErrKind::Timeout));
+        let stats = CoverageStats::compute(&s);
+        let (worst, rate) = stats.worst_country().unwrap();
+        assert_eq!(worst, cc("KM"));
+        assert!((rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p90_error_rate_reflects_tail() {
+        let mut s = SampleStore::new(
+            (0..10).map(|i| format!("d{i}.com")).collect(),
+            vec![cc("US")],
+        );
+        for d in 0..10 {
+            for i in 0..10 {
+                // Domain 9 fails half the time; others never.
+                let fail = d == 9 && i % 2 == 0;
+                if fail {
+                    s.push(d, 0, Obs::Error(ErrKind::Timeout));
+                } else {
+                    s.push(d, 0, Obs::Response { status: 200, len: 10, page: None });
+                }
+            }
+        }
+        let stats = CoverageStats::compute(&s);
+        assert!((stats.error_rate_p90 - 0.5).abs() < 1e-9 || stats.error_rate_p90 == 0.0);
+    }
+}

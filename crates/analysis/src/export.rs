@@ -1,0 +1,165 @@
+//! Dataset export/import.
+//!
+//! The paper publishes aggregates; a reusable measurement system needs to
+//! persist its raw artefacts so analyses can be rerun without re-probing.
+//! Everything here is JSON via serde: the sample store, verdicts, and a
+//! compact study summary suitable for dashboards and regression baselines.
+
+use std::io::{Read, Write};
+
+use geoblock_core::confirm::GeoblockVerdict;
+use geoblock_core::observation::SampleStore;
+use serde::{Deserialize, Serialize};
+
+/// The persisted form of a study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyExport {
+    /// Format version for forwards compatibility.
+    pub version: u32,
+    /// World seed the study ran against (0 for real-world runs).
+    pub seed: u64,
+    /// All observations.
+    pub store: SampleStore,
+    /// Confirmed verdicts.
+    pub verdicts: Vec<GeoblockVerdict>,
+}
+
+/// Current export format version.
+pub const EXPORT_VERSION: u32 = 1;
+
+impl StudyExport {
+    /// Bundle a study for export.
+    pub fn new(seed: u64, store: SampleStore, verdicts: Vec<GeoblockVerdict>) -> StudyExport {
+        StudyExport {
+            version: EXPORT_VERSION,
+            seed,
+            store,
+            verdicts,
+        }
+    }
+
+    /// Serialise as JSON to a writer.
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), ExportError> {
+        serde_json::to_writer(writer, self).map_err(ExportError::Json)
+    }
+
+    /// Deserialise from a JSON reader, checking the version.
+    pub fn read_json<R: Read>(reader: R) -> Result<StudyExport, ExportError> {
+        let export: StudyExport = serde_json::from_reader(reader).map_err(ExportError::Json)?;
+        if export.version != EXPORT_VERSION {
+            return Err(ExportError::Version {
+                found: export.version,
+                supported: EXPORT_VERSION,
+            });
+        }
+        Ok(export)
+    }
+}
+
+/// Verdicts as a flat CSV (one confirmed instance per line) — the shape
+/// most convenient for spreadsheets and notebooks.
+pub fn verdicts_csv(verdicts: &[GeoblockVerdict]) -> String {
+    let mut out = String::from("domain,country,page,block_count,total,agreement\n");
+    for v in verdicts {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4}\n",
+            v.domain,
+            v.country,
+            v.kind.label().replace(' ', "_"),
+            v.block_count,
+            v.total,
+            v.agreement()
+        ));
+    }
+    out
+}
+
+/// Export errors.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Serde failure.
+    Json(serde_json::Error),
+    /// Unsupported format version.
+    Version {
+        /// Version in the file.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Json(e) => write!(f, "JSON error: {e}"),
+            ExportError::Version { found, supported } => {
+                write!(f, "unsupported export version {found} (supported: {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::PageKind;
+    use geoblock_core::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    fn sample_export() -> StudyExport {
+        let mut store = SampleStore::new(vec!["a.com".into()], vec![cc("IR"), cc("US")]);
+        store.push(
+            0,
+            0,
+            Obs::Response {
+                status: 403,
+                len: 1500,
+                page: Some(PageKind::Cloudflare),
+            },
+        );
+        store.push(0, 1, Obs::Error(geoblock_core::ErrKind::Timeout));
+        let verdicts = vec![GeoblockVerdict {
+            domain: "a.com".into(),
+            country: cc("IR"),
+            kind: PageKind::Cloudflare,
+            block_count: 22,
+            total: 23,
+        }];
+        StudyExport::new(42, store, verdicts)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let export = sample_export();
+        let mut buf = Vec::new();
+        export.write_json(&mut buf).unwrap();
+        let back = StudyExport::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.store.domains, export.store.domains);
+        assert_eq!(back.store.cell(0, 0), export.store.cell(0, 0));
+        assert_eq!(back.verdicts.len(), 1);
+        assert_eq!(back.verdicts[0].kind, PageKind::Cloudflare);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut export = sample_export();
+        export.version = 999;
+        let mut buf = Vec::new();
+        serde_json::to_writer(&mut buf, &export).unwrap();
+        let err = StudyExport::read_json(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ExportError::Version { found: 999, .. }));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_verdict() {
+        let export = sample_export();
+        let csv = verdicts_csv(&export.verdicts);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("domain,country"));
+        assert_eq!(lines[1], "a.com,IR,Cloudflare,22,23,0.9565");
+    }
+}

@@ -1,0 +1,258 @@
+//! Data series for Figures 1–5, with ASCII sparkline rendering for the
+//! repro harness.
+
+use std::collections::BTreeMap;
+
+use geoblock_core::confirm::flagged_explicit_pairs;
+use geoblock_core::observation::SampleStore;
+use geoblock_core::outliers::OutlierReport;
+use geoblock_worldgen::{CfTier, CountryCode, RuleAction, RulesSnapshot};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{histogram, Cdf};
+
+/// Figure 1: CDFs of geoblock consistency per sample size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// Per sample size, the CDF of per-draw block fractions.
+    pub per_size: BTreeMap<usize, Cdf>,
+}
+
+impl Figure1 {
+    /// Build from the sampling experiment's raw series.
+    pub fn new(consistencies: &BTreeMap<usize, Vec<f64>>) -> Figure1 {
+        Figure1 {
+            per_size: consistencies
+                .iter()
+                .map(|(size, fractions)| (*size, Cdf::new(fractions.clone())))
+                .collect(),
+        }
+    }
+
+    /// Fraction of draws below 80% consistency at `size` (the paper quotes
+    /// 3.9% at size 20).
+    pub fn below_80(&self, size: usize) -> Option<f64> {
+        // `Cdf::at` is P(X ≤ x); below-0.8 strictly is P(X ≤ 0.8-ε).
+        self.per_size.get(&size).map(|cdf| cdf.at(0.7999))
+    }
+}
+
+/// Figure 2: distribution of relative page-size differences, split into
+/// fingerprint-matched (blocked) and ordinary samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Histogram bins over [0, 1] of `1 - len/representative`.
+    pub bins: usize,
+    /// Counts for fingerprint-matched samples.
+    pub blocked: Vec<usize>,
+    /// Counts for ordinary samples (subsampled ×7 at collection).
+    pub ordinary: Vec<usize>,
+}
+
+impl Figure2 {
+    /// Build from the outlier report.
+    pub fn new(report: &OutlierReport, bins: usize) -> Figure2 {
+        let blocked: Vec<f64> = report
+            .size_diffs
+            .iter()
+            .filter(|(_, b)| *b)
+            .map(|(d, _)| *d as f64)
+            .collect();
+        let ordinary: Vec<f64> = report
+            .size_diffs
+            .iter()
+            .filter(|(_, b)| !*b)
+            .map(|(d, _)| *d as f64)
+            .collect();
+        Figure2 {
+            bins,
+            blocked: histogram(&blocked, 0.0, 1.0001, bins),
+            ordinary: histogram(&ordinary, 0.0, 1.0001, bins),
+        }
+    }
+
+    /// Fraction of *blocked* samples whose difference exceeds `cutoff` —
+    /// the recall the length heuristic achieves at that cutoff.
+    pub fn blocked_beyond(&self, cutoff: f64) -> f64 {
+        let total: usize = self.blocked.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let first_bin = (cutoff * self.bins as f64) as usize;
+        let beyond: usize = self.blocked.iter().skip(first_bin).sum();
+        beyond as f64 / total as f64
+    }
+}
+
+/// Figure 3: false-negative rate per initial sample size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// `(sample size, P(no block page in draw))`.
+    pub series: Vec<(usize, f64)>,
+}
+
+impl Figure3 {
+    /// Build from the false-negative experiment.
+    pub fn new(series: Vec<(usize, f64)>) -> Figure3 {
+        Figure3 { series }
+    }
+
+    /// Rate at a given size (the paper quotes 1.7% at size 3).
+    pub fn at(&self, size: usize) -> Option<f64> {
+        self.series.iter().find(|(s, _)| *s == size).map(|(_, r)| *r)
+    }
+}
+
+/// Figure 4: CDF of per-pair block-page agreement among flagged pairs
+/// after confirmation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// The agreement CDF.
+    pub cdf: Cdf,
+}
+
+impl Figure4 {
+    /// Build from a confirmed store.
+    pub fn new(store: &SampleStore) -> Figure4 {
+        let mut agreements = Vec::new();
+        for (d, c) in flagged_explicit_pairs(store) {
+            let samples = store.cell(d, c);
+            let blocks = samples.iter().filter(|o| o.explicit_geoblock()).count();
+            agreements.push(blocks as f64 / samples.len().max(1) as f64);
+        }
+        Figure4 {
+            cdf: Cdf::new(agreements),
+        }
+    }
+
+    /// Fraction of flagged pairs with agreement above 80% ("for the vast
+    /// majority of sites seen geoblocking, the block page was seen in >80%
+    /// of probes").
+    pub fn above_80(&self) -> f64 {
+        1.0 - self.cdf.at(0.80)
+    }
+}
+
+/// Figure 5: cumulative activation of Enterprise country-block rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// Per country: sorted activation days of Enterprise block rules.
+    pub per_country: BTreeMap<CountryCode, Vec<u32>>,
+}
+
+impl Figure5 {
+    /// Build from the rules snapshot, for the given countries.
+    pub fn new(snapshot: &RulesSnapshot, countries: &[CountryCode]) -> Figure5 {
+        let mut per_country: BTreeMap<CountryCode, Vec<u32>> = BTreeMap::new();
+        for rule in &snapshot.rules {
+            if rule.tier == CfTier::Enterprise
+                && rule.action == RuleAction::Block
+                && countries.contains(&rule.country)
+            {
+                per_country.entry(rule.country).or_default().push(rule.activated_day);
+            }
+        }
+        for days in per_country.values_mut() {
+            days.sort_unstable();
+        }
+        Figure5 { per_country }
+    }
+
+    /// Cumulative count for `country` at `day`.
+    pub fn cumulative(&self, country: CountryCode, day: u32) -> usize {
+        self.per_country
+            .get(&country)
+            .map(|days| days.partition_point(|&d| d <= day))
+            .unwrap_or(0)
+    }
+}
+
+/// Render a `(size → CDF)` family or series as a compact ASCII chart.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::PageKind;
+    use geoblock_core::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    #[test]
+    fn figure1_below_80_detects_noise() {
+        let mut m = BTreeMap::new();
+        m.insert(20usize, vec![1.0, 1.0, 0.95, 0.5, 1.0]);
+        let f = Figure1::new(&m);
+        assert!((f.below_80(20).unwrap() - 0.2).abs() < 1e-9);
+        assert!(f.below_80(3).is_none());
+    }
+
+    #[test]
+    fn figure2_splits_blocked_mass() {
+        let report = OutlierReport {
+            representative: vec![Some(10_000)],
+            outliers: vec![],
+            inspected: 0,
+            recall: Default::default(),
+            size_diffs: vec![(0.9, true), (0.85, true), (0.05, false), (0.1, false)],
+        };
+        let f = Figure2::new(&report, 20);
+        assert_eq!(f.blocked.iter().sum::<usize>(), 2);
+        assert_eq!(f.ordinary.iter().sum::<usize>(), 2);
+        assert!((f.blocked_beyond(0.30) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure3_lookup() {
+        let f = Figure3::new(vec![(1, 0.4), (3, 0.017)]);
+        assert_eq!(f.at(3), Some(0.017));
+        assert_eq!(f.at(7), None);
+    }
+
+    #[test]
+    fn figure4_measures_agreement() {
+        let mut store = SampleStore::new(vec!["a.com".into()], vec![cc("IR")]);
+        for i in 0..20 {
+            store.push(
+                0,
+                0,
+                Obs::Response {
+                    status: 403,
+                    len: 900,
+                    page: (i < 19).then_some(PageKind::Cloudflare),
+                },
+            );
+        }
+        let f = Figure4::new(&store);
+        assert_eq!(f.cdf.len(), 1);
+        assert!((f.above_80() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure5_cumulative_counts() {
+        let snap = RulesSnapshot::generate(5, 0.05);
+        let f = Figure5::new(&snap, &[cc("KP"), cc("IR")]);
+        let last = geoblock_worldgen::cloudflare_rules::day_number(2018, 7, 15);
+        let kp_total = f.cumulative(cc("KP"), last);
+        assert!(kp_total > 0);
+        assert!(f.cumulative(cc("KP"), 0) <= kp_total);
+        // Monotone over time.
+        assert!(f.cumulative(cc("KP"), last / 2) <= kp_total);
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

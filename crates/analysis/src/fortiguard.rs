@@ -1,0 +1,107 @@
+//! The categorisation-service façade.
+//!
+//! The study classifies domains with FortiGuard and removes risky
+//! categories plus Citizen-Lab-listed domains before probing (§3.3,
+//! §4.1.1, §5.1.2). In the simulation the category *is* world data — this
+//! façade plays the external service's role so the pipeline code never
+//! touches `DomainSpec` directly.
+
+use geoblock_worldgen::{Category, World};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The category service over a world.
+pub struct Fortiguard<'w> {
+    world: &'w World,
+}
+
+impl<'w> Fortiguard<'w> {
+    /// Wrap a world.
+    pub fn new(world: &'w World) -> Fortiguard<'w> {
+        Fortiguard { world }
+    }
+
+    /// Classify a domain. Unknown domains rate as `Unknown` (and are
+    /// therefore filtered, like FortiGuard's unrated bucket).
+    pub fn category(&self, domain: &str) -> Category {
+        self.world
+            .population
+            .spec_of(domain)
+            .map(|s| s.category)
+            .unwrap_or(Category::Unknown)
+    }
+
+    /// The §4.1.1 safety filter: drop risky categories and Citizen-Lab
+    /// domains.
+    pub fn safe(&self, domain: &str) -> bool {
+        !self.category(domain).is_risky() && !self.world.citizenlab.contains(domain)
+    }
+
+    /// The Top-10K test list: ranks 1..=n, safety-filtered (10,000 → 8,003
+    /// at paper scale).
+    pub fn safe_toplist(&self, n: u32) -> Vec<String> {
+        let n = n.min(self.world.population.size());
+        (1..=n)
+            .map(|rank| self.world.population.spec(rank).name)
+            .filter(|d| self.safe(d))
+            .collect()
+    }
+
+    /// The §5.1.2 sampling step: safety-filter `domains` and take a
+    /// `fraction` random sample (5% in the paper), deterministically in
+    /// `seed`.
+    pub fn filter_and_sample(&self, domains: &[String], fraction: f64, seed: u64) -> Vec<String> {
+        let mut safe: Vec<String> = domains.iter().filter(|d| self.safe(d)).cloned().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        safe.shuffle(&mut rng);
+        let take = ((safe.len() as f64) * fraction).round() as usize;
+        safe.truncate(take.max(1).min(safe.len()));
+        safe.sort();
+        safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::WorldConfig;
+
+    fn world() -> World {
+        World::build(WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn unknown_domains_are_unrated_and_unsafe() {
+        let w = world();
+        let fg = Fortiguard::new(&w);
+        assert_eq!(fg.category("not-in-world.example"), Category::Unknown);
+        assert!(!fg.safe("not-in-world.example"));
+    }
+
+    #[test]
+    fn safety_filter_removes_about_a_fifth() {
+        let w = world();
+        let fg = Fortiguard::new(&w);
+        let safe = fg.safe_toplist(10_000);
+        // ~20% risky + a few Citizen-Lab members.
+        assert!((7_300..=8_400).contains(&safe.len()), "{}", safe.len());
+        for d in safe.iter().take(50) {
+            assert!(!fg.category(d).is_risky());
+            assert!(!w.citizenlab.contains(d));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let w = world();
+        let fg = Fortiguard::new(&w);
+        let domains: Vec<String> = (1..=2000).map(|r| w.population.spec(r).name).collect();
+        let a = fg.filter_and_sample(&domains, 0.05, 7);
+        let b = fg.filter_and_sample(&domains, 0.05, 7);
+        assert_eq!(a, b);
+        let safe_count = domains.iter().filter(|d| fg.safe(d)).count();
+        let expected = (safe_count as f64 * 0.05).round() as usize;
+        assert_eq!(a.len(), expected);
+    }
+}

@@ -1,0 +1,32 @@
+//! Analysis layer: from raw study artefacts to every table and figure in
+//! the paper's evaluation.
+//!
+//! * [`stats`] — empirical CDFs and quantiles;
+//! * [`fortiguard`] — the category service façade (classification, the
+//!   safety filter, and Top-1M sampling);
+//! * [`tables`] — builders for Tables 1 and 3–9 (Table 2 is carried by
+//!   [`geoblock_core::outliers::OutlierReport`] and rendered here);
+//! * [`figures`] — data series for Figures 1–5;
+//! * [`sampling`] — the subsample experiments behind Figures 1 and 3;
+//! * [`coverage`] — §4.1.1 / §5.1.3 coverage and error-rate statistics;
+//! * [`ooni_scan`] — the §7.1 OONI-corpus fingerprint scan;
+//! * [`paper`] — the published values, for paper-vs-measured comparison;
+//! * [`render`] — plain-text table rendering;
+//! * [`export`] — JSON/CSV persistence of study artefacts;
+//! * [`bootstrap`] — domain-resampling confidence intervals (extension).
+
+pub mod bootstrap;
+pub mod coverage;
+pub mod export;
+pub mod figures;
+pub mod fortiguard;
+pub mod ooni_scan;
+pub mod paper;
+pub mod render;
+pub mod sampling;
+pub mod stats;
+pub mod tables;
+
+pub use fortiguard::Fortiguard;
+pub use render::TextTable;
+pub use stats::Cdf;

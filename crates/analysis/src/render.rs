@@ -1,0 +1,99 @@
+//! Plain-text table rendering for the repro harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A renderable table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextTable {
+    /// Table title (e.g. "Table 5: Top TLDs and geoblocked countries").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut TextTable {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a paper-vs-measured comparison line for EXPERIMENTS.md.
+pub fn compare_line(metric: &str, paper: &str, measured: &str) -> String {
+    format!("| {metric} | {paper} | {measured} |")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["Country", "Count"]);
+        t.row(&["Syria", "71"]);
+        t.row(&["Iran", "67"]);
+        let out = t.render();
+        assert!(out.contains("Demo\n"));
+        assert!(out.contains("Country  Count"));
+        assert!(out.contains("Syria    71"));
+        assert!(out.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn compare_line_is_markdown() {
+        assert_eq!(
+            compare_line("instances", "596", "587"),
+            "| instances | 596 | 587 |"
+        );
+    }
+}

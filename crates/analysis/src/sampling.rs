@@ -1,0 +1,138 @@
+//! The sample-size experiments behind Figures 1 and 3 (§4.1.4, §4.1.5).
+//!
+//! From ~100-sample populations of known-geoblocking pairs, draw 500
+//! random combinations of each candidate size and measure (a) the
+//! consistency of the geoblock signal and (b) the probability of seeing no
+//! block page at all (the baseline false-negative rate).
+
+use std::collections::BTreeMap;
+
+use geoblock_core::observation::SampleStore;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// For each sample size, the per-draw block-page fractions across all
+/// pairs — Figure 1's raw series.
+pub fn consistency_experiment(
+    store: &SampleStore,
+    pairs: &[(usize, usize)],
+    sizes: &[usize],
+    draws: usize,
+    seed: u64,
+) -> BTreeMap<usize, Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for &(d, c) in pairs {
+        let samples = store.cell(d, c);
+        let flags: Vec<bool> = samples.iter().map(|o| o.explicit_geoblock()).collect();
+        if flags.is_empty() {
+            continue;
+        }
+        for &size in sizes {
+            let size = size.min(flags.len());
+            let bucket = out.entry(size).or_default();
+            for _ in 0..draws {
+                let picks = index_sample(&mut rng, flags.len(), size);
+                let blocks = picks.iter().filter(|&i| flags[i]).count();
+                bucket.push(blocks as f64 / size as f64);
+            }
+        }
+    }
+    out
+}
+
+/// For each sample size, the fraction of draws containing *zero* block
+/// pages — Figure 3's false-negative curve.
+pub fn false_negative_experiment(
+    store: &SampleStore,
+    pairs: &[(usize, usize)],
+    sizes: &[usize],
+    draws: usize,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let consistencies = consistency_experiment(store, pairs, sizes, draws, seed);
+    consistencies
+        .into_iter()
+        .map(|(size, fractions)| {
+            let misses = fractions.iter().filter(|&&f| f == 0.0).count();
+            (size, misses as f64 / fractions.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// Fraction of per-draw consistencies below `threshold` at `size` —
+/// §4.1.4's "a sample size of 20 yielded only 3.9% of domain-country pairs
+/// with less than an 80% geoblocking rate".
+pub fn below_threshold(
+    consistencies: &BTreeMap<usize, Vec<f64>>,
+    size: usize,
+    threshold: f64,
+) -> Option<f64> {
+    consistencies.get(&size).map(|fractions| {
+        fractions.iter().filter(|&&f| f < threshold).count() as f64
+            / fractions.len().max(1) as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::PageKind;
+    use geoblock_core::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    fn store_with_rate(block_rate: f64, n: usize) -> (SampleStore, Vec<(usize, usize)>) {
+        let mut s = SampleStore::new(vec!["a.com".into()], vec![cc("IR")]);
+        for i in 0..n {
+            let blocked = (i as f64) < block_rate * n as f64;
+            s.push(
+                0,
+                0,
+                Obs::Response {
+                    status: if blocked { 403 } else { 200 },
+                    len: 1000,
+                    page: blocked.then_some(PageKind::Cloudflare),
+                },
+            );
+        }
+        (s, vec![(0, 0)])
+    }
+
+    #[test]
+    fn pure_block_pairs_are_always_consistent() {
+        let (s, pairs) = store_with_rate(1.0, 100);
+        let c = consistency_experiment(&s, &pairs, &[3, 20], 200, 7);
+        for (_, fractions) in c {
+            assert!(fractions.iter().all(|&f| f == 1.0));
+        }
+    }
+
+    #[test]
+    fn noisy_pairs_show_more_variance_at_small_sizes() {
+        let (s, pairs) = store_with_rate(0.9, 100);
+        let c = consistency_experiment(&s, &pairs, &[3, 50], 500, 7);
+        let below3 = below_threshold(&c, 3, 0.8).unwrap();
+        let below50 = below_threshold(&c, 50, 0.8).unwrap();
+        assert!(below3 > below50, "3: {below3}, 50: {below50}");
+    }
+
+    #[test]
+    fn false_negatives_shrink_with_sample_size() {
+        // 10% block rate: size 1 misses ~90%, size 20 rarely.
+        let (s, pairs) = store_with_rate(0.1, 100);
+        let fns = false_negative_experiment(&s, &pairs, &[1, 3, 20], 500, 7);
+        let get = |size| fns.iter().find(|(s, _)| *s == size).unwrap().1;
+        assert!(get(1) > 0.7, "{}", get(1));
+        assert!(get(3) < get(1));
+        assert!(get(20) < 0.2, "{}", get(20));
+    }
+
+    #[test]
+    fn draw_size_is_capped_at_population() {
+        let (s, pairs) = store_with_rate(1.0, 5);
+        let c = consistency_experiment(&s, &pairs, &[50], 10, 7);
+        // Requested 50, only 5 samples exist: bucket keyed by capped size.
+        assert!(c.contains_key(&5));
+    }
+}

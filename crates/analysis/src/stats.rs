@@ -1,0 +1,132 @@
+//! Empirical distribution utilities.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over f64 samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Evenly spaced `(x, P(X ≤ x))` points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..=n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / n as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+}
+
+/// A fixed-width histogram over [lo, hi).
+pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in samples {
+        if x >= lo && x < hi && width > 0.0 {
+            let bin = ((x - lo) / width) as usize;
+            counts[bin.min(bins - 1)] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.5);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let cdf = Cdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.quantile(0.5), Some(30.0));
+        assert_eq!(cdf.quantile(0.9), Some(50.0));
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(Cdf::new(vec![]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_cover_the_range() {
+        let cdf = Cdf::new(vec![0.0, 1.0]);
+        let pts = cdf.points(4);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[4], (1.0, 1.0));
+    }
+
+    #[test]
+    fn histogram_bins_edges() {
+        let h = histogram(&[0.05, 0.15, 0.15, 0.95, 1.5], 0.0, 1.0, 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 1);
+        assert_eq!(h.iter().sum::<usize>(), 4); // 1.5 out of range
+    }
+}

@@ -1,0 +1,513 @@
+//! Builders for the paper's tables.
+//!
+//! Tables 3–6 aggregate Top-10K verdicts; Tables 7–8 the Top-1M verdicts;
+//! Table 9 the Cloudflare rules snapshot. Following §4.2, the headline
+//! tables count only the three main-study explicit geoblockers
+//! (Cloudflare, CloudFront, AppEngine); Airbnb and Baidu observations are
+//! reported separately ("other observations").
+
+use std::collections::BTreeMap;
+
+use geoblock_blockpages::{PageKind, Provider};
+use geoblock_core::confirm::GeoblockVerdict;
+use geoblock_core::outliers::OutlierReport;
+use geoblock_worldgen::{cc, Category, CfTier, CountryCode, RulesSnapshot};
+
+use crate::fortiguard::Fortiguard;
+use crate::render::TextTable;
+
+/// The three providers whose verdicts enter the headline tables.
+pub const MAIN_PROVIDERS: [Provider; 3] =
+    [Provider::Cloudflare, Provider::CloudFront, Provider::AppEngine];
+
+/// Filter verdicts to the main-study providers.
+pub fn main_study(verdicts: &[GeoblockVerdict]) -> Vec<&GeoblockVerdict> {
+    verdicts
+        .iter()
+        .filter(|v| MAIN_PROVIDERS.contains(&v.kind.provider()))
+        .collect()
+}
+
+/// Verdicts excluded from the headline tables (Airbnb, Baidu, …).
+pub fn other_observations(verdicts: &[GeoblockVerdict]) -> Vec<&GeoblockVerdict> {
+    verdicts
+        .iter()
+        .filter(|v| !MAIN_PROVIDERS.contains(&v.kind.provider()))
+        .collect()
+}
+
+/// Unique blocked domains among verdicts.
+pub fn unique_domains(verdicts: &[&GeoblockVerdict]) -> Vec<String> {
+    let mut d: Vec<String> = verdicts.iter().map(|v| v.domain.clone()).collect();
+    d.sort();
+    d.dedup();
+    d
+}
+
+/// Table 1: the data-volume overview of the discovery pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1 {
+    /// Initial domain list size (10,000).
+    pub initial_domains: usize,
+    /// After the safety filter (8,003).
+    pub safe_domains: usize,
+    /// Probed (domain, country) pairs (1,416,531).
+    pub initial_samples: usize,
+    /// Outlier pages clustered (24,381).
+    pub clustered_pages: usize,
+    /// Clusters (119).
+    pub clusters: usize,
+    /// CDNs and hosting providers discovered (7).
+    pub discovered: usize,
+}
+
+impl Table1 {
+    /// Render.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table 1: Overview of data at each step in Methods",
+            &[
+                "Initial Domains",
+                "Safe Domains",
+                "Initial Samples",
+                "Clustered Pages",
+                "Clusters",
+                "Discovered CDNs",
+            ],
+        );
+        t.row(&[
+            self.initial_domains.to_string(),
+            self.safe_domains.to_string(),
+            self.initial_samples.to_string(),
+            self.clustered_pages.to_string(),
+            self.clusters.to_string(),
+            self.discovered.to_string(),
+        ]);
+        t
+    }
+}
+
+/// Table 2: per-fingerprint recall of the length heuristic.
+pub fn table2(report: &OutlierReport) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 2: Recall for block pages (30% length metric)",
+        &["Page", "Recalled", "Actual", "Recall"],
+    );
+    let mut rows: Vec<(PageKind, (u32, u32))> = report.recall.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_by_key(|(k, _)| *k);
+    for (kind, (recalled, actual)) in rows {
+        t.row(&[
+            kind.label().to_string(),
+            recalled.to_string(),
+            actual.to_string(),
+            format!("{:.1}%", 100.0 * recalled as f64 / actual.max(1) as f64),
+        ]);
+    }
+    let (r, a) = report.total_recall();
+    t.row(&[
+        "Total".to_string(),
+        r.to_string(),
+        a.to_string(),
+        format!("{:.1}%", 100.0 * r as f64 / a.max(1) as f64),
+    ]);
+    t
+}
+
+fn provider_of(kind: PageKind) -> Provider {
+    kind.provider()
+}
+
+/// Table 3: top categories of geoblocked domains, by CDN (unique domains).
+pub fn table3(verdicts: &[GeoblockVerdict], fg: &Fortiguard<'_>) -> TextTable {
+    let main = main_study(verdicts);
+    // (category → provider → unique domains)
+    let mut by_cat: BTreeMap<Category, BTreeMap<Provider, Vec<&str>>> = BTreeMap::new();
+    for v in &main {
+        by_cat
+            .entry(fg.category(&v.domain))
+            .or_default()
+            .entry(provider_of(v.kind))
+            .or_default()
+            .push(&v.domain);
+    }
+    let mut rows: Vec<(Category, [usize; 3], usize)> = Vec::new();
+    for (cat, by_provider) in &by_cat {
+        let mut counts = [0usize; 3];
+        for (i, p) in MAIN_PROVIDERS.iter().enumerate() {
+            if let Some(domains) = by_provider.get(p) {
+                let mut d = domains.clone();
+                d.sort();
+                d.dedup();
+                counts[i] = d.len();
+            }
+        }
+        let total = counts.iter().sum();
+        rows.push((*cat, counts, total));
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    let mut t = TextTable::new(
+        "Table 3: Most geoblocked categories by CDN (unique domains)",
+        &["Category", "Cloudflare", "CloudFront", "AppEngine", "Total"],
+    );
+    for (cat, counts, total) in rows.iter().take(10) {
+        t.row(&[
+            cat.label().to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            total.to_string(),
+        ]);
+    }
+    let grand: usize = rows.iter().map(|r| r.2).sum();
+    t.row(&[
+        "Total".to_string(),
+        rows.iter().map(|r| r.1[0]).sum::<usize>().to_string(),
+        rows.iter().map(|r| r.1[1]).sum::<usize>().to_string(),
+        rows.iter().map(|r| r.1[2]).sum::<usize>().to_string(),
+        grand.to_string(),
+    ]);
+    t
+}
+
+/// Tables 4 / 8: geoblocked sites by category, with tested counts.
+/// Returns the table plus `(tested_total, blocked_total)`.
+pub fn table_categories(
+    title: &str,
+    verdicts: &[GeoblockVerdict],
+    fg: &Fortiguard<'_>,
+    tested: &[String],
+) -> (TextTable, usize, usize) {
+    let main = main_study(verdicts);
+    let blocked = unique_domains(&main);
+    let mut tested_by_cat: BTreeMap<Category, usize> = BTreeMap::new();
+    for d in tested {
+        *tested_by_cat.entry(fg.category(d)).or_insert(0) += 1;
+    }
+    let mut blocked_by_cat: BTreeMap<Category, usize> = BTreeMap::new();
+    for d in &blocked {
+        *blocked_by_cat.entry(fg.category(d)).or_insert(0) += 1;
+    }
+    let mut rows: Vec<(Category, usize, usize)> = tested_by_cat
+        .iter()
+        .map(|(c, t)| (*c, *t, blocked_by_cat.get(c).copied().unwrap_or(0)))
+        .collect();
+    // Order by blocked fraction, like Table 4.
+    rows.sort_by(|a, b| {
+        let fa = a.2 as f64 / a.1.max(1) as f64;
+        let fb = b.2 as f64 / b.1.max(1) as f64;
+        fb.partial_cmp(&fa).expect("no NaN").then(a.0.cmp(&b.0))
+    });
+    let mut t = TextTable::new(title, &["Category", "Tested", "Geoblocked"]);
+    for (cat, tested, blocked) in &rows {
+        t.row(&[
+            cat.label().to_string(),
+            tested.to_string(),
+            format!("{blocked} ({:.1}%)", 100.0 * *blocked as f64 / (*tested).max(1) as f64),
+        ]);
+    }
+    let tt: usize = rows.iter().map(|r| r.1).sum();
+    let bt: usize = rows.iter().map(|r| r.2).sum();
+    t.row(&[
+        "Total".to_string(),
+        tt.to_string(),
+        format!("{bt} ({:.1}%)", 100.0 * bt as f64 / tt.max(1) as f64),
+    ]);
+    (t, tt, bt)
+}
+
+/// Table 5: top TLDs of geoblocking domains and most-geoblocked countries.
+pub fn table5(verdicts: &[GeoblockVerdict]) -> TextTable {
+    let main = main_study(verdicts);
+    let mut tlds: BTreeMap<String, usize> = BTreeMap::new();
+    for d in unique_domains(&main) {
+        let tld = d.rsplit('.').next().unwrap_or("?").to_string();
+        *tlds.entry(tld).or_insert(0) += 1;
+    }
+    let mut tld_rows: Vec<(String, usize)> = tlds.into_iter().collect();
+    tld_rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let countries = instances_by_country(&main);
+
+    let mut t = TextTable::new(
+        "Table 5: Top TLDs and geoblocked countries",
+        &["TLD", "Count", "Country", "Count"],
+    );
+    let n = tld_rows.len().max(countries.len()).min(10);
+    for i in 0..n {
+        let (tld, tc) = tld_rows
+            .get(i)
+            .map(|(t, c)| (format!(".{t}"), c.to_string()))
+            .unwrap_or_default();
+        let (country, cc_count) = countries
+            .get(i)
+            .map(|(c, n)| (country_name(*c), n.to_string()))
+            .unwrap_or_default();
+        t.row(&[tld, tc, country, cc_count]);
+    }
+    let other_tld: usize = tld_rows.iter().skip(10).map(|r| r.1).sum();
+    let other_cc: usize = countries.iter().skip(10).map(|r| r.1).sum();
+    t.row(&[
+        "Other".to_string(),
+        other_tld.to_string(),
+        "Others".to_string(),
+        other_cc.to_string(),
+    ]);
+    t.row(&[
+        "Total".to_string(),
+        tld_rows.iter().map(|r| r.1).sum::<usize>().to_string(),
+        "Total".to_string(),
+        countries.iter().map(|r| r.1).sum::<usize>().to_string(),
+    ]);
+    t
+}
+
+/// Blocking instances per country, descending.
+pub fn instances_by_country(verdicts: &[&GeoblockVerdict]) -> Vec<(CountryCode, usize)> {
+    let mut map: BTreeMap<CountryCode, usize> = BTreeMap::new();
+    for v in verdicts {
+        *map.entry(v.country).or_insert(0) += 1;
+    }
+    let mut rows: Vec<(CountryCode, usize)> = map.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+fn country_name(code: CountryCode) -> String {
+    code.info().map(|i| i.name.to_string()).unwrap_or_else(|| code.to_string())
+}
+
+/// Tables 6 / 7: geoblocking instances by country × CDN.
+pub fn table_country_provider(title: &str, verdicts: &[GeoblockVerdict]) -> TextTable {
+    let main = main_study(verdicts);
+    let mut per: BTreeMap<CountryCode, [usize; 3]> = BTreeMap::new();
+    for v in &main {
+        let counts = per.entry(v.country).or_insert([0; 3]);
+        if let Some(i) = MAIN_PROVIDERS.iter().position(|p| *p == provider_of(v.kind)) {
+            counts[i] += 1;
+        }
+    }
+    let mut rows: Vec<(CountryCode, [usize; 3], usize)> = per
+        .into_iter()
+        .map(|(c, counts)| (c, counts, counts.iter().sum()))
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+
+    let mut t = TextTable::new(title, &["Country", "Cloudflare", "CloudFront", "AppEngine", "Total"]);
+    for (country, counts, total) in rows.iter().take(10) {
+        t.row(&[
+            country_name(*country),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            total.to_string(),
+        ]);
+    }
+    let other: [usize; 3] = rows.iter().skip(10).fold([0; 3], |mut acc, r| {
+        for (a, v) in acc.iter_mut().zip(r.1) {
+            *a += v;
+        }
+        acc
+    });
+    t.row(&[
+        "Other".to_string(),
+        other[0].to_string(),
+        other[1].to_string(),
+        other[2].to_string(),
+        other.iter().sum::<usize>().to_string(),
+    ]);
+    let totals: [usize; 3] = rows.iter().fold([0; 3], |mut acc, r| {
+        for (a, v) in acc.iter_mut().zip(r.1) {
+            *a += v;
+        }
+        acc
+    });
+    t.row(&[
+        "Total".to_string(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        totals.iter().sum::<usize>().to_string(),
+    ]);
+    t
+}
+
+/// The §5.2.2 consistency analysis as a table: confirmed ambiguous-CDN
+/// geoblockers with their blocked-country sets.
+pub fn table_consistency(
+    title: &str,
+    reports: &[geoblock_core::consistency::ConsistencyReport],
+) -> TextTable {
+    let mut t = TextTable::new(title, &["Domain", "Score", "Blocked countries", "Confirmed"]);
+    let mut rows: Vec<_> = reports.iter().collect();
+    rows.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("no NaN")
+            .then(a.domain.cmp(&b.domain))
+    });
+    for r in rows.iter().take(20) {
+        let countries: Vec<String> = r
+            .consistent_countries
+            .iter()
+            .take(8)
+            .map(|c| c.to_string())
+            .collect();
+        t.row(&[
+            r.domain.clone(),
+            format!("{:.0}%", 100.0 * r.score),
+            countries.join(","),
+            if r.is_confirmed_geoblocker() { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 9: Cloudflare rule rates by account tier.
+pub fn table9(snapshot: &RulesSnapshot) -> TextTable {
+    let countries = [
+        "RU", "CN", "KP", "IR", "UA", "RO", "IN", "BR", "VN", "CZ", "ID", "IQ", "HR", "SY",
+        "EE", "SD",
+    ];
+    let mut t = TextTable::new(
+        "Table 9: Most geoblocked countries by Cloudflare customers, by account type",
+        &["Country", "All", "Enterprise", "Business", "Pro", "Free"],
+    );
+    let pct = |x: f64| format!("{:.2}%", 100.0 * x);
+    let all_baseline: f64 = {
+        let total_zones: u64 = snapshot.zones_per_tier.iter().map(|(_, n)| n).sum();
+        let weighted: f64 = snapshot
+            .zones_per_tier
+            .iter()
+            .map(|(tier, n)| snapshot.baseline_rate(*tier) * *n as f64)
+            .sum();
+        weighted / total_zones.max(1) as f64
+    };
+    t.row(&[
+        "Baseline".to_string(),
+        pct(all_baseline),
+        pct(snapshot.baseline_rate(CfTier::Enterprise)),
+        pct(snapshot.baseline_rate(CfTier::Business)),
+        pct(snapshot.baseline_rate(CfTier::Pro)),
+        pct(snapshot.baseline_rate(CfTier::Free)),
+    ]);
+    for code in countries {
+        let c = cc(code);
+        let all: f64 = {
+            let total_zones: u64 = snapshot.zones_per_tier.iter().map(|(_, n)| n).sum();
+            let weighted: f64 = snapshot
+                .zones_per_tier
+                .iter()
+                .map(|(tier, n)| snapshot.rate(*tier, c) * *n as f64)
+                .sum();
+            weighted / total_zones.max(1) as f64
+        };
+        t.row(&[
+            country_name(c),
+            pct(all),
+            pct(snapshot.rate(CfTier::Enterprise, c)),
+            pct(snapshot.rate(CfTier::Business, c)),
+            pct(snapshot.rate(CfTier::Pro, c)),
+            pct(snapshot.rate(CfTier::Free, c)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::{World, WorldConfig};
+
+    fn verdict(domain: &str, country: &str, kind: PageKind) -> GeoblockVerdict {
+        GeoblockVerdict {
+            domain: domain.to_string(),
+            country: cc(country),
+            kind,
+            block_count: 23,
+            total: 23,
+        }
+    }
+
+    fn sample_verdicts() -> Vec<GeoblockVerdict> {
+        vec![
+            verdict("a.com", "IR", PageKind::Cloudflare),
+            verdict("a.com", "SY", PageKind::Cloudflare),
+            verdict("b.com", "IR", PageKind::AppEngine),
+            verdict("c.net", "CN", PageKind::CloudFront),
+            verdict("airbnb.fr", "IR", PageKind::Airbnb),
+        ]
+    }
+
+    #[test]
+    fn main_study_excludes_airbnb() {
+        let v = sample_verdicts();
+        assert_eq!(main_study(&v).len(), 4);
+        assert_eq!(other_observations(&v).len(), 1);
+        assert_eq!(other_observations(&v)[0].kind, PageKind::Airbnb);
+    }
+
+    #[test]
+    fn instance_counts_order_descending() {
+        let v = sample_verdicts();
+        let main = main_study(&v);
+        let rows = instances_by_country(&main);
+        assert_eq!(rows[0], (cc("IR"), 2));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn table5_counts_unique_domains_per_tld() {
+        let v = sample_verdicts();
+        let t = table5(&v);
+        let rendered = t.render();
+        assert!(rendered.contains(".com"), "{rendered}");
+        // a.com + b.com = 2 unique .com domains.
+        let com_row: Vec<&str> = rendered
+            .lines()
+            .find(|l| l.starts_with(".com"))
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert_eq!(com_row[1], "2");
+    }
+
+    #[test]
+    fn table_country_provider_totals_add_up() {
+        let v = sample_verdicts();
+        let t = table_country_provider("Table 6 (test)", &v);
+        let rendered = t.render();
+        let total_line = rendered.lines().last().unwrap();
+        assert!(total_line.starts_with("Total"));
+        assert!(total_line.contains('4'), "{total_line}");
+    }
+
+    #[test]
+    fn category_table_runs_against_a_world() {
+        let world = World::build(WorldConfig::tiny(42));
+        let fg = Fortiguard::new(&world);
+        // Use real world domains so categories resolve.
+        let d1 = world.population.spec(10).name;
+        let d2 = world.population.spec(11).name;
+        let verdicts = vec![
+            verdict(&d1, "IR", PageKind::Cloudflare),
+            verdict(&d2, "SY", PageKind::AppEngine),
+        ];
+        let tested = vec![d1.clone(), d2.clone()];
+        let (t, tt, bt) = table_categories("Table 4 (test)", &verdicts, &fg, &tested);
+        assert_eq!(tt, 2);
+        assert_eq!(bt, 2);
+        assert!(t.render().contains("Total"));
+        let t3 = table3(&verdicts, &fg);
+        assert!(t3.render().contains("Total"));
+    }
+
+    #[test]
+    fn table9_renders_all_tiers() {
+        let snap = RulesSnapshot::generate(3, 0.02);
+        let t = table9(&snap);
+        let rendered = t.render();
+        assert!(rendered.contains("Baseline"));
+        assert!(rendered.contains("North Korea"));
+        assert!(rendered.lines().count() > 15);
+    }
+}

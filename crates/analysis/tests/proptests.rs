@@ -1,0 +1,96 @@
+//! Property-based tests for the analysis layer: CDF laws, histogram
+//! conservation, and sampling-experiment bounds.
+
+use geoblock_analysis::sampling::{below_threshold, consistency_experiment};
+use geoblock_analysis::stats::{histogram, Cdf};
+use geoblock_blockpages::PageKind;
+use geoblock_core::observation::{Obs, SampleStore};
+use geoblock_worldgen::cc;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        let cdf = Cdf::new(samples.clone());
+        let mut prev = 0.0;
+        for i in -10..=10 {
+            let x = i as f64 * 1e5;
+            let p = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev, "CDF decreased at {x}");
+            prev = p;
+        }
+        if !samples.is_empty() {
+            let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!((cdf.at(max) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics(
+        samples in proptest::collection::vec(0.0f64..1.0, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let cdf = Cdf::new(samples.clone());
+        let v = cdf.quantile(q).expect("non-empty");
+        prop_assert!(samples.contains(&v));
+        // At least ⌈q·n⌉ samples are ≤ v.
+        let needed = (q * samples.len() as f64).ceil() as usize;
+        let at_most = samples.iter().filter(|&&s| s <= v).count();
+        prop_assert!(at_most >= needed.max(1));
+    }
+
+    #[test]
+    fn histogram_conserves_in_range_mass(
+        samples in proptest::collection::vec(-0.5f64..1.5, 0..300),
+        bins in 1usize..40,
+    ) {
+        let h = histogram(&samples, 0.0, 1.0, bins);
+        let in_range = samples.iter().filter(|&&x| (0.0..1.0).contains(&x)).count();
+        prop_assert_eq!(h.iter().sum::<usize>(), in_range);
+        prop_assert_eq!(h.len(), bins);
+    }
+
+    #[test]
+    fn consistency_experiment_outputs_valid_fractions(
+        blocks in 0usize..30,
+        others in 0usize..30,
+        draws in 1usize..50,
+    ) {
+        let mut store = SampleStore::new(vec!["d.com".into()], vec![cc("IR")]);
+        for _ in 0..blocks {
+            store.push(0, 0, Obs::Response { status: 403, len: 900, page: Some(PageKind::Cloudflare) });
+        }
+        for _ in 0..others {
+            store.push(0, 0, Obs::Response { status: 200, len: 9000, page: None });
+        }
+        if blocks + others == 0 {
+            return Ok(());
+        }
+        let sizes = [1usize, 3, 20];
+        let n = blocks + others;
+        let result = consistency_experiment(&store, &[(0, 0)], &sizes, draws, 7);
+        for (size, fractions) in &result {
+            // Requested sizes cap at the population, so several requested
+            // sizes can collapse into one bucket.
+            let collapsed = sizes.iter().filter(|&&s| s.min(n) == *size).count();
+            prop_assert_eq!(fractions.len(), draws * collapsed);
+            for &f in fractions {
+                prop_assert!((0.0..=1.0).contains(&f));
+                // A fraction of a `size`-draw is a multiple of 1/size.
+                let scaled = f * (*size.min(&(blocks + others)) as f64);
+                prop_assert!((scaled - scaled.round()).abs() < 1e-9);
+            }
+            if others == 0 {
+                prop_assert!(fractions.iter().all(|&f| (f - 1.0).abs() < 1e-12));
+            }
+            if blocks == 0 {
+                prop_assert!(fractions.iter().all(|&f| f == 0.0));
+            }
+        }
+        // below_threshold is a probability.
+        if let Some(b) = below_threshold(&result, 20.min(blocks + others), 0.8) {
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_length_metric` — percentage vs raw-byte length cutoffs
+//!   (§4.1.5: "raw length differences is not as effective");
+//! * `ablation_cutoff_sweep` — recall across 5%–50% cutoffs (Figure 2's
+//!   "relatively arbitrary" observation);
+//! * `ablation_headers` — Akamai false-positive rate per header profile
+//!   (§3.2: "merely setting User-Agent is insufficient");
+//! * `ablation_confirmation` — false negatives vs initial sample size
+//!   (the 3/20/80% design of §4.1.4);
+//! * `ablation_clustering` — 1-gram vs 1+2-gram features and the
+//!   single-link threshold sweep.
+//!
+//! Each bench `eprintln!`s its measured ablation result once during setup,
+//! so `cargo bench` output doubles as the ablation report.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoblock_analysis::sampling::false_negative_experiment;
+use geoblock_bench::{Harness, Scale};
+use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
+use geoblock_core::exploration::sweep;
+use geoblock_core::outliers::is_outlier;
+use geoblock_http::{HeaderProfile, Url};
+use geoblock_netsim::VpsTransport;
+use geoblock_textmine::{single_link, TfIdfVectorizer};
+use geoblock_worldgen::cc;
+
+fn runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime")
+}
+
+/// Percentage vs raw-byte cutoffs for the outlier rule.
+fn ablation_length_metric(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let artifacts = rt.block_on(h.top10k());
+    let report = &artifacts.outliers;
+
+    // Evaluate recall under both rules from the stored size series.
+    let pct_recall = |cutoff: f64| {
+        let (mut rec, mut act) = (0u32, 0u32);
+        for (diff, blocked) in &report.size_diffs {
+            if *blocked {
+                act += 1;
+                if *diff as f64 >= cutoff {
+                    rec += 1;
+                }
+            }
+        }
+        rec as f64 / act.max(1) as f64
+    };
+    // Raw rule: a fixed byte difference. Long pages always pass, tiny
+    // pages never do — which is why the paper rejects it.
+    let raw_recall = |bytes: f64| {
+        let (mut rec, mut act) = (0u32, 0u32);
+        for (diff, blocked) in &report.size_diffs {
+            if *blocked {
+                act += 1;
+                // diff = 1 - len/rep ⇒ rep - len = diff × rep; approximate
+                // rep with the corpus median representative.
+                let rep = 12_000.0;
+                if (*diff as f64) * rep >= bytes {
+                    rec += 1;
+                }
+            }
+        }
+        rec as f64 / act.max(1) as f64
+    };
+    eprintln!("\nablation_length_metric (recall of block pages):");
+    eprintln!("  percent cutoff 30%      : {:.1}%", 100.0 * pct_recall(0.30));
+    eprintln!("  raw cutoff 4,000 bytes  : {:.1}%", 100.0 * raw_recall(4_000.0));
+    eprintln!("  raw cutoff 10,000 bytes : {:.1}%", 100.0 * raw_recall(10_000.0));
+
+    c.bench_function("ablation_length_metric", |b| {
+        b.iter(|| black_box((pct_recall(0.30), raw_recall(4_000.0))))
+    });
+}
+
+/// Recall across cutoffs 5%–50%.
+fn ablation_cutoff_sweep(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(43));
+    let artifacts = rt.block_on(h.top10k());
+    let report = artifacts.outliers;
+
+    eprintln!("\nablation_cutoff_sweep (block-page recall by cutoff):");
+    for cutoff in [0.05, 0.10, 0.20, 0.30, 0.40, 0.50] {
+        let (mut rec, mut act) = (0u32, 0u32);
+        for (diff, blocked) in &report.size_diffs {
+            if *blocked {
+                act += 1;
+                if *diff as f64 >= cutoff {
+                    rec += 1;
+                }
+            }
+        }
+        eprintln!("  cutoff {:>4.0}% : recall {:.1}%", cutoff * 100.0, 100.0 * rec as f64 / act.max(1) as f64);
+    }
+
+    c.bench_function("ablation_cutoff_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for cutoff in [0.05f64, 0.10, 0.20, 0.30, 0.40, 0.50] {
+                for (diff, blocked) in &report.size_diffs {
+                    if *blocked && is_outlier(
+                        ((1.0 - *diff as f64) * 10_000.0) as u32,
+                        10_000,
+                        cutoff,
+                    ) {
+                        total += 1;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// Bot-detection false positives per header profile (VPS sweep of the
+/// NS-identified Akamai customers from a US control box).
+fn ablation_headers(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let domains: Vec<String> = (1..=4_000)
+        .map(|r| h.world.population.spec(r))
+        .filter(|s| s.uses(geoblock_blockpages::Provider::Akamai))
+        .map(|s| s.name)
+        .collect();
+    eprintln!("\nablation_headers ({} Akamai customers from a US VPS):", domains.len());
+    let mut rates = Vec::new();
+    for profile in [
+        HeaderProfile::Bare,
+        HeaderProfile::Curl,
+        HeaderProfile::ZgrabUserAgentOnly,
+        HeaderProfile::FullBrowser,
+    ] {
+        let vps = Arc::new(VpsTransport::new(h.internet.clone(), cc("US")));
+        let result = rt.block_on(sweep(
+            vps,
+            cc("US"),
+            &domains,
+            profile,
+            &[PageKind::Akamai],
+            128,
+        ));
+        let rate = result.flagged.len() as f64 / domains.len().max(1) as f64;
+        eprintln!("  {profile:?}: {:.1}% of domains serve the Akamai denial page", 100.0 * rate);
+        rates.push(rate);
+    }
+    assert!(rates[0] >= rates[3], "bare headers must trip more detection than a full browser");
+
+    c.bench_function("ablation_headers_sweep", |b| {
+        b.iter(|| {
+            let vps = Arc::new(VpsTransport::new(h.internet.clone(), cc("US")));
+            rt.block_on(sweep(
+                vps,
+                cc("US"),
+                &domains,
+                HeaderProfile::ZgrabUserAgentOnly,
+                &[PageKind::Akamai],
+                128,
+            ))
+        })
+    });
+}
+
+/// False-negative rate of the baseline pass vs initial sample size.
+fn ablation_confirmation(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let artifacts = rt.block_on(h.top10k());
+    let (store, pairs) = rt.block_on(h.hundred_sample_populations(&artifacts));
+    let sizes = [1usize, 2, 3, 5, 10, 20];
+    let fns = false_negative_experiment(&store, &pairs, &sizes, 500, 7);
+    eprintln!("\nablation_confirmation (baseline FN rate by sample count):");
+    for (size, rate) in &fns {
+        eprintln!("  {size:>2} samples : {:.2}% missed", 100.0 * rate);
+    }
+
+    c.bench_function("ablation_confirmation", |b| {
+        b.iter(|| black_box(false_negative_experiment(&store, &pairs, &sizes, 500, 7)))
+    });
+}
+
+/// Unigram vs 1+2-gram features and threshold sweep for discovery.
+fn ablation_clustering(c: &mut Criterion) {
+    // Corpus: 3 block-page families + near-identical Cloudflare/Baidu pair
+    // (the family bigrams are needed to separate).
+    let mut docs = Vec::new();
+    for i in 0..250u64 {
+        for kind in [
+            PageKind::Cloudflare,
+            PageKind::Baidu,
+            PageKind::Akamai,
+            PageKind::Incapsula,
+        ] {
+            let params = PageParams::new(&format!("d{i}.com"), "Iran", "5.0.0.1", i);
+            docs.push(render(kind, &params).finish(Url::http("x.com")).body.as_text().to_string());
+        }
+    }
+    let truth = FingerprintSet::paper();
+    let purity = |bigrams: bool, tau: f32| {
+        let (_, vectors) = TfIdfVectorizer::fit_transform_opts(&docs, 2, bigrams);
+        let clustering = single_link(&vectors, tau);
+        // Weighted purity by modal fingerprint.
+        let mut pure = 0usize;
+        for members in &clustering.members {
+            let mut votes = std::collections::HashMap::new();
+            for &m in members {
+                let label = truth.classify_text(&docs[m as usize]).map(|o| o.kind);
+                *votes.entry(label).or_insert(0usize) += 1;
+            }
+            pure += votes.values().max().copied().unwrap_or(0);
+        }
+        (clustering.len(), pure as f64 / docs.len() as f64)
+    };
+    eprintln!("\nablation_clustering (clusters / purity):");
+    for tau in [0.15f32, 0.25, 0.35, 0.50] {
+        let (c1, p1) = purity(false, tau);
+        let (c2, p2) = purity(true, tau);
+        eprintln!(
+            "  tau {tau:.2}: 1-gram {c1} clusters ({:.1}% pure) | 1+2-gram {c2} clusters ({:.1}% pure)",
+            100.0 * p1,
+            100.0 * p2
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_clustering");
+    g.sample_size(10);
+    g.bench_function("unigram", |b| b.iter(|| black_box(purity(false, 0.35))));
+    g.bench_function("bigram", |b| b.iter(|| black_box(purity(true, 0.35))));
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_length_metric,
+    ablation_cutoff_sweep,
+    ablation_headers,
+    ablation_confirmation,
+    ablation_clustering
+);
+criterion_main!(ablations);

@@ -1,0 +1,56 @@
+//! Criterion benches for the figure-regenerating computations: the
+//! Figure 1/3 subsampling experiments, the Figure 2 histogram, Figure 4's
+//! agreement CDF, and Figure 5's cumulative rule series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoblock_analysis::figures::{Figure1, Figure2, Figure3, Figure4, Figure5};
+use geoblock_analysis::sampling::{consistency_experiment, false_negative_experiment};
+use geoblock_bench::{Harness, Scale};
+use geoblock_worldgen::{cc, RulesSnapshot};
+
+fn runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime")
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let artifacts = rt.block_on(h.top10k());
+    let (store, pairs) = rt.block_on(h.hundred_sample_populations(&artifacts));
+    let sizes = [1usize, 3, 5, 10, 20, 50];
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_consistency_experiment_500_draws", |b| {
+        b.iter(|| black_box(consistency_experiment(&store, &pairs, &sizes, 500, 7)))
+    });
+    let consistencies = consistency_experiment(&store, &pairs, &sizes, 500, 7);
+    g.bench_function("fig1_cdf_build", |b| {
+        b.iter(|| black_box(Figure1::new(&consistencies)))
+    });
+    g.bench_function("fig2_histogram", |b| {
+        b.iter(|| black_box(Figure2::new(&artifacts.outliers, 20)))
+    });
+    g.bench_function("fig3_false_negative_experiment", |b| {
+        b.iter(|| {
+            black_box(Figure3::new(false_negative_experiment(
+                &store, &pairs, &sizes, 500, 7,
+            )))
+        })
+    });
+    g.bench_function("fig4_agreement_cdf", |b| {
+        b.iter(|| black_box(Figure4::new(&artifacts.result.store)))
+    });
+    let snapshot = RulesSnapshot::generate(42, 0.05);
+    let countries = [cc("KP"), cc("IR"), cc("SY"), cc("SD"), cc("CU")];
+    g.bench_function("fig5_cumulative_series", |b| {
+        b.iter(|| black_box(Figure5::new(&snapshot, &countries)))
+    });
+    g.finish();
+}
+
+criterion_group!(figures_benches, bench_figures);
+criterion_main!(figures_benches);

@@ -1,0 +1,143 @@
+//! Criterion benches for the computational kernels: fingerprint
+//! classification, TF-IDF + clustering, block-page rendering, the outlier
+//! heuristic, and the simulated request path.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
+use geoblock_core::observation::{Obs, SampleStore};
+use geoblock_core::outliers::{extract_outliers, OutlierConfig};
+use geoblock_http::{HeaderProfile, Request, Url};
+use geoblock_netsim::{ClientContext, SimInternet};
+use geoblock_textmine::{single_link, TfIdfVectorizer};
+use geoblock_worldgen::{cc, World, WorldConfig};
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let set = FingerprintSet::paper();
+    let params = PageParams::new("shop.example.com", "Iran", "5.1.2.3", 7);
+    let pages: Vec<(PageKind, String)> = PageKind::ALL
+        .iter()
+        .map(|k| {
+            let resp = render(*k, &params).finish(Url::http("shop.example.com"));
+            (*k, resp.body.as_text().to_string())
+        })
+        .collect();
+    let ordinary = "<html><body>".to_string() + &"regular content ".repeat(400) + "</body></html>";
+
+    let mut g = c.benchmark_group("fingerprints");
+    g.throughput(Throughput::Elements(pages.len() as u64));
+    g.bench_function("classify_all_block_pages", |b| {
+        b.iter(|| {
+            for (_, body) in &pages {
+                black_box(set.classify_text(body));
+            }
+        })
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("classify_ordinary_page", |b| {
+        b.iter(|| black_box(set.classify_text(&ordinary)))
+    });
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let params = PageParams::new("shop.example.com", "Syria", "5.9.9.9", 3);
+    let mut g = c.benchmark_group("blockpage_render");
+    for kind in [PageKind::Cloudflare, PageKind::Akamai, PageKind::CloudFront] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(render(kind, &params).finish(Url::http("x.com"))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // A realistic discovery corpus: 3 block-page families with unique ids.
+    let params = |i: u64| PageParams::new(&format!("d{i}.com"), "Iran", "5.0.0.1", i);
+    let mut docs = Vec::new();
+    for i in 0..400u64 {
+        for kind in [PageKind::Cloudflare, PageKind::Akamai, PageKind::Incapsula] {
+            let resp = render(kind, &params(i)).finish(Url::http("x.com"));
+            docs.push(resp.body.as_text().to_string());
+        }
+    }
+    let mut g = c.benchmark_group("discovery");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(docs.len() as u64));
+    g.bench_function("tfidf_1200_docs", |b| {
+        b.iter(|| black_box(TfIdfVectorizer::fit_transform(&docs, 2)))
+    });
+    let (_, vectors) = TfIdfVectorizer::fit_transform(&docs, 2);
+    g.bench_function("single_link_1200_docs", |b| {
+        b.iter(|| black_box(single_link(&vectors, 0.35)))
+    });
+    g.finish();
+}
+
+fn bench_outliers(c: &mut Criterion) {
+    // 2,000 domains × 20 countries × 3 samples of compact observations.
+    let domains: Vec<String> = (0..2000).map(|i| format!("d{i}.com")).collect();
+    let countries: Vec<_> = geoblock_worldgen::country::luminati_countries()
+        .into_iter()
+        .take(20)
+        .collect();
+    let mut store = SampleStore::new(domains, countries.clone());
+    for d in 0..2000usize {
+        for ci in 0..20usize {
+            for s in 0..3u32 {
+                let blocked = d % 37 == 0 && ci < 4;
+                store.push(
+                    d,
+                    ci,
+                    Obs::Response {
+                        status: if blocked { 403 } else { 200 },
+                        len: if blocked { 1500 } else { 12_000 + (s * 301) },
+                        page: blocked.then_some(PageKind::Cloudflare),
+                    },
+                );
+            }
+        }
+    }
+    let config = OutlierConfig {
+        cutoff: 0.30,
+        rep_countries: countries,
+    };
+    let mut g = c.benchmark_group("outliers");
+    g.throughput(Throughput::Elements(store.total_samples() as u64));
+    g.bench_function("extract_120k_samples", |b| {
+        b.iter(|| black_box(extract_outliers(&store, &config)))
+    });
+    g.finish();
+}
+
+fn bench_sim_request(c: &mut Criterion) {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let net = SimInternet::new(world.clone());
+    let name = world.population.spec(3).name.clone();
+    let request = Request::get(format!("http://{name}/").parse().unwrap())
+        .headers(&HeaderProfile::FullBrowser.headers());
+    let client = ClientContext {
+        ip: "5.9.1.1".into(),
+        country: cc("US"),
+        region: None,
+        residential: true,
+        seq_nonce: None,
+    };
+    let mut g = c.benchmark_group("netsim");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("request_real_page", |b| {
+        b.iter(|| black_box(net.request(&request, &client)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fingerprints,
+    bench_render,
+    bench_clustering,
+    bench_outliers,
+    bench_sim_request
+);
+criterion_main!(kernels);

@@ -1,0 +1,129 @@
+//! Criterion benches timing the stages that regenerate the paper's tables:
+//! the baseline probing pass, confirmation, population identification, the
+//! table builders, and the Cloudflare rules snapshot (Table 9).
+//!
+//! `cargo run --release -p geoblock-bench --bin repro` regenerates the
+//! *contents* of every table; these benches measure how long each stage
+//! takes at quick scale.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoblock_analysis::{tables, Fortiguard};
+use geoblock_bench::{Harness, Scale};
+use geoblock_core::population::{identify_populations, PopulationProbe};
+use geoblock_core::{ConfirmConfig, StudyConfig, Top10kStudy};
+use geoblock_netsim::VpsTransport;
+use geoblock_worldgen::{cc, RulesSnapshot};
+
+fn runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime")
+}
+
+/// Baseline probing (the Table 4/5/6 data source): 150 domains × 12
+/// countries × 3 samples through the full proxy/edge stack.
+fn bench_baseline(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let fg = Fortiguard::new(&h.world);
+    let domains: Vec<String> = fg.safe_toplist(200).into_iter().take(150).collect();
+    let countries: Vec<_> = h.countries().into_iter().take(12).collect();
+    let rep = countries[..4].to_vec();
+
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("baseline_150x12x3", |b| {
+        b.iter(|| {
+            let study = Top10kStudy::new(
+                h.engine.clone(),
+                StudyConfig::new(countries.clone(), rep.clone()),
+            );
+            rt.block_on(study.baseline(&domains))
+        })
+    });
+    g.finish();
+}
+
+/// Population identification (§5.1.1 / Table 7-8 prerequisite).
+fn bench_population(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let domains: Vec<String> = (1..=2_000).map(|r| h.world.population.spec(r).name).collect();
+
+    let mut g = c.benchmark_group("population");
+    g.sample_size(10);
+    g.bench_function("identify_2000_domains", |b| {
+        b.iter(|| {
+            let vps = Arc::new(VpsTransport::new(h.internet.clone(), cc("US")));
+            rt.block_on(identify_populations(
+                vps,
+                h.dns.as_ref(),
+                &domains,
+                &PopulationProbe {
+                    country: cc("US"),
+                    concurrency: 128,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Table builders over a realistic verdict set.
+fn bench_table_builders(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let artifacts = rt.block_on(h.top10k());
+    let fg = Fortiguard::new(&h.world);
+
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("verdicts", |b| {
+        b.iter(|| black_box(artifacts.result.verdicts(&ConfirmConfig::default())))
+    });
+    g.bench_function("table3_categories_by_cdn", |b| {
+        b.iter(|| black_box(tables::table3(&artifacts.verdicts, &fg)))
+    });
+    g.bench_function("table4_categories", |b| {
+        b.iter(|| {
+            black_box(tables::table_categories(
+                "Table 4",
+                &artifacts.verdicts,
+                &fg,
+                &artifacts.safe_domains,
+            ))
+        })
+    });
+    g.bench_function("table5_tlds_countries", |b| {
+        b.iter(|| black_box(tables::table5(&artifacts.verdicts)))
+    });
+    g.bench_function("table6_country_provider", |b| {
+        b.iter(|| black_box(tables::table_country_provider("Table 6", &artifacts.verdicts)))
+    });
+    g.finish();
+}
+
+/// Table 9: snapshot generation and rate computation.
+fn bench_table9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloudflare_rules");
+    g.sample_size(10);
+    g.bench_function("generate_snapshot_2pct", |b| {
+        b.iter(|| black_box(RulesSnapshot::generate(42, 0.02)))
+    });
+    let snapshot = RulesSnapshot::generate(42, 0.02);
+    g.bench_function("table9_rates", |b| {
+        b.iter(|| black_box(tables::table9(&snapshot)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables_benches,
+    bench_baseline,
+    bench_population,
+    bench_table_builders,
+    bench_table9
+);
+criterion_main!(tables_benches);

@@ -1,0 +1,709 @@
+//! Regenerate every table and figure of the paper, printing
+//! paper-vs-measured comparisons.
+//!
+//! ```text
+//! REPRO_SCALE=quick|mid|full cargo run --release -p geoblock-bench --bin repro
+//! ```
+//!
+//! The default scale is `mid`; the EXPERIMENTS.md numbers come from a
+//! `full` run. The scale shrinks the world, the country panel, and the
+//! corpora together, so relative rates (the paper's shapes) are preserved
+//! while absolute counts scale down.
+
+use std::collections::BTreeMap;
+
+use geoblock_analysis::figures::{Figure1, Figure2, Figure3, Figure4, Figure5};
+use geoblock_analysis::ooni_scan;
+use geoblock_analysis::sampling::{consistency_experiment, false_negative_experiment};
+use geoblock_analysis::tables;
+use geoblock_analysis::Fortiguard;
+use geoblock_bench::report::{comparison, section, series, table};
+use geoblock_bench::{Harness, Scale};
+use geoblock_blockpages::{FingerprintSet, PageKind, Provider};
+use geoblock_core::consistency::confirmed_geoblockers;
+use geoblock_core::population::PopulationReport;
+use geoblock_worldgen::cc;
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[tokio::main]
+async fn main() {
+    let scale_name = std::env::var("REPRO_SCALE").unwrap_or_else(|_| "mid".to_string());
+    let seed: u64 = std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let scale = Scale::by_name(&scale_name, seed);
+    println!(
+        "geoblock repro — scale={} seed={} (population {}, top-list {}, {} countries)",
+        scale.name,
+        seed,
+        scale.population,
+        scale.top_n,
+        scale.countries.min(177)
+    );
+    let harness = Harness::new(scale);
+
+    exploration(&harness).await;
+    let top10k = run_top10k(&harness).await;
+    timeouts(&harness, &top10k);
+    figures_1_to_4(&harness, &top10k).await;
+    let population = population_scan(&harness, &top10k).await;
+    top1m(&harness, &population).await;
+    cloudflare(&harness);
+    ooni(&harness);
+
+    println!(
+        "\ndone. Lumscan issued {} requests.",
+        harness.engine.requests_issued()
+    );
+}
+
+async fn exploration(h: &Harness) {
+    section("§3 — Exploration and validation (16 VPSes, ZGrab profile)");
+    let a = h.exploration().await;
+    let ir = a
+        .sweeps
+        .iter()
+        .filter_map(|s| s.status_403.get(&cc("IR")))
+        .sum::<usize>();
+    let us = a
+        .sweeps
+        .iter()
+        .filter_map(|s| s.status_403.get(&cc("US")))
+        .sum::<usize>();
+    let flagged: usize = a.sweeps.iter().map(|s| s.flagged.len()).sum();
+    let fp_providers = a.verification.fp_by_provider();
+    let fp_all_akamai = fp_providers.keys().all(|p| *p == Provider::Akamai);
+    comparison(
+        "§3.1",
+        &[
+            (
+                "NS-identified CF/Akamai customers",
+                format!("{} / {}", a.ns_cloudflare.len(), a.ns_akamai.len()),
+            ),
+            ("403s from Iran vs US", format!("{ir} vs {us}")),
+            (
+                "flagged pairs → genuine",
+                format!("{flagged} → {}", a.verification.genuine.len()),
+            ),
+            (
+                "false-positive rate (all Akamai)",
+                format!(
+                    "{} (all Akamai: {fp_all_akamai})",
+                    pct(a.verification.fp_rate())
+                ),
+            ),
+        ],
+    );
+}
+
+async fn run_top10k(h: &Harness) -> geoblock_bench::harness::Top10kArtifacts {
+    section("§4 — Alexa Top-10K study");
+    let a = h.top10k().await;
+    let fg = Fortiguard::new(&h.world);
+
+    // Table 1.
+    let t1 = tables::Table1 {
+        initial_domains: h.scale.top_n as usize,
+        safe_domains: a.safe_domains.len(),
+        initial_samples: a.safe_domains.len() * a.result.store.countries.len(),
+        clustered_pages: a.discovery.corpus_size,
+        clusters: a.discovery.clusters.len(),
+        discovered: a.discovery.discovered_providers().len(),
+    };
+    table(&t1.table());
+    comparison(
+        "Table 1",
+        &[
+            ("initial domains", t1.initial_domains.to_string()),
+            ("safe domains", t1.safe_domains.to_string()),
+            ("initial samples (pairs)", t1.initial_samples.to_string()),
+            ("clustered pages", t1.clustered_pages.to_string()),
+            ("clusters", t1.clusters.to_string()),
+            ("discovered CDNs/hosts", t1.discovered.to_string()),
+        ],
+    );
+
+    // Table 2.
+    table(&tables::table2(&a.outliers));
+    let (r, act) = a.outliers.total_recall();
+    let recall_of = |k: PageKind| {
+        a.outliers
+            .recall
+            .get(&k)
+            .map(|(r, a)| pct(*r as f64 / (*a).max(1) as f64))
+            .unwrap_or_else(|| "n/a".into())
+    };
+    comparison(
+        "Table 2",
+        &[
+            ("overall recall", pct(r as f64 / act.max(1) as f64)),
+            ("Cloudflare recall", recall_of(PageKind::Cloudflare)),
+            ("Akamai recall", recall_of(PageKind::Akamai)),
+        ],
+    );
+    comparison(
+        "§4.1.2",
+        &[(
+            "outlier rate (top-20 countries)",
+            pct(a.outliers.outlier_rate()),
+        )],
+    );
+
+    // Coverage (§4.1.1): the ten least-covered countries.
+    let mut cov = geoblock_analysis::TextTable::new(
+        "§4.1.1: least-covered countries (fraction of domains with ≥1 valid response)",
+        &["Country", "Coverage"],
+    );
+    for (country, rate) in a.coverage.country_response_rates.iter().take(10) {
+        cov.row(&[
+            country.info().map(|i| i.name).unwrap_or("?").to_string(),
+            pct(*rate),
+        ]);
+    }
+    table(&cov);
+    let worst = a.coverage.worst_country();
+    comparison(
+        "§4.1.1",
+        &[
+            (
+                "never-responding domains",
+                a.coverage.never_responded.to_string(),
+            ),
+            (
+                "Luminati-refused domains",
+                a.coverage.proxy_refused_domains.to_string(),
+            ),
+            ("90th-pct domain error rate", pct(a.coverage.error_rate_p90)),
+            (
+                "worst-covered country",
+                worst
+                    .map(|(c, r)| {
+                        format!(
+                            "{} ({})",
+                            c.info().map(|i| i.name).unwrap_or("?"),
+                            pct(r)
+                        )
+                    })
+                    .unwrap_or_default(),
+            ),
+        ],
+    );
+
+    // Headline (§4.2), with domain-resampling bootstrap CIs (extension).
+    let main = tables::main_study(&a.verdicts);
+    let unique = tables::unique_domains(&main);
+    let owned_main: Vec<geoblock_core::GeoblockVerdict> =
+        main.iter().map(|v| (*v).clone()).collect();
+    let ci = geoblock_analysis::bootstrap::instances_interval(&owned_main, 400, h.scale.seed);
+    comparison(
+        "§4.2",
+        &[
+            (
+                "Top-10K instances",
+                format!("{} (95% CI {:.0}–{:.0})", main.len(), ci.lo, ci.hi),
+            ),
+            ("Top-10K unique domains", unique.len().to_string()),
+            (
+                "instances eliminated by 80% rule",
+                format!(
+                    "{} ({})",
+                    a.eliminated,
+                    pct(a.eliminated as f64 / a.flagged.max(1) as f64)
+                ),
+            ),
+        ],
+    );
+
+    // Tables 3–6.
+    table(&tables::table3(&a.verdicts, &fg));
+    let (t4, _, _) = tables::table_categories(
+        "Table 4: Geoblocked sites by category (Top 10K)",
+        &a.verdicts,
+        &fg,
+        &a.safe_domains,
+    );
+    table(&t4);
+    table(&tables::table5(&a.verdicts));
+    let by_country = tables::instances_by_country(&main);
+    comparison(
+        "Table 5",
+        &[
+            (
+                "most blocked country",
+                by_country
+                    .first()
+                    .map(|(c, k)| format!("{} ({k})", c.info().map(|i| i.name).unwrap_or("?")))
+                    .unwrap_or_default(),
+            ),
+            (
+                "2nd–4th",
+                by_country
+                    .iter()
+                    .skip(1)
+                    .take(3)
+                    .map(|(c, k)| format!("{} {k}", c.info().map(|i| i.name).unwrap_or("?")))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+        ],
+    );
+    table(&tables::table_country_provider(
+        "Table 6: Geoblocking among Top 10K sites, by country",
+        &a.verdicts,
+    ));
+    let provider_total =
+        |p: Provider| main.iter().filter(|v| v.kind.provider() == p).count();
+    comparison(
+        "Table 6",
+        &[(
+            "provider totals (CF/CFront/GAE)",
+            format!(
+                "{}/{}/{}",
+                provider_total(Provider::Cloudflare),
+                provider_total(Provider::CloudFront),
+                provider_total(Provider::AppEngine)
+            ),
+        )],
+    );
+
+    // Other observations (§4.2.2): Airbnb, Baidu.
+    let other = tables::other_observations(&a.verdicts);
+    println!(
+        "\n  other observations: {} instances outside the headline tables ({} Airbnb, {} Baidu)",
+        other.len(),
+        other.iter().filter(|v| v.kind == PageKind::Airbnb).count(),
+        other.iter().filter(|v| v.kind == PageKind::Baidu).count(),
+    );
+
+    a
+}
+
+fn timeouts(h: &Harness, a: &geoblock_bench::harness::Top10kArtifacts) {
+    // §7.3 future work, implemented: country-selective consistent timeouts.
+    let suspects = geoblock_core::timeouts::find_suspects(&a.result.store);
+    let geo_like = suspects.iter().filter(|s| s.geoblock_likeness >= 0.5).count();
+    println!(
+        "\n  §7.3 timeout analysis: {} domains with country-selective consistent timeouts; \
+         {} have a geoblocking-shaped dark set",
+        suspects.len(),
+        geo_like
+    );
+    for s in suspects.iter().take(5) {
+        let dark: Vec<String> = s.dark_countries.iter().take(6).map(|c| c.to_string()).collect();
+        println!(
+            "    {} dark in [{}] (likeness {:.2})",
+            s.domain,
+            dark.join(", "),
+            s.geoblock_likeness
+        );
+    }
+    let _ = h;
+}
+
+async fn figures_1_to_4(h: &Harness, a: &geoblock_bench::harness::Top10kArtifacts) {
+    section("Figures 1–4 — sampling design evaluation");
+    let (store, pairs) = h.hundred_sample_populations(a).await;
+    let sizes = [1usize, 2, 3, 5, 10, 15, 20, 30, 50];
+    let consistencies = consistency_experiment(&store, &pairs, &sizes, 500, h.scale.seed);
+    let fig1 = Figure1::new(&consistencies);
+    if let Some(cdf) = fig1.per_size.get(&20) {
+        series("Figure 1 (CDF of consistency, size 20)", &cdf.points(12));
+    }
+    comparison(
+        "Fig 1",
+        &[(
+            "draws <80% at size 20",
+            fig1.below_80(20).map(pct).unwrap_or_else(|| "n/a".into()),
+        )],
+    );
+
+    let fig2 = Figure2::new(&a.outliers, 20);
+    let blocked_total: usize = fig2.blocked.iter().sum();
+    let ordinary_total: usize = fig2.ordinary.iter().sum();
+    println!(
+        "\n  Figure 2: size-difference histogram ({blocked_total} blocked, {ordinary_total} ordinary×7)"
+    );
+    println!(
+        "    blocked : {}",
+        geoblock_analysis::figures::sparkline(
+            &fig2.blocked.iter().map(|&c| c as f64).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "    ordinary: {}",
+        geoblock_analysis::figures::sparkline(
+            &fig2.ordinary.iter().map(|&c| c as f64).collect::<Vec<_>>()
+        )
+    );
+    comparison(
+        "Fig 2",
+        &[(
+            "FN across 5%–50% cutoffs",
+            format!(
+                "{} – {}",
+                pct(1.0 - fig2.blocked_beyond(0.05)),
+                pct(1.0 - fig2.blocked_beyond(0.50))
+            ),
+        )],
+    );
+
+    let fns = false_negative_experiment(&store, &pairs, &sizes, 500, h.scale.seed);
+    let fig3 = Figure3::new(fns);
+    series(
+        "Figure 3 (FN rate vs sample size)",
+        &fig3
+            .series
+            .iter()
+            .map(|(s, r)| (*s as f64, *r))
+            .collect::<Vec<_>>(),
+    );
+    comparison(
+        "Fig 3",
+        &[(
+            "FN rate at 3 samples",
+            fig3.at(3).map(pct).unwrap_or_else(|| "n/a".into()),
+        )],
+    );
+
+    let fig4 = Figure4::new(&a.result.store);
+    series("Figure 4 (CDF of per-pair agreement)", &fig4.cdf.points(12));
+    comparison("Fig 4", &[("pairs >80% agreement", pct(fig4.above_80()))]);
+}
+
+async fn population_scan(
+    h: &Harness,
+    top10k: &geoblock_bench::harness::Top10kArtifacts,
+) -> PopulationReport {
+    section("§5.1.1 — CDN population identification");
+    let report = h.population_scan().await;
+    let netblocks = geoblock_core::population::discover_appengine_netblocks(h.dns.as_ref());
+    comparison(
+        "§5.1.1",
+        &[
+            (
+                "Top-1M Cloudflare customers",
+                report.of(Provider::Cloudflare).len().to_string(),
+            ),
+            (
+                "Top-1M CloudFront customers",
+                report.of(Provider::CloudFront).len().to_string(),
+            ),
+            (
+                "Top-1M Incapsula customers",
+                report.of(Provider::Incapsula).len().to_string(),
+            ),
+            (
+                "Top-1M Akamai customers",
+                report.of(Provider::Akamai).len().to_string(),
+            ),
+            (
+                "Top-1M AppEngine customers",
+                report.of(Provider::AppEngine).len().to_string(),
+            ),
+            ("unique CDN customers", report.total_unique().to_string()),
+            ("dual-service domains", report.dual.len().to_string()),
+            ("AppEngine netblocks", netblocks.len().to_string()),
+        ],
+    );
+
+    // §4.2.1: provider populations within the top list. The paper's
+    // denominators are raw customer counts; its numerators are the safe
+    // (probed) blockers.
+    let top_n = h.scale.top_n;
+    let in_top = |d: &String| {
+        h.world
+            .population
+            .rank_of(d)
+            .map(|r| r <= top_n)
+            .unwrap_or(false)
+    };
+    let counts: BTreeMap<Provider, usize> = [
+        Provider::Cloudflare,
+        Provider::CloudFront,
+        Provider::AppEngine,
+    ]
+    .into_iter()
+    .map(|p| (p, report.of(p).iter().filter(|d| in_top(d)).count()))
+    .collect();
+    let main = tables::main_study(&top10k.verdicts);
+    let blockers_of = |p: Provider| {
+        let mut d: Vec<&str> = main
+            .iter()
+            .filter(|v| v.kind.provider() == p)
+            .map(|v| v.domain.as_str())
+            .collect();
+        d.sort();
+        d.dedup();
+        d.len()
+    };
+    comparison(
+        "§4.2.1",
+        &[
+            (
+                "Top-10K CDN populations (CF/CFront/GAE)",
+                format!(
+                    "{}/{}/{}",
+                    counts[&Provider::Cloudflare],
+                    counts[&Provider::CloudFront],
+                    counts[&Provider::AppEngine]
+                ),
+            ),
+            (
+                "GAE customers geoblocking",
+                pct(blockers_of(Provider::AppEngine) as f64
+                    / counts[&Provider::AppEngine].max(1) as f64),
+            ),
+            (
+                "CF customers geoblocking",
+                pct(blockers_of(Provider::Cloudflare) as f64
+                    / counts[&Provider::Cloudflare].max(1) as f64),
+            ),
+            (
+                "CloudFront customers geoblocking",
+                pct(blockers_of(Provider::CloudFront) as f64
+                    / counts[&Provider::CloudFront].max(1) as f64),
+            ),
+        ],
+    );
+    report
+}
+
+async fn top1m(h: &Harness, population: &PopulationReport) {
+    section("§5 — Alexa Top-1M study (5% sample of CDN customers)");
+    let a = h.top1m(population).await;
+    let fg = Fortiguard::new(&h.world);
+
+    let main = tables::main_study(&a.verdicts);
+    let unique = tables::unique_domains(&main);
+    let by_country = tables::instances_by_country(&main);
+    let median = {
+        let mut counts: Vec<usize> = by_country.iter().map(|(_, k)| *k).collect();
+        counts.sort_unstable();
+        counts.get(counts.len() / 2).copied().unwrap_or(0)
+    };
+
+    let sample_of = |p: Provider| {
+        a.sample
+            .iter()
+            .filter(|d| population.of(p).binary_search(d).is_ok())
+            .count()
+    };
+    let blockers_of = |p: Provider| {
+        let mut d: Vec<&str> = main
+            .iter()
+            .filter(|v| v.kind.provider() == p)
+            .map(|v| v.domain.as_str())
+            .collect();
+        d.sort();
+        d.dedup();
+        d.len()
+    };
+    let rate = |p: Provider| {
+        let s = sample_of(p);
+        format!(
+            "{} ({}/{})",
+            pct(blockers_of(p) as f64 / s.max(1) as f64),
+            blockers_of(p),
+            s
+        )
+    };
+    let safe_customers = {
+        let mut customers: Vec<String> = population
+            .by_provider
+            .values()
+            .flatten()
+            .cloned()
+            .collect();
+        customers.sort();
+        customers.dedup();
+        customers.iter().filter(|d| fg.safe(d)).count()
+    };
+    comparison(
+        "§5.1.2",
+        &[
+            ("safe CDN customers", safe_customers.to_string()),
+            ("5% sample size", a.sample.len().to_string()),
+        ],
+    );
+    comparison(
+        "§5.2.1",
+        &[
+            ("Top-1M instances", main.len().to_string()),
+            ("Top-1M unique domains", unique.len().to_string()),
+            ("median blocked per country", median.to_string()),
+            ("GAE sample geoblocking rate", rate(Provider::AppEngine)),
+            ("CloudFront sample rate", rate(Provider::CloudFront)),
+            ("Cloudflare sample rate", rate(Provider::Cloudflare)),
+        ],
+    );
+
+    table(&tables::table_country_provider(
+        "Table 7: Geoblocking among Top 1M sites, by country",
+        &a.verdicts,
+    ));
+    comparison(
+        "Table 7",
+        &[(
+            "top countries",
+            by_country
+                .iter()
+                .take(4)
+                .map(|(c, k)| format!("{} {k}", c.info().map(|i| i.name).unwrap_or("?")))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )],
+    );
+
+    let (t8, tested_total, blocked_total) = tables::table_categories(
+        "Table 8: Geoblocked sites by top category (Top 1M)",
+        &a.verdicts,
+        &fg,
+        &a.sample,
+    );
+    table(&t8);
+    let shopping = {
+        let tested = a
+            .sample
+            .iter()
+            .filter(|d| fg.category(d) == geoblock_worldgen::Category::Shopping)
+            .count();
+        let blocked = unique
+            .iter()
+            .filter(|d| fg.category(d) == geoblock_worldgen::Category::Shopping)
+            .count();
+        pct(blocked as f64 / tested.max(1) as f64)
+    };
+    comparison(
+        "Table 8",
+        &[
+            (
+                "overall blocked share",
+                format!(
+                    "{} ({}/{})",
+                    pct(blocked_total as f64 / tested_total.max(1) as f64),
+                    blocked_total,
+                    tested_total
+                ),
+            ),
+            ("Shopping blocked share", shopping),
+        ],
+    );
+
+    // §5.2.2 consistency analysis.
+    let confirmed_ak: Vec<_> = confirmed_geoblockers(&a.akamai)
+        .into_iter()
+        .cloned()
+        .collect();
+    table(&tables::table_consistency(
+        "§5.2.2: Akamai domains by consistency score",
+        &confirmed_ak,
+    ));
+    let ak_confirmed = confirmed_geoblockers(&a.akamai).len();
+    let in_confirmed = confirmed_geoblockers(&a.incapsula).len();
+    let perfect = |reports: &[geoblock_core::consistency::ConsistencyReport]| {
+        let n = reports.len().max(1);
+        let p = reports.iter().filter(|r| r.score >= 1.0).count();
+        pct(p as f64 / n as f64)
+    };
+    comparison(
+        "§5.2.2",
+        &[
+            (
+                "Akamai confirmed blockers",
+                format!("{ak_confirmed} of {} showing pages", a.akamai.len()),
+            ),
+            (
+                "Incapsula confirmed blockers",
+                format!("{in_confirmed} of {} showing pages", a.incapsula.len()),
+            ),
+            ("Akamai at 100% consistency", perfect(&a.akamai)),
+        ],
+    );
+}
+
+fn cloudflare(h: &Harness) {
+    section("§6 — Cloudflare firewall-rules ground truth");
+    let snapshot = h.cloudflare_snapshot();
+    table(&tables::table9(&snapshot));
+    let total_zones: u64 = snapshot.zones_per_tier.iter().map(|(_, n)| n).sum();
+    let weighted: f64 = snapshot
+        .zones_per_tier
+        .iter()
+        .map(|(tier, n)| snapshot.baseline_rate(*tier) * *n as f64)
+        .sum::<f64>()
+        / total_zones.max(1) as f64;
+    comparison(
+        "Table 9",
+        &[
+            ("baseline (all tiers)", pct(weighted)),
+            (
+                "Enterprise baseline",
+                pct(snapshot.baseline_rate(geoblock_worldgen::CfTier::Enterprise)),
+            ),
+            (
+                "Enterprise KP rate",
+                pct(snapshot.rate(geoblock_worldgen::CfTier::Enterprise, cc("KP"))),
+            ),
+        ],
+    );
+
+    let fig5_countries = [
+        cc("KP"),
+        cc("IR"),
+        cc("SY"),
+        cc("SD"),
+        cc("CU"),
+        cc("RU"),
+        cc("CN"),
+    ];
+    let fig5 = Figure5::new(&snapshot, &fig5_countries);
+    println!("\n  Figure 5: cumulative Enterprise block-rule activations");
+    let last = geoblock_worldgen::cloudflare_rules::day_number(2018, 7, 15);
+    for country in fig5_countries {
+        let points: Vec<f64> = (0..=12)
+            .map(|i| fig5.cumulative(country, last * i / 12) as f64)
+            .collect();
+        println!(
+            "    {}: {} (total {})",
+            country,
+            geoblock_analysis::figures::sparkline(&points),
+            fig5.cumulative(country, last)
+        );
+    }
+}
+
+fn ooni(h: &Harness) {
+    section("§7.1 — OONI corpus cross-check");
+    let corpus = h.ooni_corpus();
+    let report = ooni_scan::scan(&corpus, &FingerprintSet::paper(), h.world.citizenlab.len());
+    comparison(
+        "§7.1",
+        &[
+            (
+                "OONI fingerprint matches",
+                format!(
+                    "{} in {} countries (of {} scanned)",
+                    report.explicit_matches,
+                    report.countries.len(),
+                    report.scanned
+                ),
+            ),
+            (
+                "test-list domains matched",
+                format!("{} ({})", report.domains.len(), pct(report.domain_share())),
+            ),
+            (
+                "control-403 on CDN infra",
+                report.control_403_cdn.to_string(),
+            ),
+            (
+                "local-blocked / control-ok",
+                report.local_blocked_control_ok.to_string(),
+            ),
+        ],
+    );
+}

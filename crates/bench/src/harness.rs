@@ -1,0 +1,469 @@
+//! The staged experiment harness.
+
+use std::sync::Arc;
+
+use geoblock_analysis::coverage::CoverageStats;
+use geoblock_analysis::Fortiguard;
+use geoblock_blockpages::PageKind;
+use geoblock_core::confirm::{eliminated, flagged_explicit_pairs};
+use geoblock_core::consistency::{consistency_scores, ConsistencyReport};
+use geoblock_core::discovery::{discover, DiscoveryConfig, DiscoveryReport};
+use geoblock_core::exploration::{sweep, verify_in_browser, SweepResult, Verification};
+use geoblock_core::outliers::{extract_outliers, OutlierConfig, OutlierReport};
+use geoblock_core::population::{identify_by_ns, identify_populations, PopulationProbe, PopulationReport};
+use geoblock_core::study::rank_blocking_countries;
+use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, Top10kStudy};
+use geoblock_http::HeaderProfile;
+use geoblock_lumscan::{Lumscan, LumscanConfig};
+use geoblock_netsim::{DnsDb, SimInternet, VpsTransport};
+use geoblock_proxynet::LuminatiNetwork;
+use geoblock_worldgen::country::vps_countries;
+use geoblock_worldgen::{
+    cc, ooni, CountryCode, OoniConfig, OoniMeasurement, RulesSnapshot, World, WorldConfig,
+};
+
+/// Experiment scale. The paper's scale is `full`; smaller scales shrink
+/// every axis proportionally so the whole suite runs in seconds.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Scale label.
+    pub name: &'static str,
+    /// World seed.
+    pub seed: u64,
+    /// Alexa population size.
+    pub population: u32,
+    /// Top-list size for the §4 study.
+    pub top_n: u32,
+    /// Number of vantage countries (sanctioned + high-abuse first).
+    pub countries: usize,
+    /// Representative ("top blocking") country count.
+    pub rep_countries: usize,
+    /// Top-1M sampling fraction (§5.1.2: 5%).
+    pub sample_frac: f64,
+    /// Population-scan depth into the Alexa list.
+    pub scan_depth: u32,
+    /// OONI corpus size.
+    pub ooni_measurements: usize,
+    /// Cloudflare snapshot scale.
+    pub cf_scale: f64,
+    /// Citizen-Lab scan depth.
+    pub citizenlab_scan: u32,
+}
+
+impl Scale {
+    /// Paper scale: 1M domains, 177 countries, 5% sample.
+    pub fn full(seed: u64) -> Scale {
+        Scale {
+            name: "full",
+            seed,
+            population: 1_000_000,
+            top_n: 10_000,
+            countries: usize::MAX,
+            rep_countries: 20,
+            sample_frac: 0.05,
+            scan_depth: 1_000_000,
+            ooni_measurements: 500_000,
+            cf_scale: 1.0,
+            citizenlab_scan: 40_000,
+        }
+    }
+
+    /// Mid scale: ~1/5 of everything; minutes become seconds.
+    pub fn mid(seed: u64) -> Scale {
+        Scale {
+            name: "mid",
+            seed,
+            population: 200_000,
+            top_n: 4_000,
+            countries: 60,
+            rep_countries: 14,
+            sample_frac: 0.05,
+            scan_depth: 200_000,
+            ooni_measurements: 150_000,
+            cf_scale: 0.2,
+            citizenlab_scan: 12_000,
+        }
+    }
+
+    /// Quick scale for CI and Criterion.
+    pub fn quick(seed: u64) -> Scale {
+        Scale {
+            name: "quick",
+            seed,
+            population: 20_000,
+            top_n: 1_000,
+            countries: 24,
+            rep_countries: 8,
+            sample_frac: 0.20,
+            scan_depth: 20_000,
+            ooni_measurements: 30_000,
+            cf_scale: 0.05,
+            citizenlab_scan: 2_000,
+        }
+    }
+
+    /// Resolve a scale by name (`REPRO_SCALE` env var in the binary).
+    pub fn by_name(name: &str, seed: u64) -> Scale {
+        match name {
+            "full" => Scale::full(seed),
+            "mid" => Scale::mid(seed),
+            _ => Scale::quick(seed),
+        }
+    }
+}
+
+/// Everything the §4 study produces.
+pub struct Top10kArtifacts {
+    /// The safety-filtered test list.
+    pub safe_domains: Vec<String>,
+    /// Raw study data (baseline + confirmation).
+    pub result: StudyResult,
+    /// Confirmed verdicts.
+    pub verdicts: Vec<GeoblockVerdict>,
+    /// Pairs flagged for confirmation.
+    pub flagged: usize,
+    /// Flagged pairs eliminated by the 80% rule.
+    pub eliminated: usize,
+    /// The outlier heuristic's report (Table 2, Figure 2).
+    pub outliers: OutlierReport,
+    /// Discovery clustering (Table 1).
+    pub discovery: DiscoveryReport,
+    /// Coverage statistics (§4.1.1).
+    pub coverage: CoverageStats,
+    /// The representative countries used.
+    pub rep_countries: Vec<CountryCode>,
+}
+
+/// Everything the §5 study produces.
+pub struct Top1mArtifacts {
+    /// The 5% sample probed.
+    pub sample: Vec<String>,
+    /// Raw study data.
+    pub result: StudyResult,
+    /// Confirmed explicit verdicts.
+    pub verdicts: Vec<GeoblockVerdict>,
+    /// Consistency analyses for Akamai and Incapsula.
+    pub akamai: Vec<ConsistencyReport>,
+    pub incapsula: Vec<ConsistencyReport>,
+    /// Coverage statistics (§5.1.3).
+    pub coverage: CoverageStats,
+}
+
+/// §3 exploration artefacts.
+pub struct ExplorationArtifacts {
+    /// NS-identified Cloudflare customers.
+    pub ns_cloudflare: Vec<String>,
+    /// NS-identified Akamai customers.
+    pub ns_akamai: Vec<String>,
+    /// Per-VPS sweep results.
+    pub sweeps: Vec<SweepResult>,
+    /// Browser verification of flagged instances.
+    pub verification: Verification,
+}
+
+/// The assembled stack.
+pub struct Harness {
+    /// Scale in use.
+    pub scale: Scale,
+    /// The world.
+    pub world: Arc<World>,
+    /// The simulated Internet.
+    pub internet: Arc<SimInternet>,
+    /// The Lumscan engine over the Luminati network.
+    pub engine: Arc<Lumscan<LuminatiNetwork>>,
+    /// The DNS view.
+    pub dns: Arc<DnsDb>,
+}
+
+impl Harness {
+    /// Stand up the stack at `scale`.
+    pub fn new(scale: Scale) -> Harness {
+        let world = Arc::new(World::build(WorldConfig {
+            seed: scale.seed,
+            population_size: scale.population,
+            citizenlab_scan: scale.citizenlab_scan,
+        }));
+        let internet = Arc::new(SimInternet::new(world.clone()));
+        let luminati = LuminatiNetwork::new(internet.clone());
+        let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
+        let dns = Arc::new(DnsDb::new(world.clone()));
+        Harness {
+            scale,
+            world,
+            internet,
+            engine,
+            dns,
+        }
+    }
+
+    /// The vantage panel: sanctioned countries first, then by abuse score,
+    /// then the rest — truncated to the scale's country budget.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        let mut all: Vec<CountryCode> = geoblock_worldgen::country::luminati_countries();
+        all.sort_by(|a, b| {
+            let ia = a.info().expect("registered");
+            let ib = b.info().expect("registered");
+            ib.sanctioned
+                .cmp(&ia.sanctioned)
+                .then(ib.abuse.partial_cmp(&ia.abuse).expect("no NaN"))
+                .then(a.cmp(b))
+        });
+        all.truncate(self.scale.countries.min(all.len()));
+        all
+    }
+
+    /// The §4 study, end to end: pre-pass country ranking, safety filter,
+    /// baseline, clock advance, confirmation, outliers, discovery.
+    pub async fn top10k(&self) -> Top10kArtifacts {
+        let fg = Fortiguard::new(&self.world);
+        let safe_domains = fg.safe_toplist(self.scale.top_n);
+        let countries = self.countries();
+
+        // Pre-pass: rank countries by observed blocking over the
+        // NS-identified CDN customers (the paper seeded its top-20 from the
+        // earlier Akamai/Cloudflare experiment).
+        let ns_domains: Vec<String> = {
+            let scan: Vec<String> = (1..=self.scale.top_n.min(2_000))
+                .map(|r| self.world.population.spec(r).name)
+                .collect();
+            let (cf, ak) = identify_by_ns(self.dns.as_ref(), &scan);
+            cf.into_iter().chain(ak).take(150).collect()
+        };
+        let rep_countries = if ns_domains.is_empty() {
+            countries.iter().take(self.scale.rep_countries).copied().collect()
+        } else {
+            rank_blocking_countries(&self.engine, &ns_domains, &countries, self.scale.rep_countries)
+                .await
+        };
+
+        let config = StudyConfig::new(countries, rep_countries.clone());
+        let study = Top10kStudy::new(self.engine.clone(), config);
+        let mut result = study.baseline(&safe_domains).await;
+
+        // Outlier extraction, discovery, and coverage are computed on the
+        // baseline data, as in the paper (the 30%-metric evaluation of
+        // §4.1.5 predates the confirmation resample).
+        let outliers = extract_outliers(
+            &result.store,
+            &OutlierConfig {
+                cutoff: 0.30,
+                rep_countries: rep_countries.clone(),
+            },
+        );
+        let discovery = discover(
+            &outliers.outliers,
+            &result.archive,
+            &geoblock_blockpages::FingerprintSet::paper(),
+            &DiscoveryConfig::default(),
+        );
+        let coverage = CoverageStats::compute(&result.store);
+
+        // "Several days later": arm the makro.co.za policy flip.
+        self.internet.clock().advance_days(3);
+
+        let flagged = study.confirm_explicit(&mut result).await;
+        let verdicts = result.verdicts(&ConfirmConfig::default());
+        let eliminated = eliminated(&result.store, &ConfirmConfig::default());
+
+        Top10kArtifacts {
+            safe_domains,
+            result,
+            verdicts,
+            flagged,
+            eliminated,
+            outliers,
+            discovery,
+            coverage,
+            rep_countries,
+        }
+    }
+
+    /// 100-sample populations for the Figure 1 / Figure 3 experiments:
+    /// clones the store and resamples every flagged pair.
+    pub async fn hundred_sample_populations(
+        &self,
+        artifacts: &Top10kArtifacts,
+    ) -> (geoblock_core::SampleStore, Vec<(usize, usize)>) {
+        let study = Top10kStudy::new(
+            self.engine.clone(),
+            StudyConfig::new(
+                artifacts.result.store.countries.clone(),
+                artifacts.rep_countries.clone(),
+            ),
+        );
+        let pairs: Vec<(usize, usize)> = artifacts
+            .verdicts
+            .iter()
+            .filter_map(|v| {
+                let d = artifacts.result.store.domain_index(&v.domain)?;
+                let c = artifacts.result.store.country_index(v.country)?;
+                Some((d, c))
+            })
+            .collect();
+        let mut temp = StudyResult {
+            store: geoblock_core::SampleStore::new(
+                artifacts.result.store.domains.clone(),
+                artifacts.result.store.countries.clone(),
+            ),
+            archive: geoblock_core::BodyArchive::new(),
+        };
+        study.resample(&mut temp, &pairs, 100).await;
+        (temp.store, pairs)
+    }
+
+    /// §5.1.1 population identification over the first `scan_depth` ranks.
+    pub async fn population_scan(&self) -> PopulationReport {
+        let domains: Vec<String> = (1..=self.scale.scan_depth.min(self.scale.population))
+            .map(|r| self.world.population.spec(r).name)
+            .collect();
+        let vps = Arc::new(VpsTransport::new(self.internet.clone(), cc("US")));
+        identify_populations(
+            vps,
+            self.dns.as_ref(),
+            &domains,
+            &PopulationProbe {
+                country: cc("US"),
+                concurrency: 256,
+            },
+        )
+        .await
+    }
+
+    /// The §5 study over the CDN-customer sample.
+    pub async fn top1m(&self, population: &PopulationReport) -> Top1mArtifacts {
+        let fg = Fortiguard::new(&self.world);
+        let mut customers: Vec<String> = population
+            .by_provider
+            .values()
+            .flatten()
+            .cloned()
+            .collect();
+        customers.sort();
+        customers.dedup();
+        let sample = fg.filter_and_sample(&customers, self.scale.sample_frac, self.scale.seed);
+
+        let countries = self.countries();
+        let config = StudyConfig::new(countries, self.countries().into_iter().take(6).collect());
+        let study = Top10kStudy::new(self.engine.clone(), config);
+        let mut result = study.baseline(&sample).await;
+        study.confirm_explicit(&mut result).await;
+        study
+            .confirm_ambiguous(&mut result, &[PageKind::Akamai, PageKind::Incapsula])
+            .await;
+
+        let verdicts = result.verdicts(&ConfirmConfig::default());
+        let akamai = consistency_scores(&result.store, PageKind::Akamai);
+        let incapsula = consistency_scores(&result.store, PageKind::Incapsula);
+        let coverage = CoverageStats::compute(&result.store);
+        Top1mArtifacts {
+            sample,
+            result,
+            verdicts,
+            akamai,
+            incapsula,
+            coverage,
+        }
+    }
+
+    /// The §3 VPS exploration: NS identification, 16-country ZGrab sweep,
+    /// browser verification.
+    pub async fn exploration(&self) -> ExplorationArtifacts {
+        let depth = self.scale.scan_depth.min(self.scale.population);
+        let domains: Vec<String> = (1..=depth)
+            .map(|r| self.world.population.spec(r).name)
+            .collect();
+        let (ns_cloudflare, ns_akamai) = identify_by_ns(self.dns.as_ref(), &domains);
+        let targets: Vec<String> = ns_cloudflare
+            .iter()
+            .chain(ns_akamai.iter())
+            .cloned()
+            .collect();
+
+        let mut sweeps = Vec::new();
+        for country in vps_countries() {
+            let vps = Arc::new(VpsTransport::new(self.internet.clone(), country));
+            sweeps.push(
+                sweep(
+                    vps,
+                    country,
+                    &targets,
+                    HeaderProfile::ZgrabUserAgentOnly,
+                    // Pre-discovery, only these two pages were known.
+                    &[PageKind::Akamai, PageKind::Cloudflare],
+                    256,
+                )
+                .await,
+            );
+        }
+        let flagged: Vec<_> = sweeps.iter().flat_map(|s| s.flagged.clone()).collect();
+        let internet = self.internet.clone();
+        let verification = verify_in_browser(
+            move |country| Arc::new(VpsTransport::new(internet.clone(), country)),
+            &flagged,
+        )
+        .await;
+
+        ExplorationArtifacts {
+            ns_cloudflare,
+            ns_akamai,
+            sweeps,
+            verification,
+        }
+    }
+
+    /// The §6 Cloudflare rules snapshot.
+    pub fn cloudflare_snapshot(&self) -> RulesSnapshot {
+        RulesSnapshot::generate(self.scale.seed, self.scale.cf_scale)
+    }
+
+    /// The §7.1 OONI corpus.
+    pub fn ooni_corpus(&self) -> Vec<OoniMeasurement> {
+        ooni::generate(
+            self.scale.seed,
+            &self.world.population,
+            &self.world.citizenlab,
+            &OoniConfig {
+                measurements: self.scale.ooni_measurements,
+                ..OoniConfig::default()
+            },
+        )
+    }
+
+    /// Figure 4's flagged-pair count for a store.
+    pub fn flagged_pairs(store: &geoblock_core::SampleStore) -> usize {
+        flagged_explicit_pairs(store).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::Provider;
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn quick_scale_top10k_produces_artifacts() {
+        let h = Harness::new(Scale::quick(42));
+        let a = h.top10k().await;
+        assert!(!a.safe_domains.is_empty());
+        assert!(!a.verdicts.is_empty(), "no verdicts at quick scale");
+        assert!(a.outliers.inspected > 0);
+        assert!(a.discovery.corpus_size > 0);
+        assert_eq!(a.rep_countries.len(), h.scale.rep_countries);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn quick_scale_population_scan_finds_all_providers() {
+        let h = Harness::new(Scale::quick(42));
+        let report = h.population_scan().await;
+        for p in [
+            Provider::Cloudflare,
+            Provider::CloudFront,
+            Provider::Akamai,
+            Provider::Incapsula,
+            Provider::AppEngine,
+        ] {
+            assert!(!report.of(p).is_empty(), "no {p} customers found");
+        }
+        assert!(report.total_unique() > 500);
+    }
+}

@@ -1,0 +1,11 @@
+//! The reproduction harness: one object that stands up the full simulated
+//! stack and runs every experiment of the paper at a configurable scale.
+//!
+//! The `repro` binary drives [`Harness`] end to end and prints every table
+//! and figure with paper-vs-measured columns; the Criterion benches in
+//! `benches/` time the computational kernels and the experiment stages.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{Harness, Scale};

@@ -1,0 +1,45 @@
+//! Paper-vs-measured reporting for the repro binary.
+
+use geoblock_analysis::paper::for_experiment;
+use geoblock_analysis::TextTable;
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Print a rendered table.
+pub fn table(t: &TextTable) {
+    println!("\n{}", t.render());
+}
+
+/// Print the paper's published values for an experiment, followed by the
+/// measured values supplied by the caller.
+pub fn comparison(experiment: &str, measured: &[(&str, String)]) {
+    println!("\n  paper vs measured — {experiment}");
+    println!("  {:<44} {:<28} measured", "metric", "paper");
+    let paper_values = for_experiment(experiment);
+    for (metric, value) in measured {
+        let paper = paper_values
+            .iter()
+            .find(|p| p.metric == *metric)
+            .map(|p| p.value)
+            .unwrap_or("—");
+        println!("  {:<44} {:<28} {}", metric, paper, value);
+    }
+}
+
+/// Render a CDF-ish series as `x=…: y` lines prefixed with a sparkline.
+pub fn series(label: &str, points: &[(f64, f64)]) {
+    let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+    println!("  {label}: {}", geoblock_analysis::figures::sparkline(&ys));
+    for chunk in points.chunks(6) {
+        let row: Vec<String> = chunk
+            .iter()
+            .map(|(x, y)| format!("({x:.2}, {y:.3})"))
+            .collect();
+        println!("    {}", row.join(" "));
+    }
+}

@@ -1,0 +1,327 @@
+//! Block-page fingerprints — the measurement side.
+//!
+//! After hand-examining 119 clusters, the authors extracted signatures for
+//! each blocking behaviour (§4.1.3). A fingerprint here is a conjunction of
+//! required body substrings, optional forbidden substrings (to split
+//! near-identical families like Cloudflare/Baidu), an optional status-code
+//! constraint, and an optional required response header. The set is
+//! evaluated in specificity order; the first full match wins.
+//!
+//! Jones et al.'s page-length + word-frequency features are what the
+//! *discovery* phase uses; these fingerprints are the precise classifiers
+//! distilled from discovery, and Table 2 measures how well the length
+//! heuristic alone would have recalled each of them.
+
+use geoblock_http::{Response, StatusCode};
+use serde::{Deserialize, Serialize};
+
+use crate::kind::PageKind;
+
+/// A signature for one page type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// The page type this signature recognises.
+    pub kind: PageKind,
+    /// Substrings that must all appear in the body.
+    pub all_of: Vec<String>,
+    /// Substrings that must not appear (disambiguators).
+    pub none_of: Vec<String>,
+    /// Status the response must carry, if constrained.
+    pub status: Option<StatusCode>,
+    /// A header that must be present, if constrained.
+    pub required_header: Option<String>,
+}
+
+impl Fingerprint {
+    fn new(kind: PageKind, all_of: &[&str]) -> Fingerprint {
+        Fingerprint {
+            kind,
+            all_of: all_of.iter().map(|s| s.to_string()).collect(),
+            none_of: Vec::new(),
+            status: None,
+            required_header: None,
+        }
+    }
+
+    fn none_of(mut self, patterns: &[&str]) -> Fingerprint {
+        self.none_of = patterns.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Whether `body` (with optional `response` context) satisfies this
+    /// signature. Matching is on the body text, with the status/header
+    /// constraints applied only when a full response is available — the
+    /// OONI corpus scan (§7.1) matches on recorded bodies and headers.
+    pub fn matches_text(&self, body: &str) -> bool {
+        self.all_of.iter().all(|p| body.contains(p.as_str()))
+            && !self.none_of.iter().any(|p| body.contains(p.as_str()))
+    }
+
+    /// Full-response matching, including status and header constraints.
+    pub fn matches(&self, response: &Response) -> bool {
+        if let Some(status) = self.status {
+            if response.status != status {
+                return false;
+            }
+        }
+        if let Some(h) = &self.required_header {
+            if !response.headers.contains(h) {
+                return false;
+            }
+        }
+        self.matches_text(&response.body.as_text())
+    }
+}
+
+/// The result of matching a response against the full fingerprint set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchOutcome {
+    /// The recognised page type.
+    pub kind: PageKind,
+}
+
+/// The ordered set of all 14 fingerprints.
+#[derive(Debug, Clone)]
+pub struct FingerprintSet {
+    fingerprints: Vec<Fingerprint>,
+}
+
+impl Default for FingerprintSet {
+    fn default() -> Self {
+        FingerprintSet::paper()
+    }
+}
+
+impl FingerprintSet {
+    /// The signature set extracted in §4.1.3, in specificity order: the
+    /// most narrowly-worded signatures are tried first so generic patterns
+    /// (plain nginx 403) cannot shadow specific ones (Airbnb, which also
+    /// fronts with nginx).
+    pub fn paper() -> FingerprintSet {
+        let fps = vec![
+            // Airbnb before anything generic: its page is served by nginx.
+            Fingerprint::new(
+                PageKind::Airbnb,
+                &["Airbnb", "Crimea, Iran, Syria, and North Korea"],
+            ),
+            // Cloudflare vs Baidu: nearly identical text, split on branding.
+            Fingerprint::new(
+                PageKind::Cloudflare,
+                &["has banned the country or region", "Cloudflare Ray ID"],
+            )
+            .none_of(&["Yunjiasu"]),
+            Fingerprint::new(
+                PageKind::Baidu,
+                &["has banned the country or region", "Yunjiasu"],
+            ),
+            Fingerprint::new(
+                PageKind::CloudflareCaptcha,
+                &["Attention Required! | Cloudflare", "complete the security check"],
+            ),
+            Fingerprint::new(
+                PageKind::BaiduCaptcha,
+                &["Yunjiasu", "complete the security check"],
+            ),
+            Fingerprint::new(
+                PageKind::CloudflareJs,
+                &["Checking your browser before accessing", "jschl"],
+            ),
+            Fingerprint::new(
+                PageKind::DistilCaptcha,
+                &["Pardon Our Interruption"],
+            ),
+            Fingerprint::new(
+                PageKind::AppEngine,
+                &[
+                    "Your client does not have permission to get URL",
+                    "not available in your country",
+                ],
+            ),
+            Fingerprint::new(
+                PageKind::CloudFront,
+                &[
+                    "The request could not be satisfied",
+                    "configured to block access from your country",
+                ],
+            ),
+            Fingerprint::new(
+                PageKind::Akamai,
+                &["Access Denied", "You don't have permission to access", "Reference&#32;&#35;"],
+            ),
+            Fingerprint::new(
+                PageKind::Incapsula,
+                &["Incapsula incident ID"],
+            ),
+            Fingerprint::new(
+                PageKind::Soasta,
+                &["SOASTA", "not available from your network location"],
+            ),
+            Fingerprint::new(
+                PageKind::Varnish403,
+                &["Guru Meditation", "Varnish cache server"],
+            ),
+            // Most generic last.
+            Fingerprint::new(
+                PageKind::Nginx403,
+                &["<center><h1>403 Forbidden</h1></center>", "<center>nginx</center>"],
+            ),
+        ];
+        FingerprintSet { fingerprints: fps }
+    }
+
+    /// All fingerprints in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fingerprint> {
+        self.fingerprints.iter()
+    }
+
+    /// Match a full response; first full match wins.
+    pub fn classify(&self, response: &Response) -> Option<MatchOutcome> {
+        self.fingerprints
+            .iter()
+            .find(|f| f.matches(response))
+            .map(|f| MatchOutcome { kind: f.kind })
+    }
+
+    /// Match recorded body text only (status/header constraints skipped) —
+    /// the mode used when scanning archival corpora such as OONI reports.
+    pub fn classify_text(&self, body: &str) -> Option<MatchOutcome> {
+        self.fingerprints
+            .iter()
+            .find(|f| f.matches_text(body))
+            .map(|f| MatchOutcome { kind: f.kind })
+    }
+
+    /// Serialise the signature set as JSON. Block pages drift over time;
+    /// deployments can persist tuned sets instead of recompiling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.fingerprints).expect("fingerprints serialise")
+    }
+
+    /// Load a signature set from JSON (evaluation order = array order, so
+    /// keep specific signatures before generic ones).
+    pub fn from_json(json: &str) -> Result<FingerprintSet, serde_json::Error> {
+        Ok(FingerprintSet {
+            fingerprints: serde_json::from_str(json)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{render, PageParams};
+    use geoblock_http::Url;
+
+    fn rendered(kind: PageKind, nonce: u64) -> Response {
+        let params = PageParams::new("shop.example.com", "Syria", "5.0.0.1", nonce);
+        render(kind, &params).finish(Url::http("shop.example.com"))
+    }
+
+    #[test]
+    fn every_template_classified_as_itself() {
+        let set = FingerprintSet::paper();
+        for kind in PageKind::ALL {
+            for nonce in [0u64, 1, 99, 12345] {
+                let resp = rendered(kind, nonce);
+                let outcome = set.classify(&resp);
+                assert_eq!(
+                    outcome.map(|o| o.kind),
+                    Some(kind),
+                    "template {kind} (nonce {nonce}) misclassified as {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn text_only_classification_agrees() {
+        let set = FingerprintSet::paper();
+        for kind in PageKind::ALL {
+            let resp = rendered(kind, 7);
+            assert_eq!(
+                set.classify_text(&resp.body.as_text()).map(|o| o.kind),
+                Some(kind),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordinary_pages_do_not_match() {
+        let set = FingerprintSet::paper();
+        let page = "<html><head><title>Welcome to Example Shop</title></head>\
+                    <body><h1>Daily deals</h1><p>Buy more things.</p></body></html>";
+        assert!(set.classify_text(page).is_none());
+    }
+
+    #[test]
+    fn near_miss_pages_do_not_match() {
+        let set = FingerprintSet::paper();
+        // A 403-ish page that names no provider and no signature phrasing.
+        let page = "<html><body><h1>403 Forbidden</h1><p>Access is restricted.</p></body></html>";
+        assert!(set.classify_text(page).is_none());
+        // Mentions Cloudflare but is a blog post, not a block page.
+        let blog = "<html><body><p>Today we migrated our site to Cloudflare.</p></body></html>";
+        assert!(set.classify_text(blog).is_none());
+    }
+
+    #[test]
+    fn disambiguators_split_cloudflare_and_baidu() {
+        let set = FingerprintSet::paper();
+        let cf = rendered(PageKind::Cloudflare, 3);
+        let baidu = rendered(PageKind::Baidu, 3);
+        assert_eq!(set.classify(&cf).unwrap().kind, PageKind::Cloudflare);
+        assert_eq!(set.classify(&baidu).unwrap().kind, PageKind::Baidu);
+    }
+
+    #[test]
+    fn airbnb_takes_priority_over_nginx() {
+        // Airbnb page is served by nginx; the specific fingerprint must win.
+        let set = FingerprintSet::paper();
+        let resp = rendered(PageKind::Airbnb, 5);
+        assert_eq!(set.classify(&resp).unwrap().kind, PageKind::Airbnb);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_classification() {
+        let set = FingerprintSet::paper();
+        let json = set.to_json();
+        let back = FingerprintSet::from_json(&json).expect("round trip");
+        for kind in PageKind::ALL {
+            let resp = rendered(kind, 3);
+            assert_eq!(
+                back.classify(&resp).map(|o| o.kind),
+                set.classify(&resp).map(|o| o.kind),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(FingerprintSet::from_json("not json").is_err());
+        assert!(FingerprintSet::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn custom_sets_can_tighten_signatures() {
+        // Drop everything except the Cloudflare signature: only Cloudflare
+        // pages classify.
+        let set = FingerprintSet::paper();
+        let only_cf: Vec<&Fingerprint> =
+            set.iter().filter(|f| f.kind == PageKind::Cloudflare).collect();
+        let json = serde_json::to_string(&only_cf).expect("serialise");
+        let custom = FingerprintSet::from_json(&json).expect("load");
+        assert!(custom.classify(&rendered(PageKind::Cloudflare, 1)).is_some());
+        assert!(custom.classify(&rendered(PageKind::Akamai, 1)).is_none());
+    }
+
+    #[test]
+    fn set_covers_all_fourteen_kinds() {
+        let set = FingerprintSet::paper();
+        let mut kinds: Vec<_> = set.iter().map(|f| f.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), PageKind::ALL.len());
+    }
+}

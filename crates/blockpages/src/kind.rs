@@ -1,0 +1,200 @@
+//! The 14 page types of Table 2, and their classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::provider::Provider;
+
+/// How a recognised page should be interpreted by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageClass {
+    /// The page text explicitly attributes the denial to the requester's
+    /// geographic location. Only these pages enter the geoblocking counts
+    /// (§4.2: "we restrict our analysis only to pages that explicitly
+    /// signal that they are blocking due to geolocation").
+    ExplicitGeoblock,
+    /// A denial page also served for abuse/bot blocking; geoblocking can
+    /// only be inferred via consistency analysis (§5.2.2).
+    AmbiguousBlock,
+    /// A CAPTCHA interstitial — access is conditioned, not denied.
+    Captcha,
+    /// A JavaScript computational challenge (Cloudflare's "checking your
+    /// browser" page).
+    JsChallenge,
+    /// A stock web-server error page with no attribution at all.
+    GenericError,
+}
+
+/// One of the 14 block/challenge page types enumerated in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Akamai "Access Denied" (ambiguous: geo or abuse).
+    Akamai,
+    /// Cloudflare error 1009 country-block page (explicit).
+    Cloudflare,
+    /// Google App Engine sanctions block page (explicit).
+    AppEngine,
+    /// Cloudflare CAPTCHA interstitial.
+    CloudflareCaptcha,
+    /// Cloudflare JavaScript challenge ("checking your browser").
+    CloudflareJs,
+    /// Amazon CloudFront geo-restriction page (explicit).
+    CloudFront,
+    /// Baidu Yunjiasu CAPTCHA interstitial.
+    BaiduCaptcha,
+    /// Baidu Yunjiasu country-block page (explicit; nearly identical in
+    /// content to Cloudflare's).
+    Baidu,
+    /// Incapsula incident page (ambiguous).
+    Incapsula,
+    /// SOASTA denial page (ambiguous).
+    Soasta,
+    /// Airbnb's custom geo block page (explicit: Crimea, Iran, Syria, North
+    /// Korea).
+    Airbnb,
+    /// Distil Networks "Pardon Our Interruption" CAPTCHA.
+    DistilCaptcha,
+    /// Stock nginx 403 Forbidden page.
+    Nginx403,
+    /// Stock Varnish 403 "Guru Meditation" page.
+    Varnish403,
+}
+
+impl PageKind {
+    /// All 14 kinds in Table 2's row order.
+    pub const ALL: [PageKind; 14] = [
+        PageKind::Akamai,
+        PageKind::Cloudflare,
+        PageKind::AppEngine,
+        PageKind::CloudflareCaptcha,
+        PageKind::CloudflareJs,
+        PageKind::CloudFront,
+        PageKind::BaiduCaptcha,
+        PageKind::Baidu,
+        PageKind::Incapsula,
+        PageKind::Soasta,
+        PageKind::Airbnb,
+        PageKind::DistilCaptcha,
+        PageKind::Nginx403,
+        PageKind::Varnish403,
+    ];
+
+    /// The service responsible for serving this page.
+    pub fn provider(&self) -> Provider {
+        match self {
+            PageKind::Akamai => Provider::Akamai,
+            PageKind::Cloudflare | PageKind::CloudflareCaptcha | PageKind::CloudflareJs => {
+                Provider::Cloudflare
+            }
+            PageKind::AppEngine => Provider::AppEngine,
+            PageKind::CloudFront => Provider::CloudFront,
+            PageKind::Baidu | PageKind::BaiduCaptcha => Provider::Baidu,
+            PageKind::Incapsula => Provider::Incapsula,
+            PageKind::Soasta => Provider::Soasta,
+            PageKind::Airbnb => Provider::Airbnb,
+            PageKind::DistilCaptcha => Provider::Distil,
+            PageKind::Nginx403 => Provider::Nginx,
+            PageKind::Varnish403 => Provider::Varnish,
+        }
+    }
+
+    /// How the pipeline interprets an observation of this page.
+    pub fn class(&self) -> PageClass {
+        match self {
+            PageKind::Cloudflare
+            | PageKind::AppEngine
+            | PageKind::CloudFront
+            | PageKind::Baidu
+            | PageKind::Airbnb => PageClass::ExplicitGeoblock,
+            PageKind::Akamai | PageKind::Incapsula | PageKind::Soasta => {
+                PageClass::AmbiguousBlock
+            }
+            PageKind::CloudflareCaptcha | PageKind::BaiduCaptcha | PageKind::DistilCaptcha => {
+                PageClass::Captcha
+            }
+            PageKind::CloudflareJs => PageClass::JsChallenge,
+            PageKind::Nginx403 | PageKind::Varnish403 => PageClass::GenericError,
+        }
+    }
+
+    /// Whether the page text explicitly attributes denial to geolocation.
+    pub fn is_explicit_geoblock(&self) -> bool {
+        self.class() == PageClass::ExplicitGeoblock
+    }
+
+    /// Table 2 row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PageKind::Akamai => "Akamai",
+            PageKind::Cloudflare => "Cloudflare",
+            PageKind::AppEngine => "AppEngine",
+            PageKind::CloudflareCaptcha => "Cloudflare Captcha",
+            PageKind::CloudflareJs => "Cloudflare JavaScript",
+            PageKind::CloudFront => "Amazon CloudFront",
+            PageKind::BaiduCaptcha => "Baidu Captcha",
+            PageKind::Baidu => "Baidu",
+            PageKind::Incapsula => "Incapsula",
+            PageKind::Soasta => "Soasta",
+            PageKind::Airbnb => "Airbnb",
+            PageKind::DistilCaptcha => "Distil Captcha",
+            PageKind::Nginx403 => "nginx",
+            PageKind::Varnish403 => "Varnish",
+        }
+    }
+}
+
+impl fmt::Display for PageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_five_explicit_geoblock_pages() {
+        let explicit: Vec<_> = PageKind::ALL
+            .iter()
+            .filter(|k| k.is_explicit_geoblock())
+            .collect();
+        assert_eq!(explicit.len(), 5);
+    }
+
+    #[test]
+    fn three_captcha_kinds() {
+        assert_eq!(
+            PageKind::ALL
+                .iter()
+                .filter(|k| k.class() == PageClass::Captcha)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn provider_consistency() {
+        // Explicit pages must come from explicit-geoblocker providers.
+        for k in PageKind::ALL {
+            if k.is_explicit_geoblock() {
+                assert!(
+                    k.provider().is_explicit_geoblocker(),
+                    "{k}: provider {} is not an explicit geoblocker",
+                    k.provider()
+                );
+            }
+            if k.class() == PageClass::AmbiguousBlock {
+                assert!(k.provider().is_ambiguous_blocker());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = PageKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), PageKind::ALL.len());
+    }
+}

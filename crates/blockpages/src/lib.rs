@@ -1,0 +1,32 @@
+//! CDN block-page knowledge: templates and fingerprints.
+//!
+//! The paper's clustering phase (§4.1.3) discovered 14 distinct page types
+//! served in place of real content: explicit geoblock pages from five
+//! services (Cloudflare, Amazon CloudFront, Baidu, Google AppEngine, and
+//! Airbnb), ambiguous block pages that double as abuse blocks (Akamai,
+//! Incapsula, SOASTA), CAPTCHA interstitials (Cloudflare, Baidu, Distil
+//! Networks), the Cloudflare JavaScript challenge, and the stock nginx and
+//! Varnish 403 pages.
+//!
+//! This crate holds both sides of that knowledge:
+//!
+//! * [`templates`] — parameterised HTML generators for each page type, used
+//!   by the simulated CDN edges to *serve* realistic block pages (with
+//!   varying ray IDs, incident IDs, client IPs, and timestamps, so that the
+//!   discovery clustering faces realistic near-duplicate documents);
+//! * [`fingerprints`] — the signature matchers the measurement pipeline uses
+//!   to *recognise* each page type in a response, mirroring the signatures
+//!   the authors extracted from their 119 hand-examined clusters.
+//!
+//! The two sides are tested against each other: every rendered template must
+//! match exactly its own fingerprint (see the crate's property tests).
+
+pub mod fingerprints;
+pub mod kind;
+pub mod provider;
+pub mod templates;
+
+pub use fingerprints::{Fingerprint, FingerprintSet, MatchOutcome};
+pub use kind::{PageClass, PageKind};
+pub use provider::Provider;
+pub use templates::{render, PageParams};

@@ -1,0 +1,175 @@
+//! The CDN / hosting / access-control providers whose blocking behaviour the
+//! study characterises.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A service capable of serving a block or challenge page in front of (or
+/// instead of) origin content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provider {
+    /// Cloudflare CDN. Geoblock page explicitly names geolocation
+    /// ("error 1009"); Enterprise-only country blocking except during the
+    /// April–August 2018 regression.
+    Cloudflare,
+    /// Akamai CDN. Its "Access Denied" page is *ambiguous*: the same page is
+    /// served for geoblocking and for bot/abuse detection.
+    Akamai,
+    /// Amazon CloudFront. Explicit geoblock text ("cannot be distributed in
+    /// your region").
+    CloudFront,
+    /// Google App Engine hosting. Blocks all of Cuba, Iran, Syria, Sudan,
+    /// Crimea, and North Korea at platform level due to sanctions.
+    AppEngine,
+    /// Incapsula (Imperva). Ambiguous block page like Akamai's.
+    Incapsula,
+    /// Baidu Yunjiasu CDN. Geoblock page nearly identical to Cloudflare's in
+    /// content.
+    Baidu,
+    /// SOASTA. Ambiguous block page.
+    Soasta,
+    /// Distil Networks bot-mitigation (CAPTCHA interstitials only).
+    Distil,
+    /// Airbnb — a single origin operator whose custom block page states it
+    /// does not serve Crimea, Iran, Syria, and North Korea. Included because
+    /// its page is an unambiguous instance of origin-side geoblocking.
+    Airbnb,
+    /// Plain nginx origin (stock 403 page; ambiguous).
+    Nginx,
+    /// Varnish cache (stock 403 "Guru Meditation" page; ambiguous).
+    Varnish,
+}
+
+impl Provider {
+    /// All providers, in a stable order.
+    pub const ALL: [Provider; 11] = [
+        Provider::Cloudflare,
+        Provider::Akamai,
+        Provider::CloudFront,
+        Provider::AppEngine,
+        Provider::Incapsula,
+        Provider::Baidu,
+        Provider::Soasta,
+        Provider::Distil,
+        Provider::Airbnb,
+        Provider::Nginx,
+        Provider::Varnish,
+    ];
+
+    /// The five services whose block pages explicitly signal geoblocking
+    /// (§4.1.3): Cloudflare, Amazon CloudFront, Baidu, Google AppEngine, and
+    /// Airbnb.
+    pub fn is_explicit_geoblocker(&self) -> bool {
+        matches!(
+            self,
+            Provider::Cloudflare
+                | Provider::CloudFront
+                | Provider::Baidu
+                | Provider::AppEngine
+                | Provider::Airbnb
+        )
+    }
+
+    /// CDNs whose block page is shared with abuse/bot blocking, requiring
+    /// the consistency-score methodology of §5.2.2.
+    pub fn is_ambiguous_blocker(&self) -> bool {
+        matches!(
+            self,
+            Provider::Akamai | Provider::Incapsula | Provider::Soasta
+        )
+    }
+
+    /// The five services studied at Top-1M scale (§5): Cloudflare,
+    /// CloudFront, Akamai, Incapsula, and AppEngine.
+    pub fn in_top1m_study(&self) -> bool {
+        matches!(
+            self,
+            Provider::Cloudflare
+                | Provider::CloudFront
+                | Provider::Akamai
+                | Provider::Incapsula
+                | Provider::AppEngine
+        )
+    }
+
+    /// The response header whose presence identifies a domain as this
+    /// provider's customer (§5.1.1), if the provider has one.
+    pub fn identifying_header(&self) -> Option<&'static str> {
+        match self {
+            Provider::Cloudflare => Some("CF-RAY"),
+            Provider::CloudFront => Some("X-Amz-Cf-Id"),
+            Provider::Incapsula => Some("X-Iinfo"),
+            _ => None,
+        }
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Provider::Cloudflare => "Cloudflare",
+            Provider::Akamai => "Akamai",
+            Provider::CloudFront => "CloudFront",
+            Provider::AppEngine => "AppEngine",
+            Provider::Incapsula => "Incapsula",
+            Provider::Baidu => "Baidu",
+            Provider::Soasta => "SOASTA",
+            Provider::Distil => "Distil",
+            Provider::Airbnb => "Airbnb",
+            Provider::Nginx => "nginx",
+            Provider::Varnish => "Varnish",
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_geoblockers_match_paper_list() {
+        let explicit: Vec<_> = Provider::ALL
+            .iter()
+            .filter(|p| p.is_explicit_geoblocker())
+            .collect();
+        assert_eq!(explicit.len(), 5);
+        assert!(explicit.contains(&&Provider::Cloudflare));
+        assert!(explicit.contains(&&Provider::CloudFront));
+        assert!(explicit.contains(&&Provider::Baidu));
+        assert!(explicit.contains(&&Provider::AppEngine));
+        assert!(explicit.contains(&&Provider::Airbnb));
+    }
+
+    #[test]
+    fn ambiguous_and_explicit_are_disjoint() {
+        for p in Provider::ALL {
+            assert!(
+                !(p.is_explicit_geoblocker() && p.is_ambiguous_blocker()),
+                "{p} is both"
+            );
+        }
+    }
+
+    #[test]
+    fn top1m_study_has_five_services() {
+        assert_eq!(
+            Provider::ALL.iter().filter(|p| p.in_top1m_study()).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn header_identified_cdns() {
+        assert_eq!(Provider::Cloudflare.identifying_header(), Some("CF-RAY"));
+        assert_eq!(Provider::CloudFront.identifying_header(), Some("X-Amz-Cf-Id"));
+        assert_eq!(Provider::Incapsula.identifying_header(), Some("X-Iinfo"));
+        assert_eq!(Provider::Akamai.identifying_header(), None); // Pragma trick instead
+        assert_eq!(Provider::AppEngine.identifying_header(), None); // DNS netblocks instead
+    }
+}

@@ -1,0 +1,513 @@
+//! Parameterised HTML templates for every block/challenge page type.
+//!
+//! The simulated CDN edges call [`render`] to serve a page. Variable parts
+//! (ray IDs, incident IDs, client IPs, timestamps) are derived from a nonce,
+//! so repeated observations of the same page type are *near*-duplicates —
+//! exactly the situation the TF-IDF clustering of §4.1.3 has to handle —
+//! while remaining fully deterministic for a given nonce.
+
+use geoblock_http::{Response, ResponseBuilder, StatusCode};
+use serde::{Deserialize, Serialize};
+
+use crate::kind::PageKind;
+
+/// Inputs for rendering a page instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageParams {
+    /// The domain the client asked for (appears verbatim on most pages).
+    pub domain: String,
+    /// Human-readable country name of the client, for pages that echo it.
+    pub country: String,
+    /// The client IP as the edge saw it.
+    pub client_ip: String,
+    /// Determines all variable identifiers on the page.
+    pub nonce: u64,
+}
+
+impl PageParams {
+    /// Convenience constructor.
+    pub fn new(domain: &str, country: &str, client_ip: &str, nonce: u64) -> PageParams {
+        PageParams {
+            domain: domain.to_string(),
+            country: country.to_string(),
+            client_ip: client_ip.to_string(),
+            nonce,
+        }
+    }
+}
+
+/// splitmix64 step — a tiny deterministic id stream without a rand dep.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hex_id(nonce: u64, salt: u64, len: usize) -> String {
+    let mut out = String::with_capacity(len);
+    let mut state = mix(nonce ^ salt);
+    while out.len() < len {
+        out.push_str(&format!("{state:016x}"));
+        state = mix(state);
+    }
+    out.truncate(len);
+    out
+}
+
+/// Render a page instance: status code, provider headers, and HTML body.
+pub fn render(kind: PageKind, params: &PageParams) -> ResponseBuilder {
+    match kind {
+        PageKind::Cloudflare => cloudflare_1009(params),
+        PageKind::CloudflareCaptcha => cloudflare_captcha(params),
+        PageKind::CloudflareJs => cloudflare_js(params),
+        PageKind::Akamai => akamai_denied(params),
+        PageKind::AppEngine => appengine_block(params),
+        PageKind::CloudFront => cloudfront_block(params),
+        PageKind::Baidu => baidu_block(params),
+        PageKind::BaiduCaptcha => baidu_captcha(params),
+        PageKind::Incapsula => incapsula_incident(params),
+        PageKind::Soasta => soasta_denied(params),
+        PageKind::Airbnb => airbnb_block(params),
+        PageKind::DistilCaptcha => distil_captcha(params),
+        PageKind::Nginx403 => nginx_403(params),
+        PageKind::Varnish403 => varnish_403(params),
+    }
+}
+
+fn cloudflare_ray(params: &PageParams) -> String {
+    format!("{}-{}", hex_id(params.nonce, 0xc1, 16), "IAD")
+}
+
+fn cloudflare_1009(params: &PageParams) -> ResponseBuilder {
+    let ray = cloudflare_ray(params);
+    let body = format!(
+        r#"<!DOCTYPE html>
+<html lang="en-US">
+<head><title>Access denied | {domain} used Cloudflare to restrict access</title></head>
+<body>
+<div id="cf-wrapper">
+  <h1><span class="cf-error-type">Error</span> <span class="cf-error-code">1009</span></h1>
+  <h2 class="cf-subheadline">Access denied</h2>
+  <section>
+    <p>The owner of this website ({domain}) has banned the country or region your
+    IP address is in ({country}) from accessing this website.</p>
+  </section>
+  <div class="cf-error-footer">
+    <p>Cloudflare Ray ID: <strong>{ray}</strong> &bull; Your IP: {ip} &bull;
+    Performance &amp; security by Cloudflare</p>
+  </div>
+</div>
+</body>
+</html>"#,
+        domain = params.domain,
+        country = params.country,
+        ray = ray,
+        ip = params.client_ip,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "cloudflare")
+        .header("CF-RAY", ray)
+        .body(body)
+}
+
+fn cloudflare_captcha(params: &PageParams) -> ResponseBuilder {
+    let ray = cloudflare_ray(params);
+    let body = format!(
+        r#"<!DOCTYPE html>
+<html lang="en-US">
+<head><title>Attention Required! | Cloudflare</title></head>
+<body>
+<div id="cf-wrapper">
+  <h1>One more step</h1>
+  <h2>Please complete the security check to access {domain}</h2>
+  <form id="challenge-form" class="challenge-form" action="/cdn-cgi/l/chk_captcha" method="get">
+    <div class="g-recaptcha" data-sitekey="{sitekey}"></div>
+  </form>
+  <p>Why do I have to complete a CAPTCHA? Completing the CAPTCHA proves you are a human
+  and gives you temporary access to the web property.</p>
+  <div class="cf-error-footer">Cloudflare Ray ID: <strong>{ray}</strong> &bull; Your IP: {ip}</div>
+</div>
+</body>
+</html>"#,
+        domain = params.domain,
+        sitekey = hex_id(params.nonce, 0xca, 40),
+        ray = ray,
+        ip = params.client_ip,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "cloudflare")
+        .header("CF-RAY", ray)
+        .header("CF-Chl-Bypass", "1")
+        .body(body)
+}
+
+fn cloudflare_js(params: &PageParams) -> ResponseBuilder {
+    let ray = cloudflare_ray(params);
+    let body = format!(
+        r#"<!DOCTYPE html>
+<html lang="en-US">
+<head>
+<title>Just a moment...</title>
+<meta http-equiv="refresh" content="8">
+</head>
+<body>
+<table width="100%" height="100%" cellpadding="20">
+<tr><td align="center" valign="middle">
+  <h1>Checking your browser before accessing {domain}.</h1>
+  <p>This process is automatic. Your browser will redirect to your requested content shortly.</p>
+  <p>Please allow up to 5 seconds&hellip;</p>
+  <form id="challenge-form" action="/cdn-cgi/l/chk_jschl" method="get">
+    <input type="hidden" name="jschl_vc" value="{vc}"/>
+    <input type="hidden" name="pass" value="{pass}"/>
+  </form>
+  <p>DDoS protection by Cloudflare. Ray ID: {ray}</p>
+</td></tr>
+</table>
+</body>
+</html>"#,
+        domain = params.domain,
+        vc = hex_id(params.nonce, 0x15, 32),
+        pass = hex_id(params.nonce, 0x16, 24),
+        ray = ray,
+    );
+    Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+        .header("Server", "cloudflare")
+        .header("CF-RAY", ray)
+        .header("Refresh", "8")
+        .body(body)
+}
+
+fn akamai_denied(params: &PageParams) -> ResponseBuilder {
+    // Reference IDs look like 18.2d4d1502.1532026924.14272a5
+    let reference = format!(
+        "18.{}.{}.{}",
+        hex_id(params.nonce, 0xa1, 8),
+        1_530_000_000u64 + (mix(params.nonce) % 10_000_000),
+        hex_id(params.nonce, 0xa2, 7),
+    );
+    let body = format!(
+        r#"<html><head><title>Access Denied</title></head>
+<body>
+<h1>Access Denied</h1>
+You don't have permission to access "http&#58;&#47;&#47;{domain}&#47;" on this server.<p>
+Reference&#32;&#35;{reference}
+</body>
+</html>"#,
+        domain = params.domain,
+        reference = reference,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "AkamaiGHost")
+        .header("Mime-Version", "1.0")
+        .body(body)
+}
+
+fn appengine_block(params: &PageParams) -> ResponseBuilder {
+    let body = format!(
+        r#"<html><head>
+<meta http-equiv="content-type" content="text/html;charset=utf-8">
+<title>403 Forbidden</title>
+</head>
+<body text=#000000 bgcolor=#ffffff>
+<h1>Error: Forbidden</h1>
+<h2>Your client does not have permission to get URL <code>/</code> from this server.
+({domain} is not available in your country)</h2>
+<h2></h2>
+</body></html>"#,
+        domain = params.domain,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "Google Frontend")
+        .body(body)
+}
+
+fn cloudfront_block(params: &PageParams) -> ResponseBuilder {
+    let request_id = hex_id(params.nonce, 0xcf, 56);
+    let body = format!(
+        r#"<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN" "http://www.w3.org/TR/html4/loose.dtd">
+<html><head><meta http-equiv="Content-Type" content="text/html; charset=iso-8859-1">
+<title>ERROR: The request could not be satisfied</title>
+</head><body>
+<h1>403 ERROR</h1>
+<h2>The request could not be satisfied.</h2>
+<hr noshade size="1px">
+The Amazon CloudFront distribution is configured to block access from your country.
+We can't connect to the server for this app or website at this time.
+<br clear="all">
+<hr noshade size="1px">
+<pre>
+Generated by cloudfront (CloudFront)
+Request ID: {request_id}
+</pre>
+</body></html>"#,
+        request_id = request_id,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "CloudFront")
+        .header("X-Amz-Cf-Id", request_id)
+        .header("X-Cache", "Error from cloudfront")
+        .body(body)
+}
+
+fn baidu_block(params: &PageParams) -> ResponseBuilder {
+    let ray = hex_id(params.nonce, 0xb0, 16);
+    let body = format!(
+        r#"<!DOCTYPE html>
+<html lang="zh-CN">
+<head><title>Access denied | {domain} used Yunjiasu to restrict access</title></head>
+<body>
+<div id="yjs-wrapper">
+  <h1><span>Error</span> <span>1009</span></h1>
+  <h2>Access denied</h2>
+  <p>The owner of this website ({domain}) has banned the country or region your
+  IP address is in ({country}) from accessing this website.</p>
+  <p>Baidu Yunjiasu Ray ID: {ray} &bull; Your IP: {ip}</p>
+</div>
+</body>
+</html>"#,
+        domain = params.domain,
+        country = params.country,
+        ray = ray,
+        ip = params.client_ip,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "yunjiasu-nginx")
+        .body(body)
+}
+
+fn baidu_captcha(params: &PageParams) -> ResponseBuilder {
+    let body = format!(
+        r#"<!DOCTYPE html>
+<html lang="zh-CN">
+<head><title>安全验证 - Yunjiasu</title></head>
+<body>
+<div id="yjs-captcha">
+  <h1>One more step</h1>
+  <h2>Please complete the security check to access {domain}</h2>
+  <div class="yjs-captcha-box" data-key="{key}"></div>
+  <p>安全检查由百度云加速提供 (Security check by Baidu Yunjiasu)</p>
+</div>
+</body>
+</html>"#,
+        domain = params.domain,
+        key = hex_id(params.nonce, 0xb1, 32),
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "yunjiasu-nginx")
+        .body(body)
+}
+
+fn incapsula_incident(params: &PageParams) -> ResponseBuilder {
+    let incident = format!(
+        "{}-{}",
+        mix(params.nonce ^ 0x11) % 1_000_000_000,
+        mix(params.nonce ^ 0x12) % 1_000_000_000,
+    );
+    let body = format!(
+        r#"<html>
+<head><meta http-equiv="Content-Type" content="text/html; charset=utf-8"></head>
+<body style="margin:0px;padding:0px;">
+<iframe src="//content.incapsula.com/jsTest.html" id="gaIframe" style="display:none"></iframe>
+<h1>Request unsuccessful. Incapsula incident ID: {incident}</h1>
+</body>
+</html>"#,
+        incident = incident,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("X-Iinfo", format!("{}-{}", hex_id(params.nonce, 0x13, 8), incident))
+        .header("X-CDN", "Incapsula")
+        .body(body)
+}
+
+fn soasta_denied(params: &PageParams) -> ResponseBuilder {
+    let body = format!(
+        r#"<html><head><title>Access denied</title></head>
+<body>
+<h1>Access denied</h1>
+<p>The requested resource on host {domain} is not available from your network location.</p>
+<p>SOASTA mPulse edge &mdash; request {id}</p>
+</body></html>"#,
+        domain = params.domain,
+        id = hex_id(params.nonce, 0x50, 12),
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "SOASTA")
+        .body(body)
+}
+
+fn airbnb_block(params: &PageParams) -> ResponseBuilder {
+    let body = r#"<!DOCTYPE html>
+<html>
+<head><title>Airbnb: Unsupported Region</title></head>
+<body>
+<div class="error-page">
+  <h1>Sorry, Airbnb is not available where you are.</h1>
+  <p>Due to trade restrictions, Airbnb products and services are not available to
+  users in Crimea, Iran, Syria, and North Korea. We apologize for any inconvenience
+  this may cause.</p>
+  <p>If you believe you are seeing this message in error, please contact support.</p>
+</div>
+</body>
+</html>"#
+        .to_string();
+    let _ = params;
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "nginx")
+        .body(body)
+}
+
+fn distil_captcha(params: &PageParams) -> ResponseBuilder {
+    let body = format!(
+        r#"<html style="height:100%">
+<head><title>Pardon Our Interruption</title></head>
+<body style="height:100%; margin:0">
+<div id="distil-wrapper">
+  <h1>Pardon Our Interruption...</h1>
+  <p>As you were browsing <strong>{domain}</strong> something about your browser made us
+  think you were a bot. There are a few reasons this might happen:</p>
+  <ul>
+    <li>You're a power user moving through this website with super-human speed.</li>
+    <li>You've disabled JavaScript in your web browser.</li>
+    <li>A third-party browser plugin, such as Ghostery or NoScript, is preventing
+    JavaScript from running.</li>
+  </ul>
+  <p>To request an unblock, please fill out the form below and we will review it as
+  soon as possible. Reference ID: {id}</p>
+</div>
+</body>
+</html>"#,
+        domain = params.domain,
+        id = hex_id(params.nonce, 0xd1, 20),
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("X-Distil-CS", hex_id(params.nonce, 0xd2, 16))
+        .body(body)
+}
+
+fn nginx_403(params: &PageParams) -> ResponseBuilder {
+    let _ = params;
+    let body = r#"<html>
+<head><title>403 Forbidden</title></head>
+<body bgcolor="white">
+<center><h1>403 Forbidden</h1></center>
+<hr><center>nginx</center>
+</body>
+</html>"#
+        .to_string();
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "nginx")
+        .body(body)
+}
+
+fn varnish_403(params: &PageParams) -> ResponseBuilder {
+    let xid = mix(params.nonce ^ 0x7a) % 1_000_000_000;
+    let body = format!(
+        r#"<?xml version="1.0" encoding="utf-8"?>
+<!DOCTYPE html>
+<html>
+<head><title>403 Forbidden</title></head>
+<body>
+<h1>Error 403 Forbidden</h1>
+<p>Forbidden</p>
+<h3>Guru Meditation:</h3>
+<p>XID: {xid}</p>
+<hr>
+<p>Varnish cache server</p>
+</body>
+</html>"#,
+        xid = xid,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Via", "1.1 varnish")
+        .body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::Url;
+
+    fn params(nonce: u64) -> PageParams {
+        PageParams::new("example.com", "Iran", "5.22.199.10", nonce)
+    }
+
+    fn finish(kind: PageKind, nonce: u64) -> geoblock_http::Response {
+        render(kind, &params(nonce)).finish(Url::http("example.com"))
+    }
+
+    #[test]
+    fn all_kinds_render_nonempty_html() {
+        for kind in PageKind::ALL {
+            let resp = finish(kind, 7);
+            assert!(!resp.body.is_empty(), "{kind} rendered empty body");
+            assert!(
+                resp.body.as_text().contains("<h"),
+                "{kind} lacks an HTML heading"
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_in_nonce() {
+        for kind in PageKind::ALL {
+            assert_eq!(finish(kind, 42), finish(kind, 42));
+        }
+    }
+
+    #[test]
+    fn different_nonces_vary_identifier_bearing_pages() {
+        // Pages with ray/incident IDs must differ across nonces…
+        for kind in [
+            PageKind::Cloudflare,
+            PageKind::Akamai,
+            PageKind::Incapsula,
+            PageKind::CloudFront,
+            PageKind::Varnish403,
+        ] {
+            assert_ne!(finish(kind, 1).body, finish(kind, 2).body, "{kind}");
+        }
+        // …while the fully static nginx page does not.
+        assert_eq!(
+            finish(PageKind::Nginx403, 1).body,
+            finish(PageKind::Nginx403, 2).body
+        );
+    }
+
+    #[test]
+    fn status_codes_match_page_semantics() {
+        assert_eq!(finish(PageKind::CloudflareJs, 3).status, StatusCode::SERVICE_UNAVAILABLE);
+        for kind in PageKind::ALL {
+            if kind != PageKind::CloudflareJs {
+                assert_eq!(finish(kind, 3).status, StatusCode::FORBIDDEN, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn cloudflare_pages_carry_ray_header() {
+        for kind in [
+            PageKind::Cloudflare,
+            PageKind::CloudflareCaptcha,
+            PageKind::CloudflareJs,
+        ] {
+            assert!(finish(kind, 9).headers.contains("cf-ray"), "{kind}");
+        }
+    }
+
+    #[test]
+    fn explicit_pages_mention_geography() {
+        // Every explicit geoblock page contains location-attribution text.
+        for (kind, marker) in [
+            (PageKind::Cloudflare, "country or region"),
+            (PageKind::Baidu, "country or region"),
+            (PageKind::AppEngine, "not available in your country"),
+            (PageKind::CloudFront, "block access from your country"),
+            (PageKind::Airbnb, "Crimea, Iran, Syria, and North Korea"),
+        ] {
+            let text = finish(kind, 11).body.as_text().to_string();
+            assert!(text.contains(marker), "{kind} missing {marker:?}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests: the template generator and the fingerprint
+//! classifier must agree on every page instance, for any parameters.
+
+use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
+use geoblock_http::Url;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = PageParams> {
+    (
+        "[a-z0-9-]{1,20}(\\.[a-z]{2,6}){1,2}",
+        "[A-Za-z ]{2,20}",
+        "[0-9]{1,3}(\\.[0-9]{1,3}){3}",
+        any::<u64>(),
+    )
+        .prop_map(|(domain, country, ip, nonce)| PageParams {
+            domain,
+            country: country.trim().to_string(),
+            client_ip: ip,
+            nonce,
+        })
+}
+
+fn kind_strategy() -> impl Strategy<Value = PageKind> {
+    proptest::sample::select(PageKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_rendered_page_is_classified_as_its_kind(
+        kind in kind_strategy(),
+        params in params_strategy(),
+    ) {
+        let response = render(kind, &params).finish(Url::http(params.domain.as_str()));
+        let set = FingerprintSet::paper();
+        let outcome = set.classify(&response);
+        prop_assert_eq!(outcome.map(|o| o.kind), Some(kind));
+        // And the text-only path agrees (the OONI-scan mode).
+        let text_outcome = set.classify_text(&response.body.as_text());
+        prop_assert_eq!(text_outcome.map(|o| o.kind), Some(kind));
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function(kind in kind_strategy(), params in params_strategy()) {
+        let a = render(kind, &params).finish(Url::http(params.domain.as_str()));
+        let b = render(kind, &params).finish(Url::http(params.domain.as_str()));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_pages_stay_small(kind in kind_strategy(), params in params_strategy()) {
+        // The page-length heuristic depends on block pages being far
+        // smaller than real pages; the generator must never violate that.
+        let response = render(kind, &params).finish(Url::http(params.domain.as_str()));
+        prop_assert!(response.body.len() < 4096, "{kind}: {} bytes", response.body.len());
+        prop_assert!(response.body.len() > 100, "{kind}: implausibly tiny");
+    }
+
+    #[test]
+    fn blockish_status_on_every_page(kind in kind_strategy(), params in params_strategy()) {
+        let response = render(kind, &params).finish(Url::http(params.domain.as_str()));
+        prop_assert!(response.status.is_blockish());
+    }
+}

@@ -1,0 +1,89 @@
+//! Turning fetch outcomes into observations.
+
+use geoblock_blockpages::FingerprintSet;
+use geoblock_http::{FetchOutcome, RedirectChain};
+
+use crate::observation::{ErrKind, Obs};
+
+/// Classify a fetch outcome into a compact observation.
+///
+/// Fingerprint matching runs only on block-plausible responses (403 / 451 /
+/// 503) — every known block or challenge page rides one of those statuses,
+/// and skipping 200s keeps classification out of the hot path for ordinary
+/// content.
+pub fn classify_chain(fingerprints: &FingerprintSet, outcome: &FetchOutcome) -> Obs {
+    match outcome {
+        Err(e) => Obs::Error(ErrKind::from(e)),
+        Ok(chain) => classify_response(fingerprints, chain),
+    }
+}
+
+fn classify_response(fingerprints: &FingerprintSet, chain: &RedirectChain) -> Obs {
+    let response = chain.final_response();
+    let page = if response.status.is_blockish() {
+        fingerprints.classify(response).map(|m| m.kind)
+    } else {
+        None
+    };
+    Obs::Response {
+        status: response.status.as_u16(),
+        len: response.body.len() as u32,
+        page,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::{render, PageKind, PageParams};
+    use geoblock_http::{FetchError, Hop, Request, Response, StatusCode, Url};
+
+    fn chain_of(response: Response) -> RedirectChain {
+        RedirectChain::new(vec![Hop {
+            request: Request::get(response.url.clone()),
+            response,
+        }])
+    }
+
+    #[test]
+    fn block_pages_are_fingerprinted() {
+        let fp = FingerprintSet::paper();
+        let params = PageParams::new("x.com", "Iran", "5.1.1.1", 3);
+        let resp = render(PageKind::Cloudflare, &params).finish(Url::http("x.com"));
+        let obs = classify_chain(&fp, &Ok(chain_of(resp)));
+        assert_eq!(obs.page(), Some(PageKind::Cloudflare));
+        assert!(obs.explicit_geoblock());
+    }
+
+    #[test]
+    fn ordinary_pages_are_not_scanned() {
+        let fp = FingerprintSet::paper();
+        // A 200 whose body *contains* block-page text must not match — the
+        // status gate prevents it (a news article quoting a block page is
+        // not a block).
+        let resp = Response::builder(StatusCode::OK)
+            .body("article: the page said 'has banned the country or region' and Cloudflare Ray ID")
+            .finish(Url::http("news.com"));
+        let obs = classify_chain(&fp, &Ok(chain_of(resp)));
+        assert_eq!(obs.page(), None);
+        assert!(obs.responded());
+    }
+
+    #[test]
+    fn plain_403s_match_nothing() {
+        let fp = FingerprintSet::paper();
+        let resp = Response::builder(StatusCode::FORBIDDEN)
+            .body("<h1>Forbidden</h1>")
+            .finish(Url::http("x.com"));
+        let obs = classify_chain(&fp, &Ok(chain_of(resp)));
+        assert_eq!(obs.page(), None);
+        assert_eq!(obs.body_len(), Some(18));
+    }
+
+    #[test]
+    fn errors_project_to_errkind() {
+        let fp = FingerprintSet::paper();
+        let obs = classify_chain(&fp, &Err(FetchError::Timeout));
+        assert_eq!(obs, Obs::Error(ErrKind::Timeout));
+    }
+}

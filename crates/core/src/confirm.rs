@@ -1,0 +1,227 @@
+//! The confirmation methodology (§4.1.4): 3 baseline samples, 20-sample
+//! confirmation, 80% agreement.
+
+use geoblock_blockpages::{PageClass, PageKind};
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+use crate::observation::SampleStore;
+
+/// Confirmation configuration.
+#[derive(Debug, Clone)]
+pub struct ConfirmConfig {
+    /// Confirmation samples per flagged pair (20 in the paper).
+    pub confirm_samples: u32,
+    /// Agreement threshold over all samples of the pair (0.8).
+    pub threshold: f64,
+}
+
+impl Default for ConfirmConfig {
+    fn default() -> Self {
+        ConfirmConfig {
+            confirm_samples: 20,
+            threshold: 0.80,
+        }
+    }
+}
+
+/// A confirmed geoblocking instance: one (domain, country) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoblockVerdict {
+    /// Blocked domain.
+    pub domain: String,
+    /// Blocking country.
+    pub country: CountryCode,
+    /// The block page observed (modal kind).
+    pub kind: PageKind,
+    /// Samples that showed the block page.
+    pub block_count: u32,
+    /// Total samples of the pair.
+    pub total: u32,
+}
+
+impl GeoblockVerdict {
+    /// Agreement in [0, 1].
+    pub fn agreement(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.block_count as f64 / self.total as f64
+        }
+    }
+}
+
+/// Pairs flagged for confirmation: saw ≥1 page of one of `kinds` in the
+/// baseline pass. Returns `(domain_idx, country_idx)`.
+pub fn flagged_pairs(store: &SampleStore, kinds: &[PageKind]) -> Vec<(usize, usize)> {
+    store
+        .iter_cells()
+        .filter(|(_, _, samples)| {
+            samples
+                .iter()
+                .any(|o| o.page().map(|k| kinds.contains(&k)).unwrap_or(false))
+        })
+        .map(|(d, c, _)| (d, c))
+        .collect()
+}
+
+/// Pairs whose baseline shows any *explicit* geoblock page.
+pub fn flagged_explicit_pairs(store: &SampleStore) -> Vec<(usize, usize)> {
+    let kinds: Vec<PageKind> = PageKind::ALL
+        .into_iter()
+        .filter(|k| k.class() == PageClass::ExplicitGeoblock)
+        .collect();
+    flagged_pairs(store, &kinds)
+}
+
+/// Decide verdicts over a store that already contains the confirmation
+/// samples (merged into the baseline cells). Only explicit geoblock pages
+/// count (§4.2 restricts the analysis to pages that explicitly signal
+/// geolocation blocking).
+pub fn verdicts(store: &SampleStore, config: &ConfirmConfig) -> Vec<GeoblockVerdict> {
+    let mut out = Vec::new();
+    for (d, c, samples) in store.iter_cells() {
+        let mut counts: std::collections::HashMap<PageKind, u32> = std::collections::HashMap::new();
+        for obs in samples {
+            if let Some(kind) = obs.page() {
+                if kind.class() == PageClass::ExplicitGeoblock {
+                    *counts.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&kind, &block_count)) = counts.iter().max_by_key(|(_, v)| **v) else {
+            continue;
+        };
+        let total = samples.len() as u32;
+        // The pair must have been confirmed (≥ baseline + confirmation
+        // samples) and meet the agreement threshold over all its samples.
+        if total > config.confirm_samples
+            && block_count as f64 / total as f64 >= config.threshold
+        {
+            out.push(GeoblockVerdict {
+                domain: store.domains[d].clone(),
+                country: store.countries[c],
+                kind,
+                block_count,
+                total,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.domain.cmp(&b.domain).then(a.country.cmp(&b.country)));
+    out
+}
+
+/// Instances that were flagged but eliminated by the threshold (the 77 /
+/// 11.4% of §4.2) — useful for Figure 4's distribution.
+pub fn eliminated(store: &SampleStore, config: &ConfirmConfig) -> usize {
+    let flagged = flagged_explicit_pairs(store).len();
+    flagged.saturating_sub(verdicts(store, config).len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    fn block(kind: PageKind) -> Obs {
+        Obs::Response {
+            status: 403,
+            len: 1500,
+            page: Some(kind),
+        }
+    }
+
+    fn ok() -> Obs {
+        Obs::Response {
+            status: 200,
+            len: 9000,
+            page: None,
+        }
+    }
+
+    fn store_with(pattern: &[(usize, Obs)]) -> SampleStore {
+        let mut s = SampleStore::new(vec!["a.com".into()], vec![cc("IR"), cc("US")]);
+        for (country, obs) in pattern {
+            s.push(0, *country, *obs);
+        }
+        s
+    }
+
+    #[test]
+    fn flagging_requires_one_block_page() {
+        let s = store_with(&[
+            (0, block(PageKind::Cloudflare)),
+            (0, ok()),
+            (1, ok()),
+        ]);
+        assert_eq!(flagged_explicit_pairs(&s), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn captcha_pages_do_not_flag() {
+        let s = store_with(&[(0, block(PageKind::CloudflareCaptcha))]);
+        assert!(flagged_explicit_pairs(&s).is_empty());
+    }
+
+    #[test]
+    fn verdict_requires_confirmation_volume_and_agreement() {
+        // 3 baseline blocks only: not confirmed yet.
+        let s = store_with(&[(0, block(PageKind::Cloudflare)); 3].map(|x| x));
+        assert!(verdicts(&s, &ConfirmConfig::default()).is_empty());
+
+        // 3 + 20 samples, all blocks: confirmed.
+        let mut s = store_with(&[]);
+        for _ in 0..23 {
+            s.push(0, 0, block(PageKind::Cloudflare));
+        }
+        let v = verdicts(&s, &ConfirmConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, PageKind::Cloudflare);
+        assert!((v[0].agreement() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_pairs_are_eliminated() {
+        // 23 samples with only 17 blocks: 74% < 80%.
+        let mut s = store_with(&[]);
+        for i in 0..23 {
+            s.push(
+                0,
+                0,
+                if i < 17 { block(PageKind::AppEngine) } else { ok() },
+            );
+        }
+        assert!(verdicts(&s, &ConfirmConfig::default()).is_empty());
+        assert_eq!(eliminated(&s, &ConfirmConfig::default()), 1);
+    }
+
+    #[test]
+    fn errors_count_against_agreement() {
+        // 19 blocks + 4 errors = 82.6% agreement: passes.
+        let mut s = store_with(&[]);
+        for _ in 0..19 {
+            s.push(0, 0, block(PageKind::CloudFront));
+        }
+        for _ in 0..4 {
+            s.push(0, 0, Obs::Error(crate::observation::ErrKind::Timeout));
+        }
+        let v = verdicts(&s, &ConfirmConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].agreement() > 0.8);
+    }
+
+    #[test]
+    fn modal_kind_wins() {
+        let mut s = store_with(&[]);
+        for _ in 0..20 {
+            s.push(0, 0, block(PageKind::Cloudflare));
+        }
+        for _ in 0..3 {
+            s.push(0, 0, block(PageKind::Baidu));
+        }
+        let v = verdicts(&s, &ConfirmConfig::default());
+        assert_eq!(v[0].kind, PageKind::Cloudflare);
+        assert_eq!(v[0].block_count, 20);
+    }
+}

@@ -1,0 +1,191 @@
+//! Consistency scores for non-explicit blockers (§5.2.2).
+//!
+//! Akamai and Incapsula serve the same page for geoblocking and for abuse
+//! blocking. The paper's conservative rule: a country is *consistent* when
+//! ≥80% of its samples return the block page; a domain's score is the
+//! fraction of block-page-seeing countries that are consistent; only
+//! domains at 100% consistency that are *not* blocked everywhere count as
+//! geoblocking.
+
+use geoblock_blockpages::PageKind;
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+use crate::observation::SampleStore;
+
+/// Per-domain consistency analysis for one ambiguous page kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// The domain.
+    pub domain: String,
+    /// The ambiguous page kind analysed.
+    pub kind: PageKind,
+    /// Fraction of block-page-seeing countries that are consistent.
+    pub score: f64,
+    /// Countries that consistently (≥80%) see the block page.
+    pub consistent_countries: Vec<CountryCode>,
+    /// Countries that saw the page at least once.
+    pub seeing_countries: usize,
+    /// Countries with at least one response for this domain.
+    pub responding_countries: usize,
+}
+
+impl ConsistencyReport {
+    /// The paper's conservative geoblocking criterion: perfect consistency
+    /// and not blocked in every responding country.
+    pub fn is_confirmed_geoblocker(&self) -> bool {
+        self.score >= 1.0
+            && !self.consistent_countries.is_empty()
+            && self.consistent_countries.len() < self.responding_countries
+    }
+}
+
+/// Country-level consistency threshold.
+const COUNTRY_CONSISTENT: f64 = 0.80;
+
+/// Compute per-domain consistency for `kind` over all domains that saw the
+/// page at least once.
+pub fn consistency_scores(store: &SampleStore, kind: PageKind) -> Vec<ConsistencyReport> {
+    let mut out = Vec::new();
+    for d in 0..store.domains.len() {
+        let mut seeing = 0usize;
+        let mut consistent = Vec::new();
+        let mut responding = 0usize;
+        for (c, country) in store.countries.iter().enumerate() {
+            let samples = store.cell(d, c);
+            let responses = samples.iter().filter(|o| o.responded()).count();
+            if responses == 0 {
+                continue;
+            }
+            responding += 1;
+            let blocks = samples.iter().filter(|o| o.page() == Some(kind)).count();
+            if blocks == 0 {
+                continue;
+            }
+            seeing += 1;
+            if blocks as f64 / samples.len() as f64 >= COUNTRY_CONSISTENT {
+                consistent.push(*country);
+            }
+        }
+        if seeing == 0 {
+            continue;
+        }
+        out.push(ConsistencyReport {
+            domain: store.domains[d].clone(),
+            kind,
+            score: consistent.len() as f64 / seeing as f64,
+            consistent_countries: consistent,
+            seeing_countries: seeing,
+            responding_countries: responding,
+        });
+    }
+    out
+}
+
+/// The confirmed ambiguous-CDN geoblockers.
+pub fn confirmed_geoblockers(reports: &[ConsistencyReport]) -> Vec<&ConsistencyReport> {
+    reports.iter().filter(|r| r.is_confirmed_geoblocker()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    fn block() -> Obs {
+        Obs::Response {
+            status: 403,
+            len: 400,
+            page: Some(PageKind::Akamai),
+        }
+    }
+
+    fn ok() -> Obs {
+        Obs::Response {
+            status: 200,
+            len: 9000,
+            page: None,
+        }
+    }
+
+    fn store() -> SampleStore {
+        SampleStore::new(
+            vec!["a.com".into()],
+            vec![cc("CN"), cc("RU"), cc("US"), cc("DE")],
+        )
+    }
+
+    #[test]
+    fn clean_geoblocker_scores_one() {
+        let mut s = store();
+        for _ in 0..20 {
+            s.push(0, 0, block()); // CN always blocked
+            s.push(0, 1, block()); // RU always blocked
+            s.push(0, 2, ok());
+            s.push(0, 3, ok());
+        }
+        let reports = consistency_scores(&s, PageKind::Akamai);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.score, 1.0);
+        assert_eq!(r.consistent_countries, vec![cc("CN"), cc("RU")]);
+        assert!(r.is_confirmed_geoblocker());
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // "three countries each seeing 90% of samples returning a block
+        // page and one country with 20% block pages → 75%".
+        let mut s = store();
+        for c in 0..3 {
+            for i in 0..10 {
+                s.push(0, c, if i < 9 { block() } else { ok() });
+            }
+        }
+        for i in 0..10 {
+            s.push(0, 3, if i < 2 { block() } else { ok() });
+        }
+        let reports = consistency_scores(&s, PageKind::Akamai);
+        assert!((reports[0].score - 0.75).abs() < 1e-9);
+        assert!(!reports[0].is_confirmed_geoblocker());
+    }
+
+    #[test]
+    fn blocked_everywhere_is_not_geoblocking() {
+        // Bot detection blocks the crawler in every country: perfectly
+        // consistent, but not geographic.
+        let mut s = store();
+        for c in 0..4 {
+            for _ in 0..20 {
+                s.push(0, c, block());
+            }
+        }
+        let reports = consistency_scores(&s, PageKind::Akamai);
+        assert_eq!(reports[0].score, 1.0);
+        assert!(!reports[0].is_confirmed_geoblocker());
+    }
+
+    #[test]
+    fn sporadic_fps_score_below_one() {
+        // Random bot-detection hits: one block in 20 samples in two
+        // countries — never consistent.
+        let mut s = store();
+        for c in 0..2 {
+            s.push(0, c, block());
+            for _ in 0..19 {
+                s.push(0, c, ok());
+            }
+        }
+        let reports = consistency_scores(&s, PageKind::Akamai);
+        assert_eq!(reports[0].score, 0.0);
+        assert!(!reports[0].is_confirmed_geoblocker());
+    }
+
+    #[test]
+    fn domains_without_the_page_are_absent() {
+        let mut s = store();
+        s.push(0, 0, ok());
+        assert!(consistency_scores(&s, PageKind::Akamai).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Longitudinal comparison of studies.
+//!
+//! §4.2's `makro.co.za` anecdote — a domain that geoblocked 33 countries
+//! during the baseline and none days later — shows that blocking policies
+//! move *during* a study. This module compares two verdict sets (or two
+//! stores) taken at different times and reports policy changes: countries
+//! newly blocked, unblocked, and domains whose provider changed. Repeated
+//! snapshots turn the one-shot study into the monitoring system the paper's
+//! conclusion gestures at.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use geoblock_blockpages::PageKind;
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+use crate::confirm::GeoblockVerdict;
+
+/// The per-domain change between two snapshots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainDelta {
+    /// The domain.
+    pub domain: String,
+    /// Countries blocked in the later snapshot but not the earlier.
+    pub newly_blocked: Vec<CountryCode>,
+    /// Countries blocked earlier but no longer.
+    pub unblocked: Vec<CountryCode>,
+    /// Block page in the earlier snapshot (modal kind), if any.
+    pub kind_before: Option<PageKind>,
+    /// Block page in the later snapshot, if any.
+    pub kind_after: Option<PageKind>,
+}
+
+impl DomainDelta {
+    /// A `makro.co.za`-style full retreat: blocked somewhere before,
+    /// nowhere after.
+    pub fn is_full_retreat(&self) -> bool {
+        !self.unblocked.is_empty() && self.kind_after.is_none()
+    }
+
+    /// Whether the serving CDN (by block page) changed between snapshots.
+    pub fn provider_changed(&self) -> bool {
+        match (self.kind_before, self.kind_after) {
+            (Some(a), Some(b)) => a.provider() != b.provider(),
+            _ => false,
+        }
+    }
+}
+
+/// The full diff between two snapshots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StudyDiff {
+    /// Domains with any change, sorted by name.
+    pub deltas: Vec<DomainDelta>,
+    /// (domain, country) pairs blocked in both snapshots.
+    pub stable_pairs: usize,
+}
+
+impl StudyDiff {
+    /// Domains that stopped blocking entirely.
+    pub fn full_retreats(&self) -> Vec<&DomainDelta> {
+        self.deltas.iter().filter(|d| d.is_full_retreat()).collect()
+    }
+
+    /// Domains that started blocking (no verdicts before, some after).
+    pub fn new_blockers(&self) -> Vec<&DomainDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.kind_before.is_none() && d.kind_after.is_some())
+            .collect()
+    }
+
+    /// Total (domain, country) pairs newly blocked.
+    pub fn newly_blocked_pairs(&self) -> usize {
+        self.deltas.iter().map(|d| d.newly_blocked.len()).sum()
+    }
+
+    /// Total (domain, country) pairs unblocked.
+    pub fn unblocked_pairs(&self) -> usize {
+        self.deltas.iter().map(|d| d.unblocked.len()).sum()
+    }
+}
+
+fn index(
+    verdicts: &[GeoblockVerdict],
+) -> BTreeMap<&str, (BTreeSet<CountryCode>, Option<PageKind>)> {
+    let mut map: BTreeMap<&str, (BTreeSet<CountryCode>, Option<PageKind>)> = BTreeMap::new();
+    for v in verdicts {
+        let entry = map.entry(v.domain.as_str()).or_default();
+        entry.0.insert(v.country);
+        // Modal-ish: keep the first kind seen (verdicts are sorted).
+        entry.1.get_or_insert(v.kind);
+    }
+    map
+}
+
+/// Diff two verdict snapshots (earlier, later).
+pub fn diff_studies(before: &[GeoblockVerdict], after: &[GeoblockVerdict]) -> StudyDiff {
+    let b = index(before);
+    let a = index(after);
+    let mut domains: BTreeSet<&str> = b.keys().copied().collect();
+    domains.extend(a.keys().copied());
+
+    let mut diff = StudyDiff::default();
+    for domain in domains {
+        let empty = (BTreeSet::new(), None);
+        let (b_set, b_kind) = b.get(domain).unwrap_or(&empty);
+        let (a_set, a_kind) = a.get(domain).unwrap_or(&empty);
+        let newly_blocked: Vec<CountryCode> = a_set.difference(b_set).copied().collect();
+        let unblocked: Vec<CountryCode> = b_set.difference(a_set).copied().collect();
+        diff.stable_pairs += b_set.intersection(a_set).count();
+        if newly_blocked.is_empty() && unblocked.is_empty() && b_kind == a_kind {
+            continue;
+        }
+        diff.deltas.push(DomainDelta {
+            domain: domain.to_string(),
+            newly_blocked,
+            unblocked,
+            kind_before: *b_kind,
+            kind_after: *a_kind,
+        });
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn v(domain: &str, country: &str, kind: PageKind) -> GeoblockVerdict {
+        GeoblockVerdict {
+            domain: domain.into(),
+            country: cc(country),
+            kind,
+            block_count: 23,
+            total: 23,
+        }
+    }
+
+    #[test]
+    fn detects_makro_style_retreat() {
+        let before = vec![
+            v("makro.co.za", "BW", PageKind::Cloudflare),
+            v("makro.co.za", "FR", PageKind::Cloudflare),
+            v("stable.com", "IR", PageKind::AppEngine),
+        ];
+        let after = vec![v("stable.com", "IR", PageKind::AppEngine)];
+        let diff = diff_studies(&before, &after);
+        assert_eq!(diff.deltas.len(), 1);
+        let retreats = diff.full_retreats();
+        assert_eq!(retreats.len(), 1);
+        assert_eq!(retreats[0].domain, "makro.co.za");
+        assert_eq!(retreats[0].unblocked, vec![cc("BW"), cc("FR")]);
+        assert_eq!(diff.stable_pairs, 1);
+    }
+
+    #[test]
+    fn detects_new_blockers_and_expansions() {
+        let before = vec![v("grow.com", "IR", PageKind::Cloudflare)];
+        let after = vec![
+            v("grow.com", "IR", PageKind::Cloudflare),
+            v("grow.com", "SY", PageKind::Cloudflare),
+            v("fresh.com", "CU", PageKind::CloudFront),
+        ];
+        let diff = diff_studies(&before, &after);
+        assert_eq!(diff.newly_blocked_pairs(), 2);
+        assert_eq!(diff.unblocked_pairs(), 0);
+        let new = diff.new_blockers();
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].domain, "fresh.com");
+    }
+
+    #[test]
+    fn detects_provider_migration() {
+        let before = vec![v("mover.com", "IR", PageKind::Cloudflare)];
+        let after = vec![v("mover.com", "IR", PageKind::CloudFront)];
+        let diff = diff_studies(&before, &after);
+        assert_eq!(diff.deltas.len(), 1);
+        assert!(diff.deltas[0].provider_changed());
+        assert!(!diff.deltas[0].is_full_retreat());
+        assert_eq!(diff.stable_pairs, 1);
+    }
+
+    #[test]
+    fn identical_snapshots_are_empty_diffs() {
+        let snap = vec![
+            v("a.com", "IR", PageKind::Cloudflare),
+            v("b.com", "SY", PageKind::AppEngine),
+        ];
+        let diff = diff_studies(&snap, &snap);
+        assert!(diff.deltas.is_empty());
+        assert_eq!(diff.stable_pairs, 2);
+    }
+}

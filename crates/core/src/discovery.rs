@@ -1,0 +1,283 @@
+//! Block-page discovery: clustering the outlier corpus (§4.1.3).
+//!
+//! The paper clustered 24,381 outlier pages into 119 clusters and examined
+//! each by hand, extracting signatures for 14 page types served by 7 CDNs
+//! and hosting providers. The clustering here is the same TF-IDF +
+//! single-link stack; the *manual examination* step is simulated by
+//! labelling each cluster with the fingerprint set — which is honest
+//! because the fingerprints are precisely what the manual step produced,
+//! and the interesting question a reproduction can answer is whether the
+//! clustering isolates those families at all (cluster purity).
+
+use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
+use geoblock_textmine::{single_link, TfIdfVectorizer};
+use serde::{Deserialize, Serialize};
+
+use crate::observation::BodyArchive;
+use crate::outliers::Outlier;
+
+/// Clustering configuration.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Single-link cosine-distance threshold.
+    pub tau: f32,
+    /// Minimum document frequency for TF-IDF features.
+    pub min_df: u32,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            tau: 0.38,
+            min_df: 2,
+        }
+    }
+}
+
+/// One cluster, summarised.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Dense cluster id.
+    pub id: u32,
+    /// Number of member documents.
+    pub size: usize,
+    /// Fingerprint label of the cluster's representative document, if the
+    /// cluster is a known block-page family.
+    pub label: Option<PageKind>,
+    /// Fraction of member documents agreeing with the label (purity).
+    pub purity: f64,
+    /// An excerpt of the representative document.
+    pub excerpt: String,
+}
+
+/// The discovery phase's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveryReport {
+    /// All clusters, largest first.
+    pub clusters: Vec<ClusterSummary>,
+    /// Documents that entered the corpus.
+    pub corpus_size: usize,
+    /// Outliers whose bodies were not retained (cannot be clustered).
+    pub missing_bodies: usize,
+}
+
+impl DiscoveryReport {
+    /// The CDN / hosting providers discovered through labelled block-page
+    /// clusters — Table 1's final column (7 in the paper: Akamai,
+    /// Cloudflare, CloudFront, SOASTA, Incapsula, Baidu, and AppEngine).
+    /// Origin-side pages (Airbnb, stock nginx/Varnish) and pure
+    /// bot-mitigation vendors are not "CDNs and hosting providers".
+    pub fn discovered_providers(&self) -> Vec<Provider> {
+        let mut providers: Vec<Provider> = self
+            .clusters
+            .iter()
+            .filter_map(|c| c.label)
+            .map(|kind| kind.provider())
+            .filter(|p| {
+                !matches!(
+                    p,
+                    Provider::Airbnb | Provider::Nginx | Provider::Varnish | Provider::Distil
+                )
+            })
+            .collect();
+        providers.sort();
+        providers.dedup();
+        providers
+    }
+
+    /// Kinds for which a labelled cluster exists.
+    pub fn discovered_kinds(&self) -> Vec<PageKind> {
+        let mut kinds: Vec<PageKind> = self.clusters.iter().filter_map(|c| c.label).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Clusters that explicitly signal geoblocking.
+    pub fn explicit_geoblock_clusters(&self) -> Vec<&ClusterSummary> {
+        self.clusters
+            .iter()
+            .filter(|c| {
+                c.label
+                    .map(|k| k.class() == PageClass::ExplicitGeoblock)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+}
+
+/// Cluster the outlier corpus.
+pub fn discover(
+    outliers: &[Outlier],
+    archive: &BodyArchive,
+    fingerprints: &FingerprintSet,
+    config: &DiscoveryConfig,
+) -> DiscoveryReport {
+    let mut docs: Vec<String> = Vec::new();
+    let mut missing_bodies = 0usize;
+    for o in outliers {
+        match archive.get(o.domain, o.country, o.sample) {
+            Some(body) => docs.push(body.to_string()),
+            None => missing_bodies += 1,
+        }
+    }
+
+    let (_, vectors) = TfIdfVectorizer::fit_transform(&docs, config.min_df);
+    let clustering = single_link(&vectors, config.tau);
+
+    let mut clusters = Vec::with_capacity(clustering.len());
+    for (id, size) in clustering.by_size() {
+        let members = &clustering.members[id as usize];
+        // Label by the modal fingerprint among members (the representative
+        // examination).
+        let mut label_votes: std::collections::HashMap<Option<PageKind>, usize> =
+            std::collections::HashMap::new();
+        for &m in members.iter() {
+            let label = fingerprints.classify_text(&docs[m as usize]).map(|o| o.kind);
+            *label_votes.entry(label).or_insert(0) += 1;
+        }
+        let (label, votes) = label_votes
+            .into_iter()
+            .max_by_key(|(_, v)| *v)
+            .expect("non-empty cluster");
+        let representative = members[0] as usize;
+        let excerpt: String = docs[representative].chars().take(160).collect();
+        clusters.push(ClusterSummary {
+            id,
+            size,
+            label,
+            purity: votes as f64 / size as f64,
+            excerpt,
+        });
+    }
+
+    DiscoveryReport {
+        clusters,
+        corpus_size: docs.len(),
+        missing_bodies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::{render, PageParams};
+    use geoblock_http::Url;
+
+    fn archive_with_pages() -> (Vec<Outlier>, BodyArchive) {
+        let mut archive = BodyArchive::new();
+        let mut outliers = Vec::new();
+        let kinds = [
+            PageKind::Cloudflare,
+            PageKind::Akamai,
+            PageKind::Incapsula,
+            PageKind::DistilCaptcha,
+        ];
+        let mut sample = 0u16;
+        for (ki, kind) in kinds.iter().enumerate() {
+            for i in 0..30u64 {
+                let params = PageParams::new(
+                    &format!("site{i}.com"),
+                    "Iran",
+                    "5.1.2.3",
+                    i * 31 + ki as u64,
+                );
+                let resp = render(*kind, &params).finish(Url::http("x.com"));
+                let body = resp.body.as_text().to_string();
+                archive.offer(ki as u32, i as u16, sample, body.len() as u32, &body);
+                outliers.push(Outlier {
+                    domain: ki as u32,
+                    country: i as u16,
+                    sample,
+                    len: body.len() as u32,
+                });
+                sample += 1;
+            }
+        }
+        (outliers, archive)
+    }
+
+    #[test]
+    fn families_form_labelled_clusters() {
+        let (outliers, archive) = archive_with_pages();
+        let report = discover(
+            &outliers,
+            &archive,
+            &FingerprintSet::paper(),
+            &DiscoveryConfig::default(),
+        );
+        assert_eq!(report.corpus_size, 120);
+        assert_eq!(report.missing_bodies, 0);
+        let kinds = report.discovered_kinds();
+        for kind in [
+            PageKind::Cloudflare,
+            PageKind::Akamai,
+            PageKind::Incapsula,
+            PageKind::DistilCaptcha,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind}: {kinds:?}");
+        }
+        // Each family should be a near-pure cluster.
+        for c in &report.clusters {
+            if c.label.is_some() {
+                assert!(c.purity > 0.9, "cluster {} purity {}", c.id, c.purity);
+            }
+        }
+    }
+
+    #[test]
+    fn discovered_providers_exclude_origin_pages() {
+        let mut archive = BodyArchive::new();
+        let mut outliers = Vec::new();
+        for (i, kind) in [PageKind::Airbnb, PageKind::Nginx403, PageKind::Cloudflare]
+            .iter()
+            .enumerate()
+        {
+            for j in 0..5u16 {
+                let params = PageParams::new("d.com", "Syria", "5.0.0.1", j as u64);
+                let body = render(*kind, &params)
+                    .finish(Url::http("d.com"))
+                    .body
+                    .as_text()
+                    .to_string();
+                archive.offer(i as u32, j, 0, body.len() as u32, &body);
+                outliers.push(Outlier {
+                    domain: i as u32,
+                    country: j,
+                    sample: 0,
+                    len: body.len() as u32,
+                });
+            }
+        }
+        let report = discover(
+            &outliers,
+            &archive,
+            &FingerprintSet::paper(),
+            &DiscoveryConfig::default(),
+        );
+        let providers = report.discovered_providers();
+        assert_eq!(providers, vec![Provider::Cloudflare]);
+        // But the kinds list still names Airbnb and nginx.
+        assert!(report.discovered_kinds().contains(&PageKind::Airbnb));
+    }
+
+    #[test]
+    fn missing_bodies_are_counted() {
+        let archive = BodyArchive::new();
+        let outliers = vec![Outlier {
+            domain: 0,
+            country: 0,
+            sample: 0,
+            len: 100,
+        }];
+        let report = discover(
+            &outliers,
+            &archive,
+            &FingerprintSet::paper(),
+            &DiscoveryConfig::default(),
+        );
+        assert_eq!(report.missing_bodies, 1);
+        assert_eq!(report.corpus_size, 0);
+        assert!(report.clusters.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The geoblocking measurement pipeline — the paper's contribution.
+//!
+//! Everything here consumes only HTTP responses and DNS answers; ground
+//! truth is never read. The stages mirror §4–§5:
+//!
+//! 1. [`classify`] — turn a fetched chain into a compact [`observation`]
+//!    (status, body length, matched fingerprint, error kind);
+//! 2. [`outliers`] — the page-length heuristic: pick each domain's
+//!    representative length over the top blocking countries and extract
+//!    samples ≥30% shorter;
+//! 3. [`discovery`] — TF-IDF + single-link clustering over outlier pages;
+//!    clusters are where the 14 block-page fingerprints came from;
+//! 4. [`confirm`] — the 3/20/80% confirmation methodology for explicit
+//!    geoblockers;
+//! 5. [`consistency`] — the consistency-score analysis that isolates
+//!    geoblocking among ambiguous blockers (Akamai, Incapsula);
+//! 6. [`population`] — CDN customer identification: response headers
+//!    anywhere in the redirect chain, the Akamai `Pragma` poke, NS
+//!    delegation, and the AppEngine netblock walk;
+//! 7. [`study`] — the Top-10K and Top-1M study drivers;
+//! 8. [`exploration`] — the §3 VPS exploration;
+//! 9. [`timeouts`] and [`regional`] — the §7.3 future-work analyses
+//!    (timeout-based blocking, sub-country granularity).
+
+pub mod classify;
+pub mod confirm;
+pub mod consistency;
+pub mod diffing;
+pub mod discovery;
+pub mod exploration;
+pub mod observation;
+pub mod outliers;
+pub mod population;
+pub mod regional;
+pub mod study;
+pub mod timeouts;
+
+pub use classify::classify_chain;
+pub use confirm::{ConfirmConfig, GeoblockVerdict};
+pub use consistency::{consistency_scores, ConsistencyReport};
+pub use diffing::{diff_studies, StudyDiff};
+pub use observation::{BodyArchive, ErrKind, Obs, SampleStore};
+pub use outliers::{OutlierConfig, OutlierReport};
+pub use population::{PopulationReport, Resolver};
+pub use regional::{probe_regional, RegionalReport};
+pub use timeouts::{find_suspects, TimeoutSuspect};
+pub use study::{StudyConfig, StudyResult, Top10kStudy, Top1mStudy};

@@ -1,0 +1,356 @@
+//! Compact probe observations and their store.
+//!
+//! A full Top-10K study holds ~4.2M samples; observations are therefore
+//! 16-byte records (status, length, fingerprint, error), and raw HTML is
+//! retained only where the discovery phase can possibly need it (the
+//! [`BodyArchive`] retention rule).
+
+use geoblock_blockpages::PageKind;
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compact error taxonomy for storage (projection of
+/// [`geoblock_http::FetchError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrKind {
+    Dns,
+    Refused,
+    Timeout,
+    Reset,
+    RedirectLoop,
+    Proxy,
+    ProxyRefused,
+    NoExit,
+    Malformed,
+}
+
+impl From<&geoblock_http::FetchError> for ErrKind {
+    fn from(e: &geoblock_http::FetchError) -> ErrKind {
+        use geoblock_http::FetchError::*;
+        match e {
+            DnsFailure { .. } => ErrKind::Dns,
+            ConnectionRefused => ErrKind::Refused,
+            Timeout => ErrKind::Timeout,
+            ConnectionReset => ErrKind::Reset,
+            TooManyRedirects { .. } => ErrKind::RedirectLoop,
+            ProxyError { .. } => ErrKind::Proxy,
+            ProxyRefused { .. } => ErrKind::ProxyRefused,
+            NoExitAvailable { .. } => ErrKind::NoExit,
+            MalformedResponse { .. } => ErrKind::Malformed,
+        }
+    }
+}
+
+/// One observation of one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Obs {
+    /// The probe failed.
+    Error(ErrKind),
+    /// A final response was received.
+    Response {
+        /// HTTP status of the final response.
+        status: u16,
+        /// Final-response body length in bytes.
+        len: u32,
+        /// Which block-page fingerprint the body matched, if any.
+        page: Option<PageKind>,
+    },
+}
+
+impl Obs {
+    /// Whether a final response was received ("valid response" in §4.1.1).
+    pub fn responded(&self) -> bool {
+        matches!(self, Obs::Response { .. })
+    }
+
+    /// The matched block-page kind, if any.
+    pub fn page(&self) -> Option<PageKind> {
+        match self {
+            Obs::Response { page, .. } => *page,
+            Obs::Error(_) => None,
+        }
+    }
+
+    /// Body length, if a response was received.
+    pub fn body_len(&self) -> Option<u32> {
+        match self {
+            Obs::Response { len, .. } => Some(*len),
+            Obs::Error(_) => None,
+        }
+    }
+
+    /// Whether the observation matched an *explicit* geoblock fingerprint.
+    pub fn explicit_geoblock(&self) -> bool {
+        self.page().map(|k| k.is_explicit_geoblock()).unwrap_or(false)
+    }
+}
+
+/// All samples of a study pass, indexed `[domain][country] -> Vec<Obs>`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleStore {
+    /// Probed domains, in index order.
+    pub domains: Vec<String>,
+    /// Probed countries, in index order.
+    pub countries: Vec<CountryCode>,
+    cells: Vec<Vec<Obs>>,
+}
+
+impl SampleStore {
+    /// An empty store over the given axes.
+    pub fn new(domains: Vec<String>, countries: Vec<CountryCode>) -> SampleStore {
+        let cells = vec![Vec::new(); domains.len() * countries.len()];
+        SampleStore {
+            domains,
+            countries,
+            cells,
+        }
+    }
+
+    fn idx(&self, domain: usize, country: usize) -> usize {
+        domain * self.countries.len() + country
+    }
+
+    /// Append an observation.
+    pub fn push(&mut self, domain: usize, country: usize, obs: Obs) {
+        let idx = self.idx(domain, country);
+        self.cells[idx].push(obs);
+    }
+
+    /// Samples of one (domain, country) cell.
+    pub fn cell(&self, domain: usize, country: usize) -> &[Obs] {
+        &self.cells[self.idx(domain, country)]
+    }
+
+    /// Iterate `(domain_idx, country_idx, samples)` over non-empty cells.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, &[Obs])> {
+        let nc = self.countries.len();
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(move |(i, v)| (i / nc, i % nc, v.as_slice()))
+    }
+
+    /// Total number of stored observations.
+    pub fn total_samples(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// Number of (domain, country) pairs probed (cells with ≥1 sample).
+    pub fn pairs(&self) -> usize {
+        self.cells.iter().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Index of a domain by name.
+    pub fn domain_index(&self, name: &str) -> Option<usize> {
+        self.domains.iter().position(|d| d == name)
+    }
+
+    /// Index of a country.
+    pub fn country_index(&self, country: CountryCode) -> Option<usize> {
+        self.countries.iter().position(|c| *c == country)
+    }
+
+    /// Merge confirmation-pass observations into this store.
+    pub fn merge(&mut self, other: &SampleStore) {
+        for (d, c, samples) in other.iter_cells() {
+            let name = &other.domains[d];
+            let country = other.countries[c];
+            if let (Some(di), Some(ci)) = (self.domain_index(name), self.country_index(country)) {
+                for obs in samples {
+                    self.push(di, ci, *obs);
+                }
+            }
+        }
+    }
+
+    /// Per-domain error rate: fraction of samples that failed.
+    pub fn domain_error_rate(&self, domain: usize) -> f64 {
+        let (mut total, mut errors) = (0usize, 0usize);
+        for country in 0..self.countries.len() {
+            for obs in self.cell(domain, country) {
+                total += 1;
+                if !obs.responded() {
+                    errors += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            errors as f64 / total as f64
+        }
+    }
+}
+
+/// Retained raw documents for the discovery phase.
+///
+/// Retention rule: a body is kept (truncated to [`BodyArchive::DOC_CAP`])
+/// when it is plausibly a block page or a length outlier — shorter than
+/// 6 KB absolutely, or ≥28% shorter than the longest response seen so far
+/// for its domain. Everything else can never enter the clustering corpus,
+/// so storing it would only burn memory.
+#[derive(Debug, Default)]
+pub struct BodyArchive {
+    docs: HashMap<(u32, u16, u16), String>,
+    max_len: HashMap<u32, u32>,
+}
+
+impl BodyArchive {
+    /// Stored-document prefix cap, in bytes.
+    pub const DOC_CAP: usize = 2048;
+
+    /// Absolute retention bound.
+    pub const SMALL_DOC: u32 = 6 * 1024;
+
+    /// An empty archive.
+    pub fn new() -> BodyArchive {
+        BodyArchive::default()
+    }
+
+    /// Offer a body for retention.
+    pub fn offer(&mut self, domain: u32, country: u16, sample: u16, len: u32, body: &str) {
+        let max = self.max_len.entry(domain).or_insert(0);
+        let keep = len < Self::SMALL_DOC || (*max > 0 && (len as f64) < 0.72 * *max as f64);
+        if len > *max {
+            *max = len;
+        }
+        if keep {
+            let mut doc = body.to_string();
+            doc.truncate(Self::DOC_CAP.min(doc.len()));
+            self.docs.insert((domain, country, sample), doc);
+        }
+    }
+
+    /// Retrieve a retained document.
+    pub fn get(&self, domain: u32, country: u16, sample: u16) -> Option<&str> {
+        self.docs.get(&(domain, country, sample)).map(String::as_str)
+    }
+
+    /// Number of retained documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn resp(status: u16, len: u32, page: Option<PageKind>) -> Obs {
+        Obs::Response { status, len, page }
+    }
+
+    #[test]
+    fn store_push_and_cell() {
+        let mut s = SampleStore::new(
+            vec!["a.com".into(), "b.com".into()],
+            vec![cc("US"), cc("IR")],
+        );
+        s.push(0, 1, resp(403, 1500, Some(PageKind::Cloudflare)));
+        s.push(0, 1, Obs::Error(ErrKind::Timeout));
+        assert_eq!(s.cell(0, 1).len(), 2);
+        assert!(s.cell(0, 0).is_empty());
+        assert_eq!(s.total_samples(), 2);
+        assert_eq!(s.pairs(), 1);
+    }
+
+    #[test]
+    fn iter_cells_reports_coordinates() {
+        let mut s = SampleStore::new(vec!["a.com".into()], vec![cc("US"), cc("IR")]);
+        s.push(0, 1, resp(200, 100, None));
+        let cells: Vec<_> = s.iter_cells().collect();
+        assert_eq!(cells.len(), 1);
+        assert_eq!((cells[0].0, cells[0].1), (0, 1));
+    }
+
+    #[test]
+    fn merge_aligns_by_name_and_country() {
+        let mut base = SampleStore::new(
+            vec!["a.com".into(), "b.com".into()],
+            vec![cc("US"), cc("IR")],
+        );
+        base.push(1, 1, resp(403, 900, Some(PageKind::Cloudflare)));
+        let mut confirm = SampleStore::new(vec!["b.com".into()], vec![cc("IR")]);
+        for _ in 0..20 {
+            confirm.push(0, 0, resp(403, 900, Some(PageKind::Cloudflare)));
+        }
+        base.merge(&confirm);
+        assert_eq!(base.cell(1, 1).len(), 21);
+    }
+
+    #[test]
+    fn error_rate_counts_failures() {
+        let mut s = SampleStore::new(vec!["a.com".into()], vec![cc("US")]);
+        s.push(0, 0, resp(200, 100, None));
+        s.push(0, 0, Obs::Error(ErrKind::Proxy));
+        assert!((s.domain_error_rate(0) - 0.5).abs() < 1e-9);
+        assert_eq!(s.domain_error_rate(0), 0.5);
+    }
+
+    #[test]
+    fn archive_retains_small_and_outlier_bodies() {
+        let mut a = BodyArchive::new();
+        // First sample: large page establishes the max.
+        a.offer(1, 0, 0, 20_000, "big page");
+        assert!(a.get(1, 0, 0).is_none());
+        // A 30%-shorter sample is retained.
+        a.offer(1, 0, 1, 13_000, "shorter variant");
+        assert!(a.get(1, 0, 1).is_some());
+        // A near-full-length sample is not.
+        a.offer(1, 0, 2, 19_000, "nearly full");
+        assert!(a.get(1, 0, 2).is_none());
+        // A tiny block page is always retained.
+        a.offer(1, 5, 0, 1500, "error code: 1009");
+        assert_eq!(a.get(1, 5, 0), Some("error code: 1009"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn archive_truncates_to_cap() {
+        let mut a = BodyArchive::new();
+        let long = "x".repeat(10_000);
+        a.offer(2, 0, 0, 3000, &long);
+        assert_eq!(a.get(2, 0, 0).unwrap().len(), BodyArchive::DOC_CAP);
+    }
+
+    #[test]
+    fn obs_projections() {
+        let o = resp(403, 1200, Some(PageKind::AppEngine));
+        assert!(o.responded());
+        assert!(o.explicit_geoblock());
+        assert_eq!(o.body_len(), Some(1200));
+        let e = Obs::Error(ErrKind::Dns);
+        assert!(!e.responded());
+        assert_eq!(e.page(), None);
+        assert_eq!(e.body_len(), None);
+        let captcha = resp(403, 1200, Some(PageKind::CloudflareCaptcha));
+        assert!(!captcha.explicit_geoblock());
+    }
+
+    #[test]
+    fn errkind_projection_is_total() {
+        use geoblock_http::FetchError::*;
+        let all = [
+            DnsFailure { host: "h".into() },
+            ConnectionRefused,
+            Timeout,
+            ConnectionReset,
+            TooManyRedirects { limit: 10 },
+            ProxyError { detail: "d".into() },
+            ProxyRefused { reason: "r".into() },
+            NoExitAvailable { country: "KP".into() },
+            MalformedResponse { detail: "d".into() },
+        ];
+        let kinds: std::collections::HashSet<ErrKind> =
+            all.iter().map(ErrKind::from).collect();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! The page-length outlier heuristic (§4.1.2, evaluated in §4.1.5).
+//!
+//! For each domain, the *representative length* is the longest response
+//! observed across the top blocking countries; any sample whose length is
+//! ≥30% shorter is extracted as a possible block page. The heuristic is a
+//! recall-oriented pre-filter for clustering — Table 2 measures how much
+//! of each fingerprint family it recalls (58.3% overall), and Figure 2
+//! shows why the exact cutoff barely matters between 5% and 50%.
+
+use geoblock_blockpages::PageKind;
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::observation::SampleStore;
+
+/// Heuristic configuration.
+#[derive(Debug, Clone)]
+pub struct OutlierConfig {
+    /// Relative-shortness cutoff (0.30 in the paper).
+    pub cutoff: f64,
+    /// The countries over which representatives are computed and outliers
+    /// extracted (the paper's "top 20 geoblocking countries").
+    pub rep_countries: Vec<CountryCode>,
+}
+
+/// One extracted outlier sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outlier {
+    /// Domain index in the store.
+    pub domain: u32,
+    /// Country index in the store.
+    pub country: u16,
+    /// Sample index within the cell.
+    pub sample: u16,
+    /// Sample length in bytes.
+    pub len: u32,
+}
+
+/// The heuristic's output plus the evaluation counters for Table 2 and
+/// Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutlierReport {
+    /// Representative length per domain index (None when the domain never
+    /// responded in a representative country).
+    pub representative: Vec<Option<u32>>,
+    /// Extracted outlier samples.
+    pub outliers: Vec<Outlier>,
+    /// Samples inspected in the representative countries.
+    pub inspected: usize,
+    /// Per-fingerprint recall counters over the *whole* store:
+    /// `(recalled, actual)` per page kind — Table 2's columns.
+    pub recall: HashMap<PageKind, (u32, u32)>,
+    /// Relative size differences `(1 - len/rep)` for all responding
+    /// samples, paired with whether the sample matched a block fingerprint
+    /// — Figure 2's raw series (subsampled to every 7th ordinary page to
+    /// bound memory).
+    pub size_diffs: Vec<(f32, bool)>,
+}
+
+impl OutlierReport {
+    /// Overall recall across kinds (Table 2's "Total" row).
+    pub fn total_recall(&self) -> (u32, u32) {
+        self.recall
+            .values()
+            .fold((0, 0), |(r, a), (rr, aa)| (r + rr, a + aa))
+    }
+
+    /// Outlier fraction among inspected samples (§4.1.2 reports 5.1%).
+    pub fn outlier_rate(&self) -> f64 {
+        if self.inspected == 0 {
+            0.0
+        } else {
+            self.outliers.len() as f64 / self.inspected as f64
+        }
+    }
+}
+
+/// Run the heuristic over a baseline store.
+pub fn extract_outliers(store: &SampleStore, config: &OutlierConfig) -> OutlierReport {
+    let rep_idx: Vec<usize> = config
+        .rep_countries
+        .iter()
+        .filter_map(|c| store.country_index(*c))
+        .collect();
+
+    // Representative length: longest response per domain across the
+    // representative countries.
+    let mut representative: Vec<Option<u32>> = vec![None; store.domains.len()];
+    for (d, rep) in representative.iter_mut().enumerate() {
+        let mut max = None;
+        for &c in &rep_idx {
+            for obs in store.cell(d, c) {
+                if let Some(len) = obs.body_len() {
+                    max = Some(max.map_or(len, |m: u32| m.max(len)));
+                }
+            }
+        }
+        *rep = max;
+    }
+
+    let mut outliers = Vec::new();
+    let mut inspected = 0usize;
+    for (d, rep) in representative.iter().enumerate() {
+        let Some(rep) = *rep else { continue };
+        for &c in &rep_idx {
+            for (s, obs) in store.cell(d, c).iter().enumerate() {
+                let Some(len) = obs.body_len() else { continue };
+                inspected += 1;
+                if is_outlier(len, rep, config.cutoff) {
+                    outliers.push(Outlier {
+                        domain: d as u32,
+                        country: c as u16,
+                        sample: s as u16,
+                        len,
+                    });
+                }
+            }
+        }
+    }
+
+    // Evaluation over the whole store: recall per fingerprint and the
+    // Figure 2 size-difference series.
+    let mut recall: HashMap<PageKind, (u32, u32)> = HashMap::new();
+    let mut size_diffs = Vec::new();
+    let mut ordinary_tick = 0usize;
+    for (d, _c, samples) in store.iter_cells() {
+        let Some(rep) = representative[d] else { continue };
+        for obs in samples {
+            let Some(len) = obs.body_len() else { continue };
+            let diff = 1.0 - len as f64 / rep as f64;
+            match obs.page() {
+                Some(kind) => {
+                    let entry = recall.entry(kind).or_insert((0, 0));
+                    entry.1 += 1;
+                    if is_outlier(len, rep, config.cutoff) {
+                        entry.0 += 1;
+                    }
+                    size_diffs.push((diff as f32, true));
+                }
+                None => {
+                    ordinary_tick += 1;
+                    if ordinary_tick.is_multiple_of(7) {
+                        size_diffs.push((diff as f32, false));
+                    }
+                }
+            }
+        }
+    }
+
+    OutlierReport {
+        representative,
+        outliers,
+        inspected,
+        recall,
+        size_diffs,
+    }
+}
+
+/// The outlier predicate: `len` is at least `cutoff` shorter than `rep`.
+pub fn is_outlier(len: u32, rep: u32, cutoff: f64) -> bool {
+    rep > 0 && (len as f64) <= (1.0 - cutoff) * rep as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Obs;
+    use geoblock_worldgen::cc;
+
+    fn resp(len: u32, page: Option<PageKind>) -> Obs {
+        Obs::Response {
+            status: if page.is_some() { 403 } else { 200 },
+            len,
+            page,
+        }
+    }
+
+    fn store() -> (SampleStore, OutlierConfig) {
+        let mut s = SampleStore::new(
+            vec!["big.com".into(), "blocked.com".into()],
+            vec![cc("IR"), cc("US"), cc("DE")],
+        );
+        // big.com: 10k representative, one 30%-short natural variant in IR.
+        s.push(0, 0, resp(6_900, None));
+        s.push(0, 0, resp(10_000, None));
+        s.push(0, 1, resp(9_800, None));
+        // blocked.com: blocked in IR (1.5k page), real 8k elsewhere.
+        s.push(1, 0, resp(1_500, Some(PageKind::Cloudflare)));
+        s.push(1, 1, resp(8_000, None));
+        s.push(1, 2, resp(8_000, None));
+        let config = OutlierConfig {
+            cutoff: 0.30,
+            rep_countries: vec![cc("IR"), cc("US")],
+        };
+        (s, config)
+    }
+
+    #[test]
+    fn representative_is_longest_in_rep_countries() {
+        let (s, config) = store();
+        let report = extract_outliers(&s, &config);
+        assert_eq!(report.representative[0], Some(10_000));
+        assert_eq!(report.representative[1], Some(8_000));
+    }
+
+    #[test]
+    fn extracts_short_samples_in_rep_countries_only() {
+        let (s, config) = store();
+        let report = extract_outliers(&s, &config);
+        // big.com's 6.9k (31% short) and blocked.com's 1.5k page.
+        assert_eq!(report.outliers.len(), 2);
+        assert!(report
+            .outliers
+            .iter()
+            .any(|o| o.domain == 1 && o.len == 1_500));
+        assert!(report
+            .outliers
+            .iter()
+            .any(|o| o.domain == 0 && o.len == 6_900));
+    }
+
+    #[test]
+    fn germany_is_outside_rep_countries() {
+        let (mut s, config) = store();
+        // A short sample in DE must not be extracted.
+        s.push(0, 2, resp(1_000, None));
+        let report = extract_outliers(&s, &config);
+        assert!(report.outliers.iter().all(|o| o.country != 2));
+    }
+
+    #[test]
+    fn recall_counts_block_pages_globally() {
+        let (s, config) = store();
+        let report = extract_outliers(&s, &config);
+        let (recalled, actual) = report.recall[&PageKind::Cloudflare];
+        assert_eq!((recalled, actual), (1, 1));
+        assert_eq!(report.total_recall(), (1, 1));
+    }
+
+    #[test]
+    fn recall_misses_blocks_when_rep_is_itself_a_block() {
+        // A domain blocked in *all* representative countries: the rep is
+        // the block page, so the heuristic cannot see the block — the
+        // §4.1.5 false-negative mechanism.
+        let mut s = SampleStore::new(vec!["all.com".into()], vec![cc("IR"), cc("SY")]);
+        s.push(0, 0, resp(1_500, Some(PageKind::Akamai)));
+        s.push(0, 1, resp(1_480, Some(PageKind::Akamai)));
+        let config = OutlierConfig {
+            cutoff: 0.30,
+            rep_countries: vec![cc("IR"), cc("SY")],
+        };
+        let report = extract_outliers(&s, &config);
+        let (recalled, actual) = report.recall[&PageKind::Akamai];
+        assert_eq!(actual, 2);
+        assert_eq!(recalled, 0);
+        assert!(report.outliers.is_empty());
+    }
+
+    #[test]
+    fn outlier_predicate_boundary() {
+        assert!(is_outlier(700, 1000, 0.30));
+        assert!(!is_outlier(701, 1000, 0.30));
+        assert!(!is_outlier(1000, 0, 0.30));
+    }
+
+    #[test]
+    fn size_diffs_mark_block_pages() {
+        let (s, config) = store();
+        let report = extract_outliers(&s, &config);
+        let blocked: Vec<_> = report.size_diffs.iter().filter(|(_, b)| *b).collect();
+        assert_eq!(blocked.len(), 1);
+        assert!(blocked[0].0 > 0.8, "block page diff {}", blocked[0].0);
+    }
+}

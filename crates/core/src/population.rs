@@ -1,0 +1,332 @@
+//! CDN customer identification (§3.1, §5.1.1).
+//!
+//! Four techniques, matching the paper:
+//!
+//! * **response headers** anywhere in the redirect chain: `CF-RAY` →
+//!   Cloudflare, `X-Amz-Cf-Id` → CloudFront, `X-Iinfo` → Incapsula;
+//! * **the Akamai `Pragma` poke**: sending
+//!   `Pragma: akamai-x-cache-on, akamai-x-get-cache-key` makes Akamai edges
+//!   emit cache-debug headers;
+//! * **AppEngine netblocks**: recursively resolve
+//!   `_cloud-netblocks.googleusercontent.com` TXT records into IP blocks
+//!   and match each domain's A record;
+//! * **NS delegation** (the §3 method): NS records under `akam.net` /
+//!   `ns.cloudflare.com` — exposes only a biased fraction of customers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use geoblock_blockpages::Provider;
+use geoblock_http::{HeaderProfile, Method, Request, Url};
+use geoblock_lumscan::{follow_redirects, SessionId, Transport};
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+use tokio::task::JoinSet;
+
+/// A DNS view the identifier can query.
+pub trait Resolver: Send + Sync {
+    /// NS records for a name.
+    fn ns(&self, name: &str) -> Vec<String>;
+    /// A records for a name.
+    fn a(&self, name: &str) -> Vec<String>;
+    /// TXT records for a name.
+    fn txt(&self, name: &str) -> Vec<String>;
+}
+
+/// Identified populations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopulationReport {
+    /// Customers per provider (sorted domain lists).
+    pub by_provider: BTreeMap<Provider, Vec<String>>,
+    /// Domains identified as customers of two services.
+    pub dual: Vec<String>,
+    /// Domains that answered the probe at all.
+    pub responding: usize,
+}
+
+impl PopulationReport {
+    /// Unique customer domains across all providers (§5.1.1: 152,001).
+    pub fn total_unique(&self) -> usize {
+        let mut all: Vec<&String> = self.by_provider.values().flatten().collect();
+        all.sort();
+        all.dedup();
+        all.len()
+    }
+
+    /// Customers of one provider.
+    pub fn of(&self, provider: Provider) -> &[String] {
+        self.by_provider
+            .get(&provider)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Walk the `_cloud-netblocks` TXT tree, returning the discovered CIDR
+/// blocks (§5.1.1 found 65).
+pub fn discover_appengine_netblocks(resolver: &dyn Resolver) -> Vec<String> {
+    let mut blocks = Vec::new();
+    for root_txt in resolver.txt("_cloud-netblocks.googleusercontent.com") {
+        for include in parse_spf(&root_txt, "include:") {
+            for txt in resolver.txt(&include) {
+                blocks.extend(parse_spf(&txt, "ip4:"));
+            }
+        }
+    }
+    blocks.sort();
+    blocks.dedup();
+    blocks
+}
+
+fn parse_spf(txt: &str, prefix: &str) -> Vec<String> {
+    txt.split_whitespace()
+        .filter_map(|tok| tok.strip_prefix(prefix))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Whether a dotted-quad address falls in a `/16` CIDR.
+fn in_block(ip: &str, cidr: &str) -> bool {
+    let Some((prefix, "16")) = cidr.split_once('/') else {
+        return false;
+    };
+    let p: Vec<&str> = prefix.splitn(4, '.').collect();
+    let i: Vec<&str> = ip.splitn(4, '.').collect();
+    p.len() == 4 && i.len() == 4 && p[0] == i[0] && p[1] == i[1]
+}
+
+/// A probe task's yield: domain index and identified providers (None on a
+/// failed probe).
+type ProbeYield = (usize, Option<Vec<Provider>>);
+
+/// NS-delegation identification (§3.1). Returns `(cloudflare, akamai)`
+/// customer lists — "only a fraction" of the real populations, biased
+/// toward enterprise zones.
+pub fn identify_by_ns(resolver: &dyn Resolver, domains: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut cloudflare = Vec::new();
+    let mut akamai = Vec::new();
+    for d in domains {
+        for ns in resolver.ns(d) {
+            if ns.ends_with(".ns.cloudflare.com") {
+                cloudflare.push(d.clone());
+                break;
+            }
+            if ns.ends_with(".akam.net") {
+                akamai.push(d.clone());
+                break;
+            }
+        }
+    }
+    (cloudflare, akamai)
+}
+
+/// Probe configuration for header-based identification.
+#[derive(Debug, Clone)]
+pub struct PopulationProbe {
+    /// The vantage country (a control location; the US in the paper).
+    pub country: CountryCode,
+    /// Concurrent probes.
+    pub concurrency: usize,
+}
+
+/// Identify CDN customers among `domains` by probing each once (HEAD with
+/// the Akamai `Pragma` poke) and checking headers on every redirect hop,
+/// plus the AppEngine netblock match on A records.
+pub async fn identify_populations<T: Transport + 'static>(
+    transport: Arc<T>,
+    resolver: &dyn Resolver,
+    domains: &[String],
+    probe: &PopulationProbe,
+) -> PopulationReport {
+    let netblocks = Arc::new(discover_appengine_netblocks(resolver));
+
+    let mut report = PopulationReport::default();
+    let mut join: JoinSet<ProbeYield> = JoinSet::new();
+    let mut next = 0usize;
+    let mut found: Vec<Option<Vec<Provider>>> = vec![None; domains.len()];
+
+    // A-record matching is synchronous; do it inline first.
+    let mut appengine: Vec<bool> = Vec::with_capacity(domains.len());
+    for d in domains {
+        let hit = resolver
+            .a(d)
+            .iter()
+            .any(|ip| netblocks.iter().any(|b| in_block(ip, b)));
+        appengine.push(hit);
+    }
+
+    while next < domains.len() || !join.is_empty() {
+        while next < domains.len() && join.len() < probe.concurrency.max(1) {
+            let transport = Arc::clone(&transport);
+            let domain = domains[next].clone();
+            let idx = next;
+            let country = probe.country;
+            next += 1;
+            join.spawn(async move {
+                let request = Request {
+                    method: Method::Head,
+                    url: Url::http(domain.as_str()),
+                    headers: HeaderProfile::FullBrowser.headers(),
+                }
+                .header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
+                match follow_redirects(transport.as_ref(), request, country, SessionId(idx as u64), 10)
+                    .await
+                {
+                    Err(_) => (idx, None),
+                    Ok(chain) => {
+                        let mut providers = Vec::new();
+                        if chain.any_hop_has_header("cf-ray") {
+                            providers.push(Provider::Cloudflare);
+                        }
+                        if chain.any_hop_has_header("x-amz-cf-id") {
+                            providers.push(Provider::CloudFront);
+                        }
+                        if chain.any_hop_has_header("x-iinfo") {
+                            providers.push(Provider::Incapsula);
+                        }
+                        if chain.any_hop_has_header("x-check-cacheable") {
+                            providers.push(Provider::Akamai);
+                        }
+                        (idx, Some(providers))
+                    }
+                }
+            });
+        }
+        if let Some(done) = join.join_next().await {
+            let (idx, providers) = done.expect("population probe panicked");
+            found[idx] = providers;
+        }
+    }
+
+    for (idx, providers) in found.into_iter().enumerate() {
+        let mut providers = providers.unwrap_or_default();
+        let responded = !providers.is_empty() || appengine[idx];
+        if responded {
+            report.responding += 1;
+        }
+        if appengine[idx] {
+            providers.push(Provider::AppEngine);
+        }
+        if providers.len() >= 2 {
+            report.dual.push(domains[idx].clone());
+        }
+        for p in providers {
+            report
+                .by_provider
+                .entry(p)
+                .or_default()
+                .push(domains[idx].clone());
+        }
+    }
+    for list in report.by_provider.values_mut() {
+        list.sort();
+    }
+    report.dual.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{FetchError, Response, StatusCode};
+    use geoblock_lumscan::TransportRequest;
+    use geoblock_worldgen::cc;
+
+    /// Test double: a resolver + transport with a scripted world of four
+    /// domains.
+    struct FakeWorld;
+
+    impl Resolver for FakeWorld {
+        fn ns(&self, name: &str) -> Vec<String> {
+            match name {
+                "cf.com" => vec!["ada1.ns.cloudflare.com".into()],
+                "ak.com" => vec!["a3-64.akam.net".into()],
+                _ => vec!["ns1.other.net".into()],
+            }
+        }
+
+        fn a(&self, name: &str) -> Vec<String> {
+            match name {
+                "gae.com" => vec!["172.103.9.9".into()],
+                _ => vec!["198.51.1.1".into()],
+            }
+        }
+
+        fn txt(&self, name: &str) -> Vec<String> {
+            match name {
+                "_cloud-netblocks.googleusercontent.com" => {
+                    vec!["v=spf1 include:_cloud-netblocks1.googleusercontent.com ?all".into()]
+                }
+                "_cloud-netblocks1.googleusercontent.com" => {
+                    vec!["v=spf1 ip4:172.103.0.0/16 ip4:172.104.0.0/16 ?all".into()]
+                }
+                _ => vec![],
+            }
+        }
+    }
+
+    impl Transport for FakeWorld {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let host = req.request.effective_host();
+            let mut b = Response::builder(StatusCode::OK);
+            match host.as_str() {
+                "cf.com" => b = b.header("CF-RAY", "x"),
+                "ak.com"
+                    if req.request.headers.get_all("pragma").any(|v| v.contains("akamai")) =>
+                {
+                    b = b.header("X-Check-Cacheable", "YES");
+                }
+                "dual.com" => b = b.header("X-Iinfo", "i").header("X-Check-Cacheable", "YES"),
+                _ => {}
+            }
+            Ok(b.finish(req.request.url))
+        }
+    }
+
+    fn domains() -> Vec<String> {
+        ["cf.com", "ak.com", "gae.com", "dual.com", "plain.com"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn netblock_walk_collects_blocks() {
+        let blocks = discover_appengine_netblocks(&FakeWorld);
+        assert_eq!(blocks, vec!["172.103.0.0/16", "172.104.0.0/16"]);
+    }
+
+    #[test]
+    fn ns_identification_splits_providers() {
+        let (cf, ak) = identify_by_ns(&FakeWorld, &domains());
+        assert_eq!(cf, vec!["cf.com"]);
+        assert_eq!(ak, vec!["ak.com"]);
+    }
+
+    #[tokio::test]
+    async fn header_identification_covers_all_methods() {
+        let report = identify_populations(
+            Arc::new(FakeWorld),
+            &FakeWorld,
+            &domains(),
+            &PopulationProbe {
+                country: cc("US"),
+                concurrency: 4,
+            },
+        )
+        .await;
+        assert_eq!(report.of(Provider::Cloudflare), ["cf.com"]);
+        assert_eq!(report.of(Provider::Akamai), ["ak.com", "dual.com"]);
+        assert_eq!(report.of(Provider::AppEngine), ["gae.com"]);
+        assert_eq!(report.of(Provider::Incapsula), ["dual.com"]);
+        assert_eq!(report.dual, ["dual.com"]);
+        assert_eq!(report.total_unique(), 4);
+    }
+
+    #[test]
+    fn in_block_requires_slash_16_match() {
+        assert!(in_block("172.103.1.2", "172.103.0.0/16"));
+        assert!(!in_block("172.105.1.2", "172.103.0.0/16"));
+        assert!(!in_block("junk", "172.103.0.0/16"));
+    }
+}

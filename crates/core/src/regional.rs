@@ -1,0 +1,179 @@
+//! Sub-country (regional) blocking analysis (§4.2.2 / §7.3).
+//!
+//! The paper's one counterexample to country-granular blocking is
+//! `geniusdisplay.com`: an nginx page across Russia, but Google AppEngine's
+//! sanctions page specifically from *Crimean* exits inside Ukraine. The
+//! paper flags region-granular measurement as future work; this module
+//! implements the analysis: probe one (domain, country) pair many times,
+//! attribute each observation to the exit's address, and test whether
+//! block pages concentrate in an address subrange (a region) rather than
+//! being uniform across the country.
+
+use geoblock_blockpages::{FingerprintSet, PageKind};
+use geoblock_http::{HeaderProfile, Request, Url};
+use geoblock_lumscan::{follow_redirects, SessionId, Transport};
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// One attributed observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionalObservation {
+    /// The exit's address as reported by the echo service.
+    pub exit_ip: String,
+    /// Block page seen, if any.
+    pub page: Option<PageKind>,
+}
+
+/// Result of a regional probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionalReport {
+    /// The probed domain.
+    pub domain: String,
+    /// The probed country.
+    pub country: CountryCode,
+    /// All attributed observations.
+    pub observations: Vec<RegionalObservation>,
+}
+
+impl RegionalReport {
+    /// Fraction of observations showing a block page.
+    pub fn block_rate(&self) -> f64 {
+        let blocks = self.observations.iter().filter(|o| o.page.is_some()).count();
+        blocks as f64 / self.observations.len().max(1) as f64
+    }
+
+    /// Split observations by an address predicate (e.g. "is this a Crimean
+    /// prefix") and return `(inside_rate, outside_rate)`.
+    pub fn split_rates(&self, in_region: impl Fn(&str) -> bool) -> (f64, f64) {
+        let (mut in_b, mut in_n, mut out_b, mut out_n) = (0u32, 0u32, 0u32, 0u32);
+        for o in &self.observations {
+            if in_region(&o.exit_ip) {
+                in_n += 1;
+                in_b += u32::from(o.page.is_some());
+            } else {
+                out_n += 1;
+                out_b += u32::from(o.page.is_some());
+            }
+        }
+        (
+            in_b as f64 / in_n.max(1) as f64,
+            out_b as f64 / out_n.max(1) as f64,
+        )
+    }
+
+    /// Whether blocking is regional: a sub-population of exits (by the
+    /// predicate) blocks at a high rate while the rest of the country does
+    /// not.
+    pub fn is_region_granular(&self, in_region: impl Fn(&str) -> bool) -> bool {
+        let (inside, outside) = self.split_rates(in_region);
+        inside >= 0.8 && outside <= 0.2
+    }
+}
+
+/// Probe `domain` from `country` `attempts` times, attributing every
+/// observation to its exit address via the proxy-controlled echo page
+/// (fetched on the same session, so it reports the same household).
+pub async fn probe_regional<T: Transport>(
+    transport: &T,
+    echo_url: &Url,
+    domain: &str,
+    country: CountryCode,
+    attempts: u64,
+) -> RegionalReport {
+    let fingerprints = FingerprintSet::paper();
+    let mut observations = Vec::new();
+    for attempt in 0..attempts {
+        let session = SessionId(attempt);
+        // Echo first: learn the exit identity for this session.
+        let echo = follow_redirects(
+            transport,
+            Request::get(echo_url.clone()),
+            country,
+            session,
+            4,
+        )
+        .await;
+        let Ok(echo_chain) = echo else { continue };
+        let body = echo_chain.final_response().body.as_text().to_string();
+        let Some(exit_ip) = body
+            .split('&')
+            .find_map(|kv| kv.strip_prefix("ip="))
+            .map(str::to_string)
+        else {
+            continue;
+        };
+
+        let request =
+            Request::get(Url::http(domain)).headers(&HeaderProfile::FullBrowser.headers());
+        let Ok(chain) = follow_redirects(transport, request, country, session, 10).await else {
+            continue;
+        };
+        let resp = chain.final_response();
+        let page = if resp.status.is_blockish() {
+            fingerprints.classify(resp).map(|m| m.kind)
+        } else {
+            None
+        };
+        observations.push(RegionalObservation { exit_ip, page });
+    }
+    RegionalReport {
+        domain: domain.to_string(),
+        country,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn report(obs: Vec<(&str, Option<PageKind>)>) -> RegionalReport {
+        RegionalReport {
+            domain: "x.com".into(),
+            country: cc("UA"),
+            observations: obs
+                .into_iter()
+                .map(|(ip, page)| RegionalObservation {
+                    exit_ip: ip.to_string(),
+                    page,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regional_split_detects_crimea_style_blocking() {
+        let r = report(vec![
+            ("5.1.0.1", Some(PageKind::AppEngine)),
+            ("5.1.0.2", Some(PageKind::AppEngine)),
+            ("5.1.9.1", None),
+            ("5.1.9.2", None),
+            ("5.1.9.3", None),
+        ]);
+        let in_region = |ip: &str| ip.starts_with("5.1.0.");
+        let (inside, outside) = r.split_rates(in_region);
+        assert_eq!(inside, 1.0);
+        assert_eq!(outside, 0.0);
+        assert!(r.is_region_granular(in_region));
+        assert!((r.block_rate() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_blocking_is_not_regional() {
+        let r = report(vec![
+            ("5.1.0.1", Some(PageKind::Cloudflare)),
+            ("5.1.9.1", Some(PageKind::Cloudflare)),
+            ("5.1.9.2", Some(PageKind::Cloudflare)),
+        ]);
+        assert!(!r.is_region_granular(|ip| ip.starts_with("5.1.0.")));
+        assert_eq!(r.block_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let r = report(vec![]);
+        assert_eq!(r.block_rate(), 0.0);
+        assert!(!r.is_region_granular(|_| true));
+    }
+}

@@ -1,0 +1,198 @@
+//! Timeout-based blocking analysis (§7.3 future work).
+//!
+//! The paper observes "consistent timeouts for certain websites in only
+//! some countries" and flags them as a *possible* geoblocking mechanism
+//! that is much harder to distinguish from censorship. This module
+//! implements that exploration: it finds (domain, country) pairs whose
+//! samples consistently fail while the same domain responds healthily
+//! elsewhere, then grades how geoblocking-like the failing-country set
+//! looks (sanctioned/high-abuse countries are the geoblocking signature;
+//! a censor's signature is a *single* country with heavy censorship).
+
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+use crate::observation::{ErrKind, Obs, SampleStore};
+
+/// A domain with country-selective consistent timeouts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeoutSuspect {
+    /// The domain.
+    pub domain: String,
+    /// Countries where every sample failed with a timeout-like error.
+    pub dark_countries: Vec<CountryCode>,
+    /// Countries with healthy responses.
+    pub healthy_countries: usize,
+    /// Heuristic grade of how geoblocking-like the dark set is, in [0, 1]:
+    /// the fraction of dark countries that are sanctioned or high-abuse
+    /// (the populations server-side blockers target).
+    pub geoblock_likeness: f64,
+}
+
+/// Failure kinds that plausibly are a server dropping the connection
+/// (rather than the proxy layer failing).
+fn timeout_like(kind: ErrKind) -> bool {
+    matches!(kind, ErrKind::Timeout | ErrKind::Reset | ErrKind::Refused)
+}
+
+/// Minimum samples per cell before a judgement is made.
+const MIN_SAMPLES: usize = 2;
+
+/// Find timeout-blocking suspects in a store.
+pub fn find_suspects(store: &SampleStore) -> Vec<TimeoutSuspect> {
+    let mut out = Vec::new();
+    for d in 0..store.domains.len() {
+        let mut dark = Vec::new();
+        let mut healthy = 0usize;
+        for (c, country) in store.countries.iter().enumerate() {
+            let samples = store.cell(d, c);
+            if samples.len() < MIN_SAMPLES {
+                continue;
+            }
+            let responses = samples.iter().filter(|o| o.responded()).count();
+            if responses > 0 {
+                healthy += 1;
+                continue;
+            }
+            let all_timeout_like = samples.iter().all(|o| match o {
+                Obs::Error(kind) => timeout_like(*kind),
+                Obs::Response { .. } => false,
+            });
+            if all_timeout_like {
+                dark.push(*country);
+            }
+        }
+        // Selective darkness: some countries dark, clearly healthy
+        // elsewhere. Dead sites (dark everywhere) are excluded.
+        if dark.is_empty() || healthy < 3 * dark.len().min(5) {
+            continue;
+        }
+        let targeted = dark
+            .iter()
+            .filter(|c| {
+                c.info()
+                    .map(|i| i.sanctioned || i.abuse >= 0.40)
+                    .unwrap_or(false)
+            })
+            .count();
+        out.push(TimeoutSuspect {
+            domain: store.domains[d].clone(),
+            geoblock_likeness: targeted as f64 / dark.len() as f64,
+            dark_countries: dark,
+            healthy_countries: healthy,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.geoblock_likeness
+            .partial_cmp(&a.geoblock_likeness)
+            .expect("no NaN")
+            .then(a.domain.cmp(&b.domain))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn ok() -> Obs {
+        Obs::Response {
+            status: 200,
+            len: 9000,
+            page: None,
+        }
+    }
+
+    fn timeout() -> Obs {
+        Obs::Error(ErrKind::Timeout)
+    }
+
+    fn store() -> SampleStore {
+        SampleStore::new(
+            vec!["selective.com".into(), "dead.com".into(), "flaky.com".into()],
+            vec![
+                cc("IR"),
+                cc("CN"),
+                cc("US"),
+                cc("DE"),
+                cc("FR"),
+                cc("JP"),
+                cc("GB"),
+                cc("CA"),
+            ],
+        )
+    }
+
+    #[test]
+    fn selective_timeouts_are_flagged_with_high_likeness() {
+        let mut s = store();
+        for c in 0..8 {
+            for _ in 0..3 {
+                // selective.com: dark in IR and CN, healthy elsewhere.
+                s.push(0, c, if c < 2 { timeout() } else { ok() });
+            }
+        }
+        let suspects = find_suspects(&s);
+        assert_eq!(suspects.len(), 1);
+        let sus = &suspects[0];
+        assert_eq!(sus.domain, "selective.com");
+        assert_eq!(sus.dark_countries, vec![cc("IR"), cc("CN")]);
+        assert!((sus.geoblock_likeness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_domains_are_not_suspects() {
+        let mut s = store();
+        for c in 0..8 {
+            for _ in 0..3 {
+                s.push(1, c, timeout());
+            }
+        }
+        assert!(find_suspects(&s).is_empty());
+    }
+
+    #[test]
+    fn partial_failures_are_not_consistent() {
+        let mut s = store();
+        for c in 0..8 {
+            s.push(2, c, timeout());
+            s.push(2, c, ok());
+            s.push(2, c, ok());
+        }
+        assert!(find_suspects(&s).is_empty());
+    }
+
+    #[test]
+    fn proxy_errors_do_not_count_as_server_timeouts() {
+        let mut s = store();
+        for c in 0..8 {
+            for _ in 0..3 {
+                s.push(
+                    0,
+                    c,
+                    if c == 0 {
+                        Obs::Error(ErrKind::Proxy)
+                    } else {
+                        ok()
+                    },
+                );
+            }
+        }
+        assert!(find_suspects(&s).is_empty());
+    }
+
+    #[test]
+    fn benign_dark_countries_grade_low() {
+        let mut s = store();
+        for c in 0..8 {
+            for _ in 0..3 {
+                // Dark only in Germany and France: not a geoblock shape.
+                s.push(0, c, if c == 3 || c == 4 { timeout() } else { ok() });
+            }
+        }
+        let suspects = find_suspects(&s);
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].geoblock_likeness, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the pipeline invariants: confirmation
+//! thresholds, consistency-score bounds, and outlier-rule monotonicity.
+
+use geoblock_blockpages::PageKind;
+use geoblock_core::confirm::{verdicts, ConfirmConfig};
+use geoblock_core::consistency::consistency_scores;
+use geoblock_core::observation::{ErrKind, Obs, SampleStore};
+use geoblock_core::outliers::is_outlier;
+use geoblock_worldgen::cc;
+use proptest::prelude::*;
+
+fn obs_strategy() -> impl Strategy<Value = Obs> {
+    prop_oneof![
+        3 => Just(Obs::Response { status: 200, len: 9000, page: None }),
+        2 => Just(Obs::Response { status: 403, len: 1500, page: Some(PageKind::Cloudflare) }),
+        1 => Just(Obs::Response { status: 403, len: 600, page: Some(PageKind::Akamai) }),
+        1 => Just(Obs::Error(ErrKind::Timeout)),
+    ]
+}
+
+fn store_strategy() -> impl Strategy<Value = SampleStore> {
+    proptest::collection::vec(proptest::collection::vec(obs_strategy(), 0..40), 1..6).prop_map(
+        |cells| {
+            let countries = [cc("IR"), cc("SY"), cc("CN"), cc("US"), cc("DE")];
+            let mut store = SampleStore::new(
+                vec!["probe.example".to_string()],
+                countries[..cells.len()].to_vec(),
+            );
+            for (c, samples) in cells.into_iter().enumerate() {
+                for obs in samples {
+                    store.push(0, c, obs);
+                }
+            }
+            store
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn verdict_agreement_meets_the_threshold(store in store_strategy()) {
+        let config = ConfirmConfig { confirm_samples: 10, threshold: 0.8 };
+        for v in verdicts(&store, &config) {
+            prop_assert!(v.agreement() >= config.threshold);
+            prop_assert!(v.total > config.confirm_samples);
+            prop_assert!(v.block_count <= v.total);
+        }
+    }
+
+    #[test]
+    fn raising_the_threshold_never_adds_verdicts(store in store_strategy()) {
+        let lenient = ConfirmConfig { confirm_samples: 5, threshold: 0.5 };
+        let strict = ConfirmConfig { confirm_samples: 5, threshold: 0.9 };
+        let low = verdicts(&store, &lenient);
+        let high = verdicts(&store, &strict);
+        prop_assert!(high.len() <= low.len());
+        // Every strict verdict also exists under the lenient policy.
+        for v in &high {
+            prop_assert!(low
+                .iter()
+                .any(|w| w.domain == v.domain && w.country == v.country));
+        }
+    }
+
+    #[test]
+    fn consistency_scores_are_bounded(store in store_strategy()) {
+        for report in consistency_scores(&store, PageKind::Akamai) {
+            prop_assert!((0.0..=1.0).contains(&report.score));
+            prop_assert!(report.consistent_countries.len() <= report.seeing_countries);
+            prop_assert!(report.seeing_countries <= report.responding_countries);
+            if report.is_confirmed_geoblocker() {
+                prop_assert!(report.score >= 1.0);
+                prop_assert!(
+                    report.consistent_countries.len() < report.responding_countries
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_rule_is_monotone(len in 0u32..100_000, rep in 1u32..100_000) {
+        // Monotone in len (shorter ⇒ more outlier-ish) and anti-monotone
+        // in cutoff.
+        if is_outlier(len, rep, 0.30) {
+            prop_assert!(is_outlier(len, rep, 0.20), "lower cutoff must keep outliers");
+            if len > 0 {
+                prop_assert!(is_outlier(len - 1, rep, 0.30));
+            }
+        }
+        if is_outlier(len, rep, 0.50) {
+            prop_assert!(is_outlier(len, rep, 0.30));
+        }
+    }
+}

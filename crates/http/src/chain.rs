@@ -1,0 +1,103 @@
+//! Redirect chains and fetch outcomes.
+//!
+//! The paper inspects *the whole redirect chain*: a domain counts as a CDN
+//! customer if the CDN's identifying header appears "anywhere in the redirect
+//! chain" (§5.1.1), because any hop gives the CDN an opportunity to block.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FetchError;
+use crate::request::Request;
+use crate::response::Response;
+
+/// One request/response hop in a redirect chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// The request that was sent.
+    pub request: Request,
+    /// The response received.
+    pub response: Response,
+}
+
+/// A completed redirect chain: zero or more 3xx hops followed by a final
+/// non-redirect response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedirectChain {
+    /// All hops in order; the last hop holds the final response.
+    pub hops: Vec<Hop>,
+}
+
+impl RedirectChain {
+    /// Wrap a list of hops. Panics in debug builds if empty.
+    pub fn new(hops: Vec<Hop>) -> RedirectChain {
+        debug_assert!(!hops.is_empty(), "a chain must contain at least one hop");
+        RedirectChain { hops }
+    }
+
+    /// The final (non-redirect) response.
+    pub fn final_response(&self) -> &Response {
+        &self.hops.last().expect("chain is non-empty").response
+    }
+
+    /// Number of redirects followed (hops minus the final response).
+    pub fn redirect_count(&self) -> usize {
+        self.hops.len() - 1
+    }
+
+    /// Whether `header` appears in *any* hop's response — the CDN-population
+    /// detection rule.
+    pub fn any_hop_has_header(&self, header: &str) -> bool {
+        self.hops.iter().any(|h| h.response.headers.contains(header))
+    }
+
+    /// First value of `header` across hops in order, if present anywhere.
+    pub fn first_header_value(&self, header: &str) -> Option<&str> {
+        self.hops.iter().find_map(|h| h.response.headers.get(header))
+    }
+}
+
+/// The result of a full fetch attempt: either a chain ending in a final
+/// response, or one of the [`FetchError`] failures.
+pub type FetchOutcome = Result<RedirectChain, FetchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Response, StatusCode, Url};
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    fn hop(u: &str, status: StatusCode, location: Option<&str>) -> Hop {
+        let mut b = Response::builder(status);
+        if let Some(l) = location {
+            b = b.header("Location", l);
+        }
+        Hop {
+            request: Request::get(url(u)),
+            response: b.finish(url(u)),
+        }
+    }
+
+    #[test]
+    fn final_response_is_last_hop() {
+        let chain = RedirectChain::new(vec![
+            hop("http://a.com/", StatusCode::FOUND, Some("https://a.com/")),
+            hop("https://a.com/", StatusCode::OK, None),
+        ]);
+        assert_eq!(chain.redirect_count(), 1);
+        assert_eq!(chain.final_response().status, StatusCode::OK);
+    }
+
+    #[test]
+    fn header_search_spans_all_hops() {
+        let mut first = hop("http://a.com/", StatusCode::FOUND, Some("https://a.com/"));
+        first.response.headers.append("CF-RAY", "abc-IAD");
+        let chain = RedirectChain::new(vec![first, hop("https://a.com/", StatusCode::OK, None)]);
+        // Header only on the *redirect* hop still counts.
+        assert!(chain.any_hop_has_header("cf-ray"));
+        assert_eq!(chain.first_header_value("cf-ray"), Some("abc-IAD"));
+        assert!(!chain.any_hop_has_header("x-iinfo"));
+    }
+}

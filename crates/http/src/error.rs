@@ -1,0 +1,139 @@
+//! The fetch-error taxonomy observed by the probing tools.
+//!
+//! §4.1.1 of the paper defines "error" as *"we were unable to get a response
+//! from the site, either due to proxy errors or errors such as timeouts and
+//! lengthy redirect chains"*. This enum is that taxonomy; the coverage
+//! statistics (90th-percentile error rates, per-country valid-response rates)
+//! are computed over it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a fetch failed to produce a final response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchError {
+    /// DNS lookup failed for the given host.
+    DnsFailure { host: String },
+    /// TCP connection could not be established.
+    ConnectionRefused,
+    /// Connection established but no response within the deadline. The paper
+    /// notes consistent timeouts as a *possible* geoblocking mechanism that
+    /// is indistinguishable from censorship without more work (§7.3).
+    Timeout,
+    /// Connection reset mid-transfer (e.g. by a censoring middlebox).
+    ConnectionReset,
+    /// The redirect chain exceeded the follow limit (the study allows 10).
+    TooManyRedirects { limit: usize },
+    /// The proxy layer failed before reaching the target (superproxy error,
+    /// exit node vanished, tunnel failure).
+    ProxyError { detail: String },
+    /// Luminati itself refused to carry the request; surfaced to clients via
+    /// the `X-Luminati-Error` response header.
+    ProxyRefused { reason: String },
+    /// No exit node was available in the requested country.
+    NoExitAvailable { country: String },
+    /// A malformed response that could not be parsed.
+    MalformedResponse { detail: String },
+}
+
+impl FetchError {
+    /// Whether the Lumscan retry policy should retry this failure.
+    /// Proxy-side refusals are permanent (Luminati policy), everything
+    /// transient is worth retrying.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, FetchError::ProxyRefused { .. })
+    }
+
+    /// Whether the failure happened in the proxy layer rather than on the
+    /// path to (or at) the target site.
+    pub fn is_proxy_side(&self) -> bool {
+        matches!(
+            self,
+            FetchError::ProxyError { .. }
+                | FetchError::ProxyRefused { .. }
+                | FetchError::NoExitAvailable { .. }
+        )
+    }
+
+    /// Short stable label for aggregation in error-rate tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FetchError::DnsFailure { .. } => "dns",
+            FetchError::ConnectionRefused => "refused",
+            FetchError::Timeout => "timeout",
+            FetchError::ConnectionReset => "reset",
+            FetchError::TooManyRedirects { .. } => "redirect-loop",
+            FetchError::ProxyError { .. } => "proxy",
+            FetchError::ProxyRefused { .. } => "proxy-refused",
+            FetchError::NoExitAvailable { .. } => "no-exit",
+            FetchError::MalformedResponse { .. } => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::DnsFailure { host } => write!(f, "DNS lookup failed for {host}"),
+            FetchError::ConnectionRefused => write!(f, "connection refused"),
+            FetchError::Timeout => write!(f, "request timed out"),
+            FetchError::ConnectionReset => write!(f, "connection reset"),
+            FetchError::TooManyRedirects { limit } => {
+                write!(f, "redirect chain exceeded {limit} hops")
+            }
+            FetchError::ProxyError { detail } => write!(f, "proxy error: {detail}"),
+            FetchError::ProxyRefused { reason } => {
+                write!(f, "proxy refused request (X-Luminati-Error: {reason})")
+            }
+            FetchError::NoExitAvailable { country } => {
+                write!(f, "no exit node available in {country}")
+            }
+            FetchError::MalformedResponse { detail } => {
+                write!(f, "malformed response: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_refusals_are_permanent() {
+        assert!(!FetchError::ProxyRefused {
+            reason: "blocked domain".into()
+        }
+        .is_retryable());
+        assert!(FetchError::Timeout.is_retryable());
+        assert!(FetchError::ProxyError { detail: "x".into() }.is_retryable());
+    }
+
+    #[test]
+    fn proxy_side_classification() {
+        assert!(FetchError::NoExitAvailable { country: "KP".into() }.is_proxy_side());
+        assert!(!FetchError::Timeout.is_proxy_side());
+        assert!(!FetchError::DnsFailure { host: "x".into() }.is_proxy_side());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let errs = [
+            FetchError::DnsFailure { host: "h".into() },
+            FetchError::ConnectionRefused,
+            FetchError::Timeout,
+            FetchError::ConnectionReset,
+            FetchError::TooManyRedirects { limit: 10 },
+            FetchError::ProxyError { detail: "d".into() },
+            FetchError::ProxyRefused { reason: "r".into() },
+            FetchError::NoExitAvailable { country: "KP".into() },
+            FetchError::MalformedResponse { detail: "d".into() },
+        ];
+        let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+}

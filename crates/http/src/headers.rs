@@ -1,0 +1,202 @@
+//! Case-insensitive, order-preserving HTTP header map.
+//!
+//! Header *presence* is a first-class measurement signal in the paper: the
+//! Top-1M CDN populations are identified by `CF-RAY` (Cloudflare),
+//! `X-Amz-Cf-Id` (CloudFront), `X-Iinfo` (Incapsula), the Akamai cache
+//! headers elicited by a `Pragma` debug request, and Luminati surfaces its
+//! own refusals via `X-Luminati-Error`. The map therefore preserves insertion
+//! order (so wire serialisation is stable) while comparing names
+//! ASCII-case-insensitively, like every real HTTP implementation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A validated, lower-cased header name.
+///
+/// Names are normalised to lower case at construction so lookups are O(n)
+/// string-equality over already-folded bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HeaderName(String);
+
+impl HeaderName {
+    /// Normalise a name. Header names are token characters only; we accept
+    /// any printable ASCII without whitespace/colon and fold case.
+    pub fn new(name: &str) -> HeaderName {
+        debug_assert!(
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_graphic() && b != b':'),
+            "invalid header name: {name:?}"
+        );
+        HeaderName(name.to_ascii_lowercase())
+    }
+
+    /// The normalised (lower-case) name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for HeaderName {
+    fn from(s: &str) -> Self {
+        HeaderName::new(s)
+    }
+}
+
+/// An insertion-ordered multimap of HTTP headers with case-insensitive names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(HeaderName, String)>,
+}
+
+impl HeaderMap {
+    /// An empty header map.
+    pub fn new() -> HeaderMap {
+        HeaderMap::default()
+    }
+
+    /// Number of header fields (counting repeats separately).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a header, keeping any existing fields with the same name
+    /// (HTTP permits repeated fields, e.g. `Set-Cookie`).
+    pub fn append(&mut self, name: impl Into<HeaderName>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all fields named `name` with a single field.
+    pub fn set(&mut self, name: impl Into<HeaderName>, value: impl Into<String>) {
+        let name = name.into();
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, value.into()));
+    }
+
+    /// First value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let name = HeaderName::new(name);
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a str> {
+        let name = HeaderName::new(name);
+        self.entries
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether at least one field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all fields named `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let name = HeaderName::new(name);
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| *n != name);
+        before - self.entries.len()
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HeaderName, &str)> {
+        self.entries.iter().map(|(n, v)| (n, v.as_str()))
+    }
+
+    /// Merge another map into this one by appending all of its fields.
+    pub fn extend_from(&mut self, other: &HeaderMap) {
+        for (n, v) in other.iter() {
+            self.entries.push((n.clone(), v.to_string()));
+        }
+    }
+}
+
+impl<N: Into<HeaderName>, V: Into<String>> FromIterator<(N, V)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        let mut map = HeaderMap::new();
+        for (n, v) in iter {
+            map.append(n, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.append("CF-RAY", "abc-IAD");
+        assert_eq!(h.get("cf-ray"), Some("abc-IAD"));
+        assert_eq!(h.get("Cf-Ray"), Some("abc-IAD"));
+        assert!(h.contains("CF-RAY"));
+    }
+
+    #[test]
+    fn append_keeps_repeats_and_order() {
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        let all: Vec<_> = h.get_all("set-cookie").collect();
+        assert_eq!(all, vec!["a=1", "b=2"]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.append("X-Test", "1");
+        h.append("X-Test", "2");
+        h.set("x-test", "3");
+        let all: Vec<_> = h.get_all("X-Test").collect();
+        assert_eq!(all, vec!["3"]);
+    }
+
+    #[test]
+    fn remove_returns_count() {
+        let mut h = HeaderMap::new();
+        h.append("A", "1");
+        h.append("a", "2");
+        h.append("B", "3");
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove("A"), 0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let h: HeaderMap = [("User-Agent", "x"), ("Accept", "*/*")].into_iter().collect();
+        assert_eq!(h.get("user-agent"), Some("x"));
+        assert_eq!(h.get("accept"), Some("*/*"));
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a: HeaderMap = [("A", "1")].into_iter().collect();
+        let b: HeaderMap = [("B", "2")].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("b"), Some("2"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Lightweight HTTP model for the geoblock measurement stack.
+//!
+//! This crate defines the HTTP vocabulary shared by every other crate in the
+//! workspace: [`Method`], [`StatusCode`], [`HeaderMap`], [`Url`], [`Request`],
+//! [`Response`], redirect-[`chain`]s, and the [`FetchError`] taxonomy observed
+//! by the probing tools.
+//!
+//! The paper's measurement pipeline ("403 Forbidden: A Global View of CDN
+//! Geoblocking", IMC 2018) classifies HTTP responses fetched from hundreds of
+//! vantage points. Everything downstream — block-page fingerprinting, the
+//! page-length outlier heuristic, CDN population identification via response
+//! headers — consumes these types. They are intentionally simulator-friendly:
+//! cheaply clonable, deterministic, and with no I/O of their own.
+//!
+//! # Example
+//!
+//! ```
+//! use geoblock_http::{Method, Request, Response, StatusCode, Url};
+//!
+//! let url: Url = "http://example.com/".parse().unwrap();
+//! let req = Request::get(url.clone()).header("User-Agent", "Lumscan/1.0");
+//! assert_eq!(req.method, Method::Get);
+//!
+//! let resp = Response::builder(StatusCode::FORBIDDEN)
+//!     .header("CF-RAY", "41f1a3b0c00d2b5e-IAD")
+//!     .body("error code: 1009")
+//!     .finish(url);
+//! assert!(resp.status.is_client_error());
+//! assert!(resp.headers.contains("cf-ray"));
+//! ```
+
+pub mod chain;
+pub mod error;
+pub mod headers;
+pub mod method;
+pub mod profile;
+pub mod request;
+pub mod response;
+pub mod status;
+pub mod url;
+pub mod wire;
+
+pub use chain::{FetchOutcome, Hop, RedirectChain};
+pub use error::FetchError;
+pub use headers::{HeaderMap, HeaderName};
+pub use method::Method;
+pub use profile::HeaderProfile;
+pub use request::Request;
+pub use response::{Body, Response, ResponseBuilder};
+pub use status::StatusCode;
+pub use url::{Host, Url, UrlParseError};

@@ -1,0 +1,135 @@
+//! HTTP request methods.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An HTTP request method.
+///
+/// The measurement tools only ever issue `GET` and `HEAD` requests, but the
+/// full RFC 7231 set is modelled so origin/CDN simulations can reject other
+/// methods realistically (e.g. `405 Method Not Allowed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    Get,
+    Head,
+    Post,
+    Put,
+    Delete,
+    Options,
+    Trace,
+    Patch,
+}
+
+impl Method {
+    /// Canonical upper-case token, e.g. `"GET"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Trace => "TRACE",
+            Method::Patch => "PATCH",
+        }
+    }
+
+    /// Whether the method is *safe* in the RFC 7231 §4.2.1 sense
+    /// (read-only; no server-side state change expected).
+    pub fn is_safe(&self) -> bool {
+        matches!(
+            self,
+            Method::Get | Method::Head | Method::Options | Method::Trace
+        )
+    }
+
+    /// Whether a response to this method carries a body (`HEAD` does not).
+    pub fn response_has_body(&self) -> bool {
+        !matches!(self, Method::Head)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown method token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidMethod(pub String);
+
+impl fmt::Display for InvalidMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid HTTP method: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidMethod {}
+
+impl FromStr for Method {
+    type Err = InvalidMethod;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "OPTIONS" => Ok(Method::Options),
+            "TRACE" => Ok(Method::Trace),
+            "PATCH" => Ok(Method::Patch),
+            other => Err(InvalidMethod(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_methods() {
+        for m in [
+            Method::Get,
+            Method::Head,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Options,
+            Method::Trace,
+            Method::Patch,
+        ] {
+            assert_eq!(m.as_str().parse::<Method>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("get".parse::<Method>().unwrap(), Method::Get);
+        assert_eq!("hEaD".parse::<Method>().unwrap(), Method::Head);
+    }
+
+    #[test]
+    fn rejects_unknown_token() {
+        assert!("FETCH".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn safety_classification() {
+        assert!(Method::Get.is_safe());
+        assert!(Method::Head.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(!Method::Delete.is_safe());
+    }
+
+    #[test]
+    fn head_has_no_response_body() {
+        assert!(!Method::Head.response_has_body());
+        assert!(Method::Get.response_has_body());
+    }
+}

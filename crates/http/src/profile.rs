@@ -1,0 +1,108 @@
+//! Client header profiles.
+//!
+//! §3.1/§3.2 of the paper show that header completeness is load-bearing:
+//! ZGrab configured with only a Firefox `User-Agent` tripped Akamai's bot
+//! detection on ~30% of domains, while "merely setting User-Agent is
+//! insufficient to suppress bot detection" — Lumscan therefore sends a full
+//! browser header set. These profiles are the concrete header bundles used
+//! by the probing tools and by the `ablation_headers` bench.
+
+use serde::{Deserialize, Serialize};
+
+use crate::headers::HeaderMap;
+
+/// A named bundle of request headers emulating a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeaderProfile {
+    /// Bare `curl` defaults: `User-Agent: curl/…` and `Accept: */*`.
+    Curl,
+    /// ZGrab configured as in the VPS study: a Firefox-on-macOS
+    /// `User-Agent` but nothing else — the configuration with the ~30%
+    /// Akamai false-positive rate.
+    ZgrabUserAgentOnly,
+    /// A complete Firefox-on-macOS header set (Accept, Accept-Language,
+    /// Accept-Encoding, Connection, Upgrade-Insecure-Requests) — what
+    /// Lumscan sends to suppress bot detection.
+    FullBrowser,
+    /// No headers at all; trips bot detection most aggressively.
+    Bare,
+}
+
+/// The Firefox-on-macOS UA string the study mimicked.
+pub const FIREFOX_MACOS_UA: &str =
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) Gecko/20100101 Firefox/61.0";
+
+impl HeaderProfile {
+    /// Materialise this profile as a header map.
+    pub fn headers(&self) -> HeaderMap {
+        match self {
+            HeaderProfile::Bare => HeaderMap::new(),
+            HeaderProfile::Curl => [
+                ("User-Agent", "curl/7.61.0"),
+                ("Accept", "*/*"),
+            ]
+            .into_iter()
+            .collect(),
+            HeaderProfile::ZgrabUserAgentOnly => {
+                [("User-Agent", FIREFOX_MACOS_UA)].into_iter().collect()
+            }
+            HeaderProfile::FullBrowser => [
+                ("User-Agent", FIREFOX_MACOS_UA),
+                (
+                    "Accept",
+                    "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+                ),
+                ("Accept-Language", "en-US,en;q=0.5"),
+                ("Accept-Encoding", "gzip, deflate"),
+                ("Connection", "keep-alive"),
+                ("Upgrade-Insecure-Requests", "1"),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// How "browser-like" the profile looks to a bot-detection heuristic, in
+    /// [0, 1]. CDN edge simulations use this as the suppression factor for
+    /// their bot-detection false positives.
+    pub fn browser_likeness(&self) -> f64 {
+        match self {
+            HeaderProfile::Bare => 0.0,
+            HeaderProfile::Curl => 0.05,
+            HeaderProfile::ZgrabUserAgentOnly => 0.35,
+            HeaderProfile::FullBrowser => 0.98,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_browser_superset_of_ua_only() {
+        let full = HeaderProfile::FullBrowser.headers();
+        let ua = HeaderProfile::ZgrabUserAgentOnly.headers();
+        assert_eq!(full.get("user-agent"), ua.get("user-agent"));
+        assert!(full.len() > ua.len());
+        assert!(full.contains("accept-language"));
+        assert!(!ua.contains("accept-language"));
+    }
+
+    #[test]
+    fn likeness_is_monotone_in_completeness() {
+        assert!(
+            HeaderProfile::Bare.browser_likeness()
+                < HeaderProfile::ZgrabUserAgentOnly.browser_likeness()
+        );
+        assert!(
+            HeaderProfile::ZgrabUserAgentOnly.browser_likeness()
+                < HeaderProfile::FullBrowser.browser_likeness()
+        );
+    }
+
+    #[test]
+    fn bare_is_empty() {
+        assert!(HeaderProfile::Bare.headers().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! HTTP request model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::headers::HeaderMap;
+use crate::method::Method;
+use crate::url::Url;
+
+/// An HTTP request as issued by a probing tool.
+///
+/// Requests are value types: the probing engines clone and mutate them per
+/// retry/hop, so no body streaming is modelled (the measurement tools only
+/// send `GET`/`HEAD` with empty bodies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// Request headers.
+    pub headers: HeaderMap,
+}
+
+impl Request {
+    /// A `GET` request for `url` with no headers.
+    pub fn get(url: Url) -> Request {
+        Request {
+            method: Method::Get,
+            url,
+            headers: HeaderMap::new(),
+        }
+    }
+
+    /// A `HEAD` request for `url` with no headers.
+    pub fn head(url: Url) -> Request {
+        Request {
+            method: Method::Head,
+            ..Request::get(url)
+        }
+    }
+
+    /// Builder-style header append.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.append(name, value);
+        self
+    }
+
+    /// Builder-style bulk header merge (used to apply a
+    /// [`HeaderProfile`](crate::profile::HeaderProfile)).
+    pub fn headers(mut self, headers: &HeaderMap) -> Request {
+        self.headers.extend_from(headers);
+        self
+    }
+
+    /// The `Host` to contact — either an explicit `Host` header or the URL
+    /// host. CDN edges route on this value.
+    pub fn effective_host(&self) -> String {
+        self.headers
+            .get("host")
+            .map(str::to_string)
+            .unwrap_or_else(|| self.url.host.as_str().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn get_builder() {
+        let r = Request::get(url("http://example.com/"))
+            .header("User-Agent", "Lumscan/1.0")
+            .header("Accept", "*/*");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.headers.get("user-agent"), Some("Lumscan/1.0"));
+        assert_eq!(r.headers.len(), 2);
+    }
+
+    #[test]
+    fn effective_host_prefers_header() {
+        let r = Request::get(url("http://a.com/"));
+        assert_eq!(r.effective_host(), "a.com");
+        let r = r.header("Host", "b.com");
+        assert_eq!(r.effective_host(), "b.com");
+    }
+
+    #[test]
+    fn bulk_headers_merge() {
+        let profile: HeaderMap = [("Accept", "*/*"), ("Accept-Language", "en")]
+            .into_iter()
+            .collect();
+        let r = Request::get(url("http://a.com/")).headers(&profile);
+        assert_eq!(r.headers.len(), 2);
+    }
+}

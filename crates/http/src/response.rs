@@ -1,0 +1,187 @@
+//! HTTP response model.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::headers::HeaderMap;
+use crate::status::StatusCode;
+use crate::url::Url;
+
+/// A response body.
+///
+/// Bodies are HTML documents in this system; [`Bytes`] keeps clones cheap
+/// when the same block page is observed hundreds of thousands of times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Body(Bytes);
+
+impl Body {
+    /// An empty body (e.g. `HEAD` responses, 204s).
+    pub fn empty() -> Body {
+        Body(Bytes::new())
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Body length in bytes — the unit of the paper's page-length heuristic.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Lossy UTF-8 view for text mining and fingerprint matching.
+    pub fn as_text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.0)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body(Bytes::from(s))
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<Bytes> for Body {
+    fn from(b: Bytes) -> Self {
+        Body(b)
+    }
+}
+
+impl Serialize for Body {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.as_text())
+    }
+}
+
+impl<'de> Deserialize<'de> for Body {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Body::from(String::deserialize(deserializer)?))
+    }
+}
+
+/// An HTTP response as observed by a vantage point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Response headers.
+    pub headers: HeaderMap,
+    /// Response body.
+    pub body: Body,
+    /// The URL this response was served for (after any per-hop rewriting).
+    pub url: Url,
+}
+
+impl Response {
+    /// Start building a response with `status`.
+    pub fn builder(status: StatusCode) -> ResponseBuilder {
+        ResponseBuilder {
+            status,
+            headers: HeaderMap::new(),
+            body: Body::empty(),
+        }
+    }
+
+    /// The redirect target, if this is a 3xx with a `Location` header.
+    pub fn redirect_target(&self) -> Option<&str> {
+        if self.status.is_redirect() {
+            self.headers.get("location")
+        } else {
+            None
+        }
+    }
+
+    /// Body length in bytes (the page-length heuristic's measure).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+}
+
+/// Builder for [`Response`].
+#[derive(Debug, Clone)]
+pub struct ResponseBuilder {
+    status: StatusCode,
+    headers: HeaderMap,
+    body: Body,
+}
+
+impl ResponseBuilder {
+    /// Append a header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> ResponseBuilder {
+        self.headers.append(name, value);
+        self
+    }
+
+    /// Set the body.
+    pub fn body(mut self, body: impl Into<Body>) -> ResponseBuilder {
+        self.body = body.into();
+        self
+    }
+
+    /// Finish, attaching the URL the response answers.
+    pub fn finish(self, url: Url) -> Response {
+        Response {
+            status: self.status,
+            headers: self.headers,
+            body: self.body,
+            url,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_response() {
+        let r = Response::builder(StatusCode::FORBIDDEN)
+            .header("Server", "cloudflare")
+            .body("error code: 1009")
+            .finish(url("http://x.com/"));
+        assert_eq!(r.status, StatusCode::FORBIDDEN);
+        assert_eq!(r.headers.get("server"), Some("cloudflare"));
+        assert_eq!(r.body_len(), 16);
+    }
+
+    #[test]
+    fn redirect_target_requires_3xx_and_location() {
+        let r = Response::builder(StatusCode::FOUND)
+            .header("Location", "https://x.com/")
+            .finish(url("http://x.com/"));
+        assert_eq!(r.redirect_target(), Some("https://x.com/"));
+
+        let r = Response::builder(StatusCode::OK)
+            .header("Location", "https://x.com/")
+            .finish(url("http://x.com/"));
+        assert_eq!(r.redirect_target(), None);
+
+        let r = Response::builder(StatusCode::FOUND).finish(url("http://x.com/"));
+        assert_eq!(r.redirect_target(), None);
+    }
+
+    #[test]
+    fn body_text_roundtrip() {
+        let b = Body::from("héllo");
+        assert_eq!(b.as_text(), "héllo");
+        assert_eq!(b.len(), 6); // é is two bytes
+        assert!(!b.is_empty());
+        assert!(Body::empty().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! HTTP status codes.
+//!
+//! The paper leans heavily on a small set of codes: `403 Forbidden` (RFC 7231,
+//! "understood the request but refuses to authorize it") is the signature of
+//! most CDN geoblocks; `451 Unavailable For Legal Reasons` (RFC 7725) is the
+//! purpose-built legal-blocking code the authors observed only twice; `503` is
+//! what Cloudflare serves with its CAPTCHA/JavaScript challenge interstitials.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An HTTP status code (100–599).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StatusCode(u16);
+
+impl StatusCode {
+    pub const OK: StatusCode = StatusCode(200);
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    pub const FOUND: StatusCode = StatusCode(302);
+    pub const SEE_OTHER: StatusCode = StatusCode(303);
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
+    pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    /// RFC 7725 "Unavailable For Legal Reasons" — the sanctions-blocking code
+    /// that had seen almost no adoption at the time of the study.
+    pub const UNAVAILABLE_FOR_LEGAL_REASONS: StatusCode = StatusCode(451);
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
+
+    /// Construct a status code, returning `None` outside 100–599.
+    pub fn new(code: u16) -> Option<StatusCode> {
+        if (100..=599).contains(&code) {
+            Some(StatusCode(code))
+        } else {
+            None
+        }
+    }
+
+    /// The numeric code.
+    pub fn as_u16(&self) -> u16 {
+        self.0
+    }
+
+    /// 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// 3xx.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// 4xx.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// 5xx.
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// Whether this is one of the codes a blocking page is plausibly served
+    /// with. CDN geoblocks are overwhelmingly 403s, but challenge pages ride
+    /// on 503 and legal blocks may (rarely) use 451.
+    pub fn is_blockish(&self) -> bool {
+        matches!(self.0, 403 | 451 | 503)
+    }
+
+    /// Canonical reason phrase for well-known codes.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            303 => "See Other",
+            307 => "Temporary Redirect",
+            308 => "Permanent Redirect",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            451 => "Unavailable For Legal Reasons",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+impl TryFrom<u16> for StatusCode {
+    type Error = InvalidStatusCode;
+
+    fn try_from(code: u16) -> Result<Self, Self::Error> {
+        StatusCode::new(code).ok_or(InvalidStatusCode(code))
+    }
+}
+
+/// Error for out-of-range status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStatusCode(pub u16);
+
+impl fmt::Display for InvalidStatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "status code out of range: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidStatusCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_bands() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::FORBIDDEN.is_client_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+    }
+
+    #[test]
+    fn blockish_codes() {
+        assert!(StatusCode::FORBIDDEN.is_blockish());
+        assert!(StatusCode::UNAVAILABLE_FOR_LEGAL_REASONS.is_blockish());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_blockish());
+        assert!(!StatusCode::OK.is_blockish());
+        assert!(!StatusCode::NOT_FOUND.is_blockish());
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(StatusCode::new(99).is_none());
+        assert!(StatusCode::new(600).is_none());
+        assert!(StatusCode::new(100).is_some());
+        assert!(StatusCode::new(599).is_some());
+        assert_eq!(StatusCode::try_from(403).unwrap(), StatusCode::FORBIDDEN);
+        assert!(StatusCode::try_from(1000).is_err());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(StatusCode::FORBIDDEN.to_string(), "403 Forbidden");
+        assert_eq!(
+            StatusCode::UNAVAILABLE_FOR_LEGAL_REASONS.to_string(),
+            "451 Unavailable For Legal Reasons"
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Minimal URL type: scheme, host, port, path, query.
+//!
+//! The measurement lists are domain names (Alexa ranks); URLs appear when
+//! following redirect chains (`Location:` may be absolute, scheme-relative,
+//! or path-relative) and when extracting TLDs for Table 5.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The host portion of a URL. Registered names only — the simulated Internet
+/// addresses everything by name, and IP-literal targets never occur in the
+/// paper's test lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Host(String);
+
+impl Host {
+    /// Normalise a host name to lower case.
+    pub fn new(name: &str) -> Host {
+        Host(name.to_ascii_lowercase())
+    }
+
+    /// The normalised name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The final label, e.g. `"com"` for `www.example.com`. Used for the
+    /// TLD breakdown in Table 5.
+    pub fn tld(&self) -> &str {
+        self.0.rsplit('.').next().unwrap_or(&self.0)
+    }
+
+    /// The registrable domain under a simple public-suffix model: the last
+    /// two labels, or the last three when the suffix is a two-level country
+    /// suffix like `co.za` / `com.br`.
+    pub fn registrable_domain(&self) -> String {
+        let labels: Vec<&str> = self.0.split('.').collect();
+        if labels.len() <= 2 {
+            return self.0.clone();
+        }
+        let last2 = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+        let two_level_suffix = matches!(
+            last2.as_str(),
+            "co.za" | "co.uk" | "co.jp" | "co.in" | "co.kr" | "com.br" | "com.au" | "com.cn"
+                | "com.sg" | "com.tr" | "net.au" | "org.uk" | "ac.uk" | "gov.uk"
+        );
+        let take = if two_level_suffix { 3 } else { 2 };
+        labels[labels.len() - take..].join(".")
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Host) -> bool {
+        self == other
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(&other.0)
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Host {
+    fn from(s: &str) -> Self {
+        Host::new(s)
+    }
+}
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Host name.
+    pub host: Host,
+    /// Explicit port, if present.
+    pub port: Option<u16>,
+    /// Path, always beginning with `/`.
+    pub path: String,
+    /// Query string without the leading `?`, if present.
+    pub query: Option<String>,
+}
+
+impl Url {
+    /// Build an `http://host/` URL for a bare domain, the way the study
+    /// requests each test-list entry.
+    pub fn http(host: impl Into<Host>) -> Url {
+        Url {
+            scheme: "http".to_string(),
+            host: host.into(),
+            port: None,
+            path: "/".to_string(),
+            query: None,
+        }
+    }
+
+    /// Build an `https://host/` URL.
+    pub fn https(host: impl Into<Host>) -> Url {
+        Url {
+            scheme: "https".to_string(),
+            host: host.into(),
+            ..Url::http("x")
+        }
+    }
+
+    /// Effective port (explicit, or the scheme default).
+    pub fn effective_port(&self) -> u16 {
+        self.port
+            .unwrap_or(if self.scheme == "https" { 443 } else { 80 })
+    }
+
+    /// Resolve a `Location:` header value against this URL per RFC 3986
+    /// (restricted to the absolute / scheme-relative / absolute-path /
+    /// relative-path forms that occur in practice).
+    pub fn join(&self, location: &str) -> Result<Url, UrlParseError> {
+        if location.contains("://") {
+            return location.parse();
+        }
+        if let Some(rest) = location.strip_prefix("//") {
+            return format!("{}://{}", self.scheme, rest).parse();
+        }
+        let mut out = self.clone();
+        out.query = None;
+        if let Some(abs) = location.strip_prefix('/') {
+            let (path, query) = split_query(abs);
+            out.path = format!("/{path}");
+            out.query = query;
+        } else {
+            let base = match self.path.rfind('/') {
+                Some(i) => &self.path[..=i],
+                None => "/",
+            };
+            let (path, query) = split_query(location);
+            out.path = format!("{base}{path}");
+            out.query = query;
+        }
+        Ok(out)
+    }
+}
+
+fn split_query(s: &str) -> (String, Option<String>) {
+    match s.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (s.to_string(), None),
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if let Some(p) = self.port {
+            write!(f, ":{p}")?;
+        }
+        f.write_str(&self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when URL parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlParseError {
+    /// The offending input.
+    pub input: String,
+    /// Human-readable cause.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for UrlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse URL {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for UrlParseError {}
+
+impl FromStr for Url {
+    type Err = UrlParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| UrlParseError {
+            input: s.to_string(),
+            reason,
+        };
+        let (scheme, rest) = s.split_once("://").ok_or_else(|| err("missing scheme"))?;
+        if scheme != "http" && scheme != "https" {
+            return Err(err("unsupported scheme"));
+        }
+        if rest.is_empty() {
+            return Err(err("empty authority"));
+        }
+        let (authority, path_and_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(err("empty authority"));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| err("invalid port"))?;
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        if host.is_empty() || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.') {
+            return Err(err("invalid host"));
+        }
+        let (path, query) = split_query(path_and_query);
+        Ok(Url {
+            scheme: scheme.to_string(),
+            host: Host::new(host),
+            port,
+            path,
+            query,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_domain() {
+        let u: Url = "http://Example.COM".parse().unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host.as_str(), "example.com");
+        assert_eq!(u.path, "/");
+        assert_eq!(u.effective_port(), 80);
+    }
+
+    #[test]
+    fn parses_port_path_query() {
+        let u: Url = "https://example.com:8443/a/b?x=1&y=2".parse().unwrap();
+        assert_eq!(u.port, Some(8443));
+        assert_eq!(u.effective_port(), 8443);
+        assert_eq!(u.path, "/a/b");
+        assert_eq!(u.query.as_deref(), Some("x=1&y=2"));
+        assert_eq!(u.to_string(), "https://example.com:8443/a/b?x=1&y=2");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("example.com".parse::<Url>().is_err());
+        assert!("ftp://example.com".parse::<Url>().is_err());
+        assert!("http://".parse::<Url>().is_err());
+        assert!("http://ex ample.com/".parse::<Url>().is_err());
+        assert!("http://example.com:notaport/".parse::<Url>().is_err());
+    }
+
+    #[test]
+    fn join_absolute() {
+        let base: Url = "http://a.com/x".parse().unwrap();
+        let j = base.join("https://b.com/y").unwrap();
+        assert_eq!(j.to_string(), "https://b.com/y");
+    }
+
+    #[test]
+    fn join_scheme_relative() {
+        let base: Url = "https://a.com/x".parse().unwrap();
+        let j = base.join("//b.com/y").unwrap();
+        assert_eq!(j.to_string(), "https://b.com/y");
+    }
+
+    #[test]
+    fn join_absolute_path() {
+        let base: Url = "http://a.com/x/y?q=1".parse().unwrap();
+        let j = base.join("/z?w=2").unwrap();
+        assert_eq!(j.to_string(), "http://a.com/z?w=2");
+    }
+
+    #[test]
+    fn join_relative_path() {
+        let base: Url = "http://a.com/dir/page".parse().unwrap();
+        let j = base.join("other").unwrap();
+        assert_eq!(j.to_string(), "http://a.com/dir/other");
+    }
+
+    #[test]
+    fn tld_extraction() {
+        assert_eq!(Host::new("www.example.com").tld(), "com");
+        assert_eq!(Host::new("makro.co.za").tld(), "za");
+    }
+
+    #[test]
+    fn registrable_domain_rules() {
+        assert_eq!(Host::new("www.example.com").registrable_domain(), "example.com");
+        assert_eq!(Host::new("shop.makro.co.za").registrable_domain(), "makro.co.za");
+        assert_eq!(Host::new("example.com").registrable_domain(), "example.com");
+        assert_eq!(Host::new("localhost").registrable_domain(), "localhost");
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let parent = Host::new("example.com");
+        assert!(Host::new("www.example.com").is_subdomain_of(&parent));
+        assert!(Host::new("example.com").is_subdomain_of(&parent));
+        assert!(!Host::new("badexample.com").is_subdomain_of(&parent));
+        assert!(!Host::new("example.org").is_subdomain_of(&parent));
+    }
+}

@@ -1,0 +1,210 @@
+//! HTTP/1.1 wire (de)serialisation for request and response heads.
+//!
+//! The simulator passes typed values around in-process, but the wire codec
+//! keeps the model honest: every request/response the simulation produces
+//! can be rendered to valid HTTP/1.1 text and parsed back. Examples use it
+//! to show raw exchanges, and property tests round-trip through it.
+
+use std::fmt::Write as _;
+
+use crate::error::FetchError;
+use crate::headers::HeaderMap;
+use crate::method::Method;
+use crate::request::Request;
+use crate::response::{Body, Response};
+use crate::status::StatusCode;
+use crate::url::Url;
+
+/// Render a request head (+ blank line) as HTTP/1.1 text.
+pub fn write_request(req: &Request) -> String {
+    let mut out = String::new();
+    let target = if req.url.query.is_some() {
+        format!("{}?{}", req.url.path, req.url.query.as_deref().unwrap())
+    } else {
+        req.url.path.clone()
+    };
+    let _ = writeln!(out, "{} {} HTTP/1.1\r", req.method, target);
+    if !req.headers.contains("host") {
+        match req.url.port {
+            Some(port) => {
+                let _ = writeln!(out, "Host: {}:{port}\r", req.url.host);
+            }
+            None => {
+                let _ = writeln!(out, "Host: {}\r", req.url.host);
+            }
+        }
+    }
+    for (name, value) in req.headers.iter() {
+        let _ = writeln!(out, "{}: {}\r", canonical_case(name.as_str()), value);
+    }
+    out.push_str("\r\n");
+    out
+}
+
+/// Render a response (head + body) as HTTP/1.1 text.
+pub fn write_response(resp: &Response) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "HTTP/1.1 {} {}\r",
+        resp.status.as_u16(),
+        resp.status.reason()
+    );
+    for (name, value) in resp.headers.iter() {
+        let _ = writeln!(out, "{}: {}\r", canonical_case(name.as_str()), value);
+    }
+    if !resp.headers.contains("content-length") {
+        let _ = writeln!(out, "Content-Length: {}\r", resp.body.len());
+    }
+    out.push_str("\r\n");
+    out.push_str(&resp.body.as_text());
+    out
+}
+
+/// Parse an HTTP/1.1 request head produced by [`write_request`].
+pub fn parse_request(text: &str, scheme: &str) -> Result<Request, FetchError> {
+    let malformed = |detail: &str| FetchError::MalformedResponse {
+        detail: detail.to_string(),
+    };
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method: Method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .parse()
+        .map_err(|_| malformed("bad method"))?;
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let headers = parse_headers(lines)?;
+    let host = headers
+        .get("host")
+        .ok_or_else(|| malformed("missing Host header"))?;
+    let url: Url = format!("{scheme}://{host}{target}")
+        .parse()
+        .map_err(|_| malformed("bad target"))?;
+    let mut headers = headers;
+    headers.remove("host");
+    Ok(Request {
+        method,
+        url,
+        headers,
+    })
+}
+
+/// Parse an HTTP/1.1 response produced by [`write_response`]. `url` is the
+/// request URL the response answers (not carried on the wire).
+pub fn parse_response(text: &str, url: Url) -> Result<Response, FetchError> {
+    let malformed = |detail: &str| FetchError::MalformedResponse {
+        detail: detail.to_string(),
+    };
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| malformed("missing head/body separator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(malformed("bad HTTP version"));
+    }
+    let code: u16 = parts
+        .next()
+        .ok_or_else(|| malformed("missing status"))?
+        .parse()
+        .map_err(|_| malformed("non-numeric status"))?;
+    let status = StatusCode::new(code).ok_or_else(|| malformed("status out of range"))?;
+    let mut headers = parse_headers(lines)?;
+    headers.remove("content-length");
+    Ok(Response {
+        status,
+        headers,
+        body: Body::from(body),
+        url,
+    })
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<HeaderMap, FetchError> {
+    let mut headers = HeaderMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or(FetchError::MalformedResponse {
+            detail: format!("bad header line: {line:?}"),
+        })?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(FetchError::MalformedResponse {
+                detail: format!("bad header name: {name:?}"),
+            });
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+/// Render a lower-cased name in conventional Train-Case for the wire.
+fn canonical_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut upper_next = true;
+    for ch in name.chars() {
+        if upper_next {
+            out.extend(ch.to_uppercase());
+        } else {
+            out.push(ch);
+        }
+        upper_next = ch == '-';
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("http://example.com/a?b=1".parse().unwrap())
+            .header("User-Agent", "Lumscan/1.0")
+            .header("Accept", "*/*");
+        let wire = write_request(&req);
+        assert!(wire.starts_with("GET /a?b=1 HTTP/1.1\r\n"));
+        assert!(wire.contains("Host: example.com\r\n"));
+        let parsed = parse_request(&wire, "http").unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let url: Url = "http://example.com/".parse().unwrap();
+        let resp = Response::builder(StatusCode::FORBIDDEN)
+            .header("Server", "cloudflare")
+            .header("CF-RAY", "41f1-IAD")
+            .body("<html>error code: 1009</html>")
+            .finish(url.clone());
+        let wire = write_response(&resp);
+        assert!(wire.starts_with("HTTP/1.1 403 Forbidden\r\n"));
+        assert!(wire.contains("Content-Length: 29\r\n"));
+        let parsed = parse_response(&wire, url).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn canonical_case_restores_convention() {
+        assert_eq!(canonical_case("cf-ray"), "Cf-Ray");
+        assert_eq!(canonical_case("user-agent"), "User-Agent");
+        assert_eq!(canonical_case("x-iinfo"), "X-Iinfo");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_response("garbage", "http://a.com/".parse().unwrap()).is_err());
+        assert!(parse_response(
+            "HTTP/2 200 OK\r\n\r\n",
+            "http://a.com/".parse().unwrap()
+        )
+        .is_err());
+        assert!(parse_request("GET /\r\n\r\n", "http").is_err()); // no Host
+    }
+}

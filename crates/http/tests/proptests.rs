@@ -1,0 +1,139 @@
+//! Property-based tests for the HTTP model: URL and wire round-trips,
+//! header-map semantics.
+
+use geoblock_http::{wire, HeaderMap, Method, Request, Response, StatusCode, Url};
+use proptest::prelude::*;
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,8}", 1..4).prop_map(|labels| labels.join("."))
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9_-]{1,6}", 0..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn url_strategy() -> impl Strategy<Value = Url> {
+    (
+        prop_oneof![Just("http"), Just("https")],
+        host_strategy(),
+        proptest::option::of(1u16..65535),
+        path_strategy(),
+        proptest::option::of("[a-z0-9=&]{1,12}"),
+    )
+        .prop_map(|(scheme, host, port, path, query)| Url {
+            scheme: scheme.to_string(),
+            host: host.as_str().into(),
+            port,
+            path,
+            query,
+        })
+}
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,14}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,;=/.]{0,24}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    #[test]
+    fn url_display_parse_round_trip(url in url_strategy()) {
+        let rendered = url.to_string();
+        let parsed: Url = rendered.parse().expect("rendered URLs parse");
+        prop_assert_eq!(parsed, url);
+    }
+
+    #[test]
+    fn url_join_absolute_path_stays_on_host(url in url_strategy(), seg in "[a-z]{1,8}") {
+        let joined = url.join(&format!("/{seg}")).expect("absolute path joins");
+        prop_assert_eq!(&joined.host, &url.host);
+        prop_assert_eq!(joined.path, format!("/{seg}"));
+        prop_assert_eq!(joined.scheme, url.scheme);
+    }
+
+    #[test]
+    fn header_get_returns_first_appended(
+        name in header_name(),
+        values in proptest::collection::vec(header_value(), 1..5),
+    ) {
+        let mut h = HeaderMap::new();
+        for v in &values {
+            h.append(name.as_str(), v.clone());
+        }
+        prop_assert_eq!(h.get(&name), Some(values[0].as_str()));
+        prop_assert_eq!(h.get_all(&name).count(), values.len());
+        // Case-insensitive access.
+        prop_assert_eq!(h.get(&name.to_uppercase()), Some(values[0].as_str()));
+    }
+
+    #[test]
+    fn header_set_then_get_is_identity(
+        name in header_name(),
+        v1 in header_value(),
+        v2 in header_value(),
+    ) {
+        let mut h = HeaderMap::new();
+        h.append(name.as_str(), v1);
+        h.set(name.as_str(), v2.clone());
+        prop_assert_eq!(h.get_all(&name).count(), 1);
+        prop_assert_eq!(h.get(&name), Some(v2.as_str()));
+    }
+
+    #[test]
+    fn request_wire_round_trip(
+        url in url_strategy(),
+        headers in proptest::collection::vec((header_name(), header_value()), 0..5),
+    ) {
+        let mut request = Request::get(url);
+        for (n, v) in &headers {
+            // `host` on the wire merges with the URL host; skip to keep the
+            // property crisp.
+            if n.eq_ignore_ascii_case("host") {
+                continue;
+            }
+            request.headers.append(n.as_str(), v.clone());
+        }
+        let scheme = request.url.scheme.clone();
+        let wire_text = wire::write_request(&request);
+        let parsed = wire::parse_request(&wire_text, &scheme).expect("round trip");
+        prop_assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn response_wire_round_trip(
+        url in url_strategy(),
+        status in 100u16..599,
+        body in "[ -~]{0,200}",
+    ) {
+        let response = Response::builder(StatusCode::new(status).expect("in range"))
+            .header("Server", "test")
+            .body(body)
+            .finish(url.clone());
+        let wire_text = wire::write_response(&response);
+        let parsed = wire::parse_response(&wire_text, url).expect("round trip");
+        prop_assert_eq!(parsed, response);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_input(
+        junk in "[ -~\r\n]{0,300}",
+        url in url_strategy(),
+    ) {
+        // Robustness: malformed wire data must produce errors, not panics.
+        let _ = wire::parse_response(&junk, url.clone());
+        let _ = wire::parse_request(&junk, "http");
+        let _ = junk.parse::<Url>();
+        let _ = url.join(&junk);
+    }
+
+    #[test]
+    fn methods_round_trip(method in prop_oneof![
+        Just(Method::Get), Just(Method::Head), Just(Method::Post), Just(Method::Put),
+        Just(Method::Delete), Just(Method::Options), Just(Method::Trace), Just(Method::Patch),
+    ]) {
+        prop_assert_eq!(method.as_str().parse::<Method>().unwrap(), method);
+    }
+}

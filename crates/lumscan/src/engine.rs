@@ -1,0 +1,416 @@
+//! The Lumscan probing engine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geoblock_http::{FetchError, HeaderProfile, Method, Request, Url};
+use geoblock_worldgen::CountryCode;
+use parking_lot::Mutex;
+use tokio::task::JoinSet;
+
+use crate::result::ProbeResult;
+use crate::session::SessionId;
+use crate::transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LumscanConfig {
+    /// Extra attempts after a retryable failure (§3.2: "repeats each failed
+    /// request a configurable number of times").
+    pub retries: u32,
+    /// Redirect-follow limit (the study allows 10).
+    pub max_redirects: usize,
+    /// Requests allowed per exit machine before rotating.
+    pub requests_per_exit: u64,
+    /// Number of superproxies to balance across.
+    pub superproxies: usize,
+    /// Concurrent in-flight probes.
+    pub concurrency: usize,
+    /// Header profile applied to every probe.
+    pub profile: HeaderProfile,
+    /// Verify each new exit's connectivity and geolocation against the
+    /// proxy-controlled echo page before using it.
+    pub verify_connectivity: bool,
+    /// The proxy-controlled echo URL used for verification.
+    pub check_url: Url,
+}
+
+impl Default for LumscanConfig {
+    fn default() -> Self {
+        LumscanConfig {
+            retries: 2,
+            max_redirects: 10,
+            requests_per_exit: 10,
+            superproxies: 8,
+            concurrency: 64,
+            profile: HeaderProfile::FullBrowser,
+            verify_connectivity: true,
+            check_url: Url::http("lumtest.io"),
+        }
+    }
+}
+
+const INVOCATION_SHARDS: usize = 32;
+
+/// The engine. Cheap to clone per probe batch; all state is shared.
+pub struct Lumscan<T: Transport> {
+    transport: Arc<T>,
+    config: LumscanConfig,
+    /// Request accounting (the load-balancing budget).
+    issued: AtomicU64,
+    /// Per-(domain, country) invocation counters. Sessions derive from
+    /// (target, invocation, attempt), never from global arrival order, so
+    /// concurrent studies replay identically and every probe attempt pins
+    /// a stable exit machine shared with its connectivity check.
+    invocations: Vec<Mutex<HashMap<(u64, u16), u32>>>,
+    /// Sessions whose connectivity check passed, with the echoed country.
+    verified: Arc<Mutex<HashMap<u64, CountryCode>>>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_host(host: &str) -> u64 {
+    host.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+impl<T: Transport + 'static> Lumscan<T> {
+    /// Create an engine over `transport`.
+    pub fn new(transport: T, config: LumscanConfig) -> Lumscan<T> {
+        Lumscan {
+            transport: Arc::new(transport),
+            config,
+            issued: AtomicU64::new(0),
+            invocations: (0..INVOCATION_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            verified: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Claim the next invocation number for a probe target.
+    fn next_invocation(&self, host_hash: u64, country: CountryCode) -> u32 {
+        let cidx = country.index().unwrap_or(255) as u16;
+        let shard = (host_hash as usize ^ cidx as usize) % INVOCATION_SHARDS;
+        let mut map = self.invocations[shard].lock();
+        let counter = map.entry((host_hash, cidx)).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    /// Access the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LumscanConfig {
+        &self.config
+    }
+
+    /// Total transport requests issued so far (excluding connectivity
+    /// checks).
+    pub fn requests_issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// Probe a single target, with verification and retries.
+    pub async fn probe(&self, target: &ProbeTarget) -> ProbeResult {
+        let host_hash = hash_host(target.url.host.as_str());
+        let invocation = self.next_invocation(host_hash, target.country);
+        self.probe_invocation(target, invocation).await
+    }
+
+    /// Probe with an explicit invocation number. [`Lumscan::probe_all`]
+    /// claims invocations in *target order* before spawning, so identical
+    /// studies replay identically regardless of task interleaving.
+    pub async fn probe_invocation(&self, target: &ProbeTarget, invocation: u32) -> ProbeResult {
+        let mut attempts = 0;
+        let mut verified_country = None;
+        let mut last_err = FetchError::Timeout;
+        let host_hash = hash_host(target.url.host.as_str());
+        let country_bits =
+            ((target.country.0[0] as u64) << 8) | target.country.0[1] as u64;
+        while attempts <= self.config.retries {
+            attempts += 1;
+            // One fresh exit per attempt, stable under replay.
+            let session = SessionId(mix(
+                host_hash ^ country_bits.rotate_left(32) ^ ((invocation as u64) << 8) ^ attempts as u64,
+            ));
+
+            if self.config.verify_connectivity {
+                match self.verify_session(session, target.country).await {
+                    Ok(country) => verified_country = Some(country),
+                    Err(e) => {
+                        // A dead exit: the next attempt derives a new one.
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+
+            let request = Request {
+                method: Method::Get,
+                url: target.url.clone(),
+                headers: self.config.profile.headers(),
+            };
+            self.issued.fetch_add(1, Ordering::Relaxed);
+            match follow_redirects(
+                self.transport.as_ref(),
+                request,
+                target.country,
+                session,
+                self.config.max_redirects,
+            )
+            .await
+            {
+                Ok(chain) => {
+                    return ProbeResult {
+                        target: target.clone(),
+                        attempts,
+                        outcome: Ok(chain),
+                        verified_country,
+                    }
+                }
+                Err(e) => {
+                    let retryable = e.is_retryable();
+                    last_err = e;
+                    if !retryable {
+                        break;
+                    }
+                    // The next attempt derives a fresh exit machine.
+                }
+            }
+        }
+        ProbeResult {
+            target: target.clone(),
+            attempts,
+            outcome: Err(last_err),
+            verified_country,
+        }
+    }
+
+    /// Probe many targets concurrently (bounded by `config.concurrency`),
+    /// preserving input order in the output.
+    pub async fn probe_all(self: &Arc<Self>, targets: &[ProbeTarget]) -> Vec<ProbeResult> {
+        let mut results: Vec<Option<ProbeResult>> = (0..targets.len()).map(|_| None).collect();
+        let mut join = JoinSet::new();
+        let mut next = 0usize;
+
+        // Claim invocation numbers in target order up front: outcome-to-
+        // sample assignment must not depend on task scheduling.
+        let invocations: Vec<u32> = targets
+            .iter()
+            .map(|t| self.next_invocation(hash_host(t.url.host.as_str()), t.country))
+            .collect();
+        while next < targets.len() || !join.is_empty() {
+            while next < targets.len() && join.len() < self.config.concurrency.max(1) {
+                let engine = Arc::clone(self);
+                let target = targets[next].clone();
+                let invocation = invocations[next];
+                let idx = next;
+                next += 1;
+                join.spawn(async move { (idx, engine.probe_invocation(&target, invocation).await) });
+            }
+            if let Some(done) = join.join_next().await {
+                let (idx, result) = done.expect("probe task panicked");
+                results[idx] = Some(result);
+            }
+        }
+        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Fetch the proxy-controlled echo page through `session` and parse the
+    /// country it reports.
+    async fn verify_session(
+        &self,
+        session: SessionId,
+        country: CountryCode,
+    ) -> Result<CountryCode, FetchError> {
+        {
+            let cache = self.verified.lock();
+            if let Some(c) = cache.get(&session.0) {
+                return Ok(*c);
+            }
+        }
+        let req = Request::get(self.config.check_url.clone());
+        let resp = self
+            .transport
+            .fetch_one(TransportRequest {
+                request: req,
+                country,
+                session,
+            })
+            .await?;
+        let body = resp.body.as_text();
+        // The echo page reports `country=XX` among its fields.
+        let reported = body
+            .split(['&', '\n'])
+            .find_map(|kv| kv.strip_prefix("country="))
+            .filter(|c| c.len() >= 2 && c.is_char_boundary(2))
+            .map(|c| CountryCode::new(&c[..2]))
+            .ok_or_else(|| FetchError::MalformedResponse {
+                detail: "echo page missing country".to_string(),
+            })?;
+        let mut cache = self.verified.lock();
+        if cache.len() > 65_536 {
+            cache.clear();
+        }
+        cache.insert(session.0, reported);
+        Ok(reported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{Response, StatusCode};
+    use geoblock_worldgen::cc;
+    use parking_lot::Mutex as PMutex;
+    use std::collections::HashMap;
+
+    /// Test transport: scripted per-URL behaviour plus an echo page.
+    struct FakeNet {
+        /// url -> list of outcomes, consumed per request (last repeats).
+        script: PMutex<HashMap<String, Vec<Result<Response, FetchError>>>>,
+        log: PMutex<Vec<(String, SessionId)>>,
+    }
+
+    impl FakeNet {
+        fn new() -> FakeNet {
+            FakeNet {
+                script: PMutex::new(HashMap::new()),
+                log: PMutex::new(Vec::new()),
+            }
+        }
+
+        fn script(&self, url: &str, outcomes: Vec<Result<Response, FetchError>>) {
+            self.script.lock().insert(url.to_string(), outcomes);
+        }
+    }
+
+    impl Transport for FakeNet {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let url = req.request.url.to_string();
+            self.log.lock().push((url.clone(), req.session));
+            if req.request.url.host.as_str() == "lumtest.io" {
+                return Ok(Response::builder(StatusCode::OK)
+                    .body(format!("ip=10.1.2.3&country={}", req.country))
+                    .finish(req.request.url));
+            }
+            let mut script = self.script.lock();
+            let outcomes = script.get_mut(&url).unwrap_or_else(|| panic!("unscripted url {url}"));
+            if outcomes.len() > 1 {
+                outcomes.remove(0)
+            } else {
+                outcomes[0].clone()
+            }
+        }
+    }
+
+    fn ok(url: &str, body: &str) -> Result<Response, FetchError> {
+        Ok(Response::builder(StatusCode::OK)
+            .body(body)
+            .finish(url.parse().unwrap()))
+    }
+
+    #[tokio::test]
+    async fn probe_verifies_then_fetches() {
+        let net = FakeNet::new();
+        net.script("http://site.com/", vec![ok("http://site.com/", "hello")]);
+        let engine = Lumscan::new(net, LumscanConfig::default());
+        let result = engine.probe(&ProbeTarget::http("site.com", cc("IR"))).await;
+        assert!(result.responded());
+        assert_eq!(result.verified_country, Some(cc("IR")));
+        let log = engine.transport().log.lock();
+        assert_eq!(log[0].0, "http://lumtest.io/");
+        assert_eq!(log[1].0, "http://site.com/");
+    }
+
+    #[tokio::test]
+    async fn retries_use_fresh_sessions() {
+        let net = FakeNet::new();
+        net.script(
+            "http://flaky.com/",
+            vec![
+                Err(FetchError::Timeout),
+                Err(FetchError::ProxyError { detail: "exit died".into() }),
+                ok("http://flaky.com/", "finally"),
+            ],
+        );
+        let engine = Lumscan::new(net, LumscanConfig::default());
+        let result = engine.probe(&ProbeTarget::http("flaky.com", cc("RU"))).await;
+        assert!(result.responded());
+        assert_eq!(result.attempts, 3);
+        // The three site fetches must ride three distinct sessions (exits).
+        let log = engine.transport().log.lock();
+        let mut sessions: Vec<_> = log
+            .iter()
+            .filter(|(u, _)| u.contains("flaky"))
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(sessions.len(), 3);
+        sessions.dedup();
+        assert_eq!(sessions.len(), 3, "retries must rotate exits");
+    }
+
+    #[tokio::test]
+    async fn proxy_refusal_is_not_retried() {
+        let net = FakeNet::new();
+        net.script(
+            "http://banned.com/",
+            vec![Err(FetchError::ProxyRefused { reason: "policy".into() })],
+        );
+        let engine = Lumscan::new(net, LumscanConfig::default());
+        let result = engine.probe(&ProbeTarget::http("banned.com", cc("US"))).await;
+        assert_eq!(result.attempts, 1);
+        assert!(matches!(result.error(), Some(FetchError::ProxyRefused { .. })));
+    }
+
+    #[tokio::test]
+    async fn exhausted_retries_return_last_error() {
+        let net = FakeNet::new();
+        net.script("http://dead.com/", vec![Err(FetchError::Timeout)]);
+        let cfg = LumscanConfig { retries: 2, ..LumscanConfig::default() };
+        let engine = Lumscan::new(net, cfg);
+        let result = engine.probe(&ProbeTarget::http("dead.com", cc("US"))).await;
+        assert_eq!(result.attempts, 3);
+        assert_eq!(result.error(), Some(&FetchError::Timeout));
+    }
+
+    #[tokio::test]
+    async fn probe_all_preserves_order() {
+        let net = FakeNet::new();
+        for d in ["a.com", "b.com", "c.com"] {
+            net.script(&format!("http://{d}/"), vec![ok(&format!("http://{d}/"), d)]);
+        }
+        let engine = Arc::new(Lumscan::new(net, LumscanConfig::default()));
+        let targets: Vec<_> = ["a.com", "b.com", "c.com"]
+            .iter()
+            .map(|d| ProbeTarget::http(d, cc("DE")))
+            .collect();
+        let results = engine.probe_all(&targets).await;
+        for (r, d) in results.iter().zip(["a.com", "b.com", "c.com"]) {
+            assert_eq!(r.target.url.host.as_str(), d);
+            assert!(r.responded());
+        }
+    }
+
+    #[tokio::test]
+    async fn verification_can_be_disabled() {
+        let net = FakeNet::new();
+        net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
+        let cfg = LumscanConfig { verify_connectivity: false, ..LumscanConfig::default() };
+        let engine = Lumscan::new(net, cfg);
+        let result = engine.probe(&ProbeTarget::http("site.com", cc("FR"))).await;
+        assert!(result.responded());
+        assert_eq!(result.verified_country, None);
+        assert!(engine.transport().log.lock().iter().all(|(u, _)| !u.contains("lumtest")));
+    }
+}

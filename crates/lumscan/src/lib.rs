@@ -1,0 +1,31 @@
+//! Lumscan — the study's reliability-hardened probing engine (§3.2).
+//!
+//! Luminati exits traffic at residential machines, so raw fetches through it
+//! are noisy: local networks interfere, exits vanish mid-request, and bot
+//! detection punishes incomplete header sets. Lumscan layers four
+//! reliability features on top of a raw [`Transport`]:
+//!
+//! 1. **connectivity pre-verification** — before trusting an exit, fetch a
+//!    proxy-controlled page that echoes the client's IP and geolocation;
+//! 2. **retries** — each failed request is repeated a configurable number
+//!    of times, on a fresh exit;
+//! 3. **full header control** — callers supply complete browser header
+//!    sets ("merely setting User-Agent is insufficient to suppress bot
+//!    detection");
+//! 4. **load balancing** — requests are spread across superproxies and
+//!    exit machines, with at most 10 requests per exit, so a snapshot
+//!    completes in hours and no end-user machine is over-used.
+//!
+//! The engine is transport-generic: the same code drives the simulated
+//! Luminati network (`geoblock-proxynet`), simulated VPSes
+//! (`geoblock-netsim`), or — in a real deployment — an actual proxy client.
+
+pub mod engine;
+pub mod result;
+pub mod session;
+pub mod transport;
+
+pub use engine::{Lumscan, LumscanConfig};
+pub use result::{BatchStats, ProbeResult};
+pub use session::{SessionAllocator, SessionId};
+pub use transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};

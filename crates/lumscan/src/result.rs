@@ -1,0 +1,147 @@
+//! Probe results and batch statistics.
+
+use geoblock_http::{FetchError, FetchOutcome, RedirectChain};
+use geoblock_worldgen::CountryCode;
+
+use crate::transport::ProbeTarget;
+
+/// The result of probing one target (after retries).
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// What was probed.
+    pub target: ProbeTarget,
+    /// Number of attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// Final outcome.
+    pub outcome: FetchOutcome,
+    /// The country the connectivity check confirmed for the exit, when
+    /// pre-verification ran. A mismatch with `target.country` flags a
+    /// geolocation error (§4.2 attributes some discrepancies to these).
+    pub verified_country: Option<CountryCode>,
+}
+
+impl ProbeResult {
+    /// The successful chain, if any.
+    pub fn chain(&self) -> Option<&RedirectChain> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The terminal error, if any.
+    pub fn error(&self) -> Option<&FetchError> {
+        self.outcome.as_ref().err()
+    }
+
+    /// Whether the probe produced a final response.
+    pub fn responded(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Aggregate statistics over a probe batch — the §4.1.1 coverage numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Total probes.
+    pub total: usize,
+    /// Probes with a final response.
+    pub responded: usize,
+    /// Probes that failed after all retries.
+    pub failed: usize,
+    /// Failures whose last error was proxy-side.
+    pub proxy_failures: usize,
+    /// Probes the proxy refused outright (`X-Luminati-Error`).
+    pub proxy_refused: usize,
+    /// Total attempts across all probes (measures retry pressure).
+    pub attempts: usize,
+}
+
+impl BatchStats {
+    /// Compute stats over results.
+    pub fn of(results: &[ProbeResult]) -> BatchStats {
+        let mut s = BatchStats {
+            total: results.len(),
+            ..BatchStats::default()
+        };
+        for r in results {
+            s.attempts += r.attempts as usize;
+            match &r.outcome {
+                Ok(_) => s.responded += 1,
+                Err(e) => {
+                    s.failed += 1;
+                    if e.is_proxy_side() {
+                        s.proxy_failures += 1;
+                    }
+                    if matches!(e, FetchError::ProxyRefused { .. }) {
+                        s.proxy_refused += 1;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Error rate in [0, 1] ("unable to get a response from the site").
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{Hop, Request, Response, StatusCode};
+    use geoblock_worldgen::cc;
+
+    fn ok_result() -> ProbeResult {
+        let url: geoblock_http::Url = "http://a.com/".parse().unwrap();
+        ProbeResult {
+            target: ProbeTarget::http("a.com", cc("US")),
+            attempts: 1,
+            outcome: Ok(RedirectChain::new(vec![Hop {
+                request: Request::get(url.clone()),
+                response: Response::builder(StatusCode::OK).finish(url),
+            }])),
+            verified_country: Some(cc("US")),
+        }
+    }
+
+    fn err_result(e: FetchError, attempts: u32) -> ProbeResult {
+        ProbeResult {
+            target: ProbeTarget::http("a.com", cc("US")),
+            attempts,
+            outcome: Err(e),
+            verified_country: None,
+        }
+    }
+
+    #[test]
+    fn stats_classify_outcomes() {
+        let results = vec![
+            ok_result(),
+            ok_result(),
+            err_result(FetchError::Timeout, 3),
+            err_result(
+                FetchError::ProxyRefused {
+                    reason: "blocked domain".into(),
+                },
+                1,
+            ),
+        ];
+        let s = BatchStats::of(&results);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.responded, 2);
+        assert_eq!(s.failed, 2);
+        assert_eq!(s.proxy_refused, 1);
+        assert_eq!(s.proxy_failures, 1);
+        assert_eq!(s.attempts, 6);
+        assert!((s.error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_error_rate() {
+        assert_eq!(BatchStats::of(&[]).error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Session (exit-machine) allocation.
+//!
+//! Luminati pins all requests sharing a session identifier to the same exit
+//! machine. Lumscan's resource policy (§3.2) allows at most 10 requests per
+//! exit, both to avoid over-using any end user's machine and to spread
+//! load; the allocator hands out session IDs accordingly. Superproxy
+//! assignment rides on the same counter: session `s` talks to superproxy
+//! `s % superproxies`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An opaque session identifier; equal IDs pin to the same exit machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The superproxy this session is balanced onto.
+    pub fn superproxy(&self, superproxies: usize) -> usize {
+        (self.0 % superproxies.max(1) as u64) as usize
+    }
+}
+
+/// Hands out sessions such that no session is used for more than
+/// `requests_per_exit` requests.
+#[derive(Debug)]
+pub struct SessionAllocator {
+    counter: AtomicU64,
+    requests_per_exit: u64,
+}
+
+impl SessionAllocator {
+    /// Allocator with the paper's 10-requests-per-exit budget.
+    pub fn new(requests_per_exit: u64) -> SessionAllocator {
+        SessionAllocator {
+            counter: AtomicU64::new(0),
+            requests_per_exit: requests_per_exit.max(1),
+        }
+    }
+
+    /// Claim a request slot, returning the session to use for it.
+    pub fn next(&self) -> SessionId {
+        let ticket = self.counter.fetch_add(1, Ordering::Relaxed);
+        SessionId(ticket / self.requests_per_exit)
+    }
+
+    /// Burn the remainder of the current session (used after an exit
+    /// fails: retries must go out on a fresh machine).
+    pub fn rotate(&self) -> SessionId {
+        loop {
+            let ticket = self.counter.load(Ordering::Relaxed);
+            let next_boundary = (ticket / self.requests_per_exit + 1) * self.requests_per_exit;
+            if self
+                .counter
+                .compare_exchange(ticket, next_boundary + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SessionId(next_boundary / self.requests_per_exit);
+            }
+        }
+    }
+
+    /// Total request slots claimed so far.
+    pub fn requests_issued(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_requests_share_a_session() {
+        let a = SessionAllocator::new(10);
+        let ids: Vec<u64> = (0..25).map(|_| a.next().0).collect();
+        assert!(ids[..10].iter().all(|&s| s == 0));
+        assert!(ids[10..20].iter().all(|&s| s == 1));
+        assert!(ids[20..].iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn rotate_abandons_current_exit() {
+        let a = SessionAllocator::new(10);
+        let s0 = a.next();
+        let s1 = a.rotate();
+        assert!(s1 > s0);
+        // Requests after a rotation use the new session.
+        assert_eq!(a.next().0, s1.0);
+    }
+
+    #[test]
+    fn superproxy_balancing_is_round_robin_over_sessions() {
+        let counts = (0..100u64)
+            .map(SessionId)
+            .map(|s| s.superproxy(4))
+            .fold([0usize; 4], |mut acc, p| {
+                acc[p] += 1;
+                acc
+            });
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn allocator_is_thread_safe() {
+        use std::sync::Arc;
+        let a = Arc::new(SessionAllocator::new(10));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    a.next();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.requests_issued(), 8000);
+    }
+}

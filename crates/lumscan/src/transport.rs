@@ -1,0 +1,225 @@
+//! The transport abstraction and redirect-chain following.
+
+use std::future::Future;
+
+use geoblock_http::{FetchError, Hop, RedirectChain, Request, Response};
+use geoblock_worldgen::CountryCode;
+
+use crate::session::SessionId;
+
+/// A (URL, country) pair to probe — the unit of the whole study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeTarget {
+    /// The URL to fetch.
+    pub url: geoblock_http::Url,
+    /// The country the request must exit from.
+    pub country: CountryCode,
+}
+
+impl ProbeTarget {
+    /// Probe `domain`'s home page from `country` over plain HTTP, the way
+    /// the study requests each test-list entry.
+    pub fn http(domain: &str, country: CountryCode) -> ProbeTarget {
+        ProbeTarget {
+            url: geoblock_http::Url::http(domain),
+            country,
+        }
+    }
+}
+
+/// One transport-level request: a single HTTP exchange (no redirect
+/// following — the engine follows redirects itself so that every hop's
+/// response is observable).
+#[derive(Debug, Clone)]
+pub struct TransportRequest {
+    /// The HTTP request.
+    pub request: Request,
+    /// Exit country.
+    pub country: CountryCode,
+    /// Session identity; transports that pool exits (Luminati) pin one exit
+    /// machine per session, which is how the ≤10-requests-per-exit policy
+    /// is enforced by the caller.
+    pub session: SessionId,
+}
+
+/// A vantage-point transport: performs one HTTP exchange from a given
+/// country.
+///
+/// Implementations: the simulated Luminati proxy network
+/// (`geoblock_proxynet::LuminatiNetwork`), simulated VPS clients
+/// (`geoblock_netsim::VpsTransport`), and test doubles.
+pub trait Transport: Send + Sync {
+    /// Perform one request/response exchange.
+    fn fetch_one(
+        &self,
+        req: TransportRequest,
+    ) -> impl Future<Output = Result<Response, FetchError>> + Send;
+}
+
+/// Follow redirects up to `max_redirects`, producing the full chain.
+///
+/// The CDN-population detection of §5.1.1 needs *every* hop's headers, so
+/// the chain retains each request/response pair. Exceeding the limit (the
+/// study allows 10) is an error — "lengthy redirect chains" count as
+/// failures in the coverage statistics.
+pub async fn follow_redirects<T: Transport>(
+    transport: &T,
+    mut request: Request,
+    country: CountryCode,
+    session: SessionId,
+    max_redirects: usize,
+) -> Result<RedirectChain, FetchError> {
+    let mut hops = Vec::new();
+    loop {
+        let response = transport
+            .fetch_one(TransportRequest {
+                request: request.clone(),
+                country,
+                session,
+            })
+            .await?;
+        let target = response.redirect_target().map(str::to_string);
+        let url = response.url.clone();
+        hops.push(Hop {
+            request: request.clone(),
+            response,
+        });
+        match target {
+            None => return Ok(RedirectChain::new(hops)),
+            Some(location) => {
+                if hops.len() > max_redirects {
+                    return Err(FetchError::TooManyRedirects {
+                        limit: max_redirects,
+                    });
+                }
+                let next = url.join(&location).map_err(|e| {
+                    FetchError::MalformedResponse {
+                        detail: format!("bad Location: {e}"),
+                    }
+                })?;
+                let headers = request.headers.clone();
+                request = Request {
+                    method: request.method,
+                    url: next,
+                    headers,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{Response, StatusCode};
+    use geoblock_worldgen::cc;
+    use parking_lot::Mutex;
+
+    /// A scripted transport for engine tests.
+    pub(crate) struct Scripted {
+        pub responses: Mutex<Vec<Result<Response, FetchError>>>,
+        pub log: Mutex<Vec<TransportRequest>>,
+    }
+
+    impl Scripted {
+        pub fn new(responses: Vec<Result<Response, FetchError>>) -> Scripted {
+            Scripted {
+                responses: Mutex::new(responses),
+                log: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Transport for Scripted {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            self.log.lock().push(req);
+            let mut q = self.responses.lock();
+            if q.is_empty() {
+                Err(FetchError::Timeout)
+            } else {
+                q.remove(0)
+            }
+        }
+    }
+
+    fn ok(url: &str) -> Result<Response, FetchError> {
+        Ok(Response::builder(StatusCode::OK)
+            .body("<html>hi</html>")
+            .finish(url.parse().unwrap()))
+    }
+
+    fn redirect(url: &str, to: &str) -> Result<Response, FetchError> {
+        Ok(Response::builder(StatusCode::FOUND)
+            .header("Location", to)
+            .finish(url.parse().unwrap()))
+    }
+
+    #[tokio::test]
+    async fn follows_simple_chain() {
+        let t = Scripted::new(vec![
+            redirect("http://a.com/", "https://a.com/"),
+            redirect("https://a.com/", "/home"),
+            ok("https://a.com/home"),
+        ]);
+        let chain = follow_redirects(
+            &t,
+            Request::get("http://a.com/".parse().unwrap()),
+            cc("US"),
+            SessionId(1),
+            10,
+        )
+        .await
+        .unwrap();
+        assert_eq!(chain.redirect_count(), 2);
+        assert_eq!(chain.final_response().status, StatusCode::OK);
+        // Each hop's request URL follows the Location headers.
+        let log = t.log.lock();
+        assert_eq!(log[1].request.url.to_string(), "https://a.com/");
+        assert_eq!(log[2].request.url.to_string(), "https://a.com/home");
+    }
+
+    #[tokio::test]
+    async fn redirect_loop_is_an_error() {
+        let mut loops = Vec::new();
+        for _ in 0..12 {
+            loops.push(redirect("http://a.com/", "http://a.com/"));
+        }
+        let t = Scripted::new(loops);
+        let err = follow_redirects(
+            &t,
+            Request::get("http://a.com/".parse().unwrap()),
+            cc("US"),
+            SessionId(1),
+            10,
+        )
+        .await
+        .unwrap_err();
+        assert!(matches!(err, FetchError::TooManyRedirects { limit: 10 }));
+    }
+
+    #[tokio::test]
+    async fn transport_error_propagates() {
+        let t = Scripted::new(vec![Err(FetchError::Timeout)]);
+        let err = follow_redirects(
+            &t,
+            Request::get("http://a.com/".parse().unwrap()),
+            cc("US"),
+            SessionId(1),
+            10,
+        )
+        .await
+        .unwrap_err();
+        assert_eq!(err, FetchError::Timeout);
+    }
+
+    #[tokio::test]
+    async fn headers_carry_across_hops() {
+        let t = Scripted::new(vec![redirect("http://a.com/", "https://b.com/"), ok("https://b.com/")]);
+        let req = Request::get("http://a.com/".parse().unwrap()).header("User-Agent", "Lumscan");
+        follow_redirects(&t, req, cc("US"), SessionId(1), 10)
+            .await
+            .unwrap();
+        let log = t.log.lock();
+        assert_eq!(log[1].request.headers.get("user-agent"), Some("Lumscan"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Nation-state censorship middleboxes.
+//!
+//! Server-side geoblocking must be *distinguishable* from network-side
+//! censorship — that is the paper's core measurement problem. The simulation
+//! therefore includes censors in the countries where OONI observes state
+//! censorship (level ≥ 2 in the country registry). Censors intercept
+//! requests inside the client's network, before any CDN edge: they reset
+//! connections, blackhole them, or inject ISP block pages that match none
+//! of the CDN fingerprints.
+
+use geoblock_http::{Request, Response, StatusCode};
+use geoblock_worldgen::{CountryCode, DomainSpec};
+
+/// What a censor does with an intercepted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CensorAction {
+    /// TCP reset injection (the Great-Firewall style).
+    Reset,
+    /// Silent blackholing: the client times out.
+    Timeout,
+    /// An injected ISP block page.
+    BlockPage,
+}
+
+/// The global censorship layer.
+#[derive(Debug, Default, Clone)]
+pub struct Censorship;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+impl Censorship {
+    /// Decide whether `country` censors `spec`. Deterministic per
+    /// (country, domain): censorship is a standing policy, not a coin flip
+    /// per request.
+    pub fn action(&self, country: CountryCode, spec: &DomainSpec) -> Option<CensorAction> {
+        let info = country.info()?;
+        if info.censorship < 2 {
+            return None;
+        }
+        // Citizen-Lab-listed (sensitive) domains are the censors' bread and
+        // butter; a thin slice of ordinary domains is censored too (the "5
+        // AppEngine domains censored in Iran" effect of §5.2.1).
+        let h = mix(hash_str(&spec.name) ^ (country.0[0] as u64) << 8 ^ country.0[1] as u64);
+        let threshold = if spec.on_citizenlab {
+            match info.censorship {
+                3 => 0.85,
+                _ => 0.45,
+            }
+        } else {
+            match info.censorship {
+                3 => 0.009,
+                _ => 0.003,
+            }
+        };
+        if (h % 1_000_000) as f64 / 1_000_000.0 >= threshold {
+            return None;
+        }
+        // Style differs by censor: pervasive censors favour resets and
+        // blackholes, substantial censors inject block pages.
+        Some(match (info.censorship, h >> 20 & 3) {
+            (3, 0) => CensorAction::Reset,
+            (3, 1) => CensorAction::Timeout,
+            (3, _) => CensorAction::BlockPage,
+            (_, 0) => CensorAction::Timeout,
+            _ => CensorAction::BlockPage,
+        })
+    }
+
+    /// Render the ISP block page a censoring network injects. Deliberately
+    /// unlike any CDN block page.
+    pub fn block_page(&self, country: CountryCode, request: &Request) -> Response {
+        let name = country.info().map(|i| i.name).unwrap_or("this country");
+        let body = format!(
+            "<html><head><title>Restricted</title>\
+             <meta http-equiv=\"Content-Type\" content=\"text/html; charset=utf-8\"></head>\
+             <body><div align=\"center\">\
+             <h2>The requested page is not available</h2>\
+             <p>Access to this resource has been restricted under the \
+             telecommunications regulations of {name}.</p>\
+             <iframe src=\"http://10.10.34.36/inject\" style=\"display:none\"></iframe>\
+             </div></body></html>"
+        );
+        Response::builder(StatusCode::FORBIDDEN)
+            .header("Server", "Protected-Gateway")
+            .body(body)
+            .finish(request.url.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::FingerprintSet;
+    use geoblock_worldgen::{cc, AlexaPopulation};
+
+    fn spec(rank: u32) -> DomainSpec {
+        AlexaPopulation::new(42, 20_000).spec(rank)
+    }
+
+    #[test]
+    fn free_countries_never_censor() {
+        let c = Censorship;
+        for rank in 1..200 {
+            assert_eq!(c.action(cc("US"), &spec(rank)), None);
+            assert_eq!(c.action(cc("DE"), &spec(rank)), None);
+        }
+    }
+
+    #[test]
+    fn pervasive_censors_hit_sensitive_domains_hard() {
+        let c = Censorship;
+        let (mut censored, mut sensitive) = (0, 0);
+        for rank in 1..=5000 {
+            let s = spec(rank);
+            if s.on_citizenlab {
+                sensitive += 1;
+                if c.action(cc("IR"), &s).is_some() {
+                    censored += 1;
+                }
+            }
+        }
+        assert!(sensitive > 50, "sensitive {sensitive}");
+        let rate = censored as f64 / sensitive as f64;
+        assert!(rate > 0.6, "rate {rate}");
+    }
+
+    #[test]
+    fn ordinary_domains_rarely_censored() {
+        let c = Censorship;
+        let censored = (1..=3000)
+            .map(spec)
+            .filter(|s| !s.on_citizenlab)
+            .filter(|s| c.action(cc("CN"), s).is_some())
+            .count();
+        assert!(censored < 60, "censored {censored}");
+        assert!(censored > 0, "some collateral censorship expected");
+    }
+
+    #[test]
+    fn censorship_is_deterministic_per_pair() {
+        let c = Censorship;
+        for rank in 1..100 {
+            let s = spec(rank);
+            assert_eq!(c.action(cc("SY"), &s), c.action(cc("SY"), &s));
+        }
+    }
+
+    #[test]
+    fn censor_page_matches_no_cdn_fingerprint() {
+        let c = Censorship;
+        let req = geoblock_http::Request::get("http://x.com/".parse().unwrap());
+        let page = c.block_page(cc("IR"), &req);
+        assert!(FingerprintSet::paper().classify(&page).is_none());
+        assert_eq!(page.status, StatusCode::FORBIDDEN);
+    }
+}

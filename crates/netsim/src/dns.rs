@@ -1,0 +1,353 @@
+//! The DNS view of the simulated Internet.
+//!
+//! Three identification tricks from the paper live on DNS:
+//!
+//! * §3.1 finds Akamai and Cloudflare customers "by examining the DNS
+//!   server used by each domain" — NS delegation to `*.akam.net` or
+//!   `*.ns.cloudflare.com`. The method "only exposes a fraction" of each
+//!   CDN's customers, and that fraction is *biased* toward large
+//!   enterprise zones (which also geoblock more) — the simulation models
+//!   the visibility bias explicitly.
+//! * §5.1.1 finds Google AppEngine customers by recursively resolving
+//!   `_cloud-netblocks.googleusercontent.com` TXT records into 65 IP
+//!   blocks and matching domains' A records against them.
+//! * A records: each provider serves from a recognisable address pool.
+
+use geoblock_blockpages::Provider;
+use geoblock_worldgen::{DomainSpec, World};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// DNS record types the simulation answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RrType {
+    A,
+    Ns,
+    Txt,
+}
+
+/// One DNS record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    /// Queried name.
+    pub name: String,
+    /// Record type.
+    pub rrtype: RrType,
+    /// Record data (address, NS host, or TXT payload).
+    pub data: String,
+}
+
+/// Number of AppEngine netblocks (§5.1.1 found 65).
+pub const APPENGINE_NETBLOCK_COUNT: u32 = 65;
+
+/// Number of `_cloud-netblocksN` TXT groups.
+const NETBLOCK_GROUPS: u32 = 5;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// The `i`-th AppEngine netblock as a /16 CIDR string.
+pub fn appengine_netblock(i: u32) -> String {
+    format!("172.{}.0.0/16", 100 + (i % APPENGINE_NETBLOCK_COUNT))
+}
+
+/// Whether a CDN customer's NS delegation is visible (points at the CDN's
+/// name servers). Zones that geoblock are heavily over-represented: big
+/// enterprise customers both delegate DNS to their CDN and comply with
+/// sanctions.
+pub fn ns_visible(spec: &DomainSpec, provider: Provider) -> bool {
+    let h = mix(hash_name(&spec.name) ^ 0x05) % 1000;
+    let blocker = spec.policy.geoblocks();
+    let p = match (provider, blocker) {
+        (Provider::Cloudflare, false) => 18,
+        (Provider::Cloudflare, true) => 160,
+        (Provider::Akamai, false) => 360,
+        (Provider::Akamai, true) => 850,
+        _ => 0,
+    };
+    h < p
+}
+
+/// DNS database over a world.
+pub struct DnsDb {
+    world: Arc<World>,
+}
+
+impl DnsDb {
+    /// Build over `world`.
+    pub fn new(world: Arc<World>) -> DnsDb {
+        DnsDb { world }
+    }
+
+    /// Answer a query. Unknown names return an empty answer section.
+    pub fn query(&self, name: &str, rrtype: RrType) -> Vec<DnsRecord> {
+        let name = name.to_ascii_lowercase();
+        match rrtype {
+            RrType::Txt => self.query_txt(&name),
+            RrType::Ns => self.query_ns(&name),
+            RrType::A => self.query_a(&name),
+        }
+    }
+
+    fn query_txt(&self, name: &str) -> Vec<DnsRecord> {
+        if name == "_cloud-netblocks.googleusercontent.com" {
+            let includes: Vec<String> = (1..=NETBLOCK_GROUPS)
+                .map(|g| format!("include:_cloud-netblocks{g}.googleusercontent.com"))
+                .collect();
+            return vec![DnsRecord {
+                name: name.to_string(),
+                rrtype: RrType::Txt,
+                data: format!("v=spf1 {} ?all", includes.join(" ")),
+            }];
+        }
+        if let Some(rest) = name.strip_prefix("_cloud-netblocks") {
+            if let Some(group) = rest
+                .strip_suffix(".googleusercontent.com")
+                .and_then(|g| g.parse::<u32>().ok())
+            {
+                if (1..=NETBLOCK_GROUPS).contains(&group) {
+                    let per_group = APPENGINE_NETBLOCK_COUNT / NETBLOCK_GROUPS;
+                    let start = (group - 1) * per_group;
+                    let blocks: Vec<String> = (start..start + per_group)
+                        .map(|i| format!("ip4:{}", appengine_netblock(i)))
+                        .collect();
+                    return vec![DnsRecord {
+                        name: name.to_string(),
+                        rrtype: RrType::Txt,
+                        data: format!("v=spf1 {} ?all", blocks.join(" ")),
+                    }];
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn query_ns(&self, name: &str) -> Vec<DnsRecord> {
+        let Some(spec) = self.world.population.spec_of(name) else {
+            return Vec::new();
+        };
+        let h = hash_name(name);
+        for &p in &spec.providers {
+            if ns_visible(&spec, p) {
+                let (a, b) = match p {
+                    Provider::Cloudflare => (
+                        format!("ada{}.ns.cloudflare.com", h % 7),
+                        format!("cruz{}.ns.cloudflare.com", h % 5),
+                    ),
+                    Provider::Akamai => (
+                        format!("a{}-64.akam.net", 1 + h % 28),
+                        format!("a{}-67.akam.net", 1 + (h >> 8) % 28),
+                    ),
+                    _ => continue,
+                };
+                return vec![
+                    DnsRecord { name: name.to_string(), rrtype: RrType::Ns, data: a },
+                    DnsRecord { name: name.to_string(), rrtype: RrType::Ns, data: b },
+                ];
+            }
+        }
+        vec![
+            DnsRecord {
+                name: name.to_string(),
+                rrtype: RrType::Ns,
+                data: format!("ns1.hoster{}.net", h % 997),
+            },
+            DnsRecord {
+                name: name.to_string(),
+                rrtype: RrType::Ns,
+                data: format!("ns2.hoster{}.net", h % 997),
+            },
+        ]
+    }
+
+    fn query_a(&self, name: &str) -> Vec<DnsRecord> {
+        let Some(spec) = self.world.population.spec_of(name) else {
+            return Vec::new();
+        };
+        let h = hash_name(name);
+        let addr = match spec.providers.first() {
+            Some(Provider::Cloudflare) => format!("104.16.{}.{}", h % 256, (h >> 8) % 256),
+            Some(Provider::Akamai) => format!("23.{}.{}.{}", 32 + h % 32, (h >> 8) % 256, (h >> 16) % 256),
+            Some(Provider::CloudFront) => format!("13.{}.{}.{}", 224 + h % 16, (h >> 8) % 256, (h >> 16) % 256),
+            Some(Provider::AppEngine) => {
+                let block = 100 + (h % APPENGINE_NETBLOCK_COUNT as u64);
+                format!("172.{}.{}.{}", block, (h >> 8) % 256, (h >> 16) % 256)
+            }
+            Some(Provider::Incapsula) => format!("45.60.{}.{}", h % 256, (h >> 8) % 256),
+            Some(Provider::Baidu) => format!("119.63.{}.{}", h % 256, (h >> 8) % 256),
+            _ => format!("198.{}.{}.{}", 51 + h % 4, (h >> 8) % 256, (h >> 16) % 256),
+        };
+        vec![DnsRecord {
+            name: name.to_string(),
+            rrtype: RrType::A,
+            data: addr,
+        }]
+    }
+}
+
+/// Parse the `ip4:` entries out of an SPF-style TXT payload.
+pub fn parse_spf_blocks(txt: &str) -> Vec<String> {
+    txt.split_whitespace()
+        .filter_map(|tok| tok.strip_prefix("ip4:"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parse the `include:` names out of an SPF-style TXT payload.
+pub fn parse_spf_includes(txt: &str) -> Vec<String> {
+    txt.split_whitespace()
+        .filter_map(|tok| tok.strip_prefix("include:"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Whether `ip` falls within a `/16` CIDR block.
+pub fn in_block(ip: &str, cidr: &str) -> bool {
+    let Some((prefix, bits)) = cidr.split_once('/') else {
+        return false;
+    };
+    if bits != "16" {
+        return false;
+    }
+    let p: Vec<&str> = prefix.split('.').collect();
+    let i: Vec<&str> = ip.split('.').collect();
+    p.len() == 4 && i.len() == 4 && p[0] == i[0] && p[1] == i[1]
+}
+
+impl geoblock_core::population::Resolver for DnsDb {
+    fn ns(&self, name: &str) -> Vec<String> {
+        self.query(name, RrType::Ns).into_iter().map(|r| r.data).collect()
+    }
+
+    fn a(&self, name: &str) -> Vec<String> {
+        self.query(name, RrType::A).into_iter().map(|r| r.data).collect()
+    }
+
+    fn txt(&self, name: &str) -> Vec<String> {
+        self.query(name, RrType::Txt).into_iter().map(|r| r.data).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::WorldConfig;
+
+    fn db() -> DnsDb {
+        DnsDb::new(Arc::new(World::build(WorldConfig::tiny(42))))
+    }
+
+    #[test]
+    fn netblock_discovery_walks_recursively() {
+        let db = db();
+        let root = db.query("_cloud-netblocks.googleusercontent.com", RrType::Txt);
+        assert_eq!(root.len(), 1);
+        let includes = parse_spf_includes(&root[0].data);
+        assert_eq!(includes.len(), 5);
+        let mut blocks = Vec::new();
+        for inc in includes {
+            let txt = db.query(&inc, RrType::Txt);
+            assert_eq!(txt.len(), 1, "missing TXT for {inc}");
+            blocks.extend(parse_spf_blocks(&txt[0].data));
+        }
+        assert_eq!(blocks.len(), 65);
+    }
+
+    #[test]
+    fn appengine_a_records_fall_in_discovered_blocks() {
+        let db = db();
+        let world = db.world.clone();
+        let mut checked = 0;
+        for rank in 1..=world.config.population_size {
+            let spec = world.population.spec(rank);
+            if spec.providers.first() == Some(&Provider::AppEngine) {
+                let a = db.query(&spec.name, RrType::A);
+                let ip = &a[0].data;
+                let hit = (0..APPENGINE_NETBLOCK_COUNT)
+                    .any(|i| in_block(ip, &appengine_netblock(i)));
+                assert!(hit, "{} -> {ip} not in any netblock", spec.name);
+                checked += 1;
+                if checked > 20 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 5, "too few AppEngine domains checked: {checked}");
+    }
+
+    #[test]
+    fn ns_visibility_is_partial_for_cloudflare() {
+        let db = db();
+        let world = db.world.clone();
+        let (mut visible, mut total) = (0, 0);
+        for rank in 1..=world.config.population_size {
+            let spec = world.population.spec(rank);
+            if spec.uses(Provider::Cloudflare) {
+                total += 1;
+                let ns = db.query(&spec.name, RrType::Ns);
+                if ns.iter().any(|r| r.data.ends_with(".ns.cloudflare.com")) {
+                    visible += 1;
+                }
+            }
+        }
+        assert!(total > 500, "total {total}");
+        let frac = visible as f64 / total as f64;
+        // §3.1: "only exposes a fraction" — ~2% of Cloudflare customers.
+        assert!((0.005..0.08).contains(&frac), "visible fraction {frac}");
+    }
+
+    #[test]
+    fn ns_visibility_is_biased_toward_geoblockers() {
+        let db = db();
+        let world = db.world.clone();
+        let (mut vis_block, mut tot_block, mut vis_plain, mut tot_plain) = (0, 0, 0, 0);
+        for rank in 1..=world.config.population_size {
+            let spec = world.population.spec(rank);
+            if spec.uses(Provider::Akamai) {
+                let visible = db
+                    .query(&spec.name, RrType::Ns)
+                    .iter()
+                    .any(|r| r.data.ends_with(".akam.net"));
+                if spec.policy.geoblocks() {
+                    tot_block += 1;
+                    vis_block += usize::from(visible);
+                } else {
+                    tot_plain += 1;
+                    vis_plain += usize::from(visible);
+                }
+            }
+        }
+        assert!(tot_block >= 3, "blockers {tot_block}");
+        let rb = vis_block as f64 / tot_block as f64;
+        let rp = vis_plain as f64 / tot_plain.max(1) as f64;
+        assert!(rb > rp, "blocker visibility {rb} <= plain {rp}");
+    }
+
+    #[test]
+    fn unknown_names_get_empty_answers() {
+        let db = db();
+        assert!(db.query("unknown.example", RrType::A).is_empty());
+        assert!(db.query("unknown.example", RrType::Ns).is_empty());
+        assert!(db.query("unknown.example", RrType::Txt).is_empty());
+    }
+
+    #[test]
+    fn in_block_matches_slash_16() {
+        assert!(in_block("172.105.3.4", "172.105.0.0/16"));
+        assert!(!in_block("172.106.3.4", "172.105.0.0/16"));
+        assert!(!in_block("garbage", "172.105.0.0/16"));
+        assert!(!in_block("172.105.3.4", "172.105.0.0/24"));
+    }
+}
+

@@ -1,0 +1,544 @@
+//! CDN edge behaviour: the server side of every measurement.
+//!
+//! Given a domain's ground-truth policy and a client context, the edge
+//! decides what one HTTP exchange returns: an explicit geoblock page, a
+//! CAPTCHA or JavaScript challenge, a bot-detection denial, an origin-level
+//! stock 403, a redirect hop, or the real page. Identifying headers
+//! (`CF-RAY`, `X-Amz-Cf-Id`, `X-Iinfo`, the Akamai `Pragma` debug headers)
+//! ride on *every* response from the respective CDN — which is exactly what
+//! the §5.1.1 population detection exploits.
+
+use geoblock_blockpages::{render, PageKind, PageParams, Provider};
+use geoblock_http::{HeaderMap, Request, Response, ResponseBuilder, StatusCode};
+use geoblock_worldgen::country::sanctioned_all;
+use geoblock_worldgen::{DomainSpec, OriginBlockKind};
+
+use crate::geoip::Region;
+use crate::net::ClientContext;
+use crate::origin::OriginCache;
+
+/// Day (of virtual time) on which `policy_flip` domains drop their
+/// geoblocking rules — between the study's baseline pass (day 0) and the
+/// confirmation resample "several days later".
+pub const POLICY_FLIP_DAY: u32 = 2;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Per-request uniform draw in [0,1), deterministic in (domain, salt,
+/// request sequence).
+fn draw(spec: &DomainSpec, salt: u64, seq: u64) -> f64 {
+    (mix(spec.policy_seed ^ salt.wrapping_mul(0x9e37) ^ seq) % 1_048_576) as f64 / 1_048_576.0
+}
+
+/// How browser-like a request's headers look to a bot-detection layer, in
+/// [0, 1]. Computed from the actual headers — the edge cannot see what
+/// profile the client *meant* to send.
+pub fn browser_likeness(headers: &HeaderMap) -> f64 {
+    let mut score: f64 = 0.0;
+    match headers.get("user-agent") {
+        None => return 0.0,
+        Some(ua) if ua.starts_with("Mozilla/") => score += 0.40,
+        Some(_) => score += 0.05, // curl/, python-requests/, Go-http-client/…
+    }
+    if headers.contains("accept") {
+        score += 0.15;
+    }
+    if headers.contains("accept-language") {
+        score += 0.15;
+    }
+    if headers.contains("accept-encoding") {
+        score += 0.15;
+    }
+    if headers.contains("upgrade-insecure-requests") {
+        score += 0.13;
+    }
+    score.min(1.0)
+}
+
+/// Domain-level bot-detection threshold: requests whose likeness falls
+/// below it are denied *deterministically* — §3.1 observes that the ZGrab
+/// false-positive domain set is "nearly identical across countries".
+/// The range tops out just above the UA-only ZGrab likeness (0.40), so a
+/// small, stable set of domains false-positives on the crawler while a
+/// full browser header set always passes.
+fn bot_threshold(spec: &DomainSpec) -> f64 {
+    0.05 + (mix(spec.policy_seed ^ 0xb07) % 1000) as f64 / 1000.0 * 0.36
+}
+
+/// Some anti-bot deployments block residential-proxy address space
+/// wholesale (Hola exits share ranges with real abuse): the block page
+/// then shows from *every* country, which is what drags the length
+/// heuristic's recall down for these providers (Table 2) and what the
+/// consistency rule of §5.2.2 exists to exclude.
+fn proxy_blanket_rate(provider: Provider) -> f64 {
+    match provider {
+        Provider::Akamai => 0.08,
+        Provider::Incapsula => 0.08,
+        Provider::Distil => 0.18,
+        _ => 0.0,
+    }
+}
+
+/// Per-request residual bot-detection rate for residential clients (IP
+/// reputation noise: Hola exits share address space with actual abuse).
+fn residual_bot_rate(provider: Provider) -> f64 {
+    match provider {
+        Provider::Akamai => 0.045,
+        Provider::Incapsula => 0.080,
+        Provider::Distil => 0.060,
+        _ => 0.0,
+    }
+}
+
+/// Serve one request for `spec`.
+///
+/// `seq` is the per-(domain, country) request sequence number — the source
+/// of all per-request randomness, so identical studies replay identically
+/// regardless of task interleaving. Returns `None` when the *site* fails
+/// transiently (the caller maps that to a timeout).
+pub fn serve(
+    spec: &DomainSpec,
+    cache: &OriginCache,
+    request: &Request,
+    client: &ClientContext,
+    day: u32,
+    seq: u64,
+) -> Option<Response> {
+    let country = client.country;
+    let params = PageParams::new(
+        &spec.name,
+        country.info().map(|i| i.name).unwrap_or("your country"),
+        &client.ip,
+        mix(spec.policy_seed ^ seq ^ (country.0[0] as u64) << 8 ^ country.0[1] as u64),
+    );
+
+    // --- persistent site-side failures ---
+    // Dead sites: §4.1.1 finds 286 of 8,003 Top-10K domains never respond,
+    // but only 26 of 6,180 CDN-fronted Top-1M samples do — paying CDN
+    // customers are alive; the long tail of direct-hosted sites is not.
+    let dead_threshold = if spec.providers.is_empty() { 450 } else { 30 };
+    if mix(spec.policy_seed ^ 0xdead) % 10_000 < dead_threshold {
+        return None;
+    }
+    // Broken pairs: "consistent timeouts for certain websites in only some
+    // countries" (§7.3). Per-domain proneness (heavier for direct-hosted
+    // sites: 90th-pct error ≤11.7% in the Top 10K vs ≤3.0% among Top-1M CDN
+    // customers) gates a per-country deterministic failure.
+    let proneness = (mix(spec.policy_seed ^ 0x0b0b) % 1000) as f64 / 1000.0;
+    let p_dom = if spec.providers.is_empty() {
+        proneness.powi(3) * 0.15 // right-skewed; 90th pct ≈ 11%
+    } else {
+        proneness.powi(3) * 0.05
+    };
+    // Poor residential networks break more pairs (routing, MTU, proxy
+    // incompatibilities): Comoros's 76.4% coverage (§4.1.1) is this term.
+    let p_country = country
+        .info()
+        .map(|i| (1.0 - i.reliability).powf(1.3) * 0.9)
+        .unwrap_or(0.0);
+    let pair_hash = mix(spec.policy_seed ^ 0xca11 ^ (country.0[0] as u64) << 8 ^ country.0[1] as u64);
+    if ((pair_hash % 1_000_000) as f64) < (p_dom + p_country) * 1_000_000.0 {
+        return None;
+    }
+
+    // --- site-side transient failure (origin overload, routing flap) ---
+    if draw(spec, 0x7fa1, seq) < 0.002 {
+        return None;
+    }
+
+    // --- CDN-layer decisions, in front-to-back order ---
+    for &provider in &spec.providers {
+        // Explicit geoblocking.
+        if provider == Provider::AppEngine && spec.policy.appengine_sanctions {
+            let blocked = sanctioned_all().contains(country)
+                || client.region == Some(Region::Crimea);
+            if blocked {
+                return Some(finish(
+                    render(PageKind::AppEngine, &params),
+                    &[],
+                    request,
+                ));
+            }
+        }
+        let geo_active = !spec.policy.policy_flip || day < POLICY_FLIP_DAY;
+        if geo_active && spec.policy.geoblocked.contains(country) {
+            let kind = match provider {
+                Provider::Cloudflare => Some(PageKind::Cloudflare),
+                Provider::CloudFront => Some(PageKind::CloudFront),
+                Provider::Akamai => Some(PageKind::Akamai),
+                Provider::Incapsula => Some(PageKind::Incapsula),
+                Provider::Baidu => Some(PageKind::Baidu),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                // Anycast inconsistency: a small share of blocked pairs on
+                // the big anycast CDNs enforce on only part of the PoPs, so
+                // the block page shows ~55% of the time — these pairs are
+                // what the 80% agreement rule eliminates (§4.2: 77
+                // instances, 11.4%). Akamai/Incapsula geo-ACLs apply at the
+                // origin config and stay consistent.
+                let chash = (country.0[0] as u64) << 8 | country.0[1] as u64;
+                let partial = matches!(
+                    provider,
+                    Provider::Cloudflare | Provider::CloudFront | Provider::Baidu
+                ) && mix(spec.policy_seed ^ 0x9a27 ^ chash) % 1000 < 60;
+                if !partial || draw(spec, 0x9a28, seq) < 0.55 {
+                    return Some(finish(render(kind, &params), &[], request));
+                }
+            }
+        }
+
+        // Country-scoped challenges.
+        if spec.policy.challenged.contains(country) {
+            let kind = match provider {
+                Provider::Cloudflare => Some(PageKind::CloudflareCaptcha),
+                Provider::Baidu => Some(PageKind::BaiduCaptcha),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                return Some(finish(render(kind, &params), &[], request));
+            }
+        }
+
+        // "I'm Under Attack" episodes: during an attack day the JS
+        // challenge shows to *everyone* (making the challenge page the
+        // domain's representative page — Table 2's 66.3% recall); outside
+        // episodes it still fires on a fraction of requests.
+        if provider == Provider::Cloudflare && spec.policy.js_challenge_all {
+            let episode = mix(spec.policy_seed ^ (day as u64) ^ 0x1a3) % 100 < 12;
+            if episode || draw(spec, 0x15aa, seq) < 0.20 {
+                return Some(finish(render(PageKind::CloudflareJs, &params), &[], request));
+            }
+        }
+
+        // Bot detection: deterministic on header completeness, plus a
+        // residual per-request rate for residential IP-reputation noise.
+        if spec.policy.bot_sensitive {
+            let kind = match provider {
+                Provider::Akamai => Some(PageKind::Akamai),
+                Provider::Incapsula => Some(PageKind::Incapsula),
+                Provider::Distil => Some(PageKind::DistilCaptcha),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let likeness = browser_likeness(&request.headers);
+                let deterministic = likeness < bot_threshold(spec);
+                let residual = client.residential
+                    && draw(spec, 0xb0b0 ^ (seq << 1), seq) < residual_bot_rate(provider);
+                let blanket_hash = (mix(spec.policy_seed ^ 0xb1a) % 1_000_000) as f64;
+                let blanket = client.residential
+                    && blanket_hash < proxy_blanket_rate(provider) * 1_000_000.0;
+                if deterministic || residual || blanket {
+                    return Some(finish(render(kind, &params), &[], request));
+                }
+            }
+        }
+    }
+
+    // --- origin-level blocks (Airbnb-style custom pages, stock 403s) ---
+    if let Some(kind) = spec.policy.origin_block_kind {
+        let blocked = spec.policy.origin_blocked.contains(country)
+            || (kind == OriginBlockKind::Airbnb && client.region == Some(Region::Crimea));
+        if blocked {
+            let page = match kind {
+                OriginBlockKind::Nginx => PageKind::Nginx403,
+                OriginBlockKind::Varnish => PageKind::Varnish403,
+                OriginBlockKind::Soasta => PageKind::Soasta,
+                OriginBlockKind::Airbnb => PageKind::Airbnb,
+            };
+            return Some(finish(render(page, &params), &spec.providers, request));
+        }
+    }
+
+    // --- redirect hops, then the real page ---
+    let wants_https = mix(spec.policy_seed ^ 0x4477) % 100 < 55;
+    if wants_https && request.url.scheme == "http" {
+        let target = format!("https://{}{}", request.url.host, request.url.path);
+        let builder = Response::builder(StatusCode::MOVED_PERMANENTLY).header("Location", target);
+        return Some(finish(builder, &spec.providers, request));
+    }
+
+    if !spec.method_has_body(request) {
+        // HEAD and similar: headers only.
+        let builder = Response::builder(StatusCode::OK).header("Content-Type", "text/html");
+        return Some(finish(builder, &spec.providers, request));
+    }
+
+    let body = cache.sample_page(spec, mix(seq ^ spec.policy_seed));
+    let builder = Response::builder(StatusCode::OK)
+        .header("Content-Type", "text/html; charset=utf-8")
+        .body(bytes_body(body));
+    Some(finish(builder, &spec.providers, request))
+}
+
+fn bytes_body(b: bytes::Bytes) -> geoblock_http::Body {
+    geoblock_http::Body::from(b)
+}
+
+trait MethodExt {
+    fn method_has_body(&self, request: &Request) -> bool;
+}
+
+impl MethodExt for DomainSpec {
+    fn method_has_body(&self, request: &Request) -> bool {
+        request.method.response_has_body()
+    }
+}
+
+/// Attach the passive identifying headers of each fronting provider, then
+/// finish the response.
+fn finish(mut builder: ResponseBuilder, providers: &[Provider], request: &Request) -> Response {
+    for &p in providers {
+        builder = passive_headers(builder, p, request);
+    }
+    builder.finish(request.url.clone())
+}
+
+/// Headers a provider stamps on every response it proxies.
+fn passive_headers(
+    mut builder: ResponseBuilder,
+    provider: Provider,
+    request: &Request,
+) -> ResponseBuilder {
+    let h = mix(
+        request
+            .url
+            .host
+            .as_str()
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
+    );
+    match provider {
+        Provider::Cloudflare => builder
+            .header("Server", "cloudflare")
+            .header("CF-RAY", format!("{:016x}-IAD", h)),
+        Provider::CloudFront => builder
+            .header("Via", "1.1 abcdef.cloudfront.net (CloudFront)")
+            .header("X-Amz-Cf-Id", format!("{:056x}", h as u128)),
+        Provider::Incapsula => builder
+            .header("X-Iinfo", format!("{:08x}-{}-{}", h as u32, h % 999_983, h % 99_991))
+            .header("X-CDN", "Incapsula"),
+        Provider::AppEngine => builder.header("Server", "Google Frontend"),
+        Provider::Baidu => builder.header("Server", "yunjiasu-nginx"),
+        Provider::Akamai => {
+            // Akamai adds cache-debug headers only when poked with its
+            // Pragma header (§5.1.1) — there is no passive identifier.
+            let wants_debug = request
+                .headers
+                .get_all("pragma")
+                .any(|v| v.contains("akamai-x-cache-on") || v.contains("akamai-x-get-cache-key"));
+            if wants_debug {
+                builder = builder
+                    .header("X-Cache", "TCP_HIT from a23-45-67-89.deploy.akamaitechnologies.com (AkamaiGHost/9.5.2)")
+                    .header("X-Check-Cacheable", "YES")
+                    .header("X-Cache-Key", format!("/L/1234/567/1d/origin/{}/", request.url.host));
+            }
+            builder
+        }
+        _ => builder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::FingerprintSet;
+    use geoblock_http::HeaderProfile;
+    use geoblock_worldgen::{cc, AlexaPopulation, CountrySet};
+
+    fn client(country: &str) -> ClientContext {
+        ClientContext {
+            ip: "5.1.2.3".to_string(),
+            country: cc(country),
+            region: None,
+            residential: true,
+            seq_nonce: None,
+        }
+    }
+
+    fn full_request(domain: &str) -> Request {
+        Request::get(format!("http://{domain}/").parse().unwrap())
+            .headers(&HeaderProfile::FullBrowser.headers())
+    }
+
+    fn make_spec() -> DomainSpec {
+        let pop = AlexaPopulation::new(42, 10_000);
+        let mut spec = pop.spec(1000);
+        spec.providers = vec![Provider::Cloudflare];
+        spec.policy = Default::default();
+        spec
+    }
+
+    fn serve_ok(spec: &DomainSpec, cache: &OriginCache, req: &Request, cl: &ClientContext, seq: u64) -> Response {
+        serve(spec, cache, req, cl, 0, seq).expect("transient failure in test")
+    }
+
+    #[test]
+    fn geoblocked_country_gets_cloudflare_1009() {
+        let mut spec = make_spec();
+        spec.policy.geoblocked = CountrySet::from_codes([cc("IR")]);
+        let cache = OriginCache::new(16);
+        let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &client("IR"), 1);
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+        let outcome = FingerprintSet::paper().classify(&resp).unwrap();
+        assert_eq!(outcome.kind, PageKind::Cloudflare);
+        // Other countries get content (or a redirect hop).
+        let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &client("DE"), 2);
+        assert!(resp.status.is_success() || resp.status.is_redirect());
+    }
+
+    #[test]
+    fn cf_ray_rides_on_every_cloudflare_response() {
+        let spec = make_spec();
+        let cache = OriginCache::new(16);
+        for seq in 1..20 {
+            let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &client("US"), seq);
+            assert!(resp.headers.contains("cf-ray"), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn appengine_sanctions_block_sanctioned_and_crimea() {
+        let mut spec = make_spec();
+        spec.providers = vec![Provider::AppEngine];
+        spec.policy.appengine_sanctions = true;
+        let cache = OriginCache::new(16);
+        let fp = FingerprintSet::paper();
+
+        for country in ["IR", "SY", "SD", "CU"] {
+            let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &client(country), 1);
+            assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::AppEngine, "{country}");
+        }
+        // Ordinary Ukraine is fine; Crimea is blocked.
+        let ua = serve_ok(&spec, &cache, &full_request(&spec.name), &client("UA"), 1);
+        assert!(fp.classify(&ua).is_none());
+        let crimea = ClientContext {
+            region: Some(Region::Crimea),
+            ..client("UA")
+        };
+        let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &crimea, 1);
+        assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::AppEngine);
+    }
+
+    #[test]
+    fn bot_detection_depends_on_header_completeness() {
+        let pop = AlexaPopulation::new(42, 10_000);
+        let cache = OriginCache::new(256);
+        let fp = FingerprintSet::paper();
+        // Find bot-sensitive Akamai domains and compare header profiles.
+        let mut bare_blocked = 0;
+        let mut full_blocked = 0;
+        let mut sensitive = 0;
+        for rank in 1..=4000 {
+            let spec = pop.spec(rank);
+            if !spec.uses(Provider::Akamai) || !spec.policy.bot_sensitive {
+                continue;
+            }
+            if !spec.policy.geoblocked.is_empty() {
+                continue;
+            }
+            sensitive += 1;
+            let cl = ClientContext { residential: false, ..client("US") };
+            let bare = Request::get(format!("http://{}/", spec.name).parse().unwrap());
+            if serve(&spec, &cache, &bare, &cl, 0, 1)
+                .map(|r| fp.classify(&r).is_some())
+                .unwrap_or(false)
+            {
+                bare_blocked += 1;
+            }
+            let full = full_request(&spec.name);
+            if serve(&spec, &cache, &full, &cl, 0, 1)
+                .map(|r| fp.classify(&r).is_some())
+                .unwrap_or(false)
+            {
+                full_blocked += 1;
+            }
+        }
+        assert!(sensitive >= 10, "sensitive {sensitive}");
+        assert!(bare_blocked > sensitive * 8 / 10, "bare {bare_blocked}/{sensitive}");
+        assert_eq!(full_blocked, 0, "full browser should never trip deterministic detection");
+    }
+
+    #[test]
+    fn pragma_header_elicits_akamai_debug_headers() {
+        let mut spec = make_spec();
+        spec.providers = vec![Provider::Akamai];
+        let cache = OriginCache::new(16);
+        let plain = serve_ok(&spec, &cache, &full_request(&spec.name), &client("US"), 1);
+        assert!(!plain.headers.contains("x-check-cacheable"));
+
+        let poked = full_request(&spec.name).header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
+        let resp = serve_ok(&spec, &cache, &poked, &client("US"), 1);
+        assert!(resp.headers.contains("x-cache"));
+        assert!(resp.headers.contains("x-check-cacheable"));
+    }
+
+    #[test]
+    fn policy_flip_deactivates_after_flip_day() {
+        let pop = AlexaPopulation::new(42, 10_000);
+        let spec = pop.spec_of("makro.co.za").unwrap();
+        let cache = OriginCache::new(16);
+        let fp = FingerprintSet::paper();
+        let blocked_country = spec.policy.geoblocked.iter().next().unwrap();
+        let cl = client(blocked_country.as_str());
+        let before = serve(&spec, &cache, &full_request(&spec.name), &cl, 0, 1).unwrap();
+        assert!(fp.classify(&before).is_some(), "blocked during baseline");
+        let after = serve(&spec, &cache, &full_request(&spec.name), &cl, POLICY_FLIP_DAY, 1).unwrap();
+        assert!(fp.classify(&after).is_none(), "unblocked after the flip");
+    }
+
+    #[test]
+    fn https_redirect_preserves_cdn_headers() {
+        let pop = AlexaPopulation::new(42, 10_000);
+        let cache = OriginCache::new(64);
+        // Find a Cloudflare domain that redirects to https.
+        for rank in 1..2000 {
+            let spec = pop.spec(rank);
+            if !spec.uses(Provider::Cloudflare) || spec.policy.geoblocks() {
+                continue;
+            }
+            let resp = serve(&spec, &cache, &full_request(&spec.name), &client("FR"), 0, 3);
+            let Some(resp) = resp else { continue };
+            if resp.status.is_redirect() {
+                assert!(resp.headers.contains("cf-ray"), "redirect hop must carry CF-RAY");
+                assert!(resp.headers.get("location").unwrap().starts_with("https://"));
+                return;
+            }
+        }
+        panic!("no redirecting Cloudflare domain found in first 2000 ranks");
+    }
+
+    #[test]
+    fn head_requests_have_no_body() {
+        let spec = make_spec();
+        let cache = OriginCache::new(16);
+        let req = Request::head(format!("https://{}/", spec.name).parse().unwrap())
+            .headers(&HeaderProfile::FullBrowser.headers());
+        let resp = serve_ok(&spec, &cache, &req, &client("US"), 1);
+        assert!(resp.body.is_empty());
+        assert!(resp.headers.contains("cf-ray"));
+    }
+
+    #[test]
+    fn airbnb_blocks_iran_syria_and_crimea_only() {
+        let pop = AlexaPopulation::new(42, 10_000);
+        let spec = pop.spec_of("airbnb.com").unwrap();
+        let cache = OriginCache::new(16);
+        let fp = FingerprintSet::paper();
+        for country in ["IR", "SY"] {
+            let resp = serve_ok(&spec, &cache, &full_request("airbnb.com"), &client(country), 1);
+            assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::Airbnb, "{country}");
+        }
+        let cu = serve_ok(&spec, &cache, &full_request("airbnb.com"), &client("CU"), 1);
+        assert!(fp.classify(&cu).is_none(), "Cuba is not on Airbnb's list");
+        let crimea = ClientContext { region: Some(Region::Crimea), ..client("UA") };
+        let resp = serve_ok(&spec, &cache, &full_request("airbnb.com"), &crimea, 1);
+        assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::Airbnb);
+    }
+}

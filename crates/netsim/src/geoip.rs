@@ -1,0 +1,163 @@
+//! Synthetic client addresses and geolocation.
+//!
+//! Exit nodes and VPSes get deterministic IPv4 addresses carved out of
+//! per-country /16 blocks, so "geolocating" an address is a table lookup —
+//! the same fidelity CDNs have with commercial GeoIP feeds. Ukraine's
+//! address space includes a Crimean region slice, which is how the
+//! AppEngine regional blocking of §4.2.2 becomes observable.
+
+use std::fmt;
+
+use geoblock_worldgen::{cc, CountryCode};
+use serde::{Deserialize, Serialize};
+
+/// Sub-country regions the simulation distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Crimea (administratively part of Ukraine's address space; treated
+    /// as sanctioned territory by AppEngine, Airbnb, and Cloudflare).
+    Crimea,
+}
+
+/// A synthesised client address with its geolocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientAddr {
+    /// Dotted-quad IPv4 address.
+    pub ip: String,
+    /// GeoIP country.
+    pub country: CountryCode,
+    /// GeoIP region, when the simulation models one.
+    pub region: Option<Region>,
+}
+
+impl fmt::Display for ClientAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}{})", self.ip, self.country, match self.region {
+            Some(Region::Crimea) => "/Crimea",
+            None => "",
+        })
+    }
+}
+
+/// Fraction of Ukrainian residential exits located in Crimea.
+pub const CRIMEA_EXIT_FRACTION: f64 = 0.035;
+
+/// Country octet: a stable per-country /16 prefix (`5.X.0.0/16` for
+/// residential, `45.X.0.0/16` for datacenter).
+fn country_octet(country: CountryCode) -> u8 {
+    country
+        .index()
+        .map(|i| (i % 250) as u8)
+        .unwrap_or(255)
+}
+
+/// Synthesize the `n`-th residential address in `country`. Ukrainian
+/// addresses with a low host id fall in the Crimea slice.
+pub fn residential_addr(country: CountryCode, n: u64) -> ClientAddr {
+    let oct = country_octet(country);
+    let host = (n % 65_536) as u16;
+    let region = if country == cc("UA")
+        && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION
+    {
+        Some(Region::Crimea)
+    } else {
+        None
+    };
+    ClientAddr {
+        ip: format!("5.{oct}.{}.{}", host >> 8, host & 0xff),
+        country,
+        region,
+    }
+}
+
+/// Synthesize a datacenter (VPS) address in `country`.
+pub fn datacenter_addr(country: CountryCode, n: u64) -> ClientAddr {
+    let oct = country_octet(country);
+    let host = (n % 65_536) as u16;
+    ClientAddr {
+        ip: format!("45.{oct}.{}.{}", host >> 8, host & 0xff),
+        country,
+        region: None,
+    }
+}
+
+/// Geolocate a synthesised address (the CDN-side lookup).
+pub fn locate(ip: &str) -> Option<ClientAddr> {
+    let mut parts = ip.split('.');
+    let a: u8 = parts.next()?.parse().ok()?;
+    let b: u8 = parts.next()?.parse().ok()?;
+    let c: u8 = parts.next()?.parse().ok()?;
+    let d: u8 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let country = geoblock_worldgen::country::registry()
+        .iter()
+        .enumerate()
+        .find(|(i, _)| (i % 250) as u8 == b)
+        .map(|(_, info)| info.code)?;
+    let host = ((c as u16) << 8) | d as u16;
+    let region = if a == 5
+        && country == cc("UA")
+        && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION
+    {
+        Some(Region::Crimea)
+    } else {
+        None
+    };
+    match a {
+        5 | 45 => Some(ClientAddr {
+            ip: ip.to_string(),
+            country,
+            region,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residential_addrs_locate_back_to_their_country() {
+        for code in ["IR", "US", "CN", "KM"] {
+            let addr = residential_addr(cc(code), 12345);
+            let located = locate(&addr.ip).unwrap();
+            assert_eq!(located.country, cc(code), "{addr}");
+        }
+    }
+
+    #[test]
+    fn crimea_slice_exists_only_in_ukraine() {
+        let mut crimea = 0;
+        for n in 0..10_000u64 {
+            if residential_addr(cc("UA"), n * 7).region == Some(Region::Crimea) {
+                crimea += 1;
+            }
+            assert_eq!(residential_addr(cc("RU"), n).region, None);
+        }
+        let frac = crimea as f64 / 10_000.0;
+        assert!((0.01..0.08).contains(&frac), "crimea fraction {frac}");
+    }
+
+    #[test]
+    fn datacenter_addrs_have_no_region() {
+        let addr = datacenter_addr(cc("UA"), 3);
+        assert_eq!(addr.region, None);
+        assert!(addr.ip.starts_with("45."));
+    }
+
+    #[test]
+    fn locate_rejects_garbage() {
+        assert!(locate("not-an-ip").is_none());
+        assert!(locate("300.1.2.3").is_none());
+        assert!(locate("8.8.8.8").is_none()); // outside simulated space
+        assert!(locate("5.1.2.3.4").is_none());
+    }
+
+    #[test]
+    fn addresses_are_deterministic() {
+        assert_eq!(residential_addr(cc("DE"), 9), residential_addr(cc("DE"), 9));
+    }
+}

@@ -1,0 +1,45 @@
+//! The simulated Internet substrate.
+//!
+//! The paper measures the real web from hundreds of vantage points; this
+//! crate is the in-process stand-in: a deterministic world of origin
+//! servers fronted by CDN edges that enforce the ground-truth policies from
+//! `geoblock-worldgen`, watched over by nation-state censorship middleboxes
+//! in the countries where OONI observes them.
+//!
+//! Layers, bottom up:
+//!
+//! * [`clock`] — a virtual clock (study time passes in microseconds of real
+//!   time; the `makro.co.za` policy flip needs days to elapse between the
+//!   baseline and confirmation passes);
+//! * [`geoip`] — synthetic client addresses with country + region (Crimea
+//!   is a region of Ukraine, which is how AppEngine's regional blocking
+//!   surfaces in §4.2.2);
+//! * [`origin`] — real landing pages, cached as [`bytes::Bytes`] so a
+//!   million-sample study never re-renders them;
+//! * [`censor`] — per-country interception (resets, timeouts, ISP block
+//!   pages that deliberately match no CDN fingerprint);
+//! * [`edge`] — the CDN edge logic: geo firewall rules, CAPTCHA/JS
+//!   challenges, bot detection keyed on header completeness, identifying
+//!   headers (`CF-RAY`, `X-Amz-Cf-Id`, `X-Iinfo`), and the Akamai `Pragma`
+//!   debug headers;
+//! * [`dns`] — NS/A/TXT resolution, including the recursive
+//!   `_cloud-netblocks` discovery used to find AppEngine customers;
+//! * [`net`] — [`SimInternet`], the request entry point;
+//! * [`vps`] — datacenter vantage points implementing
+//!   [`geoblock_lumscan::Transport`] for the §3 exploration.
+
+pub mod censor;
+pub mod clock;
+pub mod dns;
+pub mod edge;
+pub mod geoip;
+pub mod net;
+pub mod origin;
+pub mod vps;
+
+pub use censor::{CensorAction, Censorship};
+pub use clock::SimClock;
+pub use dns::{DnsDb, DnsRecord, RrType};
+pub use geoip::{ClientAddr, Region};
+pub use net::{ClientContext, SimInternet};
+pub use vps::VpsTransport;

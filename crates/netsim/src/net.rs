@@ -1,0 +1,253 @@
+//! [`SimInternet`]: the request entry point of the simulated Internet.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use geoblock_http::{FetchError, Request, Response, StatusCode};
+use geoblock_worldgen::{CountryCode, World};
+use parking_lot::Mutex;
+
+use crate::censor::{CensorAction, Censorship};
+use crate::clock::SimClock;
+use crate::edge;
+use crate::geoip::Region;
+use crate::origin::OriginCache;
+
+/// Who is asking: the edge-visible client identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientContext {
+    /// Client IP as the edge sees it.
+    pub ip: String,
+    /// GeoIP country.
+    pub country: CountryCode,
+    /// GeoIP region, when modelled (Crimea).
+    pub region: Option<Region>,
+    /// Residential (proxy-network) clients face IP-reputation noise that
+    /// datacenter VPSes do not.
+    pub residential: bool,
+    /// Replayable per-request nonce, usually derived from the proxy
+    /// session. When set, the edge's stochastic draws depend only on it —
+    /// no shared counters, so concurrent studies replay exactly. When
+    /// absent (direct callers), a per-(domain, country) counter supplies
+    /// the sequence instead.
+    pub seq_nonce: Option<u64>,
+}
+
+/// A well-known host that echoes the client's geolocation the way a
+/// Cloudflare-fronted site does via `CF-IPCountry` (§2.2 uses this to
+/// verify VPS locations).
+pub const GEO_ECHO_HOST: &str = "geocheck.example";
+
+const SEQ_SHARDS: usize = 32;
+
+/// The simulated Internet: resolves hosts to domain specs, applies
+/// censorship, and lets the CDN edge serve.
+pub struct SimInternet {
+    world: Arc<World>,
+    cache: OriginCache,
+    censor: Censorship,
+    clock: Arc<SimClock>,
+    /// Per-(domain, country) request sequence numbers, sharded to keep the
+    /// hot path uncontended. These make per-request randomness replayable
+    /// regardless of async interleaving.
+    seq: Vec<Mutex<HashMap<(u32, u16), u32>>>,
+}
+
+impl SimInternet {
+    /// Build over a world.
+    pub fn new(world: Arc<World>) -> SimInternet {
+        SimInternet {
+            world,
+            cache: OriginCache::new(16_384),
+            censor: Censorship,
+            clock: Arc::new(SimClock::new()),
+            seq: (0..SEQ_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The world this Internet serves.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// The virtual clock (advance days between study passes).
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    fn next_seq(&self, rank: u32, country: CountryCode) -> u64 {
+        let cidx = country.index().unwrap_or(255) as u16;
+        let shard = (rank as usize ^ cidx as usize) % SEQ_SHARDS;
+        let mut map = self.seq[shard].lock();
+        let counter = map.entry((rank, cidx)).or_insert(0);
+        *counter += 1;
+        *counter as u64
+    }
+
+    /// Perform one HTTP exchange from `client`.
+    pub fn request(&self, request: &Request, client: &ClientContext) -> Result<Response, FetchError> {
+        self.clock.charge_request(client.country);
+
+        let host = request.effective_host();
+        if host == GEO_ECHO_HOST {
+            return Ok(Response::builder(StatusCode::OK)
+                .header("Server", "cloudflare")
+                .header("CF-RAY", "0000000000000000-IAD")
+                .header("CF-IPCountry", client.country.as_str())
+                .body(format!("ip={}&country={}", client.ip, client.country))
+                .finish(request.url.clone()));
+        }
+
+        let Some(spec) = self.world.population.spec_of(&host) else {
+            return Err(FetchError::DnsFailure { host });
+        };
+
+        // Network-side censorship happens before any CDN edge is reached.
+        // Over HTTPS the censor sees only the SNI: it can reset or drop the
+        // handshake but cannot forge a response, so block-page injection
+        // degrades to a reset (why HTTPS-era censorship measurement sees
+        // mostly connection-level anomalies).
+        if let Some(action) = self.censor.action(client.country, &spec) {
+            let https = request.url.scheme == "https";
+            return match action {
+                CensorAction::Reset => Err(FetchError::ConnectionReset),
+                CensorAction::Timeout => Err(FetchError::Timeout),
+                CensorAction::BlockPage if https => Err(FetchError::ConnectionReset),
+                CensorAction::BlockPage => Ok(self.censor.block_page(client.country, request)),
+            };
+        }
+
+        let seq = client
+            .seq_nonce
+            .unwrap_or_else(|| self.next_seq(spec.rank, client.country));
+        match edge::serve(&spec, &self.cache, request, client, self.clock.day(), seq) {
+            Some(response) => Ok(response),
+            None => Err(FetchError::Timeout),
+        }
+    }
+}
+
+#[cfg(test)]
+impl SimInternet {
+    /// Test-only access to the censor.
+    pub(crate) fn censor(&self) -> &Censorship {
+        &self.censor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::HeaderProfile;
+    use geoblock_worldgen::{cc, WorldConfig};
+
+    fn internet() -> SimInternet {
+        SimInternet::new(Arc::new(World::build(WorldConfig::tiny(42))))
+    }
+
+    fn client(country: &str) -> ClientContext {
+        ClientContext {
+            ip: "5.9.1.1".into(),
+            country: cc(country),
+            region: None,
+            residential: true,
+            seq_nonce: None,
+        }
+    }
+
+    fn get(host: &str) -> Request {
+        Request::get(format!("http://{host}/").parse().unwrap())
+            .headers(&HeaderProfile::FullBrowser.headers())
+    }
+
+    #[test]
+    fn known_domains_resolve_and_serve() {
+        let net = internet();
+        let name = net.world().population.spec(5).name.clone();
+        let resp = net.request(&get(&name), &client("US")).unwrap();
+        assert!(resp.status.is_success() || resp.status.is_redirect());
+    }
+
+    #[test]
+    fn unknown_hosts_fail_dns() {
+        let net = internet();
+        let err = net.request(&get("no-such-host.example"), &client("US")).unwrap_err();
+        assert!(matches!(err, FetchError::DnsFailure { .. }));
+    }
+
+    #[test]
+    fn geo_echo_reports_client_country() {
+        let net = internet();
+        let resp = net.request(&get(GEO_ECHO_HOST), &client("KE")).unwrap();
+        assert_eq!(resp.headers.get("cf-ipcountry"), Some("KE"));
+        assert!(resp.body.as_text().contains("country=KE"));
+    }
+
+    #[test]
+    fn sequence_numbers_advance_per_pair() {
+        let net = internet();
+        let a = net.next_seq(17, cc("US"));
+        let b = net.next_seq(17, cc("US"));
+        let c = net.next_seq(17, cc("FR"));
+        assert_eq!(b, a + 1);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn censored_sensitive_domains_fail_in_iran_not_germany() {
+        let net = internet();
+        // Find a Citizen-Lab domain within the tiny world.
+        let pop = &net.world().population;
+        let mut found = false;
+        for rank in 1..=net.world().config.population_size {
+            let spec = pop.spec(rank);
+            if spec.on_citizenlab && net.censor().action(cc("IR"), &spec).is_some() {
+                let iran = net.request(&get(&spec.name), &client("IR"));
+                let germany = net.request(&get(&spec.name), &client("DE"));
+                // Iran: censored (error or censor page); Germany: normal.
+                match iran {
+                    Err(_) => {}
+                    Ok(resp) => assert!(resp.body.as_text().contains("telecommunications regulations")),
+                }
+                assert!(germany.is_ok());
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no censored domain found in tiny world");
+    }
+
+    #[test]
+    fn https_censorship_is_connection_level_only() {
+        // A censor that injects block pages on HTTP can only reset HTTPS.
+        let net = internet();
+        let pop = &net.world().population;
+        for rank in 1..=net.world().config.population_size {
+            let spec = pop.spec(rank);
+            if net.censor().action(cc("IR"), &spec) == Some(crate::censor::CensorAction::BlockPage)
+            {
+                let http = Request::get(format!("http://{}/", spec.name).parse().unwrap());
+                let https = Request::get(format!("https://{}/", spec.name).parse().unwrap());
+                let cl = client("IR");
+                assert!(net.request(&http, &cl).is_ok(), "http gets the injected page");
+                assert!(
+                    matches!(net.request(&https, &cl), Err(FetchError::ConnectionReset)),
+                    "https must reset"
+                );
+                return;
+            }
+        }
+        panic!("no block-page-censored domain in the tiny world");
+    }
+
+    #[test]
+    fn clock_accumulates_as_requests_flow() {
+        let net = internet();
+        let name = net.world().population.spec(3).name.clone();
+        let before = net.clock().now_micros();
+        for _ in 0..50 {
+            let _ = net.request(&get(&name), &client("US"));
+        }
+        assert!(net.clock().now_micros() > before);
+    }
+}

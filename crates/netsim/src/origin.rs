@@ -1,0 +1,229 @@
+//! Origin servers: real landing pages.
+//!
+//! Pages are rendered once per domain and cached as [`Bytes`]; per-sample
+//! length variation (dynamic content, localisation, ad fill) is modelled by
+//! serving a zero-copy *prefix slice* of the cached page. The longest
+//! instance — what the page-length heuristic uses as the representative —
+//! is the full render, and typical samples run 0–25% shorter, matching the
+//! mass near zero in Figure 2.
+
+use bytes::Bytes;
+use geoblock_worldgen::DomainSpec;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// splitmix64 step for deterministic jitter.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Bounded cache of rendered origin pages.
+#[derive(Debug)]
+pub struct OriginCache {
+    pages: RwLock<HashMap<String, Bytes>>,
+    max_entries: usize,
+}
+
+/// Filler sentences for page bodies.
+const FILLER: &[&str] = &[
+    "Discover our latest arrivals and seasonal highlights.",
+    "Sign in to your account to continue where you left off.",
+    "Our team curates the best content from around the world.",
+    "Subscribe to the newsletter for weekly updates and offers.",
+    "Read what our customers have to say about their experience.",
+    "Browse the full catalogue by category, brand, or price.",
+    "Free shipping on qualifying orders over the minimum value.",
+    "Follow us on social media for announcements and community events.",
+    "This site uses cookies to improve performance and analytics.",
+    "Explore trending topics, editor picks, and staff favourites.",
+];
+
+impl OriginCache {
+    /// Cache bounded to `max_entries` pages (FIFO-ish eviction).
+    pub fn new(max_entries: usize) -> OriginCache {
+        OriginCache {
+            pages: RwLock::new(HashMap::new()),
+            max_entries: max_entries.max(16),
+        }
+    }
+
+    /// The full landing page for `spec`, rendered once and cached.
+    pub fn full_page(&self, spec: &DomainSpec) -> Bytes {
+        if let Some(page) = self.pages.read().get(&spec.name) {
+            return page.clone();
+        }
+        let page = Bytes::from(render_page(spec));
+        let mut cache = self.pages.write();
+        if cache.len() >= self.max_entries {
+            // Bulk-evict half; precision doesn't matter for a page cache.
+            let keys: Vec<String> = cache.keys().take(self.max_entries / 2).cloned().collect();
+            for k in keys {
+                cache.remove(&k);
+            }
+        }
+        cache.insert(spec.name.clone(), page.clone());
+        page
+    }
+
+    /// A per-sample variant: a prefix slice whose length jitters 0–25%
+    /// below the full render, deterministically in `sample_nonce`.
+    pub fn sample_page(&self, spec: &DomainSpec, sample_nonce: u64) -> Bytes {
+        let full = self.full_page(spec);
+        let jitter = (mix(spec.policy_seed ^ sample_nonce) % 1000) as f64 / 1000.0;
+        // Right-skewed: most samples near full length, a thin tail of much
+        // shorter renders (page variants, stripped-down mobile versions).
+        let shrink = if jitter < 0.92 {
+            jitter * 0.12 // 0–11% shorter
+        } else {
+            0.12 + (jitter - 0.92) * 4.0 // up to ~44% shorter
+        };
+        let len = ((full.len() as f64) * (1.0 - shrink)) as usize;
+        full.slice(0..len.clamp(1, full.len()))
+    }
+
+    /// Number of cached pages (for tests and memory accounting).
+    pub fn len(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Theme vocabulary per category, so pages of the same category form one
+/// text family (and different categories another) — the cluster-count
+/// shape of §4.1.3 depends on the corpus having such families.
+fn theme_words(spec: &DomainSpec) -> &'static [&'static str] {
+    use geoblock_worldgen::Category::*;
+    match spec.category {
+        Shopping | Auctions => &["cart", "checkout", "discount", "bestseller", "wishlist", "voucher"],
+        NewsAndMedia => &["headline", "breaking", "editorial", "correspondent", "newsroom", "coverage"],
+        FinanceAndBanking => &["account", "interest", "mortgage", "portfolio", "transfer", "statement"],
+        Travel => &["itinerary", "booking", "destination", "flight", "hotel", "excursion"],
+        Games | Entertainment => &["leaderboard", "episode", "trailer", "multiplayer", "soundtrack", "premiere"],
+        InformationTechnology | Freeware | WebHosting => &["download", "documentation", "changelog", "server", "release", "integration"],
+        Education | ChildEducation | Reference => &["curriculum", "lesson", "glossary", "tutorial", "faculty", "lecture"],
+        HealthAndWellness => &["wellness", "symptom", "nutrition", "clinic", "therapy", "fitness"],
+        Sports => &["fixture", "league", "standings", "transfer", "matchday", "highlights"],
+        JobSearch => &["vacancy", "resume", "recruiter", "salary", "interview", "career"],
+        Advertising => &["campaign", "impression", "audience", "placement", "conversion", "brand"],
+        PersonalVehicles => &["dealership", "mileage", "horsepower", "warranty", "sedan", "testdrive"],
+        _ => &["community", "profile", "update", "article", "gallery", "archive"],
+    }
+}
+
+/// Render the full landing page for a domain: unique head material plus
+/// deterministic filler to the spec's base size.
+fn render_page(spec: &DomainSpec) -> String {
+    let mut out = String::with_capacity(spec.base_page_bytes as usize + 512);
+    out.push_str(&format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{name} — {category}</title>\n\
+         <meta name=\"description\" content=\"{name}: {category} content and services\">\n\
+         </head>\n<body>\n<header><h1>Welcome to {name}</h1>\
+         <nav><a href=\"/\">Home</a> <a href=\"/about\">About</a> \
+         <a href=\"/contact\">Contact</a></nav></header>\n<main>\n",
+        name = spec.name,
+        category = spec.category.label(),
+    ));
+    let theme = theme_words(spec);
+    let mut state = spec.policy_seed;
+    let mut section = 0;
+    while out.len() < spec.base_page_bytes as usize {
+        state = mix(state);
+        if section % 6 == 0 {
+            out.push_str(&format!("<h2>Section {}</h2>\n", section / 6 + 1));
+        }
+        out.push_str("<p>");
+        if state.is_multiple_of(3) {
+            // Category-flavoured sentence: these are what make pages of a
+            // category cluster together and apart from other categories.
+            let w1 = theme[(state >> 8) as usize % theme.len()];
+            let w2 = theme[(state >> 16) as usize % theme.len()];
+            out.push_str(&format!(
+                "Explore the {w1} section or visit the {w2} page for more."
+            ));
+        } else {
+            out.push_str(FILLER[(state % FILLER.len() as u64) as usize]);
+        }
+        out.push_str("</p>\n");
+        section += 1;
+    }
+    out.push_str("</main>\n<footer>&copy; 2018</footer>\n</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::AlexaPopulation;
+
+    fn spec() -> DomainSpec {
+        AlexaPopulation::new(42, 10_000).spec(100)
+    }
+
+    #[test]
+    fn full_page_hits_target_size_and_mentions_domain() {
+        let cache = OriginCache::new(64);
+        let s = spec();
+        let page = cache.full_page(&s);
+        let text = std::str::from_utf8(&page).unwrap();
+        assert!(text.contains(&s.name));
+        let target = s.base_page_bytes as usize;
+        assert!(page.len() >= target && page.len() < target + 600, "{}", page.len());
+    }
+
+    #[test]
+    fn pages_are_cached_and_shared() {
+        let cache = OriginCache::new(64);
+        let s = spec();
+        let a = cache.full_page(&s);
+        let b = cache.full_page(&s);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_are_prefixes_with_bounded_shrink() {
+        let cache = OriginCache::new(64);
+        let s = spec();
+        let full = cache.full_page(&s);
+        let mut max_shrink: f64 = 0.0;
+        for nonce in 0..500u64 {
+            let sample = cache.sample_page(&s, nonce);
+            assert!(sample.len() <= full.len());
+            assert_eq!(&full[..sample.len()], &sample[..]);
+            let shrink = 1.0 - sample.len() as f64 / full.len() as f64;
+            max_shrink = max_shrink.max(shrink);
+        }
+        assert!(max_shrink < 0.50, "max shrink {max_shrink}");
+        assert!(max_shrink > 0.10, "tail of short variants expected, got {max_shrink}");
+    }
+
+    #[test]
+    fn most_samples_are_near_full_length() {
+        let cache = OriginCache::new(64);
+        let s = spec();
+        let full = cache.full_page(&s).len() as f64;
+        let near_full = (0..1000u64)
+            .filter(|&n| cache.sample_page(&s, n).len() as f64 / full > 0.89)
+            .count();
+        assert!(near_full > 850, "near full {near_full}");
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let cache = OriginCache::new(16);
+        let pop = AlexaPopulation::new(42, 10_000);
+        for rank in 1..=100 {
+            cache.full_page(&pop.spec(rank));
+        }
+        assert!(cache.len() <= 16, "{}", cache.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Datacenter VPS vantage points (§2.2, §3).
+//!
+//! The exploration phase ran from 16 commercial VPSes. Compared with
+//! residential exits, VPS clients are reliable (no proxy layer, no local
+//! firewall), but they are *not* residential: bot-detection layers treat
+//! their address space more kindly in our model (no IP-reputation noise),
+//! while their header sets (ZGrab with only a User-Agent) trip deterministic
+//! detection — which is exactly the §3.1 false-positive story.
+
+use std::sync::Arc;
+
+use geoblock_http::{FetchError, Response};
+use geoblock_lumscan::{Transport, TransportRequest};
+use geoblock_worldgen::CountryCode;
+
+use crate::geoip::datacenter_addr;
+use crate::net::{ClientContext, SimInternet};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// A VPS in a fixed country, implementing [`Transport`].
+pub struct VpsTransport {
+    internet: Arc<SimInternet>,
+    country: CountryCode,
+    host_index: u64,
+}
+
+impl VpsTransport {
+    /// A VPS in `country`.
+    pub fn new(internet: Arc<SimInternet>, country: CountryCode) -> VpsTransport {
+        VpsTransport {
+            internet,
+            country,
+            host_index: 1,
+        }
+    }
+
+    /// The VPS's country.
+    pub fn country(&self) -> CountryCode {
+        self.country
+    }
+
+    /// The client context this VPS presents to edges.
+    pub fn client(&self) -> ClientContext {
+        let addr = datacenter_addr(self.country, self.host_index);
+        ClientContext {
+            ip: addr.ip,
+            country: addr.country,
+            region: addr.region,
+            residential: false,
+            seq_nonce: None,
+        }
+    }
+}
+
+impl Transport for VpsTransport {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        // A VPS is pinned to its country; the request's target country is
+        // informational only. Yield so large sweeps interleave fairly.
+        tokio::task::yield_now().await;
+        let mut client = self.client();
+        // Replayable per-request nonce: (session, host, vantage country).
+        client.seq_nonce = Some(mix(
+            req.session.0
+                ^ hash_str(&req.request.effective_host())
+                ^ ((self.country.0[0] as u64) << 8 | self.country.0[1] as u64),
+        ));
+        self.internet.request(&req.request, &client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{HeaderProfile, Request};
+    use geoblock_lumscan::{follow_redirects, SessionId};
+    use geoblock_worldgen::{cc, World, WorldConfig};
+
+    fn internet() -> Arc<SimInternet> {
+        Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(42)))))
+    }
+
+    #[tokio::test]
+    async fn vps_fetches_from_its_own_country() {
+        let net = internet();
+        let vps = VpsTransport::new(net.clone(), cc("US"));
+        let req = Request::get(format!("http://{}/", crate::net::GEO_ECHO_HOST).parse().unwrap());
+        let resp = vps
+            .fetch_one(TransportRequest {
+                request: req,
+                country: cc("IR"), // ignored: the box lives in the US
+                session: SessionId(0),
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp.headers.get("cf-ipcountry"), Some("US"));
+    }
+
+    #[tokio::test]
+    async fn vps_chain_following_works_end_to_end() {
+        let net = internet();
+        let vps = VpsTransport::new(net.clone(), cc("DE"));
+        let name = net.world().population.spec(7).name.clone();
+        let req = Request::get(format!("http://{name}/").parse().unwrap())
+            .headers(&HeaderProfile::FullBrowser.headers());
+        let chain = follow_redirects(&vps, req, cc("DE"), SessionId(0), 10)
+            .await
+            .unwrap();
+        assert!(chain.final_response().status.is_success());
+    }
+
+    #[tokio::test]
+    async fn vps_clients_are_not_residential() {
+        let net = internet();
+        let vps = VpsTransport::new(net, cc("IR"));
+        let client = vps.client();
+        assert!(!client.residential);
+        assert!(client.ip.starts_with("45."));
+        assert_eq!(client.country, cc("IR"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the simulated Internet: GeoIP round-trips,
+//! per-request determinism, and edge-response sanity over arbitrary
+//! domains and countries.
+
+use std::sync::Arc;
+
+use geoblock_http::{HeaderProfile, Request};
+use geoblock_netsim::geoip::{datacenter_addr, locate, residential_addr};
+use geoblock_netsim::{ClientContext, SimInternet};
+use geoblock_worldgen::country::{luminati_countries, registry};
+use geoblock_worldgen::{World, WorldConfig};
+use proptest::prelude::*;
+
+fn country_strategy() -> impl Strategy<Value = geoblock_worldgen::CountryCode> {
+    proptest::sample::select(registry().iter().map(|c| c.code).collect::<Vec<_>>())
+}
+
+fn shared_internet() -> &'static Arc<SimInternet> {
+    use std::sync::OnceLock;
+    static NET: OnceLock<Arc<SimInternet>> = OnceLock::new();
+    NET.get_or_init(|| Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(42))))))
+}
+
+proptest! {
+    #[test]
+    fn residential_addresses_locate_home(country in country_strategy(), n in any::<u64>()) {
+        let addr = residential_addr(country, n);
+        let located = locate(&addr.ip).expect("simulated space");
+        prop_assert_eq!(located.country, country);
+        prop_assert_eq!(located.region, addr.region);
+    }
+
+    #[test]
+    fn datacenter_addresses_locate_home(country in country_strategy(), n in any::<u64>()) {
+        let addr = datacenter_addr(country, n);
+        let located = locate(&addr.ip).expect("simulated space");
+        prop_assert_eq!(located.country, country);
+        prop_assert_eq!(located.region, None);
+    }
+
+    #[test]
+    fn responses_are_structurally_valid(rank in 1u32..20_000, country_idx in 0usize..177) {
+        let net = shared_internet();
+        let countries = luminati_countries();
+        let country = countries[country_idx % countries.len()];
+        let name = net.world().population.spec(rank).name;
+        let request = Request::get(format!("http://{name}/").parse().unwrap())
+            .headers(&HeaderProfile::FullBrowser.headers());
+        let client = ClientContext {
+            ip: residential_addr(country, rank as u64).ip,
+            country,
+            region: None,
+            residential: true,
+            seq_nonce: None,
+        };
+        match net.request(&request, &client) {
+            Err(_) => {} // failures are part of the model
+            Ok(resp) => {
+                // Status always in range; redirects carry a Location; block
+                // pages are never empty; 200 bodies respect the spec size.
+                prop_assert!(resp.status.as_u16() >= 100 && resp.status.as_u16() < 600);
+                if resp.status.is_redirect() {
+                    prop_assert!(resp.headers.contains("location"));
+                } else if resp.status.is_success() {
+                    let spec = net.world().population.spec(rank);
+                    prop_assert!(resp.body.len() <= spec.base_page_bytes as usize + 600);
+                } else {
+                    prop_assert!(!resp.body.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geo_echo_always_reports_the_client(country in country_strategy()) {
+        let net = shared_internet();
+        let request = Request::get("http://geocheck.example/".parse().unwrap());
+        let client = ClientContext {
+            ip: "5.1.2.3".into(),
+            country,
+            region: None,
+            residential: true,
+            seq_nonce: None,
+        };
+        let resp = net.request(&request, &client).expect("echo never fails");
+        prop_assert_eq!(resp.headers.get("cf-ipcountry"), Some(country.as_str()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Exit-node synthesis.
+//!
+//! Exit nodes are derived deterministically from (country, session): the
+//! same session always lands on the same simulated household, with the same
+//! quirks. That determinism is what makes whole-study replays exact.
+
+use geoblock_netsim::geoip::{residential_addr, ClientAddr};
+use geoblock_worldgen::{cc, CountryCode};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One residential exit machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitNode {
+    /// The household's address and geolocation as the proxy believes it.
+    pub claimed: ClientAddr,
+    /// Where the household actually is (differs on mis-geolocated exits).
+    pub actual: ClientAddr,
+    /// The exit sits behind a corporate firewall / local filter that
+    /// interferes with a share of its traffic.
+    pub corporate_firewall: bool,
+    /// Multiplier on transient-failure probability for this household.
+    pub flakiness: f64,
+}
+
+impl ExitNode {
+    /// Whether the proxy's geolocation of this exit is wrong.
+    pub fn mislocated(&self) -> bool {
+        self.claimed.country != self.actual.country
+    }
+}
+
+/// Fraction of exits behind interfering corporate firewalls.
+pub const CORPORATE_FIREWALL_RATE: f64 = 0.06;
+
+/// Fraction of exits whose geolocation is wrong.
+pub const MISLOCATION_RATE: f64 = 0.008;
+
+/// Materialise the exit a (country, session) pair lands on. Deterministic.
+pub fn exit_for(seed: u64, country: CountryCode, session: u64) -> ExitNode {
+    let h = mix(seed ^ mix(session) ^ ((country.0[0] as u64) << 8 | country.0[1] as u64));
+    let claimed = residential_addr(country, h % 60_000);
+
+    let mislocated = (h >> 17) % 100_000 < (MISLOCATION_RATE * 100_000.0) as u64;
+    let actual = if mislocated {
+        // The household is really in a different (registered, measurable)
+        // country — commonly a neighbour or a VPN endpoint.
+        let neighbours = [cc("TR"), cc("RU"), cc("DE"), cc("US"), cc("NL"), cc("FR")];
+        let other = neighbours[(h >> 33) as usize % neighbours.len()];
+        let other = if other == country { cc("GB") } else { other };
+        residential_addr(other, h % 60_000)
+    } else {
+        claimed.clone()
+    };
+
+    let corporate_firewall = (h >> 5) % 100_000 < (CORPORATE_FIREWALL_RATE * 100_000.0) as u64;
+    let flakiness = 0.5 + ((h >> 40) % 1000) as f64 / 1000.0; // 0.5–1.5×
+
+    ExitNode {
+        claimed,
+        actual,
+        corporate_firewall,
+        flakiness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exits_are_deterministic() {
+        assert_eq!(exit_for(1, cc("IR"), 42), exit_for(1, cc("IR"), 42));
+        assert_ne!(
+            exit_for(1, cc("IR"), 42).claimed.ip,
+            exit_for(1, cc("IR"), 43).claimed.ip
+        );
+    }
+
+    #[test]
+    fn corporate_firewall_rate_is_plausible() {
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|&s| exit_for(7, cc("US"), s).corporate_firewall)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.03..0.09).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn mislocation_is_rare_and_lands_elsewhere() {
+        let n = 50_000;
+        let mislocated: Vec<ExitNode> = (0..n)
+            .map(|s| exit_for(7, cc("UA"), s))
+            .filter(|e| e.mislocated())
+            .collect();
+        let rate = mislocated.len() as f64 / n as f64;
+        assert!((0.003..0.015).contains(&rate), "rate {rate}");
+        for e in mislocated.iter().take(20) {
+            assert_ne!(e.actual.country, cc("UA"));
+        }
+    }
+
+    #[test]
+    fn flakiness_spans_expected_band() {
+        for s in 0..100 {
+            let f = exit_for(3, cc("BR"), s).flakiness;
+            assert!((0.5..1.5).contains(&f), "{f}");
+        }
+    }
+}

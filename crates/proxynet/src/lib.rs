@@ -1,0 +1,27 @@
+//! A simulated Luminati-style residential proxy network.
+//!
+//! Luminati (§2.2) tunnels paying customers' HTTP requests through the
+//! machines of Hola VPN users: the client talks to a *superproxy* and names
+//! a desired exit country and session; the superproxy picks a residential
+//! *exit node* and relays the request. The measurement sees the web exactly
+//! as that household does — which is the whole point, and also the source
+//! of every reliability headache Lumscan exists to absorb:
+//!
+//! * some countries simply have no exits (North Korea);
+//! * Luminati refuses to carry traffic to certain protected domains,
+//!   surfacing the refusal in an `X-Luminati-Error` header;
+//! * superproxies and exits fail transiently, more often on poor networks;
+//! * some exits sit behind corporate firewalls that interfere with
+//!   traffic (§4.2 blames these for sub-100% block-page consistency);
+//! * a small fraction of exits are *mis-geolocated* — the household is not
+//!   where the proxy's database thinks it is.
+//!
+//! The network implements [`geoblock_lumscan::Transport`]; the engine's
+//! session IDs pin exit nodes, so the ≤10-requests-per-exit policy and
+//! retry-on-fresh-exit behaviour compose exactly as in the real system.
+
+pub mod exits;
+pub mod network;
+
+pub use exits::ExitNode;
+pub use network::{LuminatiConfig, LuminatiNetwork, LUMTEST_HOST};

@@ -1,0 +1,327 @@
+//! The Luminati network front: superproxies and request relay.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geoblock_http::{FetchError, Request, Response, StatusCode};
+use geoblock_lumscan::{Transport, TransportRequest};
+use geoblock_netsim::{ClientContext, SimInternet};
+use geoblock_worldgen::CountryCode;
+
+use crate::exits::{exit_for, ExitNode};
+
+/// The proxy-controlled echo host Lumscan verifies connectivity against.
+pub const LUMTEST_HOST: &str = "lumtest.io";
+
+/// Tuning knobs for the network's misbehaviour.
+#[derive(Debug, Clone)]
+pub struct LuminatiConfig {
+    /// Seed for exit synthesis and noise.
+    pub seed: u64,
+    /// Base per-request probability of a superproxy/tunnel failure.
+    pub proxy_error_rate: f64,
+    /// Base per-request probability of an exit-side timeout (scaled by the
+    /// country's network reliability and the exit's flakiness).
+    pub timeout_rate: f64,
+    /// Probability that a corporate-firewall exit interferes with a given
+    /// request.
+    pub firewall_interference_rate: f64,
+    /// Number of superproxies (accounting only; they are load-balanced by
+    /// the engine's session ids).
+    pub superproxies: usize,
+}
+
+impl Default for LuminatiConfig {
+    fn default() -> Self {
+        LuminatiConfig {
+            seed: 0x10a1,
+            proxy_error_rate: 0.02,
+            timeout_rate: 0.10,
+            firewall_interference_rate: 0.55,
+            superproxies: 8,
+        }
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// The simulated Luminati network. Implements [`Transport`].
+pub struct LuminatiNetwork {
+    internet: Arc<SimInternet>,
+    config: LuminatiConfig,
+    relays: AtomicU64,
+    refused: AtomicU64,
+}
+
+impl LuminatiNetwork {
+    /// Wrap an internet with the default noise profile.
+    pub fn new(internet: Arc<SimInternet>) -> LuminatiNetwork {
+        LuminatiNetwork::with_config(internet, LuminatiConfig::default())
+    }
+
+    /// Wrap with explicit tuning.
+    pub fn with_config(internet: Arc<SimInternet>, config: LuminatiConfig) -> LuminatiNetwork {
+        LuminatiNetwork {
+            internet,
+            config,
+            relays: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        }
+    }
+
+    /// The internet behind the proxy.
+    pub fn internet(&self) -> &Arc<SimInternet> {
+        &self.internet
+    }
+
+    /// Total requests relayed (for load accounting / examples).
+    pub fn relays(&self) -> u64 {
+        self.relays.load(Ordering::Relaxed)
+    }
+
+    /// Total requests refused by Luminati policy.
+    pub fn refusals(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Luminati's own domain blocklist: it refuses to carry traffic to a
+    /// small set of protected domains, skewed toward the most popular ranks
+    /// (§4.1.1: 13 of 8,003 Top-10K domains vs §5.1.3: 3 of 6,180 Top-1M
+    /// samples).
+    fn refuses(&self, host: &str) -> bool {
+        let rank = self.internet.world().population.rank_of(host);
+        let h = mix(hash_str(host) ^ self.config.seed ^ 0x1b10) % 10_000;
+        match rank {
+            Some(r) if r <= 10_000 => h < 16, // 0.16%
+            Some(_) => h < 5,                 // 0.05%
+            None => false,
+        }
+    }
+
+    /// Serve the proxy-controlled echo page.
+    fn echo(&self, request: &Request, exit: &ExitNode) -> Response {
+        Response::builder(StatusCode::OK)
+            .header("Content-Type", "text/plain")
+            .body(format!(
+                "ip={}&country={}&superproxy=sp{}.luminati.io",
+                exit.actual.ip,
+                exit.actual.country,
+                hash_str(&exit.actual.ip) % self.config.superproxies as u64,
+            ))
+            .finish(request.url.clone())
+    }
+}
+
+impl Transport for LuminatiNetwork {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        tokio::task::yield_now().await;
+        let country: CountryCode = req.country;
+        let info = country.info();
+        if !info.map(|i| i.luminati).unwrap_or(false) {
+            return Err(FetchError::NoExitAvailable {
+                country: country.as_str().to_string(),
+            });
+        }
+        let reliability = info.map(|i| i.reliability).unwrap_or(0.9);
+        let host = req.request.effective_host();
+        let host_hash = hash_str(&host);
+        // The session pins the exit machine — the echo check and the real
+        // fetch of one probe share a household, which is what makes
+        // exit-attributed analyses (the Crimea study) possible. Relay noise
+        // additionally keys on the host so the echo's success says nothing
+        // about the target fetch.
+        let exit = exit_for(self.config.seed, country, req.session.0);
+        let noise = mix(self.config.seed ^ mix(req.session.0) ^ host_hash);
+        let u = |salt: u64| (mix(noise ^ salt) % 1_000_000) as f64 / 1_000_000.0;
+        if host == LUMTEST_HOST {
+            // The echo service is Luminati-side: it sees the exit's true
+            // location and never fails for proxy reasons.
+            self.relays.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.echo(&req.request, &exit));
+        }
+
+        // Luminati policy refusals surface an X-Luminati-Error.
+        if self.refuses(&host) {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::ProxyRefused {
+                reason: "blocked_target".to_string(),
+            });
+        }
+
+        // Superproxy / tunnel failure.
+        if u(0x50e7) < self.config.proxy_error_rate {
+            return Err(FetchError::ProxyError {
+                detail: "tunnel establishment failed".to_string(),
+            });
+        }
+
+        // Exit-side timeout, scaled by network quality and flakiness.
+        let p_timeout = self.config.timeout_rate * (1.0 - reliability) * exit.flakiness;
+        if u(0x71e0) < p_timeout {
+            return Err(FetchError::Timeout);
+        }
+
+        // Corporate-firewall interference: the local network silently drops
+        // the connection before it leaves the household — §4.1.5 counts
+        // "local filtering like a corporate firewall" among the failure
+        // modes, and §4.2 blames it for sub-100% block-page consistency.
+        if exit.corporate_firewall && u(0xf17e) < self.config.firewall_interference_rate {
+            return Err(FetchError::Timeout);
+        }
+
+        self.relays.fetch_add(1, Ordering::Relaxed);
+        let client = ClientContext {
+            ip: exit.actual.ip.clone(),
+            country: exit.actual.country,
+            region: exit.actual.region,
+            residential: true,
+            // The edge's stochastic draws key on (session, host, country):
+            // fully replayable, no counters shared across tasks.
+            seq_nonce: Some(mix(
+                req.session.0 ^ host_hash ^ ((country.0[0] as u64) << 8 | country.0[1] as u64),
+            )),
+        };
+        self.internet.request(&req.request, &client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::HeaderProfile;
+    use geoblock_lumscan::SessionId;
+    use geoblock_worldgen::{cc, World, WorldConfig};
+
+    fn network() -> LuminatiNetwork {
+        let world = Arc::new(World::build(WorldConfig::tiny(42)));
+        LuminatiNetwork::new(Arc::new(SimInternet::new(world)))
+    }
+
+    fn treq(host: &str, country: &str, session: u64) -> TransportRequest {
+        TransportRequest {
+            request: Request::get(format!("http://{host}/").parse().unwrap())
+                .headers(&HeaderProfile::FullBrowser.headers()),
+            country: cc(country),
+            session: SessionId(session),
+        }
+    }
+
+    #[tokio::test]
+    async fn north_korea_has_no_exits() {
+        let net = network();
+        let err = net.fetch_one(treq("anything.com", "KP", 0)).await.unwrap_err();
+        assert!(matches!(err, FetchError::NoExitAvailable { .. }));
+    }
+
+    #[tokio::test]
+    async fn echo_reports_exit_identity() {
+        let net = network();
+        let resp = net.fetch_one(treq(LUMTEST_HOST, "IR", 7)).await.unwrap();
+        let body = resp.body.as_text().to_string();
+        assert!(body.contains("country=IR") || body.contains("country="), "{body}");
+        assert!(body.contains("superproxy=sp"));
+    }
+
+    #[tokio::test]
+    async fn requests_reach_the_internet() {
+        let net = network();
+        let name = net.internet().world().population.spec(3).name.clone();
+        // Retry across sessions to dodge injected noise.
+        for session in 0..20 {
+            if let Ok(resp) = net.fetch_one(treq(&name, "US", session)).await {
+                assert!(resp.status.is_success() || resp.status.is_redirect() || resp.status.is_client_error());
+                return;
+            }
+        }
+        panic!("all 20 sessions failed");
+    }
+
+    #[tokio::test]
+    async fn noise_rates_are_in_band() {
+        let net = network();
+        let name = net.internet().world().population.spec(11).name.clone();
+        let mut failures = 0;
+        let n = 600;
+        for session in 0..n {
+            if net.fetch_one(treq(&name, "DE", session)).await.is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / n as f64;
+        // Germany is reliable: a few percent of proxy-side noise.
+        assert!(rate < 0.12, "failure rate {rate}");
+    }
+
+    #[tokio::test]
+    async fn unreliable_countries_fail_more() {
+        let net = network();
+        let name = net.internet().world().population.spec(11).name.clone();
+        let mut km = 0;
+        let mut ch = 0;
+        let n = 800;
+        for session in 0..n {
+            if net.fetch_one(treq(&name, "KM", session)).await.is_err() {
+                km += 1;
+            }
+            if net.fetch_one(treq(&name, "CH", session)).await.is_err() {
+                ch += 1;
+            }
+        }
+        assert!(km > ch, "KM {km} vs CH {ch}");
+    }
+
+    #[tokio::test]
+    async fn some_popular_domains_are_refused() {
+        let net = network();
+        let pop = net.internet().world().population.clone();
+        let mut refused = 0;
+        for rank in 1..=2000 {
+            let name = pop.spec(rank).name;
+            if matches!(
+                net.fetch_one(treq(&name, "US", rank as u64)).await,
+                Err(FetchError::ProxyRefused { .. })
+            ) {
+                refused += 1;
+            }
+        }
+        // ~0.16% of popular domains → a handful in 2,000.
+        assert!((1..=15).contains(&refused), "refused {refused}");
+        assert_eq!(net.refusals(), refused as u64);
+    }
+
+    #[tokio::test]
+    async fn interference_is_deterministic_per_attempt() {
+        // The same (host, country) relay sequence must replay identically:
+        // two identically-seeded stacks produce the same outcome pattern,
+        // request for request.
+        async fn run() -> Vec<bool> {
+            let world = Arc::new(geoblock_worldgen::World::build(
+                geoblock_worldgen::WorldConfig::tiny(42),
+            ));
+            let internet = Arc::new(SimInternet::new(world));
+            let net = LuminatiNetwork::new(internet.clone());
+            let name = internet.world().population.spec(5).name.clone();
+            let mut outcomes = Vec::new();
+            for session in 0..200 {
+                outcomes.push(net.fetch_one(treq(&name, "US", session)).await.is_ok());
+            }
+            outcomes
+        }
+        let a = run().await;
+        let b = run().await;
+        assert_eq!(a, b);
+        assert!(a.iter().any(|ok| !ok), "some interference expected");
+    }
+}

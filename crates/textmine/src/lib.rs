@@ -1,0 +1,29 @@
+//! Text mining for block-page discovery (§4.1.3).
+//!
+//! The paper clusters candidate block pages with "term frequency-inverse
+//! document frequency with 1- and 2-grams" feature vectors and
+//! "single-link hierarchical clustering, which does not require that we
+//! know the number of clusters beforehand". This crate implements that
+//! stack from scratch:
+//!
+//! * [`mod@tokenize`] — an HTML-aware word tokenizer;
+//! * [`ngrams`] — unigram + bigram feature extraction;
+//! * [`sparse`] — L2-normalised sparse vectors and cosine similarity;
+//! * [`tfidf`] — a scikit-learn-compatible TF-IDF vectoriser;
+//! * [`cluster`] — single-link hierarchical clustering, expressed as its
+//!   threshold-cut equivalent (connected components of the
+//!   distance-≤-threshold graph), with exact-duplicate collapsing and an
+//!   inverted-index candidate filter so 25k-document corpora cluster in
+//!   seconds.
+
+pub mod cluster;
+pub mod ngrams;
+pub mod sparse;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use cluster::{single_link, Clustering};
+pub use ngrams::ngram_counts;
+pub use sparse::SparseVec;
+pub use tfidf::TfIdfVectorizer;
+pub use crate::tokenize::tokenize;

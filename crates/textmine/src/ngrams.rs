@@ -1,0 +1,54 @@
+//! N-gram feature extraction (1- and 2-grams, as in §4.1.3).
+
+use std::collections::HashMap;
+
+/// Count unigrams and bigrams over a token stream. Bigrams are joined with
+/// a single space, matching scikit-learn's `ngram_range=(1,2)` convention.
+pub fn ngram_counts(tokens: &[String]) -> HashMap<String, u32> {
+    ngram_counts_opts(tokens, true)
+}
+
+/// Like [`ngram_counts`], optionally without bigrams (`ngram_range=(1,1)`)
+/// — the ablation baseline for the paper's 1+2-gram choice.
+pub fn ngram_counts_opts(tokens: &[String], bigrams: bool) -> HashMap<String, u32> {
+    let mut counts = HashMap::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        *counts.entry(t.clone()).or_insert(0) += 1;
+    }
+    if bigrams {
+        for pair in tokens.windows(2) {
+            let bigram = format!("{} {}", pair[0], pair[1]);
+            *counts.entry(bigram).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn counts_unigrams_and_bigrams() {
+        let counts = ngram_counts(&toks(&["access", "denied", "access", "denied"]));
+        assert_eq!(counts["access"], 2);
+        assert_eq!(counts["denied"], 2);
+        assert_eq!(counts["access denied"], 2);
+        assert_eq!(counts["denied access"], 1);
+    }
+
+    #[test]
+    fn single_token_has_no_bigrams() {
+        let counts = ngram_counts(&toks(&["error"]));
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert!(ngram_counts(&[]).is_empty());
+    }
+}

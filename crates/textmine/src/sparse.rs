@@ -1,0 +1,169 @@
+//! Sparse feature vectors with cosine similarity.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector: parallel `(index, value)` arrays sorted by index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVec {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Build from `(index, value)` pairs; pairs are sorted, duplicate
+    /// indices summed, zero values dropped.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> SparseVec {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if v == 0.0 {
+                continue;
+            }
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("parallel arrays") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVec { indices, values }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterate `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Scale to unit norm (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for v in &mut self.values {
+                *v /= n;
+            }
+        }
+    }
+
+    /// Dot product (sorted-merge).
+    pub fn dot(&self, other: &SparseVec) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f32;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity in [0, 1] for non-negative vectors.
+    pub fn cosine(&self, other: &SparseVec) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Cosine *distance* (1 − similarity).
+    pub fn cosine_distance(&self, other: &SparseVec) -> f32 {
+        1.0 - self.cosine(other)
+    }
+
+    /// The indices of the `k` highest-weight features (for candidate
+    /// blocking in clustering).
+    pub fn top_features(&self, k: usize) -> Vec<u32> {
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.values[b].partial_cmp(&self.values[a]).expect("no NaNs")
+        });
+        order.into_iter().take(k).map(|i| self.indices[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn construction_sorts_merges_and_drops_zeros() {
+        let s = v(&[(5, 1.0), (2, 2.0), (5, 3.0), (7, 0.0)]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(2, 2.0), (5, 4.0)]);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product_merges_sorted() {
+        let a = v(&[(1, 1.0), (3, 2.0), (9, 4.0)]);
+        let b = v(&[(3, 5.0), (8, 1.0), (9, 0.5)]);
+        assert_eq!(a.dot(&b), 2.0 * 5.0 + 4.0 * 0.5);
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = v(&[(1, 3.0), (4, 4.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        assert!(a.cosine_distance(&a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_is_zero() {
+        let a = v(&[(1, 1.0)]);
+        let b = v(&[(2, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn zero_vector_is_harmless() {
+        let z = SparseVec::default();
+        let a = v(&[(1, 1.0)]);
+        assert_eq!(z.cosine(&a), 0.0);
+        assert_eq!(z.norm(), 0.0);
+        let mut z2 = z.clone();
+        z2.normalize();
+        assert!(z2.is_empty());
+    }
+
+    #[test]
+    fn normalize_yields_unit_norm() {
+        let mut a = v(&[(1, 3.0), (2, 4.0)]);
+        a.normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_features_orders_by_weight() {
+        let a = v(&[(1, 0.1), (2, 0.9), (3, 0.5)]);
+        assert_eq!(a.top_features(2), vec![2, 3]);
+        assert_eq!(a.top_features(10).len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! TF-IDF vectorisation (scikit-learn-compatible smoothing).
+//!
+//! `TfidfVectorizer` in scikit-learn — the tool the authors used — computes
+//! `tf × idf` with `idf = ln((1 + n) / (1 + df)) + 1` and L2-normalises
+//! each row. This implementation matches that formula so the clustering
+//! behaves like the paper's.
+
+use std::collections::HashMap;
+
+use crate::ngrams::ngram_counts_opts;
+use crate::sparse::SparseVec;
+use crate::tokenize::tokenize;
+
+/// Fitted vocabulary and document frequencies.
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    /// term → feature index.
+    vocab: HashMap<String, u32>,
+    /// idf per feature index.
+    idf: Vec<f32>,
+    /// Minimum document frequency for a term to enter the vocabulary.
+    min_df: u32,
+    /// Whether bigram features are used (the paper's 1+2-gram setting).
+    bigrams: bool,
+}
+
+impl TfIdfVectorizer {
+    /// Fit on a corpus and transform it, returning the vectoriser and the
+    /// L2-normalised document vectors.
+    ///
+    /// `min_df` prunes hapax features (ray IDs, incident IDs) — exactly the
+    /// variable parts of block pages that should not separate documents of
+    /// the same family.
+    pub fn fit_transform(docs: &[String], min_df: u32) -> (TfIdfVectorizer, Vec<SparseVec>) {
+        TfIdfVectorizer::fit_transform_opts(docs, min_df, true)
+    }
+
+    /// [`TfIdfVectorizer::fit_transform`] with bigram features optional —
+    /// the `ablation_clustering` bench compares 1-gram against the paper's
+    /// 1+2-gram configuration.
+    pub fn fit_transform_opts(
+        docs: &[String],
+        min_df: u32,
+        bigrams: bool,
+    ) -> (TfIdfVectorizer, Vec<SparseVec>) {
+        let n = docs.len();
+        let token_counts: Vec<HashMap<String, u32>> = docs
+            .iter()
+            .map(|d| ngram_counts_opts(&tokenize(d), bigrams))
+            .collect();
+
+        // Document frequencies.
+        let mut df: HashMap<&str, u32> = HashMap::new();
+        for counts in &token_counts {
+            for term in counts.keys() {
+                *df.entry(term.as_str()).or_insert(0) += 1;
+            }
+        }
+
+        // Vocabulary: terms meeting min_df, in sorted order for
+        // determinism.
+        let mut terms: Vec<&str> = df
+            .iter()
+            .filter(|(_, &c)| c >= min_df)
+            .map(|(t, _)| *t)
+            .collect();
+        terms.sort_unstable();
+        let vocab: HashMap<String, u32> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.to_string(), i as u32))
+            .collect();
+        let idf: Vec<f32> = terms
+            .iter()
+            .map(|t| (((1 + n) as f32) / ((1 + df[t]) as f32)).ln() + 1.0)
+            .collect();
+
+        let v = TfIdfVectorizer {
+            vocab,
+            idf,
+            min_df,
+            bigrams,
+        };
+        let vectors = token_counts
+            .iter()
+            .map(|counts| v.vectorize_counts(counts))
+            .collect();
+        (v, vectors)
+    }
+
+    /// Transform a new document with the fitted vocabulary.
+    pub fn transform(&self, doc: &str) -> SparseVec {
+        self.vectorize_counts(&ngram_counts_opts(&tokenize(doc), self.bigrams))
+    }
+
+    fn vectorize_counts(&self, counts: &HashMap<String, u32>) -> SparseVec {
+        debug_assert!(self.idf.len() == self.vocab.len());
+        let pairs: Vec<(u32, f32)> = counts
+            .iter()
+            .filter_map(|(term, &tf)| {
+                self.vocab
+                    .get(term)
+                    .map(|&idx| (idx, tf as f32 * self.idf[idx as usize]))
+            })
+            .collect();
+        let mut v = SparseVec::from_pairs(pairs);
+        v.normalize();
+        v
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The configured minimum document frequency.
+    pub fn min_df(&self) -> u32 {
+        self.min_df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_docs_have_identical_vectors() {
+        let corpus = docs(&["access denied error", "access denied error", "welcome home"]);
+        let (_, vecs) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        assert!((vecs[0].cosine(&vecs[1]) - 1.0).abs() < 1e-6);
+        assert!(vecs[0].cosine(&vecs[2]) < 0.2);
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let corpus = docs(&["one two three", "four five six seven"]);
+        let (_, vecs) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        for v in &vecs {
+            assert!((v.norm() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn min_df_prunes_unique_ids() {
+        let corpus = docs(&[
+            "cloudflare ray id aaaa1111 access denied",
+            "cloudflare ray id bbbb2222 access denied",
+            "cloudflare ray id cccc3333 access denied",
+        ]);
+        let (v2, vecs) = TfIdfVectorizer::fit_transform(&corpus, 2);
+        // With min_df=2, the per-document ray IDs vanish and the documents
+        // collapse to near-identical vectors.
+        assert!(vecs[0].cosine(&vecs[1]) > 0.999, "{}", vecs[0].cosine(&vecs[1]));
+        let (_, vecs1) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        assert!(vecs1[0].cosine(&vecs1[1]) < vecs[0].cosine(&vecs[1]));
+        assert!(v2.vocab_len() < 40);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        let corpus = docs(&[
+            "common rareword",
+            "common other",
+            "common thing",
+            "common stuff",
+        ]);
+        let (v, _) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        let vec = v.transform("common rareword");
+        let weights: std::collections::HashMap<u32, f32> = vec.iter().collect();
+        let common_idx = v.vocab["common"];
+        let rare_idx = v.vocab["rareword"];
+        assert!(weights[&rare_idx] > weights[&common_idx]);
+    }
+
+    #[test]
+    fn transform_of_unseen_terms_is_empty() {
+        let corpus = docs(&["alpha beta"]);
+        let (v, _) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        let vec = v.transform("gamma delta epsilon");
+        assert!(vec.is_empty());
+    }
+
+    #[test]
+    fn bigrams_separate_word_order() {
+        let corpus = docs(&["access denied here", "denied access here"]);
+        let (_, vecs) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        let sim = vecs[0].cosine(&vecs[1]);
+        assert!(sim < 0.999, "bigrams should distinguish order, sim={sim}");
+        assert!(sim > 0.3, "but unigrams keep them related, sim={sim}");
+    }
+}

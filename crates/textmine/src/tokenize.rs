@@ -1,0 +1,66 @@
+//! HTML-aware tokenisation.
+
+/// Tokenise an HTML document into lower-case word tokens.
+///
+/// Markup is not stripped — tag names, attribute words, and error-code
+/// tokens (e.g. `1009`, `cf`, `ray`) are exactly the features that make
+/// block-page families separable, so everything alphanumeric becomes a
+/// token. Tokens shorter than 2 characters are dropped except pure
+/// numbers (error codes matter).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, token: String) {
+    let keep = token.len() >= 2 || token.chars().all(|c| c.is_ascii_digit());
+    if keep {
+        tokens.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_markup_and_punctuation() {
+        let toks = tokenize("<h1>Access Denied!</h1><p>Error 1009.</p>");
+        assert_eq!(toks, vec!["h1", "access", "denied", "h1", "error", "1009"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("CloudFlare RAY"), vec!["cloudflare", "ray"]);
+    }
+
+    #[test]
+    fn keeps_single_digit_codes_drops_single_letters() {
+        let toks = tokenize("a 7 bb");
+        assert_eq!(toks, vec!["7", "bb"]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let toks = tokenize("安全验证 - Yunjiasu");
+        assert!(toks.contains(&"安全验证".to_string()));
+        assert!(toks.contains(&"yunjiasu".to_string()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the text-mining stack: sparse-vector algebra,
+//! TF-IDF invariants, and single-link clustering structure.
+
+use geoblock_textmine::{single_link, SparseVec, TfIdfVectorizer};
+use proptest::prelude::*;
+
+fn sparse_strategy() -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0u32..64, 0.01f32..10.0), 0..16)
+        .prop_map(SparseVec::from_pairs)
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[a-e]{2,4}", 1..12).prop_map(|w| w.join(" ")),
+        2..14,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in sparse_strategy(), b in sparse_strategy()) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-5, "asymmetric: {ab} vs {ba}");
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        // Non-negative entries ⇒ non-negative similarity.
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn cosine_self_is_one_for_nonzero(a in sparse_strategy()) {
+        if !a.is_empty() {
+            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(mut a in sparse_strategy()) {
+        a.normalize();
+        let once = a.clone();
+        a.normalize();
+        for ((i1, v1), (i2, v2)) in once.iter().zip(a.iter()) {
+            prop_assert_eq!(i1, i2);
+            prop_assert!((v1 - v2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dot_respects_cauchy_schwarz(a in sparse_strategy(), b in sparse_strategy()) {
+        let dot = a.dot(&b) as f64;
+        let bound = a.norm() as f64 * b.norm() as f64;
+        prop_assert!(dot <= bound * (1.0 + 1e-4) + 1e-6, "{dot} > {bound}");
+    }
+
+    #[test]
+    fn tfidf_vectors_are_unit_or_zero(corpus in corpus_strategy()) {
+        let (_, vectors) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        prop_assert_eq!(vectors.len(), corpus.len());
+        for v in &vectors {
+            if !v.is_empty() {
+                prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_documents_always_share_a_cluster(
+        corpus in corpus_strategy(),
+        tau in 0.0f32..1.0,
+    ) {
+        // Duplicate the first document; the copy must land in its cluster
+        // at any threshold.
+        let mut docs = corpus.clone();
+        docs.push(corpus[0].clone());
+        let (_, vectors) = TfIdfVectorizer::fit_transform(&docs, 1);
+        let clustering = single_link(&vectors, tau);
+        prop_assert_eq!(
+            clustering.assignment[0],
+            clustering.assignment[docs.len() - 1]
+        );
+    }
+
+    #[test]
+    fn raising_the_threshold_only_merges(
+        corpus in corpus_strategy(),
+        tau_low in 0.0f32..0.5,
+        delta in 0.0f32..0.5,
+    ) {
+        // Single-link at threshold τ is the connected components of the
+        // distance-≤-τ graph, so clusterings must be nested: any pair
+        // together at τ stays together at τ+δ.
+        let (_, vectors) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        let fine = single_link(&vectors, tau_low);
+        let coarse = single_link(&vectors, tau_low + delta);
+        for i in 0..corpus.len() {
+            for j in (i + 1)..corpus.len() {
+                if fine.assignment[i] == fine.assignment[j] {
+                    prop_assert_eq!(
+                        coarse.assignment[i],
+                        coarse.assignment[j],
+                        "pair ({},{}) split by a coarser threshold",
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_partition_the_corpus(corpus in corpus_strategy(), tau in 0.0f32..1.0) {
+        let (_, vectors) = TfIdfVectorizer::fit_transform(&corpus, 1);
+        let clustering = single_link(&vectors, tau);
+        let total: usize = clustering.members.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, corpus.len());
+        // Every document appears exactly once.
+        let mut seen = vec![false; corpus.len()];
+        for members in &clustering.members {
+            for &m in members {
+                prop_assert!(!seen[m as usize], "document {m} in two clusters");
+                seen[m as usize] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! FortiGuard-style website categories.
+//!
+//! The study classifies every test-list domain with FortiGuard and removes
+//! "dangerous or sensitive" categories before probing from end-user devices
+//! (§3.3, §4.1.1): pornography, weapons, spam, malicious content, plus (for
+//! the Top-1M pass) violence, drugs, dating, censorship circumvention, and
+//! anything uncategorised. The safe categories are the row labels of
+//! Tables 3, 4, and 8.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A website category, matching the taxonomy in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    // ---- safe categories (table rows) ----
+    Advertising,
+    Auctions,
+    Business,
+    ChildEducation,
+    Education,
+    Entertainment,
+    FinanceAndBanking,
+    Freeware,
+    Games,
+    HealthAndWellness,
+    InformationTechnology,
+    JobSearch,
+    NewsAndMedia,
+    Newsgroups,
+    PersonalVehicles,
+    PersonalWebsites,
+    Reference,
+    Shopping,
+    SocietyAndLifestyle,
+    Sports,
+    Travel,
+    WebHosting,
+    // ---- risky categories (filtered before probing) ----
+    Pornography,
+    Weapons,
+    Spam,
+    Malicious,
+    Drugs,
+    Dating,
+    Violence,
+    Circumvention,
+    Unknown,
+}
+
+impl Category {
+    /// All categories, safe first then risky, in a stable order.
+    pub const ALL: [Category; 31] = [
+        Category::Advertising,
+        Category::Auctions,
+        Category::Business,
+        Category::ChildEducation,
+        Category::Education,
+        Category::Entertainment,
+        Category::FinanceAndBanking,
+        Category::Freeware,
+        Category::Games,
+        Category::HealthAndWellness,
+        Category::InformationTechnology,
+        Category::JobSearch,
+        Category::NewsAndMedia,
+        Category::Newsgroups,
+        Category::PersonalVehicles,
+        Category::PersonalWebsites,
+        Category::Reference,
+        Category::Shopping,
+        Category::SocietyAndLifestyle,
+        Category::Sports,
+        Category::Travel,
+        Category::WebHosting,
+        Category::Pornography,
+        Category::Weapons,
+        Category::Spam,
+        Category::Malicious,
+        Category::Drugs,
+        Category::Dating,
+        Category::Violence,
+        Category::Circumvention,
+        Category::Unknown,
+    ];
+
+    /// Whether the study's ethics filter removes this category before
+    /// probing from residential devices.
+    pub fn is_risky(&self) -> bool {
+        matches!(
+            self,
+            Category::Pornography
+                | Category::Weapons
+                | Category::Spam
+                | Category::Malicious
+                | Category::Drugs
+                | Category::Dating
+                | Category::Violence
+                | Category::Circumvention
+                | Category::Unknown
+        )
+    }
+
+    /// Table row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Advertising => "Advertising",
+            Category::Auctions => "Auctions",
+            Category::Business => "Business",
+            Category::ChildEducation => "Child Education",
+            Category::Education => "Education",
+            Category::Entertainment => "Entertainment",
+            Category::FinanceAndBanking => "Finance and Banking",
+            Category::Freeware => "Freeware and Software Downloads",
+            Category::Games => "Games",
+            Category::HealthAndWellness => "Health and Wellness",
+            Category::InformationTechnology => "Information Technology",
+            Category::JobSearch => "Job Search",
+            Category::NewsAndMedia => "News and Media",
+            Category::Newsgroups => "Newsgroups and Message Boards",
+            Category::PersonalVehicles => "Personal Vehicles",
+            Category::PersonalWebsites => "Personal Websites and Blogs",
+            Category::Reference => "Reference",
+            Category::Shopping => "Shopping",
+            Category::SocietyAndLifestyle => "Society and Lifestyle",
+            Category::Sports => "Sports",
+            Category::Travel => "Travel",
+            Category::WebHosting => "Web Hosting",
+            Category::Pornography => "Pornography",
+            Category::Weapons => "Weapons",
+            Category::Spam => "Spam",
+            Category::Malicious => "Malicious Websites",
+            Category::Drugs => "Drugs",
+            Category::Dating => "Dating",
+            Category::Violence => "Violence",
+            Category::Circumvention => "Proxy Avoidance",
+            Category::Unknown => "Unrated",
+        }
+    }
+
+    /// Weights for drawing a domain's category in the Top-10K rank band,
+    /// derived from the "Tested" column of Table 4 (safe categories) plus
+    /// the ~20% of the Top 10K that the safety filter removed.
+    pub fn top10k_weights() -> Vec<(Category, f64)> {
+        // Table 4 tested counts (of 8,003 safe domains; the table's 6,766
+        // plus a remainder spread over small categories).
+        let safe: &[(Category, f64)] = &[
+            (Category::InformationTechnology, 1239.0),
+            (Category::NewsAndMedia, 938.0),
+            (Category::Shopping, 787.0),
+            (Category::Business, 758.0),
+            (Category::Education, 583.0),
+            (Category::FinanceAndBanking, 454.0),
+            (Category::Entertainment, 442.0),
+            (Category::Games, 348.0),
+            (Category::Sports, 179.0),
+            (Category::Reference, 176.0),
+            (Category::Travel, 168.0),
+            (Category::Newsgroups, 143.0),
+            (Category::Advertising, 120.0),
+            (Category::Freeware, 115.0),
+            (Category::JobSearch, 97.0),
+            (Category::HealthAndWellness, 92.0),
+            (Category::PersonalVehicles, 78.0),
+            (Category::WebHosting, 41.0),
+            (Category::ChildEducation, 8.0),
+            // Remainder of the 8,003 not in Table 4's 20 rows:
+            (Category::SocietyAndLifestyle, 420.0),
+            (Category::PersonalWebsites, 380.0),
+            (Category::Auctions, 80.0),
+        ];
+        let safe_total: f64 = safe.iter().map(|(_, w)| w).sum();
+        // 10,000 → 8,003 safe (19.97% filtered); the filter is the union of
+        // risky categories and Citizen-Lab membership (~2.8%), so the risky
+        // share itself is ~17.2%.
+        let risky_total = safe_total * (10_000.0 - 8_003.0) / 8_003.0 * 0.84;
+        let mut weights: Vec<(Category, f64)> = safe.to_vec();
+        for (cat, share) in [
+            (Category::Pornography, 0.38),
+            (Category::Unknown, 0.22),
+            (Category::Malicious, 0.08),
+            (Category::Spam, 0.06),
+            (Category::Dating, 0.10),
+            (Category::Drugs, 0.05),
+            (Category::Circumvention, 0.05),
+            (Category::Weapons, 0.03),
+            (Category::Violence, 0.03),
+        ] {
+            weights.push((cat, risky_total * share));
+        }
+        weights
+    }
+
+    /// Weights for the deep Top-1M band, derived from Table 8's "Tested"
+    /// column (the category mix of CDN customers deeper in the list skews
+    /// toward Business/IT and away from News).
+    pub fn top1m_weights() -> Vec<(Category, f64)> {
+        let safe: &[(Category, f64)] = &[
+            (Category::Business, 1176.0),
+            (Category::InformationTechnology, 1016.0),
+            (Category::Shopping, 418.0),
+            (Category::NewsAndMedia, 345.0),
+            (Category::Education, 239.0),
+            (Category::Games, 206.0),
+            (Category::PersonalWebsites, 176.0),
+            (Category::Travel, 153.0),
+            (Category::SocietyAndLifestyle, 148.0),
+            (Category::HealthAndWellness, 146.0),
+            (Category::Sports, 121.0),
+            (Category::FinanceAndBanking, 108.0),
+            (Category::Reference, 81.0),
+            (Category::PersonalVehicles, 79.0),
+            (Category::JobSearch, 42.0),
+            // Table 8's "Other" row (1,008) spread over remaining safe cats:
+            (Category::Entertainment, 320.0),
+            (Category::Advertising, 180.0),
+            (Category::Newsgroups, 130.0),
+            (Category::Freeware, 130.0),
+            (Category::WebHosting, 120.0),
+            (Category::Auctions, 88.0),
+            (Category::ChildEducation, 40.0),
+        ];
+        let safe_total: f64 = safe.iter().map(|(_, w)| w).sum();
+        // Top-1M filter: 152,001 → 123,614 safe (18.7% removed), of which
+        // ~1.2% is Citizen-Lab membership.
+        let risky_total = safe_total * (152_001.0 - 123_614.0) / 123_614.0 * 0.94;
+        let mut weights: Vec<(Category, f64)> = safe.to_vec();
+        for (cat, share) in [
+            (Category::Pornography, 0.30),
+            (Category::Unknown, 0.30),
+            (Category::Malicious, 0.09),
+            (Category::Spam, 0.07),
+            (Category::Dating, 0.09),
+            (Category::Drugs, 0.05),
+            (Category::Circumvention, 0.04),
+            (Category::Weapons, 0.03),
+            (Category::Violence, 0.03),
+        ] {
+            weights.push((cat, risky_total * share));
+        }
+        weights
+    }
+
+    /// Relative geoblocking propensity of a domain in this category
+    /// (multiplier around 1.0), derived from the "Geoblocked" rates of
+    /// Tables 4 and 8. Shopping and Personal Vehicles sites geoblock far
+    /// above base rate; Education far below.
+    pub fn geoblock_propensity(&self) -> f64 {
+        match self {
+            Category::ChildEducation => 5.0,
+            Category::PersonalVehicles => 5.0,
+            Category::Advertising => 3.2,
+            Category::Shopping => 3.4,
+            Category::JobSearch => 2.4,
+            Category::Auctions => 3.4,
+            Category::Travel => 1.9,
+            Category::Newsgroups => 1.6,
+            Category::WebHosting => 1.4,
+            Category::Business => 1.05,
+            Category::Sports => 1.0,
+            Category::SocietyAndLifestyle => 1.0,
+            Category::Reference => 0.9,
+            Category::HealthAndWellness => 0.8,
+            Category::NewsAndMedia => 0.8,
+            Category::PersonalWebsites => 0.7,
+            Category::FinanceAndBanking => 0.7,
+            Category::Freeware => 0.6,
+            Category::InformationTechnology => 0.55,
+            Category::Games => 0.5,
+            Category::Entertainment => 0.4,
+            Category::Education => 0.3,
+            _ => 0.0, // risky categories are never probed
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risky_share_of_top10k_matches_filter_rate() {
+        let weights = Category::top10k_weights();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let risky: f64 = weights
+            .iter()
+            .filter(|(c, _)| c.is_risky())
+            .map(|(_, w)| w)
+            .sum();
+        let share = risky / total;
+        // 19.97% filtered minus the ~2.8% Citizen-Lab component.
+        assert!((share - 0.168).abs() < 0.012, "risky share {share}");
+    }
+
+    #[test]
+    fn risky_share_of_top1m_matches_filter_rate() {
+        let weights = Category::top1m_weights();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let risky: f64 = weights
+            .iter()
+            .filter(|(c, _)| c.is_risky())
+            .map(|(_, w)| w)
+            .sum();
+        let share = risky / total;
+        // 18.7% filtered minus the Citizen-Lab component.
+        assert!((share - 0.176).abs() < 0.012, "risky share {share}");
+    }
+
+    #[test]
+    fn propensity_zero_only_for_risky() {
+        for c in Category::ALL {
+            if c.is_risky() {
+                assert_eq!(c.geoblock_propensity(), 0.0, "{c}");
+            } else {
+                assert!(c.geoblock_propensity() > 0.0, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn shopping_outranks_education_in_propensity() {
+        assert!(
+            Category::Shopping.geoblock_propensity()
+                > Category::Education.geoblock_propensity()
+        );
+    }
+
+    #[test]
+    fn weights_cover_every_safe_category() {
+        use std::collections::HashSet;
+        for weights in [Category::top10k_weights(), Category::top1m_weights()] {
+            let cats: HashSet<_> = weights.iter().map(|(c, _)| *c).collect();
+            for c in Category::ALL {
+                if !c.is_risky() {
+                    assert!(cats.contains(&c), "missing {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), Category::ALL.len());
+    }
+}

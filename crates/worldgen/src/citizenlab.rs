@@ -1,0 +1,153 @@
+//! A synthetic Citizen Lab global test list.
+//!
+//! The real list is a curated set of censorship-measurement URLs. It plays
+//! two roles in the paper: (1) domains on it are removed from the probing
+//! lists as a safety measure (§3.3), and (2) §7.1 shows that 9% of its
+//! domains (97 of the global list) served a CDN geoblock page somewhere —
+//! geoblocking confounds censorship measurement.
+//!
+//! The generated list therefore mixes dedicated sensitive domains (which the
+//! Alexa population does not contain) with popular Alexa-population domains,
+//! including a calibrated share of CDN geoblockers.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::domains::{mix, AlexaPopulation};
+
+/// The synthetic Citizen Lab test list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CitizenLabList {
+    /// All domains on the list, sorted.
+    pub domains: Vec<String>,
+    /// The subset that belongs to the Alexa population (by name).
+    pub alexa_members: Vec<String>,
+}
+
+/// Wordlist for dedicated sensitive domains (political, circumvention,
+/// social topics the real list covers).
+const SENSITIVE_STEMS: &[&str] = &[
+    "freedom", "rights", "voice", "truth", "press", "democracy", "protest", "justice",
+    "liberty", "exile", "uncensored", "openweb", "proxy", "tunnel", "secure", "anon",
+    "report", "watch", "monitor", "leaks", "radio", "daily", "tribune", "herald",
+];
+
+const SENSITIVE_SUFFIXES: &[&str] = &[
+    "news", "media", "online", "today", "net", "press", "world", "post", "wire", "times",
+];
+
+impl CitizenLabList {
+    /// Generate a list against `population`. `scan_limit` bounds how deep
+    /// into the population the Alexa-membership scan goes (40,000 for the
+    /// full-size world).
+    pub fn generate(seed: u64, population: &AlexaPopulation, scan_limit: u32) -> CitizenLabList {
+        let mut rng = StdRng::seed_from_u64(mix(seed ^ 0xc17e));
+        let mut domains = BTreeSet::new();
+        let mut alexa_members = Vec::new();
+
+        // Dedicated sensitive domains (~700 at full scale, proportional to
+        // the scan limit at smaller scales).
+        let dedicated = (700 * scan_limit / 40_000).max(20);
+        for i in 0..dedicated {
+            let a = SENSITIVE_STEMS[rng.gen_range(0..SENSITIVE_STEMS.len())];
+            let b = SENSITIVE_SUFFIXES[rng.gen_range(0..SENSITIVE_SUFFIXES.len())];
+            let tld = ["org", "com", "net", "info"][rng.gen_range(0..4)];
+            domains.insert(format!("{a}{b}{i}.{tld}"));
+        }
+
+        // Alexa members: ordinary popular domains at a low rate, plus CDN
+        // geoblockers drawn from *deep* ranks at a boosted rate, so that
+        // ~9% of the final list geoblocks (the §7.1 confound) without the
+        // list swallowing the head-of-list blockers the §4/§5 studies
+        // measure (they are removed from probing by the safety filter).
+        let limit = scan_limit.min(population.size());
+        for rank in 1..=limit {
+            let spec = population.spec(rank);
+            if rng.gen_bool(0.007) {
+                domains.insert(spec.name.clone());
+                alexa_members.push(spec.name);
+            }
+        }
+        let deep_start = 10_000.min(population.size() / 2);
+        let deep_end = (deep_start + 3 * scan_limit).min(population.size());
+        for rank in deep_start..=deep_end {
+            let spec = population.spec(rank);
+            if spec.policy.geoblocks() && rng.gen_bool(0.16) {
+                domains.insert(spec.name.clone());
+                alexa_members.push(spec.name);
+            }
+        }
+
+        CitizenLabList {
+            domains: domains.into_iter().collect(),
+            alexa_members,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, domain: &str) -> bool {
+        self.domains.binary_search_by(|d| d.as_str().cmp(domain)).is_ok()
+    }
+
+    /// Number of domains on the list.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_list_is_citizen_lab_sized() {
+        let pop = AlexaPopulation::new(42, 1_000_000);
+        let list = CitizenLabList::generate(42, &pop, 40_000);
+        // Real global list ≈ 1,000–1,200 domains.
+        assert!((800..=1500).contains(&list.len()), "len {}", list.len());
+    }
+
+    #[test]
+    fn geoblocker_share_is_near_nine_percent() {
+        let pop = AlexaPopulation::new(42, 1_000_000);
+        let list = CitizenLabList::generate(42, &pop, 40_000);
+        let blockers = list
+            .alexa_members
+            .iter()
+            .filter(|d| {
+                pop.spec_of(d)
+                    .map(|s| s.policy.geoblocks())
+                    .unwrap_or(false)
+            })
+            .count();
+        let share = blockers as f64 / list.len() as f64;
+        // §7.1: 97 domains ≈ 9% of the test list.
+        assert!((0.05..=0.14).contains(&share), "share {share} ({blockers}/{})", list.len());
+    }
+
+    #[test]
+    fn contains_uses_sorted_lookup() {
+        let pop = AlexaPopulation::new(1, 100_000);
+        let list = CitizenLabList::generate(1, &pop, 5_000);
+        for d in list.domains.iter().take(20) {
+            assert!(list.contains(d));
+        }
+        assert!(!list.contains("definitely-not-on-the-list.example"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let pop = AlexaPopulation::new(9, 100_000);
+        let a = CitizenLabList::generate(9, &pop, 5_000);
+        let b = CitizenLabList::generate(9, &pop, 5_000);
+        assert_eq!(a.domains, b.domains);
+    }
+}

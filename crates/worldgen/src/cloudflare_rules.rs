@@ -1,0 +1,401 @@
+//! The Cloudflare firewall-rules snapshot (§6 ground truth).
+//!
+//! Cloudflare provided the authors a July 2018 snapshot of all active
+//! country-scoped Firewall Access Rules: action (block / challenge /
+//! js_challenge / whitelist), target country, zone tier, and activation
+//! date — captured during the April–August 2018 regression in which the
+//! Enterprise-only country-*block* action was accidentally available to all
+//! tiers. This module generates an equivalent snapshot whose per-tier,
+//! per-country rates match Table 9 and whose activation-date distribution
+//! reproduces Figure 5.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::country::{cc, CountryCode};
+use crate::domains::mix;
+use crate::policy::CfTier;
+
+/// Rule actions available in Firewall Access Rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleAction {
+    Block,
+    Challenge,
+    JsChallenge,
+    Whitelist,
+}
+
+/// One country-scoped rule on one zone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryRule {
+    /// Synthetic zone identifier.
+    pub zone_id: u64,
+    /// The zone's account tier.
+    pub tier: CfTier,
+    /// Rule action.
+    pub action: RuleAction,
+    /// Target country.
+    pub country: CountryCode,
+    /// Activation date, in days since 2015-01-01.
+    pub activated_day: u32,
+}
+
+/// Days since 2015-01-01 for a civil date (2015–2019 range, Gregorian).
+pub fn day_number(year: u32, month: u32, day: u32) -> u32 {
+    const CUM: [u32; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+    let mut days = 0;
+    for y in 2015..year {
+        days += if y % 4 == 0 { 366 } else { 365 };
+    }
+    days += CUM[(month - 1) as usize];
+    if month > 2 && year.is_multiple_of(4) {
+        days += 1;
+    }
+    days + (day - 1)
+}
+
+/// Civil date for a day number (inverse of [`day_number`]).
+pub fn date_of(mut days: u32) -> (u32, u32, u32) {
+    let mut year = 2015;
+    loop {
+        let len = if year % 4 == 0 { 366 } else { 365 };
+        if days < len {
+            break;
+        }
+        days -= len;
+        year += 1;
+    }
+    let leap = year % 4 == 0;
+    let month_lens = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
+    let mut month = 1;
+    for len in month_lens {
+        if days < len {
+            break;
+        }
+        days -= len;
+        month += 1;
+    }
+    (year, month, days + 1)
+}
+
+/// Per-tier rates from Table 9: fraction of zones with any country-scoped
+/// geoblocking, and the per-country rates for the 16 listed countries.
+#[derive(Debug, Clone)]
+pub struct TierProfile {
+    /// Account tier.
+    pub tier: CfTier,
+    /// Number of zones at this tier (scaled).
+    pub zones: u64,
+    /// "Baseline" of Table 9: fraction of zones with geoblocking enabled
+    /// against any country.
+    pub baseline: f64,
+    /// Per-country blocking rates (fraction of all zones at this tier).
+    pub country_rates: Vec<(CountryCode, f64)>,
+}
+
+/// Table 9's published per-country rates (percent of zones).
+fn table9_rates(tier: CfTier) -> Vec<(CountryCode, f64)> {
+    let rows: [(&str, [f64; 4]); 17] = [
+        // (country, [enterprise, business, pro, free]) in percent
+        ("RU", [4.90, 1.14, 0.44, 0.19]),
+        ("CN", [3.11, 1.16, 0.46, 0.20]),
+        ("KP", [16.50, 0.38, 0.17, 0.10]),
+        ("IR", [15.57, 0.39, 0.13, 0.09]),
+        ("UA", [3.89, 0.71, 0.38, 0.15]),
+        ("RO", [3.63, 0.49, 0.24, 0.12]),
+        ("IN", [4.18, 0.48, 0.23, 0.11]),
+        ("BR", [3.87, 0.43, 0.16, 0.11]),
+        ("VN", [3.08, 0.33, 0.16, 0.11]),
+        ("CZ", [3.66, 0.40, 0.15, 0.09]),
+        ("ID", [2.24, 0.39, 0.12, 0.10]),
+        ("IQ", [3.99, 0.32, 0.09, 0.08]),
+        ("HR", [3.44, 0.24, 0.13, 0.08]),
+        ("SY", [13.74, 0.17, 0.06, 0.02]),
+        ("EE", [3.28, 0.32, 0.14, 0.08]),
+        ("SD", [13.57, 0.12, 0.04, 0.02]),
+        // Cuba is not a printed Table 9 row, but Figure 5 shows its rules
+        // accumulating alongside the other sanctioned countries.
+        ("CU", [13.40, 0.12, 0.04, 0.02]),
+    ];
+    let idx = match tier {
+        CfTier::Enterprise => 0,
+        CfTier::Business => 1,
+        CfTier::Pro => 2,
+        CfTier::Free => 3,
+    };
+    rows.iter()
+        .map(|(code, rates)| (cc(code), rates[idx] / 100.0))
+        .collect()
+}
+
+/// Zone populations chosen so the all-tier baseline lands on Table 9's
+/// 1.93% (Enterprise zones are rare; Free zones dominate).
+fn tier_zone_counts(scale: f64) -> Vec<(CfTier, u64)> {
+    [
+        (CfTier::Enterprise, 4_000.0),
+        (CfTier::Business, 28_000.0),
+        (CfTier::Pro, 60_000.0),
+        (CfTier::Free, 950_000.0),
+    ]
+    .into_iter()
+    .map(|(t, n)| (t, (n * scale).max(50.0) as u64))
+    .collect()
+}
+
+fn tier_baseline(tier: CfTier) -> f64 {
+    match tier {
+        CfTier::Enterprise => 0.3707,
+        CfTier::Business => 0.0269,
+        CfTier::Pro => 0.0256,
+        CfTier::Free => 0.0172,
+    }
+}
+
+/// The generated snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RulesSnapshot {
+    /// All country-scoped rules active at snapshot time (July 2018).
+    pub rules: Vec<CountryRule>,
+    /// Zones per tier (including zones with no rules).
+    pub zones_per_tier: Vec<(CfTier, u64)>,
+}
+
+impl RulesSnapshot {
+    /// Generate a snapshot at `scale` (1.0 ≈ a large CDN's zone base;
+    /// tests use much smaller scales).
+    pub fn generate(seed: u64, scale: f64) -> RulesSnapshot {
+        let mut rng = StdRng::seed_from_u64(mix(seed ^ 0xcf66));
+        let mut rules = Vec::new();
+        let zones_per_tier = tier_zone_counts(scale);
+        let snapshot_day = day_number(2018, 7, 15);
+        let regression_start = day_number(2018, 4, 9);
+
+        let mut zone_id = 1u64;
+        for &(tier, zones) in &zones_per_tier {
+            let baseline = tier_baseline(tier);
+            let ruled = (zones as f64 * baseline).round() as u64;
+            let rates = table9_rates(tier);
+            // Conditional inclusion probability for a ruled zone.
+            let conditional: Vec<(CountryCode, f64)> = rates
+                .iter()
+                .map(|(c, r)| (*c, (r / baseline).min(1.0)))
+                .collect();
+            for _ in 0..ruled {
+                let id = zone_id;
+                zone_id += 1;
+                let mut any = false;
+                // Zones that couple to the OFAC list treat the sanctioned
+                // five "similarly" (§6 / Figure 5): one bundle draw.
+                let sanctions_bundle = matches!(tier, CfTier::Enterprise)
+                    && rng.gen_bool(
+                        conditional
+                            .iter()
+                            .find(|(c, _)| *c == cc("SD"))
+                            .map(|(_, p)| *p)
+                            .unwrap_or(0.0),
+                    );
+                let activated_day = if tier == CfTier::Enterprise {
+                    // Long accumulation since 2016, denser recently (Fig 5).
+                    let span = (snapshot_day - day_number(2016, 1, 1)) as f64;
+                    let u: f64 = rng.gen::<f64>().powf(0.6);
+                    day_number(2016, 1, 1) + (u * span) as u32
+                } else {
+                    // Only possible during the regression window.
+                    rng.gen_range(regression_start..snapshot_day)
+                };
+                for (country, p) in &conditional {
+                    let in_bundle = sanctions_bundle
+                        && matches!(country.as_str(), "IR" | "SY" | "SD" | "CU" | "KP");
+                    if in_bundle || rng.gen_bool(*p) {
+                        rules.push(CountryRule {
+                            zone_id: id,
+                            tier,
+                            action: RuleAction::Block,
+                            country: *country,
+                            activated_day,
+                        });
+                        any = true;
+                    }
+                    // Challenge actions were never tier-restricted; lower
+                    // tiers use them heavily (the snapshot contains all
+                    // four actions, §6). They do not count toward the
+                    // tier's *blocking* baseline.
+                    let challenge_boost = match tier {
+                        CfTier::Enterprise => 0.3,
+                        _ => 1.6,
+                    };
+                    if rng.gen_bool((p * challenge_boost).min(0.9)) {
+                        rules.push(CountryRule {
+                            zone_id: id,
+                            tier,
+                            action: if rng.gen_bool(0.6) {
+                                RuleAction::Challenge
+                            } else {
+                                RuleAction::JsChallenge
+                            },
+                            country: *country,
+                            // Challenges predate the regression window.
+                            activated_day: activated_day
+                                .min(rng.gen_range(day_number(2016, 1, 1)..snapshot_day)),
+                        });
+                    }
+                }
+                if !any {
+                    // A ruled zone must block something; pick the modal pair.
+                    rules.push(CountryRule {
+                        zone_id: id,
+                        tier,
+                        action: RuleAction::Block,
+                        country: if tier == CfTier::Enterprise { cc("KP") } else { cc("CN") },
+                        activated_day,
+                    });
+                }
+            }
+            zone_id += zones - ruled; // account for unruled zones
+        }
+
+        RulesSnapshot {
+            rules,
+            zones_per_tier,
+        }
+    }
+
+    /// Fraction of zones at `tier` blocking `country`.
+    pub fn rate(&self, tier: CfTier, country: CountryCode) -> f64 {
+        let zones = self
+            .zones_per_tier
+            .iter()
+            .find(|(t, _)| *t == tier)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        if zones == 0 {
+            return 0.0;
+        }
+        let mut zone_ids: Vec<u64> = self
+            .rules
+            .iter()
+            .filter(|r| r.tier == tier && r.country == country && r.action == RuleAction::Block)
+            .map(|r| r.zone_id)
+            .collect();
+        zone_ids.sort_unstable();
+        zone_ids.dedup();
+        zone_ids.len() as f64 / zones as f64
+    }
+
+    /// Fraction of zones at `tier` with any block rule (Table 9 baseline).
+    pub fn baseline_rate(&self, tier: CfTier) -> f64 {
+        let zones = self
+            .zones_per_tier
+            .iter()
+            .find(|(t, _)| *t == tier)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        if zones == 0 {
+            return 0.0;
+        }
+        let mut zone_ids: Vec<u64> = self
+            .rules
+            .iter()
+            .filter(|r| r.tier == tier && r.action == RuleAction::Block)
+            .map(|r| r.zone_id)
+            .collect();
+        zone_ids.sort_unstable();
+        zone_ids.dedup();
+        zone_ids.len() as f64 / zones as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_number_round_trips() {
+        for (y, m, d) in [(2015, 1, 1), (2016, 2, 29), (2018, 4, 9), (2018, 7, 15), (2018, 12, 31)] {
+            let n = day_number(y, m, d);
+            assert_eq!(date_of(n), (y, m, d), "date {y}-{m}-{d} (day {n})");
+        }
+    }
+
+    #[test]
+    fn regression_window_ordering() {
+        assert!(day_number(2018, 4, 9) < day_number(2018, 7, 15));
+        assert!(day_number(2016, 1, 1) < day_number(2018, 4, 9));
+    }
+
+    #[test]
+    fn enterprise_baseline_matches_table9() {
+        let snap = RulesSnapshot::generate(11, 0.05);
+        let ent = snap.baseline_rate(CfTier::Enterprise);
+        assert!((0.30..=0.45).contains(&ent), "enterprise baseline {ent}");
+        let free = snap.baseline_rate(CfTier::Free);
+        assert!((0.012..=0.024).contains(&free), "free baseline {free}");
+    }
+
+    #[test]
+    fn north_korea_tops_enterprise_blocking() {
+        let snap = RulesSnapshot::generate(11, 0.05);
+        let kp = snap.rate(CfTier::Enterprise, cc("KP"));
+        let ru = snap.rate(CfTier::Enterprise, cc("RU"));
+        assert!(kp > ru * 2.0, "KP {kp} vs RU {ru}");
+    }
+
+    #[test]
+    fn free_tier_blocks_china_russia_over_sanctions() {
+        // §6: free-tier customers block China and Russia at higher rates
+        // than the sanctioned countries.
+        let snap = RulesSnapshot::generate(11, 0.1);
+        let cn = snap.rate(CfTier::Free, cc("CN"));
+        let sy = snap.rate(CfTier::Free, cc("SY"));
+        assert!(cn > sy * 2.0, "CN {cn} vs SY {sy}");
+    }
+
+    #[test]
+    fn non_enterprise_rules_confined_to_regression_window() {
+        // Country *blocking* was Enterprise-only until the April 2018
+        // regression; challenge actions were always available.
+        let snap = RulesSnapshot::generate(3, 0.02);
+        let start = day_number(2018, 4, 9);
+        for r in &snap.rules {
+            if r.tier != CfTier::Enterprise && r.action == RuleAction::Block {
+                assert!(
+                    r.activated_day >= start,
+                    "non-enterprise block rule activated on day {} before the regression",
+                    r.activated_day
+                );
+            }
+        }
+        // The snapshot carries challenge actions too (§6 lists all four).
+        assert!(snap.rules.iter().any(|r| r.action == RuleAction::Challenge));
+        assert!(snap.rules.iter().any(|r| r.action == RuleAction::JsChallenge));
+    }
+
+    #[test]
+    fn enterprise_rules_accumulate_over_years() {
+        let snap = RulesSnapshot::generate(5, 0.05);
+        let days: Vec<u32> = snap
+            .rules
+            .iter()
+            .filter(|r| r.tier == CfTier::Enterprise)
+            .map(|r| r.activated_day)
+            .collect();
+        let min = *days.iter().min().unwrap();
+        let max = *days.iter().max().unwrap();
+        assert!(min < day_number(2016, 7, 1), "earliest {min}");
+        assert!(max > day_number(2018, 1, 1), "latest {max}");
+    }
+}

@@ -1,0 +1,509 @@
+//! Countries: ISO codes, metadata relevant to geoblocking, and compact
+//! country sets.
+//!
+//! The study sampled 195 countries through Luminati and kept the 177 that
+//! answered every request (§4.1.1); North Korea had no vantage points at
+//! all, which is why the Cloudflare ground truth (§6) could reveal blocking
+//! the measurements could not see. The registry below carries the
+//! per-country attributes the simulation needs: vantage availability, U.S.
+//! sanctions status, state-censorship level, and an abuse-reputation score
+//! (the driver of China/Russia-style blocking by free-tier customers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// ISO 3166-1 alpha-2 country code (upper-case ASCII).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Parse from a 2-letter string; case-insensitive.
+    pub fn new(code: &str) -> CountryCode {
+        let b = code.as_bytes();
+        assert!(b.len() == 2, "country code must be 2 letters: {code:?}");
+        CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("codes are ASCII")
+    }
+
+    /// Index into the global [`registry`], if the code is registered.
+    ///
+    /// The registry is sorted by code, so this is a binary search; it is on
+    /// the hot path of every per-probe policy check.
+    pub fn index(&self) -> Option<usize> {
+        registry().binary_search_by(|c| c.code.cmp(self)).ok()
+    }
+
+    /// Registered metadata for this code.
+    pub fn info(&self) -> Option<&'static CountryInfo> {
+        self.index().map(|i| &registry()[i])
+    }
+}
+
+impl fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Convenience macro-free shorthand used throughout the workspace.
+pub fn cc(code: &str) -> CountryCode {
+    CountryCode::new(code)
+}
+
+/// Per-country attributes driving the simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryInfo {
+    /// ISO alpha-2 code.
+    pub code: CountryCode,
+    /// English short name.
+    pub name: &'static str,
+    /// Whether Luminati has residential exit nodes here. 177 countries do;
+    /// North Korea famously does not.
+    pub luminati: bool,
+    /// Under comprehensive U.S. (OFAC) sanctions at study time.
+    pub sanctioned: bool,
+    /// State-censorship level: 0 none, 1 selective, 2 substantial,
+    /// 3 pervasive. OONI identifies state censorship in the 12 countries
+    /// with level ≥ 2.
+    pub censorship: u8,
+    /// Abuse-reputation score in [0, 1]; high values attract blocking by
+    /// free-tier customers independent of sanctions (China, Russia, …).
+    pub abuse: f64,
+    /// One of the study's 16 validation VPSes is located here.
+    pub vps: bool,
+    /// Baseline residential-network reliability in [0, 1]; Comoros's 76.4%
+    /// response rate (§4.1.1) comes from the low tail of this.
+    pub reliability: f64,
+}
+
+/// Compact set of registered countries (bitset over registry indices).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CountrySet {
+    bits: [u64; 4],
+}
+
+impl CountrySet {
+    /// The empty set.
+    pub fn new() -> CountrySet {
+        CountrySet::default()
+    }
+
+    /// Set from an iterator of codes. Unregistered codes are ignored.
+    pub fn from_codes<I: IntoIterator<Item = CountryCode>>(codes: I) -> CountrySet {
+        let mut set = CountrySet::new();
+        for c in codes {
+            set.insert(c);
+        }
+        set
+    }
+
+    /// Insert `code`; returns whether it was newly inserted.
+    pub fn insert(&mut self, code: CountryCode) -> bool {
+        match code.index() {
+            Some(i) => {
+                let had = self.bits[i / 64] & (1 << (i % 64)) != 0;
+                self.bits[i / 64] |= 1 << (i % 64);
+                !had
+            }
+            None => false,
+        }
+    }
+
+    /// Remove `code`.
+    pub fn remove(&mut self, code: CountryCode) {
+        if let Some(i) = code.index() {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, code: CountryCode) -> bool {
+        code.index()
+            .map(|i| self.bits[i / 64] & (1 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Union.
+    pub fn union(&self, other: &CountrySet) -> CountrySet {
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(other.bits) {
+            *b |= o;
+        }
+        CountrySet { bits }
+    }
+
+    /// Iterate over member codes in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        registry()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.bits[i / 64] & (1 << (i % 64)) != 0)
+            .map(|(_, c)| c.code)
+    }
+}
+
+/// The four comprehensively sanctioned countries the measurements can reach
+/// (North Korea, also sanctioned, has no Luminati presence).
+pub fn sanctioned_reachable() -> CountrySet {
+    CountrySet::from_codes([cc("IR"), cc("SY"), cc("SD"), cc("CU")])
+}
+
+/// The full OFAC comprehensive-sanctions set at study time.
+pub fn sanctioned_all() -> CountrySet {
+    CountrySet::from_codes([cc("IR"), cc("SY"), cc("SD"), cc("CU"), cc("KP")])
+}
+
+macro_rules! country_table {
+    ($( ($code:literal, $name:literal, lum=$lum:literal, sanc=$sanc:literal,
+         cen=$cen:literal, abuse=$abuse:literal, vps=$vps:literal, rel=$rel:literal) ),* $(,)?) => {
+        &[ $( CountryInfo {
+            code: CountryCode([$code.as_bytes()[0], $code.as_bytes()[1]]),
+            name: $name,
+            luminati: $lum,
+            sanctioned: $sanc,
+            censorship: $cen,
+            abuse: $abuse,
+            vps: $vps,
+            reliability: $rel,
+        } ),* ]
+    };
+}
+
+/// The global country registry: 195 countries, of which 177 have full
+/// Luminati coverage.
+pub fn registry() -> &'static [CountryInfo] {
+    // Curated attributes for countries named in the paper's tables; sensible
+    // defaults elsewhere. Reliability values centre on 0.97 with a low tail.
+    static TABLE: &[CountryInfo] = country_table![
+        ("AD", "Andorra", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.97),
+        ("AE", "United Arab Emirates", lum=true, sanc=false, cen=2, abuse=0.15, vps=false, rel=0.96),
+        ("AF", "Afghanistan", lum=true, sanc=false, cen=1, abuse=0.20, vps=false, rel=0.92),
+        ("AG", "Antigua and Barbuda", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
+        ("AL", "Albania", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.96),
+        ("AM", "Armenia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
+        ("AO", "Angola", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.93),
+        ("AR", "Argentina", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.97),
+        ("AT", "Austria", lum=true, sanc=false, cen=0, abuse=0.05, vps=true, rel=0.99),
+        ("AU", "Australia", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.99),
+        ("AZ", "Azerbaijan", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.95),
+        ("BA", "Bosnia and Herzegovina", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
+        ("BB", "Barbados", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
+        ("BD", "Bangladesh", lum=true, sanc=false, cen=1, abuse=0.25, vps=false, rel=0.93),
+        ("BE", "Belgium", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
+        ("BF", "Burkina Faso", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
+        ("BG", "Bulgaria", lum=true, sanc=false, cen=0, abuse=0.18, vps=false, rel=0.97),
+        ("BH", "Bahrain", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.96),
+        ("BI", "Burundi", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("BJ", "Benin", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
+        ("BN", "Brunei", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
+        ("BO", "Bolivia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
+        ("BR", "Brazil", lum=true, sanc=false, cen=0, abuse=0.50, vps=true, rel=0.97),
+        ("BS", "Bahamas", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
+        ("BT", "Bhutan", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("BW", "Botswana", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.93),
+        ("BY", "Belarus", lum=true, sanc=false, cen=1, abuse=0.25, vps=true, rel=0.96),
+        ("BZ", "Belize", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.94),
+        ("CA", "Canada", lum=true, sanc=false, cen=0, abuse=0.05, vps=true, rel=0.99),
+        ("CD", "DR Congo", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.90),
+        ("CF", "Central African Republic", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.85),
+        ("CG", "Congo", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("CH", "Switzerland", lum=true, sanc=false, cen=0, abuse=0.04, vps=true, rel=0.99),
+        ("CI", "Ivory Coast", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.92),
+        ("CL", "Chile", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.97),
+        ("CM", "Cameroon", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.92),
+        ("CN", "China", lum=true, sanc=false, cen=3, abuse=0.90, vps=false, rel=0.94),
+        ("CO", "Colombia", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.96),
+        ("CR", "Costa Rica", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.96),
+        ("CU", "Cuba", lum=true, sanc=true, cen=2, abuse=0.10, vps=false, rel=0.90),
+        ("CV", "Cape Verde", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("CY", "Cyprus", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.97),
+        ("CZ", "Czech Republic", lum=true, sanc=false, cen=0, abuse=0.35, vps=false, rel=0.98),
+        ("DE", "Germany", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
+        ("DJ", "Djibouti", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.90),
+        ("DK", "Denmark", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
+        ("DM", "Dominica", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("DO", "Dominican Republic", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
+        ("DZ", "Algeria", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.93),
+        ("EC", "Ecuador", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.95),
+        ("EE", "Estonia", lum=true, sanc=false, cen=0, abuse=0.30, vps=false, rel=0.98),
+        ("EG", "Egypt", lum=true, sanc=false, cen=2, abuse=0.22, vps=true, rel=0.94),
+        ("ER", "Eritrea", lum=false, sanc=false, cen=2, abuse=0.08, vps=false, rel=0.85),
+        ("ES", "Spain", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
+        ("ET", "Ethiopia", lum=true, sanc=false, cen=2, abuse=0.10, vps=false, rel=0.90),
+        ("FI", "Finland", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
+        ("FJ", "Fiji", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.93),
+        ("FM", "Micronesia", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.84),
+        ("FR", "France", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
+        ("GA", "Gabon", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
+        ("GB", "United Kingdom", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.99),
+        ("GD", "Grenada", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("GE", "Georgia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
+        ("GH", "Ghana", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.93),
+        ("GM", "Gambia", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
+        ("GN", "Guinea", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("GQ", "Equatorial Guinea", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.88),
+        ("GR", "Greece", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
+        ("GT", "Guatemala", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
+        ("GW", "Guinea-Bissau", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.87),
+        ("GY", "Guyana", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.92),
+        ("HK", "Hong Kong", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.99),
+        ("HN", "Honduras", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.93),
+        ("HR", "Croatia", lum=true, sanc=false, cen=0, abuse=0.30, vps=false, rel=0.98),
+        ("HT", "Haiti", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.88),
+        ("HU", "Hungary", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.98),
+        ("ID", "Indonesia", lum=true, sanc=false, cen=1, abuse=0.45, vps=false, rel=0.94),
+        ("IE", "Ireland", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
+        ("IL", "Israel", lum=true, sanc=false, cen=0, abuse=0.10, vps=true, rel=0.98),
+        ("IN", "India", lum=true, sanc=false, cen=1, abuse=0.50, vps=false, rel=0.95),
+        ("IQ", "Iraq", lum=true, sanc=false, cen=1, abuse=0.40, vps=false, rel=0.91),
+        ("IR", "Iran", lum=true, sanc=true, cen=3, abuse=0.30, vps=true, rel=0.93),
+        ("IS", "Iceland", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
+        ("IT", "Italy", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
+        ("JM", "Jamaica", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
+        ("JO", "Jordan", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.95),
+        ("JP", "Japan", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
+        ("KE", "Kenya", lum=true, sanc=false, cen=0, abuse=0.15, vps=true, rel=0.93),
+        ("KG", "Kyrgyzstan", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.93),
+        ("KH", "Cambodia", lum=true, sanc=false, cen=0, abuse=0.15, vps=true, rel=0.93),
+        ("KI", "Kiribati", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.82),
+        ("KM", "Comoros", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.76),
+        ("KN", "Saint Kitts and Nevis", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("KP", "North Korea", lum=false, sanc=true, cen=3, abuse=0.05, vps=false, rel=0.50),
+        ("KR", "South Korea", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.99),
+        ("KW", "Kuwait", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.96),
+        ("KZ", "Kazakhstan", lum=true, sanc=false, cen=1, abuse=0.18, vps=false, rel=0.95),
+        ("LA", "Laos", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.91),
+        ("LB", "Lebanon", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
+        ("LC", "Saint Lucia", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("LI", "Liechtenstein", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.97),
+        ("LK", "Sri Lanka", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.94),
+        ("LR", "Liberia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.88),
+        ("LS", "Lesotho", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.89),
+        ("LT", "Lithuania", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.98),
+        ("LU", "Luxembourg", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
+        ("LV", "Latvia", lum=true, sanc=false, cen=0, abuse=0.20, vps=true, rel=0.98),
+        ("LY", "Libya", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.88),
+        ("MA", "Morocco", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.94),
+        ("MC", "Monaco", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.97),
+        ("MD", "Moldova", lum=true, sanc=false, cen=0, abuse=0.20, vps=false, rel=0.96),
+        ("ME", "Montenegro", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
+        ("MG", "Madagascar", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("MH", "Marshall Islands", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.83),
+        ("MK", "North Macedonia", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.96),
+        ("ML", "Mali", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("MM", "Myanmar", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.89),
+        ("MN", "Mongolia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
+        ("MR", "Mauritania", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.89),
+        ("MT", "Malta", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.97),
+        ("MU", "Mauritius", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.94),
+        ("MV", "Maldives", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.93),
+        ("MW", "Malawi", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.89),
+        ("MX", "Mexico", lum=true, sanc=false, cen=0, abuse=0.18, vps=false, rel=0.96),
+        ("MY", "Malaysia", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.97),
+        ("MZ", "Mozambique", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("NA", "Namibia", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
+        ("NE", "Niger", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.89),
+        ("NG", "Nigeria", lum=true, sanc=false, cen=0, abuse=0.50, vps=true, rel=0.92),
+        ("NI", "Nicaragua", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
+        ("NL", "Netherlands", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
+        ("NO", "Norway", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
+        ("NP", "Nepal", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.92),
+        ("NR", "Nauru", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.82),
+        ("NZ", "New Zealand", lum=true, sanc=false, cen=0, abuse=0.04, vps=true, rel=0.99),
+        ("OM", "Oman", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.95),
+        ("PA", "Panama", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.95),
+        ("PE", "Peru", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.95),
+        ("PG", "Papua New Guinea", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.88),
+        ("PH", "Philippines", lum=true, sanc=false, cen=0, abuse=0.25, vps=false, rel=0.94),
+        ("PK", "Pakistan", lum=true, sanc=false, cen=2, abuse=0.35, vps=false, rel=0.93),
+        ("PL", "Poland", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.98),
+        ("PT", "Portugal", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.98),
+        ("PW", "Palau", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.84),
+        ("PY", "Paraguay", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.94),
+        ("QA", "Qatar", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.96),
+        ("RO", "Romania", lum=true, sanc=false, cen=0, abuse=0.45, vps=false, rel=0.97),
+        ("RS", "Serbia", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.97),
+        ("RU", "Russia", lum=true, sanc=false, cen=2, abuse=0.85, vps=true, rel=0.96),
+        ("RW", "Rwanda", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.91),
+        ("SA", "Saudi Arabia", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.96),
+        ("SB", "Solomon Islands", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
+        ("SC", "Seychelles", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.94),
+        ("SD", "Sudan", lum=true, sanc=true, cen=2, abuse=0.12, vps=false, rel=0.89),
+        ("SE", "Sweden", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
+        ("SG", "Singapore", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.99),
+        ("SI", "Slovenia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
+        ("SK", "Slovakia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.98),
+        ("SL", "Sierra Leone", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.87),
+        ("SM", "San Marino", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.96),
+        ("SN", "Senegal", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
+        ("SO", "Somalia", lum=false, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.80),
+        ("SR", "Suriname", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
+        ("SS", "South Sudan", lum=false, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.80),
+        ("ST", "Sao Tome and Principe", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
+        ("SV", "El Salvador", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
+        ("SY", "Syria", lum=true, sanc=true, cen=3, abuse=0.18, vps=false, rel=0.87),
+        ("SZ", "Eswatini", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.89),
+        ("TD", "Chad", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.86),
+        ("TG", "Togo", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
+        ("TH", "Thailand", lum=true, sanc=false, cen=2, abuse=0.20, vps=false, rel=0.96),
+        ("TJ", "Tajikistan", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
+        ("TL", "Timor-Leste", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.85),
+        ("TM", "Turkmenistan", lum=false, sanc=false, cen=3, abuse=0.06, vps=false, rel=0.82),
+        ("TN", "Tunisia", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.94),
+        ("TO", "Tonga", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
+        ("TR", "Turkey", lum=true, sanc=false, cen=2, abuse=0.35, vps=true, rel=0.96),
+        ("TT", "Trinidad and Tobago", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.94),
+        ("TV", "Tuvalu", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.81),
+        ("TW", "Taiwan", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.99),
+        ("TZ", "Tanzania", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
+        ("UA", "Ukraine", lum=true, sanc=false, cen=1, abuse=0.60, vps=false, rel=0.96),
+        ("UG", "Uganda", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
+        ("US", "United States", lum=true, sanc=false, cen=0, abuse=0.10, vps=true, rel=0.99),
+        ("UY", "Uruguay", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.96),
+        ("UZ", "Uzbekistan", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.92),
+        ("VC", "Saint Vincent", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.91),
+        ("VE", "Venezuela", lum=true, sanc=false, cen=2, abuse=0.18, vps=false, rel=0.90),
+        ("VN", "Vietnam", lum=true, sanc=false, cen=2, abuse=0.55, vps=false, rel=0.94),
+        ("VU", "Vanuatu", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
+        ("WS", "Samoa", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.87),
+        ("YE", "Yemen", lum=true, sanc=false, cen=2, abuse=0.10, vps=false, rel=0.82),
+        ("ZA", "South Africa", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.96),
+        ("ZM", "Zambia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.91),
+        ("ZW", "Zimbabwe", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.90),
+    ];
+    TABLE
+}
+
+/// Countries with Luminati exit nodes — the measurable world.
+pub fn luminati_countries() -> Vec<CountryCode> {
+    registry()
+        .iter()
+        .filter(|c| c.luminati)
+        .map(|c| c.code)
+        .collect()
+}
+
+/// The 16 VPS validation countries of §2.2.
+pub fn vps_countries() -> Vec<CountryCode> {
+    registry()
+        .iter()
+        .filter(|c| c.vps)
+        .map(|c| c.code)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let codes: Vec<_> = registry().iter().map(|c| c.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must be sorted by code, unique");
+    }
+
+    #[test]
+    fn registry_fits_bitset() {
+        assert!(registry().len() <= 256);
+    }
+
+    #[test]
+    fn sixteen_vps_countries() {
+        assert_eq!(vps_countries().len(), 16);
+        assert!(vps_countries().contains(&cc("IR")));
+        assert!(vps_countries().contains(&cc("NZ")));
+    }
+
+    #[test]
+    fn north_korea_has_no_luminati() {
+        assert!(!cc("KP").info().unwrap().luminati);
+        assert!(!luminati_countries().contains(&cc("KP")));
+    }
+
+    #[test]
+    fn sanctioned_sets() {
+        assert_eq!(sanctioned_reachable().len(), 4);
+        assert_eq!(sanctioned_all().len(), 5);
+        assert!(sanctioned_all().contains(cc("KP")));
+        assert!(!sanctioned_reachable().contains(cc("KP")));
+        for c in sanctioned_all().iter() {
+            assert!(c.info().unwrap().sanctioned, "{c} should be sanctioned");
+        }
+    }
+
+    #[test]
+    fn country_set_operations() {
+        let mut s = CountrySet::new();
+        assert!(s.insert(cc("IR")));
+        assert!(!s.insert(cc("IR")));
+        assert!(s.insert(cc("CN")));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(cc("CN")));
+        s.remove(cc("CN"));
+        assert!(!s.contains(cc("CN")));
+        assert_eq!(s.len(), 1);
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![cc("IR")]);
+    }
+
+    #[test]
+    fn union_combines() {
+        let a = CountrySet::from_codes([cc("IR"), cc("SY")]);
+        let b = CountrySet::from_codes([cc("SY"), cc("CU")]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn twelve_ooni_censorship_countries() {
+        let n = registry().iter().filter(|c| c.censorship >= 2 && c.luminati).count();
+        // The 12 countries where OONI identifies state censorship, plus a
+        // handful of substantial-filtering countries; keep within a
+        // realistic band.
+        assert!((12..=22).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn comoros_is_the_reliability_tail() {
+        let komoros = cc("KM").info().unwrap();
+        assert!(komoros.reliability < 0.8);
+        let lower = registry()
+            .iter()
+            .filter(|c| c.luminati && c.reliability < komoros.reliability)
+            .count();
+        assert_eq!(lower, 0, "Comoros should be the least reliable Luminati country");
+    }
+
+    #[test]
+    fn unregistered_codes_are_harmless() {
+        let bogus = cc("XX");
+        assert!(bogus.index().is_none());
+        let mut s = CountrySet::new();
+        assert!(!s.insert(bogus));
+        assert!(!s.contains(bogus));
+    }
+}

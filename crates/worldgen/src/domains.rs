@@ -1,0 +1,660 @@
+//! The synthetic Alexa-style domain population.
+//!
+//! Domains are generated *deterministically by rank*: [`AlexaPopulation`]
+//! stores only a seed and can materialise the spec of any rank on demand —
+//! which is how the simulated Internet can serve a ZGrab sweep of the whole
+//! Top 1M without holding a million structs in memory. Names embed a
+//! base-36 rank token so the simulator can map a requested host back to its
+//! spec in O(1) (see [`AlexaPopulation::rank_of`]).
+//!
+//! All distribution parameters are calibrated against the paper's published
+//! aggregates; see DESIGN.md §2 for the calibration rule and the comments
+//! on each constant for the specific table being matched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use geoblock_blockpages::Provider;
+
+use crate::category::Category;
+use crate::country::{cc, CountrySet};
+use crate::policy::{
+    draw_ambiguous_cdn_blockset, draw_challenge_set, draw_cloudflare_blockset,
+    draw_cloudfront_blockset, draw_origin_blockset, CfTier, DomainPolicy, OriginBlockKind,
+};
+use crate::special;
+
+/// Rank band: the Top-10K head behaves differently from the deep list in
+/// both CDN adoption and geoblocking rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Band {
+    /// Ranks 1..=10_000.
+    Top10k,
+    /// Ranks 10_001..
+    Deep,
+}
+
+impl Band {
+    /// Band of a rank.
+    pub fn of(rank: u32) -> Band {
+        if rank <= 10_000 {
+            Band::Top10k
+        } else {
+            Band::Deep
+        }
+    }
+}
+
+/// Everything the simulated Internet needs to know about one domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Fully-qualified domain name.
+    pub name: String,
+    /// Alexa-style rank (1-based).
+    pub rank: u32,
+    /// FortiGuard-style category.
+    pub category: Category,
+    /// CDN / access-control services fronting the domain (0–2 of them;
+    /// 1,408 Top-1M domains showed two services, e.g. zales.com with both
+    /// Incapsula and Akamai headers).
+    pub providers: Vec<Provider>,
+    /// Account tier, when fronted by Cloudflare.
+    pub cf_tier: Option<CfTier>,
+    /// Size in bytes of the domain's (longest) real landing page.
+    pub base_page_bytes: u32,
+    /// Whether the domain appears on the Citizen Lab block list.
+    pub on_citizenlab: bool,
+    /// Ground-truth blocking behaviour.
+    pub policy: DomainPolicy,
+    /// Seed for per-request randomness at the simulated edge.
+    pub policy_seed: u64,
+}
+
+impl DomainSpec {
+    /// Whether the domain is fronted by `provider`.
+    pub fn uses(&self, provider: Provider) -> bool {
+        self.providers.contains(&provider)
+    }
+
+    /// Whether the study's safety filter (risky categories + Citizen Lab
+    /// list) excludes this domain from probing.
+    pub fn filtered_out(&self) -> bool {
+        self.category.is_risky() || self.on_citizenlab
+    }
+}
+
+/// splitmix64, for deriving per-rank seeds.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Per-band CDN adoption rates, calibrated to §4.2.1 (Top 10K: 1,394
+/// Cloudflare, 364 CloudFront, 108 AppEngine of 10,000) and §5.1.1 (Top 1M:
+/// 109,801 Cloudflare, 10,856 CloudFront, 16,455 AppEngine, 10,727 Akamai,
+/// 5,570 Incapsula).
+fn provider_rate(provider: Provider, band: Band) -> f64 {
+    match (provider, band) {
+        (Provider::Cloudflare, Band::Top10k) => 0.1394,
+        (Provider::Cloudflare, Band::Deep) => 0.1095,
+        (Provider::CloudFront, Band::Top10k) => 0.0364,
+        (Provider::CloudFront, Band::Deep) => 0.0106,
+        (Provider::AppEngine, Band::Top10k) => 0.0108,
+        (Provider::AppEngine, Band::Deep) => 0.0165,
+        (Provider::Akamai, Band::Top10k) => 0.0600,
+        (Provider::Akamai, Band::Deep) => 0.0102,
+        (Provider::Incapsula, Band::Top10k) => 0.0080,
+        (Provider::Incapsula, Band::Deep) => 0.0055,
+        (Provider::Distil, Band::Top10k) => 0.0025,
+        (Provider::Distil, Band::Deep) => 0.0010,
+        (Provider::Baidu, Band::Top10k) => 0.0003,
+        (Provider::Baidu, Band::Deep) => 0.0002,
+        _ => 0.0,
+    }
+}
+
+/// Probability that a domain with a primary CDN shows a second service
+/// (1,408 of 152,001 CDN customers, §5.1.1).
+const DUAL_SERVICE_RATE: f64 = 0.0093;
+
+/// Per-provider probability that a customer has geoblocking enabled,
+/// before the category-propensity multiplier. Calibration: §4.2.1 (Top 10K:
+/// 3.1% of Cloudflare, 1.4% of CloudFront, 40.7% of AppEngine customers)
+/// and §5.2.1 (Top 1M: 2.6% / 3.1% / 16.8%); §5.2.2 for Akamai/Incapsula.
+fn geoblock_rate(provider: Provider, band: Band) -> f64 {
+    match (provider, band) {
+        // Top-10K rates are scaled up ~1.25x against the published customer
+        // rates because the paper's numerators are post-safety-filter
+        // domains while its denominators are raw customer counts.
+        (Provider::Cloudflare, Band::Top10k) => 0.039,
+        (Provider::Cloudflare, Band::Deep) => 0.026,
+        (Provider::CloudFront, Band::Top10k) => 0.017,
+        (Provider::CloudFront, Band::Deep) => 0.031,
+        (Provider::AppEngine, Band::Top10k) => 0.470,
+        (Provider::AppEngine, Band::Deep) => 0.168,
+        (Provider::Akamai, _) => 0.045,
+        (Provider::Incapsula, _) => 0.055,
+        _ => 0.0,
+    }
+}
+
+/// Residual bot-detection sensitivity per provider: fraction of customers
+/// whose anti-bot layer false-positives on automated clients (the ~30%
+/// Akamai ZGrab false-positive rate of §3.1 is header-dependent; these are
+/// the *domain-level* sensitivity fractions).
+fn bot_sensitive_rate(provider: Provider) -> f64 {
+    match provider {
+        Provider::Akamai => 0.23,
+        Provider::Incapsula => 0.32,
+        Provider::Distil => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// Cloudflare tier distribution for customer zones.
+fn draw_cf_tier<R: Rng>(rng: &mut R) -> CfTier {
+    let x: f64 = rng.gen();
+    if x < 0.80 {
+        CfTier::Free
+    } else if x < 0.92 {
+        CfTier::Pro
+    } else if x < 0.98 {
+        CfTier::Business
+    } else {
+        CfTier::Enterprise
+    }
+}
+
+/// TLD distribution (weights). `.com` dominance drives Table 5's TLD column.
+const TLDS: &[(&str, f64)] = &[
+    ("com", 52.0),
+    ("net", 4.5),
+    ("org", 4.0),
+    ("ru", 3.5),
+    ("de", 3.0),
+    ("jp", 3.0),
+    ("cn", 2.5),
+    ("co.uk", 2.0),
+    ("fr", 2.0),
+    ("it", 1.5),
+    ("in", 1.5),
+    ("com.br", 1.5),
+    ("pl", 1.0),
+    ("nl", 1.0),
+    ("ir", 1.0),
+    ("com.au", 0.8),
+    ("es", 0.8),
+    ("ca", 0.8),
+    ("ua", 0.8),
+    ("com.tr", 0.8),
+    ("info", 0.7),
+    ("io", 0.5),
+    ("co", 0.5),
+    ("gr", 0.5),
+    ("cz", 0.5),
+    ("se", 0.5),
+    ("co.kr", 0.4),
+    ("mx", 0.4),
+    ("ar", 0.4),
+    ("id", 0.4),
+    ("co.za", 0.4),
+    ("sg", 0.3),
+    ("biz", 0.3),
+    ("tv", 0.3),
+    ("me", 0.3),
+];
+
+const STEM_A: &[&str] = &[
+    "alpha", "apex", "astro", "atlas", "aero", "blue", "bright", "cedar", "city", "clear",
+    "cloud", "core", "crest", "delta", "digi", "east", "echo", "ever", "fast", "first",
+    "flex", "fox", "global", "gold", "grand", "green", "halo", "hyper", "iron", "jet",
+    "kilo", "lake", "lumen", "macro", "meta", "micro", "nano", "north", "nova", "omni",
+    "open", "pario", "peak", "pico", "prime", "pulse", "quick", "rapid", "river", "sky",
+    "solar", "south", "star", "stone", "summit", "swift", "terra", "tide", "true", "ultra",
+    "union", "vale", "vista", "west",
+];
+
+const STEM_B: &[&str] = &[
+    "base", "beam", "board", "bridge", "cart", "cast", "dash", "deal", "den", "desk",
+    "dock", "drive", "edge", "field", "flow", "forge", "forum", "gate", "grid", "guide",
+    "hub", "lab", "lane", "line", "link", "list", "loop", "mart", "mesh", "mill",
+    "mint", "nest", "net", "node", "pad", "page", "path", "pier", "point", "port",
+    "post", "press", "rack", "ridge", "ring", "room", "shelf", "shop", "site", "space",
+    "span", "spark", "sphere", "spot", "stack", "stand", "store", "stream", "tower", "trade",
+    "vault", "view", "ware", "works", "yard", "zone",
+];
+
+fn base36(mut n: u32) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    if n == 0 {
+        return "0".to_string();
+    }
+    let mut out = Vec::new();
+    while n > 0 {
+        out.push(DIGITS[(n % 36) as usize]);
+        n /= 36;
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+fn parse_base36(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut n: u64 = 0;
+    for b in s.bytes() {
+        let d = match b {
+            b'0'..=b'9' => (b - b'0') as u64,
+            b'a'..=b'z' => (b - b'a') as u64 + 10,
+            _ => return None,
+        };
+        n = n.checked_mul(36)?.checked_add(d)?;
+        if n > u32::MAX as u64 {
+            return None;
+        }
+    }
+    Some(n as u32)
+}
+
+fn weighted<'a, T, R: Rng>(rng: &mut R, items: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (item, w) in items {
+        x -= w;
+        if x <= 0.0 {
+            return item;
+        }
+    }
+    &items[items.len() - 1].0
+}
+
+/// The deterministic Alexa-style population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlexaPopulation {
+    seed: u64,
+    size: u32,
+    #[serde(skip)]
+    top10k_weights: Vec<(Category, f64)>,
+    #[serde(skip)]
+    deep_weights: Vec<(Category, f64)>,
+    #[serde(skip)]
+    top10k_propensity_norm: f64,
+    #[serde(skip)]
+    deep_propensity_norm: f64,
+}
+
+impl AlexaPopulation {
+    /// Create a population of `size` domains generated from `seed`.
+    pub fn new(seed: u64, size: u32) -> AlexaPopulation {
+        let top10k_weights = Category::top10k_weights();
+        let deep_weights = Category::top1m_weights();
+        let norm = |weights: &[(Category, f64)]| {
+            let safe: Vec<_> = weights.iter().filter(|(c, _)| !c.is_risky()).collect();
+            let total: f64 = safe.iter().map(|(_, w)| w).sum();
+            let mean: f64 = safe
+                .iter()
+                .map(|(c, w)| c.geoblock_propensity() * w / total)
+                .sum();
+            mean
+        };
+        let top10k_propensity_norm = norm(&top10k_weights);
+        let deep_propensity_norm = norm(&deep_weights);
+        AlexaPopulation {
+            seed,
+            size,
+            top10k_weights,
+            deep_weights,
+            top10k_propensity_norm,
+            deep_propensity_norm,
+        }
+    }
+
+    /// Number of domains.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Materialise the spec for `rank` (1-based). Panics if out of range.
+    pub fn spec(&self, rank: u32) -> DomainSpec {
+        assert!(rank >= 1 && rank <= self.size, "rank {rank} out of range");
+        if let Some(spec) = special::special_spec(self.seed, rank) {
+            return spec;
+        }
+        // Hash rank *before* combining with the seed: plain `seed ^ rank`
+        // makes different seeds mere permutations of one another (seed a,
+        // rank r and seed b, rank r^a^b share a stream), freezing every
+        // binomial count across seeds.
+        let mut rng = StdRng::seed_from_u64(mix(self.seed.wrapping_add(mix(rank as u64))));
+        let band = Band::of(rank);
+
+        let weights = match band {
+            Band::Top10k => &self.top10k_weights,
+            Band::Deep => &self.deep_weights,
+        };
+        let category = *weighted(&mut rng, weights);
+
+        let tld = *weighted(&mut rng, &tld_weights());
+        let a = STEM_A[rng.gen_range(0..STEM_A.len())];
+        let b = STEM_B[rng.gen_range(0..STEM_B.len())];
+        let name = format!("{a}{b}-{}.{tld}", base36(rank));
+
+        // Provider assignment: one categorical draw against the exact
+        // marginal rates (a break-on-first-success chain would silently
+        // deflate the later providers' shares).
+        let mut providers = Vec::new();
+        {
+            let x: f64 = rng.gen();
+            let mut acc = 0.0;
+            for p in [
+                Provider::Cloudflare,
+                Provider::Akamai,
+                Provider::CloudFront,
+                Provider::AppEngine,
+                Provider::Incapsula,
+                Provider::Distil,
+                Provider::Baidu,
+            ] {
+                acc += provider_rate(p, band);
+                if x < acc {
+                    providers.push(p);
+                    break;
+                }
+            }
+        }
+        if !providers.is_empty() && rng.gen_bool(DUAL_SERVICE_RATE) {
+            let secondary = [Provider::Akamai, Provider::Incapsula, Provider::CloudFront]
+                [rng.gen_range(0..3)];
+            if !providers.contains(&secondary) {
+                providers.push(secondary);
+            }
+        }
+
+        let cf_tier = if providers.contains(&Provider::Cloudflare) {
+            Some(draw_cf_tier(&mut rng))
+        } else {
+            None
+        };
+
+        // Page size: log-normal-ish, clamped. Real pages dwarf the 1–3.5 KB
+        // block pages, which is what makes the 30%-shorter heuristic work.
+        let z: f64 = {
+            let u: f64 = rng.gen_range(-1.0f64..1.0);
+            let v: f64 = rng.gen_range(-1.0f64..1.0);
+            u + v // triangular ≈ cheap gaussian stand-in
+        };
+        let base_page_bytes = (12_000.0 * (1.1 * z).exp()).clamp(1_000.0, 64_000.0) as u32;
+
+        let on_citizenlab = rng.gen_bool(match band {
+            Band::Top10k => 0.030,
+            Band::Deep => 0.012,
+        });
+
+        let propensity_norm = match band {
+            Band::Top10k => self.top10k_propensity_norm,
+            Band::Deep => self.deep_propensity_norm,
+        };
+        let policy = self.draw_policy(&mut rng, category, &providers, band, propensity_norm);
+        let policy_seed = mix(self.seed.wrapping_add(mix(rank as u64)) ^ 0xb10c);
+
+        DomainSpec {
+            name,
+            rank,
+            category,
+            providers,
+            cf_tier,
+            base_page_bytes,
+            on_citizenlab,
+            policy,
+            policy_seed,
+        }
+    }
+
+    fn draw_policy(
+        &self,
+        rng: &mut StdRng,
+        category: Category,
+        providers: &[Provider],
+        band: Band,
+        propensity_norm: f64,
+    ) -> DomainPolicy {
+        let mut policy = DomainPolicy::default();
+        let weight = category.geoblock_propensity() / propensity_norm;
+
+        for &p in providers {
+            let rate = (geoblock_rate(p, band) * weight).clamp(0.0, 0.95);
+            match p {
+                Provider::AppEngine
+                    // Platform-level sanctions enforcement is not a customer
+                    // choice; no category weighting.
+                    if rng.gen_bool(geoblock_rate(p, band)) => {
+                        policy.appengine_sanctions = true;
+                    }
+                Provider::Cloudflare => {
+                    if rng.gen_bool(rate) {
+                        policy.geoblocked = policy.geoblocked.union(&draw_cloudflare_blockset(rng));
+                    } else {
+                        // Non-blocking customers may still challenge.
+                        if rng.gen_bool(0.011) {
+                            policy.challenged =
+                                policy.challenged.union(&draw_challenge_set(rng));
+                        }
+                        if rng.gen_bool(0.004) {
+                            policy.js_challenge_all = true;
+                        }
+                    }
+                }
+                Provider::CloudFront
+                    if rng.gen_bool(rate) => {
+                        policy.geoblocked = policy.geoblocked.union(&draw_cloudfront_blockset(rng));
+                    }
+                Provider::Akamai | Provider::Incapsula
+                    if rng.gen_bool(rate) => {
+                        policy.geoblocked =
+                            policy.geoblocked.union(&draw_ambiguous_cdn_blockset(rng));
+                    }
+                Provider::Baidu
+                    if rng.gen_bool(0.3) => {
+                        policy.geoblocked.insert(cc("CN"));
+                    }
+                _ => {}
+            }
+            if rng.gen_bool(bot_sensitive_rate(p)) {
+                policy.bot_sensitive = true;
+            }
+        }
+
+        // Origin-level stock 403 blockers (outside any CDN's control).
+        if providers.is_empty() {
+            if rng.gen_bool(0.0035) {
+                policy.origin_blocked = draw_origin_blockset(rng);
+                policy.origin_block_kind = Some(OriginBlockKind::Nginx);
+            } else if rng.gen_bool(0.0008) {
+                // Misconfigured vhosts: a stock nginx 403 for *everyone*,
+                // everywhere — noise that caps the nginx recall in Table 2.
+                policy.origin_blocked =
+                    CountrySet::from_codes(crate::country::registry().iter().map(|c| c.code));
+                policy.origin_block_kind = Some(OriginBlockKind::Nginx);
+            } else if rng.gen_bool(0.00025) {
+                policy.origin_blocked = CountrySet::from_codes(
+                    draw_origin_blockset(rng).iter().take(7).collect::<Vec<_>>(),
+                );
+                policy.origin_block_kind = Some(if rng.gen_bool(0.5) {
+                    OriginBlockKind::Varnish
+                } else {
+                    OriginBlockKind::Soasta
+                });
+            }
+        }
+
+        policy
+    }
+
+    /// Recover the rank of a generated domain name, if it belongs to this
+    /// population. Special domains are matched by table lookup; generated
+    /// names are matched by parsing the base-36 rank token.
+    pub fn rank_of(&self, host: &str) -> Option<u32> {
+        if let Some(rank) = special::special_rank(host) {
+            return (rank <= self.size).then_some(rank);
+        }
+        let label = host.split('.').next()?;
+        let token = label.rsplit_once('-')?.1;
+        let rank = parse_base36(token)?;
+        if rank >= 1 && rank <= self.size && self.spec(rank).name == host {
+            Some(rank)
+        } else {
+            None
+        }
+    }
+
+    /// Look up a host's spec, if it belongs to this population.
+    pub fn spec_of(&self, host: &str) -> Option<DomainSpec> {
+        self.rank_of(host).map(|r| self.spec(r))
+    }
+
+    /// All specs in a rank range (inclusive), skipping nothing.
+    pub fn specs(&self, from: u32, to: u32) -> impl Iterator<Item = DomainSpec> + '_ {
+        (from..=to.min(self.size)).map(|r| self.spec(r))
+    }
+}
+
+fn tld_weights() -> Vec<(&'static str, f64)> {
+    TLDS.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> AlexaPopulation {
+        AlexaPopulation::new(42, 1_000_000)
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let p = pop();
+        let a = p.spec(1234);
+        let b = p.spec(1234);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.policy.geoblocked, b.policy.geoblocked);
+        assert_eq!(a.base_page_bytes, b.base_page_bytes);
+    }
+
+    #[test]
+    fn names_are_unique_within_sampled_ranks() {
+        use std::collections::HashSet;
+        let p = pop();
+        let names: HashSet<_> = (1..=5000).map(|r| p.spec(r).name).collect();
+        assert_eq!(names.len(), 5000);
+    }
+
+    #[test]
+    fn rank_round_trips_through_name() {
+        let p = pop();
+        for rank in [1u32, 9, 10_000, 10_001, 123_456, 999_999] {
+            let spec = p.spec(rank);
+            assert_eq!(p.rank_of(&spec.name), Some(rank), "name {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn foreign_hosts_resolve_to_none() {
+        let p = pop();
+        assert_eq!(p.rank_of("www.google.com"), None);
+        assert_eq!(p.rank_of("nonsense"), None);
+        assert_eq!(p.rank_of("alphabase-zzzzzzzz.com"), None);
+    }
+
+    #[test]
+    fn cdn_adoption_rates_match_calibration() {
+        let p = pop();
+        let mut cf = 0;
+        let mut cloudfront = 0;
+        let mut appengine = 0;
+        let n = 10_000;
+        for rank in 1..=n {
+            let s = p.spec(rank);
+            if s.uses(Provider::Cloudflare) {
+                cf += 1;
+            }
+            if s.uses(Provider::CloudFront) {
+                cloudfront += 1;
+            }
+            if s.uses(Provider::AppEngine) {
+                appengine += 1;
+            }
+        }
+        // §4.2.1: 1,394 / 364 / 108 (binomial noise allowed).
+        assert!((1250..=1550).contains(&cf), "cloudflare {cf}");
+        assert!((290..=440).contains(&cloudfront), "cloudfront {cloudfront}");
+        assert!((75..=145).contains(&appengine), "appengine {appengine}");
+    }
+
+    #[test]
+    fn safety_filter_rate_matches_paper() {
+        let p = pop();
+        let filtered = (1..=10_000).filter(|&r| p.spec(r).filtered_out()).count();
+        // 10,000 → 8,003 kept means ~2,000 filtered (risky ∪ Citizen Lab).
+        assert!((1750..=2300).contains(&filtered), "filtered {filtered}");
+    }
+
+    #[test]
+    fn appengine_blockers_match_rate() {
+        let p = pop();
+        let (mut total, mut sanctioned) = (0, 0);
+        for rank in 1..=10_000 {
+            let s = p.spec(rank);
+            if s.uses(Provider::AppEngine) {
+                total += 1;
+                if s.policy.appengine_sanctions {
+                    sanctioned += 1;
+                }
+            }
+        }
+        let rate = sanctioned as f64 / total as f64;
+        // §4.2.1: 40.7% of Top-10K AppEngine customers geoblock.
+        assert!((0.25..=0.58).contains(&rate), "rate {rate} ({sanctioned}/{total})");
+    }
+
+    #[test]
+    fn deep_band_has_lower_cloudfront_but_higher_appengine_share() {
+        let p = pop();
+        let count = |band: std::ops::RangeInclusive<u32>, prov| {
+            band.clone()
+                .step_by(37) // subsample for speed
+                .filter(|&r| p.spec(r).uses(prov))
+                .count() as f64
+                / (band.count() as f64 / 37.0)
+        };
+        let cf_deep = count(500_000..=600_000, Provider::CloudFront);
+        let cf_top = count(1..=10_000, Provider::CloudFront);
+        assert!(cf_deep < cf_top, "cloudfront deep {cf_deep} top {cf_top}");
+    }
+
+    #[test]
+    fn base36_round_trip() {
+        for n in [0u32, 1, 35, 36, 12345, u32::MAX] {
+            assert_eq!(parse_base36(&base36(n)), Some(n));
+        }
+        assert_eq!(parse_base36("!!"), None);
+        assert_eq!(parse_base36(""), None);
+    }
+
+    #[test]
+    fn page_sizes_clamped_and_plausible() {
+        let p = pop();
+        for rank in (1..=2000).step_by(7) {
+            let s = p.spec(rank);
+            assert!((1_000..=64_000).contains(&s.base_page_bytes), "{}", s.base_page_bytes);
+        }
+    }
+}

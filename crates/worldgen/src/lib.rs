@@ -1,0 +1,41 @@
+//! Deterministic synthetic-world generation for the geoblocking study.
+//!
+//! The paper measures the real Internet from real residential vantage
+//! points; this crate generates the closest synthetic equivalent:
+//!
+//! * [`country`] — 195 countries with the attributes that drive blocking
+//!   (sanctions, censorship, abuse reputation, vantage availability);
+//! * [`category`] — the FortiGuard-style taxonomy and the safety filter;
+//! * [`domains`] — an Alexa-style population of up to a million domains,
+//!   generated deterministically by rank, with CDN assignments and
+//!   ground-truth geoblocking policies calibrated to the paper's published
+//!   aggregates (see DESIGN.md);
+//! * [`policy`] — the per-provider block-set distributions;
+//! * [`special`] — the named domains behind the paper's anecdotes
+//!   (makro.co.za, geniusdisplay.com, fasttech.com, zales.com, Airbnb…);
+//! * [`citizenlab`] — a synthetic Citizen Lab test list;
+//! * [`ooni`] — a synthetic OONI measurement corpus (§7.1);
+//! * [`cloudflare_rules`] — the §6 firewall-rules ground-truth snapshot.
+//!
+//! **The measurement pipeline never reads ground truth.** Policies exist so
+//! the simulated CDN edges can enforce them; the pipeline must rediscover
+//! blocking from responses alone, exactly as the paper does.
+
+pub mod category;
+pub mod citizenlab;
+pub mod cloudflare_rules;
+pub mod country;
+pub mod domains;
+pub mod ooni;
+pub mod policy;
+pub mod special;
+pub mod world;
+
+pub use category::Category;
+pub use citizenlab::CitizenLabList;
+pub use cloudflare_rules::{CountryRule, RuleAction, RulesSnapshot};
+pub use country::{cc, CountryCode, CountryInfo, CountrySet};
+pub use domains::{AlexaPopulation, Band, DomainSpec};
+pub use ooni::{OoniConfig, OoniMeasurement};
+pub use policy::{CfTier, DomainPolicy, OriginBlockKind};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,316 @@
+//! Per-domain blocking policies.
+//!
+//! A [`DomainPolicy`] is the *ground truth* the simulated CDN edges enforce.
+//! The measurement pipeline never reads it — it must rediscover blocking
+//! from responses, exactly as the paper does. The policy generator in
+//! [`crate::domains`] draws these from distributions calibrated against the
+//! paper's published aggregates.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::country::{cc, registry, sanctioned_all, CountrySet};
+
+/// Cloudflare account tiers (§6). Country *blocking* is an Enterprise
+/// feature; lower tiers can only challenge — except during the April–August
+/// 2018 regression, during which all tiers could block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CfTier {
+    Free,
+    Pro,
+    Business,
+    Enterprise,
+}
+
+impl CfTier {
+    /// All tiers, cheapest first.
+    pub const ALL: [CfTier; 4] = [CfTier::Free, CfTier::Pro, CfTier::Business, CfTier::Enterprise];
+
+    /// Table 9 column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CfTier::Free => "Free",
+            CfTier::Pro => "Pro",
+            CfTier::Business => "Business",
+            CfTier::Enterprise => "Enterprise",
+        }
+    }
+}
+
+/// Which stock page an origin-level block serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OriginBlockKind {
+    /// Stock nginx 403.
+    Nginx,
+    /// Stock Varnish 403 ("Guru Meditation").
+    Varnish,
+    /// SOASTA edge denial.
+    Soasta,
+    /// Airbnb's custom sanctions page.
+    Airbnb,
+}
+
+/// Ground-truth blocking behaviour for one domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainPolicy {
+    /// Countries explicitly geoblocked through the domain's CDN.
+    pub geoblocked: CountrySet,
+    /// Countries served a CAPTCHA challenge instead of content.
+    pub challenged: CountrySet,
+    /// Cloudflare "I'm Under Attack" JavaScript challenge shown to all
+    /// visitors (probabilistically — IUAM episodes come and go).
+    pub js_challenge_all: bool,
+    /// Countries the *origin* blocks with a stock error page, bypassing the
+    /// CDN (or with no CDN at all).
+    pub origin_blocked: CountrySet,
+    /// Which stock page the origin block serves.
+    pub origin_block_kind: Option<OriginBlockKind>,
+    /// Whether the domain's bot-detection layer (Akamai / Incapsula /
+    /// Distil) is aggressive enough to false-positive on automated clients.
+    pub bot_sensitive: bool,
+    /// Google AppEngine sanctions enforcement: the platform itself blocks
+    /// Iran, Syria, Sudan, Cuba, North Korea, and Crimea.
+    pub appengine_sanctions: bool,
+    /// The `makro.co.za` phenomenon (§4.2): geoblocking active during the
+    /// baseline pass but dropped before the confirmation resample.
+    pub policy_flip: bool,
+    /// The `geniusdisplay.com` phenomenon (§4.2.2): blocking applies only
+    /// to the Crimea region, not all of Ukraine.
+    pub crimea_only: bool,
+}
+
+impl DomainPolicy {
+    /// Whether any explicit geoblocking is configured.
+    pub fn geoblocks(&self) -> bool {
+        !self.geoblocked.is_empty() || self.appengine_sanctions
+    }
+}
+
+/// Draw the blocked-country set for a Cloudflare-style geoblocker: roughly
+/// half couple to the OFAC sanctions list wholesale, high-abuse countries
+/// are blocked in proportion to their reputation, and a thin uniform tail
+/// covers everyone else (the "Other" mass in Tables 6/7).
+pub fn draw_cloudflare_blockset<R: Rng>(rng: &mut R) -> CountrySet {
+    let mut set = CountrySet::new();
+    if rng.gen_bool(0.47) {
+        set = set.union(&sanctioned_all());
+    }
+    for info in registry() {
+        if info.sanctioned {
+            continue;
+        }
+        let p_abuse = if info.abuse >= 0.30 { info.abuse * 0.35 } else { 0.0 };
+        let p = (p_abuse + 0.012).min(0.95);
+        if rng.gen_bool(p) {
+            set.insert(info.code);
+        }
+    }
+    if set.is_empty() {
+        // A geoblocker must block something; default to the modal rule.
+        set = sanctioned_all();
+    }
+    set
+}
+
+/// Draw the blocked set for a CloudFront-style geoblocker: a mixture of
+/// sanctions-compliance blockers and market-segmentation blockers that deny
+/// a large fraction of the world (the mean of ~33 countries per blocking
+/// domain in Table 6 comes from the latter).
+pub fn draw_cloudfront_blockset<R: Rng>(rng: &mut R) -> CountrySet {
+    let mut set = CountrySet::new();
+    let style: f64 = rng.gen();
+    if style < 0.10 {
+        // Allowlist operators: serve a handful of home markets, block the
+        // rest of the world. These are the blockers whose block page *is*
+        // the representative page in every top-blocking country — the
+        // 37.9% CloudFront recall of Table 2.
+        let frac: f64 = rng.gen_range(0.90..0.98);
+        for info in registry() {
+            if rng.gen_bool(frac) {
+                set.insert(info.code);
+            }
+        }
+    } else if style < 0.45 {
+        // Market segmentation: block a broad swathe of the world.
+        let frac: f64 = rng.gen_range(0.10..0.40);
+        for info in registry() {
+            let bias = if info.sanctioned { 0.4 } else { 0.0 };
+            if rng.gen_bool((frac + bias).min(0.98)) {
+                set.insert(info.code);
+            }
+        }
+    } else {
+        // Sanctions compliance plus a small tail.
+        if rng.gen_bool(0.85) {
+            set = set.union(&sanctioned_all());
+        }
+        for info in registry() {
+            if !info.sanctioned && rng.gen_bool(0.02) {
+                set.insert(info.code);
+            }
+        }
+    }
+    if set.is_empty() {
+        set = sanctioned_all();
+    }
+    set
+}
+
+/// Draw the blocked set for an Akamai/Incapsula-style geoblocker. Both
+/// CDNs' confirmed geoblockers most commonly block China, Russia, Cuba,
+/// Iran, Syria, and Sudan (§5.2.2), with ~12–14 countries per domain.
+pub fn draw_ambiguous_cdn_blockset<R: Rng>(rng: &mut R) -> CountrySet {
+    let mut set = CountrySet::new();
+    for code in ["IR", "SY", "SD", "CU", "KP"] {
+        if rng.gen_bool(0.6) {
+            set.insert(cc(code));
+        }
+    }
+    for info in registry() {
+        if info.sanctioned {
+            continue;
+        }
+        let p_abuse = if info.abuse >= 0.45 { info.abuse * 0.5 } else { 0.0 };
+        if rng.gen_bool((p_abuse + 0.035).min(0.95)) {
+            set.insert(info.code);
+        }
+    }
+    if set.is_empty() {
+        set.insert(cc("CN"));
+        set.insert(cc("RU"));
+    }
+    set
+}
+
+/// The AppEngine platform block list: every OFAC-sanctioned country.
+/// (Crimea is handled regionally by the edge, not through this set.)
+pub fn appengine_blockset() -> CountrySet {
+    sanctioned_all()
+}
+
+/// Draw the challenged-country set for a Cloudflare customer with
+/// country-scoped challenge rules: predominantly the high-abuse countries
+/// that Table 9 shows free-tier customers target (China, Russia, Ukraine…).
+pub fn draw_challenge_set<R: Rng>(rng: &mut R) -> CountrySet {
+    let mut set = CountrySet::new();
+    for info in registry() {
+        if info.abuse >= 0.40 && rng.gen_bool(info.abuse * 0.8) {
+            set.insert(info.code);
+        }
+    }
+    if set.is_empty() {
+        set.insert(cc("CN"));
+    }
+    set
+}
+
+/// Draw the blocked set for an origin-level (nginx/Varnish) blocker: IP
+/// blocklists aimed at abusive networks, ~15–25% of the world.
+pub fn draw_origin_blockset<R: Rng>(rng: &mut R) -> CountrySet {
+    let mut set = CountrySet::new();
+    // A fifth of origin blocklists are scorched-earth ("allow my country
+    // and a few neighbours"); the rest target abusive networks.
+    let frac: f64 = if rng.gen_bool(0.2) {
+        rng.gen_range(0.60..0.90)
+    } else {
+        rng.gen_range(0.08..0.30)
+    };
+    for info in registry() {
+        let p = if info.abuse >= 0.40 { frac.max(0.7) } else { frac };
+        if rng.gen_bool(p) {
+            set.insert(info.code);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_blockset_size(draw: impl Fn(&mut StdRng) -> CountrySet, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| draw(&mut rng).len() as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn cloudflare_blocksets_average_near_paper_rate() {
+        // Table 6: 248 instances / 43 domains ≈ 5.8 countries per blocker
+        // (of countries with vantage points; the draw includes KP).
+        let mean = mean_blockset_size(draw_cloudflare_blockset, 2000);
+        assert!((4.0..9.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn cloudfront_blocksets_are_much_broader() {
+        // Table 6: 167 / 5 ≈ 33 countries per blocker (the allowlist tail
+        // raises the mean above the market-segmentation mode).
+        let mean = mean_blockset_size(draw_cloudfront_blockset, 2000);
+        assert!((15.0..55.0).contains(&mean), "mean {mean}");
+        let cf = mean_blockset_size(draw_cloudflare_blockset, 2000);
+        assert!(mean > 2.0 * cf, "CloudFront ({mean}) should be far broader than Cloudflare ({cf})");
+    }
+
+    #[test]
+    fn ambiguous_blocksets_fall_in_between() {
+        // §5.2.2: 201 / 14 ≈ 14 countries per Akamai blocker.
+        let mean = mean_blockset_size(draw_ambiguous_cdn_blockset, 2000);
+        assert!((8.0..20.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn blocksets_are_never_empty() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            assert!(!draw_cloudflare_blockset(&mut rng).is_empty());
+            assert!(!draw_cloudfront_blockset(&mut rng).is_empty());
+            assert!(!draw_ambiguous_cdn_blockset(&mut rng).is_empty());
+            assert!(!draw_challenge_set(&mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn sanctioned_countries_dominate_cloudflare_blocking() {
+        // Count how often each country appears across many drawn blocklists;
+        // the sanctioned four must out-rank everything except perhaps the
+        // worst abuse scores — the Table 5/6 country ordering.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..3000 {
+            for code in draw_cloudflare_blockset(&mut rng).iter() {
+                *counts.entry(code).or_insert(0u32) += 1;
+            }
+        }
+        let iran = counts[&cc("IR")];
+        let china = counts[&cc("CN")];
+        let france = *counts.get(&cc("FR")).unwrap_or(&0);
+        assert!(iran > france * 5, "IR {iran} vs FR {france}");
+        assert!(china > france * 3, "CN {china} vs FR {france}");
+    }
+
+    #[test]
+    fn challenge_sets_target_abuse_not_sanctions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cn = 0;
+        let mut ir = 0;
+        for _ in 0..2000 {
+            let s = draw_challenge_set(&mut rng);
+            if s.contains(cc("CN")) {
+                cn += 1;
+            }
+            if s.contains(cc("IR")) {
+                ir += 1;
+            }
+        }
+        assert!(cn > ir * 2, "CN {cn} vs IR {ir}");
+    }
+
+    #[test]
+    fn appengine_blockset_is_the_sanctions_list() {
+        let s = appengine_blockset();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(cc("KP")));
+    }
+}

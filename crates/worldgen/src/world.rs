@@ -1,0 +1,83 @@
+//! The assembled synthetic world.
+
+use serde::{Deserialize, Serialize};
+
+use crate::citizenlab::CitizenLabList;
+use crate::country::{luminati_countries, CountryCode};
+use crate::domains::AlexaPopulation;
+
+/// Scale and seed configuration for a world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; every stochastic draw in the world derives from it.
+    pub seed: u64,
+    /// Size of the Alexa-style population (1,000,000 at full scale).
+    pub population_size: u32,
+    /// How deep the Citizen-Lab membership scan goes (40,000 at full scale).
+    pub citizenlab_scan: u32,
+}
+
+impl WorldConfig {
+    /// Full paper-scale configuration.
+    pub fn paper(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            population_size: 1_000_000,
+            citizenlab_scan: 40_000,
+        }
+    }
+
+    /// A reduced world for fast tests: 20k domains, shallow scans.
+    pub fn tiny(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            population_size: 20_000,
+            citizenlab_scan: 2_000,
+        }
+    }
+}
+
+/// A fully-specified synthetic world: the domain population plus the
+/// curated lists derived from it. CDN edges, proxies, and corpora are
+/// built *on top of* a world by the netsim / proxynet / ooni modules.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The configuration the world was built from.
+    pub config: WorldConfig,
+    /// The Alexa-style population.
+    pub population: AlexaPopulation,
+    /// The Citizen Lab test list.
+    pub citizenlab: CitizenLabList,
+}
+
+impl World {
+    /// Build a world from `config`.
+    pub fn build(config: WorldConfig) -> World {
+        let population = AlexaPopulation::new(config.seed, config.population_size);
+        let citizenlab = CitizenLabList::generate(config.seed, &population, config.citizenlab_scan);
+        World {
+            config,
+            population,
+            citizenlab,
+        }
+    }
+
+    /// The measurable countries (those with Luminati vantage points).
+    pub fn countries(&self) -> Vec<CountryCode> {
+        luminati_countries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_world_builds_quickly_and_deterministically() {
+        let a = World::build(WorldConfig::tiny(7));
+        let b = World::build(WorldConfig::tiny(7));
+        assert_eq!(a.population.spec(55).name, b.population.spec(55).name);
+        assert_eq!(a.citizenlab.domains, b.citizenlab.domains);
+        assert_eq!(a.countries().len(), 177);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the world generator: CountrySet vs a model,
+//! population determinism and invertibility, policy sanity.
+
+use std::collections::BTreeSet;
+
+use geoblock_worldgen::country::{registry, CountryCode, CountrySet};
+use geoblock_worldgen::{AlexaPopulation, Band};
+use proptest::prelude::*;
+
+fn code_strategy() -> impl Strategy<Value = CountryCode> {
+    proptest::sample::select(registry().iter().map(|c| c.code).collect::<Vec<_>>())
+}
+
+proptest! {
+    #[test]
+    fn country_set_matches_btreeset_model(
+        ops in proptest::collection::vec((code_strategy(), any::<bool>()), 0..40),
+    ) {
+        let mut set = CountrySet::new();
+        let mut model: BTreeSet<CountryCode> = BTreeSet::new();
+        for (code, insert) in ops {
+            if insert {
+                set.insert(code);
+                model.insert(code);
+            } else {
+                set.remove(code);
+                model.remove(&code);
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        // Iteration order and membership agree with the model.
+        let from_set: Vec<CountryCode> = set.iter().collect();
+        let from_model: Vec<CountryCode> = model.iter().copied().collect();
+        prop_assert_eq!(from_set, from_model);
+        for info in registry() {
+            prop_assert_eq!(set.contains(info.code), model.contains(&info.code));
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(
+        a in proptest::collection::vec(code_strategy(), 0..12),
+        b in proptest::collection::vec(code_strategy(), 0..12),
+    ) {
+        let sa = CountrySet::from_codes(a);
+        let sb = CountrySet::from_codes(b);
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.union(&sa), sa);
+        prop_assert!(sa.union(&sb).len() <= sa.len() + sb.len());
+        prop_assert!(sa.union(&sb).len() >= sa.len().max(sb.len()));
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_invertible(seed in any::<u64>(), rank in 1u32..100_000) {
+        let pop = AlexaPopulation::new(seed, 100_000);
+        let a = pop.spec(rank);
+        let b = pop.spec(rank);
+        prop_assert_eq!(&a.name, &b.name);
+        prop_assert_eq!(a.category, b.category);
+        prop_assert_eq!(a.policy_seed, b.policy_seed);
+        prop_assert_eq!(&a.providers, &b.providers);
+        // Name → rank inversion.
+        prop_assert_eq!(pop.rank_of(&a.name), Some(rank));
+        prop_assert_eq!(Band::of(rank), if rank <= 10_000 { Band::Top10k } else { Band::Deep });
+    }
+
+    #[test]
+    fn policies_are_structurally_sane(seed in any::<u64>(), rank in 1u32..50_000) {
+        let pop = AlexaPopulation::new(seed, 50_000);
+        let spec = pop.spec(rank);
+        prop_assert!(spec.providers.len() <= 2, "{:?}", spec.providers);
+        prop_assert!((1_000..=64_000).contains(&spec.base_page_bytes));
+        // Geoblocking implies a CDN front or an origin block page.
+        if !spec.policy.geoblocked.is_empty() {
+            prop_assert!(!spec.providers.is_empty(), "{} blocks without a CDN", spec.name);
+        }
+        if spec.policy.origin_block_kind.is_some() {
+            prop_assert!(
+                !spec.policy.origin_blocked.is_empty() || spec.policy.crimea_only
+                    || spec.name.starts_with("airbnb."),
+                "{}: origin kind without blocked countries",
+                spec.name
+            );
+        }
+        // AppEngine sanctions only on AppEngine-hosted domains.
+        if spec.policy.appengine_sanctions {
+            prop_assert!(
+                spec.uses(geoblock_blockpages::Provider::AppEngine),
+                "{}",
+                spec.name
+            );
+        }
+    }
+}

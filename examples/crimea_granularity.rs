@@ -1,0 +1,77 @@
+//! The §4.2.2 anecdote, reproduced: `geniusdisplay.com` serves an nginx
+//! block page across Russia, but Google AppEngine's sanctions page appears
+//! only when the Ukrainian exit node happens to sit in Crimea. This example
+//! runs the §7.3-style *regional* analysis: attribute every probe to its
+//! exit address and test whether blocking concentrates in a sub-country
+//! address range.
+//!
+//! ```text
+//! cargo run --release --example crimea_granularity
+//! ```
+
+use std::sync::Arc;
+
+use geoblock::core::regional::probe_regional;
+use geoblock::netsim::geoip;
+use geoblock::prelude::*;
+
+#[tokio::main]
+async fn main() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let luminati = LuminatiNetwork::new(internet.clone());
+
+    let echo: Url = format!("http://{}/", geoblock::proxynet::LUMTEST_HOST)
+        .parse()
+        .expect("valid echo url");
+
+    // geniusdisplay.com: AppEngine sanctions enforcement, observable only
+    // from Crimean exits within Ukraine.
+    println!("probing geniusdisplay.com from 400 Ukrainian exits...\n");
+    let report = probe_regional(&luminati, &echo, "geniusdisplay.com", cc("UA"), 400).await;
+
+    let in_crimea = |ip: &str| {
+        geoip::locate(ip)
+            .map(|a| a.region == Some(geoblock::netsim::Region::Crimea))
+            .unwrap_or(false)
+    };
+    let (crimea_rate, elsewhere_rate) = report.split_rates(in_crimea);
+    let crimean_exits = report
+        .observations
+        .iter()
+        .filter(|o| in_crimea(&o.exit_ip))
+        .count();
+
+    println!("  observations: {}", report.observations.len());
+    println!("  exits located in Crimea: {crimean_exits}");
+    println!("  block rate from Crimean exits:    {:.0}%", 100.0 * crimea_rate);
+    println!("  block rate from the rest of UA:   {:.0}%", 100.0 * elsewhere_rate);
+    println!(
+        "  country-wide rate (what a country-granular study sees): {:.1}%",
+        100.0 * report.block_rate()
+    );
+    println!(
+        "\n  region-granular blocking detected: {}",
+        report.is_region_granular(in_crimea)
+    );
+
+    // For contrast: the same analysis on a country-wide geoblocker shows a
+    // uniform block rate across all exits. (Skip candidates whose China
+    // path is dark — consistent timeouts are their own phenomenon, §7.3.)
+    let candidates = (1..=world.config.population_size)
+        .map(|r| world.population.spec(r))
+        .filter(|s| s.policy.geoblocked.contains(cc("CN")) && !s.filtered_out())
+        .take(6);
+    for blocker in candidates {
+        let report = probe_regional(&luminati, &echo, &blocker.name, cc("CN"), 120).await;
+        if report.observations.len() < 30 {
+            continue;
+        }
+        println!("\ncontrast: {} (blocks all of China)...", blocker.name);
+        println!(
+            "  block rate across Chinese exits: {:.0}% (uniform, as expected)",
+            100.0 * report.block_rate()
+        );
+        break;
+    }
+}

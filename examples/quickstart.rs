@@ -1,0 +1,74 @@
+//! Quickstart: stand up a small simulated Internet, probe one domain from
+//! several countries through the residential proxy network, and classify
+//! what comes back.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use geoblock::prelude::*;
+
+#[tokio::main]
+async fn main() {
+    // A deterministic world: domains, CDN assignments, and ground-truth
+    // geoblocking policies all derive from the seed.
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let luminati = LuminatiNetwork::new(internet);
+    let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
+
+    // Find a domain that actually geoblocks, so the demo shows something.
+    let domain = (1..=world.config.population_size)
+        .map(|r| world.population.spec(r))
+        .find(|s| !s.policy.geoblocked.is_empty() && !s.filtered_out())
+        .map(|s| s.name)
+        .expect("the tiny world contains geoblockers");
+    println!("probing {domain} from five countries...\n");
+
+    let countries = ["US", "DE", "IR", "SY", "CN"];
+    let targets: Vec<ProbeTarget> = countries
+        .iter()
+        .map(|c| ProbeTarget::http(&domain, cc(c)))
+        .collect();
+
+    let fingerprints = FingerprintSet::paper();
+    for result in engine.probe_all(&targets).await {
+        let country = result.target.country;
+        match &result.outcome {
+            Err(e) => println!("  {country}: error — {e}"),
+            Ok(chain) => {
+                let resp = chain.final_response();
+                match fingerprints.classify(resp) {
+                    Some(outcome) => println!(
+                        "  {country}: {} — {} block page ({} bytes)",
+                        resp.status,
+                        outcome.kind,
+                        resp.body.len()
+                    ),
+                    None => println!(
+                        "  {country}: {} — ordinary page ({} bytes, {} redirects)",
+                        resp.status,
+                        resp.body.len(),
+                        chain.redirect_count()
+                    ),
+                }
+            }
+        }
+    }
+
+    println!("\nground truth for {domain}:");
+    let spec = world.population.spec_of(&domain).expect("known domain");
+    let blocked: Vec<String> = spec
+        .policy
+        .geoblocked
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    println!(
+        "  providers: {:?}\n  blocks: {}",
+        spec.providers,
+        blocked.join(", ")
+    );
+}

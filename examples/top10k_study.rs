@@ -1,0 +1,74 @@
+//! A miniature §4-style study: safety-filter a top list, probe it from a
+//! country panel, confirm flagged pairs with 20 extra samples, and print
+//! the Table 5/6-style result.
+//!
+//! ```text
+//! cargo run --release --example top10k_study
+//! ```
+
+use std::sync::Arc;
+
+use geoblock::analysis::tables;
+use geoblock::prelude::*;
+
+#[tokio::main]
+async fn main() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet.clone()),
+        LumscanConfig::default(),
+    ));
+
+    // The study's safety filter: drop risky categories and Citizen-Lab
+    // domains, exactly as §4.1.1 does.
+    let fg = Fortiguard::new(&world);
+    let domains: Vec<String> = fg.safe_toplist(1_200);
+    println!(
+        "test list: {} safe domains of the top 1,200 ({} filtered)",
+        domains.len(),
+        1_200 - domains.len()
+    );
+
+    // A 14-country panel: the sanctioned four, high-abuse countries, and
+    // controls.
+    let panel: Vec<CountryCode> = [
+        "IR", "SY", "SD", "CU", "CN", "RU", "UA", "NG", "BR", "IN", "US", "DE", "JP", "FR",
+    ]
+    .iter()
+    .map(|c| cc(c))
+    .collect();
+    let rep = panel[..6].to_vec();
+
+    let study = Top10kStudy::new(engine, StudyConfig::new(panel, rep));
+    println!("baseline: 3 samples x {} pairs...", domains.len() * 14);
+    let mut result = study.baseline(&domains).await;
+
+    // Days pass; then the confirmation resample.
+    internet.clock().advance_days(3);
+    let flagged = study.confirm_explicit(&mut result).await;
+    println!("flagged {} pairs for 20-sample confirmation", flagged);
+
+    let verdicts = result.verdicts(&ConfirmConfig::default());
+    println!("\nconfirmed geoblocking instances: {}", verdicts.len());
+    for v in verdicts.iter().take(12) {
+        println!(
+            "  {:28} blocked in {} via {} ({}/{} samples)",
+            v.domain,
+            v.country,
+            v.kind,
+            v.block_count,
+            v.total
+        );
+    }
+    if verdicts.len() > 12 {
+        println!("  ... and {} more", verdicts.len() - 12);
+    }
+
+    println!();
+    println!("{}", tables::table5(&verdicts).render());
+    println!(
+        "{}",
+        tables::table_country_provider("Geoblocking by country x CDN", &verdicts).render()
+    );
+}

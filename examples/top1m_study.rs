@@ -1,0 +1,91 @@
+//! A miniature §5-style study: identify CDN customers by probing headers,
+//! the Akamai `Pragma` poke, and the AppEngine netblock walk; then probe a
+//! sample of the customers and separate explicit geoblockers from
+//! bot-detection noise with the consistency score.
+//!
+//! ```text
+//! cargo run --release --example top1m_study
+//! ```
+
+use std::sync::Arc;
+
+use geoblock::core::consistency::{confirmed_geoblockers, consistency_scores};
+use geoblock::core::population::{identify_populations, PopulationProbe};
+use geoblock::prelude::*;
+
+#[tokio::main]
+async fn main() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let dns = DnsDb::new(world.clone());
+
+    // --- §5.1.1: population identification from a US control box ---
+    let domains: Vec<String> = (1..=world.config.population_size)
+        .map(|r| world.population.spec(r).name)
+        .collect();
+    let vps = Arc::new(VpsTransport::new(internet.clone(), cc("US")));
+    let report = identify_populations(
+        vps,
+        &dns,
+        &domains,
+        &PopulationProbe {
+            country: cc("US"),
+            concurrency: 128,
+        },
+    )
+    .await;
+    println!("CDN populations in the {}-domain world:", domains.len());
+    for (provider, customers) in &report.by_provider {
+        println!("  {:12} {}", provider.to_string(), customers.len());
+    }
+    println!(
+        "  unique: {}, dual-service: {}",
+        report.total_unique(),
+        report.dual.len()
+    );
+
+    // --- §5.1.2: safety filter + sample ---
+    let fg = Fortiguard::new(&world);
+    let mut customers: Vec<String> = report.by_provider.values().flatten().cloned().collect();
+    customers.sort();
+    customers.dedup();
+    let sample = fg.filter_and_sample(&customers, 0.25, 7);
+    println!("\nprobing a {}-domain sample from 10 countries...", sample.len());
+
+    let panel: Vec<CountryCode> = ["IR", "SY", "SD", "CU", "CN", "RU", "US", "DE", "JP", "BR"]
+        .iter()
+        .map(|c| cc(c))
+        .collect();
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet.clone()),
+        LumscanConfig::default(),
+    ));
+    let study = Top1mStudy::new(engine, StudyConfig::new(panel.clone(), panel[..4].to_vec()));
+    let mut result = study.baseline(&sample).await;
+    study.confirm_explicit(&mut result).await;
+    study
+        .confirm_ambiguous(&mut result, &[PageKind::Akamai, PageKind::Incapsula])
+        .await;
+
+    let verdicts = result.verdicts(&ConfirmConfig::default());
+    println!("explicit geoblocking instances: {}", verdicts.len());
+
+    // --- §5.2.2: the consistency analysis for ambiguous blockers ---
+    for kind in [PageKind::Akamai, PageKind::Incapsula] {
+        let reports = consistency_scores(&result.store, kind);
+        let confirmed = confirmed_geoblockers(&reports);
+        println!(
+            "\n{kind}: {} domains showed the block page; {} pass the 100%-consistency rule",
+            reports.len(),
+            confirmed.len()
+        );
+        for r in confirmed.iter().take(5) {
+            let countries: Vec<String> = r
+                .consistent_countries
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            println!("  {} blocks {}", r.domain, countries.join(", "));
+        }
+    }
+}

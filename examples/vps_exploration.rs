@@ -1,0 +1,74 @@
+//! The §3 exploration: identify Akamai/Cloudflare customers via NS
+//! delegation, sweep them from VPSes with a ZGrab-style (User-Agent-only)
+//! client, then verify flagged blocks "in a browser" — a refetch with a
+//! complete header set that makes bot-detection false positives vanish.
+//!
+//! ```text
+//! cargo run --release --example vps_exploration
+//! ```
+
+use std::sync::Arc;
+
+use geoblock::core::exploration::{sweep, verify_in_browser};
+use geoblock::core::population::identify_by_ns;
+use geoblock::prelude::*;
+
+#[tokio::main]
+async fn main() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let dns = DnsDb::new(world.clone());
+
+    // NS-based identification (§3.1): exposes only a fraction of each
+    // CDN's customers, biased toward enterprise zones.
+    let all: Vec<String> = (1..=world.config.population_size)
+        .map(|r| world.population.spec(r).name)
+        .collect();
+    let (cloudflare, akamai) = identify_by_ns(&dns, &all);
+    println!(
+        "NS-identified customers: {} Cloudflare, {} Akamai",
+        cloudflare.len(),
+        akamai.len()
+    );
+    let targets: Vec<String> = cloudflare.iter().chain(&akamai).cloned().collect();
+
+    // Sweep from an Iranian and a US VPS with the crawler profile. At
+    // exploration time only the Akamai and Cloudflare pages were known.
+    let known = [PageKind::Akamai, PageKind::Cloudflare];
+    let mut flagged = Vec::new();
+    for country in ["IR", "US", "TR", "RU"] {
+        let vps = Arc::new(VpsTransport::new(internet.clone(), cc(country)));
+        let result = sweep(
+            vps,
+            cc(country),
+            &targets,
+            HeaderProfile::ZgrabUserAgentOnly,
+            &known,
+            64,
+        )
+        .await;
+        println!(
+            "  {country}: {} responses, {} HTTP 403s, {} recognisable block pages",
+            result.responses.get(&cc(country)).copied().unwrap_or(0),
+            result.status_403.get(&cc(country)).copied().unwrap_or(0),
+            result.flagged.len()
+        );
+        flagged.extend(result.flagged);
+    }
+
+    // "Manual" verification: a real browser header set, three attempts.
+    let verification = verify_in_browser(
+        |country| Arc::new(VpsTransport::new(internet.clone(), country)),
+        &flagged,
+    )
+    .await;
+    println!(
+        "\nverification: {} genuine geoblocks, {} crawler false positives ({:.0}%)",
+        verification.genuine.len(),
+        verification.false_positives.len(),
+        100.0 * verification.fp_rate()
+    );
+    for (provider, count) in verification.fp_by_provider() {
+        println!("  false positives from {provider}: {count} (the paper: all from Akamai)");
+    }
+}

@@ -1,0 +1,355 @@
+//! `geoblock` — a command-line front end to the library.
+//!
+//! ```text
+//! geoblock fingerprints [--json]             list (or dump) the block-page signatures
+//! geoblock classify <file.html>             classify a saved page body
+//! geoblock world [--seed N] [--size N] <domain>
+//!                                            ground-truth lookup in a simulated world
+//! geoblock dns [--seed N] [--size N] <name>  query the simulated DNS (NS/A/TXT)
+//! geoblock probe [--seed N] [--size N] --from CC[,CC…] <domain>
+//!                                            probe a domain through the proxy stack
+//! geoblock study [--seed N] [--size N] --top N --out FILE
+//!                                            run a miniature §4 study; write JSON + CSV
+//! geoblock diff <before.json> <after.json>   compare two exported studies
+//! ```
+//!
+//! `classify` works on real saved HTTP bodies too — the fingerprints are
+//! the paper's, not simulation artefacts.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use geoblock::prelude::*;
+
+struct Args {
+    seed: u64,
+    size: u32,
+    top: u32,
+    from: Vec<CountryCode>,
+    out: Option<String>,
+    json: bool,
+    positional: Vec<String>,
+}
+
+fn parse_args(mut argv: Vec<String>) -> Result<(String, Args), String> {
+    if argv.is_empty() {
+        return Err("missing subcommand".into());
+    }
+    let command = argv.remove(0);
+    let mut args = Args {
+        seed: 42,
+        size: 20_000,
+        top: 800,
+        from: vec![cc("IR"), cc("SY"), cc("CN"), cc("RU"), cc("US"), cc("DE")],
+        out: None,
+        json: false,
+        positional: Vec::new(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--size" => {
+                args.size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--size needs a number")?;
+            }
+            "--top" => {
+                args.top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--top needs a number")?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--json" => args.json = true,
+            "--from" => {
+                let list = it.next().ok_or("--from needs countries")?;
+                args.from = list
+                    .split(',')
+                    .map(|c| {
+                        if c.len() == 2 {
+                            Ok(cc(c))
+                        } else {
+                            Err(format!("bad country code {c:?}"))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok((command, args))
+}
+
+fn main() -> ExitCode {
+    // Die quietly when piped into `head` instead of panicking on EPIPE.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, args) = match parse_args(argv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n\nusage: geoblock <fingerprints|classify|world|dns|probe> …");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "fingerprints" => fingerprints(&args),
+        "classify" => classify(&args),
+        "world" => world_info(&args),
+        "dns" => dns(&args),
+        "probe" => probe(&args),
+        "study" => study(&args),
+        "diff" => diff(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fingerprints(args: &Args) -> Result<(), String> {
+    let set = FingerprintSet::paper();
+    if args.json {
+        println!("{}", set.to_json());
+        return Ok(());
+    }
+    println!("{:<22} {:<18} {:<10} signature", "page", "class", "provider");
+    for fp in set.iter() {
+        println!(
+            "{:<22} {:<18} {:<10} {}",
+            fp.kind.label(),
+            format!("{:?}", fp.kind.class()),
+            fp.kind.provider().name(),
+            fp.all_of.join("  +  ")
+        );
+    }
+    Ok(())
+}
+
+fn classify(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("classify needs a file path (or - for stdin)")?;
+    let body = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    match FingerprintSet::paper().classify_text(&body) {
+        Some(outcome) => {
+            println!(
+                "match: {} ({:?}, served by {})",
+                outcome.kind,
+                outcome.kind.class(),
+                outcome.kind.provider()
+            );
+        }
+        None => println!("no known block-page fingerprint matches"),
+    }
+    Ok(())
+}
+
+fn build_world(args: &Args) -> Arc<World> {
+    Arc::new(World::build(WorldConfig {
+        seed: args.seed,
+        population_size: args.size,
+        citizenlab_scan: (args.size / 10).max(500),
+    }))
+}
+
+fn world_info(args: &Args) -> Result<(), String> {
+    let world = build_world(args);
+    let domain = args.positional.first().ok_or("world needs a domain")?;
+    let spec = world
+        .population
+        .spec_of(domain)
+        .ok_or_else(|| format!("{domain} is not in this world (seed {}, size {})", args.seed, args.size))?;
+    println!("domain:    {}", spec.name);
+    println!("rank:      {}", spec.rank);
+    println!("category:  {}", spec.category);
+    println!("providers: {:?}", spec.providers);
+    if let Some(tier) = spec.cf_tier {
+        println!("cf tier:   {}", tier.label());
+    }
+    println!("page size: {} bytes", spec.base_page_bytes);
+    println!("citizenlab: {}", spec.on_citizenlab);
+    let blocked: Vec<String> = spec.policy.geoblocked.iter().map(|c| c.to_string()).collect();
+    println!(
+        "geoblocks: {}",
+        if blocked.is_empty() { "-".to_string() } else { blocked.join(",") }
+    );
+    if spec.policy.appengine_sanctions {
+        println!("appengine sanctions enforcement: yes");
+    }
+    if spec.policy.bot_sensitive {
+        println!("bot-sensitive anti-abuse layer: yes");
+    }
+    Ok(())
+}
+
+fn dns(args: &Args) -> Result<(), String> {
+    use geoblock::netsim::{DnsDb, RrType};
+    let world = build_world(args);
+    let db = DnsDb::new(world);
+    let name = args.positional.first().ok_or("dns needs a name")?;
+    for rrtype in [RrType::A, RrType::Ns, RrType::Txt] {
+        for record in db.query(name, rrtype) {
+            println!("{:<40} {:<4} {}", record.name, format!("{rrtype:?}").to_uppercase(), record.data);
+        }
+    }
+    Ok(())
+}
+
+fn study(args: &Args) -> Result<(), String> {
+    use geoblock::analysis::export::{verdicts_csv, StudyExport};
+    use geoblock::analysis::tables;
+
+    let world = build_world(args);
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet.clone()),
+        LumscanConfig::default(),
+    ));
+    let fg = Fortiguard::new(&world);
+    let domains = fg.safe_toplist(args.top);
+    eprintln!(
+        "study: {} safe domains x {} countries, seed {}",
+        domains.len(),
+        args.from.len(),
+        args.seed
+    );
+    let rep = args.from.clone();
+    let study = Top10kStudy::new(engine, StudyConfig::new(args.from.clone(), rep));
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut result = runtime.block_on(study.baseline(&domains));
+    internet.clock().advance_days(3);
+    runtime.block_on(study.confirm_explicit(&mut result));
+    let verdicts = result.verdicts(&ConfirmConfig::default());
+
+    println!("{}", tables::table5(&verdicts).render());
+    println!(
+        "{}",
+        tables::table_country_provider("Geoblocking by country x CDN", &verdicts).render()
+    );
+
+    if let Some(path) = &args.out {
+        let export = StudyExport::new(args.seed, result.store, verdicts.clone());
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        export
+            .write_json(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        let csv_path = format!("{path}.csv");
+        std::fs::write(&csv_path, verdicts_csv(&verdicts)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path} and {csv_path}");
+    }
+    Ok(())
+}
+
+fn diff(args: &Args) -> Result<(), String> {
+    use geoblock::analysis::export::StudyExport;
+    use geoblock::core::diffing::diff_studies;
+
+    let [before_path, after_path] = args.positional.as_slice() else {
+        return Err("diff needs two exported study files".into());
+    };
+    let load = |path: &str| -> Result<StudyExport, String> {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        StudyExport::read_json(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+    };
+    let before = load(before_path)?;
+    let after = load(after_path)?;
+    let diff = diff_studies(&before.verdicts, &after.verdicts);
+
+    println!(
+        "stable pairs: {}   newly blocked: {}   unblocked: {}",
+        diff.stable_pairs,
+        diff.newly_blocked_pairs(),
+        diff.unblocked_pairs()
+    );
+    for delta in &diff.deltas {
+        let added: Vec<String> = delta.newly_blocked.iter().map(|c| c.to_string()).collect();
+        let removed: Vec<String> = delta.unblocked.iter().map(|c| c.to_string()).collect();
+        let tag = if delta.is_full_retreat() {
+            " [full retreat]"
+        } else if delta.provider_changed() {
+            " [provider changed]"
+        } else {
+            ""
+        };
+        println!(
+            "{}: +[{}] -[{}]{tag}",
+            delta.domain,
+            added.join(","),
+            removed.join(",")
+        );
+    }
+    Ok(())
+}
+
+fn probe(args: &Args) -> Result<(), String> {
+    let domain = args.positional.first().ok_or("probe needs a domain")?.clone();
+    let world = build_world(args);
+    let internet = Arc::new(SimInternet::new(world));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet),
+        LumscanConfig::default(),
+    ));
+    let targets: Vec<ProbeTarget> = args
+        .from
+        .iter()
+        .map(|c| ProbeTarget::http(&domain, *c))
+        .collect();
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| e.to_string())?;
+    let fingerprints = FingerprintSet::paper();
+    let results = runtime.block_on(engine.probe_all(&targets));
+    for result in results {
+        let country = result.target.country;
+        match &result.outcome {
+            Err(e) => println!("{country}: error — {e}"),
+            Ok(chain) => {
+                let resp = chain.final_response();
+                match fingerprints.classify(resp) {
+                    Some(m) => println!(
+                        "{country}: {} — {} block page",
+                        resp.status, m.kind
+                    ),
+                    None => println!(
+                        "{country}: {} — {} bytes, {} redirects",
+                        resp.status,
+                        resp.body.len(),
+                        chain.redirect_count()
+                    ),
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! # geoblock
+//!
+//! A full reproduction of *"403 Forbidden: A Global View of CDN
+//! Geoblocking"* (McDonald et al., IMC 2018) as a Rust library: the
+//! block-page fingerprinting and discovery pipeline, the Lumscan probing
+//! engine, and — because real vantage points are not available — a
+//! deterministic simulated Internet (CDN edges, DNS, GeoIP, censorship)
+//! and a Luminati-style residential proxy network to measure.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`http`] | `geoblock-http` | HTTP model types |
+//! | [`blockpages`] | `geoblock-blockpages` | block-page templates + fingerprints |
+//! | [`textmine`] | `geoblock-textmine` | TF-IDF + single-link clustering |
+//! | [`lumscan`] | `geoblock-lumscan` | the probing engine |
+//! | [`worldgen`] | `geoblock-worldgen` | the synthetic world |
+//! | [`netsim`] | `geoblock-netsim` | the simulated Internet |
+//! | [`proxynet`] | `geoblock-proxynet` | the residential proxy network |
+//! | [`core`] | `geoblock-core` | the measurement pipeline |
+//! | [`analysis`] | `geoblock-analysis` | tables, figures, statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use geoblock::prelude::*;
+//!
+//! # #[tokio::main(flavor = "current_thread")]
+//! # async fn main() {
+//! // A small world, its Internet, and a proxy network to measure through.
+//! let world = Arc::new(World::build(WorldConfig::tiny(42)));
+//! let internet = Arc::new(SimInternet::new(world.clone()));
+//! let luminati = LuminatiNetwork::new(internet);
+//! let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
+//!
+//! // Probe one domain from two countries.
+//! let domain = world.population.spec(5).name.clone();
+//! let targets = vec![
+//!     ProbeTarget::http(&domain, cc("US")),
+//!     ProbeTarget::http(&domain, cc("IR")),
+//! ];
+//! let results = engine.probe_all(&targets).await;
+//! assert_eq!(results.len(), 2);
+//! # }
+//! ```
+
+pub use geoblock_analysis as analysis;
+pub use geoblock_blockpages as blockpages;
+pub use geoblock_core as core;
+pub use geoblock_http as http;
+pub use geoblock_lumscan as lumscan;
+pub use geoblock_netsim as netsim;
+pub use geoblock_proxynet as proxynet;
+pub use geoblock_textmine as textmine;
+pub use geoblock_worldgen as worldgen;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use geoblock_analysis::{Fortiguard, TextTable};
+    pub use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
+    pub use geoblock_core::{
+        ConfirmConfig, GeoblockVerdict, Obs, SampleStore, StudyConfig, StudyResult,
+        Top10kStudy, Top1mStudy,
+    };
+    pub use geoblock_http::{
+        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, StatusCode, Url,
+    };
+    pub use geoblock_lumscan::{Lumscan, LumscanConfig, ProbeTarget, Transport};
+    pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
+    pub use geoblock_proxynet::{LuminatiConfig, LuminatiNetwork};
+    pub use geoblock_worldgen::{
+        cc, AlexaPopulation, Category, CfTier, CountryCode, CountrySet, RulesSnapshot, World,
+        WorldConfig,
+    };
+}

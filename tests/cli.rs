@@ -1,0 +1,116 @@
+//! Integration tests for the `geoblock` CLI binary.
+
+use std::process::{Command, Stdio};
+
+fn geoblock() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geoblock"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let output = geoblock()
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).to_string(),
+        String::from_utf8_lossy(&output.stderr).to_string(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn fingerprints_lists_all_fourteen() {
+    let (stdout, _, ok) = run(&["fingerprints"]);
+    assert!(ok);
+    for label in ["Cloudflare", "Akamai", "Airbnb", "Varnish", "nginx", "Distil Captcha"] {
+        assert!(stdout.contains(label), "missing {label}:\n{stdout}");
+    }
+    assert_eq!(stdout.lines().count(), 15); // header + 14
+}
+
+#[test]
+fn fingerprints_json_round_trips() {
+    let (stdout, _, ok) = run(&["fingerprints", "--json"]);
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(parsed.as_array().map(Vec::len), Some(14));
+}
+
+#[test]
+fn classify_recognises_a_block_page_from_stdin() {
+    let mut child = geoblock()
+        .args(["classify", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    use std::io::Write;
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"Request unsuccessful. Incapsula incident ID: 443000190")
+        .expect("write");
+    let output = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Incapsula"), "{stdout}");
+}
+
+#[test]
+fn world_lookup_reports_ground_truth() {
+    let (stdout, _, ok) = run(&["world", "pbskids.com", "--size", "10000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Child Education"));
+    assert!(stdout.contains("geoblocks:"));
+    assert!(stdout.contains("IR"));
+}
+
+#[test]
+fn world_lookup_fails_cleanly_for_unknown_domains() {
+    let (_, stderr, ok) = run(&["world", "definitely-not-generated.example"]);
+    assert!(!ok);
+    assert!(stderr.contains("not in this world"), "{stderr}");
+}
+
+#[test]
+fn dns_walks_the_netblock_tree() {
+    let (stdout, _, ok) = run(&[
+        "dns",
+        "_cloud-netblocks1.googleusercontent.com",
+        "--size",
+        "5000",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("ip4:172."), "{stdout}");
+}
+
+#[test]
+fn unknown_subcommands_and_flags_error_out() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+    let (_, stderr, ok) = run(&["world", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn study_exports_and_diff_reads_back() {
+    let dir = std::env::temp_dir().join("geoblock-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = dir.join("study.json");
+    let out_str = out.to_str().expect("utf-8 path");
+
+    let (_, stderr, ok) = run(&[
+        "study", "--top", "150", "--size", "20000", "--from", "IR,SY,US", "--out", out_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(out.exists());
+    assert!(dir.join("study.json.csv").exists());
+
+    // Diffing a study against itself: no deltas, stable pairs preserved.
+    let (stdout, stderr, ok) = run(&["diff", out_str, out_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("newly blocked: 0"), "{stdout}");
+    assert!(stdout.contains("unblocked: 0"), "{stdout}");
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the discovery clustering (§4.1.3) and the
+//! ambiguous-blocker consistency analysis (§5.2.2) on a small world.
+
+use std::sync::Arc;
+
+use geoblock::core::consistency::{confirmed_geoblockers, consistency_scores};
+use geoblock::core::discovery::{discover, DiscoveryConfig};
+use geoblock::core::outliers::{extract_outliers, OutlierConfig};
+use geoblock::prelude::*;
+
+fn panel() -> Vec<CountryCode> {
+    ["IR", "SY", "SD", "CU", "CN", "RU", "US", "DE", "JP", "FR", "GB", "BR"]
+        .iter()
+        .map(|c| cc(c))
+        .collect()
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn discovery_finds_block_page_families_with_pure_clusters() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet),
+        LumscanConfig::default(),
+    ));
+    let fg = Fortiguard::new(&world);
+    let domains: Vec<String> = fg.safe_toplist(900);
+    let rep = panel()[..6].to_vec();
+    let study = Top10kStudy::new(engine, StudyConfig::new(panel(), rep.clone()));
+    let result = study.baseline(&domains).await;
+
+    let outliers = extract_outliers(
+        &result.store,
+        &OutlierConfig {
+            cutoff: 0.30,
+            rep_countries: rep,
+        },
+    );
+    assert!(
+        outliers.outlier_rate() > 0.01 && outliers.outlier_rate() < 0.15,
+        "outlier rate {}",
+        outliers.outlier_rate()
+    );
+
+    let report = discover(
+        &outliers.outliers,
+        &result.archive,
+        &FingerprintSet::paper(),
+        &DiscoveryConfig::default(),
+    );
+    assert!(report.corpus_size > 50, "corpus {}", report.corpus_size);
+    // Several distinct families must surface as labelled clusters…
+    let kinds = report.discovered_kinds();
+    assert!(kinds.len() >= 3, "kinds {kinds:?}");
+    // …and labelled clusters must be dominated by their label.
+    for cluster in report.clusters.iter().filter(|c| c.label.is_some()) {
+        if cluster.size >= 5 {
+            assert!(
+                cluster.purity >= 0.7,
+                "cluster {} ({:?}) purity {}",
+                cluster.id,
+                cluster.label,
+                cluster.purity
+            );
+        }
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn consistency_rule_separates_geoblockers_from_bot_noise() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet),
+        LumscanConfig::default(),
+    ));
+    // Probe the Akamai customers among the first 4,000 ranks.
+    let akamai_domains: Vec<String> = (1..=4_000)
+        .map(|r| world.population.spec(r))
+        .filter(|s| s.uses(Provider::Akamai) && !s.filtered_out())
+        .map(|s| s.name)
+        .collect();
+    assert!(akamai_domains.len() > 30, "{}", akamai_domains.len());
+
+    let rep = panel()[..4].to_vec();
+    let study = Top1mStudy::new(engine, StudyConfig::new(panel(), rep));
+    let mut result = study.baseline(&akamai_domains).await;
+    study
+        .confirm_ambiguous(&mut result, &[PageKind::Akamai])
+        .await;
+
+    let reports = consistency_scores(&result.store, PageKind::Akamai);
+    assert!(!reports.is_empty(), "no Akamai pages observed at all");
+    let confirmed = confirmed_geoblockers(&reports);
+
+    // Everything confirmed must be a true geoblocker with a matching set.
+    for r in &confirmed {
+        let spec = world.population.spec_of(&r.domain).expect("known");
+        assert!(
+            !spec.policy.geoblocked.is_empty(),
+            "{} confirmed but does not geoblock",
+            r.domain
+        );
+        for country in &r.consistent_countries {
+            assert!(
+                spec.policy.geoblocked.contains(*country),
+                "{} marked consistent in non-blocked {country}",
+                r.domain
+            );
+        }
+    }
+
+    // Pure bot-detection domains (sensitive, no geoblocking) must never be
+    // confirmed.
+    for r in &reports {
+        let spec = world.population.spec_of(&r.domain).expect("known");
+        if spec.policy.geoblocked.is_empty() {
+            assert!(
+                !r.is_confirmed_geoblocker(),
+                "bot-noise domain {} confirmed with score {}",
+                r.domain,
+                r.score
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests over the §6 and §7.1 datasets: the Cloudflare rules
+//! snapshot against Table 9's shape, and the OONI scan against §7.1's
+//! confound structure.
+
+use std::sync::Arc;
+
+use geoblock::analysis::ooni_scan;
+use geoblock::analysis::tables;
+use geoblock::prelude::*;
+use geoblock::worldgen::cloudflare_rules::day_number;
+use geoblock::worldgen::ooni::{self, OoniConfig};
+
+#[test]
+fn table9_shape_holds_at_scale() {
+    let snapshot = RulesSnapshot::generate(42, 0.1);
+
+    // Enterprise couples to OFAC: KP/IR/SY/SD far above Russia/China.
+    let ent = |c: &str| snapshot.rate(CfTier::Enterprise, cc(c));
+    assert!(ent("KP") > 3.0 * ent("RU"), "KP {} RU {}", ent("KP"), ent("RU"));
+    assert!(ent("IR") > 3.0 * ent("CN"));
+    // Free tier flips: abuse countries above sanctioned ones.
+    let free = |c: &str| snapshot.rate(CfTier::Free, cc(c));
+    assert!(free("CN") > 2.0 * free("SY"));
+    assert!(free("RU") > 2.0 * free("SD"));
+    // Baselines ordered: Enterprise ≫ Business ≈ Pro > Free.
+    assert!(snapshot.baseline_rate(CfTier::Enterprise) > 10.0 * snapshot.baseline_rate(CfTier::Business));
+    assert!(snapshot.baseline_rate(CfTier::Business) > snapshot.baseline_rate(CfTier::Free));
+
+    // The rendered table carries all 17 rows (16 + baseline).
+    let rendered = tables::table9(&snapshot).render();
+    assert_eq!(rendered.lines().count(), 3 + 17, "{rendered}");
+}
+
+#[test]
+fn figure5_sanctioned_countries_accumulate_together() {
+    let snapshot = RulesSnapshot::generate(42, 0.1);
+    let countries = [cc("KP"), cc("IR"), cc("SY"), cc("SD"), cc("CU")];
+    let fig = geoblock::analysis::figures::Figure5::new(&snapshot, &countries);
+    let snapshot_day = day_number(2018, 7, 15);
+    let midpoint = day_number(2017, 6, 1);
+
+    // All five sanctioned countries have substantial rule counts, with
+    // similar cumulative shape (midpoint fraction within a band).
+    for c in countries {
+        let total = fig.cumulative(c, snapshot_day);
+        assert!(total > 50, "{c}: {total}");
+        let mid_frac = fig.cumulative(c, midpoint) as f64 / total as f64;
+        assert!(
+            (0.10..0.60).contains(&mid_frac),
+            "{c}: midpoint fraction {mid_frac}"
+        );
+    }
+    // Non-Enterprise *block* rules never predate the April 2018 regression
+    // (challenge actions were always available to every tier).
+    for rule in &snapshot.rules {
+        if rule.tier != CfTier::Enterprise
+            && rule.action == geoblock::worldgen::RuleAction::Block
+            && countries.contains(&rule.country)
+        {
+            assert!(rule.activated_day >= day_number(2018, 4, 9));
+        }
+    }
+}
+
+#[test]
+fn ooni_scan_reproduces_the_confound_structure() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let corpus = ooni::generate(
+        42,
+        &world.population,
+        &world.citizenlab,
+        &OoniConfig {
+            measurements: 60_000,
+            ..OoniConfig::default()
+        },
+    );
+    let report = ooni_scan::scan(&corpus, &FingerprintSet::paper(), world.citizenlab.len());
+
+    // Geoblock fingerprints appear in the "censorship" corpus…
+    assert!(report.explicit_matches > 10, "{}", report.explicit_matches);
+    // …across a spread of countries…
+    assert!(report.countries.len() >= 5, "{}", report.countries.len());
+    // …from a single-digit share of test-list domains (§7.1: ≈9%).
+    let share = report.domain_share();
+    assert!((0.02..0.25).contains(&share), "share {share}");
+    // Control-side blocking dwarfs genuine local anomalies on CDN infra.
+    assert!(
+        report.control_403_cdn > report.local_blocked_control_ok,
+        "control {} vs local {}",
+        report.control_403_cdn,
+        report.local_blocked_control_ok
+    );
+
+    // Every matched domain truly geoblocks per ground truth (fingerprints
+    // never fire on censor or firewall pages).
+    for domain in &report.domains {
+        let spec = world.population.spec_of(domain);
+        assert!(
+            spec.map(|s| s.policy.geoblocks() || !s.policy.origin_blocked.is_empty())
+                .unwrap_or(false),
+            "{domain} matched but does not geoblock"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Longitudinal integration test: two study snapshots straddling the
+//! `makro.co.za` policy flip, compared with the diff tool.
+
+use std::sync::Arc;
+
+use geoblock::core::diffing::diff_studies;
+use geoblock::prelude::*;
+
+#[tokio::test(flavor = "multi_thread")]
+async fn diff_detects_the_makro_policy_flip() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let engine = Arc::new(Lumscan::new(
+        LuminatiNetwork::new(internet.clone()),
+        LumscanConfig::default(),
+    ));
+
+    // Probe makro.co.za plus a stable AppEngine blocker across the
+    // countries makro blocks (plus controls).
+    let makro = world.population.spec_of("makro.co.za").expect("special domain");
+    let mut countries: Vec<CountryCode> = makro.policy.geoblocked.iter().take(6).collect();
+    countries.extend([cc("IR"), cc("US")]);
+    // Several AppEngine enforcers as stable controls (any single one may
+    // be dark in Iran — censorship and broken pairs are part of the model).
+    let stable: Vec<String> = (1..=world.config.population_size)
+        .map(|r| world.population.spec(r))
+        .filter(|s| s.policy.appengine_sanctions && !s.filtered_out())
+        .map(|s| s.name)
+        .take(4)
+        .collect();
+    assert!(stable.len() >= 2, "tiny world lacks AppEngine enforcers");
+    let mut domains = vec!["makro.co.za".to_string()];
+    domains.extend(stable.iter().cloned());
+
+    let config = StudyConfig::new(countries.clone(), countries[..2].to_vec());
+    let study = Top10kStudy::new(engine.clone(), config.clone());
+
+    // Snapshot 1: during the baseline window (day 0), confirmed same-day.
+    let mut first = study.baseline(&domains).await;
+    study.confirm_explicit(&mut first).await;
+    let before = first.verdicts(&ConfirmConfig::default());
+    assert!(
+        before.iter().any(|v| v.domain == "makro.co.za"),
+        "makro must be blocking during the baseline window"
+    );
+    let stable_before = before
+        .iter()
+        .filter(|v| stable.contains(&v.domain))
+        .count();
+    assert!(stable_before >= 1, "no stable enforcer verdicts: {before:?}");
+
+    // Days pass; the operator drops the rules.
+    internet.clock().advance_days(3);
+
+    // Snapshot 2: a fresh study after the flip.
+    let mut second = study.baseline(&domains).await;
+    study.confirm_explicit(&mut second).await;
+    let after = second.verdicts(&ConfirmConfig::default());
+    assert!(
+        !after.iter().any(|v| v.domain == "makro.co.za"),
+        "makro must have retreated after the flip"
+    );
+
+    // The diff narrates exactly that.
+    let diff = diff_studies(&before, &after);
+    let retreats = diff.full_retreats();
+    assert_eq!(retreats.len(), 1, "{:?}", diff.deltas);
+    assert_eq!(retreats[0].domain, "makro.co.za");
+    assert!(retreats[0].unblocked.len() >= 2);
+    // The stable AppEngine enforcers keep their pairs; none fully retreat.
+    assert!(diff.stable_pairs >= 1, "{diff:?}");
+    assert!(diff
+        .full_retreats()
+        .iter()
+        .all(|d| !stable.contains(&d.domain)));
+}

@@ -1,0 +1,109 @@
+//! Integration test: the §5.1.1 CDN-population identification must recover
+//! the ground-truth provider assignments from headers, the Akamai Pragma
+//! poke, and the AppEngine netblock walk — with high precision and recall.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use geoblock::core::population::{
+    discover_appengine_netblocks, identify_by_ns, identify_populations, PopulationProbe,
+};
+use geoblock::prelude::*;
+
+#[tokio::test(flavor = "multi_thread")]
+async fn header_identification_matches_ground_truth() {
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let internet = Arc::new(SimInternet::new(world.clone()));
+    let dns = DnsDb::new(world.clone());
+    let domains: Vec<String> = (1..=4_000).map(|r| world.population.spec(r).name).collect();
+
+    let vps = Arc::new(VpsTransport::new(internet, cc("US")));
+    let report = identify_populations(
+        vps,
+        &dns,
+        &domains,
+        &PopulationProbe {
+            country: cc("US"),
+            concurrency: 256,
+        },
+    )
+    .await;
+
+    for provider in [
+        Provider::Cloudflare,
+        Provider::CloudFront,
+        Provider::Incapsula,
+        Provider::Akamai,
+        Provider::AppEngine,
+    ] {
+        let truth: BTreeSet<String> = domains
+            .iter()
+            .filter(|d| {
+                world
+                    .population
+                    .spec_of(d)
+                    .map(|s| s.providers.first() == Some(&provider) || s.uses(provider))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        let found: BTreeSet<String> = report.of(provider).iter().cloned().collect();
+
+        // Precision: everything found is truly a customer.
+        for d in &found {
+            assert!(truth.contains(d), "{provider}: false customer {d}");
+        }
+        // Recall: the probe misses only domains that never answered
+        // (dead sites, broken pairs). Allow a modest miss budget.
+        let missed = truth.difference(&found).count();
+        let recall = 1.0 - missed as f64 / truth.len().max(1) as f64;
+        assert!(
+            recall > 0.85,
+            "{provider}: recall {recall:.2} ({missed} of {} missed)",
+            truth.len()
+        );
+    }
+}
+
+#[test]
+fn appengine_netblock_walk_returns_sixty_five_blocks() {
+    let world = Arc::new(World::build(WorldConfig::tiny(7)));
+    let dns = DnsDb::new(world);
+    let blocks = discover_appengine_netblocks(&dns);
+    assert_eq!(blocks.len(), 65, "§5.1.1 found 65 netblocks");
+    assert!(blocks.iter().all(|b| b.ends_with("/16")));
+}
+
+#[test]
+fn ns_identification_is_a_biased_subset() {
+    // §3.1's DNS method exposes only a fraction of customers; everything it
+    // exposes must truly be a customer.
+    let world = Arc::new(World::build(WorldConfig::tiny(42)));
+    let dns = DnsDb::new(world.clone());
+    let domains: Vec<String> = (1..=8_000).map(|r| world.population.spec(r).name).collect();
+    let (cf, akamai) = identify_by_ns(&dns, &domains);
+
+    for d in &cf {
+        let spec = world.population.spec_of(d).expect("known");
+        assert!(spec.uses(Provider::Cloudflare), "{d} is not a CF customer");
+    }
+    for d in &akamai {
+        let spec = world.population.spec_of(d).expect("known");
+        assert!(spec.uses(Provider::Akamai), "{d} is not an Akamai customer");
+    }
+    let cf_total = domains
+        .iter()
+        .filter(|d| {
+            world
+                .population
+                .spec_of(d)
+                .map(|s| s.uses(Provider::Cloudflare))
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        cf.len() * 5 < cf_total,
+        "NS-visible CF ({}) should be a small fraction of {cf_total}",
+        cf.len()
+    );
+}
