@@ -9,7 +9,9 @@
 //! * `ablation_confirmation` — false negatives vs initial sample size
 //!   (the 3/20/80% design of §4.1.4);
 //! * `ablation_clustering` — 1-gram vs 1+2-gram features and the
-//!   single-link threshold sweep.
+//!   single-link threshold sweep;
+//! * `ablation_fault_hardening` — naive (no-retry) vs hardened probing
+//!   under the standard fault plan (§3.2's reliability machinery).
 //!
 //! Each bench `eprintln!`s its measured ablation result once during setup,
 //! so `cargo bench` output doubles as the ablation report.
@@ -23,7 +25,9 @@ use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
 use geoblock_core::exploration::sweep;
 use geoblock_core::outliers::is_outlier;
 use geoblock_http::{HeaderProfile, Url};
+use geoblock_lumscan::RetryPolicy;
 use geoblock_netsim::VpsTransport;
+use geoblock_proxynet::FaultPlan;
 use geoblock_textmine::{single_link, TfIdfVectorizer};
 use geoblock_worldgen::cc;
 
@@ -237,12 +241,56 @@ fn ablation_clustering(c: &mut Criterion) {
     g.finish();
 }
 
+/// Naive vs hardened probing under injected faults: what the retry /
+/// breaker / enforcement stack buys, and what it costs in attempts.
+fn ablation_fault_hardening(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let r = rt.block_on(h.reliability(FaultPlan::standard(7)));
+    eprintln!("\nablation_fault_hardening (standard fault plan, seed 7):");
+    eprintln!(
+        "  clean ceiling : {}/{} responded",
+        r.clean.responded, r.clean.total
+    );
+    eprintln!(
+        "  naive         : {}/{} responded ({} lost to faults)",
+        r.naive.responded,
+        r.naive.total,
+        r.naive_losses()
+    );
+    eprintln!(
+        "  hardened      : {}/{} responded, {:.1}% of losses recovered, {} retried probes, {} exits quarantined",
+        r.hardened.responded,
+        r.hardened.total,
+        100.0 * r.recovered_share(),
+        r.hardened.recovered,
+        r.hardened.quarantined_exits
+    );
+
+    let mut g = c.benchmark_group("ablation_fault_hardening");
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            rt.block_on(h.reliability_leg(FaultPlan::standard(7), RetryPolicy::none()))
+        })
+    });
+    g.bench_function("hardened", |b| {
+        b.iter(|| {
+            rt.block_on(
+                h.reliability_leg(FaultPlan::standard(7), RetryPolicy::with_max_retries(4)),
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     ablations,
     ablation_length_metric,
     ablation_cutoff_sweep,
     ablation_headers,
     ablation_confirmation,
-    ablation_clustering
+    ablation_clustering,
+    ablation_fault_hardening
 );
 criterion_main!(ablations);

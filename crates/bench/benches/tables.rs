@@ -39,7 +39,11 @@ fn bench_baseline(c: &mut Criterion) {
         b.iter(|| {
             let study = Top10kStudy::new(
                 h.engine.clone(),
-                StudyConfig::new(countries.clone(), rep.clone()),
+                StudyConfig::builder()
+                    .countries(countries.clone())
+                    .rep_countries(rep.clone())
+                    .build()
+                    .expect("bench study config is valid"),
             );
             rt.block_on(study.baseline(&domains))
         })

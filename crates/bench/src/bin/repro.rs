@@ -22,6 +22,7 @@ use geoblock_bench::{Harness, Scale};
 use geoblock_blockpages::{FingerprintSet, PageKind, Provider};
 use geoblock_core::consistency::confirmed_geoblockers;
 use geoblock_core::population::PopulationReport;
+use geoblock_proxynet::FaultPlan;
 use geoblock_worldgen::cc;
 
 fn pct(x: f64) -> String {
@@ -47,6 +48,7 @@ async fn main() {
     let harness = Harness::new(scale);
 
     exploration(&harness).await;
+    reliability(&harness).await;
     let top10k = run_top10k(&harness).await;
     timeouts(&harness, &top10k);
     figures_1_to_4(&harness, &top10k).await;
@@ -94,6 +96,62 @@ async fn exploration(h: &Harness) {
                 format!(
                     "{} (all Akamai: {fp_all_akamai})",
                     pct(a.verification.fp_rate())
+                ),
+            ),
+        ],
+    );
+}
+
+async fn reliability(h: &Harness) {
+    section("§3.2 — Probing reliability under injected faults");
+    let r = h.reliability(FaultPlan::standard(h.scale.seed)).await;
+
+    let mut t = geoblock_analysis::TextTable::new(
+        "Reliability: one batch, three engines (standard fault plan)",
+        &["Engine", "Responded", "Attempts", "Retried", "Quarantined"],
+    );
+    for (name, stats) in [
+        ("clean ceiling", &r.clean),
+        ("naive (no retries)", &r.naive),
+        ("hardened", &r.hardened),
+    ] {
+        t.row(&[
+            name.to_string(),
+            format!("{}/{}", stats.responded, stats.total),
+            stats.attempts.to_string(),
+            stats.recovered.to_string(),
+            stats.quarantined_exits.to_string(),
+        ]);
+    }
+    table(&t);
+
+    let hist = &r.hardened.attempts_histogram;
+    let hist_str = hist
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("{}×{}", i + 1, n))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let faults = r
+        .hardened
+        .fault_counts
+        .iter()
+        .map(|(k, n)| format!("{k}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    comparison(
+        "§3.2",
+        &[
+            ("naive probes lost to faults", r.naive_losses().to_string()),
+            ("losses recovered by hardening", pct(r.recovered_share())),
+            ("hardened attempts histogram", hist_str),
+            ("absorbed faults by class", faults),
+            (
+                "injected (naive → hardened)",
+                format!(
+                    "{} → {}",
+                    r.naive_faults.faulted(),
+                    r.hardened_faults.faulted()
                 ),
             ),
         ],

@@ -14,9 +14,9 @@ use geoblock_core::population::{identify_by_ns, identify_populations, Population
 use geoblock_core::study::rank_blocking_countries;
 use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, Top10kStudy};
 use geoblock_http::HeaderProfile;
-use geoblock_lumscan::{Lumscan, LumscanConfig};
+use geoblock_lumscan::{BatchStats, Lumscan, LumscanConfig, RetryPolicy};
 use geoblock_netsim::{DnsDb, SimInternet, VpsTransport};
-use geoblock_proxynet::LuminatiNetwork;
+use geoblock_proxynet::{FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiNetwork};
 use geoblock_worldgen::country::vps_countries;
 use geoblock_worldgen::{
     cc, ooni, CountryCode, OoniConfig, OoniMeasurement, RulesSnapshot, World, WorldConfig,
@@ -149,6 +149,50 @@ pub struct Top1mArtifacts {
     pub coverage: CoverageStats,
 }
 
+/// The reliability ablation: one probe batch, three engines.
+///
+/// `clean` probes without faults (the ceiling), `naive` probes through the
+/// fault plan with retries disabled (what §3.2's machinery exists to
+/// prevent), `hardened` probes through the same plan with the full retry /
+/// breaker / geolocation-enforcement stack.
+pub struct ReliabilityArtifacts {
+    /// The injected fault plan.
+    pub plan: FaultPlan,
+    /// No faults, no retries — the achievable ceiling.
+    pub clean: BatchStats,
+    /// Faults on, retries off.
+    pub naive: BatchStats,
+    /// Faults on, full retry stack.
+    pub hardened: BatchStats,
+    /// What the fault layer injected during the naive run.
+    pub naive_faults: FaultStatsSnapshot,
+    /// What the fault layer injected during the hardened run (higher —
+    /// retries draw more requests through the same weather).
+    pub hardened_faults: FaultStatsSnapshot,
+}
+
+impl ReliabilityArtifacts {
+    /// Probes the faults cost the naive engine (vs the clean ceiling).
+    pub fn naive_losses(&self) -> usize {
+        self.clean.responded.saturating_sub(self.naive.responded)
+    }
+
+    /// Share of the naive losses the hardened engine won back, in [0, 1].
+    /// The acceptance bar for this reproduction is ≥ 0.95.
+    pub fn recovered_share(&self) -> f64 {
+        let lost = self.naive_losses();
+        if lost == 0 {
+            return 1.0;
+        }
+        let won_back = self
+            .hardened
+            .responded
+            .saturating_sub(self.naive.responded)
+            .min(lost);
+        won_back as f64 / lost as f64
+    }
+}
+
 /// §3 exploration artefacts.
 pub struct ExplorationArtifacts {
     /// NS-identified Cloudflare customers.
@@ -185,7 +229,10 @@ impl Harness {
         }));
         let internet = Arc::new(SimInternet::new(world.clone()));
         let luminati = LuminatiNetwork::new(internet.clone());
-        let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
+        let config = LumscanConfig::builder()
+            .build()
+            .expect("default engine config is valid");
+        let engine = Arc::new(Lumscan::new(luminati, config));
         let dns = Arc::new(DnsDb::new(world.clone()));
         Harness {
             scale,
@@ -236,7 +283,11 @@ impl Harness {
                 .await
         };
 
-        let config = StudyConfig::new(countries, rep_countries.clone());
+        let config = StudyConfig::builder()
+            .countries(countries)
+            .rep_countries(rep_countries.clone())
+            .build()
+            .expect("ranked rep countries come from the vantage panel");
         let study = Top10kStudy::new(self.engine.clone(), config);
         let mut result = study.baseline(&safe_domains).await;
 
@@ -286,10 +337,11 @@ impl Harness {
     ) -> (geoblock_core::SampleStore, Vec<(usize, usize)>) {
         let study = Top10kStudy::new(
             self.engine.clone(),
-            StudyConfig::new(
-                artifacts.result.store.countries.clone(),
-                artifacts.rep_countries.clone(),
-            ),
+            StudyConfig::builder()
+                .countries(artifacts.result.store.countries.clone())
+                .rep_countries(artifacts.rep_countries.clone())
+                .build()
+                .expect("store countries cover the rep panel"),
         );
         let pairs: Vec<(usize, usize)> = artifacts
             .verdicts
@@ -343,7 +395,11 @@ impl Harness {
         let sample = fg.filter_and_sample(&customers, self.scale.sample_frac, self.scale.seed);
 
         let countries = self.countries();
-        let config = StudyConfig::new(countries, self.countries().into_iter().take(6).collect());
+        let config = StudyConfig::builder()
+            .rep_countries(countries.iter().copied().take(6))
+            .countries(countries)
+            .build()
+            .expect("rep panel is a prefix of the vantage panel");
         let study = Top10kStudy::new(self.engine.clone(), config);
         let mut result = study.baseline(&sample).await;
         study.confirm_explicit(&mut result).await;
@@ -411,6 +467,62 @@ impl Harness {
         }
     }
 
+    /// One probe batch for the reliability ablation: a slice of the top
+    /// list across a handful of vantage countries.
+    fn reliability_targets(&self) -> Vec<geoblock_lumscan::ProbeTarget> {
+        let domains: Vec<String> = (1..=self.scale.top_n.min(200))
+            .map(|r| self.world.population.spec(r).name)
+            .collect();
+        let countries: Vec<CountryCode> = self.countries().into_iter().take(6).collect();
+        let mut targets = Vec::with_capacity(domains.len() * countries.len());
+        for domain in &domains {
+            for country in &countries {
+                targets.push(geoblock_lumscan::ProbeTarget::http(domain, *country));
+            }
+        }
+        targets
+    }
+
+    /// Run one leg of the reliability ablation: the batch through a fresh
+    /// Luminati network wrapped in `plan`, probed under `policy`.
+    pub async fn reliability_leg(
+        &self,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> (BatchStats, FaultStatsSnapshot) {
+        let luminati = LuminatiNetwork::new(self.internet.clone());
+        let faulty = FaultyTransport::new(luminati, plan);
+        let config = LumscanConfig::builder()
+            .retry(policy)
+            .build()
+            .expect("ablation config is valid");
+        let engine = Arc::new(Lumscan::new(faulty, config));
+        let results = engine.probe_all(&self.reliability_targets()).await;
+        let stats = engine.batch_stats(&results);
+        (stats, engine.transport().stats())
+    }
+
+    /// The full reliability ablation (clean ceiling, naive, hardened) under
+    /// `plan` — the repro binary's reliability table and the acceptance
+    /// check's ≥95% recovery bar both come from here.
+    pub async fn reliability(&self, plan: FaultPlan) -> ReliabilityArtifacts {
+        let (clean, _) = self
+            .reliability_leg(FaultPlan::none(plan.seed), RetryPolicy::none())
+            .await;
+        let (naive, naive_faults) = self.reliability_leg(plan.clone(), RetryPolicy::none()).await;
+        let (hardened, hardened_faults) = self
+            .reliability_leg(plan.clone(), RetryPolicy::with_max_retries(4))
+            .await;
+        ReliabilityArtifacts {
+            plan,
+            clean,
+            naive,
+            hardened,
+            naive_faults,
+            hardened_faults,
+        }
+    }
+
     /// The §6 Cloudflare rules snapshot.
     pub fn cloudflare_snapshot(&self) -> RulesSnapshot {
         RulesSnapshot::generate(self.scale.seed, self.scale.cf_scale)
@@ -449,6 +561,21 @@ mod tests {
         assert!(a.outliers.inspected > 0);
         assert!(a.discovery.corpus_size > 0);
         assert_eq!(a.rep_countries.len(), h.scale.rep_countries);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn quick_scale_reliability_ablation_recovers_losses() {
+        let h = Harness::new(Scale::quick(42));
+        let r = h.reliability(FaultPlan::standard(7)).await;
+        assert!(r.naive_losses() > 0, "standard plan must visibly hurt naive probing");
+        assert!(
+            r.recovered_share() >= 0.95,
+            "hardened probing recovered only {:.1}% of {} naive losses",
+            r.recovered_share() * 100.0,
+            r.naive_losses()
+        );
+        assert!(r.hardened.recovered > 0);
+        assert!(r.hardened_faults.faulted() >= r.naive_faults.faulted() / 2);
     }
 
     #[tokio::test(flavor = "multi_thread")]

@@ -44,4 +44,4 @@ pub use outliers::{OutlierConfig, OutlierReport};
 pub use population::{PopulationReport, Resolver};
 pub use regional::{probe_regional, RegionalReport};
 pub use timeouts::{find_suspects, TimeoutSuspect};
-pub use study::{StudyConfig, StudyResult, Top10kStudy, Top1mStudy};
+pub use study::{StudyConfig, StudyConfigBuilder, StudyResult, Top10kStudy, Top1mStudy};

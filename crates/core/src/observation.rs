@@ -23,6 +23,8 @@ pub enum ErrKind {
     ProxyRefused,
     NoExit,
     Malformed,
+    Truncated,
+    GeoMismatch,
 }
 
 impl From<&geoblock_http::FetchError> for ErrKind {
@@ -38,6 +40,9 @@ impl From<&geoblock_http::FetchError> for ErrKind {
             ProxyRefused { .. } => ErrKind::ProxyRefused,
             NoExitAvailable { .. } => ErrKind::NoExit,
             MalformedResponse { .. } => ErrKind::Malformed,
+            BadRedirect { .. } => ErrKind::RedirectLoop,
+            TruncatedBody { .. } => ErrKind::Truncated,
+            GeolocationMismatch { .. } => ErrKind::GeoMismatch,
         }
     }
 }

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use geoblock_blockpages::{FingerprintSet, PageKind};
-use geoblock_lumscan::{Lumscan, ProbeTarget, Transport};
+use geoblock_lumscan::{ConfigError, Lumscan, ProbeTarget, Transport};
 use geoblock_worldgen::CountryCode;
 
 use crate::classify::classify_chain;
@@ -43,6 +43,94 @@ impl StudyConfig {
             rep_countries,
             chunk_domains: 256,
         }
+    }
+
+    /// Start building a validated configuration.
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder::default()
+    }
+}
+
+/// Builder for [`StudyConfig`], with validation at [`build`] time.
+///
+/// [`build`]: StudyConfigBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct StudyConfigBuilder {
+    countries: Vec<CountryCode>,
+    rep_countries: Vec<CountryCode>,
+    baseline_samples: Option<u32>,
+    confirm: Option<ConfirmConfig>,
+    chunk_domains: Option<usize>,
+}
+
+impl StudyConfigBuilder {
+    /// Vantage countries (required, non-empty).
+    pub fn countries(mut self, countries: impl IntoIterator<Item = CountryCode>) -> Self {
+        self.countries = countries.into_iter().collect();
+        self
+    }
+
+    /// Representative countries for outlier heuristics and body retention.
+    pub fn rep_countries(mut self, countries: impl IntoIterator<Item = CountryCode>) -> Self {
+        self.rep_countries = countries.into_iter().collect();
+        self
+    }
+
+    /// Baseline samples per (domain, country) pair (default 3).
+    pub fn baseline_samples(mut self, n: u32) -> Self {
+        self.baseline_samples = Some(n);
+        self
+    }
+
+    /// Confirmation policy.
+    pub fn confirm(mut self, confirm: ConfirmConfig) -> Self {
+        self.confirm = Some(confirm);
+        self
+    }
+
+    /// Domains per probing chunk (default 256).
+    pub fn chunk_domains(mut self, n: usize) -> Self {
+        self.chunk_domains = Some(n);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<StudyConfig, ConfigError> {
+        if self.countries.is_empty() {
+            return Err(ConfigError::new(
+                "countries",
+                "a study needs at least one vantage country",
+            ));
+        }
+        let baseline_samples = self.baseline_samples.unwrap_or(3);
+        if baseline_samples == 0 {
+            return Err(ConfigError::new(
+                "baseline_samples",
+                "baseline needs at least one sample per pair",
+            ));
+        }
+        let chunk_domains = self.chunk_domains.unwrap_or(256);
+        if chunk_domains == 0 {
+            return Err(ConfigError::new(
+                "chunk_domains",
+                "chunking needs at least one domain per chunk",
+            ));
+        }
+        for rep in &self.rep_countries {
+            if !self.countries.contains(rep) {
+                return Err(ConfigError::new(
+                    "rep_countries",
+                    format!("representative country {rep} is not a vantage country"),
+                ));
+            }
+        }
+        Ok(StudyConfig {
+            countries: self.countries,
+            baseline_samples,
+            confirm: self.confirm.unwrap_or_default(),
+            rep_countries: self.rep_countries,
+            chunk_domains,
+        })
     }
 }
 
@@ -257,8 +345,57 @@ mod tests {
 
     fn study() -> Top10kStudy<ToyNet> {
         let engine = Arc::new(Lumscan::new(ToyNet, LumscanConfig::default()));
-        let config = StudyConfig::new(vec![cc("IR"), cc("US"), cc("DE")], vec![cc("IR"), cc("US")]);
+        let config = StudyConfig::builder()
+            .countries([cc("IR"), cc("US"), cc("DE")])
+            .rep_countries([cc("IR"), cc("US")])
+            .build()
+            .expect("valid study config");
         Top10kStudy::new(engine, config)
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let built = StudyConfig::builder()
+            .countries([cc("IR"), cc("US")])
+            .rep_countries([cc("IR")])
+            .build()
+            .unwrap();
+        let legacy = StudyConfig::new(vec![cc("IR"), cc("US")], vec![cc("IR")]);
+        assert_eq!(built.baseline_samples, legacy.baseline_samples);
+        assert_eq!(built.chunk_domains, legacy.chunk_domains);
+        assert_eq!(built.countries, legacy.countries);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert_eq!(StudyConfig::builder().build().unwrap_err().field, "countries");
+        assert_eq!(
+            StudyConfig::builder()
+                .countries([cc("US")])
+                .baseline_samples(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "baseline_samples"
+        );
+        assert_eq!(
+            StudyConfig::builder()
+                .countries([cc("US")])
+                .chunk_domains(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "chunk_domains"
+        );
+        assert_eq!(
+            StudyConfig::builder()
+                .countries([cc("US")])
+                .rep_countries([cc("IR")])
+                .build()
+                .unwrap_err()
+                .field,
+            "rep_countries"
+        );
     }
 
     #[tokio::test]

@@ -5,10 +5,53 @@
 //! lengthy redirect chains"*. This enum is that taxonomy; the coverage
 //! statistics (90th-percentile error rates, per-country valid-response rates)
 //! are computed over it.
+//!
+//! Each error also carries a [`Retryability`] class, which is what the
+//! Lumscan retry layer consumes: *transient* failures are worth repeating on
+//! a fresh exit, *exit-fatal* failures additionally condemn the exit machine
+//! they happened on (its circuit breaker quarantines the session), and
+//! *permanent* failures will not improve no matter how often they are
+//! retried, so retrying them only burns the per-exit request budget.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+use crate::url::UrlParseError;
+
+/// How the retry layer should treat a failure class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Retryability {
+    /// A fresh attempt (on a fresh exit) has a real chance of succeeding.
+    Transient,
+    /// The *exit machine* is at fault — retry elsewhere, and quarantine the
+    /// session so the load balancer stops handing it out.
+    ExitFatal,
+    /// No retry will change the outcome; fail fast.
+    Permanent,
+}
+
+impl Retryability {
+    /// Whether another attempt should be made at all.
+    pub fn should_retry(self) -> bool {
+        !matches!(self, Retryability::Permanent)
+    }
+
+    /// Whether the failure condemns the exit it happened on.
+    pub fn poisons_exit(self) -> bool {
+        matches!(self, Retryability::ExitFatal)
+    }
+}
+
+impl fmt::Display for Retryability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Retryability::Transient => "transient",
+            Retryability::ExitFatal => "exit-fatal",
+            Retryability::Permanent => "permanent",
+        })
+    }
+}
 
 /// Why a fetch failed to produce a final response.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -35,14 +78,54 @@ pub enum FetchError {
     NoExitAvailable { country: String },
     /// A malformed response that could not be parsed.
     MalformedResponse { detail: String },
+    /// A redirect pointed at a `Location` that does not parse as a URL.
+    /// Unlike [`FetchError::MalformedResponse`] this keeps the structured
+    /// parse failure, so `source()` exposes the underlying [`UrlParseError`].
+    BadRedirect {
+        location: String,
+        cause: UrlParseError,
+    },
+    /// The body was cut short mid-transfer (fewer bytes than the declared
+    /// length). Residential exits drop connections routinely; a truncated
+    /// block page would poison fingerprinting, so it is surfaced as an
+    /// error and retried rather than parsed.
+    TruncatedBody { received: usize, expected: usize },
+    /// The exit's verified geolocation does not match the requested country.
+    /// The measurement from this household would be attributed to the wrong
+    /// vantage (§4.2 discrepancies), so the attempt is rejected and the exit
+    /// quarantined.
+    GeolocationMismatch { wanted: String, got: String },
 }
 
 impl FetchError {
-    /// Whether the Lumscan retry policy should retry this failure.
-    /// Proxy-side refusals are permanent (Luminati policy), everything
-    /// transient is worth retrying.
+    /// Classify the failure for the retry layer.
+    pub fn retryability(&self) -> Retryability {
+        match self {
+            // Retrying cannot help: the proxy's policy, the country's exit
+            // pool, the site's redirect behaviour, and its DNS registration
+            // are all stable across attempts.
+            FetchError::ProxyRefused { .. }
+            | FetchError::NoExitAvailable { .. }
+            | FetchError::TooManyRedirects { .. }
+            | FetchError::BadRedirect { .. }
+            | FetchError::DnsFailure { .. } => Retryability::Permanent,
+            // The household itself is the problem: it claims to be
+            // somewhere it is not. Every request through it is tainted.
+            FetchError::GeolocationMismatch { .. } => Retryability::ExitFatal,
+            // Everything else is network weather.
+            FetchError::ConnectionRefused
+            | FetchError::Timeout
+            | FetchError::ConnectionReset
+            | FetchError::ProxyError { .. }
+            | FetchError::MalformedResponse { .. }
+            | FetchError::TruncatedBody { .. } => Retryability::Transient,
+        }
+    }
+
+    /// Whether the Lumscan retry policy should retry this failure at all.
+    /// Shorthand for `self.retryability().should_retry()`.
     pub fn is_retryable(&self) -> bool {
-        !matches!(self, FetchError::ProxyRefused { .. })
+        self.retryability().should_retry()
     }
 
     /// Whether the failure happened in the proxy layer rather than on the
@@ -53,6 +136,7 @@ impl FetchError {
             FetchError::ProxyError { .. }
                 | FetchError::ProxyRefused { .. }
                 | FetchError::NoExitAvailable { .. }
+                | FetchError::GeolocationMismatch { .. }
         )
     }
 
@@ -68,6 +152,9 @@ impl FetchError {
             FetchError::ProxyRefused { .. } => "proxy-refused",
             FetchError::NoExitAvailable { .. } => "no-exit",
             FetchError::MalformedResponse { .. } => "malformed",
+            FetchError::BadRedirect { .. } => "bad-redirect",
+            FetchError::TruncatedBody { .. } => "truncated",
+            FetchError::GeolocationMismatch { .. } => "geo-mismatch",
         }
     }
 }
@@ -92,11 +179,27 @@ impl fmt::Display for FetchError {
             FetchError::MalformedResponse { detail } => {
                 write!(f, "malformed response: {detail}")
             }
+            FetchError::BadRedirect { location, .. } => {
+                write!(f, "redirect to unparseable Location {location:?}")
+            }
+            FetchError::TruncatedBody { received, expected } => {
+                write!(f, "body truncated: {received} of {expected} bytes")
+            }
+            FetchError::GeolocationMismatch { wanted, got } => {
+                write!(f, "exit geolocated in {got}, wanted {wanted}")
+            }
         }
     }
 }
 
-impl std::error::Error for FetchError {}
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::BadRedirect { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -120,6 +223,37 @@ mod tests {
     }
 
     #[test]
+    fn retryability_classes() {
+        use Retryability::*;
+        assert_eq!(FetchError::Timeout.retryability(), Transient);
+        assert_eq!(
+            FetchError::TruncatedBody { received: 10, expected: 100 }.retryability(),
+            Transient
+        );
+        assert_eq!(
+            FetchError::GeolocationMismatch { wanted: "IR".into(), got: "DE".into() }
+                .retryability(),
+            ExitFatal
+        );
+        assert_eq!(FetchError::DnsFailure { host: "x".into() }.retryability(), Permanent);
+        assert_eq!(FetchError::TooManyRedirects { limit: 10 }.retryability(), Permanent);
+        assert!(ExitFatal.should_retry());
+        assert!(ExitFatal.poisons_exit());
+        assert!(!Transient.poisons_exit());
+        assert!(!Permanent.should_retry());
+    }
+
+    #[test]
+    fn bad_redirect_exposes_source() {
+        use std::error::Error as _;
+        let cause = "::".parse::<crate::Url>().unwrap_err();
+        let err = FetchError::BadRedirect { location: "::".into(), cause };
+        assert!(err.source().is_some());
+        assert_eq!(err.retryability(), Retryability::Permanent);
+        assert!(FetchError::Timeout.source().is_none());
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         use std::collections::HashSet;
         let errs = [
@@ -132,6 +266,12 @@ mod tests {
             FetchError::ProxyRefused { reason: "r".into() },
             FetchError::NoExitAvailable { country: "KP".into() },
             FetchError::MalformedResponse { detail: "d".into() },
+            FetchError::BadRedirect {
+                location: "::".into(),
+                cause: "::".parse::<crate::Url>().unwrap_err(),
+            },
+            FetchError::TruncatedBody { received: 1, expected: 2 },
+            FetchError::GeolocationMismatch { wanted: "IR".into(), got: "DE".into() },
         ];
         let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());

@@ -41,7 +41,7 @@ pub mod url;
 pub mod wire;
 
 pub use chain::{FetchOutcome, Hop, RedirectChain};
-pub use error::FetchError;
+pub use error::{FetchError, Retryability};
 pub use headers::{HeaderMap, HeaderName};
 pub use method::Method;
 pub use profile::HeaderProfile;

@@ -165,7 +165,7 @@ impl fmt::Display for Url {
 }
 
 /// Error produced when URL parsing fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct UrlParseError {
     /// The offending input.
     pub input: String,

@@ -9,16 +9,21 @@ use geoblock_worldgen::CountryCode;
 use parking_lot::Mutex;
 use tokio::task::JoinSet;
 
-use crate::result::ProbeResult;
+use crate::result::{BatchStats, ProbeResult};
+use crate::retry::{CircuitBreaker, RetryPolicy};
 use crate::session::SessionId;
 use crate::transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};
 
 /// Engine configuration.
+///
+/// Build one with [`LumscanConfig::builder`] (validated) or start from
+/// [`LumscanConfig::default`] and adjust fields directly.
 #[derive(Debug, Clone)]
 pub struct LumscanConfig {
-    /// Extra attempts after a retryable failure (§3.2: "repeats each failed
+    /// How failed attempts are retried, backed off, budgeted, and how
+    /// misbehaving exits are quarantined (§3.2: "repeats each failed
     /// request a configurable number of times").
-    pub retries: u32,
+    pub retry: RetryPolicy,
     /// Redirect-follow limit (the study allows 10).
     pub max_redirects: usize,
     /// Requests allowed per exit machine before rotating.
@@ -32,6 +37,11 @@ pub struct LumscanConfig {
     /// Verify each new exit's connectivity and geolocation against the
     /// proxy-controlled echo page before using it.
     pub verify_connectivity: bool,
+    /// Reject exits whose verified country differs from the probe target's
+    /// country (surfaced as an exit-fatal
+    /// [`GeolocationMismatch`](FetchError::GeolocationMismatch)). Only
+    /// effective when `verify_connectivity` is on.
+    pub enforce_geolocation: bool,
     /// The proxy-controlled echo URL used for verification.
     pub check_url: Url,
 }
@@ -39,19 +49,168 @@ pub struct LumscanConfig {
 impl Default for LumscanConfig {
     fn default() -> Self {
         LumscanConfig {
-            retries: 2,
+            retry: RetryPolicy::default(),
             max_redirects: 10,
             requests_per_exit: 10,
             superproxies: 8,
             concurrency: 64,
             profile: HeaderProfile::FullBrowser,
             verify_connectivity: true,
+            enforce_geolocation: true,
             check_url: Url::http("lumtest.io"),
         }
     }
 }
 
+impl LumscanConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> LumscanConfigBuilder {
+        LumscanConfigBuilder {
+            config: LumscanConfig::default(),
+        }
+    }
+}
+
+/// Rejected configuration, naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Which builder field was invalid.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// A rejection of `field` for `reason`.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> ConfigError {
+        ConfigError {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`LumscanConfig`]; [`build`](LumscanConfigBuilder::build)
+/// validates the combination.
+#[derive(Debug, Clone)]
+pub struct LumscanConfigBuilder {
+    config: LumscanConfig,
+}
+
+impl LumscanConfigBuilder {
+    /// Shorthand: keep the default retry policy but change its retry count.
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.config.retry.max_retries = max_retries;
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Redirect-follow limit.
+    pub fn max_redirects(mut self, max_redirects: usize) -> Self {
+        self.config.max_redirects = max_redirects;
+        self
+    }
+
+    /// Requests allowed per exit machine before rotating.
+    pub fn requests_per_exit(mut self, requests_per_exit: u64) -> Self {
+        self.config.requests_per_exit = requests_per_exit;
+        self
+    }
+
+    /// Number of superproxies to balance across.
+    pub fn superproxies(mut self, superproxies: usize) -> Self {
+        self.config.superproxies = superproxies;
+        self
+    }
+
+    /// Concurrent in-flight probes.
+    pub fn concurrency(mut self, concurrency: usize) -> Self {
+        self.config.concurrency = concurrency;
+        self
+    }
+
+    /// Header profile applied to every probe.
+    pub fn profile(mut self, profile: HeaderProfile) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
+    /// Toggle connectivity pre-verification.
+    pub fn verify_connectivity(mut self, verify: bool) -> Self {
+        self.config.verify_connectivity = verify;
+        self
+    }
+
+    /// Toggle rejection of mis-geolocated exits.
+    pub fn enforce_geolocation(mut self, enforce: bool) -> Self {
+        self.config.enforce_geolocation = enforce;
+        self
+    }
+
+    /// The proxy-controlled echo URL used for verification.
+    pub fn check_url(mut self, check_url: Url) -> Self {
+        self.config.check_url = check_url;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<LumscanConfig, ConfigError> {
+        let c = &self.config;
+        if c.concurrency == 0 {
+            return Err(ConfigError {
+                field: "concurrency",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if c.superproxies == 0 {
+            return Err(ConfigError {
+                field: "superproxies",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if c.requests_per_exit == 0 {
+            return Err(ConfigError {
+                field: "requests_per_exit",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if c.max_redirects == 0 {
+            return Err(ConfigError {
+                field: "max_redirects",
+                reason: "must allow at least one redirect".into(),
+            });
+        }
+        if let Some(t) = c.retry.attempt_timeout {
+            if t.is_zero() {
+                return Err(ConfigError {
+                    field: "retry.attempt_timeout",
+                    reason: "zero budget would fail every attempt; use None".into(),
+                });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
 const INVOCATION_SHARDS: usize = 32;
+
+/// How many alternate sessions the engine tries when the derived one is
+/// quarantined. Bounded so a fully-poisoned neighbourhood degrades to the
+/// base session instead of looping.
+const QUARANTINE_BUMPS: u64 = 8;
 
 /// The engine. Cheap to clone per probe batch; all state is shared.
 pub struct Lumscan<T: Transport> {
@@ -66,6 +225,9 @@ pub struct Lumscan<T: Transport> {
     invocations: Vec<Mutex<HashMap<(u64, u16), u32>>>,
     /// Sessions whose connectivity check passed, with the echoed country.
     verified: Arc<Mutex<HashMap<u64, CountryCode>>>,
+    /// Per-exit failure accounting; quarantined sessions are skipped by
+    /// session derivation.
+    breaker: CircuitBreaker,
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -85,12 +247,14 @@ fn hash_host(host: &str) -> u64 {
 impl<T: Transport + 'static> Lumscan<T> {
     /// Create an engine over `transport`.
     pub fn new(transport: T, config: LumscanConfig) -> Lumscan<T> {
+        let breaker = CircuitBreaker::new(config.retry.breaker_threshold);
         Lumscan {
             transport: Arc::new(transport),
             config,
             issued: AtomicU64::new(0),
             invocations: (0..INVOCATION_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             verified: Arc::new(Mutex::new(HashMap::new())),
+            breaker,
         }
     }
 
@@ -114,10 +278,46 @@ impl<T: Transport + 'static> Lumscan<T> {
         &self.config
     }
 
+    /// The shared circuit breaker (exit quarantine state).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// Total transport requests issued so far (excluding connectivity
     /// checks).
     pub fn requests_issued(&self) -> u64 {
         self.issued.load(Ordering::Relaxed)
+    }
+
+    /// [`BatchStats::of`] plus engine-side accounting (quarantined exits).
+    pub fn batch_stats(&self, results: &[ProbeResult]) -> BatchStats {
+        let mut stats = BatchStats::of(results);
+        stats.quarantined_exits = self.breaker.quarantined_count();
+        stats
+    }
+
+    /// Derive the exit session for one attempt, skipping quarantined exits
+    /// by bumping a salt (bounded, deterministic given breaker state).
+    fn derive_session(
+        &self,
+        host_hash: u64,
+        country_bits: u64,
+        invocation: u32,
+        attempt: u32,
+    ) -> SessionId {
+        let base = SessionId(mix(
+            host_hash
+                ^ country_bits.rotate_left(32)
+                ^ ((invocation as u64) << 8)
+                ^ attempt as u64,
+        ));
+        let mut session = base;
+        let mut bump = 0u64;
+        while bump < QUARANTINE_BUMPS && self.breaker.is_quarantined(session) {
+            bump += 1;
+            session = SessionId(mix(base.0 ^ (bump << 48)));
+        }
+        session
     }
 
     /// Probe a single target, with verification and retries.
@@ -131,57 +331,56 @@ impl<T: Transport + 'static> Lumscan<T> {
     /// claims invocations in *target order* before spawning, so identical
     /// studies replay identically regardless of task interleaving.
     pub async fn probe_invocation(&self, target: &ProbeTarget, invocation: u32) -> ProbeResult {
+        let policy = &self.config.retry;
         let mut attempts = 0;
         let mut verified_country = None;
+        let mut attempt_errors = Vec::new();
         let mut last_err = FetchError::Timeout;
         let host_hash = hash_host(target.url.host.as_str());
         let country_bits =
             ((target.country.0[0] as u64) << 8) | target.country.0[1] as u64;
-        while attempts <= self.config.retries {
+        while attempts < policy.max_attempts() {
             attempts += 1;
-            // One fresh exit per attempt, stable under replay.
-            let session = SessionId(mix(
-                host_hash ^ country_bits.rotate_left(32) ^ ((invocation as u64) << 8) ^ attempts as u64,
-            ));
+            // One fresh exit per attempt, stable under replay, dodging
+            // quarantined households.
+            let session = self.derive_session(host_hash, country_bits, invocation, attempts);
 
-            if self.config.verify_connectivity {
-                match self.verify_session(session, target.country).await {
-                    Ok(country) => verified_country = Some(country),
-                    Err(e) => {
-                        // A dead exit: the next attempt derives a new one.
-                        last_err = e;
-                        continue;
-                    }
-                }
+            let delay = policy.backoff(attempts, session.0);
+            if !delay.is_zero() {
+                tokio::time::sleep(delay).await;
             }
 
-            let request = Request {
-                method: Method::Get,
-                url: target.url.clone(),
-                headers: self.config.profile.headers(),
+            let (verified, outcome) = match policy.attempt_timeout {
+                Some(budget) => {
+                    match tokio::time::timeout(budget, self.attempt(target, session)).await {
+                        Ok(out) => out,
+                        // The attempt blew its budget: count it as a
+                        // transient timeout and rotate.
+                        Err(_) => (None, Err(FetchError::Timeout)),
+                    }
+                }
+                None => self.attempt(target, session).await,
             };
-            self.issued.fetch_add(1, Ordering::Relaxed);
-            match follow_redirects(
-                self.transport.as_ref(),
-                request,
-                target.country,
-                session,
-                self.config.max_redirects,
-            )
-            .await
-            {
+            if verified.is_some() {
+                verified_country = verified;
+            }
+            match outcome {
                 Ok(chain) => {
+                    self.breaker.record_success(session);
                     return ProbeResult {
                         target: target.clone(),
                         attempts,
                         outcome: Ok(chain),
                         verified_country,
-                    }
+                        attempt_errors,
+                    };
                 }
                 Err(e) => {
-                    let retryable = e.is_retryable();
-                    last_err = e;
-                    if !retryable {
+                    let class = e.retryability();
+                    self.breaker.record_failure(session, class);
+                    last_err = e.clone();
+                    attempt_errors.push(e);
+                    if !class.should_retry() {
                         break;
                     }
                     // The next attempt derives a fresh exit machine.
@@ -193,7 +392,56 @@ impl<T: Transport + 'static> Lumscan<T> {
             attempts,
             outcome: Err(last_err),
             verified_country,
+            attempt_errors,
         }
+    }
+
+    /// One attempt: verify the exit (if configured), then fetch the target
+    /// following redirects. Returns the echoed country alongside the
+    /// outcome so callers can attribute geolocation drift.
+    async fn attempt(
+        &self,
+        target: &ProbeTarget,
+        session: SessionId,
+    ) -> (Option<CountryCode>, Result<geoblock_http::RedirectChain, FetchError>) {
+        let mut verified = None;
+        if self.config.verify_connectivity {
+            match self.verify_session(session, target.country).await {
+                Ok(country) => {
+                    verified = Some(country);
+                    if self.config.enforce_geolocation && country != target.country {
+                        // The household is not where the proxy claims:
+                        // measuring through it would attribute the response
+                        // to the wrong vantage.
+                        return (
+                            verified,
+                            Err(FetchError::GeolocationMismatch {
+                                wanted: target.country.as_str().to_string(),
+                                got: country.as_str().to_string(),
+                            }),
+                        );
+                    }
+                }
+                // A dead exit: the next attempt derives a new one.
+                Err(e) => return (None, Err(e)),
+            }
+        }
+
+        let request = Request {
+            method: Method::Get,
+            url: target.url.clone(),
+            headers: self.config.profile.headers(),
+        };
+        self.issued.fetch_add(1, Ordering::Relaxed);
+        let outcome = follow_redirects(
+            self.transport.as_ref(),
+            request,
+            target.country,
+            session,
+            self.config.max_redirects,
+        )
+        .await;
+        (verified, outcome)
     }
 
     /// Probe many targets concurrently (bounded by `config.concurrency`),
@@ -280,6 +528,8 @@ mod tests {
         /// url -> list of outcomes, consumed per request (last repeats).
         script: PMutex<HashMap<String, Vec<Result<Response, FetchError>>>>,
         log: PMutex<Vec<(String, SessionId)>>,
+        /// When set, the echo page reports this country for every session.
+        echo_country: PMutex<Option<String>>,
     }
 
     impl FakeNet {
@@ -287,6 +537,7 @@ mod tests {
             FakeNet {
                 script: PMutex::new(HashMap::new()),
                 log: PMutex::new(Vec::new()),
+                echo_country: PMutex::new(None),
             }
         }
 
@@ -300,8 +551,13 @@ mod tests {
             let url = req.request.url.to_string();
             self.log.lock().push((url.clone(), req.session));
             if req.request.url.host.as_str() == "lumtest.io" {
+                let country = self
+                    .echo_country
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| req.country.as_str().to_string());
                 return Ok(Response::builder(StatusCode::OK)
-                    .body(format!("ip=10.1.2.3&country={}", req.country))
+                    .body(format!("ip=10.1.2.3&country={country}"))
                     .finish(req.request.url));
             }
             let mut script = self.script.lock();
@@ -328,6 +584,7 @@ mod tests {
         let result = engine.probe(&ProbeTarget::http("site.com", cc("IR"))).await;
         assert!(result.responded());
         assert_eq!(result.verified_country, Some(cc("IR")));
+        assert!(result.attempt_errors.is_empty());
         let log = engine.transport().log.lock();
         assert_eq!(log[0].0, "http://lumtest.io/");
         assert_eq!(log[1].0, "http://site.com/");
@@ -348,6 +605,7 @@ mod tests {
         let result = engine.probe(&ProbeTarget::http("flaky.com", cc("RU"))).await;
         assert!(result.responded());
         assert_eq!(result.attempts, 3);
+        assert_eq!(result.attempt_errors.len(), 2, "two absorbed faults");
         // The three site fetches must ride three distinct sessions (exits).
         let log = engine.transport().log.lock();
         let mut sessions: Vec<_> = log
@@ -377,7 +635,7 @@ mod tests {
     async fn exhausted_retries_return_last_error() {
         let net = FakeNet::new();
         net.script("http://dead.com/", vec![Err(FetchError::Timeout)]);
-        let cfg = LumscanConfig { retries: 2, ..LumscanConfig::default() };
+        let cfg = LumscanConfig::builder().retries(2).build().unwrap();
         let engine = Lumscan::new(net, cfg);
         let result = engine.probe(&ProbeTarget::http("dead.com", cc("US"))).await;
         assert_eq!(result.attempts, 3);
@@ -406,11 +664,68 @@ mod tests {
     async fn verification_can_be_disabled() {
         let net = FakeNet::new();
         net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
-        let cfg = LumscanConfig { verify_connectivity: false, ..LumscanConfig::default() };
+        let cfg = LumscanConfig::builder().verify_connectivity(false).build().unwrap();
         let engine = Lumscan::new(net, cfg);
         let result = engine.probe(&ProbeTarget::http("site.com", cc("FR"))).await;
         assert!(result.responded());
         assert_eq!(result.verified_country, None);
         assert!(engine.transport().log.lock().iter().all(|(u, _)| !u.contains("lumtest")));
+    }
+
+    #[tokio::test]
+    async fn mislocated_exits_are_rejected_and_quarantined() {
+        let net = FakeNet::new();
+        *net.echo_country.lock() = Some("DE".to_string());
+        net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
+        let engine = Lumscan::new(net, LumscanConfig::default());
+        let result = engine.probe(&ProbeTarget::http("site.com", cc("IR"))).await;
+        // Every exit claims DE, so the probe exhausts its attempts without
+        // ever fetching the target.
+        assert!(!result.responded());
+        assert!(matches!(result.error(), Some(FetchError::GeolocationMismatch { .. })));
+        assert_eq!(result.verified_country, Some(cc("DE")));
+        assert!(engine.transport().log.lock().iter().all(|(u, _)| !u.contains("site.com")));
+        // Exit-fatal failures quarantine each tried exit immediately.
+        assert_eq!(engine.breaker().quarantined_count(), result.attempts as usize);
+    }
+
+    #[tokio::test]
+    async fn mismatch_tolerated_when_not_enforced() {
+        let net = FakeNet::new();
+        *net.echo_country.lock() = Some("DE".to_string());
+        net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
+        let cfg = LumscanConfig::builder().enforce_geolocation(false).build().unwrap();
+        let engine = Lumscan::new(net, cfg);
+        let result = engine.probe(&ProbeTarget::http("site.com", cc("IR"))).await;
+        assert!(result.responded());
+        assert_eq!(result.verified_country, Some(cc("DE")), "drift is still recorded");
+    }
+
+    #[tokio::test]
+    async fn builder_rejects_zero_concurrency() {
+        let err = LumscanConfig::builder().concurrency(0).build().unwrap_err();
+        assert_eq!(err.field, "concurrency");
+        assert!(LumscanConfig::builder().concurrency(1).build().is_ok());
+    }
+
+    #[tokio::test]
+    async fn batch_stats_include_quarantine_counts() {
+        let net = FakeNet::new();
+        net.script("http://dead.com/", vec![Err(FetchError::Timeout)]);
+        // Threshold 1: the first transient failure quarantines its exit.
+        let cfg = LumscanConfig::builder()
+            .retry(RetryPolicy {
+                max_retries: 2,
+                breaker_threshold: 1,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .unwrap();
+        let engine = Lumscan::new(net, cfg);
+        let result = engine.probe(&ProbeTarget::http("dead.com", cc("US"))).await;
+        let stats = engine.batch_stats(std::slice::from_ref(&result));
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.quarantined_exits, 3, "each attempt burned one exit");
+        assert_eq!(stats.attempts_histogram, vec![0, 0, 1]);
     }
 }

@@ -7,8 +7,17 @@
 //!
 //! 1. **connectivity pre-verification** — before trusting an exit, fetch a
 //!    proxy-controlled page that echoes the client's IP and geolocation;
-//! 2. **retries** — each failed request is repeated a configurable number
-//!    of times, on a fresh exit;
+//!    exits whose echoed country disagrees with the probe's target country
+//!    are rejected outright (an exit-fatal
+//!    [`GeolocationMismatch`](geoblock_http::FetchError::GeolocationMismatch));
+//! 2. **adaptive retries** — failed attempts are repeated on a fresh exit
+//!    under a [`RetryPolicy`]: the error's
+//!    [`Retryability`](geoblock_http::Retryability) class decides whether a
+//!    retry happens at all, a deterministic exponential backoff (jitter
+//!    derived from the session hash, so replays are exact) paces it, an
+//!    optional per-attempt wall-clock budget cuts stalled exchanges short,
+//!    and a per-exit [`CircuitBreaker`] quarantines households that keep
+//!    failing so the session derivation stops handing them out;
 //! 3. **full header control** — callers supply complete browser header
 //!    sets ("merely setting User-Agent is insufficient to suppress bot
 //!    detection");
@@ -16,16 +25,40 @@
 //!    exit machines, with at most 10 requests per exit, so a snapshot
 //!    completes in hours and no end-user machine is over-used.
 //!
+//! # Retry semantics
+//!
+//! A probe makes at most [`RetryPolicy::max_attempts`] attempts. Each
+//! attempt derives its exit session from `(host, country, invocation,
+//! attempt)` — never from shared counters — then skips up to eight
+//! quarantined sessions by salt-bumping deterministically. The attempt's
+//! failure class steers what happens next:
+//!
+//! | class       | retried? | breaker effect                   |
+//! |-------------|----------|----------------------------------|
+//! | `Transient` | yes      | one strike against the exit      |
+//! | `ExitFatal` | yes      | exit quarantined immediately     |
+//! | `Permanent` | no       | one strike; probe fails fast     |
+//!
+//! Outcomes are surfaced in [`BatchStats`]: an attempts histogram, the
+//! absorbed-fault ledger (`fault_counts`, keyed by
+//! [`FetchError::kind`](geoblock_http::FetchError::kind)), the number of
+//! probes that only responded thanks to a retry (`recovered`), and — via
+//! [`Lumscan::batch_stats`] — the breaker's quarantine count.
+//!
 //! The engine is transport-generic: the same code drives the simulated
 //! Luminati network (`geoblock-proxynet`), simulated VPSes
-//! (`geoblock-netsim`), or — in a real deployment — an actual proxy client.
+//! (`geoblock-netsim`), a fault-injection wrapper
+//! (`geoblock_proxynet::FaultyTransport`), or — in a real deployment — an
+//! actual proxy client.
 
 pub mod engine;
 pub mod result;
+pub mod retry;
 pub mod session;
 pub mod transport;
 
-pub use engine::{Lumscan, LumscanConfig};
+pub use engine::{ConfigError, Lumscan, LumscanConfig, LumscanConfigBuilder};
 pub use result::{BatchStats, ProbeResult};
+pub use retry::{CircuitBreaker, RetryPolicy};
 pub use session::{SessionAllocator, SessionId};
 pub use transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};

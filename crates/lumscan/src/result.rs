@@ -1,5 +1,7 @@
 //! Probe results and batch statistics.
 
+use std::collections::BTreeMap;
+
 use geoblock_http::{FetchError, FetchOutcome, RedirectChain};
 use geoblock_worldgen::CountryCode;
 
@@ -18,6 +20,10 @@ pub struct ProbeResult {
     /// pre-verification ran. A mismatch with `target.country` flags a
     /// geolocation error (§4.2 attributes some discrepancies to these).
     pub verified_country: Option<CountryCode>,
+    /// The error of every failed attempt, in order. For a failed probe the
+    /// last entry equals the terminal error in `outcome`; for a successful
+    /// probe these are the faults the retry layer absorbed.
+    pub attempt_errors: Vec<FetchError>,
 }
 
 impl ProbeResult {
@@ -35,9 +41,15 @@ impl ProbeResult {
     pub fn responded(&self) -> bool {
         self.outcome.is_ok()
     }
+
+    /// Whether the probe responded only thanks to a retry.
+    pub fn recovered(&self) -> bool {
+        self.responded() && self.attempts > 1
+    }
 }
 
-/// Aggregate statistics over a probe batch — the §4.1.1 coverage numbers.
+/// Aggregate statistics over a probe batch — the §4.1.1 coverage numbers,
+/// plus the reliability layer's own accounting.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchStats {
     /// Total probes.
@@ -52,6 +64,20 @@ pub struct BatchStats {
     pub proxy_refused: usize,
     /// Total attempts across all probes (measures retry pressure).
     pub attempts: usize,
+    /// `attempts_histogram[i]` = probes that finished in `i + 1` attempts.
+    pub attempts_histogram: Vec<usize>,
+    /// Probes that responded but needed more than one attempt — what the
+    /// retry layer saved.
+    pub recovered: usize,
+    /// Every failed *attempt* (not just terminal failures) counted by
+    /// [`FetchError::kind`]. This is the injected-fault ledger: a batch
+    /// that responded 100% can still show heavy transient weather here.
+    pub fault_counts: BTreeMap<&'static str, usize>,
+    /// Exits the engine's circuit breaker has quarantined. Filled by
+    /// [`Lumscan::batch_stats`](crate::Lumscan::batch_stats); plain
+    /// [`BatchStats::of`] leaves it zero because results alone cannot see
+    /// breaker state.
+    pub quarantined_exits: usize,
 }
 
 impl BatchStats {
@@ -63,8 +89,21 @@ impl BatchStats {
         };
         for r in results {
             s.attempts += r.attempts as usize;
+            let slot = (r.attempts as usize).max(1) - 1;
+            if s.attempts_histogram.len() <= slot {
+                s.attempts_histogram.resize(slot + 1, 0);
+            }
+            s.attempts_histogram[slot] += 1;
+            for e in &r.attempt_errors {
+                *s.fault_counts.entry(e.kind()).or_insert(0) += 1;
+            }
             match &r.outcome {
-                Ok(_) => s.responded += 1,
+                Ok(_) => {
+                    s.responded += 1;
+                    if r.recovered() {
+                        s.recovered += 1;
+                    }
+                }
                 Err(e) => {
                     s.failed += 1;
                     if e.is_proxy_side() {
@@ -87,6 +126,15 @@ impl BatchStats {
             self.failed as f64 / self.total as f64
         }
     }
+
+    /// Share of responses that needed a retry, in [0, 1].
+    pub fn recovery_rate(&self) -> f64 {
+        if self.responded == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / self.responded as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +153,7 @@ mod tests {
                 response: Response::builder(StatusCode::OK).finish(url),
             }])),
             verified_country: Some(cc("US")),
+            attempt_errors: Vec::new(),
         }
     }
 
@@ -112,8 +161,9 @@ mod tests {
         ProbeResult {
             target: ProbeTarget::http("a.com", cc("US")),
             attempts,
-            outcome: Err(e),
+            outcome: Err(e.clone()),
             verified_country: None,
+            attempt_errors: (0..attempts).map(|_| e.clone()).collect(),
         }
     }
 
@@ -138,10 +188,29 @@ mod tests {
         assert_eq!(s.proxy_failures, 1);
         assert_eq!(s.attempts, 6);
         assert!((s.error_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.attempts_histogram, vec![3, 0, 1]);
+        assert_eq!(s.fault_counts.get("timeout"), Some(&3));
+        assert_eq!(s.fault_counts.get("proxy-refused"), Some(&1));
+        assert_eq!(s.quarantined_exits, 0);
+    }
+
+    #[test]
+    fn recovery_is_counted() {
+        let mut saved = ok_result();
+        saved.attempts = 2;
+        saved.attempt_errors = vec![FetchError::Timeout];
+        assert!(saved.recovered());
+        let s = BatchStats::of(&[saved, ok_result()]);
+        assert_eq!(s.recovered, 1);
+        assert!((s.recovery_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.fault_counts.get("timeout"), Some(&1));
     }
 
     #[test]
     fn empty_batch_has_zero_error_rate() {
-        assert_eq!(BatchStats::of(&[]).error_rate(), 0.0);
+        let s = BatchStats::of(&[]);
+        assert_eq!(s.error_rate(), 0.0);
+        assert_eq!(s.recovery_rate(), 0.0);
+        assert!(s.attempts_histogram.is_empty());
     }
 }

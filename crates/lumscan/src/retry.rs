@@ -1,0 +1,284 @@
+//! The adaptive retry layer: policy, backoff, and the per-exit circuit
+//! breaker.
+//!
+//! §3.2's "repeats each failed request a configurable number of times" is
+//! the seed of this module, but a fixed retry count treats every failure the
+//! same — it burns the ≤10-requests-per-exit budget re-asking a proxy that
+//! already said *no*, and keeps routing probes through households that died
+//! mid-session. [`RetryPolicy`] instead consumes the
+//! [`Retryability`](geoblock_http::Retryability) class of each error:
+//!
+//! * **permanent** failures stop the probe immediately;
+//! * **transient** failures are retried on a fresh exit, after a
+//!   deterministic exponential backoff;
+//! * **exit-fatal** failures additionally feed the [`CircuitBreaker`],
+//!   which quarantines the offending session so the engine's session
+//!   derivation skips it on future attempts.
+//!
+//! Backoff jitter is *derived from the session hash*, not sampled from a
+//! shared RNG, so identically-seeded studies replay identically no matter
+//! how tasks interleave.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use geoblock_http::Retryability;
+use parking_lot::Mutex;
+
+use crate::session::SessionId;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// How a probe spends its attempt budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (so a probe makes at most
+    /// `max_retries + 1` attempts). Only failures whose class
+    /// [`should_retry`](Retryability::should_retry) consume them.
+    pub max_retries: u32,
+    /// Base delay for exponential backoff between attempts: attempt `n`
+    /// waits `base_backoff * 2^(n-1)` plus deterministic jitter in
+    /// `[0, base_backoff)`. [`Duration::ZERO`] (the default) disables
+    /// sleeping entirely, which is what simulations want.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for one attempt (verification plus fetch). `None`
+    /// leaves attempts unbounded; an elapsed budget counts as a transient
+    /// [`Timeout`](geoblock_http::FetchError::Timeout).
+    pub attempt_timeout: Option<Duration>,
+    /// Transient failures a single exit may accumulate before its session
+    /// is quarantined. `0` disables the circuit breaker. Exit-fatal
+    /// failures quarantine immediately regardless of the count.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::from_millis(250),
+            attempt_timeout: None,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The naive baseline: one attempt, no breaker, no backoff. This is
+    /// what the reliability ablation compares the hardened policy against.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            breaker_threshold: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that differs from the default only in retry count.
+    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Maximum attempts a probe may make under this policy.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+
+    /// Deterministic backoff before attempt `attempt` (1-based; the first
+    /// attempt never waits). Jitter is derived from `token` — callers pass
+    /// the session hash — so replays sleep identically.
+    pub fn backoff(&self, attempt: u32, token: u64) -> Duration {
+        if attempt <= 1 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.base_backoff.as_nanos() as u64;
+        let exp = base.saturating_mul(1u64 << (attempt - 2).min(16));
+        let jitter = mix(token ^ attempt as u64) % base.max(1);
+        Duration::from_nanos(exp.saturating_add(jitter)).min(self.max_backoff)
+    }
+}
+
+const BREAKER_SHARDS: usize = 32;
+
+/// Per-exit failure accounting. Sessions pin exit machines, so quarantining
+/// a session removes one misbehaving household from the rotation.
+///
+/// The breaker is shared engine state: every probe records its per-attempt
+/// outcomes here, and the engine's session derivation consults
+/// [`is_quarantined`](CircuitBreaker::is_quarantined) before reusing an
+/// exit.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    /// Transient-failure counts per session; a session at or above the
+    /// threshold is quarantined. Threshold `0` disables the breaker.
+    threshold: u32,
+    shards: Vec<Mutex<HashMap<u64, u32>>>,
+    quarantined: AtomicUsize,
+}
+
+impl CircuitBreaker {
+    /// A breaker that trips after `threshold` transient failures (or one
+    /// exit-fatal failure). `threshold == 0` never trips.
+    pub fn new(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold,
+            shards: (0..BREAKER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            quarantined: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, session: SessionId) -> &Mutex<HashMap<u64, u32>> {
+        &self.shards[(mix(session.0) as usize) % BREAKER_SHARDS]
+    }
+
+    /// Whether the exit pinned by `session` is out of rotation.
+    pub fn is_quarantined(&self, session: SessionId) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        self.shard(session)
+            .lock()
+            .get(&session.0)
+            .is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Record a failed attempt on `session`. Returns `true` if the exit is
+    /// now quarantined.
+    pub fn record_failure(&self, session: SessionId, class: Retryability) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut shard = self.shard(session).lock();
+        let count = shard.entry(session.0).or_insert(0);
+        let was_out = *count >= self.threshold;
+        if class.poisons_exit() {
+            *count = self.threshold;
+        } else {
+            *count = (*count + 1).min(self.threshold);
+        }
+        let now_out = *count >= self.threshold;
+        if now_out && !was_out {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        now_out
+    }
+
+    /// Record a successful exchange on `session`, clearing its transient
+    /// strikes (a quarantined exit stays quarantined).
+    pub fn record_success(&self, session: SessionId) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut shard = self.shard(session).lock();
+        if shard.get(&session.0).is_some_and(|&n| n < self.threshold) {
+            shard.remove(&session.0);
+        }
+    }
+
+    /// Number of exits currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_legacy_retry_count() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts(), 3);
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+    }
+
+    #[test]
+    fn zero_base_backoff_never_sleeps() {
+        let p = RetryPolicy::default();
+        for attempt in 1..6 {
+            assert_eq!(p.backoff(attempt, 0xabcd), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1, 7), Duration::ZERO);
+        let b2 = p.backoff(2, 7);
+        let b3 = p.backoff(3, 7);
+        let b4 = p.backoff(9, 7);
+        assert!(b2 >= Duration::from_millis(2) && b2 < Duration::from_millis(4), "{b2:?}");
+        assert!(b3 >= Duration::from_millis(4) && b3 < Duration::from_millis(6), "{b3:?}");
+        assert_eq!(b4, Duration::from_millis(20), "capped");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_token() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(3),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(2, 42), p.backoff(2, 42));
+        // Different sessions jitter differently (with overwhelming odds).
+        assert_ne!(p.backoff(2, 1), p.backoff(2, 2));
+    }
+
+    #[test]
+    fn breaker_trips_on_transient_strikes() {
+        let b = CircuitBreaker::new(3);
+        let s = SessionId(9);
+        assert!(!b.record_failure(s, Retryability::Transient));
+        assert!(!b.record_failure(s, Retryability::Transient));
+        assert!(!b.is_quarantined(s));
+        assert!(b.record_failure(s, Retryability::Transient));
+        assert!(b.is_quarantined(s));
+        assert_eq!(b.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn exit_fatal_trips_immediately() {
+        let b = CircuitBreaker::new(5);
+        let s = SessionId(77);
+        assert!(b.record_failure(s, Retryability::ExitFatal));
+        assert!(b.is_quarantined(s));
+    }
+
+    #[test]
+    fn success_clears_strikes_but_not_quarantine() {
+        let b = CircuitBreaker::new(2);
+        let s = SessionId(5);
+        b.record_failure(s, Retryability::Transient);
+        b.record_success(s);
+        assert!(!b.record_failure(s, Retryability::Transient), "strikes were reset");
+        b.record_failure(s, Retryability::Transient);
+        assert!(b.is_quarantined(s));
+        b.record_success(s);
+        assert!(b.is_quarantined(s), "quarantine is sticky");
+        assert_eq!(b.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaker() {
+        let b = CircuitBreaker::new(0);
+        let s = SessionId(1);
+        assert!(!b.record_failure(s, Retryability::ExitFatal));
+        assert!(!b.is_quarantined(s));
+        assert_eq!(b.quarantined_count(), 0);
+    }
+}

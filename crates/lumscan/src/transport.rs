@@ -92,10 +92,9 @@ pub async fn follow_redirects<T: Transport>(
                         limit: max_redirects,
                     });
                 }
-                let next = url.join(&location).map_err(|e| {
-                    FetchError::MalformedResponse {
-                        detail: format!("bad Location: {e}"),
-                    }
+                let next = url.join(&location).map_err(|e| FetchError::BadRedirect {
+                    location: location.clone(),
+                    cause: e,
                 })?;
                 let headers = request.headers.clone();
                 request = Request {

@@ -1,0 +1,479 @@
+//! Deterministic fault injection for transports.
+//!
+//! The paper's reliability machinery (§3.2) exists because the residential
+//! proxy path fails in colourful ways: exits die mid-session, bodies arrive
+//! truncated, superproxies 502, responses stall, and a household's
+//! geolocation quietly drifts. Reproducing the *engineering* therefore
+//! needs a way to reproduce the *weather* — on demand, at chosen rates, and
+//! byte-for-byte replayable.
+//!
+//! [`FaultPlan`] is that weather forecast: a seedable, purely functional
+//! description of which faults strike which request. Every decision is a
+//! stateless draw keyed on `(seed, session, host)` — no shared RNG, no
+//! counters except the per-session request sequence (which is itself
+//! deterministic because one session serves one probe's requests in
+//! order). Two runs with the same plan see byte-identical fault sequences.
+//!
+//! [`FaultyTransport`] injects a plan into any
+//! [`Transport`](geoblock_lumscan::Transport) — the simulated Luminati
+//! network, `geoblock_netsim::VpsTransport`, or a test double — and tallies
+//! what it did in [`FaultStats`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use geoblock_http::{FetchError, Response};
+use geoblock_lumscan::{Transport, TransportRequest};
+use geoblock_worldgen::CountryCode;
+use parking_lot::Mutex;
+
+use crate::network::LUMTEST_HOST;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Draw salts — one per fault class, so the classes are independent.
+const SALT_DEATH: u64 = 0xdea7;
+const SALT_SUPERPROXY: u64 = 0x0502;
+const SALT_STALL: u64 = 0x57a11;
+const SALT_TRUNCATE: u64 = 0x7c07;
+const SALT_DRIFT: u64 = 0xd81f7;
+
+/// A seedable, deterministic fault schedule.
+///
+/// Rates are per-request probabilities in `[0, 1]` (except
+/// `exit_death_rate` and `geo_drift_rate`, which are per-*exit*: the draw
+/// keys on the session alone, because dying and drifting are properties of
+/// the household, not of one exchange).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every draw. Same seed, same faults.
+    pub seed: u64,
+    /// Fraction of exits that die after their first request — the
+    /// verification passes, then the household disappears. This is the
+    /// failure mode pre-verification cannot catch and retries exist for.
+    pub exit_death_rate: f64,
+    /// Per-request probability that a successful response's body is cut
+    /// short in transit (surfaced as
+    /// [`TruncatedBody`](FetchError::TruncatedBody)).
+    pub truncate_rate: f64,
+    /// Per-request probability that the exchange stalls for [`stall`]
+    /// before completing (slow-start / congested household). Harmless
+    /// unless the engine enforces a per-attempt budget.
+    ///
+    /// [`stall`]: FaultPlan::stall
+    pub stall_rate: f64,
+    /// How long a stalled exchange hangs.
+    pub stall: Duration,
+    /// Per-request probability the superproxy fails with a 502-style
+    /// tunnel error before reaching any exit.
+    pub superproxy_502_rate: f64,
+    /// Fraction of exits whose geolocation has drifted: the echo page
+    /// reports a different country than the probe asked for.
+    pub geo_drift_rate: f64,
+    /// Per-country multipliers on the transient rates (death, truncate,
+    /// stall, 502). Countries absent from the map multiply by 1.
+    pub country_flakiness: BTreeMap<CountryCode, f64>,
+}
+
+impl FaultPlan {
+    /// No faults at all — the transparent plan.
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            exit_death_rate: 0.0,
+            truncate_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::ZERO,
+            superproxy_502_rate: 0.0,
+            geo_drift_rate: 0.0,
+            country_flakiness: BTreeMap::new(),
+        }
+    }
+
+    /// The standard plan used by the reliability ablation: every fault
+    /// class active at rates aggressive enough that naive (no-retry)
+    /// probing visibly bleeds coverage, yet all transient — a hardened
+    /// engine should recover nearly everything.
+    pub fn standard(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            exit_death_rate: 0.08,
+            truncate_rate: 0.06,
+            stall_rate: 0.05,
+            stall: Duration::ZERO,
+            superproxy_502_rate: 0.06,
+            geo_drift_rate: 0.01,
+            country_flakiness: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style: mark `country` as `multiplier`× flakier than base.
+    pub fn flaky_country(mut self, country: CountryCode, multiplier: f64) -> FaultPlan {
+        self.country_flakiness.insert(country, multiplier);
+        self
+    }
+
+    /// Builder-style: set the stall duration.
+    pub fn stall_for(mut self, stall: Duration) -> FaultPlan {
+        self.stall = stall;
+        self
+    }
+
+    fn multiplier(&self, country: CountryCode) -> f64 {
+        self.country_flakiness.get(&country).copied().unwrap_or(1.0)
+    }
+
+    /// A uniform draw in `[0, 1)` keyed on `(seed, key, salt)`.
+    fn draw(&self, key: u64, salt: u64) -> f64 {
+        (mix(self.seed ^ mix(key) ^ salt) % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    /// Whether the exit pinned by `session` dies after its first request.
+    pub fn exit_is_doomed(&self, session: u64, country: CountryCode) -> bool {
+        self.draw(session, SALT_DEATH) < self.exit_death_rate * self.multiplier(country)
+    }
+
+    /// Whether the exit pinned by `session` reports a drifted geolocation.
+    pub fn exit_has_drifted(&self, session: u64) -> bool {
+        self.draw(session, SALT_DRIFT) < self.geo_drift_rate
+    }
+
+    /// The country a drifted exit claims instead of `original`.
+    pub fn drift_target(&self, session: u64, original: &str) -> &'static str {
+        const NEIGHBOURS: [&str; 6] = ["DE", "US", "NL", "TR", "RU", "FR"];
+        let pick = NEIGHBOURS[(mix(self.seed ^ mix(session) ^ 0x9e0) % 6) as usize];
+        if pick == original {
+            "GB"
+        } else {
+            pick
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::standard(0xfa017)
+    }
+}
+
+/// Tally of injected faults, by class.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    exit_deaths: AtomicU64,
+    superproxy_errors: AtomicU64,
+    stalls: AtomicU64,
+    truncations: AtomicU64,
+    geo_drifts: AtomicU64,
+    delivered: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Requests killed because their exit had died.
+    pub exit_deaths: u64,
+    /// Requests killed by an injected superproxy 502.
+    pub superproxy_errors: u64,
+    /// Requests that were stalled (they still completed, slowly).
+    pub stalls: u64,
+    /// Responses whose body was truncated in transit.
+    pub truncations: u64,
+    /// Echo responses rewritten to a drifted country.
+    pub geo_drifts: u64,
+    /// Requests passed through without any injected fault.
+    pub delivered: u64,
+}
+
+impl FaultStats {
+    fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            exit_deaths: self.exit_deaths.load(Ordering::Relaxed),
+            superproxy_errors: self.superproxy_errors.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            geo_drifts: self.geo_drifts.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl FaultStatsSnapshot {
+    /// Total requests that were actively faulted (stalls excluded — those
+    /// requests still delivered a result).
+    pub fn faulted(&self) -> u64 {
+        self.exit_deaths + self.superproxy_errors + self.truncations
+    }
+}
+
+const COUNTER_SHARDS: usize = 32;
+
+/// A [`Transport`] decorator that injects a [`FaultPlan`] into every
+/// exchange of the wrapped transport.
+///
+/// Works over any transport — `LuminatiNetwork`, `VpsTransport`, test
+/// doubles — because all fault decisions are made from the request alone.
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    stats: FaultStats,
+    /// Per-session request sequence numbers (exit death spares request #1,
+    /// which is how a verified exit still dies under the probe).
+    seen: Vec<Mutex<HashMap<u64, u64>>>,
+}
+
+impl<T> FaultyTransport<T> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            plan,
+            stats: FaultStats::default(),
+            seen: (0..COUNTER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Claim the next sequence number (1-based) for `session`.
+    fn next_seq(&self, session: u64) -> u64 {
+        let shard = (mix(session) as usize) % COUNTER_SHARDS;
+        let mut map = self.seen[shard].lock();
+        let seq = map.entry(session).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let session = req.session.0;
+        let host = req.request.url.host.as_str().to_string();
+        let host_hash = hash_str(&host);
+        let flaky = self.plan.multiplier(req.country);
+        let seq = self.next_seq(session);
+
+        // The exit vanished mid-session: its first request (the
+        // connectivity check) worked, every later one dies.
+        if seq >= 2 && self.plan.exit_is_doomed(session, req.country) {
+            self.stats.exit_deaths.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::ProxyError {
+                detail: "exit vanished mid-session".to_string(),
+            });
+        }
+
+        // Superproxy tunnel failure, before any exit is involved.
+        if self.plan.draw(mix(session) ^ host_hash, SALT_SUPERPROXY)
+            < self.plan.superproxy_502_rate * flaky
+        {
+            self.stats.superproxy_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::ProxyError {
+                detail: "superproxy 502 bad gateway".to_string(),
+            });
+        }
+
+        // Slow-start / congested household: the exchange completes, late.
+        if self.plan.draw(mix(session) ^ host_hash, SALT_STALL)
+            < self.plan.stall_rate * flaky
+        {
+            self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            if !self.plan.stall.is_zero() {
+                tokio::time::sleep(self.plan.stall).await;
+            }
+        }
+
+        let mut resp = self.inner.fetch_one(req).await?;
+
+        if host == LUMTEST_HOST {
+            // Geolocation drift: the household moved (or the geo database
+            // is wrong) — the echo page tells the truth about it.
+            if self.plan.exit_has_drifted(session) {
+                let body = resp.body.as_text().into_owned();
+                if let Some(pos) = body.find("country=") {
+                    let start = pos + "country=".len();
+                    if body.len() >= start + 2 {
+                        let original = &body[start..start + 2];
+                        let drifted = self.plan.drift_target(session, original);
+                        let rewritten =
+                            format!("{}{}{}", &body[..start], drifted, &body[start + 2..]);
+                        resp.body = rewritten.into();
+                        self.stats.geo_drifts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            return Ok(resp);
+        }
+
+        // Truncated body: the bytes stopped early; the client notices the
+        // short read and reports it rather than handing over a partial
+        // page.
+        let len = resp.body.len();
+        if len > 0
+            && self.plan.draw(mix(session) ^ host_hash, SALT_TRUNCATE)
+                < self.plan.truncate_rate * flaky
+        {
+            self.stats.truncations.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::TruncatedBody {
+                received: len / 3,
+                expected: len,
+            });
+        }
+
+        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{Request, StatusCode};
+    use geoblock_lumscan::SessionId;
+    use geoblock_worldgen::cc;
+
+    /// An inner transport that always succeeds: body for sites, echo for
+    /// the check host.
+    struct Perfect;
+
+    impl Transport for Perfect {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let body = if req.request.url.host.as_str() == LUMTEST_HOST {
+                format!("ip=10.0.0.1&country={}", req.country)
+            } else {
+                "<html>0123456789 payload</html>".to_string()
+            };
+            Ok(Response::builder(StatusCode::OK).body(body).finish(req.request.url))
+        }
+    }
+
+    fn treq(host: &str, country: &str, session: u64) -> TransportRequest {
+        TransportRequest {
+            request: Request::get(format!("http://{host}/").parse().unwrap()),
+            country: cc(country),
+            session: SessionId(session),
+        }
+    }
+
+    #[tokio::test]
+    async fn transparent_plan_passes_everything() {
+        let t = FaultyTransport::new(Perfect, FaultPlan::none(1));
+        for s in 0..200 {
+            assert!(t.fetch_one(treq("site.com", "US", s)).await.is_ok());
+        }
+        let stats = t.stats();
+        assert_eq!(stats.faulted(), 0);
+        assert_eq!(stats.delivered, 200);
+    }
+
+    #[tokio::test]
+    async fn fault_sequence_is_deterministic() {
+        async fn run() -> Vec<bool> {
+            let t = FaultyTransport::new(Perfect, FaultPlan::standard(42));
+            let mut outcomes = Vec::new();
+            for s in 0..400 {
+                // Two requests per session, like verify-then-fetch.
+                outcomes.push(t.fetch_one(treq(LUMTEST_HOST, "US", s)).await.is_ok());
+                outcomes.push(t.fetch_one(treq("site.com", "US", s)).await.is_ok());
+            }
+            outcomes
+        }
+        let a = run().await;
+        let b = run().await;
+        assert_eq!(a, b);
+        assert!(a.iter().any(|ok| !ok), "some faults expected");
+    }
+
+    #[tokio::test]
+    async fn exit_death_spares_the_first_request() {
+        let plan = FaultPlan { exit_death_rate: 1.0, ..FaultPlan::none(7) };
+        let t = FaultyTransport::new(Perfect, plan);
+        assert!(t.fetch_one(treq(LUMTEST_HOST, "US", 5)).await.is_ok());
+        let err = t.fetch_one(treq("site.com", "US", 5)).await.unwrap_err();
+        assert!(matches!(err, FetchError::ProxyError { .. }), "{err:?}");
+        assert_eq!(t.stats().exit_deaths, 1);
+    }
+
+    #[tokio::test]
+    async fn truncation_reports_byte_counts() {
+        let plan = FaultPlan { truncate_rate: 1.0, ..FaultPlan::none(3) };
+        let t = FaultyTransport::new(Perfect, plan);
+        let err = t.fetch_one(treq("site.com", "US", 1)).await.unwrap_err();
+        match err {
+            FetchError::TruncatedBody { received, expected } => {
+                assert!(received < expected);
+                assert!(expected > 0);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn drifted_exits_echo_another_country() {
+        let plan = FaultPlan { geo_drift_rate: 1.0, ..FaultPlan::none(11) };
+        let t = FaultyTransport::new(Perfect, plan);
+        let resp = t.fetch_one(treq(LUMTEST_HOST, "IR", 9)).await.unwrap();
+        let body = resp.body.as_text().into_owned();
+        assert!(body.contains("country="), "{body}");
+        assert!(!body.contains("country=IR"), "drift must change the country: {body}");
+        assert_eq!(t.stats().geo_drifts, 1);
+    }
+
+    #[tokio::test]
+    async fn rates_are_roughly_honoured() {
+        let plan = FaultPlan { superproxy_502_rate: 0.2, ..FaultPlan::none(13) };
+        let t = FaultyTransport::new(Perfect, plan);
+        let mut failures = 0;
+        let n = 2_000;
+        for s in 0..n {
+            if t.fetch_one(treq("site.com", "US", s)).await.is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / n as f64;
+        assert!((0.15..0.25).contains(&rate), "rate {rate}");
+    }
+
+    #[tokio::test]
+    async fn country_flakiness_scales_rates() {
+        let plan = FaultPlan { superproxy_502_rate: 0.1, ..FaultPlan::none(17) }
+            .flaky_country(cc("KM"), 3.0);
+        let t = FaultyTransport::new(Perfect, plan);
+        let mut km = 0;
+        let mut ch = 0;
+        let n = 1_500;
+        for s in 0..n {
+            if t.fetch_one(treq("a.com", "KM", s)).await.is_err() {
+                km += 1;
+            }
+            if t.fetch_one(treq("b.com", "CH", s)).await.is_err() {
+                ch += 1;
+            }
+        }
+        assert!(km > ch * 2, "KM {km} vs CH {ch}");
+    }
+}

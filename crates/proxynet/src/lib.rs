@@ -19,9 +19,18 @@
 //! The network implements [`geoblock_lumscan::Transport`]; the engine's
 //! session IDs pin exit nodes, so the ≤10-requests-per-exit policy and
 //! retry-on-fresh-exit behaviour compose exactly as in the real system.
+//!
+//! The [`faults`] module takes the reliability model further: a seedable
+//! [`FaultPlan`] describes exit deaths, truncations, stalls, superproxy
+//! 502s, and geolocation drift, and [`FaultyTransport`] injects it into
+//! *any* transport — this one, `geoblock-netsim`'s, or a test double — so
+//! the retry subsystem can be exercised under controlled, replayable
+//! weather.
 
 pub mod exits;
+pub mod faults;
 pub mod network;
 
 pub use exits::ExitNode;
+pub use faults::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyTransport};
 pub use network::{LuminatiConfig, LuminatiNetwork, LUMTEST_HOST};

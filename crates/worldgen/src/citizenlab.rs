@@ -54,7 +54,7 @@ impl CitizenLabList {
         for i in 0..dedicated {
             let a = SENSITIVE_STEMS[rng.gen_range(0..SENSITIVE_STEMS.len())];
             let b = SENSITIVE_SUFFIXES[rng.gen_range(0..SENSITIVE_SUFFIXES.len())];
-            let tld = ["org", "com", "net", "info"][rng.gen_range(0..4)];
+            let tld = ["org", "com", "net", "info"][rng.gen_range(0..4usize)];
             domains.insert(format!("{a}{b}{i}.{tld}"));
         }
 

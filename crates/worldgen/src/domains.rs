@@ -373,7 +373,7 @@ impl AlexaPopulation {
         }
         if !providers.is_empty() && rng.gen_bool(DUAL_SERVICE_RATE) {
             let secondary = [Provider::Akamai, Provider::Incapsula, Provider::CloudFront]
-                [rng.gen_range(0..3)];
+                [rng.gen_range(0..3usize)];
             if !providers.contains(&secondary) {
                 providers.push(secondary);
             }

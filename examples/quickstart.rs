@@ -17,7 +17,8 @@ async fn main() {
     let world = Arc::new(World::build(WorldConfig::tiny(42)));
     let internet = Arc::new(SimInternet::new(world.clone()));
     let luminati = LuminatiNetwork::new(internet);
-    let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
+    let config = LumscanConfig::builder().build().expect("valid engine config");
+    let engine = Arc::new(Lumscan::new(luminati, config));
 
     // Find a domain that actually geoblocks, so the demo shows something.
     let domain = (1..=world.config.population_size)

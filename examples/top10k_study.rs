@@ -17,7 +17,10 @@ async fn main() {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::default(),
+        LumscanConfig::builder()
+            .retry(RetryPolicy::with_max_retries(3))
+            .build()
+            .expect("valid engine config"),
     ));
 
     // The study's safety filter: drop risky categories and Citizen-Lab
@@ -40,7 +43,12 @@ async fn main() {
     .collect();
     let rep = panel[..6].to_vec();
 
-    let study = Top10kStudy::new(engine, StudyConfig::new(panel, rep));
+    let config = StudyConfig::builder()
+        .countries(panel)
+        .rep_countries(rep)
+        .build()
+        .expect("valid study config");
+    let study = Top10kStudy::new(engine, config);
     println!("baseline: 3 samples x {} pairs...", domains.len() * 14);
     let mut result = study.baseline(&domains).await;
 

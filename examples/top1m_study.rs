@@ -58,9 +58,14 @@ async fn main() {
         .collect();
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::default(),
+        LumscanConfig::builder().build().expect("valid engine config"),
     ));
-    let study = Top1mStudy::new(engine, StudyConfig::new(panel.clone(), panel[..4].to_vec()));
+    let config = StudyConfig::builder()
+        .countries(panel.clone())
+        .rep_countries(panel[..4].to_vec())
+        .build()
+        .expect("valid study config");
+    let study = Top1mStudy::new(engine, config);
     let mut result = study.baseline(&sample).await;
     study.confirm_explicit(&mut result).await;
     study

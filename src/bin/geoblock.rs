@@ -230,7 +230,7 @@ fn study(args: &Args) -> Result<(), String> {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::default(),
+        LumscanConfig::builder().build().map_err(|e| e.to_string())?,
     ));
     let fg = Fortiguard::new(&world);
     let domains = fg.safe_toplist(args.top);
@@ -240,8 +240,12 @@ fn study(args: &Args) -> Result<(), String> {
         args.from.len(),
         args.seed
     );
-    let rep = args.from.clone();
-    let study = Top10kStudy::new(engine, StudyConfig::new(args.from.clone(), rep));
+    let config = StudyConfig::builder()
+        .countries(args.from.clone())
+        .rep_countries(args.from.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let study = Top10kStudy::new(engine, config);
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
         .build()
@@ -317,7 +321,7 @@ fn probe(args: &Args) -> Result<(), String> {
     let internet = Arc::new(SimInternet::new(world));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet),
-        LumscanConfig::default(),
+        LumscanConfig::builder().build().map_err(|e| e.to_string())?,
     ));
     let targets: Vec<ProbeTarget> = args
         .from

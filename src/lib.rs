@@ -57,19 +57,30 @@ pub use geoblock_textmine as textmine;
 pub use geoblock_worldgen as worldgen;
 
 /// The most commonly used types, re-exported flat.
+///
+/// Everything a study driver needs: the engine and its builder-style
+/// configuration, the retry/breaker subsystem, fault injection, the
+/// simulated world and networks, and the measurement pipeline's entry
+/// points.
 pub mod prelude {
     pub use geoblock_analysis::{Fortiguard, TextTable};
     pub use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
     pub use geoblock_core::{
-        ConfirmConfig, GeoblockVerdict, Obs, SampleStore, StudyConfig, StudyResult,
-        Top10kStudy, Top1mStudy,
+        ConfirmConfig, GeoblockVerdict, Obs, SampleStore, StudyConfig, StudyConfigBuilder,
+        StudyResult, Top10kStudy, Top1mStudy,
     };
     pub use geoblock_http::{
-        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, StatusCode, Url,
+        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability,
+        StatusCode, Url,
     };
-    pub use geoblock_lumscan::{Lumscan, LumscanConfig, ProbeTarget, Transport};
+    pub use geoblock_lumscan::{
+        BatchStats, CircuitBreaker, ConfigError, Lumscan, LumscanConfig, LumscanConfigBuilder,
+        ProbeResult, ProbeTarget, RetryPolicy, Transport,
+    };
     pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
-    pub use geoblock_proxynet::{LuminatiConfig, LuminatiNetwork};
+    pub use geoblock_proxynet::{
+        FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig, LuminatiNetwork,
+    };
     pub use geoblock_worldgen::{
         cc, AlexaPopulation, Category, CfTier, CountryCode, CountrySet, RulesSnapshot, World,
         WorldConfig,

@@ -26,7 +26,14 @@ async fn discovery_finds_block_page_families_with_pure_clusters() {
     let fg = Fortiguard::new(&world);
     let domains: Vec<String> = fg.safe_toplist(900);
     let rep = panel()[..6].to_vec();
-    let study = Top10kStudy::new(engine, StudyConfig::new(panel(), rep.clone()));
+    let study = Top10kStudy::new(
+        engine,
+        StudyConfig::builder()
+            .countries(panel())
+            .rep_countries(rep.clone())
+            .build()
+            .expect("valid study config"),
+    );
     let result = study.baseline(&domains).await;
 
     let outliers = extract_outliers(
@@ -83,7 +90,14 @@ async fn consistency_rule_separates_geoblockers_from_bot_noise() {
     assert!(akamai_domains.len() > 30, "{}", akamai_domains.len());
 
     let rep = panel()[..4].to_vec();
-    let study = Top1mStudy::new(engine, StudyConfig::new(panel(), rep));
+    let study = Top1mStudy::new(
+        engine,
+        StudyConfig::builder()
+            .countries(panel())
+            .rep_countries(rep)
+            .build()
+            .expect("valid study config"),
+    );
     let mut result = study.baseline(&akamai_domains).await;
     study
         .confirm_ambiguous(&mut result, &[PageKind::Akamai])

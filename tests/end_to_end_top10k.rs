@@ -6,7 +6,6 @@
 use std::sync::Arc;
 
 use geoblock::analysis::coverage::CoverageStats;
-use geoblock::analysis::Fortiguard;
 use geoblock::core::discovery::{discover, DiscoveryConfig};
 use geoblock::core::outliers::{extract_outliers, OutlierConfig};
 use geoblock::prelude::*;
@@ -35,7 +34,11 @@ fn fixture() -> Fixture {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let luminati = LuminatiNetwork::new(internet);
     let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
-    let config = StudyConfig::new(panel(), rep_countries());
+    let config = StudyConfig::builder()
+        .countries(panel())
+        .rep_countries(rep_countries())
+        .build()
+        .expect("valid study config");
     let fg = Fortiguard::new(&world);
     // 600 domains keeps the test under a few seconds while covering every
     // provider.
@@ -167,7 +170,11 @@ async fn studies_replay_identically() {
         let internet = Arc::new(SimInternet::new(world.clone()));
         let luminati = LuminatiNetwork::new(internet);
         let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
-        let config = StudyConfig::new(panel(), rep_countries());
+        let config = StudyConfig::builder()
+            .countries(panel())
+            .rep_countries(rep_countries())
+            .build()
+            .expect("valid study config");
         let study = Top10kStudy::new(engine, config);
         let domains: Vec<String> = (1..=60).map(|r| world.population.spec(r).name).collect();
         let result = study.baseline(&domains).await;

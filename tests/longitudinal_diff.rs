@@ -32,7 +32,11 @@ async fn diff_detects_the_makro_policy_flip() {
     let mut domains = vec!["makro.co.za".to_string()];
     domains.extend(stable.iter().cloned());
 
-    let config = StudyConfig::new(countries.clone(), countries[..2].to_vec());
+    let config = StudyConfig::builder()
+        .countries(countries.clone())
+        .rep_countries(countries[..2].to_vec())
+        .build()
+        .expect("valid study config");
     let study = Top10kStudy::new(engine.clone(), config.clone());
 
     // Snapshot 1: during the baseline window (day 0), confirmed same-day.

@@ -13,7 +13,7 @@ fn stack() -> (Arc<World>, Arc<SimInternet>, Arc<Lumscan<LuminatiNetwork>>) {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::default(),
+        LumscanConfig::builder().build().expect("valid engine config"),
     ));
     (world, internet, engine)
 }
