@@ -76,12 +76,10 @@ where
 }
 
 /// Convenience: a CI on the total instance count.
-pub fn instances_interval(
-    verdicts: &[GeoblockVerdict],
-    resamples: usize,
-    seed: u64,
-) -> Interval {
-    bootstrap_domains(verdicts, resamples, 0.95, seed, |sample| sample.len() as f64)
+pub fn instances_interval(verdicts: &[GeoblockVerdict], resamples: usize, seed: u64) -> Interval {
+    bootstrap_domains(verdicts, resamples, 0.95, seed, |sample| {
+        sample.len() as f64
+    })
 }
 
 /// Convenience: a CI on the count of instances in one country.

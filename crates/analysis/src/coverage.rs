@@ -85,7 +85,15 @@ mod tests {
             vec!["alive.com".into(), "dead.com".into(), "refused.com".into()],
             vec![cc("US")],
         );
-        s.push(0, 0, Obs::Response { status: 200, len: 10, page: None });
+        s.push(
+            0,
+            0,
+            Obs::Response {
+                status: 200,
+                len: 10,
+                page: None,
+            },
+        );
         s.push(1, 0, Obs::Error(ErrKind::Timeout));
         s.push(2, 0, Obs::Error(ErrKind::ProxyRefused));
         let stats = CoverageStats::compute(&s);
@@ -101,9 +109,25 @@ mod tests {
         );
         // US: both respond. KM: only one responds.
         for d in 0..2 {
-            s.push(d, 0, Obs::Response { status: 200, len: 10, page: None });
+            s.push(
+                d,
+                0,
+                Obs::Response {
+                    status: 200,
+                    len: 10,
+                    page: None,
+                },
+            );
         }
-        s.push(0, 1, Obs::Response { status: 200, len: 10, page: None });
+        s.push(
+            0,
+            1,
+            Obs::Response {
+                status: 200,
+                len: 10,
+                page: None,
+            },
+        );
         s.push(1, 1, Obs::Error(ErrKind::Timeout));
         let stats = CoverageStats::compute(&s);
         let (worst, rate) = stats.worst_country().unwrap();
@@ -124,7 +148,15 @@ mod tests {
                 if fail {
                     s.push(d, 0, Obs::Error(ErrKind::Timeout));
                 } else {
-                    s.push(d, 0, Obs::Response { status: 200, len: 10, page: None });
+                    s.push(
+                        d,
+                        0,
+                        Obs::Response {
+                            status: 200,
+                            len: 10,
+                            page: None,
+                        },
+                    );
                 }
             }
         }

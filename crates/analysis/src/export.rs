@@ -93,7 +93,10 @@ impl std::fmt::Display for ExportError {
         match self {
             ExportError::Json(e) => write!(f, "JSON error: {e}"),
             ExportError::Version { found, supported } => {
-                write!(f, "unsupported export version {found} (supported: {supported})")
+                write!(
+                    f,
+                    "unsupported export version {found} (supported: {supported})"
+                )
             }
         }
     }

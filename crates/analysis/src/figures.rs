@@ -99,7 +99,10 @@ impl Figure3 {
 
     /// Rate at a given size (the paper quotes 1.7% at size 3).
     pub fn at(&self, size: usize) -> Option<f64> {
-        self.series.iter().find(|(s, _)| *s == size).map(|(_, r)| *r)
+        self.series
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, r)| *r)
     }
 }
 
@@ -149,7 +152,10 @@ impl Figure5 {
                 && rule.action == RuleAction::Block
                 && countries.contains(&rule.country)
             {
-                per_country.entry(rule.country).or_default().push(rule.activated_day);
+                per_country
+                    .entry(rule.country)
+                    .or_default()
+                    .push(rule.activated_day);
             }
         }
         for days in per_country.values_mut() {

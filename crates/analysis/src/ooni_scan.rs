@@ -123,7 +123,14 @@ mod tests {
     fn ambiguous_pages_do_not_count_as_explicit() {
         let akamai = "Access Denied You don't have permission to access \
                       \"http&#58;&#47;&#47;x&#47;\" Reference&#32;&#35;18.abc";
-        let corpus = vec![measurement("a.com", "CN", Some(akamai), Some(403), Some(200), true)];
+        let corpus = vec![measurement(
+            "a.com",
+            "CN",
+            Some(akamai),
+            Some(403),
+            Some(200),
+            true,
+        )];
         let report = scan(&corpus, &FingerprintSet::paper(), 10);
         assert_eq!(report.explicit_matches, 0);
     }

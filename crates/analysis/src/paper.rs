@@ -14,69 +14,321 @@ pub struct PaperValue {
 
 /// The key published values this reproduction compares against.
 pub const PAPER_VALUES: &[PaperValue] = &[
-    PaperValue { experiment: "Table 1", metric: "initial domains", value: "10,000" },
-    PaperValue { experiment: "Table 1", metric: "safe domains", value: "8,003" },
-    PaperValue { experiment: "Table 1", metric: "initial samples (pairs)", value: "1,416,531" },
-    PaperValue { experiment: "Table 1", metric: "clustered pages", value: "24,381" },
-    PaperValue { experiment: "Table 1", metric: "clusters", value: "119" },
-    PaperValue { experiment: "Table 1", metric: "discovered CDNs/hosts", value: "7" },
-    PaperValue { experiment: "Table 2", metric: "overall recall", value: "58.3%" },
-    PaperValue { experiment: "Table 2", metric: "Cloudflare recall", value: "93.8%" },
-    PaperValue { experiment: "Table 2", metric: "Akamai recall", value: "43.7%" },
-    PaperValue { experiment: "§4.1.2", metric: "outlier rate (top-20 countries)", value: "5.1%" },
-    PaperValue { experiment: "§4.2", metric: "Top-10K instances", value: "596" },
-    PaperValue { experiment: "§4.2", metric: "Top-10K unique domains", value: "100" },
-    PaperValue { experiment: "§4.2", metric: "instances eliminated by 80% rule", value: "77 (11.4%)" },
-    PaperValue { experiment: "Table 5", metric: "most blocked country", value: "Syria (71)" },
-    PaperValue { experiment: "Table 5", metric: "2nd–4th", value: "Iran 67, Sudan 66, Cuba 66" },
-    PaperValue { experiment: "Table 5", metric: ".com share of blockers", value: "70 of 100" },
-    PaperValue { experiment: "Table 6", metric: "provider totals (CF/CFront/GAE)", value: "248/167/169" },
-    PaperValue { experiment: "§4.2.1", metric: "Top-10K CDN populations (CF/CFront/GAE)", value: "1,394/364/108" },
-    PaperValue { experiment: "§4.2.1", metric: "GAE customers geoblocking", value: "40.7%" },
-    PaperValue { experiment: "§4.2.1", metric: "CF customers geoblocking", value: "3.1%" },
-    PaperValue { experiment: "§4.2.1", metric: "CloudFront customers geoblocking", value: "1.4%" },
-    PaperValue { experiment: "§4.1.1", metric: "never-responding domains", value: "286" },
-    PaperValue { experiment: "§4.1.1", metric: "Luminati-refused domains", value: "13" },
-    PaperValue { experiment: "§4.1.1", metric: "90th-pct domain error rate", value: "11.7%" },
-    PaperValue { experiment: "§4.1.1", metric: "worst-covered country", value: "Comoros (76.4%)" },
-    PaperValue { experiment: "Fig 1", metric: "draws <80% at size 20", value: "3.9%" },
-    PaperValue { experiment: "Fig 2", metric: "FN across 5%–50% cutoffs", value: "≈20% (text; Table 2 implies ≈42%)" },
-    PaperValue { experiment: "Fig 3", metric: "FN rate at 3 samples", value: "1.7%" },
-    PaperValue { experiment: "Fig 4", metric: "pairs >80% agreement", value: "vast majority" },
-    PaperValue { experiment: "§5.1.1", metric: "Top-1M Cloudflare customers", value: "109,801" },
-    PaperValue { experiment: "§5.1.1", metric: "Top-1M CloudFront customers", value: "10,856" },
-    PaperValue { experiment: "§5.1.1", metric: "Top-1M Incapsula customers", value: "5,570" },
-    PaperValue { experiment: "§5.1.1", metric: "Top-1M Akamai customers", value: "10,727" },
-    PaperValue { experiment: "§5.1.1", metric: "Top-1M AppEngine customers", value: "16,455" },
-    PaperValue { experiment: "§5.1.1", metric: "unique CDN customers", value: "152,001" },
-    PaperValue { experiment: "§5.1.1", metric: "dual-service domains", value: "1,408" },
-    PaperValue { experiment: "§5.1.1", metric: "AppEngine netblocks", value: "65" },
-    PaperValue { experiment: "§5.1.2", metric: "safe CDN customers", value: "123,614" },
-    PaperValue { experiment: "§5.1.2", metric: "5% sample size", value: "6,180" },
-    PaperValue { experiment: "§5.2.1", metric: "Top-1M instances", value: "1,565" },
-    PaperValue { experiment: "§5.2.1", metric: "Top-1M unique domains", value: "238" },
-    PaperValue { experiment: "§5.2.1", metric: "median blocked per country", value: "4" },
-    PaperValue { experiment: "§5.2.1", metric: "GAE sample geoblocking rate", value: "16.8% (112/667)" },
-    PaperValue { experiment: "§5.2.1", metric: "CloudFront sample rate", value: "3.1% (16/512)" },
-    PaperValue { experiment: "§5.2.1", metric: "Cloudflare sample rate", value: "2.6% (110/4,283)" },
-    PaperValue { experiment: "Table 7", metric: "top countries", value: "Iran 178, Sudan 169, Syria 168, Cuba 165" },
-    PaperValue { experiment: "Table 8", metric: "overall blocked share", value: "4.4% (238/5,462)" },
-    PaperValue { experiment: "Table 8", metric: "Shopping blocked share", value: "14.1%" },
-    PaperValue { experiment: "§5.2.2", metric: "Akamai confirmed blockers", value: "14 of 101 showing pages" },
-    PaperValue { experiment: "§5.2.2", metric: "Incapsula confirmed blockers", value: "17 of 107 showing pages" },
-    PaperValue { experiment: "§5.2.2", metric: "explicit blockers at 100% consistency", value: "≈85%" },
-    PaperValue { experiment: "§5.2.2", metric: "Akamai at 100% consistency", value: "13.9%" },
-    PaperValue { experiment: "§3.1", metric: "NS-identified CF/Akamai customers", value: "2,171 / 4,111" },
-    PaperValue { experiment: "§3.1", metric: "403s from Iran vs US", value: "707 vs 69" },
-    PaperValue { experiment: "§3.1", metric: "flagged pairs → genuine", value: "1,068 → 782" },
-    PaperValue { experiment: "§3.1", metric: "false-positive rate (all Akamai)", value: "27%" },
-    PaperValue { experiment: "Table 9", metric: "baseline (all tiers)", value: "1.93%" },
-    PaperValue { experiment: "Table 9", metric: "Enterprise baseline", value: "37.07%" },
-    PaperValue { experiment: "Table 9", metric: "Enterprise KP rate", value: "16.50%" },
-    PaperValue { experiment: "§7.1", metric: "OONI fingerprint matches", value: "8,313 in 139 countries" },
-    PaperValue { experiment: "§7.1", metric: "test-list domains matched", value: "97 (≈9%)" },
-    PaperValue { experiment: "§7.1", metric: "control-403 on CDN infra", value: "36,028" },
-    PaperValue { experiment: "§7.1", metric: "local-blocked / control-ok", value: "14,380" },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "initial domains",
+        value: "10,000",
+    },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "safe domains",
+        value: "8,003",
+    },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "initial samples (pairs)",
+        value: "1,416,531",
+    },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "clustered pages",
+        value: "24,381",
+    },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "clusters",
+        value: "119",
+    },
+    PaperValue {
+        experiment: "Table 1",
+        metric: "discovered CDNs/hosts",
+        value: "7",
+    },
+    PaperValue {
+        experiment: "Table 2",
+        metric: "overall recall",
+        value: "58.3%",
+    },
+    PaperValue {
+        experiment: "Table 2",
+        metric: "Cloudflare recall",
+        value: "93.8%",
+    },
+    PaperValue {
+        experiment: "Table 2",
+        metric: "Akamai recall",
+        value: "43.7%",
+    },
+    PaperValue {
+        experiment: "§4.1.2",
+        metric: "outlier rate (top-20 countries)",
+        value: "5.1%",
+    },
+    PaperValue {
+        experiment: "§4.2",
+        metric: "Top-10K instances",
+        value: "596",
+    },
+    PaperValue {
+        experiment: "§4.2",
+        metric: "Top-10K unique domains",
+        value: "100",
+    },
+    PaperValue {
+        experiment: "§4.2",
+        metric: "instances eliminated by 80% rule",
+        value: "77 (11.4%)",
+    },
+    PaperValue {
+        experiment: "Table 5",
+        metric: "most blocked country",
+        value: "Syria (71)",
+    },
+    PaperValue {
+        experiment: "Table 5",
+        metric: "2nd–4th",
+        value: "Iran 67, Sudan 66, Cuba 66",
+    },
+    PaperValue {
+        experiment: "Table 5",
+        metric: ".com share of blockers",
+        value: "70 of 100",
+    },
+    PaperValue {
+        experiment: "Table 6",
+        metric: "provider totals (CF/CFront/GAE)",
+        value: "248/167/169",
+    },
+    PaperValue {
+        experiment: "§4.2.1",
+        metric: "Top-10K CDN populations (CF/CFront/GAE)",
+        value: "1,394/364/108",
+    },
+    PaperValue {
+        experiment: "§4.2.1",
+        metric: "GAE customers geoblocking",
+        value: "40.7%",
+    },
+    PaperValue {
+        experiment: "§4.2.1",
+        metric: "CF customers geoblocking",
+        value: "3.1%",
+    },
+    PaperValue {
+        experiment: "§4.2.1",
+        metric: "CloudFront customers geoblocking",
+        value: "1.4%",
+    },
+    PaperValue {
+        experiment: "§4.1.1",
+        metric: "never-responding domains",
+        value: "286",
+    },
+    PaperValue {
+        experiment: "§4.1.1",
+        metric: "Luminati-refused domains",
+        value: "13",
+    },
+    PaperValue {
+        experiment: "§4.1.1",
+        metric: "90th-pct domain error rate",
+        value: "11.7%",
+    },
+    PaperValue {
+        experiment: "§4.1.1",
+        metric: "worst-covered country",
+        value: "Comoros (76.4%)",
+    },
+    PaperValue {
+        experiment: "Fig 1",
+        metric: "draws <80% at size 20",
+        value: "3.9%",
+    },
+    PaperValue {
+        experiment: "Fig 2",
+        metric: "FN across 5%–50% cutoffs",
+        value: "≈20% (text; Table 2 implies ≈42%)",
+    },
+    PaperValue {
+        experiment: "Fig 3",
+        metric: "FN rate at 3 samples",
+        value: "1.7%",
+    },
+    PaperValue {
+        experiment: "Fig 4",
+        metric: "pairs >80% agreement",
+        value: "vast majority",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "Top-1M Cloudflare customers",
+        value: "109,801",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "Top-1M CloudFront customers",
+        value: "10,856",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "Top-1M Incapsula customers",
+        value: "5,570",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "Top-1M Akamai customers",
+        value: "10,727",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "Top-1M AppEngine customers",
+        value: "16,455",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "unique CDN customers",
+        value: "152,001",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "dual-service domains",
+        value: "1,408",
+    },
+    PaperValue {
+        experiment: "§5.1.1",
+        metric: "AppEngine netblocks",
+        value: "65",
+    },
+    PaperValue {
+        experiment: "§5.1.2",
+        metric: "safe CDN customers",
+        value: "123,614",
+    },
+    PaperValue {
+        experiment: "§5.1.2",
+        metric: "5% sample size",
+        value: "6,180",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "Top-1M instances",
+        value: "1,565",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "Top-1M unique domains",
+        value: "238",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "median blocked per country",
+        value: "4",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "GAE sample geoblocking rate",
+        value: "16.8% (112/667)",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "CloudFront sample rate",
+        value: "3.1% (16/512)",
+    },
+    PaperValue {
+        experiment: "§5.2.1",
+        metric: "Cloudflare sample rate",
+        value: "2.6% (110/4,283)",
+    },
+    PaperValue {
+        experiment: "Table 7",
+        metric: "top countries",
+        value: "Iran 178, Sudan 169, Syria 168, Cuba 165",
+    },
+    PaperValue {
+        experiment: "Table 8",
+        metric: "overall blocked share",
+        value: "4.4% (238/5,462)",
+    },
+    PaperValue {
+        experiment: "Table 8",
+        metric: "Shopping blocked share",
+        value: "14.1%",
+    },
+    PaperValue {
+        experiment: "§5.2.2",
+        metric: "Akamai confirmed blockers",
+        value: "14 of 101 showing pages",
+    },
+    PaperValue {
+        experiment: "§5.2.2",
+        metric: "Incapsula confirmed blockers",
+        value: "17 of 107 showing pages",
+    },
+    PaperValue {
+        experiment: "§5.2.2",
+        metric: "explicit blockers at 100% consistency",
+        value: "≈85%",
+    },
+    PaperValue {
+        experiment: "§5.2.2",
+        metric: "Akamai at 100% consistency",
+        value: "13.9%",
+    },
+    PaperValue {
+        experiment: "§3.1",
+        metric: "NS-identified CF/Akamai customers",
+        value: "2,171 / 4,111",
+    },
+    PaperValue {
+        experiment: "§3.1",
+        metric: "403s from Iran vs US",
+        value: "707 vs 69",
+    },
+    PaperValue {
+        experiment: "§3.1",
+        metric: "flagged pairs → genuine",
+        value: "1,068 → 782",
+    },
+    PaperValue {
+        experiment: "§3.1",
+        metric: "false-positive rate (all Akamai)",
+        value: "27%",
+    },
+    PaperValue {
+        experiment: "Table 9",
+        metric: "baseline (all tiers)",
+        value: "1.93%",
+    },
+    PaperValue {
+        experiment: "Table 9",
+        metric: "Enterprise baseline",
+        value: "37.07%",
+    },
+    PaperValue {
+        experiment: "Table 9",
+        metric: "Enterprise KP rate",
+        value: "16.50%",
+    },
+    PaperValue {
+        experiment: "§7.1",
+        metric: "OONI fingerprint matches",
+        value: "8,313 in 139 countries",
+    },
+    PaperValue {
+        experiment: "§7.1",
+        metric: "test-list domains matched",
+        value: "97 (≈9%)",
+    },
+    PaperValue {
+        experiment: "§7.1",
+        metric: "control-403 on CDN infra",
+        value: "36,028",
+    },
+    PaperValue {
+        experiment: "§7.1",
+        metric: "local-blocked / control-ok",
+        value: "14,380",
+    },
 ];
 
 /// Values for one experiment id.
@@ -91,8 +343,8 @@ mod tests {
     #[test]
     fn every_table_and_figure_is_covered() {
         for id in [
-            "Table 1", "Table 2", "Table 5", "Table 6", "Table 7", "Table 8", "Table 9",
-            "Fig 1", "Fig 2", "Fig 3", "Fig 4", "§3.1", "§5.1.1", "§7.1",
+            "Table 1", "Table 2", "Table 5", "Table 6", "Table 7", "Table 8", "Table 9", "Fig 1",
+            "Fig 2", "Fig 3", "Fig 4", "§3.1", "§5.1.1", "§7.1",
         ] {
             assert!(!for_experiment(id).is_empty(), "no paper values for {id}");
         }

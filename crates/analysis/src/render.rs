@@ -26,7 +26,8 @@ impl TextTable {
     /// Append a row (must match header arity).
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut TextTable {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

@@ -70,8 +70,7 @@ pub fn below_threshold(
     threshold: f64,
 ) -> Option<f64> {
     consistencies.get(&size).map(|fractions| {
-        fractions.iter().filter(|&&f| f < threshold).count() as f64
-            / fractions.len().max(1) as f64
+        fractions.iter().filter(|&&f| f < threshold).count() as f64 / fractions.len().max(1) as f64
     })
 }
 

@@ -40,8 +40,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return None;
         }
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         Some(self.sorted[rank - 1])
     }
 

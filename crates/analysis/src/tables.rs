@@ -17,8 +17,11 @@ use crate::fortiguard::Fortiguard;
 use crate::render::TextTable;
 
 /// The three providers whose verdicts enter the headline tables.
-pub const MAIN_PROVIDERS: [Provider; 3] =
-    [Provider::Cloudflare, Provider::CloudFront, Provider::AppEngine];
+pub const MAIN_PROVIDERS: [Provider; 3] = [
+    Provider::Cloudflare,
+    Provider::CloudFront,
+    Provider::AppEngine,
+];
 
 /// Filter verdicts to the main-study providers.
 pub fn main_study(verdicts: &[GeoblockVerdict]) -> Vec<&GeoblockVerdict> {
@@ -93,7 +96,8 @@ pub fn table2(report: &OutlierReport) -> TextTable {
         "Table 2: Recall for block pages (30% length metric)",
         &["Page", "Recalled", "Actual", "Recall"],
     );
-    let mut rows: Vec<(PageKind, (u32, u32))> = report.recall.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut rows: Vec<(PageKind, (u32, u32))> =
+        report.recall.iter().map(|(k, v)| (*k, *v)).collect();
     rows.sort_by_key(|(k, _)| *k);
     for (kind, (recalled, actual)) in rows {
         t.row(&[
@@ -202,7 +206,10 @@ pub fn table_categories(
         t.row(&[
             cat.label().to_string(),
             tested.to_string(),
-            format!("{blocked} ({:.1}%)", 100.0 * *blocked as f64 / (*tested).max(1) as f64),
+            format!(
+                "{blocked} ({:.1}%)",
+                100.0 * *blocked as f64 / (*tested).max(1) as f64
+            ),
         ]);
     }
     let tt: usize = rows.iter().map(|r| r.1).sum();
@@ -273,7 +280,9 @@ pub fn instances_by_country(verdicts: &[&GeoblockVerdict]) -> Vec<(CountryCode, 
 }
 
 fn country_name(code: CountryCode) -> String {
-    code.info().map(|i| i.name.to_string()).unwrap_or_else(|| code.to_string())
+    code.info()
+        .map(|i| i.name.to_string())
+        .unwrap_or_else(|| code.to_string())
 }
 
 /// Tables 6 / 7: geoblocking instances by country × CDN.
@@ -282,7 +291,10 @@ pub fn table_country_provider(title: &str, verdicts: &[GeoblockVerdict]) -> Text
     let mut per: BTreeMap<CountryCode, [usize; 3]> = BTreeMap::new();
     for v in &main {
         let counts = per.entry(v.country).or_insert([0; 3]);
-        if let Some(i) = MAIN_PROVIDERS.iter().position(|p| *p == provider_of(v.kind)) {
+        if let Some(i) = MAIN_PROVIDERS
+            .iter()
+            .position(|p| *p == provider_of(v.kind))
+        {
             counts[i] += 1;
         }
     }
@@ -292,7 +304,10 @@ pub fn table_country_provider(title: &str, verdicts: &[GeoblockVerdict]) -> Text
         .collect();
     rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
 
-    let mut t = TextTable::new(title, &["Country", "Cloudflare", "CloudFront", "AppEngine", "Total"]);
+    let mut t = TextTable::new(
+        title,
+        &["Country", "Cloudflare", "CloudFront", "AppEngine", "Total"],
+    );
     for (country, counts, total) in rows.iter().take(10) {
         t.row(&[
             country_name(*country),
@@ -337,7 +352,10 @@ pub fn table_consistency(
     title: &str,
     reports: &[geoblock_core::consistency::ConsistencyReport],
 ) -> TextTable {
-    let mut t = TextTable::new(title, &["Domain", "Score", "Blocked countries", "Confirmed"]);
+    let mut t = TextTable::new(
+        title,
+        &["Domain", "Score", "Blocked countries", "Confirmed"],
+    );
     let mut rows: Vec<_> = reports.iter().collect();
     rows.sort_by(|a, b| {
         b.score
@@ -356,7 +374,12 @@ pub fn table_consistency(
             r.domain.clone(),
             format!("{:.0}%", 100.0 * r.score),
             countries.join(","),
-            if r.is_confirmed_geoblocker() { "yes" } else { "" }.to_string(),
+            if r.is_confirmed_geoblocker() {
+                "yes"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     t
@@ -365,8 +388,8 @@ pub fn table_consistency(
 /// Table 9: Cloudflare rule rates by account tier.
 pub fn table9(snapshot: &RulesSnapshot) -> TextTable {
     let countries = [
-        "RU", "CN", "KP", "IR", "UA", "RO", "IN", "BR", "VN", "CZ", "ID", "IQ", "HR", "SY",
-        "EE", "SD",
+        "RU", "CN", "KP", "IR", "UA", "RO", "IN", "BR", "VN", "CZ", "ID", "IQ", "HR", "SY", "EE",
+        "SD",
     ];
     let mut t = TextTable::new(
         "Table 9: Most geoblocked countries by Cloudflare customers, by account type",

@@ -11,7 +11,10 @@
 //! * `ablation_clustering` — 1-gram vs 1+2-gram features and the
 //!   single-link threshold sweep;
 //! * `ablation_fault_hardening` — naive (no-retry) vs hardened probing
-//!   under the standard fault plan (§3.2's reliability machinery).
+//!   under the standard fault plan (§3.2's reliability machinery);
+//! * `ablation_streaming` — chunked barrier-batch vs the streaming probe
+//!   pipeline under a straggler-heavy fault plan: wall-clock and peak
+//!   in-flight targets.
 //!
 //! Each bench `eprintln!`s its measured ablation result once during setup,
 //! so `cargo bench` output doubles as the ablation report.
@@ -76,9 +79,18 @@ fn ablation_length_metric(c: &mut Criterion) {
         rec as f64 / act.max(1) as f64
     };
     eprintln!("\nablation_length_metric (recall of block pages):");
-    eprintln!("  percent cutoff 30%      : {:.1}%", 100.0 * pct_recall(0.30));
-    eprintln!("  raw cutoff 4,000 bytes  : {:.1}%", 100.0 * raw_recall(4_000.0));
-    eprintln!("  raw cutoff 10,000 bytes : {:.1}%", 100.0 * raw_recall(10_000.0));
+    eprintln!(
+        "  percent cutoff 30%      : {:.1}%",
+        100.0 * pct_recall(0.30)
+    );
+    eprintln!(
+        "  raw cutoff 4,000 bytes  : {:.1}%",
+        100.0 * raw_recall(4_000.0)
+    );
+    eprintln!(
+        "  raw cutoff 10,000 bytes : {:.1}%",
+        100.0 * raw_recall(10_000.0)
+    );
 
     c.bench_function("ablation_length_metric", |b| {
         b.iter(|| black_box((pct_recall(0.30), raw_recall(4_000.0))))
@@ -103,7 +115,11 @@ fn ablation_cutoff_sweep(c: &mut Criterion) {
                 }
             }
         }
-        eprintln!("  cutoff {:>4.0}% : recall {:.1}%", cutoff * 100.0, 100.0 * rec as f64 / act.max(1) as f64);
+        eprintln!(
+            "  cutoff {:>4.0}% : recall {:.1}%",
+            cutoff * 100.0,
+            100.0 * rec as f64 / act.max(1) as f64
+        );
     }
 
     c.bench_function("ablation_cutoff_sweep", |b| {
@@ -111,11 +127,9 @@ fn ablation_cutoff_sweep(c: &mut Criterion) {
             let mut total = 0u32;
             for cutoff in [0.05f64, 0.10, 0.20, 0.30, 0.40, 0.50] {
                 for (diff, blocked) in &report.size_diffs {
-                    if *blocked && is_outlier(
-                        ((1.0 - *diff as f64) * 10_000.0) as u32,
-                        10_000,
-                        cutoff,
-                    ) {
+                    if *blocked
+                        && is_outlier(((1.0 - *diff as f64) * 10_000.0) as u32, 10_000, cutoff)
+                    {
                         total += 1;
                     }
                 }
@@ -135,7 +149,10 @@ fn ablation_headers(c: &mut Criterion) {
         .filter(|s| s.uses(geoblock_blockpages::Provider::Akamai))
         .map(|s| s.name)
         .collect();
-    eprintln!("\nablation_headers ({} Akamai customers from a US VPS):", domains.len());
+    eprintln!(
+        "\nablation_headers ({} Akamai customers from a US VPS):",
+        domains.len()
+    );
     let mut rates = Vec::new();
     for profile in [
         HeaderProfile::Bare,
@@ -153,10 +170,16 @@ fn ablation_headers(c: &mut Criterion) {
             128,
         ));
         let rate = result.flagged.len() as f64 / domains.len().max(1) as f64;
-        eprintln!("  {profile:?}: {:.1}% of domains serve the Akamai denial page", 100.0 * rate);
+        eprintln!(
+            "  {profile:?}: {:.1}% of domains serve the Akamai denial page",
+            100.0 * rate
+        );
         rates.push(rate);
     }
-    assert!(rates[0] >= rates[3], "bare headers must trip more detection than a full browser");
+    assert!(
+        rates[0] >= rates[3],
+        "bare headers must trip more detection than a full browser"
+    );
 
     c.bench_function("ablation_headers_sweep", |b| {
         b.iter(|| {
@@ -204,7 +227,13 @@ fn ablation_clustering(c: &mut Criterion) {
             PageKind::Incapsula,
         ] {
             let params = PageParams::new(&format!("d{i}.com"), "Iran", "5.0.0.1", i);
-            docs.push(render(kind, &params).finish(Url::http("x.com")).body.as_text().to_string());
+            docs.push(
+                render(kind, &params)
+                    .finish(Url::http("x.com"))
+                    .body
+                    .as_text()
+                    .to_string(),
+            );
         }
     }
     let truth = FingerprintSet::paper();
@@ -270,16 +299,46 @@ fn ablation_fault_hardening(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fault_hardening");
     g.sample_size(10);
     g.bench_function("naive", |b| {
-        b.iter(|| {
-            rt.block_on(h.reliability_leg(FaultPlan::standard(7), RetryPolicy::none()))
-        })
+        b.iter(|| rt.block_on(h.reliability_leg(FaultPlan::standard(7), RetryPolicy::none())))
     });
     g.bench_function("hardened", |b| {
         b.iter(|| {
-            rt.block_on(
-                h.reliability_leg(FaultPlan::standard(7), RetryPolicy::with_max_retries(4)),
-            )
+            rt.block_on(h.reliability_leg(FaultPlan::standard(7), RetryPolicy::with_max_retries(4)))
         })
+    });
+    g.finish();
+}
+
+/// Chunked barrier-batch vs the streaming pipeline under stragglers: the
+/// batch leg pays every chunk's slowest stall chain at the barrier, the
+/// streaming leg overlaps stalls across the whole run in O(concurrency)
+/// memory.
+fn ablation_streaming(c: &mut Criterion) {
+    let rt = runtime();
+    let h = Harness::new(Scale::quick(42));
+    let s = rt.block_on(h.streaming(FaultPlan::straggler(11)));
+    eprintln!("\nablation_streaming (straggler fault plan, seed 11):");
+    eprintln!(
+        "  batch (chunks of {:>3}) : {:.0?} wall, {:.0} probes/s, {} targets held per chunk",
+        s.chunk,
+        s.batch_wall,
+        s.throughput(s.batch_wall),
+        s.chunk
+    );
+    eprintln!(
+        "  streaming             : {:.0?} wall, {:.0} probes/s, peak {} in-flight (cap {})",
+        s.stream_wall,
+        s.throughput(s.stream_wall),
+        s.peak_in_flight,
+        s.concurrency
+    );
+    eprintln!("  streaming speedup     : {:.2}×", s.speedup());
+    assert!(s.peak_in_flight <= s.concurrency);
+
+    let mut g = c.benchmark_group("ablation_streaming");
+    g.sample_size(10);
+    g.bench_function("batch_vs_stream", |b| {
+        b.iter(|| rt.block_on(h.streaming(FaultPlan::straggler(11))))
     });
     g.finish();
 }
@@ -291,6 +350,7 @@ criterion_group!(
     ablation_headers,
     ablation_confirmation,
     ablation_clustering,
-    ablation_fault_hardening
+    ablation_fault_hardening,
+    ablation_streaming
 );
 criterion_main!(ablations);

@@ -55,7 +55,9 @@ fn bench_baseline(c: &mut Criterion) {
 fn bench_population(c: &mut Criterion) {
     let rt = runtime();
     let h = Harness::new(Scale::quick(42));
-    let domains: Vec<String> = (1..=2_000).map(|r| h.world.population.spec(r).name).collect();
+    let domains: Vec<String> = (1..=2_000)
+        .map(|r| h.world.population.spec(r).name)
+        .collect();
 
     let mut g = c.benchmark_group("population");
     g.sample_size(10);
@@ -104,7 +106,12 @@ fn bench_table_builders(c: &mut Criterion) {
         b.iter(|| black_box(tables::table5(&artifacts.verdicts)))
     });
     g.bench_function("table6_country_provider", |b| {
-        b.iter(|| black_box(tables::table_country_provider("Table 6", &artifacts.verdicts)))
+        b.iter(|| {
+            black_box(tables::table_country_provider(
+                "Table 6",
+                &artifacts.verdicts,
+            ))
+        })
     });
     g.finish();
 }

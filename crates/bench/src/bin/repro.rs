@@ -49,6 +49,7 @@ async fn main() {
 
     exploration(&harness).await;
     reliability(&harness).await;
+    streaming(&harness).await;
     let top10k = run_top10k(&harness).await;
     timeouts(&harness, &top10k);
     figures_1_to_4(&harness, &top10k).await;
@@ -158,6 +159,51 @@ async fn reliability(h: &Harness) {
     );
 }
 
+async fn streaming(h: &Harness) {
+    section("Pipeline — chunked batch vs streaming under straggler faults");
+    let s = h
+        .streaming(geoblock_proxynet::FaultPlan::straggler(h.scale.seed))
+        .await;
+    let mut t = geoblock_analysis::TextTable::new(
+        "Probe pipeline architectures (straggler fault plan, same targets)",
+        &[
+            "Pipeline",
+            "Wall-clock",
+            "Probes/s",
+            "Peak targets held",
+            "Responded",
+        ],
+    );
+    t.row(&[
+        "batch (chunked)".to_string(),
+        format!("{:.0?}", s.batch_wall),
+        format!("{:.0}", s.throughput(s.batch_wall)),
+        s.chunk.to_string(),
+        format!("{}/{}", s.batch_stats.responded, s.batch_stats.total),
+    ]);
+    t.row(&[
+        "streaming".to_string(),
+        format!("{:.0?}", s.stream_wall),
+        format!("{:.0}", s.throughput(s.stream_wall)),
+        s.peak_in_flight.to_string(),
+        format!("{}/{}", s.stream_stats.responded, s.stream_stats.total),
+    ]);
+    table(&t);
+    comparison(
+        "pipeline",
+        &[
+            ("streaming speedup", format!("{:.2}×", s.speedup())),
+            (
+                "peak in-flight targets (batch → stream)",
+                format!(
+                    "{} → {} (concurrency cap {})",
+                    s.chunk, s.peak_in_flight, s.concurrency
+                ),
+            ),
+        ],
+    );
+}
+
 async fn run_top10k(h: &Harness) -> geoblock_bench::harness::Top10kArtifacts {
     section("§4 — Alexa Top-10K study");
     let a = h.top10k().await;
@@ -240,11 +286,7 @@ async fn run_top10k(h: &Harness) -> geoblock_bench::harness::Top10kArtifacts {
                 "worst-covered country",
                 worst
                     .map(|(c, r)| {
-                        format!(
-                            "{} ({})",
-                            c.info().map(|i| i.name).unwrap_or("?"),
-                            pct(r)
-                        )
+                        format!("{} ({})", c.info().map(|i| i.name).unwrap_or("?"), pct(r))
                     })
                     .unwrap_or_default(),
             ),
@@ -313,8 +355,7 @@ async fn run_top10k(h: &Harness) -> geoblock_bench::harness::Top10kArtifacts {
         "Table 6: Geoblocking among Top 10K sites, by country",
         &a.verdicts,
     ));
-    let provider_total =
-        |p: Provider| main.iter().filter(|v| v.kind.provider() == p).count();
+    let provider_total = |p: Provider| main.iter().filter(|v| v.kind.provider() == p).count();
     comparison(
         "Table 6",
         &[(
@@ -343,7 +384,10 @@ async fn run_top10k(h: &Harness) -> geoblock_bench::harness::Top10kArtifacts {
 fn timeouts(h: &Harness, a: &geoblock_bench::harness::Top10kArtifacts) {
     // §7.3 future work, implemented: country-selective consistent timeouts.
     let suspects = geoblock_core::timeouts::find_suspects(&a.result.store);
-    let geo_like = suspects.iter().filter(|s| s.geoblock_likeness >= 0.5).count();
+    let geo_like = suspects
+        .iter()
+        .filter(|s| s.geoblock_likeness >= 0.5)
+        .count();
     println!(
         "\n  §7.3 timeout analysis: {} domains with country-selective consistent timeouts; \
          {} have a geoblocking-shaped dark set",
@@ -351,7 +395,12 @@ fn timeouts(h: &Harness, a: &geoblock_bench::harness::Top10kArtifacts) {
         geo_like
     );
     for s in suspects.iter().take(5) {
-        let dark: Vec<String> = s.dark_countries.iter().take(6).map(|c| c.to_string()).collect();
+        let dark: Vec<String> = s
+            .dark_countries
+            .iter()
+            .take(6)
+            .map(|c| c.to_string())
+            .collect();
         println!(
             "    {} dark in [{}] (likeness {:.2})",
             s.domain,
@@ -570,12 +619,8 @@ async fn top1m(h: &Harness, population: &PopulationReport) {
         )
     };
     let safe_customers = {
-        let mut customers: Vec<String> = population
-            .by_provider
-            .values()
-            .flatten()
-            .cloned()
-            .collect();
+        let mut customers: Vec<String> =
+            population.by_provider.values().flatten().cloned().collect();
         customers.sort();
         customers.dedup();
         customers.iter().filter(|d| fg.safe(d)).count()

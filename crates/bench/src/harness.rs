@@ -1,6 +1,7 @@
 //! The staged experiment harness.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use geoblock_analysis::coverage::CoverageStats;
 use geoblock_analysis::Fortiguard;
@@ -10,11 +11,13 @@ use geoblock_core::consistency::{consistency_scores, ConsistencyReport};
 use geoblock_core::discovery::{discover, DiscoveryConfig, DiscoveryReport};
 use geoblock_core::exploration::{sweep, verify_in_browser, SweepResult, Verification};
 use geoblock_core::outliers::{extract_outliers, OutlierConfig, OutlierReport};
-use geoblock_core::population::{identify_by_ns, identify_populations, PopulationProbe, PopulationReport};
+use geoblock_core::population::{
+    identify_by_ns, identify_populations, PopulationProbe, PopulationReport,
+};
 use geoblock_core::study::rank_blocking_countries;
 use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, Top10kStudy};
 use geoblock_http::HeaderProfile;
-use geoblock_lumscan::{BatchStats, Lumscan, LumscanConfig, RetryPolicy};
+use geoblock_lumscan::{BatchStats, GaugeSink, Lumscan, LumscanConfig, RetryPolicy};
 use geoblock_netsim::{DnsDb, SimInternet, VpsTransport};
 use geoblock_proxynet::{FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiNetwork};
 use geoblock_worldgen::country::vps_countries;
@@ -193,6 +196,48 @@ impl ReliabilityArtifacts {
     }
 }
 
+/// The batch-vs-streaming architecture ablation: the same probe load under
+/// the same straggler-heavy fault plan, driven two ways. The batch leg
+/// replays the old architecture — materialize a chunk of targets, barrier
+/// on `probe_all`, repeat — so every chunk pays its slowest straggler's
+/// tail. The streaming leg pulls the same targets through one
+/// `probe_stream`, overlapping stalls across the whole run.
+pub struct StreamingArtifacts {
+    /// The injected fault plan (straggler-heavy).
+    pub plan: FaultPlan,
+    /// Total probe targets in each leg.
+    pub targets: usize,
+    /// Engine concurrency for both legs.
+    pub concurrency: usize,
+    /// Targets materialized per batch chunk — the batch leg's peak
+    /// in-flight target count.
+    pub chunk: usize,
+    /// Wall-clock of the chunked batch leg.
+    pub batch_wall: Duration,
+    /// Wall-clock of the streaming leg.
+    pub stream_wall: Duration,
+    /// Batch-leg outcome statistics.
+    pub batch_stats: BatchStats,
+    /// Streaming-leg outcome statistics.
+    pub stream_stats: BatchStats,
+    /// Peak concurrent in-flight probes the streaming leg's gauge saw —
+    /// the streaming leg's peak target count, bounded by `concurrency`.
+    pub peak_in_flight: usize,
+}
+
+impl StreamingArtifacts {
+    /// Batch wall-clock over streaming wall-clock (> 1 means streaming is
+    /// faster).
+    pub fn speedup(&self) -> f64 {
+        self.batch_wall.as_secs_f64() / self.stream_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Probes per second for a leg.
+    pub fn throughput(&self, wall: Duration) -> f64 {
+        self.targets as f64 / wall.as_secs_f64().max(1e-9)
+    }
+}
+
 /// §3 exploration artefacts.
 pub struct ExplorationArtifacts {
     /// NS-identified Cloudflare customers.
@@ -277,10 +322,19 @@ impl Harness {
             cf.into_iter().chain(ak).take(150).collect()
         };
         let rep_countries = if ns_domains.is_empty() {
-            countries.iter().take(self.scale.rep_countries).copied().collect()
+            countries
+                .iter()
+                .take(self.scale.rep_countries)
+                .copied()
+                .collect()
         } else {
-            rank_blocking_countries(&self.engine, &ns_domains, &countries, self.scale.rep_countries)
-                .await
+            rank_blocking_countries(
+                &self.engine,
+                &ns_domains,
+                &countries,
+                self.scale.rep_countries,
+            )
+            .await
         };
 
         let config = StudyConfig::builder()
@@ -384,12 +438,8 @@ impl Harness {
     /// The §5 study over the CDN-customer sample.
     pub async fn top1m(&self, population: &PopulationReport) -> Top1mArtifacts {
         let fg = Fortiguard::new(&self.world);
-        let mut customers: Vec<String> = population
-            .by_provider
-            .values()
-            .flatten()
-            .cloned()
-            .collect();
+        let mut customers: Vec<String> =
+            population.by_provider.values().flatten().cloned().collect();
         customers.sort();
         customers.dedup();
         let sample = fg.filter_and_sample(&customers, self.scale.sample_frac, self.scale.seed);
@@ -497,8 +547,12 @@ impl Harness {
             .build()
             .expect("ablation config is valid");
         let engine = Arc::new(Lumscan::new(faulty, config));
-        let results = engine.probe_all(&self.reliability_targets()).await;
-        let stats = engine.batch_stats(&results);
+        // Drain the stream: only the aggregate matters here, so each
+        // result is folded into the stats and dropped as it lands.
+        let stats = engine
+            .probe_stream(self.reliability_targets())
+            .drain()
+            .await;
         (stats, engine.transport().stats())
     }
 
@@ -509,7 +563,9 @@ impl Harness {
         let (clean, _) = self
             .reliability_leg(FaultPlan::none(plan.seed), RetryPolicy::none())
             .await;
-        let (naive, naive_faults) = self.reliability_leg(plan.clone(), RetryPolicy::none()).await;
+        let (naive, naive_faults) = self
+            .reliability_leg(plan.clone(), RetryPolicy::none())
+            .await;
         let (hardened, hardened_faults) = self
             .reliability_leg(plan.clone(), RetryPolicy::with_max_retries(4))
             .await;
@@ -520,6 +576,61 @@ impl Harness {
             hardened,
             naive_faults,
             hardened_faults,
+        }
+    }
+
+    /// The batch-vs-streaming ablation under `plan` (use
+    /// [`FaultPlan::straggler`]): same targets, same weather, chunked
+    /// barrier-batch vs one lazy stream. Measures wall-clock and peak
+    /// in-flight targets for both architectures.
+    pub async fn streaming(&self, plan: FaultPlan) -> StreamingArtifacts {
+        const CONCURRENCY: usize = 32;
+        const CHUNK: usize = 192;
+        let targets = self.reliability_targets();
+        let make_engine = || {
+            let luminati = LuminatiNetwork::new(self.internet.clone());
+            let faulty = FaultyTransport::new(luminati, plan.clone());
+            let config = LumscanConfig::builder()
+                .concurrency(CONCURRENCY)
+                .build()
+                .expect("ablation config is valid");
+            Arc::new(Lumscan::new(faulty, config))
+        };
+
+        // Batch leg: the old architecture. Every chunk is materialized and
+        // barriered on, so each chunk's wall-clock is its slowest chain.
+        let engine = make_engine();
+        let start = Instant::now();
+        let mut batch_stats = BatchStats::default();
+        for chunk in targets.chunks(CHUNK) {
+            for result in &engine.probe_all(chunk).await {
+                batch_stats.record(result);
+            }
+        }
+        batch_stats.quarantined_exits = engine.breaker().quarantined_count();
+        let batch_wall = start.elapsed();
+
+        // Streaming leg: identical targets pulled lazily through one
+        // stream; stragglers overlap instead of gating a chunk boundary.
+        let engine = make_engine();
+        let mut gauge = GaugeSink::new();
+        let start = Instant::now();
+        let stream_stats = engine
+            .probe_stream_with(targets.iter().cloned(), &mut gauge)
+            .drain()
+            .await;
+        let stream_wall = start.elapsed();
+
+        StreamingArtifacts {
+            plan,
+            targets: targets.len(),
+            concurrency: CONCURRENCY,
+            chunk: CHUNK,
+            batch_wall,
+            stream_wall,
+            batch_stats,
+            stream_stats,
+            peak_in_flight: gauge.peak_in_flight,
         }
     }
 
@@ -567,7 +678,10 @@ mod tests {
     async fn quick_scale_reliability_ablation_recovers_losses() {
         let h = Harness::new(Scale::quick(42));
         let r = h.reliability(FaultPlan::standard(7)).await;
-        assert!(r.naive_losses() > 0, "standard plan must visibly hurt naive probing");
+        assert!(
+            r.naive_losses() > 0,
+            "standard plan must visibly hurt naive probing"
+        );
         assert!(
             r.recovered_share() >= 0.95,
             "hardened probing recovered only {:.1}% of {} naive losses",
@@ -576,6 +690,35 @@ mod tests {
         );
         assert!(r.hardened.recovered > 0);
         assert!(r.hardened_faults.faulted() >= r.naive_faults.faulted() / 2);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn quick_scale_streaming_ablation_beats_batch() {
+        let h = Harness::new(Scale::quick(42));
+        let s = h.streaming(FaultPlan::straggler(11)).await;
+        assert_eq!(
+            s.batch_stats.total, s.stream_stats.total,
+            "legs probed different loads"
+        );
+        assert!(
+            s.batch_stats.total >= 1000,
+            "ablation load too small to mean anything"
+        );
+        assert!(
+            s.peak_in_flight <= s.concurrency,
+            "streaming peak in-flight {} exceeded concurrency {}",
+            s.peak_in_flight,
+            s.concurrency
+        );
+        assert!(
+            s.stream_wall <= s.batch_wall,
+            "streaming ({:?}) slower than batch ({:?}) under stragglers",
+            s.stream_wall,
+            s.batch_wall
+        );
+        // Both legs must actually get responses through the weather.
+        assert!(s.stream_stats.responded * 10 >= s.stream_stats.total * 9);
+        assert!(s.batch_stats.responded * 10 >= s.batch_stats.total * 9);
     }
 
     #[tokio::test(flavor = "multi_thread")]

@@ -116,7 +116,10 @@ impl FingerprintSet {
             ),
             Fingerprint::new(
                 PageKind::CloudflareCaptcha,
-                &["Attention Required! | Cloudflare", "complete the security check"],
+                &[
+                    "Attention Required! | Cloudflare",
+                    "complete the security check",
+                ],
             ),
             Fingerprint::new(
                 PageKind::BaiduCaptcha,
@@ -126,10 +129,7 @@ impl FingerprintSet {
                 PageKind::CloudflareJs,
                 &["Checking your browser before accessing", "jschl"],
             ),
-            Fingerprint::new(
-                PageKind::DistilCaptcha,
-                &["Pardon Our Interruption"],
-            ),
+            Fingerprint::new(PageKind::DistilCaptcha, &["Pardon Our Interruption"]),
             Fingerprint::new(
                 PageKind::AppEngine,
                 &[
@@ -146,12 +146,13 @@ impl FingerprintSet {
             ),
             Fingerprint::new(
                 PageKind::Akamai,
-                &["Access Denied", "You don't have permission to access", "Reference&#32;&#35;"],
+                &[
+                    "Access Denied",
+                    "You don't have permission to access",
+                    "Reference&#32;&#35;",
+                ],
             ),
-            Fingerprint::new(
-                PageKind::Incapsula,
-                &["Incapsula incident ID"],
-            ),
+            Fingerprint::new(PageKind::Incapsula, &["Incapsula incident ID"]),
             Fingerprint::new(
                 PageKind::Soasta,
                 &["SOASTA", "not available from your network location"],
@@ -163,7 +164,10 @@ impl FingerprintSet {
             // Most generic last.
             Fingerprint::new(
                 PageKind::Nginx403,
-                &["<center><h1>403 Forbidden</h1></center>", "<center>nginx</center>"],
+                &[
+                    "<center><h1>403 Forbidden</h1></center>",
+                    "<center>nginx</center>",
+                ],
             ),
         ];
         FingerprintSet { fingerprints: fps }
@@ -308,11 +312,15 @@ mod tests {
         // Drop everything except the Cloudflare signature: only Cloudflare
         // pages classify.
         let set = FingerprintSet::paper();
-        let only_cf: Vec<&Fingerprint> =
-            set.iter().filter(|f| f.kind == PageKind::Cloudflare).collect();
+        let only_cf: Vec<&Fingerprint> = set
+            .iter()
+            .filter(|f| f.kind == PageKind::Cloudflare)
+            .collect();
         let json = serde_json::to_string(&only_cf).expect("serialise");
         let custom = FingerprintSet::from_json(&json).expect("load");
-        assert!(custom.classify(&rendered(PageKind::Cloudflare, 1)).is_some());
+        assert!(custom
+            .classify(&rendered(PageKind::Cloudflare, 1))
+            .is_some());
         assert!(custom.classify(&rendered(PageKind::Akamai, 1)).is_none());
     }
 

@@ -107,9 +107,7 @@ impl PageKind {
             | PageKind::CloudFront
             | PageKind::Baidu
             | PageKind::Airbnb => PageClass::ExplicitGeoblock,
-            PageKind::Akamai | PageKind::Incapsula | PageKind::Soasta => {
-                PageClass::AmbiguousBlock
-            }
+            PageKind::Akamai | PageKind::Incapsula | PageKind::Soasta => PageClass::AmbiguousBlock,
             PageKind::CloudflareCaptcha | PageKind::BaiduCaptcha | PageKind::DistilCaptcha => {
                 PageClass::Captcha
             }

@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn header_identified_cdns() {
         assert_eq!(Provider::Cloudflare.identifying_header(), Some("CF-RAY"));
-        assert_eq!(Provider::CloudFront.identifying_header(), Some("X-Amz-Cf-Id"));
+        assert_eq!(
+            Provider::CloudFront.identifying_header(),
+            Some("X-Amz-Cf-Id")
+        );
         assert_eq!(Provider::Incapsula.identifying_header(), Some("X-Iinfo"));
         assert_eq!(Provider::Akamai.identifying_header(), None); // Pragma trick instead
         assert_eq!(Provider::AppEngine.identifying_header(), None); // DNS netblocks instead

@@ -316,7 +316,10 @@ fn incapsula_incident(params: &PageParams) -> ResponseBuilder {
         incident = incident,
     );
     Response::builder(StatusCode::FORBIDDEN)
-        .header("X-Iinfo", format!("{}-{}", hex_id(params.nonce, 0x13, 8), incident))
+        .header(
+            "X-Iinfo",
+            format!("{}-{}", hex_id(params.nonce, 0x13, 8), incident),
+        )
         .header("X-CDN", "Incapsula")
         .body(body)
 }
@@ -477,7 +480,10 @@ mod tests {
 
     #[test]
     fn status_codes_match_page_semantics() {
-        assert_eq!(finish(PageKind::CloudflareJs, 3).status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(
+            finish(PageKind::CloudflareJs, 3).status,
+            StatusCode::SERVICE_UNAVAILABLE
+        );
         for kind in PageKind::ALL {
             if kind != PageKind::CloudflareJs {
                 assert_eq!(finish(kind, 3).status, StatusCode::FORBIDDEN, "{kind}");

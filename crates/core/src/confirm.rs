@@ -95,9 +95,7 @@ pub fn verdicts(store: &SampleStore, config: &ConfirmConfig) -> Vec<GeoblockVerd
         let total = samples.len() as u32;
         // The pair must have been confirmed (≥ baseline + confirmation
         // samples) and meet the agreement threshold over all its samples.
-        if total > config.confirm_samples
-            && block_count as f64 / total as f64 >= config.threshold
-        {
+        if total > config.confirm_samples && block_count as f64 / total as f64 >= config.threshold {
             out.push(GeoblockVerdict {
                 domain: store.domains[d].clone(),
                 country: store.countries[c],
@@ -150,11 +148,7 @@ mod tests {
 
     #[test]
     fn flagging_requires_one_block_page() {
-        let s = store_with(&[
-            (0, block(PageKind::Cloudflare)),
-            (0, ok()),
-            (1, ok()),
-        ]);
+        let s = store_with(&[(0, block(PageKind::Cloudflare)), (0, ok()), (1, ok())]);
         assert_eq!(flagged_explicit_pairs(&s), vec![(0, 0)]);
     }
 
@@ -189,7 +183,11 @@ mod tests {
             s.push(
                 0,
                 0,
-                if i < 17 { block(PageKind::AppEngine) } else { ok() },
+                if i < 17 {
+                    block(PageKind::AppEngine)
+                } else {
+                    ok()
+                },
             );
         }
         assert!(verdicts(&s, &ConfirmConfig::default()).is_empty());

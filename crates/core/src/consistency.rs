@@ -84,7 +84,10 @@ pub fn consistency_scores(store: &SampleStore, kind: PageKind) -> Vec<Consistenc
 
 /// The confirmed ambiguous-CDN geoblockers.
 pub fn confirmed_geoblockers(reports: &[ConsistencyReport]) -> Vec<&ConsistencyReport> {
-    reports.iter().filter(|r| r.is_confirmed_geoblocker()).collect()
+    reports
+        .iter()
+        .filter(|r| r.is_confirmed_geoblocker())
+        .collect()
 }
 
 #[cfg(test)]

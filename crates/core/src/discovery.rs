@@ -133,7 +133,9 @@ pub fn discover(
         let mut label_votes: std::collections::HashMap<Option<PageKind>, usize> =
             std::collections::HashMap::new();
         for &m in members.iter() {
-            let label = fingerprints.classify_text(&docs[m as usize]).map(|o| o.kind);
+            let label = fingerprints
+                .classify_text(&docs[m as usize])
+                .map(|o| o.kind);
             *label_votes.entry(label).or_insert(0) += 1;
         }
         let (label, votes) = label_votes

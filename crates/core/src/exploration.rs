@@ -103,8 +103,14 @@ pub async fn sweep<T: Transport + 'static>(
             next += 1;
             join.spawn(async move {
                 let request = Request::get(Url::http(domain.as_str())).headers(&profile.headers());
-                match follow_redirects(transport.as_ref(), request, country, SessionId(idx as u64), 10)
-                    .await
+                match follow_redirects(
+                    transport.as_ref(),
+                    request,
+                    country,
+                    SessionId(idx as u64),
+                    10,
+                )
+                .await
                 {
                     Err(_) => (idx, None),
                     Ok(chain) => {
@@ -209,12 +215,14 @@ mod tests {
             let params = geoblock_blockpages::PageParams::new(&host, "Iran", "45.1.1.1", 9);
             let full = req.request.headers.contains("accept-language");
             match host.as_str() {
-                "geo.com" if self.country == cc("IR") => Ok(
-                    geoblock_blockpages::render(PageKind::Cloudflare, &params)
-                        .finish(req.request.url),
-                ),
-                "bot.com" if !full => Ok(geoblock_blockpages::render(PageKind::Akamai, &params)
-                    .finish(req.request.url)),
+                "geo.com" if self.country == cc("IR") => {
+                    Ok(geoblock_blockpages::render(PageKind::Cloudflare, &params)
+                        .finish(req.request.url))
+                }
+                "bot.com" if !full => {
+                    Ok(geoblock_blockpages::render(PageKind::Akamai, &params)
+                        .finish(req.request.url))
+                }
                 _ => Ok(Response::builder(StatusCode::OK)
                     .body("<html>fine</html>")
                     .finish(req.request.url)),

@@ -17,7 +17,9 @@
 //! 6. [`population`] — CDN customer identification: response headers
 //!    anywhere in the redirect chain, the Akamai `Pragma` poke, NS
 //!    delegation, and the AppEngine netblock walk;
-//! 7. [`study`] — the Top-10K and Top-1M study drivers;
+//! 7. [`study`] — the Top-10K and Top-1M study drivers, which stream
+//!    lazily-planned targets ([`plan`]) through the probe pipeline and
+//!    classify-and-drop each completion as it lands;
 //! 8. [`exploration`] — the §3 VPS exploration;
 //! 9. [`timeouts`] and [`regional`] — the §7.3 future-work analyses
 //!    (timeout-based blocking, sub-country granularity).
@@ -30,6 +32,7 @@ pub mod discovery;
 pub mod exploration;
 pub mod observation;
 pub mod outliers;
+pub mod plan;
 pub mod population;
 pub mod regional;
 pub mod study;
@@ -41,7 +44,10 @@ pub use consistency::{consistency_scores, ConsistencyReport};
 pub use diffing::{diff_studies, StudyDiff};
 pub use observation::{BodyArchive, ErrKind, Obs, SampleStore};
 pub use outliers::{OutlierConfig, OutlierReport};
+pub use plan::{ProbeCoord, TargetPlan};
 pub use population::{PopulationReport, Resolver};
 pub use regional::{probe_regional, RegionalReport};
+pub use study::{
+    StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyResult, Top10kStudy, Top1mStudy,
+};
 pub use timeouts::{find_suspects, TimeoutSuspect};
-pub use study::{StudyConfig, StudyConfigBuilder, StudyResult, Top10kStudy, Top1mStudy};

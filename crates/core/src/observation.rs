@@ -25,6 +25,7 @@ pub enum ErrKind {
     Malformed,
     Truncated,
     GeoMismatch,
+    Panic,
 }
 
 impl From<&geoblock_http::FetchError> for ErrKind {
@@ -43,6 +44,7 @@ impl From<&geoblock_http::FetchError> for ErrKind {
             BadRedirect { .. } => ErrKind::RedirectLoop,
             TruncatedBody { .. } => ErrKind::Truncated,
             GeolocationMismatch { .. } => ErrKind::GeoMismatch,
+            ProbePanicked { .. } => ErrKind::Panic,
         }
     }
 }
@@ -87,7 +89,9 @@ impl Obs {
 
     /// Whether the observation matched an *explicit* geoblock fingerprint.
     pub fn explicit_geoblock(&self) -> bool {
-        self.page().map(|k| k.is_explicit_geoblock()).unwrap_or(false)
+        self.page()
+            .map(|k| k.is_explicit_geoblock())
+            .unwrap_or(false)
     }
 }
 
@@ -230,7 +234,15 @@ impl BodyArchive {
 
     /// Retrieve a retained document.
     pub fn get(&self, domain: u32, country: u16, sample: u16) -> Option<&str> {
-        self.docs.get(&(domain, country, sample)).map(String::as_str)
+        self.docs
+            .get(&(domain, country, sample))
+            .map(String::as_str)
+    }
+
+    /// Iterate every retained document as `((domain, country, sample), body)`,
+    /// in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u16, u16), &str)> {
+        self.docs.iter().map(|(k, v)| (*k, v.as_str()))
     }
 
     /// Number of retained documents.
@@ -351,11 +363,12 @@ mod tests {
             TooManyRedirects { limit: 10 },
             ProxyError { detail: "d".into() },
             ProxyRefused { reason: "r".into() },
-            NoExitAvailable { country: "KP".into() },
+            NoExitAvailable {
+                country: "KP".into(),
+            },
             MalformedResponse { detail: "d".into() },
         ];
-        let kinds: std::collections::HashSet<ErrKind> =
-            all.iter().map(ErrKind::from).collect();
+        let kinds: std::collections::HashSet<ErrKind> = all.iter().map(ErrKind::from).collect();
         assert_eq!(kinds.len(), all.len());
     }
 }

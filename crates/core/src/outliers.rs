@@ -125,7 +125,9 @@ pub fn extract_outliers(store: &SampleStore, config: &OutlierConfig) -> OutlierR
     let mut size_diffs = Vec::new();
     let mut ordinary_tick = 0usize;
     for (d, _c, samples) in store.iter_cells() {
-        let Some(rep) = representative[d] else { continue };
+        let Some(rep) = representative[d] else {
+            continue;
+        };
         for obs in samples {
             let Some(len) = obs.body_len() else { continue };
             let diff = 1.0 - len as f64 / rep as f64;

@@ -1,0 +1,239 @@
+//! Lazy target plans: the coordinate geometry of a study pass.
+//!
+//! Every study pass probes a regular shape — the baseline probes the full
+//! `domains × countries × samples` grid, confirmation probes
+//! `pairs × samples` — and the old drivers materialized that shape as a
+//! target `Vec`, then recovered coordinates from flat indices with
+//! duplicated `i / (nc * ns)` arithmetic at each call site. [`TargetPlan`]
+//! centralizes both directions of that mapping as a *lazy* enumeration: it
+//! yields [`ProbeTarget`]s on demand for the streaming pipeline and maps
+//! any completion index back to its [`ProbeCoord`], so no pass ever holds a
+//! full target vector.
+//!
+//! Index order is the order the old batch path probed in — domain-major,
+//! then country, then sample — so a streaming pass replays the exact probe
+//! sequence of its batch predecessor.
+
+use geoblock_lumscan::ProbeTarget;
+use geoblock_worldgen::CountryCode;
+
+/// The (domain, country, sample) coordinate of one probe in a plan. All
+/// three are indices: `domain`/`country` into the plan's slices, `sample`
+/// counting repeats of the pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeCoord {
+    /// Domain index.
+    pub domain: usize,
+    /// Country index.
+    pub country: usize,
+    /// Sample number within the (domain, country) pair, starting at 0.
+    pub sample: usize,
+}
+
+/// A lazy enumeration of probe targets with index↔coordinate mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetPlan<'a> {
+    domains: &'a [String],
+    countries: &'a [CountryCode],
+    /// When set, only these (domain, country) index pairs are probed, in
+    /// order; otherwise the full grid.
+    pairs: Option<&'a [(usize, usize)]>,
+    samples: usize,
+}
+
+impl<'a> TargetPlan<'a> {
+    /// The full `domains × countries × samples` grid, domain-major.
+    pub fn grid(
+        domains: &'a [String],
+        countries: &'a [CountryCode],
+        samples: usize,
+    ) -> TargetPlan<'a> {
+        TargetPlan {
+            domains,
+            countries,
+            pairs: None,
+            samples,
+        }
+    }
+
+    /// `samples` probes of each listed (domain index, country index) pair,
+    /// in pair order.
+    pub fn pairs(
+        domains: &'a [String],
+        countries: &'a [CountryCode],
+        pairs: &'a [(usize, usize)],
+        samples: usize,
+    ) -> TargetPlan<'a> {
+        TargetPlan {
+            domains,
+            countries,
+            pairs: Some(pairs),
+            samples,
+        }
+    }
+
+    /// Total probes in the plan.
+    pub fn len(&self) -> usize {
+        match self.pairs {
+            Some(pairs) => pairs.len() * self.samples,
+            None => self.domains.len() * self.countries.len() * self.samples,
+        }
+    }
+
+    /// Whether the plan holds no probes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a flat probe index back to its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn coord(&self, i: usize) -> ProbeCoord {
+        assert!(
+            i < self.len(),
+            "index {i} out of plan bounds {}",
+            self.len()
+        );
+        match self.pairs {
+            Some(pairs) => {
+                let (domain, country) = pairs[i / self.samples];
+                ProbeCoord {
+                    domain,
+                    country,
+                    sample: i % self.samples,
+                }
+            }
+            None => {
+                let per_domain = self.countries.len() * self.samples;
+                ProbeCoord {
+                    domain: i / per_domain,
+                    country: (i / self.samples) % self.countries.len(),
+                    sample: i % self.samples,
+                }
+            }
+        }
+    }
+
+    /// The probe target at a flat index.
+    pub fn target(&self, i: usize) -> ProbeTarget {
+        let c = self.coord(i);
+        ProbeTarget::http(&self.domains[c.domain], self.countries[c.country])
+    }
+
+    /// Lazily enumerate every target in index order — the input to
+    /// [`probe_stream`](geoblock_lumscan::Lumscan::probe_stream). Nothing
+    /// is materialized; each target is built when the stream pulls it.
+    pub fn iter(&self) -> impl Iterator<Item = ProbeTarget> + '_ {
+        (0..self.len()).map(|i| self.target(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn domains() -> Vec<String> {
+        vec!["a.com".into(), "b.com".into()]
+    }
+
+    #[test]
+    fn grid_order_is_domain_major() {
+        let domains = domains();
+        let countries = [cc("IR"), cc("US")];
+        let plan = TargetPlan::grid(&domains, &countries, 3);
+        assert_eq!(plan.len(), 2 * 2 * 3);
+        // First domain, first country, samples 0..3; then the next country.
+        assert_eq!(
+            plan.coord(0),
+            ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 0
+            }
+        );
+        assert_eq!(
+            plan.coord(2),
+            ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 2
+            }
+        );
+        assert_eq!(
+            plan.coord(3),
+            ProbeCoord {
+                domain: 0,
+                country: 1,
+                sample: 0
+            }
+        );
+        assert_eq!(
+            plan.coord(6),
+            ProbeCoord {
+                domain: 1,
+                country: 0,
+                sample: 0
+            }
+        );
+        assert_eq!(plan.target(6).url.host.as_str(), "b.com");
+        assert_eq!(plan.target(3).country, cc("US"));
+        assert_eq!(plan.iter().count(), plan.len());
+    }
+
+    #[test]
+    fn pair_plans_follow_pair_order() {
+        let domains = domains();
+        let countries = [cc("IR"), cc("US")];
+        let pairs = [(1, 0), (0, 1)];
+        let plan = TargetPlan::pairs(&domains, &countries, &pairs, 2);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(
+            plan.coord(0),
+            ProbeCoord {
+                domain: 1,
+                country: 0,
+                sample: 0
+            }
+        );
+        assert_eq!(
+            plan.coord(1),
+            ProbeCoord {
+                domain: 1,
+                country: 0,
+                sample: 1
+            }
+        );
+        assert_eq!(
+            plan.coord(2),
+            ProbeCoord {
+                domain: 0,
+                country: 1,
+                sample: 0
+            }
+        );
+        assert_eq!(plan.target(0).url.host.as_str(), "b.com");
+        assert_eq!(plan.target(2).country, cc("US"));
+    }
+
+    #[test]
+    fn empty_plans_are_empty() {
+        let domains: Vec<String> = Vec::new();
+        let countries = [cc("IR")];
+        let plan = TargetPlan::grid(&domains, &countries, 3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.iter().count(), 0);
+        let pairs: [(usize, usize); 0] = [];
+        assert!(TargetPlan::pairs(&domains, &countries, &pairs, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of plan bounds")]
+    fn coord_bounds_are_checked() {
+        let domains = domains();
+        let countries = [cc("IR")];
+        TargetPlan::grid(&domains, &countries, 1).coord(2);
+    }
+}

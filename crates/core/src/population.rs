@@ -169,8 +169,14 @@ pub async fn identify_populations<T: Transport + 'static>(
                     headers: HeaderProfile::FullBrowser.headers(),
                 }
                 .header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
-                match follow_redirects(transport.as_ref(), request, country, SessionId(idx as u64), 10)
-                    .await
+                match follow_redirects(
+                    transport.as_ref(),
+                    request,
+                    country,
+                    SessionId(idx as u64),
+                    10,
+                )
+                .await
                 {
                     Err(_) => (idx, None),
                     Ok(chain) => {
@@ -272,7 +278,11 @@ mod tests {
             match host.as_str() {
                 "cf.com" => b = b.header("CF-RAY", "x"),
                 "ak.com"
-                    if req.request.headers.get_all("pragma").any(|v| v.contains("akamai")) =>
+                    if req
+                        .request
+                        .headers
+                        .get_all("pragma")
+                        .any(|v| v.contains("akamai")) =>
                 {
                     b = b.header("X-Check-Cacheable", "YES");
                 }

@@ -38,7 +38,11 @@ pub struct RegionalReport {
 impl RegionalReport {
     /// Fraction of observations showing a block page.
     pub fn block_rate(&self) -> f64 {
-        let blocks = self.observations.iter().filter(|o| o.page.is_some()).count();
+        let blocks = self
+            .observations
+            .iter()
+            .filter(|o| o.page.is_some())
+            .count();
         blocks as f64 / self.observations.len().max(1) as f64
     }
 

@@ -5,16 +5,27 @@
 //! drivers are transport-generic and staged — the caller sequences
 //! baseline → (time passes) → confirmation, which is how policy changes
 //! like `makro.co.za`'s become observable.
+//!
+//! Every pass runs on the streaming pipeline: a [`TargetPlan`] enumerates
+//! probe targets lazily, [`probe_stream`](Lumscan::probe_stream) keeps at
+//! most `concurrency` of them in flight, and a [`StudyAccumulator`]
+//! classifies each completion the moment it lands — offering
+//! representative-country bodies to the [`BodyArchive`] and dropping
+//! everything else. No pass materializes a target or result vector, so
+//! peak memory is O(concurrency) regardless of study scale.
 
 use std::sync::Arc;
 
 use geoblock_blockpages::{FingerprintSet, PageKind};
-use geoblock_lumscan::{ConfigError, Lumscan, ProbeTarget, Transport};
+use geoblock_lumscan::{ConfigError, Lumscan, NoopSink, ProbeResult, ProbeSink, Transport};
 use geoblock_worldgen::CountryCode;
 
 use crate::classify::classify_chain;
-use crate::confirm::{flagged_explicit_pairs, flagged_pairs, verdicts, ConfirmConfig, GeoblockVerdict};
+use crate::confirm::{
+    flagged_explicit_pairs, flagged_pairs, verdicts, ConfirmConfig, GeoblockVerdict,
+};
 use crate::observation::{BodyArchive, Obs, SampleStore};
+use crate::plan::{ProbeCoord, TargetPlan};
 
 /// Shared study configuration.
 #[derive(Debug, Clone)]
@@ -28,7 +39,10 @@ pub struct StudyConfig {
     /// Representative countries for the outlier heuristic and body
     /// retention (the "top 20 geoblocking countries").
     pub rep_countries: Vec<CountryCode>,
-    /// Domains per probing chunk (bounds in-flight memory).
+    /// Domains per probing chunk. Retained for configuration compatibility:
+    /// the streaming pipeline bounds in-flight memory by the engine's
+    /// `concurrency` instead, so this no longer changes what a pass probes
+    /// or retains (see `resample_is_chunk_invariant`).
     pub chunk_domains: usize,
 }
 
@@ -150,6 +164,68 @@ impl StudyResult {
     }
 }
 
+/// The eager downstream half of a study pass: consumes `(coordinate,
+/// result)` completions one at a time, classifies them via
+/// [`classify_chain`], offers representative-country bodies to the
+/// [`BodyArchive`], and records the observation — then the result is
+/// dropped. Holding one of these (plus the store it fills) is all the
+/// state a streaming pass needs.
+///
+/// Completions must be absorbed in *probe order*: archive retention is
+/// order-dependent (each offer updates the per-domain length ceiling), so
+/// study passes drive this from an
+/// [`ordered`](geoblock_lumscan::ProbeStream::ordered) stream.
+pub struct StudyAccumulator<'a> {
+    fingerprints: &'a FingerprintSet,
+    /// `rep[c]` — is country index `c` a representative country?
+    rep: Vec<bool>,
+    store: &'a mut SampleStore,
+    archive: Option<&'a mut BodyArchive>,
+}
+
+impl<'a> StudyAccumulator<'a> {
+    /// An accumulator filling `store` (and `archive`, when given) for a
+    /// pass over `countries`, retaining bodies only from `rep_countries`.
+    pub fn new(
+        fingerprints: &'a FingerprintSet,
+        countries: &[CountryCode],
+        rep_countries: &[CountryCode],
+        store: &'a mut SampleStore,
+        archive: Option<&'a mut BodyArchive>,
+    ) -> StudyAccumulator<'a> {
+        StudyAccumulator {
+            fingerprints,
+            rep: countries
+                .iter()
+                .map(|c| rep_countries.contains(c))
+                .collect(),
+            store,
+            archive,
+        }
+    }
+
+    /// Classify one completion and retain what the study keeps; everything
+    /// else in `result` is dropped when the caller releases it.
+    pub fn absorb(&mut self, coord: ProbeCoord, result: &ProbeResult) {
+        let obs = classify_chain(self.fingerprints, &result.outcome);
+        if let Some(archive) = self.archive.as_deref_mut() {
+            if self.rep[coord.country] {
+                if let Ok(chain) = &result.outcome {
+                    let resp = chain.final_response();
+                    archive.offer(
+                        coord.domain as u32,
+                        coord.country as u16,
+                        coord.sample as u16,
+                        resp.body.len() as u32,
+                        &resp.body.as_text(),
+                    );
+                }
+            }
+        }
+        self.store.push(coord.domain, coord.country, obs);
+    }
+}
+
 /// The generic study driver (named for its §4 debut; the Top-1M study is
 /// the same driver pointed at a sampled domain list).
 pub struct Top10kStudy<T: Transport + 'static> {
@@ -186,48 +262,38 @@ impl<T: Transport + 'static> Top10kStudy<T> {
     /// Run the baseline pass: `baseline_samples` probes of every
     /// (domain, country) pair.
     pub async fn baseline(&self, domains: &[String]) -> StudyResult {
+        self.baseline_with(domains, &mut NoopSink).await
+    }
+
+    /// [`Top10kStudy::baseline`] with an observer: `sink` sees every spawn
+    /// and completion (live progress, gauges).
+    ///
+    /// Targets stream straight from the plan iterator into the engine and
+    /// each completion is classified and dropped on arrival, so memory
+    /// stays O(concurrency) — no chunk of `domains × countries × samples`
+    /// targets or results ever exists.
+    pub async fn baseline_with(&self, domains: &[String], sink: &mut dyn ProbeSink) -> StudyResult {
         let mut store = SampleStore::new(domains.to_vec(), self.config.countries.clone());
         let mut archive = BodyArchive::new();
-        let nc = self.config.countries.len();
-        let ns = self.config.baseline_samples as usize;
-        let rep_idx: Vec<bool> = self
-            .config
-            .countries
-            .iter()
-            .map(|c| self.config.rep_countries.contains(c))
-            .collect();
-
-        for (chunk_no, chunk) in domains.chunks(self.config.chunk_domains).enumerate() {
-            let mut targets = Vec::with_capacity(chunk.len() * nc * ns);
-            for domain in chunk {
-                for country in &self.config.countries {
-                    for _ in 0..ns {
-                        targets.push(ProbeTarget::http(domain, *country));
-                    }
-                }
-            }
-            let results = self.engine.probe_all(&targets).await;
-            for (i, result) in results.into_iter().enumerate() {
-                let local_d = i / (nc * ns);
-                let c = (i / ns) % nc;
-                let s = i % ns;
-                let d = chunk_no * self.config.chunk_domains + local_d;
-                let obs = classify_chain(&self.fingerprints, &result.outcome);
-                if rep_idx[c] {
-                    if let Ok(chain) = &result.outcome {
-                        let resp = chain.final_response();
-                        archive.offer(
-                            d as u32,
-                            c as u16,
-                            s as u16,
-                            resp.body.len() as u32,
-                            &resp.body.as_text(),
-                        );
-                    }
-                }
-                store.push(d, c, obs);
-            }
+        let plan = TargetPlan::grid(
+            domains,
+            &self.config.countries,
+            self.config.baseline_samples as usize,
+        );
+        let mut acc = StudyAccumulator::new(
+            &self.fingerprints,
+            &self.config.countries,
+            &self.config.rep_countries,
+            &mut store,
+            Some(&mut archive),
+        );
+        // Ordered: archive retention depends on offer order.
+        let mut stream = self.engine.probe_stream_with(plan.iter(), sink).ordered();
+        while let Some((i, result)) = stream.next().await {
+            acc.absorb(plan.coord(i), &result);
         }
+        drop(stream);
+        drop(acc);
         StudyResult { store, archive }
     }
 
@@ -261,21 +327,32 @@ impl<T: Transport + 'static> Top10kStudy<T> {
     /// the primitive behind confirmation and the Figure 1/3 sampling
     /// experiments.
     pub async fn resample(&self, result: &mut StudyResult, pairs: &[(usize, usize)], n: usize) {
-        for chunk in pairs.chunks(4096) {
-            let mut targets = Vec::with_capacity(chunk.len() * n);
-            for &(d, c) in chunk {
-                let domain = &result.store.domains[d];
-                let country = result.store.countries[c];
-                for _ in 0..n {
-                    targets.push(ProbeTarget::http(domain, country));
-                }
-            }
-            let outcomes = self.engine.probe_all(&targets).await;
-            for (i, probe) in outcomes.into_iter().enumerate() {
-                let (d, c) = chunk[i / n];
-                let obs = classify_chain(&self.fingerprints, &probe.outcome);
-                result.store.push(d, c, obs);
-            }
+        self.resample_with(result, pairs, n, &mut NoopSink).await
+    }
+
+    /// [`Top10kStudy::resample`] with an observer.
+    ///
+    /// Streams `pairs × n` targets lazily — in-flight work is bounded by
+    /// the engine's `concurrency`, never by a materialized chunk (the old
+    /// batch path hard-coded a 4096-pair chunk, ignoring
+    /// `config.chunk_domains` entirely).
+    pub async fn resample_with(
+        &self,
+        result: &mut StudyResult,
+        pairs: &[(usize, usize)],
+        n: usize,
+        sink: &mut dyn ProbeSink,
+    ) {
+        // The plan cannot borrow the store while the accumulator holds it
+        // mutably, so the coordinate tables are cloned out first.
+        let domains = result.store.domains.clone();
+        let countries = result.store.countries.clone();
+        let plan = TargetPlan::pairs(&domains, &countries, pairs, n);
+        let mut acc =
+            StudyAccumulator::new(&self.fingerprints, &countries, &[], &mut result.store, None);
+        let mut stream = self.engine.probe_stream_with(plan.iter(), sink).ordered();
+        while let Some((i, probe)) = stream.next().await {
+            acc.absorb(plan.coord(i), &probe);
         }
     }
 }
@@ -291,18 +368,14 @@ pub async fn rank_blocking_countries<T: Transport + 'static>(
 ) -> Vec<CountryCode> {
     let fingerprints = FingerprintSet::paper();
     let mut counts: Vec<(CountryCode, u32)> = countries.iter().map(|c| (*c, 0)).collect();
-    let mut targets = Vec::with_capacity(domains.len() * countries.len());
-    for domain in domains {
-        for country in countries {
-            targets.push(ProbeTarget::http(domain, *country));
-        }
-    }
-    let results = engine.probe_all(&targets).await;
-    for (i, result) in results.into_iter().enumerate() {
-        let c = i % countries.len();
+    let plan = TargetPlan::grid(domains, countries, 1);
+    // Unordered: counting is commutative, so completions are consumed the
+    // moment they land.
+    let mut stream = engine.probe_stream(plan.iter());
+    while let Some((i, result)) = stream.next().await {
         let obs = classify_chain(&fingerprints, &result.outcome);
         if let Obs::Response { page: Some(_), .. } = obs {
-            counts[c].1 += 1;
+            counts[plan.coord(i).country].1 += 1;
         }
     }
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -331,10 +404,8 @@ mod tests {
             let blocked = host == "blocked.com" && req.country == cc("IR");
             if blocked {
                 let params = geoblock_blockpages::PageParams::new(&host, "Iran", "5.1.1.1", 1);
-                Ok(
-                    geoblock_blockpages::render(PageKind::Cloudflare, &params)
-                        .finish(req.request.url),
-                )
+                Ok(geoblock_blockpages::render(PageKind::Cloudflare, &params)
+                    .finish(req.request.url))
             } else {
                 Ok(Response::builder(StatusCode::OK)
                     .body("<html><body>".to_string() + &"content ".repeat(1000) + "</body></html>")
@@ -368,7 +439,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_configs() {
-        assert_eq!(StudyConfig::builder().build().unwrap_err().field, "countries");
+        assert_eq!(
+            StudyConfig::builder().build().unwrap_err().field,
+            "countries"
+        );
         assert_eq!(
             StudyConfig::builder()
                 .countries([cc("US")])
@@ -433,7 +507,11 @@ mod tests {
         let s = study();
         let result = s.baseline(&["blocked.com".to_string()]).await;
         // IR is a rep country and its samples are block pages → retained.
-        assert!(result.archive.len() >= 3, "archived {}", result.archive.len());
+        assert!(
+            result.archive.len() >= 3,
+            "archived {}",
+            result.archive.len()
+        );
         let doc = result.archive.get(0, 0, 0).expect("IR sample retained");
         assert!(doc.contains("banned the country"));
     }
@@ -452,6 +530,54 @@ mod tests {
         for c in 0..3 {
             assert_eq!(result.store.cell(0, c).len(), 23);
         }
+    }
+
+    #[tokio::test]
+    async fn resample_is_chunk_invariant() {
+        // Regression for the old batch resample, which hard-coded
+        // 4096-pair chunks and ignored `config.chunk_domains`. The
+        // streaming path has no chunks at all: observations must be
+        // identical whatever chunk_domains says, and in-flight work is
+        // bounded by the engine's concurrency, not by any chunk size.
+        async fn run(chunk_domains: usize) -> (StudyResult, geoblock_lumscan::GaugeSink) {
+            let engine = Arc::new(Lumscan::new(
+                ToyNet,
+                LumscanConfig::builder().concurrency(4).build().unwrap(),
+            ));
+            let config = StudyConfig::builder()
+                .countries([cc("IR"), cc("US"), cc("DE")])
+                .rep_countries([cc("IR"), cc("US")])
+                .chunk_domains(chunk_domains)
+                .build()
+                .unwrap();
+            let s = Top10kStudy::new(engine, config);
+            let mut result = s
+                .baseline(&["blocked.com".to_string(), "plain.com".to_string()])
+                .await;
+            let pairs: Vec<(usize, usize)> =
+                (0..2).flat_map(|d| (0..3).map(move |c| (d, c))).collect();
+            let mut sink = geoblock_lumscan::GaugeSink::new();
+            s.resample_with(&mut result, &pairs, 5, &mut sink).await;
+            (result, sink)
+        }
+        let (small, gauge) = run(1).await;
+        let (large, _) = run(4096).await;
+        for ((d, c, a), (_, _, b)) in small.store.iter_cells().zip(large.store.iter_cells()) {
+            assert_eq!(
+                a, b,
+                "cell ({d}, {c}) differs across chunk_domains settings"
+            );
+        }
+        assert_eq!(
+            gauge.started,
+            2 * 3 * 5,
+            "resample probes every pair n times"
+        );
+        assert!(
+            gauge.peak_in_flight <= 4,
+            "in-flight {} exceeded engine concurrency",
+            gauge.peak_in_flight
+        );
     }
 
     #[tokio::test]

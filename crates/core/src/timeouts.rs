@@ -110,7 +110,11 @@ mod tests {
 
     fn store() -> SampleStore {
         SampleStore::new(
-            vec!["selective.com".into(), "dead.com".into(), "flaky.com".into()],
+            vec![
+                "selective.com".into(),
+                "dead.com".into(),
+                "flaky.com".into(),
+            ],
             vec![
                 cc("IR"),
                 cc("CN"),

@@ -47,12 +47,16 @@ impl RedirectChain {
     /// Whether `header` appears in *any* hop's response — the CDN-population
     /// detection rule.
     pub fn any_hop_has_header(&self, header: &str) -> bool {
-        self.hops.iter().any(|h| h.response.headers.contains(header))
+        self.hops
+            .iter()
+            .any(|h| h.response.headers.contains(header))
     }
 
     /// First value of `header` across hops in order, if present anywhere.
     pub fn first_header_value(&self, header: &str) -> Option<&str> {
-        self.hops.iter().find_map(|h| h.response.headers.get(header))
+        self.hops
+            .iter()
+            .find_map(|h| h.response.headers.get(header))
     }
 }
 

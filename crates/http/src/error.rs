@@ -95,6 +95,10 @@ pub enum FetchError {
     /// vantage (§4.2 discrepancies), so the attempt is rejected and the exit
     /// quarantined.
     GeolocationMismatch { wanted: String, got: String },
+    /// The probe task itself panicked. The streaming pipeline catches the
+    /// unwind and surfaces it as a probe-fatal outcome for that slot instead
+    /// of poisoning the whole batch; `detail` carries the panic message.
+    ProbePanicked { detail: String },
 }
 
 impl FetchError {
@@ -109,6 +113,9 @@ impl FetchError {
             | FetchError::TooManyRedirects { .. }
             | FetchError::BadRedirect { .. }
             | FetchError::DnsFailure { .. } => Retryability::Permanent,
+            // The retry loop is what unwound — there is nothing left to
+            // drive another attempt for this slot.
+            FetchError::ProbePanicked { .. } => Retryability::Permanent,
             // The household itself is the problem: it claims to be
             // somewhere it is not. Every request through it is tainted.
             FetchError::GeolocationMismatch { .. } => Retryability::ExitFatal,
@@ -155,6 +162,7 @@ impl FetchError {
             FetchError::BadRedirect { .. } => "bad-redirect",
             FetchError::TruncatedBody { .. } => "truncated",
             FetchError::GeolocationMismatch { .. } => "geo-mismatch",
+            FetchError::ProbePanicked { .. } => "panic",
         }
     }
 }
@@ -188,6 +196,9 @@ impl fmt::Display for FetchError {
             FetchError::GeolocationMismatch { wanted, got } => {
                 write!(f, "exit geolocated in {got}, wanted {wanted}")
             }
+            FetchError::ProbePanicked { detail } => {
+                write!(f, "probe task panicked: {detail}")
+            }
         }
     }
 }
@@ -217,7 +228,10 @@ mod tests {
 
     #[test]
     fn proxy_side_classification() {
-        assert!(FetchError::NoExitAvailable { country: "KP".into() }.is_proxy_side());
+        assert!(FetchError::NoExitAvailable {
+            country: "KP".into()
+        }
+        .is_proxy_side());
         assert!(!FetchError::Timeout.is_proxy_side());
         assert!(!FetchError::DnsFailure { host: "x".into() }.is_proxy_side());
     }
@@ -227,16 +241,36 @@ mod tests {
         use Retryability::*;
         assert_eq!(FetchError::Timeout.retryability(), Transient);
         assert_eq!(
-            FetchError::TruncatedBody { received: 10, expected: 100 }.retryability(),
+            FetchError::TruncatedBody {
+                received: 10,
+                expected: 100
+            }
+            .retryability(),
             Transient
         );
         assert_eq!(
-            FetchError::GeolocationMismatch { wanted: "IR".into(), got: "DE".into() }
-                .retryability(),
+            FetchError::GeolocationMismatch {
+                wanted: "IR".into(),
+                got: "DE".into()
+            }
+            .retryability(),
             ExitFatal
         );
-        assert_eq!(FetchError::DnsFailure { host: "x".into() }.retryability(), Permanent);
-        assert_eq!(FetchError::TooManyRedirects { limit: 10 }.retryability(), Permanent);
+        assert_eq!(
+            FetchError::DnsFailure { host: "x".into() }.retryability(),
+            Permanent
+        );
+        assert_eq!(
+            FetchError::TooManyRedirects { limit: 10 }.retryability(),
+            Permanent
+        );
+        assert_eq!(
+            FetchError::ProbePanicked {
+                detail: "boom".into()
+            }
+            .retryability(),
+            Permanent
+        );
         assert!(ExitFatal.should_retry());
         assert!(ExitFatal.poisons_exit());
         assert!(!Transient.poisons_exit());
@@ -247,7 +281,10 @@ mod tests {
     fn bad_redirect_exposes_source() {
         use std::error::Error as _;
         let cause = "::".parse::<crate::Url>().unwrap_err();
-        let err = FetchError::BadRedirect { location: "::".into(), cause };
+        let err = FetchError::BadRedirect {
+            location: "::".into(),
+            cause,
+        };
         assert!(err.source().is_some());
         assert_eq!(err.retryability(), Retryability::Permanent);
         assert!(FetchError::Timeout.source().is_none());
@@ -264,14 +301,25 @@ mod tests {
             FetchError::TooManyRedirects { limit: 10 },
             FetchError::ProxyError { detail: "d".into() },
             FetchError::ProxyRefused { reason: "r".into() },
-            FetchError::NoExitAvailable { country: "KP".into() },
+            FetchError::NoExitAvailable {
+                country: "KP".into(),
+            },
             FetchError::MalformedResponse { detail: "d".into() },
             FetchError::BadRedirect {
                 location: "::".into(),
                 cause: "::".parse::<crate::Url>().unwrap_err(),
             },
-            FetchError::TruncatedBody { received: 1, expected: 2 },
-            FetchError::GeolocationMismatch { wanted: "IR".into(), got: "DE".into() },
+            FetchError::TruncatedBody {
+                received: 1,
+                expected: 2,
+            },
+            FetchError::GeolocationMismatch {
+                wanted: "IR".into(),
+                got: "DE".into(),
+            },
+            FetchError::ProbePanicked {
+                detail: "boom".into(),
+            },
         ];
         let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());

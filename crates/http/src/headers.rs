@@ -24,10 +24,7 @@ impl HeaderName {
     /// any printable ASCII without whitespace/colon and fold case.
     pub fn new(name: &str) -> HeaderName {
         debug_assert!(
-            !name.is_empty()
-                && name
-                    .bytes()
-                    .all(|b| b.is_ascii_graphic() && b != b':'),
+            !name.is_empty() && name.bytes().all(|b| b.is_ascii_graphic() && b != b':'),
             "invalid header name: {name:?}"
         );
         HeaderName(name.to_ascii_lowercase())
@@ -186,7 +183,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let h: HeaderMap = [("User-Agent", "x"), ("Accept", "*/*")].into_iter().collect();
+        let h: HeaderMap = [("User-Agent", "x"), ("Accept", "*/*")]
+            .into_iter()
+            .collect();
         assert_eq!(h.get("user-agent"), Some("x"));
         assert_eq!(h.get("accept"), Some("*/*"));
     }

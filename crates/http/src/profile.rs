@@ -37,12 +37,9 @@ impl HeaderProfile {
     pub fn headers(&self) -> HeaderMap {
         match self {
             HeaderProfile::Bare => HeaderMap::new(),
-            HeaderProfile::Curl => [
-                ("User-Agent", "curl/7.61.0"),
-                ("Accept", "*/*"),
-            ]
-            .into_iter()
-            .collect(),
+            HeaderProfile::Curl => [("User-Agent", "curl/7.61.0"), ("Accept", "*/*")]
+                .into_iter()
+                .collect(),
             HeaderProfile::ZgrabUserAgentOnly => {
                 [("User-Agent", FIREFOX_MACOS_UA)].into_iter().collect()
             }

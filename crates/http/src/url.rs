@@ -43,8 +43,20 @@ impl Host {
         let last2 = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
         let two_level_suffix = matches!(
             last2.as_str(),
-            "co.za" | "co.uk" | "co.jp" | "co.in" | "co.kr" | "com.br" | "com.au" | "com.cn"
-                | "com.sg" | "com.tr" | "net.au" | "org.uk" | "ac.uk" | "gov.uk"
+            "co.za"
+                | "co.uk"
+                | "co.jp"
+                | "co.in"
+                | "co.kr"
+                | "com.br"
+                | "com.au"
+                | "com.cn"
+                | "com.sg"
+                | "com.tr"
+                | "net.au"
+                | "org.uk"
+                | "ac.uk"
+                | "gov.uk"
         );
         let take = if two_level_suffix { 3 } else { 2 };
         labels[labels.len() - take..].join(".")
@@ -210,7 +222,11 @@ impl FromStr for Url {
             }
             None => (authority, None),
         };
-        if host.is_empty() || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.') {
+        if host.is_empty()
+            || !host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.')
+        {
             return Err(err("invalid host"));
         }
         let (path, query) = split_query(path_and_query);
@@ -292,8 +308,14 @@ mod tests {
 
     #[test]
     fn registrable_domain_rules() {
-        assert_eq!(Host::new("www.example.com").registrable_domain(), "example.com");
-        assert_eq!(Host::new("shop.makro.co.za").registrable_domain(), "makro.co.za");
+        assert_eq!(
+            Host::new("www.example.com").registrable_domain(),
+            "example.com"
+        );
+        assert_eq!(
+            Host::new("shop.makro.co.za").registrable_domain(),
+            "makro.co.za"
+        );
         assert_eq!(Host::new("example.com").registrable_domain(), "example.com");
         assert_eq!(Host::new("localhost").registrable_domain(), "localhost");
     }

@@ -123,9 +123,7 @@ pub fn parse_response(text: &str, url: Url) -> Result<Response, FetchError> {
     })
 }
 
-fn parse_headers<'a>(
-    lines: impl Iterator<Item = &'a str>,
-) -> Result<HeaderMap, FetchError> {
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<HeaderMap, FetchError> {
     let mut headers = HeaderMap::new();
     for line in lines {
         if line.is_empty() {
@@ -200,11 +198,7 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         assert!(parse_response("garbage", "http://a.com/".parse().unwrap()).is_err());
-        assert!(parse_response(
-            "HTTP/2 200 OK\r\n\r\n",
-            "http://a.com/".parse().unwrap()
-        )
-        .is_err());
+        assert!(parse_response("HTTP/2 200 OK\r\n\r\n", "http://a.com/".parse().unwrap()).is_err());
         assert!(parse_request("GET /\r\n\r\n", "http").is_err()); // no Host
     }
 }

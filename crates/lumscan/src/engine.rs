@@ -7,11 +7,11 @@ use std::sync::Arc;
 use geoblock_http::{FetchError, HeaderProfile, Method, Request, Url};
 use geoblock_worldgen::CountryCode;
 use parking_lot::Mutex;
-use tokio::task::JoinSet;
 
 use crate::result::{BatchStats, ProbeResult};
 use crate::retry::{CircuitBreaker, RetryPolicy};
 use crate::session::SessionId;
+use crate::stream::{ProbeSink, ProbeStream};
 use crate::transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};
 
 /// Engine configuration.
@@ -252,10 +252,19 @@ impl<T: Transport + 'static> Lumscan<T> {
             transport: Arc::new(transport),
             config,
             issued: AtomicU64::new(0),
-            invocations: (0..INVOCATION_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            invocations: (0..INVOCATION_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             verified: Arc::new(Mutex::new(HashMap::new())),
             breaker,
         }
+    }
+
+    /// Claim the next invocation number for `target`. The streaming
+    /// pipeline calls this at spawn time — pulls happen in target order, so
+    /// the claim sequence matches what the old batch path produced.
+    pub(crate) fn claim_invocation(&self, target: &ProbeTarget) -> u32 {
+        self.next_invocation(hash_host(target.url.host.as_str()), target.country)
     }
 
     /// Claim the next invocation number for a probe target.
@@ -305,12 +314,10 @@ impl<T: Transport + 'static> Lumscan<T> {
         invocation: u32,
         attempt: u32,
     ) -> SessionId {
-        let base = SessionId(mix(
-            host_hash
-                ^ country_bits.rotate_left(32)
-                ^ ((invocation as u64) << 8)
-                ^ attempt as u64,
-        ));
+        let base = SessionId(mix(host_hash
+            ^ country_bits.rotate_left(32)
+            ^ ((invocation as u64) << 8)
+            ^ attempt as u64));
         let mut session = base;
         let mut bump = 0u64;
         while bump < QUARANTINE_BUMPS && self.breaker.is_quarantined(session) {
@@ -337,8 +344,7 @@ impl<T: Transport + 'static> Lumscan<T> {
         let mut attempt_errors = Vec::new();
         let mut last_err = FetchError::Timeout;
         let host_hash = hash_host(target.url.host.as_str());
-        let country_bits =
-            ((target.country.0[0] as u64) << 8) | target.country.0[1] as u64;
+        let country_bits = ((target.country.0[0] as u64) << 8) | target.country.0[1] as u64;
         while attempts < policy.max_attempts() {
             attempts += 1;
             // One fresh exit per attempt, stable under replay, dodging
@@ -403,7 +409,10 @@ impl<T: Transport + 'static> Lumscan<T> {
         &self,
         target: &ProbeTarget,
         session: SessionId,
-    ) -> (Option<CountryCode>, Result<geoblock_http::RedirectChain, FetchError>) {
+    ) -> (
+        Option<CountryCode>,
+        Result<geoblock_http::RedirectChain, FetchError>,
+    ) {
         let mut verified = None;
         if self.config.verify_connectivity {
             match self.verify_session(session, target.country).await {
@@ -444,34 +453,47 @@ impl<T: Transport + 'static> Lumscan<T> {
         (verified, outcome)
     }
 
+    /// Probe a lazy stream of targets, yielding `(index, ProbeResult)`
+    /// completions as they land. At most `config.concurrency` probes are in
+    /// flight; nothing upstream or downstream is materialized. See
+    /// [`ProbeStream`] for ordering and panic semantics.
+    pub fn probe_stream<I>(self: &Arc<Self>, targets: I) -> ProbeStream<'static, T, I::IntoIter>
+    where
+        I: IntoIterator<Item = ProbeTarget>,
+    {
+        ProbeStream::new(Arc::clone(self), targets.into_iter(), None)
+    }
+
+    /// [`Lumscan::probe_stream`] with an observer: `sink` sees every spawn
+    /// and completion (live progress, gauges) without touching the data
+    /// path.
+    pub fn probe_stream_with<'s, I>(
+        self: &Arc<Self>,
+        targets: I,
+        sink: &'s mut dyn ProbeSink,
+    ) -> ProbeStream<'s, T, I::IntoIter>
+    where
+        I: IntoIterator<Item = ProbeTarget>,
+    {
+        ProbeStream::new(Arc::clone(self), targets.into_iter(), Some(sink))
+    }
+
     /// Probe many targets concurrently (bounded by `config.concurrency`),
     /// preserving input order in the output.
+    ///
+    /// Compatibility wrapper over [`Lumscan::probe_stream`]: it collects the
+    /// whole result vector, so it pays O(batch) memory. New code that can
+    /// consume completions incrementally should use the stream directly.
     pub async fn probe_all(self: &Arc<Self>, targets: &[ProbeTarget]) -> Vec<ProbeResult> {
         let mut results: Vec<Option<ProbeResult>> = (0..targets.len()).map(|_| None).collect();
-        let mut join = JoinSet::new();
-        let mut next = 0usize;
-
-        // Claim invocation numbers in target order up front: outcome-to-
-        // sample assignment must not depend on task scheduling.
-        let invocations: Vec<u32> = targets
-            .iter()
-            .map(|t| self.next_invocation(hash_host(t.url.host.as_str()), t.country))
-            .collect();
-        while next < targets.len() || !join.is_empty() {
-            while next < targets.len() && join.len() < self.config.concurrency.max(1) {
-                let engine = Arc::clone(self);
-                let target = targets[next].clone();
-                let invocation = invocations[next];
-                let idx = next;
-                next += 1;
-                join.spawn(async move { (idx, engine.probe_invocation(&target, invocation).await) });
-            }
-            if let Some(done) = join.join_next().await {
-                let (idx, result) = done.expect("probe task panicked");
-                results[idx] = Some(result);
-            }
+        let mut stream = self.probe_stream(targets.iter().cloned());
+        while let Some((idx, result)) = stream.next().await {
+            results[idx] = Some(result);
         }
-        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("stream yields every index"))
+            .collect()
     }
 
     /// Fetch the proxy-controlled echo page through `session` and parse the
@@ -561,7 +583,9 @@ mod tests {
                     .finish(req.request.url));
             }
             let mut script = self.script.lock();
-            let outcomes = script.get_mut(&url).unwrap_or_else(|| panic!("unscripted url {url}"));
+            let outcomes = script
+                .get_mut(&url)
+                .unwrap_or_else(|| panic!("unscripted url {url}"));
             if outcomes.len() > 1 {
                 outcomes.remove(0)
             } else {
@@ -597,12 +621,16 @@ mod tests {
             "http://flaky.com/",
             vec![
                 Err(FetchError::Timeout),
-                Err(FetchError::ProxyError { detail: "exit died".into() }),
+                Err(FetchError::ProxyError {
+                    detail: "exit died".into(),
+                }),
                 ok("http://flaky.com/", "finally"),
             ],
         );
         let engine = Lumscan::new(net, LumscanConfig::default());
-        let result = engine.probe(&ProbeTarget::http("flaky.com", cc("RU"))).await;
+        let result = engine
+            .probe(&ProbeTarget::http("flaky.com", cc("RU")))
+            .await;
         assert!(result.responded());
         assert_eq!(result.attempts, 3);
         assert_eq!(result.attempt_errors.len(), 2, "two absorbed faults");
@@ -623,12 +651,19 @@ mod tests {
         let net = FakeNet::new();
         net.script(
             "http://banned.com/",
-            vec![Err(FetchError::ProxyRefused { reason: "policy".into() })],
+            vec![Err(FetchError::ProxyRefused {
+                reason: "policy".into(),
+            })],
         );
         let engine = Lumscan::new(net, LumscanConfig::default());
-        let result = engine.probe(&ProbeTarget::http("banned.com", cc("US"))).await;
+        let result = engine
+            .probe(&ProbeTarget::http("banned.com", cc("US")))
+            .await;
         assert_eq!(result.attempts, 1);
-        assert!(matches!(result.error(), Some(FetchError::ProxyRefused { .. })));
+        assert!(matches!(
+            result.error(),
+            Some(FetchError::ProxyRefused { .. })
+        ));
     }
 
     #[tokio::test]
@@ -646,7 +681,10 @@ mod tests {
     async fn probe_all_preserves_order() {
         let net = FakeNet::new();
         for d in ["a.com", "b.com", "c.com"] {
-            net.script(&format!("http://{d}/"), vec![ok(&format!("http://{d}/"), d)]);
+            net.script(
+                &format!("http://{d}/"),
+                vec![ok(&format!("http://{d}/"), d)],
+            );
         }
         let engine = Arc::new(Lumscan::new(net, LumscanConfig::default()));
         let targets: Vec<_> = ["a.com", "b.com", "c.com"]
@@ -664,12 +702,20 @@ mod tests {
     async fn verification_can_be_disabled() {
         let net = FakeNet::new();
         net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
-        let cfg = LumscanConfig::builder().verify_connectivity(false).build().unwrap();
+        let cfg = LumscanConfig::builder()
+            .verify_connectivity(false)
+            .build()
+            .unwrap();
         let engine = Lumscan::new(net, cfg);
         let result = engine.probe(&ProbeTarget::http("site.com", cc("FR"))).await;
         assert!(result.responded());
         assert_eq!(result.verified_country, None);
-        assert!(engine.transport().log.lock().iter().all(|(u, _)| !u.contains("lumtest")));
+        assert!(engine
+            .transport()
+            .log
+            .lock()
+            .iter()
+            .all(|(u, _)| !u.contains("lumtest")));
     }
 
     #[tokio::test]
@@ -682,11 +728,22 @@ mod tests {
         // Every exit claims DE, so the probe exhausts its attempts without
         // ever fetching the target.
         assert!(!result.responded());
-        assert!(matches!(result.error(), Some(FetchError::GeolocationMismatch { .. })));
+        assert!(matches!(
+            result.error(),
+            Some(FetchError::GeolocationMismatch { .. })
+        ));
         assert_eq!(result.verified_country, Some(cc("DE")));
-        assert!(engine.transport().log.lock().iter().all(|(u, _)| !u.contains("site.com")));
+        assert!(engine
+            .transport()
+            .log
+            .lock()
+            .iter()
+            .all(|(u, _)| !u.contains("site.com")));
         // Exit-fatal failures quarantine each tried exit immediately.
-        assert_eq!(engine.breaker().quarantined_count(), result.attempts as usize);
+        assert_eq!(
+            engine.breaker().quarantined_count(),
+            result.attempts as usize
+        );
     }
 
     #[tokio::test]
@@ -694,11 +751,18 @@ mod tests {
         let net = FakeNet::new();
         *net.echo_country.lock() = Some("DE".to_string());
         net.script("http://site.com/", vec![ok("http://site.com/", "x")]);
-        let cfg = LumscanConfig::builder().enforce_geolocation(false).build().unwrap();
+        let cfg = LumscanConfig::builder()
+            .enforce_geolocation(false)
+            .build()
+            .unwrap();
         let engine = Lumscan::new(net, cfg);
         let result = engine.probe(&ProbeTarget::http("site.com", cc("IR"))).await;
         assert!(result.responded());
-        assert_eq!(result.verified_country, Some(cc("DE")), "drift is still recorded");
+        assert_eq!(
+            result.verified_country,
+            Some(cc("DE")),
+            "drift is still recorded"
+        );
     }
 
     #[tokio::test]

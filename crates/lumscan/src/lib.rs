@@ -45,6 +45,18 @@
 //! probes that only responded thanks to a retry (`recovered`), and — via
 //! [`Lumscan::batch_stats`] — the breaker's quarantine count.
 //!
+//! # Streaming execution
+//!
+//! Probes run through the streaming pipeline in [`stream`]:
+//! [`Lumscan::probe_stream`] pulls targets lazily from an iterator, keeps at
+//! most `config.concurrency` in flight, and yields `(index, ProbeResult)`
+//! completions as they land with incrementally updated [`BatchStats`]. A
+//! panicking probe task is caught per-slot
+//! ([`ProbePanicked`](geoblock_http::FetchError::ProbePanicked)) instead of
+//! poisoning the batch, and an optional [`ProbeSink`] observes every spawn
+//! and completion. [`Lumscan::probe_all`] survives as a collect-and-reorder
+//! compatibility wrapper over the stream.
+//!
 //! The engine is transport-generic: the same code drives the simulated
 //! Luminati network (`geoblock-proxynet`), simulated VPSes
 //! (`geoblock-netsim`), a fault-injection wrapper
@@ -55,10 +67,12 @@ pub mod engine;
 pub mod result;
 pub mod retry;
 pub mod session;
+pub mod stream;
 pub mod transport;
 
 pub use engine::{ConfigError, Lumscan, LumscanConfig, LumscanConfigBuilder};
 pub use result::{BatchStats, ProbeResult};
 pub use retry::{CircuitBreaker, RetryPolicy};
 pub use session::{SessionAllocator, SessionId};
+pub use stream::{GaugeSink, NoopSink, ProbeSink, ProbeStream};
 pub use transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};

@@ -83,39 +83,44 @@ pub struct BatchStats {
 impl BatchStats {
     /// Compute stats over results.
     pub fn of(results: &[ProbeResult]) -> BatchStats {
-        let mut s = BatchStats {
-            total: results.len(),
-            ..BatchStats::default()
-        };
+        let mut s = BatchStats::default();
         for r in results {
-            s.attempts += r.attempts as usize;
-            let slot = (r.attempts as usize).max(1) - 1;
-            if s.attempts_histogram.len() <= slot {
-                s.attempts_histogram.resize(slot + 1, 0);
-            }
-            s.attempts_histogram[slot] += 1;
-            for e in &r.attempt_errors {
-                *s.fault_counts.entry(e.kind()).or_insert(0) += 1;
-            }
-            match &r.outcome {
-                Ok(_) => {
-                    s.responded += 1;
-                    if r.recovered() {
-                        s.recovered += 1;
-                    }
+            s.record(r);
+        }
+        s
+    }
+
+    /// Fold one completed probe into the running statistics. This is the
+    /// incremental form behind [`BatchStats::of`]; the streaming pipeline
+    /// calls it per completion so live stats never need the result vector.
+    pub fn record(&mut self, r: &ProbeResult) {
+        self.total += 1;
+        self.attempts += r.attempts as usize;
+        let slot = (r.attempts as usize).max(1) - 1;
+        if self.attempts_histogram.len() <= slot {
+            self.attempts_histogram.resize(slot + 1, 0);
+        }
+        self.attempts_histogram[slot] += 1;
+        for e in &r.attempt_errors {
+            *self.fault_counts.entry(e.kind()).or_insert(0) += 1;
+        }
+        match &r.outcome {
+            Ok(_) => {
+                self.responded += 1;
+                if r.recovered() {
+                    self.recovered += 1;
                 }
-                Err(e) => {
-                    s.failed += 1;
-                    if e.is_proxy_side() {
-                        s.proxy_failures += 1;
-                    }
-                    if matches!(e, FetchError::ProxyRefused { .. }) {
-                        s.proxy_refused += 1;
-                    }
+            }
+            Err(e) => {
+                self.failed += 1;
+                if e.is_proxy_side() {
+                    self.proxy_failures += 1;
+                }
+                if matches!(e, FetchError::ProxyRefused { .. }) {
+                    self.proxy_refused += 1;
                 }
             }
         }
-        s
     }
 
     /// Error rate in [0, 1] ("unable to get a response from the site").
@@ -204,6 +209,25 @@ mod tests {
         assert_eq!(s.recovered, 1);
         assert!((s.recovery_rate() - 0.5).abs() < 1e-12);
         assert_eq!(s.fault_counts.get("timeout"), Some(&1));
+    }
+
+    #[test]
+    fn incremental_record_matches_batch_of() {
+        let results = vec![
+            ok_result(),
+            err_result(FetchError::Timeout, 3),
+            err_result(
+                FetchError::ProxyRefused {
+                    reason: "blocked".into(),
+                },
+                1,
+            ),
+        ];
+        let mut inc = BatchStats::default();
+        for r in &results {
+            inc.record(r);
+        }
+        assert_eq!(inc, BatchStats::of(&results));
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl CircuitBreaker {
     pub fn new(threshold: u32) -> CircuitBreaker {
         CircuitBreaker {
             threshold,
-            shards: (0..BREAKER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..BREAKER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             quarantined: AtomicUsize::new(0),
         }
     }
@@ -223,8 +225,14 @@ mod tests {
         let b2 = p.backoff(2, 7);
         let b3 = p.backoff(3, 7);
         let b4 = p.backoff(9, 7);
-        assert!(b2 >= Duration::from_millis(2) && b2 < Duration::from_millis(4), "{b2:?}");
-        assert!(b3 >= Duration::from_millis(4) && b3 < Duration::from_millis(6), "{b3:?}");
+        assert!(
+            b2 >= Duration::from_millis(2) && b2 < Duration::from_millis(4),
+            "{b2:?}"
+        );
+        assert!(
+            b3 >= Duration::from_millis(4) && b3 < Duration::from_millis(6),
+            "{b3:?}"
+        );
         assert_eq!(b4, Duration::from_millis(20), "capped");
     }
 
@@ -265,7 +273,10 @@ mod tests {
         let s = SessionId(5);
         b.record_failure(s, Retryability::Transient);
         b.record_success(s);
-        assert!(!b.record_failure(s, Retryability::Transient), "strikes were reset");
+        assert!(
+            !b.record_failure(s, Retryability::Transient),
+            "strikes were reset"
+        );
         b.record_failure(s, Retryability::Transient);
         assert!(b.is_quarantined(s));
         b.record_success(s);

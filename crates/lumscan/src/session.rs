@@ -51,7 +51,12 @@ impl SessionAllocator {
             let next_boundary = (ticket / self.requests_per_exit + 1) * self.requests_per_exit;
             if self
                 .counter
-                .compare_exchange(ticket, next_boundary + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(
+                    ticket,
+                    next_boundary + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 return SessionId(next_boundary / self.requests_per_exit);
@@ -90,13 +95,14 @@ mod tests {
 
     #[test]
     fn superproxy_balancing_is_round_robin_over_sessions() {
-        let counts = (0..100u64)
-            .map(SessionId)
-            .map(|s| s.superproxy(4))
-            .fold([0usize; 4], |mut acc, p| {
-                acc[p] += 1;
-                acc
-            });
+        let counts =
+            (0..100u64)
+                .map(SessionId)
+                .map(|s| s.superproxy(4))
+                .fold([0usize; 4], |mut acc, p| {
+                    acc[p] += 1;
+                    acc
+                });
         assert_eq!(counts, [25, 25, 25, 25]);
     }
 

@@ -1,0 +1,482 @@
+//! The streaming probe pipeline.
+//!
+//! [`Lumscan::probe_all`] is a barrier: it materializes a result slot for
+//! every target and returns nothing until the slowest probe finishes. At
+//! study scale that shape is the binding constraint — a chunk of
+//! `domains × countries × samples` targets sits in memory while one
+//! straggling exit holds the whole chunk hostage. [`ProbeStream`] replaces
+//! the barrier with a pull-based stream:
+//!
+//! * targets are **pulled lazily** from an iterator — nothing upstream is
+//!   materialized;
+//! * at most `config.concurrency` probes are in flight; completions are
+//!   yielded as `(index, ProbeResult)` the moment they land, so downstream
+//!   consumers classify-and-drop instead of buffering;
+//! * [`BatchStats`] are folded in incrementally ([`BatchStats::record`]) and
+//!   observable mid-flight;
+//! * a panicking probe task is caught ([`FetchError::ProbePanicked`]) and
+//!   surfaced as a probe-fatal result for its slot — the stream continues;
+//! * an optional [`ProbeSink`] observes every spawn and completion (live
+//!   progress, gauges, throughput meters) without touching the data path.
+//!
+//! # Ordering
+//!
+//! By default completions arrive in *completion* order. [`ProbeStream::ordered`]
+//! switches to index order: completions are held in a bounded reorder buffer
+//! and spawning is gated so the buffer never exceeds twice the concurrency —
+//! memory stays O(concurrency). Ordered delivery is what the study layer
+//! uses, because [`BodyArchive`] retention is order-dependent (each offer
+//! updates the per-domain length ceiling) and must replay identically
+//! between runs.
+//!
+//! [`BodyArchive`]: https://docs.rs/geoblock-core
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::Poll;
+
+use geoblock_http::FetchError;
+use geoblock_worldgen::CountryCode;
+use tokio::task::JoinSet;
+
+use crate::engine::Lumscan;
+use crate::result::{BatchStats, ProbeResult};
+use crate::transport::{ProbeTarget, Transport};
+
+/// Observer of a [`ProbeStream`]'s lifecycle events.
+///
+/// All methods have no-op defaults, so implementations override only what
+/// they watch. The contract: `started` fires once per probe at spawn time,
+/// `completed` fires once per probe (in completion order, even when the
+/// stream yields ordered), and `finished` fires exactly once after the last
+/// completion. `in_flight` is the number of probes running at that instant —
+/// it never exceeds the engine's configured concurrency.
+pub trait ProbeSink: Send {
+    /// A probe was spawned. `in_flight` counts it.
+    fn started(&mut self, index: usize, target: &ProbeTarget, in_flight: usize) {
+        let _ = (index, target, in_flight);
+    }
+
+    /// A probe completed. `stats` already includes this result.
+    fn completed(
+        &mut self,
+        index: usize,
+        result: &ProbeResult,
+        stats: &BatchStats,
+        in_flight: usize,
+    ) {
+        let _ = (index, result, stats, in_flight);
+    }
+
+    /// The stream is exhausted; `stats` are final (except the engine-side
+    /// quarantine count, which [`ProbeStream::into_stats`] fills).
+    fn finished(&mut self, stats: &BatchStats) {
+        let _ = stats;
+    }
+}
+
+/// The default observer: sees everything, records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl ProbeSink for NoopSink {}
+
+/// A recording sink: peaks, tallies, and per-country counts — the memory
+/// and liveness gauge used by the bench harness and the bounded-memory
+/// acceptance test.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeSink {
+    /// Probes spawned.
+    pub started: usize,
+    /// Probes completed.
+    pub completed: usize,
+    /// Highest concurrent in-flight count observed.
+    pub peak_in_flight: usize,
+    /// Completions that carried no final response.
+    pub failed: usize,
+    /// Completions that responded only thanks to a retry.
+    pub recovered: usize,
+    /// Completions per vantage country.
+    pub per_country: BTreeMap<CountryCode, usize>,
+    /// Whether `finished` has fired.
+    pub finished: bool,
+}
+
+impl GaugeSink {
+    /// A fresh gauge.
+    pub fn new() -> GaugeSink {
+        GaugeSink::default()
+    }
+}
+
+impl ProbeSink for GaugeSink {
+    fn started(&mut self, _index: usize, _target: &ProbeTarget, in_flight: usize) {
+        self.started += 1;
+        self.peak_in_flight = self.peak_in_flight.max(in_flight);
+    }
+
+    fn completed(
+        &mut self,
+        _index: usize,
+        result: &ProbeResult,
+        _stats: &BatchStats,
+        _in_flight: usize,
+    ) {
+        self.completed += 1;
+        if !result.responded() {
+            self.failed += 1;
+        }
+        if result.recovered() {
+            self.recovered += 1;
+        }
+        *self.per_country.entry(result.target.country).or_insert(0) += 1;
+    }
+
+    fn finished(&mut self, _stats: &BatchStats) {
+        self.finished = true;
+    }
+}
+
+/// Render a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Drive `fut` to completion, converting an unwinding panic into an `Err`
+/// carrying the payload. This runs *inside* the spawned task, so a panic
+/// never reaches the `JoinSet` — portable across runtimes that cannot
+/// recover a task identity from a failed join.
+async fn catch_probe_panic<F: Future>(fut: F) -> Result<F::Output, Box<dyn Any + Send + 'static>> {
+    let mut fut: Pin<Box<F>> = Box::pin(fut);
+    std::future::poll_fn(move |cx| {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(cx))) {
+            Ok(Poll::Ready(out)) => Poll::Ready(Ok(out)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    })
+    .await
+}
+
+/// The probe-fatal result synthesized for a slot whose task panicked.
+fn panicked_result(target: ProbeTarget, payload: Box<dyn Any + Send>) -> ProbeResult {
+    ProbeResult {
+        target,
+        // Zero: the panic pre-empted the attempt accounting, so claiming
+        // any attempt count would be an invention.
+        attempts: 0,
+        outcome: Err(FetchError::ProbePanicked {
+            detail: panic_message(payload.as_ref()),
+        }),
+        verified_country: None,
+        attempt_errors: Vec::new(),
+    }
+}
+
+/// An in-flight probe stream over a lazy target iterator. Created by
+/// [`Lumscan::probe_stream`] / [`Lumscan::probe_stream_with`].
+///
+/// Pull completions with [`next`](ProbeStream::next); the stream spawns
+/// replacements as slots free up, so in-flight work stays at the configured
+/// concurrency until the iterator runs dry.
+pub struct ProbeStream<'s, T: Transport + 'static, I: Iterator<Item = ProbeTarget>> {
+    engine: Arc<Lumscan<T>>,
+    targets: std::iter::Fuse<I>,
+    join: JoinSet<(usize, ProbeResult)>,
+    /// Index the next spawned probe will carry.
+    next_index: usize,
+    /// In ordered mode, the next index to yield.
+    next_ordered: usize,
+    /// Ordered-mode reorder buffer (bounded by the spawn gate).
+    buffered: BTreeMap<usize, ProbeResult>,
+    ordered: bool,
+    stats: BatchStats,
+    sink: Option<&'s mut dyn ProbeSink>,
+    done: bool,
+}
+
+impl<'s, T: Transport + 'static, I: Iterator<Item = ProbeTarget>> ProbeStream<'s, T, I> {
+    pub(crate) fn new(
+        engine: Arc<Lumscan<T>>,
+        targets: I,
+        sink: Option<&'s mut dyn ProbeSink>,
+    ) -> ProbeStream<'s, T, I> {
+        ProbeStream {
+            engine,
+            targets: targets.fuse(),
+            join: JoinSet::new(),
+            next_index: 0,
+            next_ordered: 0,
+            buffered: BTreeMap::new(),
+            ordered: false,
+            stats: BatchStats::default(),
+            sink,
+            done: false,
+        }
+    }
+
+    /// Switch to index-ordered delivery: completions are yielded strictly
+    /// in target order, held in a reorder buffer bounded at twice the
+    /// concurrency (spawning is gated, so memory stays O(concurrency) and
+    /// in-flight probes still never exceed the configured limit).
+    pub fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// The running statistics over everything yielded so far.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Finish the stream and return its statistics, including the engine's
+    /// quarantine count — the streaming analogue of
+    /// [`Lumscan::batch_stats`].
+    pub fn into_stats(self) -> BatchStats {
+        let mut stats = self.stats;
+        stats.quarantined_exits = self.engine.breaker().quarantined_count();
+        stats
+    }
+
+    fn concurrency(&self) -> usize {
+        self.engine.config().concurrency.max(1)
+    }
+
+    /// Ordered-mode spawn gate: in-flight + buffered + yield-pending may
+    /// not exceed this, or a straggler at `next_ordered` could make the
+    /// reorder buffer grow without bound.
+    fn window(&self) -> usize {
+        self.concurrency() * 2
+    }
+
+    /// Top up the join set from the target iterator.
+    fn refill(&mut self) {
+        loop {
+            if self.join.len() >= self.concurrency() {
+                break;
+            }
+            if self.ordered && self.next_index - self.next_ordered >= self.window() {
+                break;
+            }
+            let Some(target) = self.targets.next() else {
+                break;
+            };
+            let idx = self.next_index;
+            self.next_index += 1;
+            // Invocations are claimed here, in pull order (== target
+            // order), so outcome-to-sample assignment never depends on
+            // task scheduling — the same contract probe_all upheld.
+            let invocation = self.engine.claim_invocation(&target);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.started(idx, &target, self.join.len() + 1);
+            }
+            let engine = Arc::clone(&self.engine);
+            self.join.spawn(async move {
+                let caught = catch_probe_panic(engine.probe_invocation(&target, invocation)).await;
+                let result = match caught {
+                    Ok(result) => result,
+                    Err(payload) => panicked_result(target, payload),
+                };
+                (idx, result)
+            });
+        }
+    }
+
+    /// Pull the next completion, spawning replacements as slots free up.
+    /// Returns `None` once every target has been probed and yielded.
+    pub async fn next(&mut self) -> Option<(usize, ProbeResult)> {
+        loop {
+            if self.ordered {
+                if let Some(result) = self.buffered.remove(&self.next_ordered) {
+                    let idx = self.next_ordered;
+                    self.next_ordered += 1;
+                    return Some((idx, result));
+                }
+            }
+            self.refill();
+            match self.join.join_next().await {
+                Some(Ok((idx, result))) => {
+                    self.stats.record(&result);
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.completed(idx, &result, &self.stats, self.join.len());
+                    }
+                    if self.ordered {
+                        self.buffered.insert(idx, result);
+                    } else {
+                        return Some((idx, result));
+                    }
+                }
+                // Probe panics are caught inside the task, so a join error
+                // can only mean external cancellation — skip the slot.
+                Some(Err(_)) => continue,
+                None => {
+                    if self.ordered && !self.buffered.is_empty() {
+                        // Everything spawned has completed; the next index
+                        // is sitting in the buffer.
+                        continue;
+                    }
+                    if !self.done {
+                        self.done = true;
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.finished(&self.stats);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Drain the stream, discarding results, and return the final
+    /// statistics. For consumers that only want the aggregate (reliability
+    /// legs, throughput meters) — bodies are dropped the moment they land.
+    pub async fn drain(mut self) -> BatchStats {
+        while self.next().await.is_some() {}
+        self.into_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LumscanConfig;
+    use crate::transport::TransportRequest;
+    use geoblock_http::{Response, StatusCode};
+    use geoblock_worldgen::cc;
+
+    /// Serves every host; panics on hosts containing "boom".
+    struct PanicOn;
+
+    impl Transport for PanicOn {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let host = req.request.url.host.as_str().to_string();
+            if host.contains("boom") {
+                panic!("transport exploded on {host}");
+            }
+            let body = if host == "lumtest.io" {
+                format!("ip=10.0.0.1&country={}", req.country)
+            } else {
+                format!("<html>{host}</html>")
+            };
+            Ok(Response::builder(StatusCode::OK)
+                .body(body)
+                .finish(req.request.url))
+        }
+    }
+
+    fn targets(hosts: &[&str]) -> Vec<ProbeTarget> {
+        hosts
+            .iter()
+            .map(|h| ProbeTarget::http(h, cc("US")))
+            .collect()
+    }
+
+    fn engine(concurrency: usize) -> Arc<Lumscan<PanicOn>> {
+        let config = LumscanConfig::builder()
+            .concurrency(concurrency)
+            .build()
+            .expect("valid test config");
+        Arc::new(Lumscan::new(PanicOn, config))
+    }
+
+    #[tokio::test]
+    async fn stream_yields_every_target() {
+        let engine = engine(2);
+        let mut stream = engine.probe_stream(targets(&["a.com", "b.com", "c.com"]));
+        let mut seen = Vec::new();
+        while let Some((idx, result)) = stream.next().await {
+            assert!(result.responded());
+            seen.push(idx);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        let stats = stream.into_stats();
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.responded, 3);
+    }
+
+    #[tokio::test]
+    async fn ordered_stream_yields_in_index_order() {
+        let engine = engine(4);
+        let hosts: Vec<String> = (0..25).map(|i| format!("host-{i}.example")).collect();
+        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        let mut stream = engine.probe_stream(targets(&host_refs)).ordered();
+        let mut expected = 0usize;
+        while let Some((idx, _)) = stream.next().await {
+            assert_eq!(idx, expected, "ordered mode must yield in index order");
+            expected += 1;
+        }
+        assert_eq!(expected, 25);
+    }
+
+    #[tokio::test]
+    async fn panicking_probe_poisons_only_its_slot() {
+        let engine = engine(2);
+        let mut stream = engine
+            .probe_stream(targets(&["a.com", "boom.com", "c.com"]))
+            .ordered();
+        let mut results = Vec::new();
+        while let Some((idx, result)) = stream.next().await {
+            results.push((idx, result));
+        }
+        assert_eq!(results.len(), 3, "the stream must survive the panic");
+        assert!(results[0].1.responded());
+        assert!(results[2].1.responded());
+        match results[1].1.error() {
+            Some(FetchError::ProbePanicked { detail }) => {
+                assert!(detail.contains("boom.com"), "payload carried: {detail}");
+            }
+            other => panic!("expected ProbePanicked, got {other:?}"),
+        }
+        let stats = stream.into_stats();
+        assert_eq!(stats.responded, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(
+            stats.fault_counts.get("panic"),
+            None,
+            "panic is terminal, not an attempt error"
+        );
+    }
+
+    #[tokio::test]
+    async fn sink_observes_lifecycle_and_bounds() {
+        let engine = engine(3);
+        let hosts: Vec<String> = (0..40).map(|i| format!("h{i}.example")).collect();
+        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        let mut sink = GaugeSink::new();
+        {
+            let mut stream = engine.probe_stream_with(targets(&host_refs), &mut sink);
+            while stream.next().await.is_some() {}
+        }
+        assert_eq!(sink.started, 40);
+        assert_eq!(sink.completed, 40);
+        assert!(sink.finished, "finished must fire");
+        assert!(
+            sink.peak_in_flight <= 3,
+            "in-flight {} exceeded concurrency 3",
+            sink.peak_in_flight
+        );
+        assert_eq!(sink.per_country.get(&cc("US")), Some(&40));
+    }
+
+    #[tokio::test]
+    async fn drain_matches_probe_all_stats() {
+        let hosts: Vec<String> = (0..12).map(|i| format!("d{i}.example")).collect();
+        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        let streamed = engine(4).probe_stream(targets(&host_refs)).drain().await;
+        let batch_engine = engine(4);
+        let results = batch_engine.probe_all(&targets(&host_refs)).await;
+        let batch = batch_engine.batch_stats(&results);
+        assert_eq!(streamed, batch);
+    }
+}

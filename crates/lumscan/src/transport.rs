@@ -213,7 +213,10 @@ mod tests {
 
     #[tokio::test]
     async fn headers_carry_across_hops() {
-        let t = Scripted::new(vec![redirect("http://a.com/", "https://b.com/"), ok("https://b.com/")]);
+        let t = Scripted::new(vec![
+            redirect("http://a.com/", "https://b.com/"),
+            ok("https://b.com/"),
+        ]);
         let req = Request::get("http://a.com/".parse().unwrap()).header("User-Agent", "Lumscan");
         follow_redirects(&t, req, cc("US"), SessionId(1), 10)
             .await

@@ -152,8 +152,16 @@ impl DnsDb {
                     _ => continue,
                 };
                 return vec![
-                    DnsRecord { name: name.to_string(), rrtype: RrType::Ns, data: a },
-                    DnsRecord { name: name.to_string(), rrtype: RrType::Ns, data: b },
+                    DnsRecord {
+                        name: name.to_string(),
+                        rrtype: RrType::Ns,
+                        data: a,
+                    },
+                    DnsRecord {
+                        name: name.to_string(),
+                        rrtype: RrType::Ns,
+                        data: b,
+                    },
                 ];
             }
         }
@@ -178,8 +186,12 @@ impl DnsDb {
         let h = hash_name(name);
         let addr = match spec.providers.first() {
             Some(Provider::Cloudflare) => format!("104.16.{}.{}", h % 256, (h >> 8) % 256),
-            Some(Provider::Akamai) => format!("23.{}.{}.{}", 32 + h % 32, (h >> 8) % 256, (h >> 16) % 256),
-            Some(Provider::CloudFront) => format!("13.{}.{}.{}", 224 + h % 16, (h >> 8) % 256, (h >> 16) % 256),
+            Some(Provider::Akamai) => {
+                format!("23.{}.{}.{}", 32 + h % 32, (h >> 8) % 256, (h >> 16) % 256)
+            }
+            Some(Provider::CloudFront) => {
+                format!("13.{}.{}.{}", 224 + h % 16, (h >> 8) % 256, (h >> 16) % 256)
+            }
             Some(Provider::AppEngine) => {
                 let block = 100 + (h % APPENGINE_NETBLOCK_COUNT as u64);
                 format!("172.{}.{}.{}", block, (h >> 8) % 256, (h >> 16) % 256)
@@ -227,15 +239,24 @@ pub fn in_block(ip: &str, cidr: &str) -> bool {
 
 impl geoblock_core::population::Resolver for DnsDb {
     fn ns(&self, name: &str) -> Vec<String> {
-        self.query(name, RrType::Ns).into_iter().map(|r| r.data).collect()
+        self.query(name, RrType::Ns)
+            .into_iter()
+            .map(|r| r.data)
+            .collect()
     }
 
     fn a(&self, name: &str) -> Vec<String> {
-        self.query(name, RrType::A).into_iter().map(|r| r.data).collect()
+        self.query(name, RrType::A)
+            .into_iter()
+            .map(|r| r.data)
+            .collect()
     }
 
     fn txt(&self, name: &str) -> Vec<String> {
-        self.query(name, RrType::Txt).into_iter().map(|r| r.data).collect()
+        self.query(name, RrType::Txt)
+            .into_iter()
+            .map(|r| r.data)
+            .collect()
     }
 }
 
@@ -274,8 +295,8 @@ mod tests {
             if spec.providers.first() == Some(&Provider::AppEngine) {
                 let a = db.query(&spec.name, RrType::A);
                 let ip = &a[0].data;
-                let hit = (0..APPENGINE_NETBLOCK_COUNT)
-                    .any(|i| in_block(ip, &appengine_netblock(i)));
+                let hit =
+                    (0..APPENGINE_NETBLOCK_COUNT).any(|i| in_block(ip, &appengine_netblock(i)));
                 assert!(hit, "{} -> {ip} not in any netblock", spec.name);
                 checked += 1;
                 if checked > 20 {
@@ -350,4 +371,3 @@ mod tests {
         assert!(!in_block("172.105.3.4", "172.105.0.0/24"));
     }
 }
-

@@ -142,7 +142,8 @@ pub fn serve(
         .info()
         .map(|i| (1.0 - i.reliability).powf(1.3) * 0.9)
         .unwrap_or(0.0);
-    let pair_hash = mix(spec.policy_seed ^ 0xca11 ^ (country.0[0] as u64) << 8 ^ country.0[1] as u64);
+    let pair_hash =
+        mix(spec.policy_seed ^ 0xca11 ^ (country.0[0] as u64) << 8 ^ country.0[1] as u64);
     if ((pair_hash % 1_000_000) as f64) < (p_dom + p_country) * 1_000_000.0 {
         return None;
     }
@@ -156,14 +157,10 @@ pub fn serve(
     for &provider in &spec.providers {
         // Explicit geoblocking.
         if provider == Provider::AppEngine && spec.policy.appengine_sanctions {
-            let blocked = sanctioned_all().contains(country)
-                || client.region == Some(Region::Crimea);
+            let blocked =
+                sanctioned_all().contains(country) || client.region == Some(Region::Crimea);
             if blocked {
-                return Some(finish(
-                    render(PageKind::AppEngine, &params),
-                    &[],
-                    request,
-                ));
+                return Some(finish(render(PageKind::AppEngine, &params), &[], request));
             }
         }
         let geo_active = !spec.policy.policy_flip || day < POLICY_FLIP_DAY;
@@ -213,7 +210,11 @@ pub fn serve(
         if provider == Provider::Cloudflare && spec.policy.js_challenge_all {
             let episode = mix(spec.policy_seed ^ (day as u64) ^ 0x1a3) % 100 < 12;
             if episode || draw(spec, 0x15aa, seq) < 0.20 {
-                return Some(finish(render(PageKind::CloudflareJs, &params), &[], request));
+                return Some(finish(
+                    render(PageKind::CloudflareJs, &params),
+                    &[],
+                    request,
+                ));
             }
         }
 
@@ -232,8 +233,8 @@ pub fn serve(
                 let residual = client.residential
                     && draw(spec, 0xb0b0 ^ (seq << 1), seq) < residual_bot_rate(provider);
                 let blanket_hash = (mix(spec.policy_seed ^ 0xb1a) % 1_000_000) as f64;
-                let blanket = client.residential
-                    && blanket_hash < proxy_blanket_rate(provider) * 1_000_000.0;
+                let blanket =
+                    client.residential && blanket_hash < proxy_blanket_rate(provider) * 1_000_000.0;
                 if deterministic || residual || blanket {
                     return Some(finish(render(kind, &params), &[], request));
                 }
@@ -306,14 +307,12 @@ fn passive_headers(
     provider: Provider,
     request: &Request,
 ) -> ResponseBuilder {
-    let h = mix(
-        request
-            .url
-            .host
-            .as_str()
-            .bytes()
-            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
-    );
+    let h = mix(request
+        .url
+        .host
+        .as_str()
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)));
     match provider {
         Provider::Cloudflare => builder
             .header("Server", "cloudflare")
@@ -322,7 +321,10 @@ fn passive_headers(
             .header("Via", "1.1 abcdef.cloudfront.net (CloudFront)")
             .header("X-Amz-Cf-Id", format!("{:056x}", h as u128)),
         Provider::Incapsula => builder
-            .header("X-Iinfo", format!("{:08x}-{}-{}", h as u32, h % 999_983, h % 99_991))
+            .header(
+                "X-Iinfo",
+                format!("{:08x}-{}-{}", h as u32, h % 999_983, h % 99_991),
+            )
             .header("X-CDN", "Incapsula"),
         Provider::AppEngine => builder.header("Server", "Google Frontend"),
         Provider::Baidu => builder.header("Server", "yunjiasu-nginx"),
@@ -375,7 +377,13 @@ mod tests {
         spec
     }
 
-    fn serve_ok(spec: &DomainSpec, cache: &OriginCache, req: &Request, cl: &ClientContext, seq: u64) -> Response {
+    fn serve_ok(
+        spec: &DomainSpec,
+        cache: &OriginCache,
+        req: &Request,
+        cl: &ClientContext,
+        seq: u64,
+    ) -> Response {
         serve(spec, cache, req, cl, 0, seq).expect("transient failure in test")
     }
 
@@ -412,8 +420,18 @@ mod tests {
         let fp = FingerprintSet::paper();
 
         for country in ["IR", "SY", "SD", "CU"] {
-            let resp = serve_ok(&spec, &cache, &full_request(&spec.name), &client(country), 1);
-            assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::AppEngine, "{country}");
+            let resp = serve_ok(
+                &spec,
+                &cache,
+                &full_request(&spec.name),
+                &client(country),
+                1,
+            );
+            assert_eq!(
+                fp.classify(&resp).unwrap().kind,
+                PageKind::AppEngine,
+                "{country}"
+            );
         }
         // Ordinary Ukraine is fine; Crimea is blocked.
         let ua = serve_ok(&spec, &cache, &full_request(&spec.name), &client("UA"), 1);
@@ -444,7 +462,10 @@ mod tests {
                 continue;
             }
             sensitive += 1;
-            let cl = ClientContext { residential: false, ..client("US") };
+            let cl = ClientContext {
+                residential: false,
+                ..client("US")
+            };
             let bare = Request::get(format!("http://{}/", spec.name).parse().unwrap());
             if serve(&spec, &cache, &bare, &cl, 0, 1)
                 .map(|r| fp.classify(&r).is_some())
@@ -461,8 +482,14 @@ mod tests {
             }
         }
         assert!(sensitive >= 10, "sensitive {sensitive}");
-        assert!(bare_blocked > sensitive * 8 / 10, "bare {bare_blocked}/{sensitive}");
-        assert_eq!(full_blocked, 0, "full browser should never trip deterministic detection");
+        assert!(
+            bare_blocked > sensitive * 8 / 10,
+            "bare {bare_blocked}/{sensitive}"
+        );
+        assert_eq!(
+            full_blocked, 0,
+            "full browser should never trip deterministic detection"
+        );
     }
 
     #[test]
@@ -473,7 +500,8 @@ mod tests {
         let plain = serve_ok(&spec, &cache, &full_request(&spec.name), &client("US"), 1);
         assert!(!plain.headers.contains("x-check-cacheable"));
 
-        let poked = full_request(&spec.name).header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
+        let poked =
+            full_request(&spec.name).header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
         let resp = serve_ok(&spec, &cache, &poked, &client("US"), 1);
         assert!(resp.headers.contains("x-cache"));
         assert!(resp.headers.contains("x-check-cacheable"));
@@ -489,7 +517,15 @@ mod tests {
         let cl = client(blocked_country.as_str());
         let before = serve(&spec, &cache, &full_request(&spec.name), &cl, 0, 1).unwrap();
         assert!(fp.classify(&before).is_some(), "blocked during baseline");
-        let after = serve(&spec, &cache, &full_request(&spec.name), &cl, POLICY_FLIP_DAY, 1).unwrap();
+        let after = serve(
+            &spec,
+            &cache,
+            &full_request(&spec.name),
+            &cl,
+            POLICY_FLIP_DAY,
+            1,
+        )
+        .unwrap();
         assert!(fp.classify(&after).is_none(), "unblocked after the flip");
     }
 
@@ -503,11 +539,25 @@ mod tests {
             if !spec.uses(Provider::Cloudflare) || spec.policy.geoblocks() {
                 continue;
             }
-            let resp = serve(&spec, &cache, &full_request(&spec.name), &client("FR"), 0, 3);
+            let resp = serve(
+                &spec,
+                &cache,
+                &full_request(&spec.name),
+                &client("FR"),
+                0,
+                3,
+            );
             let Some(resp) = resp else { continue };
             if resp.status.is_redirect() {
-                assert!(resp.headers.contains("cf-ray"), "redirect hop must carry CF-RAY");
-                assert!(resp.headers.get("location").unwrap().starts_with("https://"));
+                assert!(
+                    resp.headers.contains("cf-ray"),
+                    "redirect hop must carry CF-RAY"
+                );
+                assert!(resp
+                    .headers
+                    .get("location")
+                    .unwrap()
+                    .starts_with("https://"));
                 return;
             }
         }
@@ -532,12 +582,25 @@ mod tests {
         let cache = OriginCache::new(16);
         let fp = FingerprintSet::paper();
         for country in ["IR", "SY"] {
-            let resp = serve_ok(&spec, &cache, &full_request("airbnb.com"), &client(country), 1);
-            assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::Airbnb, "{country}");
+            let resp = serve_ok(
+                &spec,
+                &cache,
+                &full_request("airbnb.com"),
+                &client(country),
+                1,
+            );
+            assert_eq!(
+                fp.classify(&resp).unwrap().kind,
+                PageKind::Airbnb,
+                "{country}"
+            );
         }
         let cu = serve_ok(&spec, &cache, &full_request("airbnb.com"), &client("CU"), 1);
         assert!(fp.classify(&cu).is_none(), "Cuba is not on Airbnb's list");
-        let crimea = ClientContext { region: Some(Region::Crimea), ..client("UA") };
+        let crimea = ClientContext {
+            region: Some(Region::Crimea),
+            ..client("UA")
+        };
         let resp = serve_ok(&spec, &cache, &full_request("airbnb.com"), &crimea, 1);
         assert_eq!(fp.classify(&resp).unwrap().kind, PageKind::Airbnb);
     }

@@ -32,10 +32,16 @@ pub struct ClientAddr {
 
 impl fmt::Display for ClientAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}{})", self.ip, self.country, match self.region {
-            Some(Region::Crimea) => "/Crimea",
-            None => "",
-        })
+        write!(
+            f,
+            "{} ({}{})",
+            self.ip,
+            self.country,
+            match self.region {
+                Some(Region::Crimea) => "/Crimea",
+                None => "",
+            }
+        )
     }
 }
 
@@ -45,10 +51,7 @@ pub const CRIMEA_EXIT_FRACTION: f64 = 0.035;
 /// Country octet: a stable per-country /16 prefix (`5.X.0.0/16` for
 /// residential, `45.X.0.0/16` for datacenter).
 fn country_octet(country: CountryCode) -> u8 {
-    country
-        .index()
-        .map(|i| (i % 250) as u8)
-        .unwrap_or(255)
+    country.index().map(|i| (i % 250) as u8).unwrap_or(255)
 }
 
 /// Synthesize the `n`-th residential address in `country`. Ukrainian
@@ -56,9 +59,7 @@ fn country_octet(country: CountryCode) -> u8 {
 pub fn residential_addr(country: CountryCode, n: u64) -> ClientAddr {
     let oct = country_octet(country);
     let host = (n % 65_536) as u16;
-    let region = if country == cc("UA")
-        && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION
-    {
+    let region = if country == cc("UA") && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION {
         Some(Region::Crimea)
     } else {
         None
@@ -97,9 +98,7 @@ pub fn locate(ip: &str) -> Option<ClientAddr> {
         .find(|(i, _)| (i % 250) as u8 == b)
         .map(|(_, info)| info.code)?;
     let host = ((c as u16) << 8) | d as u16;
-    let region = if a == 5
-        && country == cc("UA")
-        && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION
+    let region = if a == 5 && country == cc("UA") && (host as f64 / 65_536.0) < CRIMEA_EXIT_FRACTION
     {
         Some(Region::Crimea)
     } else {

@@ -61,7 +61,9 @@ impl SimInternet {
             cache: OriginCache::new(16_384),
             censor: Censorship,
             clock: Arc::new(SimClock::new()),
-            seq: (0..SEQ_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            seq: (0..SEQ_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -85,7 +87,11 @@ impl SimInternet {
     }
 
     /// Perform one HTTP exchange from `client`.
-    pub fn request(&self, request: &Request, client: &ClientContext) -> Result<Response, FetchError> {
+    pub fn request(
+        &self,
+        request: &Request,
+        client: &ClientContext,
+    ) -> Result<Response, FetchError> {
         self.clock.charge_request(client.country);
 
         let host = request.effective_host();
@@ -171,7 +177,9 @@ mod tests {
     #[test]
     fn unknown_hosts_fail_dns() {
         let net = internet();
-        let err = net.request(&get("no-such-host.example"), &client("US")).unwrap_err();
+        let err = net
+            .request(&get("no-such-host.example"), &client("US"))
+            .unwrap_err();
         assert!(matches!(err, FetchError::DnsFailure { .. }));
     }
 
@@ -207,7 +215,10 @@ mod tests {
                 // Iran: censored (error or censor page); Germany: normal.
                 match iran {
                     Err(_) => {}
-                    Ok(resp) => assert!(resp.body.as_text().contains("telecommunications regulations")),
+                    Ok(resp) => assert!(resp
+                        .body
+                        .as_text()
+                        .contains("telecommunications regulations")),
                 }
                 assert!(germany.is_ok());
                 found = true;
@@ -229,7 +240,10 @@ mod tests {
                 let http = Request::get(format!("http://{}/", spec.name).parse().unwrap());
                 let https = Request::get(format!("https://{}/", spec.name).parse().unwrap());
                 let cl = client("IR");
-                assert!(net.request(&http, &cl).is_ok(), "http gets the injected page");
+                assert!(
+                    net.request(&http, &cl).is_ok(),
+                    "http gets the injected page"
+                );
                 assert!(
                     matches!(net.request(&https, &cl), Err(FetchError::ConnectionReset)),
                     "https must reset"

@@ -102,19 +102,110 @@ impl OriginCache {
 fn theme_words(spec: &DomainSpec) -> &'static [&'static str] {
     use geoblock_worldgen::Category::*;
     match spec.category {
-        Shopping | Auctions => &["cart", "checkout", "discount", "bestseller", "wishlist", "voucher"],
-        NewsAndMedia => &["headline", "breaking", "editorial", "correspondent", "newsroom", "coverage"],
-        FinanceAndBanking => &["account", "interest", "mortgage", "portfolio", "transfer", "statement"],
-        Travel => &["itinerary", "booking", "destination", "flight", "hotel", "excursion"],
-        Games | Entertainment => &["leaderboard", "episode", "trailer", "multiplayer", "soundtrack", "premiere"],
-        InformationTechnology | Freeware | WebHosting => &["download", "documentation", "changelog", "server", "release", "integration"],
-        Education | ChildEducation | Reference => &["curriculum", "lesson", "glossary", "tutorial", "faculty", "lecture"],
-        HealthAndWellness => &["wellness", "symptom", "nutrition", "clinic", "therapy", "fitness"],
-        Sports => &["fixture", "league", "standings", "transfer", "matchday", "highlights"],
-        JobSearch => &["vacancy", "resume", "recruiter", "salary", "interview", "career"],
-        Advertising => &["campaign", "impression", "audience", "placement", "conversion", "brand"],
-        PersonalVehicles => &["dealership", "mileage", "horsepower", "warranty", "sedan", "testdrive"],
-        _ => &["community", "profile", "update", "article", "gallery", "archive"],
+        Shopping | Auctions => &[
+            "cart",
+            "checkout",
+            "discount",
+            "bestseller",
+            "wishlist",
+            "voucher",
+        ],
+        NewsAndMedia => &[
+            "headline",
+            "breaking",
+            "editorial",
+            "correspondent",
+            "newsroom",
+            "coverage",
+        ],
+        FinanceAndBanking => &[
+            "account",
+            "interest",
+            "mortgage",
+            "portfolio",
+            "transfer",
+            "statement",
+        ],
+        Travel => &[
+            "itinerary",
+            "booking",
+            "destination",
+            "flight",
+            "hotel",
+            "excursion",
+        ],
+        Games | Entertainment => &[
+            "leaderboard",
+            "episode",
+            "trailer",
+            "multiplayer",
+            "soundtrack",
+            "premiere",
+        ],
+        InformationTechnology | Freeware | WebHosting => &[
+            "download",
+            "documentation",
+            "changelog",
+            "server",
+            "release",
+            "integration",
+        ],
+        Education | ChildEducation | Reference => &[
+            "curriculum",
+            "lesson",
+            "glossary",
+            "tutorial",
+            "faculty",
+            "lecture",
+        ],
+        HealthAndWellness => &[
+            "wellness",
+            "symptom",
+            "nutrition",
+            "clinic",
+            "therapy",
+            "fitness",
+        ],
+        Sports => &[
+            "fixture",
+            "league",
+            "standings",
+            "transfer",
+            "matchday",
+            "highlights",
+        ],
+        JobSearch => &[
+            "vacancy",
+            "resume",
+            "recruiter",
+            "salary",
+            "interview",
+            "career",
+        ],
+        Advertising => &[
+            "campaign",
+            "impression",
+            "audience",
+            "placement",
+            "conversion",
+            "brand",
+        ],
+        PersonalVehicles => &[
+            "dealership",
+            "mileage",
+            "horsepower",
+            "warranty",
+            "sedan",
+            "testdrive",
+        ],
+        _ => &[
+            "community",
+            "profile",
+            "update",
+            "article",
+            "gallery",
+            "archive",
+        ],
     }
 }
 
@@ -176,7 +267,11 @@ mod tests {
         let text = std::str::from_utf8(&page).unwrap();
         assert!(text.contains(&s.name));
         let target = s.base_page_bytes as usize;
-        assert!(page.len() >= target && page.len() < target + 600, "{}", page.len());
+        assert!(
+            page.len() >= target && page.len() < target + 600,
+            "{}",
+            page.len()
+        );
     }
 
     #[test]
@@ -203,7 +298,10 @@ mod tests {
             max_shrink = max_shrink.max(shrink);
         }
         assert!(max_shrink < 0.50, "max shrink {max_shrink}");
-        assert!(max_shrink > 0.10, "tail of short variants expected, got {max_shrink}");
+        assert!(
+            max_shrink > 0.10,
+            "tail of short variants expected, got {max_shrink}"
+        );
     }
 
     #[test]

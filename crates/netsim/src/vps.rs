@@ -72,11 +72,9 @@ impl Transport for VpsTransport {
         tokio::task::yield_now().await;
         let mut client = self.client();
         // Replayable per-request nonce: (session, host, vantage country).
-        client.seq_nonce = Some(mix(
-            req.session.0
-                ^ hash_str(&req.request.effective_host())
-                ^ ((self.country.0[0] as u64) << 8 | self.country.0[1] as u64),
-        ));
+        client.seq_nonce = Some(mix(req.session.0
+            ^ hash_str(&req.request.effective_host())
+            ^ ((self.country.0[0] as u64) << 8 | self.country.0[1] as u64)));
         self.internet.request(&req.request, &client)
     }
 }
@@ -89,14 +87,20 @@ mod tests {
     use geoblock_worldgen::{cc, World, WorldConfig};
 
     fn internet() -> Arc<SimInternet> {
-        Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(42)))))
+        Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(
+            42,
+        )))))
     }
 
     #[tokio::test]
     async fn vps_fetches_from_its_own_country() {
         let net = internet();
         let vps = VpsTransport::new(net.clone(), cc("US"));
-        let req = Request::get(format!("http://{}/", crate::net::GEO_ECHO_HOST).parse().unwrap());
+        let req = Request::get(
+            format!("http://{}/", crate::net::GEO_ECHO_HOST)
+                .parse()
+                .unwrap(),
+        );
         let resp = vps
             .fetch_one(TransportRequest {
                 request: req,

@@ -18,7 +18,11 @@ fn country_strategy() -> impl Strategy<Value = geoblock_worldgen::CountryCode> {
 fn shared_internet() -> &'static Arc<SimInternet> {
     use std::sync::OnceLock;
     static NET: OnceLock<Arc<SimInternet>> = OnceLock::new();
-    NET.get_or_init(|| Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(42))))))
+    NET.get_or_init(|| {
+        Arc::new(SimInternet::new(Arc::new(World::build(WorldConfig::tiny(
+            42,
+        )))))
+    })
 }
 
 proptest! {

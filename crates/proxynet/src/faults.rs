@@ -120,6 +120,24 @@ impl FaultPlan {
         }
     }
 
+    /// A straggler-heavy plan for the batch-vs-streaming ablation: mostly
+    /// healthy exchanges, but a few percent hang for a long stall. Under a
+    /// barrier-batch driver every chunk pays its slowest straggler's tail;
+    /// a streaming driver overlaps stalls across the whole run, so the gap
+    /// between the two architectures is exactly what this plan surfaces.
+    pub fn straggler(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            exit_death_rate: 0.02,
+            truncate_rate: 0.01,
+            stall_rate: 0.04,
+            stall: Duration::from_millis(40),
+            superproxy_502_rate: 0.02,
+            geo_drift_rate: 0.0,
+            country_flakiness: BTreeMap::new(),
+        }
+    }
+
     /// Builder-style: mark `country` as `multiplier`× flakier than base.
     pub fn flaky_country(mut self, country: CountryCode, multiplier: f64) -> FaultPlan {
         self.country_flakiness.insert(country, multiplier);
@@ -241,7 +259,9 @@ impl<T> FaultyTransport<T> {
             inner,
             plan,
             stats: FaultStats::default(),
-            seen: (0..COUNTER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            seen: (0..COUNTER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -298,9 +318,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         }
 
         // Slow-start / congested household: the exchange completes, late.
-        if self.plan.draw(mix(session) ^ host_hash, SALT_STALL)
-            < self.plan.stall_rate * flaky
-        {
+        if self.plan.draw(mix(session) ^ host_hash, SALT_STALL) < self.plan.stall_rate * flaky {
             self.stats.stalls.fetch_add(1, Ordering::Relaxed);
             if !self.plan.stall.is_zero() {
                 tokio::time::sleep(self.plan.stall).await;
@@ -367,7 +385,9 @@ mod tests {
             } else {
                 "<html>0123456789 payload</html>".to_string()
             };
-            Ok(Response::builder(StatusCode::OK).body(body).finish(req.request.url))
+            Ok(Response::builder(StatusCode::OK)
+                .body(body)
+                .finish(req.request.url))
         }
     }
 
@@ -410,7 +430,10 @@ mod tests {
 
     #[tokio::test]
     async fn exit_death_spares_the_first_request() {
-        let plan = FaultPlan { exit_death_rate: 1.0, ..FaultPlan::none(7) };
+        let plan = FaultPlan {
+            exit_death_rate: 1.0,
+            ..FaultPlan::none(7)
+        };
         let t = FaultyTransport::new(Perfect, plan);
         assert!(t.fetch_one(treq(LUMTEST_HOST, "US", 5)).await.is_ok());
         let err = t.fetch_one(treq("site.com", "US", 5)).await.unwrap_err();
@@ -420,7 +443,10 @@ mod tests {
 
     #[tokio::test]
     async fn truncation_reports_byte_counts() {
-        let plan = FaultPlan { truncate_rate: 1.0, ..FaultPlan::none(3) };
+        let plan = FaultPlan {
+            truncate_rate: 1.0,
+            ..FaultPlan::none(3)
+        };
         let t = FaultyTransport::new(Perfect, plan);
         let err = t.fetch_one(treq("site.com", "US", 1)).await.unwrap_err();
         match err {
@@ -434,18 +460,27 @@ mod tests {
 
     #[tokio::test]
     async fn drifted_exits_echo_another_country() {
-        let plan = FaultPlan { geo_drift_rate: 1.0, ..FaultPlan::none(11) };
+        let plan = FaultPlan {
+            geo_drift_rate: 1.0,
+            ..FaultPlan::none(11)
+        };
         let t = FaultyTransport::new(Perfect, plan);
         let resp = t.fetch_one(treq(LUMTEST_HOST, "IR", 9)).await.unwrap();
         let body = resp.body.as_text().into_owned();
         assert!(body.contains("country="), "{body}");
-        assert!(!body.contains("country=IR"), "drift must change the country: {body}");
+        assert!(
+            !body.contains("country=IR"),
+            "drift must change the country: {body}"
+        );
         assert_eq!(t.stats().geo_drifts, 1);
     }
 
     #[tokio::test]
     async fn rates_are_roughly_honoured() {
-        let plan = FaultPlan { superproxy_502_rate: 0.2, ..FaultPlan::none(13) };
+        let plan = FaultPlan {
+            superproxy_502_rate: 0.2,
+            ..FaultPlan::none(13)
+        };
         let t = FaultyTransport::new(Perfect, plan);
         let mut failures = 0;
         let n = 2_000;
@@ -460,8 +495,11 @@ mod tests {
 
     #[tokio::test]
     async fn country_flakiness_scales_rates() {
-        let plan = FaultPlan { superproxy_502_rate: 0.1, ..FaultPlan::none(17) }
-            .flaky_country(cc("KM"), 3.0);
+        let plan = FaultPlan {
+            superproxy_502_rate: 0.1,
+            ..FaultPlan::none(17)
+        }
+        .flaky_country(cc("KM"), 3.0);
         let t = FaultyTransport::new(Perfect, plan);
         let mut km = 0;
         let mut ch = 0;

@@ -189,9 +189,9 @@ impl Transport for LuminatiNetwork {
             residential: true,
             // The edge's stochastic draws key on (session, host, country):
             // fully replayable, no counters shared across tasks.
-            seq_nonce: Some(mix(
-                req.session.0 ^ host_hash ^ ((country.0[0] as u64) << 8 | country.0[1] as u64),
-            )),
+            seq_nonce: Some(mix(req.session.0
+                ^ host_hash
+                ^ ((country.0[0] as u64) << 8 | country.0[1] as u64))),
         };
         self.internet.request(&req.request, &client)
     }
@@ -221,7 +221,10 @@ mod tests {
     #[tokio::test]
     async fn north_korea_has_no_exits() {
         let net = network();
-        let err = net.fetch_one(treq("anything.com", "KP", 0)).await.unwrap_err();
+        let err = net
+            .fetch_one(treq("anything.com", "KP", 0))
+            .await
+            .unwrap_err();
         assert!(matches!(err, FetchError::NoExitAvailable { .. }));
     }
 
@@ -230,7 +233,10 @@ mod tests {
         let net = network();
         let resp = net.fetch_one(treq(LUMTEST_HOST, "IR", 7)).await.unwrap();
         let body = resp.body.as_text().to_string();
-        assert!(body.contains("country=IR") || body.contains("country="), "{body}");
+        assert!(
+            body.contains("country=IR") || body.contains("country="),
+            "{body}"
+        );
         assert!(body.contains("superproxy=sp"));
     }
 
@@ -241,7 +247,11 @@ mod tests {
         // Retry across sessions to dodge injected noise.
         for session in 0..20 {
             if let Ok(resp) = net.fetch_one(treq(&name, "US", session)).await {
-                assert!(resp.status.is_success() || resp.status.is_redirect() || resp.status.is_client_error());
+                assert!(
+                    resp.status.is_success()
+                        || resp.status.is_redirect()
+                        || resp.status.is_client_error()
+                );
                 return;
             }
         }

@@ -232,11 +232,7 @@ mod tests {
 
     #[test]
     fn by_size_orders_descending() {
-        let c = cluster_texts(
-            &["aa bb", "aa bb", "aa bb", "cc dd", "ee ff gg"],
-            0.1,
-            1,
-        );
+        let c = cluster_texts(&["aa bb", "aa bb", "aa bb", "cc dd", "ee ff gg"], 0.1, 1);
         let sizes: Vec<usize> = c.by_size().iter().map(|(_, s)| *s).collect();
         assert_eq!(sizes, vec![3, 1, 1]);
     }
@@ -258,14 +254,20 @@ mod tests {
         // shape of a block-page corpus.
         let mut texts = Vec::new();
         for i in 0..1000 {
-            texts.push(format!("error 1009 access denied cloudflare ray {i:x}{i:x}"));
+            texts.push(format!(
+                "error 1009 access denied cloudflare ray {i:x}{i:x}"
+            ));
             texts.push(format!("request unsuccessful incapsula incident {i}{i}"));
             texts.push(format!("pardon our interruption distil reference {i:o}"));
         }
         let (_, vecs) = TfIdfVectorizer::fit_transform(&texts, 2);
         let start = std::time::Instant::now();
         let c = single_link(&vecs, 0.4);
-        assert!(start.elapsed().as_secs() < 10, "too slow: {:?}", start.elapsed());
+        assert!(
+            start.elapsed().as_secs() < 10,
+            "too slow: {:?}",
+            start.elapsed()
+        );
         assert_eq!(c.len(), 3, "{} clusters", c.len());
     }
 }

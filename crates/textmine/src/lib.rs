@@ -22,8 +22,8 @@ pub mod sparse;
 pub mod tfidf;
 pub mod tokenize;
 
+pub use crate::tokenize::tokenize;
 pub use cluster::{single_link, Clustering};
 pub use ngrams::ngram_counts;
 pub use sparse::SparseVec;
 pub use tfidf::TfIdfVectorizer;
-pub use crate::tokenize::tokenize;

@@ -42,7 +42,10 @@ impl SparseVec {
 
     /// Iterate `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Euclidean norm.
@@ -98,7 +101,9 @@ impl SparseVec {
     pub fn top_features(&self, k: usize) -> Vec<u32> {
         let mut order: Vec<usize> = (0..self.values.len()).collect();
         order.sort_unstable_by(|&a, &b| {
-            self.values[b].partial_cmp(&self.values[a]).expect("no NaNs")
+            self.values[b]
+                .partial_cmp(&self.values[a])
+                .expect("no NaNs")
         });
         order.into_iter().take(k).map(|i| self.indices[i]).collect()
     }

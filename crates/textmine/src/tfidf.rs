@@ -154,7 +154,11 @@ mod tests {
         let (v2, vecs) = TfIdfVectorizer::fit_transform(&corpus, 2);
         // With min_df=2, the per-document ray IDs vanish and the documents
         // collapse to near-identical vectors.
-        assert!(vecs[0].cosine(&vecs[1]) > 0.999, "{}", vecs[0].cosine(&vecs[1]));
+        assert!(
+            vecs[0].cosine(&vecs[1]) > 0.999,
+            "{}",
+            vecs[0].cosine(&vecs[1])
+        );
         let (_, vecs1) = TfIdfVectorizer::fit_transform(&corpus, 1);
         assert!(vecs1[0].cosine(&vecs1[1]) < vecs[0].cosine(&vecs[1]));
         assert!(v2.vocab_len() < 40);

@@ -5,8 +5,7 @@ use geoblock_textmine::{single_link, SparseVec, TfIdfVectorizer};
 use proptest::prelude::*;
 
 fn sparse_strategy() -> impl Strategy<Value = SparseVec> {
-    proptest::collection::vec((0u32..64, 0.01f32..10.0), 0..16)
-        .prop_map(SparseVec::from_pairs)
+    proptest::collection::vec((0u32..64, 0.01f32..10.0), 0..16).prop_map(SparseVec::from_pairs)
 }
 
 fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {

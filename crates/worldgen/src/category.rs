@@ -327,8 +327,7 @@ mod tests {
     #[test]
     fn shopping_outranks_education_in_propensity() {
         assert!(
-            Category::Shopping.geoblock_propensity()
-                > Category::Education.geoblock_propensity()
+            Category::Shopping.geoblock_propensity() > Category::Education.geoblock_propensity()
         );
     }
 

@@ -30,9 +30,30 @@ pub struct CitizenLabList {
 /// Wordlist for dedicated sensitive domains (political, circumvention,
 /// social topics the real list covers).
 const SENSITIVE_STEMS: &[&str] = &[
-    "freedom", "rights", "voice", "truth", "press", "democracy", "protest", "justice",
-    "liberty", "exile", "uncensored", "openweb", "proxy", "tunnel", "secure", "anon",
-    "report", "watch", "monitor", "leaks", "radio", "daily", "tribune", "herald",
+    "freedom",
+    "rights",
+    "voice",
+    "truth",
+    "press",
+    "democracy",
+    "protest",
+    "justice",
+    "liberty",
+    "exile",
+    "uncensored",
+    "openweb",
+    "proxy",
+    "tunnel",
+    "secure",
+    "anon",
+    "report",
+    "watch",
+    "monitor",
+    "leaks",
+    "radio",
+    "daily",
+    "tribune",
+    "herald",
 ];
 
 const SENSITIVE_SUFFIXES: &[&str] = &[
@@ -89,7 +110,9 @@ impl CitizenLabList {
 
     /// Membership test.
     pub fn contains(&self, domain: &str) -> bool {
-        self.domains.binary_search_by(|d| d.as_str().cmp(domain)).is_ok()
+        self.domains
+            .binary_search_by(|d| d.as_str().cmp(domain))
+            .is_ok()
     }
 
     /// Number of domains on the list.
@@ -130,7 +153,11 @@ mod tests {
             .count();
         let share = blockers as f64 / list.len() as f64;
         // §7.1: 97 domains ≈ 9% of the test list.
-        assert!((0.05..=0.14).contains(&share), "share {share} ({blockers}/{})", list.len());
+        assert!(
+            (0.05..=0.14).contains(&share),
+            "share {share} ({blockers}/{})",
+            list.len()
+        );
     }
 
     #[test]

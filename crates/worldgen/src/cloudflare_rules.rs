@@ -260,7 +260,11 @@ impl RulesSnapshot {
                         zone_id: id,
                         tier,
                         action: RuleAction::Block,
-                        country: if tier == CfTier::Enterprise { cc("KP") } else { cc("CN") },
+                        country: if tier == CfTier::Enterprise {
+                            cc("KP")
+                        } else {
+                            cc("CN")
+                        },
                         activated_day,
                     });
                 }
@@ -325,7 +329,13 @@ mod tests {
 
     #[test]
     fn day_number_round_trips() {
-        for (y, m, d) in [(2015, 1, 1), (2016, 2, 29), (2018, 4, 9), (2018, 7, 15), (2018, 12, 31)] {
+        for (y, m, d) in [
+            (2015, 1, 1),
+            (2016, 2, 29),
+            (2018, 4, 9),
+            (2018, 7, 15),
+            (2018, 12, 31),
+        ] {
             let n = day_number(y, m, d);
             assert_eq!(date_of(n), (y, m, d), "date {y}-{m}-{d} (day {n})");
         }
@@ -381,7 +391,10 @@ mod tests {
         }
         // The snapshot carries challenge actions too (§6 lists all four).
         assert!(snap.rules.iter().any(|r| r.action == RuleAction::Challenge));
-        assert!(snap.rules.iter().any(|r| r.action == RuleAction::JsChallenge));
+        assert!(snap
+            .rules
+            .iter()
+            .any(|r| r.action == RuleAction::JsChallenge));
     }
 
     #[test]

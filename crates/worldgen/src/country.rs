@@ -196,201 +196,1956 @@ pub fn registry() -> &'static [CountryInfo] {
     // Curated attributes for countries named in the paper's tables; sensible
     // defaults elsewhere. Reliability values centre on 0.97 with a low tail.
     static TABLE: &[CountryInfo] = country_table![
-        ("AD", "Andorra", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.97),
-        ("AE", "United Arab Emirates", lum=true, sanc=false, cen=2, abuse=0.15, vps=false, rel=0.96),
-        ("AF", "Afghanistan", lum=true, sanc=false, cen=1, abuse=0.20, vps=false, rel=0.92),
-        ("AG", "Antigua and Barbuda", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
-        ("AL", "Albania", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.96),
-        ("AM", "Armenia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
-        ("AO", "Angola", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.93),
-        ("AR", "Argentina", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.97),
-        ("AT", "Austria", lum=true, sanc=false, cen=0, abuse=0.05, vps=true, rel=0.99),
-        ("AU", "Australia", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.99),
-        ("AZ", "Azerbaijan", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.95),
-        ("BA", "Bosnia and Herzegovina", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
-        ("BB", "Barbados", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
-        ("BD", "Bangladesh", lum=true, sanc=false, cen=1, abuse=0.25, vps=false, rel=0.93),
-        ("BE", "Belgium", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
-        ("BF", "Burkina Faso", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
-        ("BG", "Bulgaria", lum=true, sanc=false, cen=0, abuse=0.18, vps=false, rel=0.97),
-        ("BH", "Bahrain", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.96),
-        ("BI", "Burundi", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("BJ", "Benin", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
-        ("BN", "Brunei", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
-        ("BO", "Bolivia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
-        ("BR", "Brazil", lum=true, sanc=false, cen=0, abuse=0.50, vps=true, rel=0.97),
-        ("BS", "Bahamas", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.95),
-        ("BT", "Bhutan", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("BW", "Botswana", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.93),
-        ("BY", "Belarus", lum=true, sanc=false, cen=1, abuse=0.25, vps=true, rel=0.96),
-        ("BZ", "Belize", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.94),
-        ("CA", "Canada", lum=true, sanc=false, cen=0, abuse=0.05, vps=true, rel=0.99),
-        ("CD", "DR Congo", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.90),
-        ("CF", "Central African Republic", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.85),
-        ("CG", "Congo", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("CH", "Switzerland", lum=true, sanc=false, cen=0, abuse=0.04, vps=true, rel=0.99),
-        ("CI", "Ivory Coast", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.92),
-        ("CL", "Chile", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.97),
-        ("CM", "Cameroon", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.92),
-        ("CN", "China", lum=true, sanc=false, cen=3, abuse=0.90, vps=false, rel=0.94),
-        ("CO", "Colombia", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.96),
-        ("CR", "Costa Rica", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.96),
-        ("CU", "Cuba", lum=true, sanc=true, cen=2, abuse=0.10, vps=false, rel=0.90),
-        ("CV", "Cape Verde", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("CY", "Cyprus", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.97),
-        ("CZ", "Czech Republic", lum=true, sanc=false, cen=0, abuse=0.35, vps=false, rel=0.98),
-        ("DE", "Germany", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
-        ("DJ", "Djibouti", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.90),
-        ("DK", "Denmark", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
-        ("DM", "Dominica", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("DO", "Dominican Republic", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
-        ("DZ", "Algeria", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.93),
-        ("EC", "Ecuador", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.95),
-        ("EE", "Estonia", lum=true, sanc=false, cen=0, abuse=0.30, vps=false, rel=0.98),
-        ("EG", "Egypt", lum=true, sanc=false, cen=2, abuse=0.22, vps=true, rel=0.94),
-        ("ER", "Eritrea", lum=false, sanc=false, cen=2, abuse=0.08, vps=false, rel=0.85),
-        ("ES", "Spain", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
-        ("ET", "Ethiopia", lum=true, sanc=false, cen=2, abuse=0.10, vps=false, rel=0.90),
-        ("FI", "Finland", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
-        ("FJ", "Fiji", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.93),
-        ("FM", "Micronesia", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.84),
-        ("FR", "France", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
-        ("GA", "Gabon", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
-        ("GB", "United Kingdom", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.99),
-        ("GD", "Grenada", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("GE", "Georgia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
-        ("GH", "Ghana", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.93),
-        ("GM", "Gambia", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
-        ("GN", "Guinea", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("GQ", "Equatorial Guinea", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.88),
-        ("GR", "Greece", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
-        ("GT", "Guatemala", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
-        ("GW", "Guinea-Bissau", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.87),
-        ("GY", "Guyana", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.92),
-        ("HK", "Hong Kong", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.99),
-        ("HN", "Honduras", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.93),
-        ("HR", "Croatia", lum=true, sanc=false, cen=0, abuse=0.30, vps=false, rel=0.98),
-        ("HT", "Haiti", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.88),
-        ("HU", "Hungary", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.98),
-        ("ID", "Indonesia", lum=true, sanc=false, cen=1, abuse=0.45, vps=false, rel=0.94),
-        ("IE", "Ireland", lum=true, sanc=false, cen=0, abuse=0.04, vps=false, rel=0.99),
-        ("IL", "Israel", lum=true, sanc=false, cen=0, abuse=0.10, vps=true, rel=0.98),
-        ("IN", "India", lum=true, sanc=false, cen=1, abuse=0.50, vps=false, rel=0.95),
-        ("IQ", "Iraq", lum=true, sanc=false, cen=1, abuse=0.40, vps=false, rel=0.91),
-        ("IR", "Iran", lum=true, sanc=true, cen=3, abuse=0.30, vps=true, rel=0.93),
-        ("IS", "Iceland", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
-        ("IT", "Italy", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
-        ("JM", "Jamaica", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
-        ("JO", "Jordan", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.95),
-        ("JP", "Japan", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
-        ("KE", "Kenya", lum=true, sanc=false, cen=0, abuse=0.15, vps=true, rel=0.93),
-        ("KG", "Kyrgyzstan", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.93),
-        ("KH", "Cambodia", lum=true, sanc=false, cen=0, abuse=0.15, vps=true, rel=0.93),
-        ("KI", "Kiribati", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.82),
-        ("KM", "Comoros", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.76),
-        ("KN", "Saint Kitts and Nevis", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("KP", "North Korea", lum=false, sanc=true, cen=3, abuse=0.05, vps=false, rel=0.50),
-        ("KR", "South Korea", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.99),
-        ("KW", "Kuwait", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.96),
-        ("KZ", "Kazakhstan", lum=true, sanc=false, cen=1, abuse=0.18, vps=false, rel=0.95),
-        ("LA", "Laos", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.91),
-        ("LB", "Lebanon", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.94),
-        ("LC", "Saint Lucia", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("LI", "Liechtenstein", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.97),
-        ("LK", "Sri Lanka", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.94),
-        ("LR", "Liberia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.88),
-        ("LS", "Lesotho", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.89),
-        ("LT", "Lithuania", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.98),
-        ("LU", "Luxembourg", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
-        ("LV", "Latvia", lum=true, sanc=false, cen=0, abuse=0.20, vps=true, rel=0.98),
-        ("LY", "Libya", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.88),
-        ("MA", "Morocco", lum=true, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.94),
-        ("MC", "Monaco", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.97),
-        ("MD", "Moldova", lum=true, sanc=false, cen=0, abuse=0.20, vps=false, rel=0.96),
-        ("ME", "Montenegro", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.96),
-        ("MG", "Madagascar", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("MH", "Marshall Islands", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.83),
-        ("MK", "North Macedonia", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.96),
-        ("ML", "Mali", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("MM", "Myanmar", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.89),
-        ("MN", "Mongolia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
-        ("MR", "Mauritania", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.89),
-        ("MT", "Malta", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.97),
-        ("MU", "Mauritius", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.94),
-        ("MV", "Maldives", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.93),
-        ("MW", "Malawi", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.89),
-        ("MX", "Mexico", lum=true, sanc=false, cen=0, abuse=0.18, vps=false, rel=0.96),
-        ("MY", "Malaysia", lum=true, sanc=false, cen=1, abuse=0.15, vps=false, rel=0.97),
-        ("MZ", "Mozambique", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("NA", "Namibia", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.92),
-        ("NE", "Niger", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.89),
-        ("NG", "Nigeria", lum=true, sanc=false, cen=0, abuse=0.50, vps=true, rel=0.92),
-        ("NI", "Nicaragua", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
-        ("NL", "Netherlands", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.99),
-        ("NO", "Norway", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.99),
-        ("NP", "Nepal", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.92),
-        ("NR", "Nauru", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.82),
-        ("NZ", "New Zealand", lum=true, sanc=false, cen=0, abuse=0.04, vps=true, rel=0.99),
-        ("OM", "Oman", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.95),
-        ("PA", "Panama", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.95),
-        ("PE", "Peru", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.95),
-        ("PG", "Papua New Guinea", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.88),
-        ("PH", "Philippines", lum=true, sanc=false, cen=0, abuse=0.25, vps=false, rel=0.94),
-        ("PK", "Pakistan", lum=true, sanc=false, cen=2, abuse=0.35, vps=false, rel=0.93),
-        ("PL", "Poland", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.98),
-        ("PT", "Portugal", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.98),
-        ("PW", "Palau", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.84),
-        ("PY", "Paraguay", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.94),
-        ("QA", "Qatar", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.96),
-        ("RO", "Romania", lum=true, sanc=false, cen=0, abuse=0.45, vps=false, rel=0.97),
-        ("RS", "Serbia", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.97),
-        ("RU", "Russia", lum=true, sanc=false, cen=2, abuse=0.85, vps=true, rel=0.96),
-        ("RW", "Rwanda", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.91),
-        ("SA", "Saudi Arabia", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.96),
-        ("SB", "Solomon Islands", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
-        ("SC", "Seychelles", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.94),
-        ("SD", "Sudan", lum=true, sanc=true, cen=2, abuse=0.12, vps=false, rel=0.89),
-        ("SE", "Sweden", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.99),
-        ("SG", "Singapore", lum=true, sanc=false, cen=1, abuse=0.06, vps=false, rel=0.99),
-        ("SI", "Slovenia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.98),
-        ("SK", "Slovakia", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.98),
-        ("SL", "Sierra Leone", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.87),
-        ("SM", "San Marino", lum=true, sanc=false, cen=0, abuse=0.03, vps=false, rel=0.96),
-        ("SN", "Senegal", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.92),
-        ("SO", "Somalia", lum=false, sanc=false, cen=1, abuse=0.12, vps=false, rel=0.80),
-        ("SR", "Suriname", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.91),
-        ("SS", "South Sudan", lum=false, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.80),
-        ("ST", "Sao Tome and Principe", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
-        ("SV", "El Salvador", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.93),
-        ("SY", "Syria", lum=true, sanc=true, cen=3, abuse=0.18, vps=false, rel=0.87),
-        ("SZ", "Eswatini", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.89),
-        ("TD", "Chad", lum=true, sanc=false, cen=1, abuse=0.08, vps=false, rel=0.86),
-        ("TG", "Togo", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.90),
-        ("TH", "Thailand", lum=true, sanc=false, cen=2, abuse=0.20, vps=false, rel=0.96),
-        ("TJ", "Tajikistan", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
-        ("TL", "Timor-Leste", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.85),
-        ("TM", "Turkmenistan", lum=false, sanc=false, cen=3, abuse=0.06, vps=false, rel=0.82),
-        ("TN", "Tunisia", lum=true, sanc=false, cen=0, abuse=0.12, vps=false, rel=0.94),
-        ("TO", "Tonga", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
-        ("TR", "Turkey", lum=true, sanc=false, cen=2, abuse=0.35, vps=true, rel=0.96),
-        ("TT", "Trinidad and Tobago", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.94),
-        ("TV", "Tuvalu", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.81),
-        ("TW", "Taiwan", lum=true, sanc=false, cen=0, abuse=0.10, vps=false, rel=0.99),
-        ("TZ", "Tanzania", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
-        ("UA", "Ukraine", lum=true, sanc=false, cen=1, abuse=0.60, vps=false, rel=0.96),
-        ("UG", "Uganda", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.91),
-        ("US", "United States", lum=true, sanc=false, cen=0, abuse=0.10, vps=true, rel=0.99),
-        ("UY", "Uruguay", lum=true, sanc=false, cen=0, abuse=0.06, vps=false, rel=0.96),
-        ("UZ", "Uzbekistan", lum=true, sanc=false, cen=2, abuse=0.12, vps=false, rel=0.92),
-        ("VC", "Saint Vincent", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.91),
-        ("VE", "Venezuela", lum=true, sanc=false, cen=2, abuse=0.18, vps=false, rel=0.90),
-        ("VN", "Vietnam", lum=true, sanc=false, cen=2, abuse=0.55, vps=false, rel=0.94),
-        ("VU", "Vanuatu", lum=false, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.86),
-        ("WS", "Samoa", lum=true, sanc=false, cen=0, abuse=0.05, vps=false, rel=0.87),
-        ("YE", "Yemen", lum=true, sanc=false, cen=2, abuse=0.10, vps=false, rel=0.82),
-        ("ZA", "South Africa", lum=true, sanc=false, cen=0, abuse=0.15, vps=false, rel=0.96),
-        ("ZM", "Zambia", lum=true, sanc=false, cen=0, abuse=0.08, vps=false, rel=0.91),
-        ("ZW", "Zimbabwe", lum=true, sanc=false, cen=1, abuse=0.10, vps=false, rel=0.90),
+        (
+            "AD",
+            "Andorra",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "AE",
+            "United Arab Emirates",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "AF",
+            "Afghanistan",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.20,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "AG",
+            "Antigua and Barbuda",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "AL",
+            "Albania",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "AM",
+            "Armenia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "AO",
+            "Angola",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "AR",
+            "Argentina",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "AT",
+            "Austria",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = true,
+            rel = 0.99
+        ),
+        (
+            "AU",
+            "Australia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "AZ",
+            "Azerbaijan",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "BA",
+            "Bosnia and Herzegovina",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "BB",
+            "Barbados",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "BD",
+            "Bangladesh",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.25,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "BE",
+            "Belgium",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "BF",
+            "Burkina Faso",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "BG",
+            "Bulgaria",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.18,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "BH",
+            "Bahrain",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "BI",
+            "Burundi",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "BJ",
+            "Benin",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "BN",
+            "Brunei",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "BO",
+            "Bolivia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "BR",
+            "Brazil",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.50,
+            vps = true,
+            rel = 0.97
+        ),
+        (
+            "BS",
+            "Bahamas",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "BT",
+            "Bhutan",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "BW",
+            "Botswana",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "BY",
+            "Belarus",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.25,
+            vps = true,
+            rel = 0.96
+        ),
+        (
+            "BZ",
+            "Belize",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "CA",
+            "Canada",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = true,
+            rel = 0.99
+        ),
+        (
+            "CD",
+            "DR Congo",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "CF",
+            "Central African Republic",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.85
+        ),
+        (
+            "CG",
+            "Congo",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "CH",
+            "Switzerland",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.04,
+            vps = true,
+            rel = 0.99
+        ),
+        (
+            "CI",
+            "Ivory Coast",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "CL",
+            "Chile",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "CM",
+            "Cameroon",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "CN",
+            "China",
+            lum = true,
+            sanc = false,
+            cen = 3,
+            abuse = 0.90,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "CO",
+            "Colombia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "CR",
+            "Costa Rica",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "CU",
+            "Cuba",
+            lum = true,
+            sanc = true,
+            cen = 2,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "CV",
+            "Cape Verde",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "CY",
+            "Cyprus",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "CZ",
+            "Czech Republic",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.35,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "DE",
+            "Germany",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "DJ",
+            "Djibouti",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "DK",
+            "Denmark",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.04,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "DM",
+            "Dominica",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "DO",
+            "Dominican Republic",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "DZ",
+            "Algeria",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "EC",
+            "Ecuador",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "EE",
+            "Estonia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.30,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "EG",
+            "Egypt",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.22,
+            vps = true,
+            rel = 0.94
+        ),
+        (
+            "ER",
+            "Eritrea",
+            lum = false,
+            sanc = false,
+            cen = 2,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.85
+        ),
+        (
+            "ES",
+            "Spain",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "ET",
+            "Ethiopia",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "FI",
+            "Finland",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.04,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "FJ",
+            "Fiji",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "FM",
+            "Micronesia",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.84
+        ),
+        (
+            "FR",
+            "France",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "GA",
+            "Gabon",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "GB",
+            "United Kingdom",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "GD",
+            "Grenada",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "GE",
+            "Georgia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "GH",
+            "Ghana",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "GM",
+            "Gambia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "GN",
+            "Guinea",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "GQ",
+            "Equatorial Guinea",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.88
+        ),
+        (
+            "GR",
+            "Greece",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "GT",
+            "Guatemala",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "GW",
+            "Guinea-Bissau",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.87
+        ),
+        (
+            "GY",
+            "Guyana",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "HK",
+            "Hong Kong",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "HN",
+            "Honduras",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "HR",
+            "Croatia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.30,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "HT",
+            "Haiti",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.88
+        ),
+        (
+            "HU",
+            "Hungary",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "ID",
+            "Indonesia",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.45,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "IE",
+            "Ireland",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.04,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "IL",
+            "Israel",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = true,
+            rel = 0.98
+        ),
+        (
+            "IN",
+            "India",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.50,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "IQ",
+            "Iraq",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.40,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "IR",
+            "Iran",
+            lum = true,
+            sanc = true,
+            cen = 3,
+            abuse = 0.30,
+            vps = true,
+            rel = 0.93
+        ),
+        (
+            "IS",
+            "Iceland",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "IT",
+            "Italy",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "JM",
+            "Jamaica",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "JO",
+            "Jordan",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "JP",
+            "Japan",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "KE",
+            "Kenya",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = true,
+            rel = 0.93
+        ),
+        (
+            "KG",
+            "Kyrgyzstan",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "KH",
+            "Cambodia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = true,
+            rel = 0.93
+        ),
+        (
+            "KI",
+            "Kiribati",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.82
+        ),
+        (
+            "KM",
+            "Comoros",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.76
+        ),
+        (
+            "KN",
+            "Saint Kitts and Nevis",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "KP",
+            "North Korea",
+            lum = false,
+            sanc = true,
+            cen = 3,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.50
+        ),
+        (
+            "KR",
+            "South Korea",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "KW",
+            "Kuwait",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "KZ",
+            "Kazakhstan",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.18,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "LA",
+            "Laos",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "LB",
+            "Lebanon",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "LC",
+            "Saint Lucia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "LI",
+            "Liechtenstein",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "LK",
+            "Sri Lanka",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "LR",
+            "Liberia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.88
+        ),
+        (
+            "LS",
+            "Lesotho",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "LT",
+            "Lithuania",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "LU",
+            "Luxembourg",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "LV",
+            "Latvia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.20,
+            vps = true,
+            rel = 0.98
+        ),
+        (
+            "LY",
+            "Libya",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.88
+        ),
+        (
+            "MA",
+            "Morocco",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "MC",
+            "Monaco",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "MD",
+            "Moldova",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.20,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "ME",
+            "Montenegro",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "MG",
+            "Madagascar",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "MH",
+            "Marshall Islands",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.83
+        ),
+        (
+            "MK",
+            "North Macedonia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "ML",
+            "Mali",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "MM",
+            "Myanmar",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "MN",
+            "Mongolia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "MR",
+            "Mauritania",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "MT",
+            "Malta",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "MU",
+            "Mauritius",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "MV",
+            "Maldives",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "MW",
+            "Malawi",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "MX",
+            "Mexico",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.18,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "MY",
+            "Malaysia",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "MZ",
+            "Mozambique",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "NA",
+            "Namibia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "NE",
+            "Niger",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "NG",
+            "Nigeria",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.50,
+            vps = true,
+            rel = 0.92
+        ),
+        (
+            "NI",
+            "Nicaragua",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "NL",
+            "Netherlands",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "NO",
+            "Norway",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "NP",
+            "Nepal",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "NR",
+            "Nauru",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.82
+        ),
+        (
+            "NZ",
+            "New Zealand",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.04,
+            vps = true,
+            rel = 0.99
+        ),
+        (
+            "OM",
+            "Oman",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "PA",
+            "Panama",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "PE",
+            "Peru",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.95
+        ),
+        (
+            "PG",
+            "Papua New Guinea",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.88
+        ),
+        (
+            "PH",
+            "Philippines",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.25,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "PK",
+            "Pakistan",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.35,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "PL",
+            "Poland",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "PT",
+            "Portugal",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "PW",
+            "Palau",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.84
+        ),
+        (
+            "PY",
+            "Paraguay",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "QA",
+            "Qatar",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "RO",
+            "Romania",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.45,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "RS",
+            "Serbia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.97
+        ),
+        (
+            "RU",
+            "Russia",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.85,
+            vps = true,
+            rel = 0.96
+        ),
+        (
+            "RW",
+            "Rwanda",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "SA",
+            "Saudi Arabia",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "SB",
+            "Solomon Islands",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.86
+        ),
+        (
+            "SC",
+            "Seychelles",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "SD",
+            "Sudan",
+            lum = true,
+            sanc = true,
+            cen = 2,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "SE",
+            "Sweden",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "SG",
+            "Singapore",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "SI",
+            "Slovenia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "SK",
+            "Slovakia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.98
+        ),
+        (
+            "SL",
+            "Sierra Leone",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.87
+        ),
+        (
+            "SM",
+            "San Marino",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.03,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "SN",
+            "Senegal",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "SO",
+            "Somalia",
+            lum = false,
+            sanc = false,
+            cen = 1,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.80
+        ),
+        (
+            "SR",
+            "Suriname",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "SS",
+            "South Sudan",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.80
+        ),
+        (
+            "ST",
+            "Sao Tome and Principe",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.86
+        ),
+        (
+            "SV",
+            "El Salvador",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.93
+        ),
+        (
+            "SY",
+            "Syria",
+            lum = true,
+            sanc = true,
+            cen = 3,
+            abuse = 0.18,
+            vps = false,
+            rel = 0.87
+        ),
+        (
+            "SZ",
+            "Eswatini",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.89
+        ),
+        (
+            "TD",
+            "Chad",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.86
+        ),
+        (
+            "TG",
+            "Togo",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "TH",
+            "Thailand",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.20,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "TJ",
+            "Tajikistan",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "TL",
+            "Timor-Leste",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.85
+        ),
+        (
+            "TM",
+            "Turkmenistan",
+            lum = false,
+            sanc = false,
+            cen = 3,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.82
+        ),
+        (
+            "TN",
+            "Tunisia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "TO",
+            "Tonga",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.86
+        ),
+        (
+            "TR",
+            "Turkey",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.35,
+            vps = true,
+            rel = 0.96
+        ),
+        (
+            "TT",
+            "Trinidad and Tobago",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "TV",
+            "Tuvalu",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.81
+        ),
+        (
+            "TW",
+            "Taiwan",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.99
+        ),
+        (
+            "TZ",
+            "Tanzania",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "UA",
+            "Ukraine",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.60,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "UG",
+            "Uganda",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "US",
+            "United States",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.10,
+            vps = true,
+            rel = 0.99
+        ),
+        (
+            "UY",
+            "Uruguay",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.06,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "UZ",
+            "Uzbekistan",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.12,
+            vps = false,
+            rel = 0.92
+        ),
+        (
+            "VC",
+            "Saint Vincent",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "VE",
+            "Venezuela",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.18,
+            vps = false,
+            rel = 0.90
+        ),
+        (
+            "VN",
+            "Vietnam",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.55,
+            vps = false,
+            rel = 0.94
+        ),
+        (
+            "VU",
+            "Vanuatu",
+            lum = false,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.86
+        ),
+        (
+            "WS",
+            "Samoa",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.05,
+            vps = false,
+            rel = 0.87
+        ),
+        (
+            "YE",
+            "Yemen",
+            lum = true,
+            sanc = false,
+            cen = 2,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.82
+        ),
+        (
+            "ZA",
+            "South Africa",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.15,
+            vps = false,
+            rel = 0.96
+        ),
+        (
+            "ZM",
+            "Zambia",
+            lum = true,
+            sanc = false,
+            cen = 0,
+            abuse = 0.08,
+            vps = false,
+            rel = 0.91
+        ),
+        (
+            "ZW",
+            "Zimbabwe",
+            lum = true,
+            sanc = false,
+            cen = 1,
+            abuse = 0.10,
+            vps = false,
+            rel = 0.90
+        ),
     ];
     TABLE
 }
@@ -480,7 +2235,10 @@ mod tests {
 
     #[test]
     fn twelve_ooni_censorship_countries() {
-        let n = registry().iter().filter(|c| c.censorship >= 2 && c.luminati).count();
+        let n = registry()
+            .iter()
+            .filter(|c| c.censorship >= 2 && c.luminati)
+            .count();
         // The 12 countries where OONI identifies state censorship, plus a
         // handful of substantial-filtering countries; keep within a
         // realistic band.
@@ -495,7 +2253,10 @@ mod tests {
             .iter()
             .filter(|c| c.luminati && c.reliability < komoros.reliability)
             .count();
-        assert_eq!(lower, 0, "Comoros should be the least reliable Luminati country");
+        assert_eq!(
+            lower, 0,
+            "Comoros should be the least reliable Luminati country"
+        );
     }
 
     #[test]

@@ -209,23 +209,21 @@ const TLDS: &[(&str, f64)] = &[
 ];
 
 const STEM_A: &[&str] = &[
-    "alpha", "apex", "astro", "atlas", "aero", "blue", "bright", "cedar", "city", "clear",
-    "cloud", "core", "crest", "delta", "digi", "east", "echo", "ever", "fast", "first",
-    "flex", "fox", "global", "gold", "grand", "green", "halo", "hyper", "iron", "jet",
-    "kilo", "lake", "lumen", "macro", "meta", "micro", "nano", "north", "nova", "omni",
-    "open", "pario", "peak", "pico", "prime", "pulse", "quick", "rapid", "river", "sky",
-    "solar", "south", "star", "stone", "summit", "swift", "terra", "tide", "true", "ultra",
-    "union", "vale", "vista", "west",
+    "alpha", "apex", "astro", "atlas", "aero", "blue", "bright", "cedar", "city", "clear", "cloud",
+    "core", "crest", "delta", "digi", "east", "echo", "ever", "fast", "first", "flex", "fox",
+    "global", "gold", "grand", "green", "halo", "hyper", "iron", "jet", "kilo", "lake", "lumen",
+    "macro", "meta", "micro", "nano", "north", "nova", "omni", "open", "pario", "peak", "pico",
+    "prime", "pulse", "quick", "rapid", "river", "sky", "solar", "south", "star", "stone",
+    "summit", "swift", "terra", "tide", "true", "ultra", "union", "vale", "vista", "west",
 ];
 
 const STEM_B: &[&str] = &[
-    "base", "beam", "board", "bridge", "cart", "cast", "dash", "deal", "den", "desk",
-    "dock", "drive", "edge", "field", "flow", "forge", "forum", "gate", "grid", "guide",
-    "hub", "lab", "lane", "line", "link", "list", "loop", "mart", "mesh", "mill",
-    "mint", "nest", "net", "node", "pad", "page", "path", "pier", "point", "port",
-    "post", "press", "rack", "ridge", "ring", "room", "shelf", "shop", "site", "space",
-    "span", "spark", "sphere", "spot", "stack", "stand", "store", "stream", "tower", "trade",
-    "vault", "view", "ware", "works", "yard", "zone",
+    "base", "beam", "board", "bridge", "cart", "cast", "dash", "deal", "den", "desk", "dock",
+    "drive", "edge", "field", "flow", "forge", "forum", "gate", "grid", "guide", "hub", "lab",
+    "lane", "line", "link", "list", "loop", "mart", "mesh", "mill", "mint", "nest", "net", "node",
+    "pad", "page", "path", "pier", "point", "port", "post", "press", "rack", "ridge", "ring",
+    "room", "shelf", "shop", "site", "space", "span", "spark", "sphere", "spot", "stack", "stand",
+    "store", "stream", "tower", "trade", "vault", "view", "ware", "works", "yard", "zone",
 ];
 
 fn base36(mut n: u32) -> String {
@@ -622,7 +620,10 @@ mod tests {
         }
         let rate = sanctioned as f64 / total as f64;
         // §4.2.1: 40.7% of Top-10K AppEngine customers geoblock.
-        assert!((0.25..=0.58).contains(&rate), "rate {rate} ({sanctioned}/{total})");
+        assert!(
+            (0.25..=0.58).contains(&rate),
+            "rate {rate} ({sanctioned}/{total})"
+        );
     }
 
     #[test]
@@ -654,7 +655,11 @@ mod tests {
         let p = pop();
         for rank in (1..=2000).step_by(7) {
             let s = p.spec(rank);
-            assert!((1_000..=64_000).contains(&s.base_page_bytes), "{}", s.base_page_bytes);
+            assert!(
+                (1_000..=64_000).contains(&s.base_page_bytes),
+                "{}",
+                s.base_page_bytes
+            );
         }
     }
 }

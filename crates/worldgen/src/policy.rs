@@ -24,7 +24,12 @@ pub enum CfTier {
 
 impl CfTier {
     /// All tiers, cheapest first.
-    pub const ALL: [CfTier; 4] = [CfTier::Free, CfTier::Pro, CfTier::Business, CfTier::Enterprise];
+    pub const ALL: [CfTier; 4] = [
+        CfTier::Free,
+        CfTier::Pro,
+        CfTier::Business,
+        CfTier::Enterprise,
+    ];
 
     /// Table 9 column label.
     pub fn label(&self) -> &'static str {
@@ -99,7 +104,11 @@ pub fn draw_cloudflare_blockset<R: Rng>(rng: &mut R) -> CountrySet {
         if info.sanctioned {
             continue;
         }
-        let p_abuse = if info.abuse >= 0.30 { info.abuse * 0.35 } else { 0.0 };
+        let p_abuse = if info.abuse >= 0.30 {
+            info.abuse * 0.35
+        } else {
+            0.0
+        };
         let p = (p_abuse + 0.012).min(0.95);
         if rng.gen_bool(p) {
             set.insert(info.code);
@@ -170,7 +179,11 @@ pub fn draw_ambiguous_cdn_blockset<R: Rng>(rng: &mut R) -> CountrySet {
         if info.sanctioned {
             continue;
         }
-        let p_abuse = if info.abuse >= 0.45 { info.abuse * 0.5 } else { 0.0 };
+        let p_abuse = if info.abuse >= 0.45 {
+            info.abuse * 0.5
+        } else {
+            0.0
+        };
         if rng.gen_bool((p_abuse + 0.035).min(0.95)) {
             set.insert(info.code);
         }
@@ -216,7 +229,11 @@ pub fn draw_origin_blockset<R: Rng>(rng: &mut R) -> CountrySet {
         rng.gen_range(0.08..0.30)
     };
     for info in registry() {
-        let p = if info.abuse >= 0.40 { frac.max(0.7) } else { frac };
+        let p = if info.abuse >= 0.40 {
+            frac.max(0.7)
+        } else {
+            frac
+        };
         if rng.gen_bool(p) {
             set.insert(info.code);
         }
@@ -250,7 +267,10 @@ mod tests {
         let mean = mean_blockset_size(draw_cloudfront_blockset, 2000);
         assert!((15.0..55.0).contains(&mean), "mean {mean}");
         let cf = mean_blockset_size(draw_cloudflare_blockset, 2000);
-        assert!(mean > 2.0 * cf, "CloudFront ({mean}) should be far broader than Cloudflare ({cf})");
+        assert!(
+            mean > 2.0 * cf,
+            "CloudFront ({mean}) should be far broader than Cloudflare ({cf})"
+        );
     }
 
     #[test]

@@ -17,9 +17,7 @@ use geoblock_blockpages::Provider;
 /// The Airbnb ccTLD family present in the Top 10K (8 domains: 49 Airbnb
 /// block-page samples in Table 2 ≈ 8 domains × 2 measurable countries × 3
 /// samples).
-const AIRBNB_TLDS: [&str; 8] = [
-    "com", "fr", "de", "it", "es", "ca", "co.uk", "com.au",
-];
+const AIRBNB_TLDS: [&str; 8] = ["com", "fr", "de", "it", "es", "ca", "co.uk", "com.au"];
 
 struct SpecialDef {
     rank: u32,

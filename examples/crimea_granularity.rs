@@ -44,8 +44,14 @@ async fn main() {
 
     println!("  observations: {}", report.observations.len());
     println!("  exits located in Crimea: {crimean_exits}");
-    println!("  block rate from Crimean exits:    {:.0}%", 100.0 * crimea_rate);
-    println!("  block rate from the rest of UA:   {:.0}%", 100.0 * elsewhere_rate);
+    println!(
+        "  block rate from Crimean exits:    {:.0}%",
+        100.0 * crimea_rate
+    );
+    println!(
+        "  block rate from the rest of UA:   {:.0}%",
+        100.0 * elsewhere_rate
+    );
     println!(
         "  country-wide rate (what a country-granular study sees): {:.1}%",
         100.0 * report.block_rate()

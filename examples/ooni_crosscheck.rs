@@ -14,10 +14,7 @@ use geoblock::worldgen::ooni::{self, OoniConfig};
 
 fn main() {
     let world = Arc::new(World::build(WorldConfig::tiny(42)));
-    println!(
-        "Citizen Lab test list: {} domains",
-        world.citizenlab.len()
-    );
+    println!("Citizen Lab test list: {} domains", world.citizenlab.len());
 
     let corpus = ooni::generate(
         42,

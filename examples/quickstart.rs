@@ -17,7 +17,9 @@ async fn main() {
     let world = Arc::new(World::build(WorldConfig::tiny(42)));
     let internet = Arc::new(SimInternet::new(world.clone()));
     let luminati = LuminatiNetwork::new(internet);
-    let config = LumscanConfig::builder().build().expect("valid engine config");
+    let config = LumscanConfig::builder()
+        .build()
+        .expect("valid engine config");
     let engine = Arc::new(Lumscan::new(luminati, config));
 
     // Find a domain that actually geoblocks, so the demo shows something.
@@ -34,8 +36,11 @@ async fn main() {
         .map(|c| ProbeTarget::http(&domain, cc(c)))
         .collect();
 
+    // Stream the probes: completions are classified and dropped as they
+    // land, yielded in target order by `.ordered()`.
     let fingerprints = FingerprintSet::paper();
-    for result in engine.probe_all(&targets).await {
+    let mut stream = engine.probe_stream(targets).ordered();
+    while let Some((_, result)) = stream.next().await {
         let country = result.target.country;
         match &result.outcome {
             Err(e) => println!("  {country}: error — {e}"),

@@ -50,7 +50,15 @@ async fn main() {
         .expect("valid study config");
     let study = Top10kStudy::new(engine, config);
     println!("baseline: 3 samples x {} pairs...", domains.len() * 14);
-    let mut result = study.baseline(&domains).await;
+    // A GaugeSink watches the probe stream: the baseline classifies and
+    // drops each completion as it lands, so in-flight work stays at the
+    // engine's concurrency no matter how large the study is.
+    let mut gauge = GaugeSink::new();
+    let mut result = study.baseline_with(&domains, &mut gauge).await;
+    println!(
+        "  streamed {} probes, peak {} in flight, {} recovered by retries",
+        gauge.completed, gauge.peak_in_flight, gauge.recovered
+    );
 
     // Days pass; then the confirmation resample.
     internet.clock().advance_days(3);
@@ -62,11 +70,7 @@ async fn main() {
     for v in verdicts.iter().take(12) {
         println!(
             "  {:28} blocked in {} via {} ({}/{} samples)",
-            v.domain,
-            v.country,
-            v.kind,
-            v.block_count,
-            v.total
+            v.domain, v.country, v.kind, v.block_count, v.total
         );
     }
     if verdicts.len() > 12 {

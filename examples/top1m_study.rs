@@ -50,7 +50,10 @@ async fn main() {
     customers.sort();
     customers.dedup();
     let sample = fg.filter_and_sample(&customers, 0.25, 7);
-    println!("\nprobing a {}-domain sample from 10 countries...", sample.len());
+    println!(
+        "\nprobing a {}-domain sample from 10 countries...",
+        sample.len()
+    );
 
     let panel: Vec<CountryCode> = ["IR", "SY", "SD", "CU", "CN", "RU", "US", "DE", "JP", "BR"]
         .iter()
@@ -58,7 +61,9 @@ async fn main() {
         .collect();
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::builder().build().expect("valid engine config"),
+        LumscanConfig::builder()
+            .build()
+            .expect("valid engine config"),
     ));
     let config = StudyConfig::builder()
         .countries(panel.clone())
@@ -66,6 +71,9 @@ async fn main() {
         .build()
         .expect("valid study config");
     let study = Top1mStudy::new(engine, config);
+    // Both passes run on the streaming pipeline: targets are pulled lazily
+    // and every completion is classified and dropped on arrival, which is
+    // what makes the full §5 sample sizes tractable in memory.
     let mut result = study.baseline(&sample).await;
     study.confirm_explicit(&mut result).await;
     study

@@ -21,6 +21,44 @@ use std::sync::Arc;
 
 use geoblock::prelude::*;
 
+/// Live progress for long study passes, fed by the probe stream's
+/// [`ProbeSink`] events: a stderr line every ~5% of completions, then a
+/// closing newline. Probing continues unobserved if stderr is gone.
+struct ProgressSink {
+    total: usize,
+    every: usize,
+}
+
+impl ProgressSink {
+    fn new(total: usize) -> ProgressSink {
+        ProgressSink {
+            total,
+            every: (total / 20).max(1),
+        }
+    }
+}
+
+impl ProbeSink for ProgressSink {
+    fn completed(
+        &mut self,
+        _index: usize,
+        _result: &ProbeResult,
+        stats: &BatchStats,
+        in_flight: usize,
+    ) {
+        if stats.total.is_multiple_of(self.every) || stats.total == self.total {
+            eprint!(
+                "\r  probed {}/{} ({} responded, {} recovered, {} in flight)   ",
+                stats.total, self.total, stats.responded, stats.recovered, in_flight
+            );
+        }
+    }
+
+    fn finished(&mut self, _stats: &BatchStats) {
+        eprintln!();
+    }
+}
+
 struct Args {
     seed: u64,
     size: u32,
@@ -129,7 +167,10 @@ fn fingerprints(args: &Args) -> Result<(), String> {
         println!("{}", set.to_json());
         return Ok(());
     }
-    println!("{:<22} {:<18} {:<10} signature", "page", "class", "provider");
+    println!(
+        "{:<22} {:<18} {:<10} signature",
+        "page", "class", "provider"
+    );
     for fp in set.iter() {
         println!(
             "{:<22} {:<18} {:<10} {}",
@@ -182,10 +223,12 @@ fn build_world(args: &Args) -> Arc<World> {
 fn world_info(args: &Args) -> Result<(), String> {
     let world = build_world(args);
     let domain = args.positional.first().ok_or("world needs a domain")?;
-    let spec = world
-        .population
-        .spec_of(domain)
-        .ok_or_else(|| format!("{domain} is not in this world (seed {}, size {})", args.seed, args.size))?;
+    let spec = world.population.spec_of(domain).ok_or_else(|| {
+        format!(
+            "{domain} is not in this world (seed {}, size {})",
+            args.seed, args.size
+        )
+    })?;
     println!("domain:    {}", spec.name);
     println!("rank:      {}", spec.rank);
     println!("category:  {}", spec.category);
@@ -195,10 +238,19 @@ fn world_info(args: &Args) -> Result<(), String> {
     }
     println!("page size: {} bytes", spec.base_page_bytes);
     println!("citizenlab: {}", spec.on_citizenlab);
-    let blocked: Vec<String> = spec.policy.geoblocked.iter().map(|c| c.to_string()).collect();
+    let blocked: Vec<String> = spec
+        .policy
+        .geoblocked
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     println!(
         "geoblocks: {}",
-        if blocked.is_empty() { "-".to_string() } else { blocked.join(",") }
+        if blocked.is_empty() {
+            "-".to_string()
+        } else {
+            blocked.join(",")
+        }
     );
     if spec.policy.appengine_sanctions {
         println!("appengine sanctions enforcement: yes");
@@ -216,7 +268,12 @@ fn dns(args: &Args) -> Result<(), String> {
     let name = args.positional.first().ok_or("dns needs a name")?;
     for rrtype in [RrType::A, RrType::Ns, RrType::Txt] {
         for record in db.query(name, rrtype) {
-            println!("{:<40} {:<4} {}", record.name, format!("{rrtype:?}").to_uppercase(), record.data);
+            println!(
+                "{:<40} {:<4} {}",
+                record.name,
+                format!("{rrtype:?}").to_uppercase(),
+                record.data
+            );
         }
     }
     Ok(())
@@ -230,7 +287,9 @@ fn study(args: &Args) -> Result<(), String> {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::builder().build().map_err(|e| e.to_string())?,
+        LumscanConfig::builder()
+            .build()
+            .map_err(|e| e.to_string())?,
     ));
     let fg = Fortiguard::new(&world);
     let domains = fg.safe_toplist(args.top);
@@ -245,12 +304,14 @@ fn study(args: &Args) -> Result<(), String> {
         .rep_countries(args.from.clone())
         .build()
         .map_err(|e| e.to_string())?;
+    let baseline_probes = domains.len() * config.countries.len() * config.baseline_samples as usize;
     let study = Top10kStudy::new(engine, config);
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
         .build()
         .map_err(|e| e.to_string())?;
-    let mut result = runtime.block_on(study.baseline(&domains));
+    let mut progress = ProgressSink::new(baseline_probes);
+    let mut result = runtime.block_on(study.baseline_with(&domains, &mut progress));
     internet.clock().advance_days(3);
     runtime.block_on(study.confirm_explicit(&mut result));
     let verdicts = result.verdicts(&ConfirmConfig::default());
@@ -316,12 +377,18 @@ fn diff(args: &Args) -> Result<(), String> {
 }
 
 fn probe(args: &Args) -> Result<(), String> {
-    let domain = args.positional.first().ok_or("probe needs a domain")?.clone();
+    let domain = args
+        .positional
+        .first()
+        .ok_or("probe needs a domain")?
+        .clone();
     let world = build_world(args);
     let internet = Arc::new(SimInternet::new(world));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet),
-        LumscanConfig::builder().build().map_err(|e| e.to_string())?,
+        LumscanConfig::builder()
+            .build()
+            .map_err(|e| e.to_string())?,
     ));
     let targets: Vec<ProbeTarget> = args
         .from
@@ -333,27 +400,28 @@ fn probe(args: &Args) -> Result<(), String> {
         .build()
         .map_err(|e| e.to_string())?;
     let fingerprints = FingerprintSet::paper();
-    let results = runtime.block_on(engine.probe_all(&targets));
-    for result in results {
-        let country = result.target.country;
-        match &result.outcome {
-            Err(e) => println!("{country}: error — {e}"),
-            Ok(chain) => {
-                let resp = chain.final_response();
-                match fingerprints.classify(resp) {
-                    Some(m) => println!(
-                        "{country}: {} — {} block page",
-                        resp.status, m.kind
-                    ),
-                    None => println!(
-                        "{country}: {} — {} bytes, {} redirects",
-                        resp.status,
-                        resp.body.len(),
-                        chain.redirect_count()
-                    ),
+    // Stream the probes: each result is printed (in target order) and
+    // dropped the moment it completes.
+    runtime.block_on(async {
+        let mut stream = engine.probe_stream(targets).ordered();
+        while let Some((_, result)) = stream.next().await {
+            let country = result.target.country;
+            match &result.outcome {
+                Err(e) => println!("{country}: error — {e}"),
+                Ok(chain) => {
+                    let resp = chain.final_response();
+                    match fingerprints.classify(resp) {
+                        Some(m) => println!("{country}: {} — {} block page", resp.status, m.kind),
+                        None => println!(
+                            "{country}: {} — {} bytes, {} redirects",
+                            resp.status,
+                            resp.body.len(),
+                            chain.redirect_count()
+                        ),
+                    }
                 }
             }
         }
-    }
+    });
     Ok(())
 }

@@ -35,14 +35,23 @@
 //! let luminati = LuminatiNetwork::new(internet);
 //! let engine = Arc::new(Lumscan::new(luminati, LumscanConfig::default()));
 //!
-//! // Probe one domain from two countries.
+//! // Probe one domain from two countries: targets stream through the
+//! // engine and completions are consumed as they land (`ordered()` yields
+//! // them in target order; drop it for completion order).
 //! let domain = world.population.spec(5).name.clone();
 //! let targets = vec![
 //!     ProbeTarget::http(&domain, cc("US")),
 //!     ProbeTarget::http(&domain, cc("IR")),
 //! ];
-//! let results = engine.probe_all(&targets).await;
-//! assert_eq!(results.len(), 2);
+//! let mut stream = engine.probe_stream(targets).ordered();
+//! let mut seen = 0;
+//! while let Some((index, result)) = stream.next().await {
+//!     assert_eq!(index, seen);
+//!     let _ = result; // classify-and-drop; nothing is buffered
+//!     seen += 1;
+//! }
+//! assert_eq!(seen, 2);
+//! assert_eq!(stream.into_stats().total, 2);
 //! # }
 //! ```
 
@@ -66,16 +75,17 @@ pub mod prelude {
     pub use geoblock_analysis::{Fortiguard, TextTable};
     pub use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
     pub use geoblock_core::{
-        ConfirmConfig, GeoblockVerdict, Obs, SampleStore, StudyConfig, StudyConfigBuilder,
-        StudyResult, Top10kStudy, Top1mStudy,
+        ConfirmConfig, GeoblockVerdict, Obs, ProbeCoord, SampleStore, StudyAccumulator,
+        StudyConfig, StudyConfigBuilder, StudyResult, TargetPlan, Top10kStudy, Top1mStudy,
     };
     pub use geoblock_http::{
-        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability,
-        StatusCode, Url,
+        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability, StatusCode,
+        Url,
     };
     pub use geoblock_lumscan::{
-        BatchStats, CircuitBreaker, ConfigError, Lumscan, LumscanConfig, LumscanConfigBuilder,
-        ProbeResult, ProbeTarget, RetryPolicy, Transport,
+        BatchStats, CircuitBreaker, ConfigError, GaugeSink, Lumscan, LumscanConfig,
+        LumscanConfigBuilder, NoopSink, ProbeResult, ProbeSink, ProbeStream, ProbeTarget,
+        RetryPolicy, Transport,
     };
     pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
     pub use geoblock_proxynet::{

@@ -7,10 +7,7 @@ fn geoblock() -> Command {
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let output = geoblock()
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let output = geoblock().args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&output.stdout).to_string(),
         String::from_utf8_lossy(&output.stderr).to_string(),
@@ -22,7 +19,14 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn fingerprints_lists_all_fourteen() {
     let (stdout, _, ok) = run(&["fingerprints"]);
     assert!(ok);
-    for label in ["Cloudflare", "Akamai", "Airbnb", "Varnish", "nginx", "Distil Captcha"] {
+    for label in [
+        "Cloudflare",
+        "Akamai",
+        "Airbnb",
+        "Varnish",
+        "nginx",
+        "Distil Captcha",
+    ] {
         assert!(stdout.contains(label), "missing {label}:\n{stdout}");
     }
     assert_eq!(stdout.lines().count(), 15); // header + 14

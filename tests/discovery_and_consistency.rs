@@ -9,10 +9,12 @@ use geoblock::core::outliers::{extract_outliers, OutlierConfig};
 use geoblock::prelude::*;
 
 fn panel() -> Vec<CountryCode> {
-    ["IR", "SY", "SD", "CU", "CN", "RU", "US", "DE", "JP", "FR", "GB", "BR"]
-        .iter()
-        .map(|c| cc(c))
-        .collect()
+    [
+        "IR", "SY", "SD", "CU", "CN", "RU", "US", "DE", "JP", "FR", "GB", "BR",
+    ]
+    .iter()
+    .map(|c| cc(c))
+    .collect()
 }
 
 #[tokio::test(flavor = "multi_thread")]

@@ -13,14 +13,19 @@ use geoblock::worldgen::country::sanctioned_reachable;
 
 /// A 12-country panel covering sanctioned, abusive, and clean countries.
 fn panel() -> Vec<CountryCode> {
-    ["IR", "SY", "SD", "CU", "CN", "RU", "NG", "BR", "US", "DE", "JP", "KM"]
-        .iter()
-        .map(|c| cc(c))
-        .collect()
+    [
+        "IR", "SY", "SD", "CU", "CN", "RU", "NG", "BR", "US", "DE", "JP", "KM",
+    ]
+    .iter()
+    .map(|c| cc(c))
+    .collect()
 }
 
 fn rep_countries() -> Vec<CountryCode> {
-    ["IR", "SY", "SD", "CU", "CN", "RU"].iter().map(|c| cc(c)).collect()
+    ["IR", "SY", "SD", "CU", "CN", "RU"]
+        .iter()
+        .map(|c| cc(c))
+        .collect()
 }
 
 struct Fixture {
@@ -56,7 +61,10 @@ async fn miniature_study_recovers_ground_truth() {
     let mut result = fx.study.baseline(&fx.domains).await;
 
     // --- coverage sanity (§4.1.1 shape) ---
-    assert_eq!(result.store.total_samples(), fx.domains.len() * panel().len() * 3);
+    assert_eq!(
+        result.store.total_samples(),
+        fx.domains.len() * panel().len() * 3
+    );
     let coverage = CoverageStats::compute(&result.store);
     assert!(
         coverage.error_rate_p90 < 0.35,
@@ -73,7 +81,11 @@ async fn miniature_study_recovers_ground_truth() {
     // Every verdict must be true per ground truth (no false positives):
     let mut checked = 0;
     for v in &verdicts {
-        let spec = fx.world.population.spec_of(&v.domain).expect("known domain");
+        let spec = fx
+            .world
+            .population
+            .spec_of(&v.domain)
+            .expect("known domain");
         let truly_blocked = spec.policy.geoblocked.contains(v.country)
             || (spec.policy.appengine_sanctions && sanctioned_reachable().contains(v.country))
             || spec.policy.origin_blocked.contains(v.country);
@@ -105,15 +117,24 @@ async fn miniature_study_recovers_ground_truth() {
                 || (spec.policy.appengine_sanctions && sanctioned_reachable().contains(country));
             if blocked {
                 truth_pairs += 1;
-                if verdicts.iter().any(|v| v.domain == *domain && v.country == country) {
+                if verdicts
+                    .iter()
+                    .any(|v| v.domain == *domain && v.country == country)
+                {
                     found_pairs += 1;
                 }
             }
         }
     }
-    assert!(truth_pairs >= 5, "tiny world has too few blocked pairs: {truth_pairs}");
+    assert!(
+        truth_pairs >= 5,
+        "tiny world has too few blocked pairs: {truth_pairs}"
+    );
     let recall = found_pairs as f64 / truth_pairs as f64;
-    assert!(recall >= 0.8, "recall {recall} ({found_pairs}/{truth_pairs})");
+    assert!(
+        recall >= 0.8,
+        "recall {recall} ({found_pairs}/{truth_pairs})"
+    );
 
     // --- sanctioned countries dominate, as in Table 5 ---
     let sanctioned_count = verdicts
@@ -134,10 +155,7 @@ async fn miniature_study_recovers_ground_truth() {
             rep_countries: rep_countries(),
         },
     );
-    assert!(
-        !outlier_report.outliers.is_empty(),
-        "no outliers extracted"
-    );
+    assert!(!outlier_report.outliers.is_empty(), "no outliers extracted");
     let discovery = discover(
         &outlier_report.outliers,
         &result.archive,

@@ -44,7 +44,11 @@ fn targets(n: usize) -> Vec<ProbeTarget> {
         .collect()
 }
 
-fn engine(plan: FaultPlan, retry: RetryPolicy, concurrency: usize) -> Arc<Lumscan<FaultyTransport<Perfect>>> {
+fn engine(
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    concurrency: usize,
+) -> Arc<Lumscan<FaultyTransport<Perfect>>> {
     let config = LumscanConfig::builder()
         .retry(retry)
         .concurrency(concurrency)
@@ -68,8 +72,14 @@ fn run_batch(plan: FaultPlan, retry: RetryPolicy) -> BatchStats {
 
 #[test]
 fn fixed_seed_fault_plan_is_deterministic() {
-    let a = run_batch(FaultPlan::standard(0xbeef), RetryPolicy::with_max_retries(3));
-    let b = run_batch(FaultPlan::standard(0xbeef), RetryPolicy::with_max_retries(3));
+    let a = run_batch(
+        FaultPlan::standard(0xbeef),
+        RetryPolicy::with_max_retries(3),
+    );
+    let b = run_batch(
+        FaultPlan::standard(0xbeef),
+        RetryPolicy::with_max_retries(3),
+    );
     assert_eq!(a, b, "identically-seeded runs must agree field for field");
     // And the run is not trivially clean — faults actually happened.
     assert!(!a.fault_counts.is_empty(), "standard plan injected nothing");

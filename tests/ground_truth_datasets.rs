@@ -16,14 +16,22 @@ fn table9_shape_holds_at_scale() {
 
     // Enterprise couples to OFAC: KP/IR/SY/SD far above Russia/China.
     let ent = |c: &str| snapshot.rate(CfTier::Enterprise, cc(c));
-    assert!(ent("KP") > 3.0 * ent("RU"), "KP {} RU {}", ent("KP"), ent("RU"));
+    assert!(
+        ent("KP") > 3.0 * ent("RU"),
+        "KP {} RU {}",
+        ent("KP"),
+        ent("RU")
+    );
     assert!(ent("IR") > 3.0 * ent("CN"));
     // Free tier flips: abuse countries above sanctioned ones.
     let free = |c: &str| snapshot.rate(CfTier::Free, cc(c));
     assert!(free("CN") > 2.0 * free("SY"));
     assert!(free("RU") > 2.0 * free("SD"));
     // Baselines ordered: Enterprise ≫ Business ≈ Pro > Free.
-    assert!(snapshot.baseline_rate(CfTier::Enterprise) > 10.0 * snapshot.baseline_rate(CfTier::Business));
+    assert!(
+        snapshot.baseline_rate(CfTier::Enterprise)
+            > 10.0 * snapshot.baseline_rate(CfTier::Business)
+    );
     assert!(snapshot.baseline_rate(CfTier::Business) > snapshot.baseline_rate(CfTier::Free));
 
     // The rendered table carries all 17 rows (16 + baseline).

@@ -17,7 +17,10 @@ async fn diff_detects_the_makro_policy_flip() {
 
     // Probe makro.co.za plus a stable AppEngine blocker across the
     // countries makro blocks (plus controls).
-    let makro = world.population.spec_of("makro.co.za").expect("special domain");
+    let makro = world
+        .population
+        .spec_of("makro.co.za")
+        .expect("special domain");
     let mut countries: Vec<CountryCode> = makro.policy.geoblocked.iter().take(6).collect();
     countries.extend([cc("IR"), cc("US")]);
     // Several AppEngine enforcers as stable controls (any single one may
@@ -47,11 +50,11 @@ async fn diff_detects_the_makro_policy_flip() {
         before.iter().any(|v| v.domain == "makro.co.za"),
         "makro must be blocking during the baseline window"
     );
-    let stable_before = before
-        .iter()
-        .filter(|v| stable.contains(&v.domain))
-        .count();
-    assert!(stable_before >= 1, "no stable enforcer verdicts: {before:?}");
+    let stable_before = before.iter().filter(|v| stable.contains(&v.domain)).count();
+    assert!(
+        stable_before >= 1,
+        "no stable enforcer verdicts: {before:?}"
+    );
 
     // Days pass; the operator drops the rules.
     internet.clock().advance_days(3);

@@ -13,7 +13,9 @@ fn stack() -> (Arc<World>, Arc<SimInternet>, Arc<Lumscan<LuminatiNetwork>>) {
     let internet = Arc::new(SimInternet::new(world.clone()));
     let engine = Arc::new(Lumscan::new(
         LuminatiNetwork::new(internet.clone()),
-        LumscanConfig::builder().build().expect("valid engine config"),
+        LumscanConfig::builder()
+            .build()
+            .expect("valid engine config"),
     ));
     (world, internet, engine)
 }
@@ -31,9 +33,11 @@ async fn observed_kinds(
         .await
         .into_iter()
         .map(|r| {
-            r.outcome
-                .ok()
-                .and_then(|chain| fingerprints.classify(chain.final_response()).map(|m| m.kind))
+            r.outcome.ok().and_then(|chain| {
+                fingerprints
+                    .classify(chain.final_response())
+                    .map(|m| m.kind)
+            })
         })
         .collect()
 }
@@ -42,7 +46,10 @@ async fn observed_kinds(
 async fn fasttech_serves_the_baidu_page_in_china_only() {
     let (_, _, engine) = stack();
     let china = observed_kinds(&engine, "fasttech.com", cc("CN"), 8).await;
-    let baidu = china.iter().filter(|k| **k == Some(PageKind::Baidu)).count();
+    let baidu = china
+        .iter()
+        .filter(|k| **k == Some(PageKind::Baidu))
+        .count();
     assert!(baidu >= 5, "china: {china:?}");
 
     let us = observed_kinds(&engine, "fasttech.com", cc("US"), 8).await;
@@ -55,7 +62,10 @@ async fn airbnb_family_blocks_exactly_iran_and_syria() {
     for domain in ["airbnb.com", "airbnb.de", "airbnb.com.au"] {
         for country in ["IR", "SY"] {
             let kinds = observed_kinds(&engine, domain, cc(country), 6).await;
-            let airbnb = kinds.iter().filter(|k| **k == Some(PageKind::Airbnb)).count();
+            let airbnb = kinds
+                .iter()
+                .filter(|k| **k == Some(PageKind::Airbnb))
+                .count();
             assert!(airbnb >= 4, "{domain} in {country}: {kinds:?}");
         }
         // Cuba and Sudan are sanctioned but NOT on Airbnb's list (§4.2.2).

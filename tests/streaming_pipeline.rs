@@ -1,0 +1,281 @@
+//! Acceptance tests for the streaming probe pipeline:
+//!
+//! * **fixed-seed equivalence** — the streaming study baseline produces the
+//!   same observations, byte-identical archived bodies, and the same
+//!   verdicts as a shim replicating the old chunked-batch driver. Run at
+//!   concurrency 1: breaker and fault state are probe-order-dependent, so
+//!   the contract is "same probe order ⇒ same study", not "any schedule ⇒
+//!   same study";
+//! * **bounded memory** — in-flight targets never exceed the engine's
+//!   concurrency and no body from a non-representative country survives a
+//!   baseline pass;
+//! * **panic isolation** — a panicking transport poisons one slot, not the
+//!   stream.
+
+use std::sync::Arc;
+
+use geoblock::blockpages::{render, PageParams};
+use geoblock::core::{classify_chain, BodyArchive, StudyResult};
+use geoblock::lumscan::TransportRequest;
+use geoblock::prelude::*;
+use geoblock::proxynet::LUMTEST_HOST;
+
+/// A little deterministic web: `blocked-*` hosts serve a Cloudflare 1009
+/// page in IR and SY and content elsewhere; `plain-*` hosts always serve
+/// content. All failures observed through a [`FaultyTransport`] wrapper
+/// are injected.
+struct MiniWeb;
+
+impl Transport for MiniWeb {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let host = req.request.url.host.as_str().to_string();
+        if host == LUMTEST_HOST {
+            return Ok(Response::builder(StatusCode::OK)
+                .body(format!("ip=10.0.0.1&country={}", req.country))
+                .finish(req.request.url));
+        }
+        if host.starts_with("blocked-") && (req.country == cc("IR") || req.country == cc("SY")) {
+            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+            return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+        }
+        Ok(Response::builder(StatusCode::OK)
+            .body(format!(
+                "<html><body>{host} serves {}</body></html>",
+                "content ".repeat(40 + host.len())
+            ))
+            .finish(req.request.url))
+    }
+}
+
+fn domains() -> Vec<String> {
+    vec![
+        "blocked-0.example".to_string(),
+        "plain-0.example".to_string(),
+        "blocked-1.example".to_string(),
+        "plain-1.example".to_string(),
+        "plain-2.example".to_string(),
+    ]
+}
+
+fn study_config(chunk_domains: usize) -> StudyConfig {
+    StudyConfig::builder()
+        .countries([cc("IR"), cc("SY"), cc("US"), cc("DE")])
+        .rep_countries([cc("IR"), cc("US")])
+        .chunk_domains(chunk_domains)
+        .build()
+        .expect("valid study config")
+}
+
+fn faulty_engine(seed: u64, concurrency: usize) -> Arc<Lumscan<FaultyTransport<MiniWeb>>> {
+    let config = LumscanConfig::builder()
+        .retry(RetryPolicy::with_max_retries(3))
+        .concurrency(concurrency)
+        .build()
+        .expect("valid engine config");
+    Arc::new(Lumscan::new(
+        FaultyTransport::new(MiniWeb, FaultPlan::standard(seed)),
+        config,
+    ))
+}
+
+/// The old batch driver, preserved as a test shim: materialize each chunk's
+/// full target vector, `probe_all` it behind a barrier, then classify the
+/// results with the historical index arithmetic.
+async fn chunked_batch_baseline<T: Transport + 'static>(
+    engine: &Arc<Lumscan<T>>,
+    config: &StudyConfig,
+    domains: &[String],
+) -> StudyResult {
+    let fingerprints = FingerprintSet::paper();
+    let mut store = SampleStore::new(domains.to_vec(), config.countries.clone());
+    let mut archive = BodyArchive::new();
+    let nc = config.countries.len();
+    let ns = config.baseline_samples as usize;
+    let rep_idx: Vec<bool> = config
+        .countries
+        .iter()
+        .map(|c| config.rep_countries.contains(c))
+        .collect();
+    for (chunk_no, chunk) in domains.chunks(config.chunk_domains).enumerate() {
+        let mut targets = Vec::with_capacity(chunk.len() * nc * ns);
+        for domain in chunk {
+            for country in &config.countries {
+                for _ in 0..ns {
+                    targets.push(ProbeTarget::http(domain, *country));
+                }
+            }
+        }
+        let results = engine.probe_all(&targets).await;
+        for (i, result) in results.into_iter().enumerate() {
+            let local_d = i / (nc * ns);
+            let c = (i / ns) % nc;
+            let s = i % ns;
+            let d = chunk_no * config.chunk_domains + local_d;
+            let obs = classify_chain(&fingerprints, &result.outcome);
+            if rep_idx[c] {
+                if let Ok(chain) = &result.outcome {
+                    let resp = chain.final_response();
+                    archive.offer(
+                        d as u32,
+                        c as u16,
+                        s as u16,
+                        resp.body.len() as u32,
+                        &resp.body.as_text(),
+                    );
+                }
+            }
+            store.push(d, c, obs);
+        }
+    }
+    StudyResult { store, archive }
+}
+
+fn sorted_archive(result: &StudyResult) -> Vec<((u32, u16, u16), String)> {
+    let mut docs: Vec<((u32, u16, u16), String)> = result
+        .archive
+        .iter()
+        .map(|(key, body)| (key, body.to_string()))
+        .collect();
+    docs.sort();
+    docs
+}
+
+#[tokio::test]
+async fn fixed_seed_streaming_baseline_matches_chunked_batch() {
+    let domains = domains();
+    let config = study_config(2); // 3 chunks over 5 domains in the shim.
+    let seed = 0x5eed_cafe;
+
+    let batch = chunked_batch_baseline(&faulty_engine(seed, 1), &config, &domains).await;
+    let study = Top10kStudy::new(faulty_engine(seed, 1), config);
+    let streamed = study.baseline(&domains).await;
+
+    // Every observation cell agrees, field for field.
+    let batch_cells: Vec<(usize, usize, Vec<Obs>)> = batch
+        .store
+        .iter_cells()
+        .map(|(d, c, obs)| (d, c, obs.to_vec()))
+        .collect();
+    let stream_cells: Vec<(usize, usize, Vec<Obs>)> = streamed
+        .store
+        .iter_cells()
+        .map(|(d, c, obs)| (d, c, obs.to_vec()))
+        .collect();
+    assert_eq!(batch_cells, stream_cells);
+    assert_eq!(batch.store.total_samples(), domains.len() * 4 * 3);
+
+    // The retained bodies are byte-identical — archive retention is order-
+    // dependent, so this is the strongest statement that the streaming
+    // pipeline replays the exact probe-and-offer sequence.
+    let batch_docs = sorted_archive(&batch);
+    let stream_docs = sorted_archive(&streamed);
+    assert!(!batch_docs.is_empty(), "the shim retained nothing");
+    assert_eq!(batch_docs, stream_docs);
+
+    // And the study-level conclusions agree.
+    let confirm = ConfirmConfig::default();
+    assert_eq!(batch.verdicts(&confirm), streamed.verdicts(&confirm));
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn streaming_baseline_is_bounded_and_keeps_only_rep_bodies() {
+    let domains = domains();
+    let study = Top10kStudy::new(faulty_engine(7, 8), study_config(256));
+    let mut gauge = GaugeSink::new();
+    let result = study.baseline_with(&domains, &mut gauge).await;
+
+    let expected = domains.len() * study.config().countries.len() * 3;
+    assert_eq!(gauge.started, expected);
+    assert_eq!(gauge.completed, expected);
+    assert!(gauge.finished, "the sink must see the end of the stream");
+    assert!(
+        gauge.peak_in_flight <= 8,
+        "in-flight {} exceeded the engine concurrency",
+        gauge.peak_in_flight
+    );
+
+    // Bodies survive only from representative countries — everything else
+    // was classified and dropped on arrival.
+    let rep: Vec<u16> = study
+        .config()
+        .countries
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| study.config().rep_countries.contains(c))
+        .map(|(i, _)| i as u16)
+        .collect();
+    assert!(
+        !result.archive.is_empty(),
+        "rep-country bodies were retained"
+    );
+    for ((domain, country, sample), _) in result.archive.iter() {
+        assert!(
+            rep.contains(&country),
+            "body ({domain}, {country}, {sample}) is from a non-representative country"
+        );
+    }
+}
+
+/// Panics on the middle target, serves the rest.
+struct PanicMiddle;
+
+impl Transport for PanicMiddle {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let host = req.request.url.host.as_str().to_string();
+        if host.contains("boom") {
+            panic!("transport exploded on {host}");
+        }
+        let body = if host == LUMTEST_HOST {
+            format!("ip=10.0.0.1&country={}", req.country)
+        } else {
+            format!("<html>{host}</html>")
+        };
+        Ok(Response::builder(StatusCode::OK)
+            .body(body)
+            .finish(req.request.url))
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn panicking_probe_does_not_abort_the_stream() {
+    let engine = Arc::new(Lumscan::new(
+        PanicMiddle,
+        LumscanConfig::builder()
+            .concurrency(4)
+            .build()
+            .expect("valid engine config"),
+    ));
+    let targets: Vec<ProbeTarget> = (0..9)
+        .map(|i| {
+            let host = if i == 4 {
+                "boom.example".to_string()
+            } else {
+                format!("ok-{i}.example")
+            };
+            ProbeTarget::http(&host, cc("US"))
+        })
+        .collect();
+
+    let mut stream = engine.probe_stream(targets).ordered();
+    let mut outcomes = Vec::new();
+    while let Some((idx, result)) = stream.next().await {
+        outcomes.push((idx, result));
+    }
+    assert_eq!(outcomes.len(), 9, "the stream must yield every slot");
+    for (idx, result) in &outcomes {
+        if *idx == 4 {
+            match result.error() {
+                Some(FetchError::ProbePanicked { detail }) => {
+                    assert!(detail.contains("boom.example"), "payload carried: {detail}");
+                }
+                other => panic!("slot 4 should be probe-fatal, got {other:?}"),
+            }
+        } else {
+            assert!(result.responded(), "slot {idx} was poisoned by the panic");
+        }
+    }
+    let stats = stream.into_stats();
+    assert_eq!(stats.total, 9);
+    assert_eq!(stats.responded, 8);
+    assert_eq!(stats.failed, 1);
+}
