@@ -1,0 +1,144 @@
+//! Regression pin for the paper's block-page table: all 14 page kinds,
+//! their row labels, providers, and pipeline classes, frozen field by
+//! field. A fingerprint or taxonomy edit that drops, renames, or
+//! reclassifies a provider must fail here loudly instead of silently
+//! shifting the §4.2 geoblocking counts.
+
+use geoblock_blockpages::{render, FingerprintSet, PageClass, PageKind, PageParams, Provider};
+
+/// The full table, one row per kind, in `PageKind::ALL` order:
+/// (kind, row label, provider, class).
+const TABLE: [(PageKind, &str, Provider, PageClass); 14] = [
+    (
+        PageKind::Akamai,
+        "Akamai",
+        Provider::Akamai,
+        PageClass::AmbiguousBlock,
+    ),
+    (
+        PageKind::Cloudflare,
+        "Cloudflare",
+        Provider::Cloudflare,
+        PageClass::ExplicitGeoblock,
+    ),
+    (
+        PageKind::AppEngine,
+        "AppEngine",
+        Provider::AppEngine,
+        PageClass::ExplicitGeoblock,
+    ),
+    (
+        PageKind::CloudflareCaptcha,
+        "Cloudflare Captcha",
+        Provider::Cloudflare,
+        PageClass::Captcha,
+    ),
+    (
+        PageKind::CloudflareJs,
+        "Cloudflare JavaScript",
+        Provider::Cloudflare,
+        PageClass::JsChallenge,
+    ),
+    (
+        PageKind::CloudFront,
+        "Amazon CloudFront",
+        Provider::CloudFront,
+        PageClass::ExplicitGeoblock,
+    ),
+    (
+        PageKind::BaiduCaptcha,
+        "Baidu Captcha",
+        Provider::Baidu,
+        PageClass::Captcha,
+    ),
+    (
+        PageKind::Baidu,
+        "Baidu",
+        Provider::Baidu,
+        PageClass::ExplicitGeoblock,
+    ),
+    (
+        PageKind::Incapsula,
+        "Incapsula",
+        Provider::Incapsula,
+        PageClass::AmbiguousBlock,
+    ),
+    (
+        PageKind::Soasta,
+        "Soasta",
+        Provider::Soasta,
+        PageClass::AmbiguousBlock,
+    ),
+    (
+        PageKind::Airbnb,
+        "Airbnb",
+        Provider::Airbnb,
+        PageClass::ExplicitGeoblock,
+    ),
+    (
+        PageKind::DistilCaptcha,
+        "Distil Captcha",
+        Provider::Distil,
+        PageClass::Captcha,
+    ),
+    (
+        PageKind::Nginx403,
+        "nginx",
+        Provider::Nginx,
+        PageClass::GenericError,
+    ),
+    (
+        PageKind::Varnish403,
+        "Varnish",
+        Provider::Varnish,
+        PageClass::GenericError,
+    ),
+];
+
+#[test]
+fn all_fourteen_rows_are_pinned() {
+    assert_eq!(PageKind::ALL.len(), 14, "the paper's table has 14 rows");
+    assert_eq!(TABLE.len(), PageKind::ALL.len());
+    for ((kind, label, provider, class), expected_kind) in TABLE.iter().zip(PageKind::ALL) {
+        assert_eq!(*kind, expected_kind, "table must follow PageKind::ALL");
+        assert_eq!(kind.label(), *label, "{kind:?} row label changed");
+        assert_eq!(kind.provider(), *provider, "{kind:?} provider changed");
+        assert_eq!(kind.class(), *class, "{kind:?} class changed");
+    }
+}
+
+#[test]
+fn class_census_matches_the_paper() {
+    let count = |class: PageClass| PageKind::ALL.iter().filter(|k| k.class() == class).count();
+    assert_eq!(count(PageClass::ExplicitGeoblock), 5);
+    assert_eq!(count(PageClass::AmbiguousBlock), 3);
+    assert_eq!(count(PageClass::Captcha), 3);
+    assert_eq!(count(PageClass::JsChallenge), 1);
+    assert_eq!(count(PageClass::GenericError), 2);
+}
+
+/// Every kind has a working fingerprint: the rendered template for each
+/// row classifies back to its own kind. An edit that drops a signature
+/// from [`FingerprintSet::paper`] (or breaks its specificity ordering)
+/// surfaces here as a misclassified provider.
+#[test]
+fn every_kind_round_trips_through_its_fingerprint() {
+    let set = FingerprintSet::paper();
+    let fingerprinted: std::collections::HashSet<PageKind> = set.iter().map(|f| f.kind).collect();
+    for kind in PageKind::ALL {
+        assert!(
+            fingerprinted.contains(&kind),
+            "{kind:?} has no fingerprint in the paper set"
+        );
+        let params = PageParams::new("pinned.example", "Iran", "5.9.1.3", 7);
+        let response = render(kind, &params).finish("http://pinned.example/".parse().unwrap());
+        let outcome = set
+            .classify(&response)
+            .unwrap_or_else(|| panic!("{kind:?}'s own template went unrecognised"));
+        assert_eq!(
+            outcome.kind, kind,
+            "{kind:?} classified as {:?}",
+            outcome.kind
+        );
+    }
+}

@@ -116,6 +116,31 @@ impl<'a> TargetPlan<'a> {
         }
     }
 
+    /// The inverse of [`coord`](TargetPlan::coord): the flat index a
+    /// coordinate occupies, or `None` when the coordinate is not in the
+    /// plan (out-of-range axis, or a pair the plan does not probe).
+    ///
+    /// For pair plans the *first* occurrence of a duplicated pair wins, so
+    /// `index(coord(i)) == i` is guaranteed only for plans without
+    /// duplicate pairs (grids always satisfy it).
+    pub fn index(&self, c: ProbeCoord) -> Option<usize> {
+        if c.sample >= self.samples {
+            return None;
+        }
+        match self.pairs {
+            Some(pairs) => pairs
+                .iter()
+                .position(|&(d, co)| (d, co) == (c.domain, c.country))
+                .map(|p| p * self.samples + c.sample),
+            None => {
+                if c.domain >= self.domains.len() || c.country >= self.countries.len() {
+                    return None;
+                }
+                Some((c.domain * self.countries.len() + c.country) * self.samples + c.sample)
+            }
+        }
+    }
+
     /// The probe target at a flat index.
     pub fn target(&self, i: usize) -> ProbeTarget {
         let c = self.coord(i);
@@ -227,6 +252,56 @@ mod tests {
         assert_eq!(plan.iter().count(), 0);
         let pairs: [(usize, usize); 0] = [];
         assert!(TargetPlan::pairs(&domains, &countries, &pairs, 5).is_empty());
+    }
+
+    #[test]
+    fn index_inverts_coord() {
+        let domains = domains();
+        let countries = [cc("IR"), cc("US"), cc("DE")];
+        let plan = TargetPlan::grid(&domains, &countries, 4);
+        for i in 0..plan.len() {
+            assert_eq!(plan.index(plan.coord(i)), Some(i));
+        }
+        // Coordinates outside the plan are rejected, not misfiled.
+        assert_eq!(
+            plan.index(ProbeCoord {
+                domain: 2,
+                country: 0,
+                sample: 0
+            }),
+            None
+        );
+        assert_eq!(
+            plan.index(ProbeCoord {
+                domain: 0,
+                country: 3,
+                sample: 0
+            }),
+            None
+        );
+        assert_eq!(
+            plan.index(ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 4
+            }),
+            None
+        );
+
+        let pairs = [(1, 0), (0, 2)];
+        let plan = TargetPlan::pairs(&domains, &countries, &pairs, 2);
+        for i in 0..plan.len() {
+            assert_eq!(plan.index(plan.coord(i)), Some(i));
+        }
+        // A pair the plan does not probe has no index.
+        assert_eq!(
+            plan.index(ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 0
+            }),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property tests for the [`TargetPlan`] coordinate geometry.
+//!
+//! Every study pass leans on the `i ↔ (domain, country, sample)` mapping to
+//! file streamed completions into the right observation cell; a one-off
+//! error here corrupts the 23-sample agreement statistics silently. These
+//! properties pin both directions of the arithmetic across arbitrary plan
+//! shapes, including the degenerate grids (no domains, a single country,
+//! the last sample of a pair).
+
+use geoblock_core::{ProbeCoord, TargetPlan};
+use geoblock_worldgen::{cc, CountryCode};
+use proptest::prelude::*;
+
+fn domains(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("domain-{i}.example")).collect()
+}
+
+fn countries(n: usize) -> Vec<CountryCode> {
+    ["IR", "SY", "US", "DE", "RU", "CN"]
+        .iter()
+        .take(n)
+        .map(|c| cc(c))
+        .collect()
+}
+
+proptest! {
+    /// Grid round trip: every flat index maps to a coordinate that maps
+    /// back to the same index, and the coordinate is in range.
+    #[test]
+    fn grid_index_coord_round_trip(
+        nd in 0usize..7,
+        nc in 1usize..6,
+        ns in 1usize..5,
+        probe in 0usize..200,
+    ) {
+        let domains = domains(nd);
+        let countries = countries(nc);
+        let plan = TargetPlan::grid(&domains, &countries, ns);
+        prop_assert_eq!(plan.len(), nd * nc * ns);
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let i = probe % plan.len();
+        let c = plan.coord(i);
+        prop_assert!(c.domain < nd && c.country < nc && c.sample < ns);
+        prop_assert_eq!(plan.index(c), Some(i));
+        // The target agrees with the coordinate.
+        let target = plan.target(i);
+        prop_assert_eq!(target.url.host.as_str(), domains[c.domain].as_str());
+        prop_assert_eq!(target.country, countries[c.country]);
+    }
+
+    /// The forward map visits each coordinate exactly once, in domain-major
+    /// order: consecutive indices advance sample, then country, then domain.
+    #[test]
+    fn grid_enumeration_is_domain_major_and_exhaustive(
+        nd in 1usize..5,
+        nc in 1usize..5,
+        ns in 1usize..4,
+    ) {
+        let domains = domains(nd);
+        let countries = countries(nc);
+        let plan = TargetPlan::grid(&domains, &countries, ns);
+        let mut seen = std::collections::HashSet::new();
+        let mut expected = 0usize;
+        for d in 0..nd {
+            for c in 0..nc {
+                for s in 0..ns {
+                    let coord = ProbeCoord { domain: d, country: c, sample: s };
+                    prop_assert_eq!(plan.index(coord), Some(expected));
+                    prop_assert_eq!(plan.coord(expected), coord);
+                    prop_assert!(seen.insert(expected));
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(expected, plan.len());
+    }
+
+    /// Pair-plan round trip over duplicate-free pair lists (the shape
+    /// confirmation actually probes: each ambiguous pair listed once).
+    #[test]
+    fn pair_index_coord_round_trip(
+        nd in 1usize..6,
+        nc in 1usize..5,
+        ns in 1usize..5,
+        picks in prop::collection::hash_set((0usize..6, 0usize..5), 0..8),
+    ) {
+        let domains = domains(nd);
+        let countries = countries(nc);
+        let pairs: Vec<(usize, usize)> = picks
+            .into_iter()
+            .filter(|&(d, c)| d < nd && c < nc)
+            .collect();
+        let plan = TargetPlan::pairs(&domains, &countries, &pairs, ns);
+        prop_assert_eq!(plan.len(), pairs.len() * ns);
+        for i in 0..plan.len() {
+            let c = plan.coord(i);
+            prop_assert_eq!((c.domain, c.country), pairs[i / ns]);
+            prop_assert_eq!(plan.index(c), Some(i));
+        }
+    }
+
+    /// Out-of-plan coordinates never get an index: one step past each axis
+    /// bound is rejected, and so is the max-sample edge.
+    #[test]
+    fn out_of_range_coords_have_no_index(
+        nd in 1usize..6,
+        nc in 1usize..5,
+        ns in 1usize..5,
+    ) {
+        let domains = domains(nd);
+        let countries = countries(nc);
+        let plan = TargetPlan::grid(&domains, &countries, ns);
+        let last = ProbeCoord { domain: nd - 1, country: nc - 1, sample: ns - 1 };
+        prop_assert_eq!(plan.index(last), Some(plan.len() - 1));
+        prop_assert_eq!(plan.index(ProbeCoord { domain: nd, ..last }), None);
+        prop_assert_eq!(plan.index(ProbeCoord { country: nc, ..last }), None);
+        prop_assert_eq!(plan.index(ProbeCoord { sample: ns, ..last }), None);
+    }
+}
+
+/// The empty-domain grid — what a study over a filtered-to-nothing domain
+/// list produces — holds no probes and rejects every coordinate.
+#[test]
+fn zero_domain_grid_is_empty() {
+    let domains: Vec<String> = Vec::new();
+    let countries = countries(3);
+    let plan = TargetPlan::grid(&domains, &countries, 20);
+    assert!(plan.is_empty());
+    assert_eq!(plan.iter().count(), 0);
+    assert_eq!(
+        plan.index(ProbeCoord {
+            domain: 0,
+            country: 0,
+            sample: 0
+        }),
+        None
+    );
+}
+
+/// A single-country grid degenerates to `domains × samples` with country
+/// index pinned at zero.
+#[test]
+fn single_country_grid_round_trips() {
+    let domains = domains(4);
+    let countries = countries(1);
+    let plan = TargetPlan::grid(&domains, &countries, 3);
+    assert_eq!(plan.len(), 12);
+    for i in 0..plan.len() {
+        let c = plan.coord(i);
+        assert_eq!(c.country, 0);
+        assert_eq!(plan.index(c), Some(i));
+    }
+}

@@ -342,6 +342,7 @@ impl<T: Transport + 'static> Lumscan<T> {
         let mut attempts = 0;
         let mut verified_country = None;
         let mut attempt_errors = Vec::new();
+        let mut attempt_sessions = Vec::new();
         let mut last_err = FetchError::Timeout;
         let host_hash = hash_host(target.url.host.as_str());
         let country_bits = ((target.country.0[0] as u64) << 8) | target.country.0[1] as u64;
@@ -350,6 +351,7 @@ impl<T: Transport + 'static> Lumscan<T> {
             // One fresh exit per attempt, stable under replay, dodging
             // quarantined households.
             let session = self.derive_session(host_hash, country_bits, invocation, attempts);
+            attempt_sessions.push(session);
 
             let delay = policy.backoff(attempts, session.0);
             if !delay.is_zero() {
@@ -379,6 +381,7 @@ impl<T: Transport + 'static> Lumscan<T> {
                         outcome: Ok(chain),
                         verified_country,
                         attempt_errors,
+                        attempt_sessions,
                     };
                 }
                 Err(e) => {
@@ -399,6 +402,7 @@ impl<T: Transport + 'static> Lumscan<T> {
             outcome: Err(last_err),
             verified_country,
             attempt_errors,
+            attempt_sessions,
         }
     }
 

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use geoblock_http::{FetchError, FetchOutcome, RedirectChain};
 use geoblock_worldgen::CountryCode;
 
+use crate::session::SessionId;
 use crate::transport::ProbeTarget;
 
 /// The result of probing one target (after retries).
@@ -24,6 +25,14 @@ pub struct ProbeResult {
     /// last entry equals the terminal error in `outcome`; for a successful
     /// probe these are the faults the retry layer absorbed.
     pub attempt_errors: Vec<FetchError>,
+    /// The exit session each attempt rode, in attempt order
+    /// (`attempt_sessions.len() == attempts` for engine-produced results).
+    /// This is the engine's event emission for the deterministic-simulation
+    /// trace layer: exit identity per attempt is what lets a replay check
+    /// the per-exit request budget and pin nondeterministic session
+    /// derivation. Empty for synthesized results (e.g. a panicked slot,
+    /// whose `attempts` is zero).
+    pub attempt_sessions: Vec<SessionId>,
 }
 
 impl ProbeResult {
@@ -159,6 +168,7 @@ mod tests {
             }])),
             verified_country: Some(cc("US")),
             attempt_errors: Vec::new(),
+            attempt_sessions: vec![SessionId(1)],
         }
     }
 
@@ -169,6 +179,7 @@ mod tests {
             outcome: Err(e.clone()),
             verified_country: None,
             attempt_errors: (0..attempts).map(|_| e.clone()).collect(),
+            attempt_sessions: (0..attempts).map(|a| SessionId(a as u64 + 1)).collect(),
         }
     }
 

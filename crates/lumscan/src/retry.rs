@@ -292,4 +292,89 @@ mod tests {
         assert!(!b.is_quarantined(s));
         assert_eq!(b.quarantined_count(), 0);
     }
+
+    mod backoff_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+            // Nanosecond-granular bases exercise the rounding edges; the
+            // cap may fall below the base to exercise the clamp.
+            (0u64..5_000_000, 0u64..10_000_000).prop_map(|(base, cap)| RetryPolicy {
+                base_backoff: Duration::from_nanos(base),
+                max_backoff: Duration::from_nanos(cap),
+                ..RetryPolicy::default()
+            })
+        }
+
+        proptest! {
+            /// The same (attempt, token) always sleeps the same — the
+            /// determinism the whole simulation layer leans on.
+            #[test]
+            fn deterministic_per_attempt_and_token(
+                policy in policy_strategy(),
+                attempt in 0u32..64,
+                token in any::<u64>(),
+            ) {
+                prop_assert_eq!(
+                    policy.backoff(attempt, token),
+                    policy.backoff(attempt, token)
+                );
+            }
+
+            /// Every delay respects the cap, for any attempt number —
+            /// including ones far past the shift guard.
+            #[test]
+            fn capped_at_max_backoff(
+                policy in policy_strategy(),
+                attempt in 0u32..1_000,
+                token in any::<u64>(),
+            ) {
+                prop_assert!(policy.backoff(attempt, token) <= policy.max_backoff);
+            }
+
+            /// Once a delay reaches the cap it stays there: in the exact-
+            /// doubling range (the shift guard saturates at 16, past which
+            /// only jitter varies) exp(n+1) = 2·exp(n) and jitter < base ≤
+            /// exp(n), so the uncapped schedule is monotone and the clamp is
+            /// absorbing.
+            #[test]
+            fn cap_is_absorbing(
+                policy in policy_strategy(),
+                attempt in 2u32..17,
+                token in any::<u64>(),
+            ) {
+                let here = policy.backoff(attempt, token);
+                if here == policy.max_backoff {
+                    prop_assert_eq!(policy.backoff(attempt + 1, token), policy.max_backoff);
+                }
+            }
+
+            /// A zero base disables sleeping entirely, whatever the attempt
+            /// or token.
+            #[test]
+            fn zero_base_is_exactly_zero(
+                attempt in 0u32..256,
+                token in any::<u64>(),
+                cap in 0u64..10_000_000,
+            ) {
+                let policy = RetryPolicy {
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::from_nanos(cap),
+                    ..RetryPolicy::default()
+                };
+                prop_assert_eq!(policy.backoff(attempt, token), Duration::ZERO);
+            }
+
+            /// The first attempt never waits, whatever the policy.
+            #[test]
+            fn first_attempt_never_waits(
+                policy in policy_strategy(),
+                token in any::<u64>(),
+            ) {
+                prop_assert_eq!(policy.backoff(0, token), Duration::ZERO);
+                prop_assert_eq!(policy.backoff(1, token), Duration::ZERO);
+            }
+        }
+    }
 }

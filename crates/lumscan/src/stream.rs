@@ -180,6 +180,7 @@ fn panicked_result(target: ProbeTarget, payload: Box<dyn Any + Send>) -> ProbeRe
         }),
         verified_country: None,
         attempt_errors: Vec::new(),
+        attempt_sessions: Vec::new(),
     }
 }
 

@@ -31,19 +31,31 @@ impl SimClock {
         self.micros.load(Ordering::Relaxed)
     }
 
-    /// Current virtual day (0-based).
+    /// Current virtual day (0-based). Saturates at `u32::MAX` instead of
+    /// truncating: a wrapped day counter would silently re-arm every
+    /// time-dependent policy, which is exactly the kind of quiet
+    /// nondeterminism the simulation layer exists to rule out. (At
+    /// microsecond resolution the u64 clock itself caps near 213M days, so
+    /// the truncating `as` cast this replaces was a latent hazard guarded
+    /// only by the clock's unit choice.)
     pub fn day(&self) -> u32 {
-        (self.now_micros() / DAY_MICROS) as u32
+        u32::try_from(self.now_micros() / DAY_MICROS).unwrap_or(u32::MAX)
     }
 
-    /// Advance by `micros`.
+    /// Advance by `micros`, saturating at the end of representable time —
+    /// the underlying `fetch_add` would wrap the clock back to day zero.
     pub fn advance_micros(&self, micros: u64) {
-        self.micros.fetch_add(micros, Ordering::Relaxed);
+        let _ = self
+            .micros
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |now| {
+                Some(now.saturating_add(micros))
+            });
     }
 
-    /// Advance by whole days (between study passes).
+    /// Advance by whole days (between study passes). Saturating: the
+    /// naive `days * DAY_MICROS` product overflows u64 beyond ~213M days.
     pub fn advance_days(&self, days: u32) {
-        self.advance_micros(days as u64 * DAY_MICROS);
+        self.advance_micros((days as u64).saturating_mul(DAY_MICROS));
     }
 
     /// Account one request's round-trip from `country` (latency charged to
@@ -83,6 +95,26 @@ mod tests {
         assert_eq!(c.day(), 3);
         c.advance_micros(5);
         assert_eq!(c.now_micros(), 3 * DAY_MICROS + 5);
+    }
+
+    #[test]
+    fn day_saturates_instead_of_wrapping() {
+        let last_day = (u64::MAX / DAY_MICROS) as u32; // ≈ 213.5M, fits u32.
+        let c = SimClock::new();
+        c.advance_micros(u64::MAX);
+        assert_eq!(c.now_micros(), u64::MAX);
+        assert_eq!(c.day(), last_day);
+        // Further advances pin the clock rather than wrapping to day zero.
+        c.advance_micros(DAY_MICROS);
+        assert_eq!(c.now_micros(), u64::MAX, "time saturates, never wraps");
+        assert_eq!(c.day(), last_day);
+        // An oversized day jump saturates the multiply too: before the fix
+        // `u32::MAX as u64 * DAY_MICROS` wrapped u64 and landed the clock
+        // mid-history.
+        let c = SimClock::new();
+        c.advance_days(u32::MAX);
+        assert_eq!(c.now_micros(), u64::MAX);
+        assert_eq!(c.day(), last_day);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use geoblock_http::{FetchError, Response};
 use geoblock_lumscan::{Transport, TransportRequest};
 use geoblock_worldgen::CountryCode;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::network::LUMTEST_HOST;
 
@@ -57,7 +58,7 @@ const SALT_DRIFT: u64 = 0xd81f7;
 /// `exit_death_rate` and `geo_drift_rate`, which are per-*exit*: the draw
 /// keys on the session alone, because dying and drifting are properties of
 /// the household, not of one exchange).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for every draw. Same seed, same faults.
     pub seed: u64,
@@ -85,7 +86,31 @@ pub struct FaultPlan {
     pub geo_drift_rate: f64,
     /// Per-country multipliers on the transient rates (death, truncate,
     /// stall, 502). Countries absent from the map multiply by 1.
+    /// Serialized as a pair list: [`CountryCode`] is not a string, so it
+    /// cannot be a JSON object key.
+    #[serde(with = "flakiness_pairs")]
     pub country_flakiness: BTreeMap<CountryCode, f64>,
+}
+
+/// Serialize `country_flakiness` as an ordered `[[country, mult], …]` list.
+mod flakiness_pairs {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<CountryCode, f64>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&CountryCode, &f64)> = map.iter().collect();
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<CountryCode, f64>, D::Error> {
+        let pairs: Vec<(CountryCode, f64)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
 }
 
 impl FaultPlan {
@@ -367,6 +392,194 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 }
 
+/// One fault class, as an explicit schedule entry. The same taxonomy
+/// [`FaultPlan`] draws probabilistically, reified so a concrete fault
+/// sequence can be written down, shrunk, and replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The exit vanished: the request fails with a proxy-side error.
+    ExitDeath,
+    /// The superproxy 502s before reaching any exit.
+    Superproxy502,
+    /// The exchange completes, but only after the configured stall.
+    Stall,
+    /// The response body is cut short in transit.
+    TruncateBody,
+    /// The echo page reports a drifted country (only meaningful on
+    /// requests to the echo host).
+    GeoDrift,
+}
+
+impl FaultKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::ExitDeath,
+        FaultKind::Superproxy502,
+        FaultKind::Stall,
+        FaultKind::TruncateBody,
+        FaultKind::GeoDrift,
+    ];
+
+    /// Stable lowercase tag (used in trace lines and fixtures).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::ExitDeath => "exit-death",
+            FaultKind::Superproxy502 => "superproxy-502",
+            FaultKind::Stall => "stall",
+            FaultKind::TruncateBody => "truncate",
+            FaultKind::GeoDrift => "geo-drift",
+        }
+    }
+}
+
+/// One scheduled fault: strike the `seq`-th request (1-based) that
+/// `country` makes to `host` with `kind`.
+///
+/// The derived [`Ord`] — host, then country, then sequence, then kind — is
+/// the **canonical shrink ordering**: delta-debugging a schedule sorts
+/// events this way first, so two shrink runs over the same divergence
+/// explore subsets in the same order and land on the same minimal
+/// reproducer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Target host the faulted request was addressed to.
+    pub host: String,
+    /// Vantage country of the faulted request.
+    pub country: CountryCode,
+    /// Which request to `(host, country)` is struck, counting from 1 in
+    /// arrival order.
+    pub seq: u64,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A scheduled fault on the `seq`-th request `country` makes to `host`.
+    pub fn new(host: impl Into<String>, country: CountryCode, seq: u64, kind: FaultKind) -> Self {
+        FaultEvent {
+            host: host.into(),
+            country,
+            seq,
+            kind,
+        }
+    }
+}
+
+/// A [`Transport`] decorator that injects an *explicit* fault schedule —
+/// the replay side of [`FaultPlan`]'s probabilistic weather.
+///
+/// Each incoming request claims the next sequence number for its
+/// `(host, country)` pair; if a [`FaultEvent`] names that exact slot, its
+/// fault is applied. With a single-threaded driver (or concurrency 1) the
+/// arrival order of requests per pair is deterministic, which is what makes
+/// a shrunk schedule a *fixture*: wrap the same inner transport, replay the
+/// same study, and the same requests are struck.
+pub struct ScriptedFaults<T> {
+    inner: T,
+    /// `(host, country, seq)` → fault kind.
+    schedule: HashMap<(String, CountryCode, u64), FaultKind>,
+    /// How long a [`FaultKind::Stall`] event hangs.
+    stall: Duration,
+    /// Per-`(host, country)` arrival counters.
+    seen: Vec<Mutex<HashMap<(String, CountryCode), u64>>>,
+    injected: AtomicU64,
+}
+
+impl<T> ScriptedFaults<T> {
+    /// Wrap `inner` under an explicit `events` schedule. Later duplicates
+    /// of the same `(host, country, seq)` slot win.
+    pub fn new(inner: T, events: impl IntoIterator<Item = FaultEvent>) -> ScriptedFaults<T> {
+        ScriptedFaults {
+            inner,
+            schedule: events
+                .into_iter()
+                .map(|e| ((e.host, e.country, e.seq), e.kind))
+                .collect(),
+            stall: Duration::ZERO,
+            seen: (0..COUNTER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Builder-style: how long a scheduled stall hangs (default: zero).
+    pub fn stall_for(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// How many scheduled faults have fired so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Claim the next 1-based sequence number for `(host, country)`.
+    fn next_seq(&self, host: &str, country: CountryCode) -> u64 {
+        let shard = (hash_str(host) as usize) % COUNTER_SHARDS;
+        let mut map = self.seen[shard].lock();
+        let seq = map.entry((host.to_string(), country)).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+}
+
+impl<T: Transport> Transport for ScriptedFaults<T> {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let host = req.request.url.host.as_str().to_string();
+        let seq = self.next_seq(&host, req.country);
+        let Some(kind) = self
+            .schedule
+            .get(&(host.clone(), req.country, seq))
+            .copied()
+        else {
+            return self.inner.fetch_one(req).await;
+        };
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            FaultKind::ExitDeath => Err(FetchError::ProxyError {
+                detail: "scripted: exit vanished mid-session".to_string(),
+            }),
+            FaultKind::Superproxy502 => Err(FetchError::ProxyError {
+                detail: "scripted: superproxy 502 bad gateway".to_string(),
+            }),
+            FaultKind::Stall => {
+                if !self.stall.is_zero() {
+                    tokio::time::sleep(self.stall).await;
+                }
+                self.inner.fetch_one(req).await
+            }
+            FaultKind::TruncateBody => {
+                let resp = self.inner.fetch_one(req).await?;
+                let len = resp.body.len();
+                Err(FetchError::TruncatedBody {
+                    received: len / 3,
+                    expected: len.max(1),
+                })
+            }
+            FaultKind::GeoDrift => {
+                let mut resp = self.inner.fetch_one(req).await?;
+                let body = resp.body.as_text().into_owned();
+                if let Some(pos) = body.find("country=") {
+                    let start = pos + "country=".len();
+                    if body.len() >= start + 2 {
+                        let original = &body[start..start + 2];
+                        let drifted = if original == "DE" { "GB" } else { "DE" };
+                        resp.body =
+                            format!("{}{}{}", &body[..start], drifted, &body[start + 2..]).into();
+                    }
+                }
+                Ok(resp)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +704,87 @@ mod tests {
         }
         let rate = failures as f64 / n as f64;
         assert!((0.15..0.25).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::standard(42)
+            .flaky_country(cc("KM"), 3.0)
+            .stall_for(Duration::from_millis(40));
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan deserializes");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn event_ordering_is_canonical() {
+        let mut events = vec![
+            FaultEvent::new("b.com", cc("US"), 1, FaultKind::Stall),
+            FaultEvent::new("a.com", cc("US"), 2, FaultKind::ExitDeath),
+            FaultEvent::new("a.com", cc("IR"), 2, FaultKind::ExitDeath),
+            FaultEvent::new("a.com", cc("US"), 1, FaultKind::TruncateBody),
+        ];
+        events.sort();
+        let keys: Vec<(&str, &str, u64)> = events
+            .iter()
+            .map(|e| (e.host.as_str(), e.country.as_str(), e.seq))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a.com", "IR", 2),
+                ("a.com", "US", 1),
+                ("a.com", "US", 2),
+                ("b.com", "US", 1),
+            ]
+        );
+        let json = serde_json::to_string(&events).expect("events serialize");
+        let back: Vec<FaultEvent> = serde_json::from_str(&json).expect("events deserialize");
+        assert_eq!(events, back);
+    }
+
+    #[tokio::test]
+    async fn scripted_faults_strike_exact_slots() {
+        let t = ScriptedFaults::new(
+            Perfect,
+            vec![
+                FaultEvent::new("site.com", cc("US"), 2, FaultKind::ExitDeath),
+                FaultEvent::new("site.com", cc("IR"), 1, FaultKind::TruncateBody),
+            ],
+        );
+        // US request 1 passes, request 2 dies, request 3 passes again.
+        assert!(t.fetch_one(treq("site.com", "US", 1)).await.is_ok());
+        let err = t.fetch_one(treq("site.com", "US", 2)).await.unwrap_err();
+        assert!(matches!(err, FetchError::ProxyError { .. }), "{err:?}");
+        assert!(t.fetch_one(treq("site.com", "US", 3)).await.is_ok());
+        // The IR counter is independent: its first request is truncated.
+        let err = t.fetch_one(treq("site.com", "IR", 4)).await.unwrap_err();
+        assert!(matches!(err, FetchError::TruncatedBody { .. }), "{err:?}");
+        // Other hosts are untouched.
+        assert!(t.fetch_one(treq("other.com", "US", 5)).await.is_ok());
+        assert_eq!(t.injected(), 2);
+    }
+
+    #[tokio::test]
+    async fn scripted_geo_drift_rewrites_the_echo() {
+        let t = ScriptedFaults::new(
+            Perfect,
+            vec![FaultEvent::new(
+                LUMTEST_HOST,
+                cc("IR"),
+                1,
+                FaultKind::GeoDrift,
+            )],
+        );
+        let resp = t.fetch_one(treq(LUMTEST_HOST, "IR", 1)).await.unwrap();
+        let body = resp.body.as_text().into_owned();
+        assert!(
+            !body.contains("country=IR"),
+            "drift must change the country: {body}"
+        );
+        // The second echo request is past the schedule: truthful again.
+        let resp = t.fetch_one(treq(LUMTEST_HOST, "IR", 2)).await.unwrap();
+        assert!(resp.body.as_text().contains("country=IR"));
     }
 
     #[tokio::test]

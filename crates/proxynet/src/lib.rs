@@ -32,5 +32,8 @@ pub mod faults;
 pub mod network;
 
 pub use exits::ExitNode;
-pub use faults::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyTransport};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultStats, FaultStatsSnapshot, FaultyTransport,
+    ScriptedFaults,
+};
 pub use network::{LuminatiConfig, LuminatiNetwork, LUMTEST_HOST};

@@ -1,0 +1,386 @@
+//! Invariant checkers for traces and study results.
+//!
+//! The paper's methodology is a handful of arithmetic promises — 3 baseline
+//! + 20 confirmation samples judged at 80% agreement (§4.2), bodies kept
+//! only from representative countries, ≤10 requests per exit node, a
+//! bounded retry budget. Each checker here re-derives one of those promises
+//! from raw evidence (a [`StudyTrace`] or a [`StudyResult`]) instead of
+//! trusting the pipeline's own bookkeeping, and reports every breach as an
+//! [`InvariantViolation`]. The deterministic-simulation tests run them on
+//! every replay: a seed sweep that produces equal hashes but violates an
+//! invariant is still a failing run.
+
+use std::collections::HashMap;
+
+use geoblock_core::{StudyConfig, StudyResult};
+use geoblock_lumscan::LumscanConfig;
+
+use crate::trace::StudyTrace;
+
+/// One broken promise, with the invariant's stable name and the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable identifier of the invariant (`completeness`, `attempt-budget`,
+    /// `session-ledger`, `exit-rotation`, `request-budget`, `cell-samples`,
+    /// `rep-retention`, `agreement`).
+    pub invariant: &'static str,
+    /// Human-readable description of the breach.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    fn new(invariant: &'static str, detail: String) -> InvariantViolation {
+        InvariantViolation { invariant, detail }
+    }
+}
+
+/// The engine-side budgets a trace is checked against.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeLimits {
+    /// Maximum attempts the retry policy allows per probe.
+    pub max_attempts: u32,
+    /// Requests allowed per exit machine (the paper's 10).
+    pub requests_per_exit: u64,
+    /// Redirect-follow limit per attempt.
+    pub max_redirects: usize,
+}
+
+impl ProbeLimits {
+    /// The limits a given engine configuration promises to respect.
+    pub fn of(config: &LumscanConfig) -> ProbeLimits {
+        ProbeLimits {
+            max_attempts: config.retry.max_retries + 1,
+            requests_per_exit: config.requests_per_exit,
+            max_redirects: config.max_redirects,
+        }
+    }
+}
+
+/// Check a trace against the plan geometry and engine budgets.
+///
+/// * **completeness** — every probe index in `0..expected_probes` appears
+///   exactly once, and maps into the plan;
+/// * **attempt-budget** — no probe exceeds the retry policy's attempt
+///   budget, and only panicked slots have zero attempts;
+/// * **session-ledger** — each attempt is accounted to exactly one exit
+///   session, and no probe absorbs more faults than it made attempts;
+/// * **exit-rotation** — no exit session is reused across attempts (the
+///   engine derives a fresh exit per attempt, which is how the
+///   ≤`requests_per_exit` policy stays respected under redirects);
+/// * **request-budget** — the winning attempt's requests on its exit
+///   (1 connectivity check + the redirect chain) fit `requests_per_exit`,
+///   and the chain respects the redirect limit.
+pub fn check_trace(
+    trace: &StudyTrace,
+    expected_probes: usize,
+    limits: &ProbeLimits,
+) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let mut seen = vec![0usize; expected_probes];
+    let mut exits: HashMap<u64, usize> = HashMap::new();
+
+    for event in &trace.events {
+        let i = event.index;
+        match seen.get_mut(i) {
+            Some(count) => *count += 1,
+            None => violations.push(InvariantViolation::new(
+                "completeness",
+                format!("probe {i} outside plan of {expected_probes}"),
+            )),
+        }
+        if event.coord.is_none() {
+            violations.push(InvariantViolation::new(
+                "completeness",
+                format!("probe {i} has no plan coordinate"),
+            ));
+        }
+        if event.attempts > limits.max_attempts {
+            violations.push(InvariantViolation::new(
+                "attempt-budget",
+                format!(
+                    "probe {i} spent {} attempts, budget {}",
+                    event.attempts, limits.max_attempts
+                ),
+            ));
+        }
+        if event.attempts == 0 && !event.faults.contains(&"panic") && event.obs.responded() {
+            violations.push(InvariantViolation::new(
+                "attempt-budget",
+                format!("probe {i} responded with zero attempts"),
+            ));
+        }
+        if event.attempts > 0 && event.sessions.len() != event.attempts as usize {
+            violations.push(InvariantViolation::new(
+                "session-ledger",
+                format!(
+                    "probe {i} made {} attempts over {} sessions",
+                    event.attempts,
+                    event.sessions.len()
+                ),
+            ));
+        }
+        if event.faults.len() > event.attempts as usize {
+            violations.push(InvariantViolation::new(
+                "session-ledger",
+                format!(
+                    "probe {i} absorbed {} faults in {} attempts",
+                    event.faults.len(),
+                    event.attempts
+                ),
+            ));
+        }
+        for &session in &event.sessions {
+            *exits.entry(session).or_insert(0) += 1;
+        }
+        let winning_requests = 1 + event.hops as u64;
+        if winning_requests > limits.requests_per_exit {
+            violations.push(InvariantViolation::new(
+                "request-budget",
+                format!(
+                    "probe {i} put {winning_requests} requests on one exit, budget {}",
+                    limits.requests_per_exit
+                ),
+            ));
+        }
+        if event.hops > 1 + limits.max_redirects {
+            violations.push(InvariantViolation::new(
+                "request-budget",
+                format!(
+                    "probe {i} followed {} hops, limit {}",
+                    event.hops,
+                    1 + limits.max_redirects
+                ),
+            ));
+        }
+    }
+
+    for (i, count) in seen.iter().enumerate() {
+        if *count != 1 {
+            violations.push(InvariantViolation::new(
+                "completeness",
+                format!("probe {i} recorded {count} times, expected once"),
+            ));
+        }
+    }
+    for (session, uses) in exits {
+        if uses > 1 {
+            violations.push(InvariantViolation::new(
+                "exit-rotation",
+                format!("exit session {session:016x} reused across {uses} attempts"),
+            ));
+        }
+    }
+    violations
+}
+
+/// Check a study result against its configuration.
+///
+/// * **cell-samples** — every probed (domain, country) cell holds at least
+///   the baseline sample count;
+/// * **rep-retention** — every archived body belongs to a representative
+///   country (§4.2 keeps bodies only from the top geoblocking countries);
+/// * **agreement** — the verdict list matches an independent re-derivation
+///   of the 23-sample / 80% rule: a verdict exists for exactly the cells
+///   whose modal explicit block-page count clears the threshold over more
+///   than `baseline + confirm` worth of samples, with the block counts and
+///   totals the samples actually support.
+pub fn check_study(result: &StudyResult, config: &StudyConfig) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let store = &result.store;
+    let confirm = &config.confirm;
+
+    for ((d, c, _s), _body) in result.archive.iter() {
+        let country = match store.countries.get(c as usize) {
+            Some(country) => *country,
+            None => {
+                violations.push(InvariantViolation::new(
+                    "rep-retention",
+                    format!("archived body under unknown country index {c}"),
+                ));
+                continue;
+            }
+        };
+        if !config.rep_countries.contains(&country) {
+            violations.push(InvariantViolation::new(
+                "rep-retention",
+                format!("body of domain {d} retained from non-representative {country}"),
+            ));
+        }
+    }
+
+    // Re-derive the flagged set from raw observations and hold the verdict
+    // list to it. Ties between explicit kinds share a modal count, so the
+    // comparison is on (domain, country, block_count, total).
+    let verdicts = result.verdicts(confirm);
+    let mut by_pair: HashMap<(String, String), (u32, u32)> = verdicts
+        .iter()
+        .map(|v| {
+            (
+                (v.domain.clone(), v.country.to_string()),
+                (v.block_count, v.total),
+            )
+        })
+        .collect();
+    for (d, c, samples) in store.iter_cells() {
+        if (samples.len() as u32) < config.baseline_samples {
+            violations.push(InvariantViolation::new(
+                "cell-samples",
+                format!(
+                    "cell ({}, {}) holds {} samples, baseline is {}",
+                    store.domains[d],
+                    store.countries[c],
+                    samples.len(),
+                    config.baseline_samples
+                ),
+            ));
+        }
+        let mut counts: HashMap<_, u32> = HashMap::new();
+        for obs in samples {
+            if obs.explicit_geoblock() {
+                if let Some(kind) = obs.page() {
+                    *counts.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        let modal = counts.values().copied().max().unwrap_or(0);
+        let total = samples.len() as u32;
+        let should_flag = modal > 0
+            && total > confirm.confirm_samples
+            && modal as f64 / total as f64 >= confirm.threshold;
+        let key = (store.domains[d].clone(), store.countries[c].to_string());
+        match (should_flag, by_pair.remove(&key)) {
+            (true, None) => violations.push(InvariantViolation::new(
+                "agreement",
+                format!(
+                    "cell ({}, {}) clears {modal}/{total} ≥ {} but has no verdict",
+                    key.0, key.1, confirm.threshold
+                ),
+            )),
+            (true, Some((block, vtotal))) if (block, vtotal) != (modal, total) => {
+                violations.push(InvariantViolation::new(
+                    "agreement",
+                    format!(
+                        "verdict for ({}, {}) says {block}/{vtotal}, samples say {modal}/{total}",
+                        key.0, key.1
+                    ),
+                ))
+            }
+            (true, Some(_)) => {}
+            (false, Some((block, vtotal))) => violations.push(InvariantViolation::new(
+                "agreement",
+                format!(
+                    "verdict {block}/{vtotal} for ({}, {}) not supported by samples ({modal}/{total})",
+                    key.0, key.1
+                ),
+            )),
+            (false, None) => {}
+        }
+    }
+    for ((domain, country), (block, total)) in by_pair {
+        violations.push(InvariantViolation::new(
+            "agreement",
+            format!("verdict {block}/{total} for ({domain}, {country}) names an unprobed cell"),
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_core::{Obs, ProbeCoord};
+    use geoblock_worldgen::cc;
+
+    use crate::trace::TraceEvent;
+
+    fn limits() -> ProbeLimits {
+        ProbeLimits {
+            max_attempts: 4,
+            requests_per_exit: 10,
+            max_redirects: 10,
+        }
+    }
+
+    fn ok_event(index: usize, session: u64) -> TraceEvent {
+        TraceEvent {
+            index,
+            coord: Some(ProbeCoord {
+                domain: index,
+                country: 0,
+                sample: 0,
+            }),
+            host: format!("d{index}.example"),
+            country: cc("IR"),
+            attempts: 1,
+            sessions: vec![session],
+            faults: Vec::new(),
+            hops: 1,
+            ts_micros: 0,
+            obs: Obs::Response {
+                status: 200,
+                len: 64,
+                page: None,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_traces_pass() {
+        let trace = StudyTrace {
+            events: vec![ok_event(0, 1), ok_event(1, 2), ok_event(2, 3)],
+        };
+        assert!(check_trace(&trace, 3, &limits()).is_empty());
+    }
+
+    #[test]
+    fn missing_duplicate_and_stray_probes_are_caught() {
+        let trace = StudyTrace {
+            events: vec![ok_event(0, 1), ok_event(0, 2), ok_event(7, 3)],
+        };
+        let violations = check_trace(&trace, 3, &limits());
+        let completeness = violations
+            .iter()
+            .filter(|v| v.invariant == "completeness")
+            .count();
+        // index 0 twice, index 7 out of plan, indexes 1 and 2 missing.
+        assert!(completeness >= 4, "{violations:?}");
+    }
+
+    #[test]
+    fn attempt_and_session_budgets_are_enforced() {
+        let mut over = ok_event(0, 1);
+        over.attempts = 9;
+        over.sessions = (1..=9).collect();
+        let mut unledgered = ok_event(1, 10);
+        unledgered.attempts = 2;
+        let trace = StudyTrace {
+            events: vec![over, unledgered],
+        };
+        let violations = check_trace(&trace, 2, &limits());
+        assert!(violations.iter().any(|v| v.invariant == "attempt-budget"));
+        assert!(violations.iter().any(|v| v.invariant == "session-ledger"));
+    }
+
+    #[test]
+    fn exit_reuse_is_caught() {
+        let trace = StudyTrace {
+            events: vec![ok_event(0, 5), ok_event(1, 5)],
+        };
+        let violations = check_trace(&trace, 2, &limits());
+        assert!(
+            violations.iter().any(|v| v.invariant == "exit-rotation"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_redirect_chains_blow_the_request_budget() {
+        let mut event = ok_event(0, 1);
+        event.hops = 30;
+        let trace = StudyTrace {
+            events: vec![event],
+        };
+        let violations = check_trace(&trace, 1, &limits());
+        assert!(violations.iter().any(|v| v.invariant == "request-budget"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic simulation testing (DST) for the geoblocking study.
+//!
+//! The whole point of simulating the Internet (`geoblock-netsim`), the
+//! proxy network (`geoblock-proxynet`), and their failures
+//! (`FaultPlan`) is that a full study becomes a *pure function of its
+//! seed*. This crate turns that claim into test machinery, in the
+//! FoundationDB simulation-testing tradition:
+//!
+//! * [`trace`] — [`TraceSink`] records every probe of a study pass (plan
+//!   coordinate, exit sessions, absorbed faults, virtual-clock timestamp,
+//!   classified observation) into a [`StudyTrace`] with a canonical text
+//!   form and a stable content hash, the unit of comparison for
+//!   everything else;
+//! * [`sweep`] — [`run_sweep`] executes a scenario across seeds ×
+//!   concurrency levels and reports any [`Divergence`] between a seed's
+//!   [`StudyFingerprint`]s: schedule-dependent state anywhere in the
+//!   pipeline becomes a failing test;
+//! * [`shrink`] — [`ddmin`]/[`ddmin_async`] delta-debug a failing
+//!   [`FaultEvent`](geoblock_proxynet::FaultEvent) schedule to a 1-minimal
+//!   reproducer, emitted as a replayable [`ReproFixture`];
+//! * [`invariants`] — [`check_trace`]/[`check_study`] re-derive the
+//!   paper's promises (23-sample/80% agreement, representative-country
+//!   body retention, retry and per-exit request budgets) from raw
+//!   evidence on every replay;
+//! * [`scenario`] — the one shared scenario ([`run_scenario`]) the golden
+//!   corpus, sweeps, and shrinker replays all execute;
+//! * [`nondet`] — [`ArrivalOrderFaults`], the deliberately
+//!   schedule-coupled adversary the harness proves it can catch and
+//!   shrink.
+
+pub mod invariants;
+pub mod nondet;
+pub mod scenario;
+pub mod shrink;
+pub mod sweep;
+pub mod trace;
+
+pub use invariants::{check_study, check_trace, InvariantViolation, ProbeLimits};
+pub use nondet::ArrivalOrderFaults;
+pub use scenario::{
+    run_clocked_scenario, run_scenario, run_scenario_on, scenario_config, scenario_domains,
+    scenario_engine_config, scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
+};
+pub use shrink::{canonical_events, ddmin, ddmin_async, ReproFixture};
+pub use sweep::{run_sweep, Divergence, StudyFingerprint, SweepReport};
+pub use trace::{fnv1a, obs_label, StudyTrace, TraceEvent, TraceSink};

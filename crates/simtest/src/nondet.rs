@@ -1,0 +1,134 @@
+//! A test-only nondeterminism adversary.
+//!
+//! Everything in the real pipeline keys its randomness on stable
+//! identities — (host, country, invocation, attempt) — precisely so that
+//! the task schedule cannot leak into results. [`ArrivalOrderFaults`] is
+//! the opposite on purpose: it faults every `period`-th request by *global
+//! arrival order*, after yielding to the scheduler so concurrent probes
+//! interleave. Under one fixed schedule (a `current_thread` runtime at a
+//! fixed concurrency) it is perfectly repeatable; across concurrency
+//! levels the ordinal→request mapping shifts and the study diverges. That
+//! makes it the canary the DST harness is tested against: the seed sweep
+//! must *catch* it, and the shrinker must reduce its recorded schedule to
+//! a minimal scripted reproducer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geoblock_http::{FetchError, Response};
+use geoblock_lumscan::{Transport, TransportRequest};
+use geoblock_proxynet::{FaultEvent, FaultKind};
+use geoblock_worldgen::CountryCode;
+use parking_lot::Mutex;
+
+/// Wraps a transport, failing every `period`-th request in global arrival
+/// order and logging each strike as a replayable [`FaultEvent`].
+pub struct ArrivalOrderFaults<T> {
+    inner: T,
+    period: u64,
+    arrivals: AtomicU64,
+    /// Per-(host, country) arrival counters, mirroring the keying of
+    /// [`ScriptedFaults`](geoblock_proxynet::ScriptedFaults) so the log
+    /// replays against the same slots.
+    seqs: Mutex<HashMap<(String, CountryCode), u64>>,
+    log: Arc<Mutex<Vec<FaultEvent>>>,
+}
+
+impl<T> ArrivalOrderFaults<T> {
+    /// Fault every `period`-th arriving request (`period ≥ 1`).
+    pub fn new(inner: T, period: u64) -> ArrivalOrderFaults<T> {
+        assert!(period >= 1, "period must be at least 1");
+        ArrivalOrderFaults {
+            inner,
+            period,
+            arrivals: AtomicU64::new(0),
+            seqs: Mutex::new(HashMap::new()),
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle on the strike log that survives the transport moving into
+    /// an engine.
+    pub fn log_handle(&self) -> Arc<Mutex<Vec<FaultEvent>>> {
+        self.log.clone()
+    }
+}
+
+impl<T: Transport> Transport for ArrivalOrderFaults<T> {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        // Hand the scheduler a chance to interleave concurrent probes —
+        // this is what couples the ordinal below to the task schedule.
+        tokio::task::yield_now().await;
+        let host = req.request.url.host.as_str().to_string();
+        let seq = {
+            let mut seqs = self.seqs.lock();
+            let seq = seqs.entry((host.clone(), req.country)).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+        let ordinal = self.arrivals.fetch_add(1, Ordering::SeqCst) + 1;
+        if ordinal % self.period == 0 {
+            self.log.lock().push(FaultEvent::new(
+                host,
+                req.country,
+                seq,
+                FaultKind::Superproxy502,
+            ));
+            return Err(FetchError::ProxyError {
+                detail: "nondet: struck by arrival order".to_string(),
+            });
+        }
+        self.inner.fetch_one(req).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_http::{Request, StatusCode};
+    use geoblock_lumscan::SessionId;
+    use geoblock_worldgen::cc;
+
+    struct Always200;
+
+    impl Transport for Always200 {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            Ok(Response::builder(StatusCode::OK)
+                .body("ok")
+                .finish(req.request.url))
+        }
+    }
+
+    fn treq(host: &str, country: &str) -> TransportRequest {
+        TransportRequest {
+            request: Request::get(format!("http://{host}/").parse().unwrap()),
+            country: cc(country),
+            session: SessionId(1),
+        }
+    }
+
+    #[tokio::test]
+    async fn strikes_by_global_arrival_order() {
+        let t = ArrivalOrderFaults::new(Always200, 3);
+        let log = t.log_handle();
+        let mut outcomes = Vec::new();
+        for i in 0..9 {
+            let host = format!("h{}.example", i % 2);
+            outcomes.push(t.fetch_one(treq(&host, "IR")).await.is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        let log = log.lock();
+        assert_eq!(log.len(), 3);
+        // Each strike is logged under its per-(host, country) sequence
+        // number — the slot a ScriptedFaults replay would hit.
+        assert_eq!(log[0].host, "h0.example");
+        assert_eq!(log[0].seq, 2);
+        assert_eq!(log[1].host, "h1.example");
+        assert_eq!(log[1].seq, 3);
+        assert!(log.iter().all(|e| e.kind == FaultKind::Superproxy502));
+    }
+}

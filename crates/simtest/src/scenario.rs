@@ -1,0 +1,219 @@
+//! The shared DST scenario: a small deterministic web probed end to end.
+//!
+//! Every simulation test — golden-trace pinning, seed sweeps, shrinker
+//! replays — needs the *same* study so their artifacts compare. This module
+//! fixes one: five domains (two geoblocked via Cloudflare in IR and SY,
+//! three plain) probed from four countries with the paper's 3-sample
+//! baseline and 20-sample confirmation, behind a
+//! [`FaultyTransport`] when a seed is given. [`run_scenario`] executes it
+//! and reduces the run to a [`TracedStudy`]; replacing the transport via
+//! [`run_scenario_on`] lets tests splice in scripted or adversarial
+//! weather without changing what "the scenario" means.
+
+use std::sync::Arc;
+
+use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
+use geoblock_core::{StudyConfig, StudyResult, Top10kStudy};
+use geoblock_http::{FetchError, Response, StatusCode};
+use geoblock_lumscan::{Lumscan, LumscanConfig, RetryPolicy, Transport, TransportRequest};
+use geoblock_netsim::SimClock;
+use geoblock_proxynet::{FaultPlan, FaultyTransport, LUMTEST_HOST};
+use geoblock_worldgen::cc;
+
+use crate::sweep::StudyFingerprint;
+use crate::trace::{StudyTrace, TraceSink};
+
+/// The seed the golden-trace corpus is pinned to.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// The scenario's deterministic web. `blocked-*` hosts serve a Cloudflare
+/// error 1009 page in IR and SY and content elsewhere; `plain-*` hosts
+/// always serve content (length varying by host, to exercise the archive's
+/// length ceilings); the proxy check host echoes the exit's geolocation.
+/// With a clock attached, each exchange charges virtual latency.
+pub struct SimWeb {
+    clock: Option<Arc<SimClock>>,
+}
+
+impl SimWeb {
+    /// The web with no clock: exchanges cost no virtual time.
+    pub fn new() -> SimWeb {
+        SimWeb { clock: None }
+    }
+
+    /// Charge each exchange's latency to `clock`.
+    pub fn with_clock(clock: Arc<SimClock>) -> SimWeb {
+        SimWeb { clock: Some(clock) }
+    }
+}
+
+impl Default for SimWeb {
+    fn default() -> Self {
+        SimWeb::new()
+    }
+}
+
+impl Transport for SimWeb {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        if let Some(clock) = &self.clock {
+            clock.charge_request(req.country);
+        }
+        let host = req.request.url.host.as_str().to_string();
+        if host == LUMTEST_HOST {
+            return Ok(Response::builder(StatusCode::OK)
+                .body(format!("ip=10.0.0.1&country={}", req.country))
+                .finish(req.request.url));
+        }
+        if host.starts_with("blocked-") && (req.country == cc("IR") || req.country == cc("SY")) {
+            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+            return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+        }
+        Ok(Response::builder(StatusCode::OK)
+            .body(format!(
+                "<html><body>{host} serves {}</body></html>",
+                "content ".repeat(40 + host.len())
+            ))
+            .finish(req.request.url))
+    }
+}
+
+/// The scenario's domain list.
+pub fn scenario_domains() -> Vec<String> {
+    vec![
+        "blocked-0.example".to_string(),
+        "plain-0.example".to_string(),
+        "blocked-1.example".to_string(),
+        "plain-1.example".to_string(),
+        "plain-2.example".to_string(),
+    ]
+}
+
+/// The scenario's study configuration: four vantage countries, two
+/// representative, the paper's sampling defaults.
+pub fn scenario_config() -> StudyConfig {
+    StudyConfig::builder()
+        .countries([cc("IR"), cc("SY"), cc("US"), cc("DE")])
+        .rep_countries([cc("IR"), cc("US")])
+        .chunk_domains(2)
+        .build()
+        .expect("valid study config")
+}
+
+/// The engine configuration the scenario probes with.
+pub fn scenario_engine_config(concurrency: usize) -> LumscanConfig {
+    LumscanConfig::builder()
+        .retry(RetryPolicy::with_max_retries(3))
+        .concurrency(concurrency)
+        .build()
+        .expect("valid engine config")
+}
+
+/// Probes in the scenario's baseline grid (what the trace must cover).
+pub fn scenario_plan_len() -> usize {
+    let config = scenario_config();
+    scenario_domains().len() * config.countries.len() * config.baseline_samples as usize
+}
+
+/// A scenario run reduced to its comparable artifacts.
+pub struct TracedStudy {
+    /// The baseline pass's probe trace.
+    pub trace: StudyTrace,
+    /// Observation cells, archived bodies.
+    pub result: StudyResult,
+    /// The run's identity for sweep comparison.
+    pub fingerprint: StudyFingerprint,
+    /// Pairs the baseline flagged for confirmation.
+    pub flagged: usize,
+}
+
+/// Run the scenario under [`FaultPlan::standard`] weather for `seed`.
+pub async fn run_scenario(seed: u64, concurrency: usize) -> TracedStudy {
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(seed));
+    run_scenario_on(transport, concurrency).await
+}
+
+/// Run the scenario over an arbitrary transport (scripted faults, the
+/// nondeterminism adversary, or a bare [`SimWeb`] for a fault-free
+/// baseline).
+pub async fn run_scenario_on<T: Transport + 'static>(
+    transport: T,
+    concurrency: usize,
+) -> TracedStudy {
+    run_with(transport, concurrency, None).await
+}
+
+/// Run the golden scenario at concurrency 1 with a [`SimClock`] charged by
+/// the transport and stamped into the trace — the configuration the golden
+/// corpus pins, where virtual timestamps are schedule-independent.
+pub async fn run_clocked_scenario(seed: u64) -> TracedStudy {
+    let clock = Arc::new(SimClock::new());
+    let transport =
+        FaultyTransport::new(SimWeb::with_clock(clock.clone()), FaultPlan::standard(seed));
+    run_with(transport, 1, Some(clock)).await
+}
+
+async fn run_with<T: Transport + 'static>(
+    transport: T,
+    concurrency: usize,
+    clock: Option<Arc<SimClock>>,
+) -> TracedStudy {
+    let config = scenario_config();
+    let domains = scenario_domains();
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(concurrency)));
+    let study = Top10kStudy::new(engine, config.clone());
+
+    let mut sink = TraceSink::grid(
+        domains.clone(),
+        config.countries.clone(),
+        config.baseline_samples as usize,
+        FingerprintSet::paper(),
+    );
+    if let Some(clock) = clock {
+        sink = sink.with_clock(clock);
+    }
+    let mut result = study.baseline_with(&domains, &mut sink).await;
+    let flagged = study.confirm_explicit(&mut result).await;
+    let trace = sink.into_trace();
+    let fingerprint = StudyFingerprint::capture(&trace, &result, &config.confirm);
+    TracedStudy {
+        trace,
+        result,
+        fingerprint,
+        flagged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn scenario_is_deterministic_at_fixed_concurrency() {
+        let a = run_scenario(GOLDEN_SEED, 1).await;
+        let b = run_scenario(GOLDEN_SEED, 1).await;
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.trace.canonical_text(), b.trace.canonical_text());
+        assert_eq!(a.trace.len(), scenario_plan_len());
+        assert_eq!(a.flagged, b.flagged);
+    }
+
+    #[tokio::test]
+    async fn scenario_finds_the_geoblocked_pairs() {
+        let run = run_scenario(GOLDEN_SEED, 1).await;
+        let verdicts = run.result.verdicts(&scenario_config().confirm);
+        // Two blocked domains from IR and SY: four confirmed verdicts.
+        assert_eq!(verdicts.len(), 4, "{verdicts:?}");
+        assert!(verdicts.iter().all(|v| v.kind == PageKind::Cloudflare));
+        assert!(verdicts.iter().all(|v| v.domain.starts_with("blocked-")));
+    }
+
+    #[tokio::test]
+    async fn clocked_runs_stamp_virtual_time() {
+        let run = run_clocked_scenario(GOLDEN_SEED).await;
+        assert!(run.trace.events.iter().all(|e| e.ts_micros > 0));
+        // Later completions carry later (or equal) virtual timestamps: the
+        // clock only moves forward.
+        let stamps: Vec<u64> = run.trace.events.iter().map(|e| e.ts_micros).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

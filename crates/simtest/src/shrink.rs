@@ -1,0 +1,231 @@
+//! Fault-plan shrinking: delta-debugging a failing event schedule down to
+//! a minimal reproducer.
+//!
+//! When a seed sweep diverges or an invariant trips, the evidence is a
+//! [`FaultEvent`] schedule — possibly dozens of scripted faults, most of
+//! them irrelevant to the failure. [`ddmin`] (and its async twin
+//! [`ddmin_async`], for predicates that replay a whole study) implements
+//! Zeller's classic delta-debugging minimization: repeatedly try subsets
+//! and complements of the schedule, keep whichever still fails, and stop at
+//! a 1-minimal set — removing *any single event* makes the failure go
+//! away. The result is wrapped in a [`ReproFixture`], a serialized,
+//! replayable artifact: feed its events to
+//! [`ScriptedFaults`](geoblock_proxynet::ScriptedFaults) over the same
+//! scenario and the same probes are struck.
+//!
+//! Schedules are put into [`canonical order`](canonical_events) before
+//! shrinking so the minimizer's probe sequence — and therefore the fixture
+//! it lands on — is itself deterministic.
+
+use std::future::Future;
+
+use geoblock_proxynet::FaultEvent;
+use serde::{Deserialize, Serialize};
+
+/// Sort and deduplicate a schedule into the canonical shrink order
+/// (the derived ordering on [`FaultEvent`]: host, country, seq, kind).
+pub fn canonical_events(mut events: Vec<FaultEvent>) -> Vec<FaultEvent> {
+    events.sort();
+    events.dedup();
+    events
+}
+
+/// Split `len` items into `n` near-equal contiguous ranges.
+fn ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, len.max(1));
+    let chunk = len.div_ceil(n);
+    (0..len)
+        .step_by(chunk.max(1))
+        .map(|start| (start, (start + chunk).min(len)))
+        .collect()
+}
+
+fn complement_of<E: Clone>(items: &[E], (start, end): (usize, usize)) -> Vec<E> {
+    let mut out = Vec::with_capacity(items.len() - (end - start));
+    out.extend_from_slice(&items[..start]);
+    out.extend_from_slice(&items[end..]);
+    out
+}
+
+/// Minimize `input` to a 1-minimal subset on which `fails` still returns
+/// `true`. If `input` itself does not fail, it is returned unchanged —
+/// callers should treat that as "nothing to shrink".
+pub fn ddmin<E: Clone>(input: &[E], mut fails: impl FnMut(&[E]) -> bool) -> Vec<E> {
+    let mut current = input.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut n = 2;
+    'outer: while current.len() >= 2 {
+        let parts = ranges(current.len(), n);
+        for &(start, end) in &parts {
+            let subset = current[start..end].to_vec();
+            if fails(&subset) {
+                current = subset;
+                n = 2;
+                continue 'outer;
+            }
+        }
+        if n > 2 {
+            for &range in &parts {
+                let complement = complement_of(&current, range);
+                if fails(&complement) {
+                    current = complement;
+                    n -= 1;
+                    continue 'outer;
+                }
+            }
+        }
+        if n >= current.len() {
+            break;
+        }
+        n = (2 * n).min(current.len());
+    }
+    current
+}
+
+/// [`ddmin`] for async predicates — the shape a study replay has: each
+/// probe of the minimizer re-runs the scenario under a
+/// [`ScriptedFaults`](geoblock_proxynet::ScriptedFaults) schedule and
+/// reports whether the divergence is still there.
+pub async fn ddmin_async<E, F, Fut>(input: &[E], mut fails: F) -> Vec<E>
+where
+    E: Clone,
+    F: FnMut(Vec<E>) -> Fut,
+    Fut: Future<Output = bool>,
+{
+    let mut current = input.to_vec();
+    if current.is_empty() || !fails(current.clone()).await {
+        return current;
+    }
+    let mut n = 2;
+    'outer: while current.len() >= 2 {
+        let parts = ranges(current.len(), n);
+        for &(start, end) in &parts {
+            let subset = current[start..end].to_vec();
+            if fails(subset.clone()).await {
+                current = subset;
+                n = 2;
+                continue 'outer;
+            }
+        }
+        if n > 2 {
+            for &range in &parts {
+                let complement = complement_of(&current, range);
+                if fails(complement.clone()).await {
+                    current = complement;
+                    n -= 1;
+                    continue 'outer;
+                }
+            }
+        }
+        if n >= current.len() {
+            break;
+        }
+        n = (2 * n).min(current.len());
+    }
+    current
+}
+
+/// A shrunk, replayable failure: the minimal fault schedule plus enough
+/// context to rerun it. Serialized as JSON so a failing CI run can emit the
+/// fixture as an artifact and a developer can replay it locally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproFixture {
+    /// What failed, in prose (scenario, seed, what diverged).
+    pub description: String,
+    /// Seed of the run the schedule was harvested from.
+    pub seed: u64,
+    /// The 1-minimal fault schedule, in canonical order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl ReproFixture {
+    /// A fixture over an already-minimized schedule.
+    pub fn new(description: impl Into<String>, seed: u64, events: Vec<FaultEvent>) -> ReproFixture {
+        ReproFixture {
+            description: description.into(),
+            seed,
+            events: canonical_events(events),
+        }
+    }
+
+    /// Serialize for emission as a file artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fixture serializes")
+    }
+
+    /// Parse a previously emitted fixture.
+    pub fn from_json(json: &str) -> Result<ReproFixture, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_proxynet::FaultKind;
+    use geoblock_worldgen::cc;
+
+    #[test]
+    fn shrinks_to_a_planted_pair() {
+        let input: Vec<u32> = (0..40).collect();
+        let mut probes = 0;
+        let minimal = ddmin(&input, |subset| {
+            probes += 1;
+            subset.contains(&7) && subset.contains(&31)
+        });
+        assert_eq!(minimal, vec![7, 31]);
+        assert!(probes < 200, "ddmin ran {probes} probes on 40 items");
+    }
+
+    #[test]
+    fn shrinks_to_a_singleton() {
+        let input: Vec<u32> = (0..33).collect();
+        let minimal = ddmin(&input, |subset| subset.contains(&17));
+        assert_eq!(minimal, vec![17]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let input: Vec<u32> = (0..24).collect();
+        // Fails whenever at least three even numbers survive.
+        let fails = |subset: &[u32]| subset.iter().filter(|x| **x % 2 == 0).count() >= 3;
+        let minimal = ddmin(&input, fails);
+        assert!(fails(&minimal));
+        for i in 0..minimal.len() {
+            let mut without = minimal.clone();
+            without.remove(i);
+            assert!(!fails(&without), "dropping {} still fails", minimal[i]);
+        }
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let input = vec![1u32, 2, 3];
+        assert_eq!(ddmin(&input, |_| false), input);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ddmin(&empty, |_| true).is_empty());
+    }
+
+    #[tokio::test]
+    async fn async_variant_matches_sync() {
+        let input: Vec<u32> = (0..40).collect();
+        let minimal = ddmin_async(&input, |subset| async move {
+            subset.contains(&7) && subset.contains(&31)
+        })
+        .await;
+        assert_eq!(minimal, vec![7, 31]);
+    }
+
+    #[test]
+    fn fixtures_round_trip_and_canonicalize() {
+        let e1 = FaultEvent::new("b.example", cc("IR"), 2, FaultKind::Superproxy502);
+        let e2 = FaultEvent::new("a.example", cc("US"), 1, FaultKind::ExitDeath);
+        let fixture = ReproFixture::new("test", 7, vec![e1.clone(), e2.clone(), e1.clone()]);
+        // Deduplicated and sorted into canonical order.
+        assert_eq!(fixture.events, vec![e2, e1]);
+        let parsed = ReproFixture::from_json(&fixture.to_json()).expect("parses");
+        assert_eq!(parsed, fixture);
+    }
+}

@@ -1,0 +1,251 @@
+//! The seed-sweep runner: determinism as a testable property.
+//!
+//! A deterministic study promises that its *outputs* are a function of the
+//! seed alone — the concurrency knob may reorder work but must not change
+//! what the study concludes. The sweep makes that promise falsifiable: run
+//! the same scenario over a grid of seeds × concurrency levels, reduce
+//! every run to a [`StudyFingerprint`] (trace hash, observation cells,
+//! archived bodies, verdicts), and report every [`Divergence`] between a
+//! seed's runs. A clean sweep is a strong regression guard: any
+//! schedule-dependent state that leaks into results — an arrival-order
+//! counter, a shared RNG, an unsorted map iteration — shows up as a hash
+//! mismatch at some (seed, concurrency) cell.
+
+use std::future::Future;
+
+use geoblock_core::{ConfirmConfig, StudyResult};
+
+use crate::trace::{fnv1a, obs_label, StudyTrace};
+
+/// A study run reduced to four content hashes, one per output the paper's
+/// pipeline cares about. Two runs are equivalent iff all four match;
+/// comparing the components separately tells a diverging test *which*
+/// output went schedule-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyFingerprint {
+    /// Hash of the canonical probe trace (attempts, exits, faults, obs).
+    pub trace_hash: u64,
+    /// Hash of every observation cell in the sample store.
+    pub cells_hash: u64,
+    /// Hash of the archived bodies (keys and contents).
+    pub archive_hash: u64,
+    /// Hash of the final geoblocking verdicts.
+    pub verdicts_hash: u64,
+}
+
+impl StudyFingerprint {
+    /// Reduce a traced study to its fingerprint.
+    pub fn capture(
+        trace: &StudyTrace,
+        result: &StudyResult,
+        confirm: &ConfirmConfig,
+    ) -> StudyFingerprint {
+        let store = &result.store;
+
+        let mut cells: Vec<String> = store
+            .iter_cells()
+            .map(|(d, c, samples)| {
+                let obs: Vec<String> = samples.iter().map(obs_label).collect();
+                format!(
+                    "{}|{}|{}",
+                    store.domains[d],
+                    store.countries[c],
+                    obs.join(",")
+                )
+            })
+            .collect();
+        cells.sort();
+
+        let mut bodies: Vec<String> = result
+            .archive
+            .iter()
+            .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{body}"))
+            .collect();
+        bodies.sort();
+
+        let verdicts: Vec<String> = result
+            .verdicts(confirm)
+            .iter()
+            .map(|v| {
+                format!(
+                    "{}|{}|{:?}|{}/{}",
+                    v.domain, v.country, v.kind, v.block_count, v.total
+                )
+            })
+            .collect();
+
+        StudyFingerprint {
+            trace_hash: trace.content_hash(),
+            cells_hash: fnv1a(cells.join("\n").as_bytes()),
+            archive_hash: fnv1a(bodies.join("\n").as_bytes()),
+            verdicts_hash: fnv1a(verdicts.join("\n").as_bytes()),
+        }
+    }
+
+    /// The names of the components on which `self` and `other` differ.
+    pub fn diff(&self, other: &StudyFingerprint) -> Vec<&'static str> {
+        let mut fields = Vec::new();
+        if self.trace_hash != other.trace_hash {
+            fields.push("trace");
+        }
+        if self.cells_hash != other.cells_hash {
+            fields.push("cells");
+        }
+        if self.archive_hash != other.archive_hash {
+            fields.push("archive");
+        }
+        if self.verdicts_hash != other.verdicts_hash {
+            fields.push("verdicts");
+        }
+        fields
+    }
+}
+
+/// One seed whose runs disagreed across concurrency levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The seed that diverged.
+    pub seed: u64,
+    /// The concurrency the seed's first run used (the comparison baseline).
+    pub baseline_concurrency: usize,
+    /// The concurrency whose run disagreed with the baseline.
+    pub concurrency: usize,
+    /// Which fingerprint components differed.
+    pub fields: Vec<&'static str>,
+}
+
+/// The outcome of a full sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Seeds swept, in order.
+    pub seeds: Vec<u64>,
+    /// Concurrency levels each seed ran at.
+    pub concurrencies: Vec<usize>,
+    /// Total runs executed.
+    pub runs: usize,
+    /// Every (seed, concurrency) whose fingerprint broke from its seed's
+    /// baseline run.
+    pub divergences: Vec<Divergence>,
+}
+
+impl SweepReport {
+    /// Whether every seed produced identical fingerprints at every
+    /// concurrency level.
+    pub fn is_deterministic(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// A short human-readable account, for assertion messages.
+    pub fn summary(&self) -> String {
+        if self.is_deterministic() {
+            return format!(
+                "{} runs over {} seeds × {:?}: deterministic",
+                self.runs,
+                self.seeds.len(),
+                self.concurrencies
+            );
+        }
+        let mut out = format!("{}/{} runs diverged:", self.divergences.len(), self.runs);
+        for d in self.divergences.iter().take(8) {
+            out.push_str(&format!(
+                "\n  seed {:#x}: c={} vs c={} differ on {:?}",
+                d.seed, d.concurrency, d.baseline_concurrency, d.fields
+            ));
+        }
+        if self.divergences.len() > 8 {
+            out.push_str(&format!("\n  … and {} more", self.divergences.len() - 8));
+        }
+        out
+    }
+}
+
+/// Sweep `seeds × concurrencies`, fingerprinting each run via `run`, and
+/// report every divergence from each seed's first (baseline) run. Runs are
+/// executed sequentially — the determinism under test lives *inside* each
+/// run, not across them.
+pub async fn run_sweep<F, Fut>(seeds: &[u64], concurrencies: &[usize], mut run: F) -> SweepReport
+where
+    F: FnMut(u64, usize) -> Fut,
+    Fut: Future<Output = StudyFingerprint>,
+{
+    let mut divergences = Vec::new();
+    let mut runs = 0;
+    for &seed in seeds {
+        let mut baseline: Option<(usize, StudyFingerprint)> = None;
+        for &concurrency in concurrencies {
+            let fingerprint = run(seed, concurrency).await;
+            runs += 1;
+            match &baseline {
+                None => baseline = Some((concurrency, fingerprint)),
+                Some((baseline_concurrency, baseline_fp)) => {
+                    let fields = baseline_fp.diff(&fingerprint);
+                    if !fields.is_empty() {
+                        divergences.push(Divergence {
+                            seed,
+                            baseline_concurrency: *baseline_concurrency,
+                            concurrency,
+                            fields,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    SweepReport {
+        seeds: seeds.to_vec(),
+        concurrencies: concurrencies.to_vec(),
+        runs,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(seed: u64, wiggle: u64) -> StudyFingerprint {
+        StudyFingerprint {
+            trace_hash: seed ^ wiggle,
+            cells_hash: seed,
+            archive_hash: seed,
+            verdicts_hash: seed,
+        }
+    }
+
+    #[tokio::test]
+    async fn schedule_independent_runs_sweep_clean() {
+        let report = run_sweep(
+            &[1, 2, 3],
+            &[1, 4, 16],
+            |seed, _c| async move { fp(seed, 0) },
+        )
+        .await;
+        assert!(report.is_deterministic(), "{}", report.summary());
+        assert_eq!(report.runs, 9);
+    }
+
+    #[tokio::test]
+    async fn a_concurrency_dependent_run_is_flagged() {
+        // Seed 2's trace hash leaks the concurrency level.
+        let report = run_sweep(&[1, 2], &[1, 4, 16], |seed, c| async move {
+            fp(seed, if seed == 2 { c as u64 } else { 0 })
+        })
+        .await;
+        assert!(!report.is_deterministic());
+        assert_eq!(report.divergences.len(), 2);
+        let d = &report.divergences[0];
+        assert_eq!((d.seed, d.baseline_concurrency, d.concurrency), (2, 1, 4));
+        assert_eq!(d.fields, vec!["trace"]);
+        assert!(report.summary().contains("differ on"));
+    }
+
+    #[test]
+    fn fingerprint_diff_names_the_component() {
+        let a = fp(1, 0);
+        let mut b = a;
+        assert!(a.diff(&b).is_empty());
+        b.archive_hash ^= 1;
+        b.verdicts_hash ^= 1;
+        assert_eq!(a.diff(&b), vec!["archive", "verdicts"]);
+    }
+}

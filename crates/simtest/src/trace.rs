@@ -1,0 +1,324 @@
+//! Study-trace capture: every probe event, canonically serialized.
+//!
+//! A deterministic simulation is only as trustworthy as the evidence it
+//! leaves behind. [`TraceSink`] rides a study pass as a
+//! [`ProbeSink`] and records one [`TraceEvent`] per probe — its plan
+//! coordinate, the exit session each attempt rode, every absorbed fault,
+//! the virtual-clock timestamp, and the classified observation. The
+//! resulting [`StudyTrace`] has a *canonical* text form (events sorted by
+//! probe index, one fixed-format line each) and a stable FNV-1a content
+//! hash, so two runs of the same seed can be compared across concurrency
+//! levels, sessions, and machines with a single 64-bit equality check.
+//!
+//! Completion order is schedule-dependent — [`ProbeSink::completed`] fires
+//! as probes land even when the stream yields ordered — so the canonical
+//! form sorts by index before rendering. Everything else in an event is
+//! derived from per-probe keyed state and is schedule-independent by
+//! construction; the seed-sweep harness ([`crate::sweep`]) exists to keep
+//! it that way.
+
+use std::sync::Arc;
+
+use geoblock_blockpages::FingerprintSet;
+use geoblock_core::{classify_chain, Obs, ProbeCoord, TargetPlan};
+use geoblock_lumscan::{BatchStats, ProbeResult, ProbeSink};
+use geoblock_netsim::SimClock;
+use geoblock_worldgen::CountryCode;
+
+/// One probe's footprint in a study trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Flat probe index in the pass's target plan.
+    pub index: usize,
+    /// The plan coordinate the index maps to, when it is in the plan the
+    /// sink was built for.
+    pub coord: Option<ProbeCoord>,
+    /// Target host.
+    pub host: String,
+    /// Vantage country.
+    pub country: CountryCode,
+    /// Attempts the engine spent (0 for a panicked slot).
+    pub attempts: u32,
+    /// The exit session each attempt rode, in attempt order.
+    pub sessions: Vec<u64>,
+    /// Stable labels of every absorbed or terminal fault, in attempt order.
+    pub faults: Vec<&'static str>,
+    /// Redirect-chain length of the final successful attempt (0 on error).
+    pub hops: usize,
+    /// Virtual-clock micros at completion; 0 when the sink has no clock.
+    pub ts_micros: u64,
+    /// The classified observation — what the study keeps of this probe.
+    pub obs: Obs,
+}
+
+impl TraceEvent {
+    /// The event's canonical line. Fixed field order, no floats, no
+    /// pointer-dependent content: byte-stable across runs and platforms.
+    pub fn canonical_line(&self) -> String {
+        let coord = match self.coord {
+            Some(c) => format!("{}/{}/{}", c.domain, c.country, c.sample),
+            None => "?/?/?".to_string(),
+        };
+        let join = |parts: Vec<String>| {
+            if parts.is_empty() {
+                "-".to_string()
+            } else {
+                parts.join(",")
+            }
+        };
+        let sessions = join(self.sessions.iter().map(|s| format!("{s:016x}")).collect());
+        let faults = join(self.faults.iter().map(|f| f.to_string()).collect());
+        format!(
+            "i={:05} coord={} host={} cc={} att={} exits={} faults={} hops={} ts={} obs={}",
+            self.index,
+            coord,
+            self.host,
+            self.country,
+            self.attempts,
+            sessions,
+            faults,
+            self.hops,
+            self.ts_micros,
+            obs_label(&self.obs),
+        )
+    }
+}
+
+/// Render an observation as a short stable label: `resp:<status>:<len>:<page>`
+/// for responses (`-` when no block page matched), `err:<kind>` for errors.
+pub fn obs_label(obs: &Obs) -> String {
+    match obs {
+        Obs::Error(kind) => format!("err:{kind:?}"),
+        Obs::Response { status, len, page } => {
+            let page = page.map(|p| p.label()).unwrap_or("-");
+            format!("resp:{status}:{len}:{page}")
+        }
+    }
+}
+
+/// An ordered record of every probe in a study pass.
+#[derive(Debug, Clone, Default)]
+pub struct StudyTrace {
+    /// Events in completion order (the order the sink observed them).
+    pub events: Vec<TraceEvent>,
+}
+
+impl StudyTrace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The canonical text form: one line per event, sorted by probe index.
+    /// Two runs of the same study are equivalent iff their canonical texts
+    /// are byte-identical — completion order is deliberately erased.
+    pub fn canonical_text(&self) -> String {
+        let mut by_index: Vec<&TraceEvent> = self.events.iter().collect();
+        by_index.sort_by_key(|e| e.index);
+        let mut out = String::new();
+        for event in by_index {
+            out.push_str(&event.canonical_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a-64 hash of the canonical text — the study's identity for
+    /// seed-sweep comparison and golden-corpus pinning.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(self.canonical_text().as_bytes())
+    }
+
+    /// The content hash as a fixed-width hex string.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`. Tiny, dependency-free, and stable across
+/// platforms — exactly what a golden hash needs (this is an identity
+/// check, not a security boundary).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A [`ProbeSink`] that records a [`StudyTrace`] for a grid-shaped pass.
+///
+/// The sink owns its own copy of the plan geometry (domains, countries,
+/// samples-per-pair) so it can map completion indices back to coordinates
+/// without borrowing from the study driver. Attach a [`SimClock`] with
+/// [`with_clock`](TraceSink::with_clock) to stamp events with virtual
+/// time; leave it off (timestamps pinned to 0) when traces must compare
+/// equal across concurrency levels, since wall-ordering of clock charges
+/// is schedule-dependent.
+pub struct TraceSink {
+    domains: Vec<String>,
+    countries: Vec<CountryCode>,
+    samples: usize,
+    fingerprints: FingerprintSet,
+    clock: Option<Arc<SimClock>>,
+    trace: StudyTrace,
+    finished: bool,
+}
+
+impl TraceSink {
+    /// A sink for a `domains × countries × samples` grid pass.
+    pub fn grid(
+        domains: Vec<String>,
+        countries: Vec<CountryCode>,
+        samples: usize,
+        fingerprints: FingerprintSet,
+    ) -> TraceSink {
+        TraceSink {
+            domains,
+            countries,
+            samples,
+            fingerprints,
+            clock: None,
+            trace: StudyTrace::default(),
+            finished: false,
+        }
+    }
+
+    /// Stamp each event with this virtual clock's time at completion.
+    pub fn with_clock(mut self, clock: Arc<SimClock>) -> TraceSink {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &StudyTrace {
+        &self.trace
+    }
+
+    /// Whether the stream's `finished` hook has fired.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Consume the sink, yielding its trace.
+    pub fn into_trace(self) -> StudyTrace {
+        self.trace
+    }
+}
+
+impl ProbeSink for TraceSink {
+    fn completed(
+        &mut self,
+        index: usize,
+        result: &ProbeResult,
+        _stats: &BatchStats,
+        _in_flight: usize,
+    ) {
+        let plan = TargetPlan::grid(&self.domains, &self.countries, self.samples);
+        let coord = (index < plan.len()).then(|| plan.coord(index));
+        self.trace.events.push(TraceEvent {
+            index,
+            coord,
+            host: result.target.url.host.as_str().to_string(),
+            country: result.target.country,
+            attempts: result.attempts,
+            sessions: result.attempt_sessions.iter().map(|s| s.0).collect(),
+            faults: result.attempt_errors.iter().map(|e| e.kind()).collect(),
+            hops: result.chain().map(|c| c.hops.len()).unwrap_or(0),
+            ts_micros: self.clock.as_ref().map(|c| c.now_micros()).unwrap_or(0),
+            obs: classify_chain(&self.fingerprints, &result.outcome),
+        });
+    }
+
+    fn finished(&mut self, _stats: &BatchStats) {
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::cc;
+
+    fn event(index: usize, attempts: u32) -> TraceEvent {
+        TraceEvent {
+            index,
+            coord: Some(ProbeCoord {
+                domain: index,
+                country: 0,
+                sample: 0,
+            }),
+            host: format!("d{index}.example"),
+            country: cc("IR"),
+            attempts,
+            sessions: (0..attempts as u64).map(|a| a + 1).collect(),
+            faults: (1..attempts).map(|_| "proxy").collect(),
+            hops: 1,
+            ts_micros: 0,
+            obs: Obs::Response {
+                status: 200,
+                len: 64,
+                page: None,
+            },
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_text_erases_completion_order() {
+        let forward = StudyTrace {
+            events: vec![event(0, 1), event(1, 2), event(2, 1)],
+        };
+        let shuffled = StudyTrace {
+            events: vec![event(2, 1), event(0, 1), event(1, 2)],
+        };
+        assert_eq!(forward.canonical_text(), shuffled.canonical_text());
+        assert_eq!(forward.content_hash(), shuffled.content_hash());
+        assert_eq!(forward.hash_hex(), shuffled.hash_hex());
+    }
+
+    #[test]
+    fn content_changes_move_the_hash() {
+        let a = StudyTrace {
+            events: vec![event(0, 1)],
+        };
+        let mut b = a.clone();
+        b.events[0].attempts = 2;
+        b.events[0].sessions.push(9);
+        b.events[0].faults.push("proxy");
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn canonical_line_is_fixed_format() {
+        let line = event(3, 2).canonical_line();
+        assert_eq!(
+            line,
+            "i=00003 coord=3/0/0 host=d3.example cc=IR att=2 \
+             exits=0000000000000001,0000000000000002 faults=proxy hops=1 ts=0 \
+             obs=resp:200:64:-"
+        );
+    }
+
+    #[test]
+    fn empty_fields_render_as_dashes() {
+        let mut e = event(0, 0);
+        e.sessions.clear();
+        e.faults.clear();
+        let line = e.canonical_line();
+        assert!(line.contains("exits=- faults=-"), "{line}");
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`proxynet`] | `geoblock-proxynet` | the residential proxy network |
 //! | [`core`] | `geoblock-core` | the measurement pipeline |
 //! | [`analysis`] | `geoblock-analysis` | tables, figures, statistics |
+//! | [`simtest`] | `geoblock-simtest` | deterministic simulation testing |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub use geoblock_http as http;
 pub use geoblock_lumscan as lumscan;
 pub use geoblock_netsim as netsim;
 pub use geoblock_proxynet as proxynet;
+pub use geoblock_simtest as simtest;
 pub use geoblock_textmine as textmine;
 pub use geoblock_worldgen as worldgen;
 
@@ -89,8 +91,10 @@ pub mod prelude {
     };
     pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
     pub use geoblock_proxynet::{
-        FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig, LuminatiNetwork,
+        FaultEvent, FaultKind, FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig,
+        LuminatiNetwork, ScriptedFaults,
     };
+    pub use geoblock_simtest::{run_sweep, StudyFingerprint, StudyTrace, SweepReport, TraceSink};
     pub use geoblock_worldgen::{
         cc, AlexaPopulation, Category, CfTier, CountryCode, CountrySet, RulesSnapshot, World,
         WorldConfig,

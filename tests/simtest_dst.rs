@@ -1,0 +1,179 @@
+//! Deterministic simulation testing of the full study pipeline.
+//!
+//! Four layers of evidence that a study is a pure function of its seed:
+//!
+//! * **golden trace** — the canonical probe trace of the pinned scenario
+//!   (seed 42, concurrency 1, virtual-clock timestamps) matches the
+//!   committed corpus under `tests/golden/` byte for byte;
+//! * **seed sweep** — `SEED_SWEEP_SEEDS` seeds (default 32) × concurrency
+//!   {1, 4, 16} produce identical trace/cells/archive/verdict fingerprints
+//!   per seed;
+//! * **caught-and-shrunk** — a deliberately schedule-coupled fault
+//!   injector diverges across concurrency levels, the sweep catches it,
+//!   and delta-debugging shrinks its recorded schedule to a ≤5-event
+//!   scripted fixture that replays the divergence;
+//! * **invariants** — every replay re-derives the paper's arithmetic
+//!   (agreement thresholds, body retention, retry/exit budgets) from raw
+//!   trace and store evidence.
+
+use std::fs;
+use std::path::Path;
+
+use geoblock::proxynet::ScriptedFaults;
+use geoblock::simtest::{
+    canonical_events, check_study, check_trace, ddmin_async, run_clocked_scenario, run_scenario,
+    run_scenario_on, run_sweep, scenario_config, scenario_engine_config, scenario_plan_len,
+    ArrivalOrderFaults, ProbeLimits, ReproFixture, SimWeb, GOLDEN_SEED,
+};
+
+/// The golden corpus: bootstrap on first run, byte-compare ever after.
+/// Regenerate intentionally by deleting the file and rerunning.
+#[tokio::test(flavor = "current_thread")]
+async fn golden_trace_matches_the_corpus() {
+    let run = run_clocked_scenario(GOLDEN_SEED).await;
+    let again = run_clocked_scenario(GOLDEN_SEED).await;
+    assert_eq!(
+        run.trace.content_hash(),
+        again.trace.content_hash(),
+        "the clocked scenario must repeat itself within one process"
+    );
+    assert_eq!(run.trace.len(), scenario_plan_len());
+
+    let text = run.trace.canonical_text();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let path = dir.join(format!("scenario_seed{GOLDEN_SEED}_c1.trace"));
+    if path.exists() {
+        let pinned = fs::read_to_string(&path).expect("golden trace is readable");
+        assert_eq!(
+            pinned,
+            text,
+            "study trace diverged from the golden corpus (hash {}); if this \
+             change is intentional, delete {} and rerun to regenerate",
+            run.trace.hash_hex(),
+            path.display()
+        );
+    } else {
+        fs::create_dir_all(&dir).expect("golden dir");
+        fs::write(&path, &text).expect("bootstrap golden trace");
+    }
+}
+
+/// The tentpole sweep: every seed's study is identical at concurrency 1,
+/// 4, and 16 — trace, observation cells, archived bodies, and verdicts.
+/// `SEED_SWEEP_SEEDS` tunes the width (CI runs a reduced sweep per PR).
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn seed_sweep_is_concurrency_independent() {
+    let n: u64 = std::env::var("SEED_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let seeds: Vec<u64> = (0..n).map(|i| 0xd57_0000 + i * 7919).collect();
+    let report = run_sweep(&seeds, &[1, 4, 16], |seed, concurrency| async move {
+        run_scenario(seed, concurrency).await.fingerprint
+    })
+    .await;
+    assert_eq!(report.runs as u64, n * 3);
+    assert!(report.is_deterministic(), "{}", report.summary());
+}
+
+/// The harness catches what it exists to catch: an arrival-order-coupled
+/// fault injector diverges across concurrency levels, the sweep flags the
+/// trace, and ddmin shrinks the recorded schedule to a ≤5-event scripted
+/// fixture that still reproduces the divergence after a JSON round trip.
+#[tokio::test(flavor = "current_thread")]
+async fn injected_nondeterminism_is_caught_and_shrunk() {
+    const PERIOD: u64 = 13;
+
+    // Caught: same scenario, same (zero-seed) weather, different schedules.
+    let report = run_sweep(&[0], &[1, 4], |_seed, concurrency| async move {
+        let run =
+            run_scenario_on(ArrivalOrderFaults::new(SimWeb::new(), PERIOD), concurrency).await;
+        run.fingerprint
+    })
+    .await;
+    assert!(
+        !report.is_deterministic(),
+        "the arrival-order adversary must diverge across schedules"
+    );
+    assert!(
+        report.divergences[0].fields.contains(&"trace"),
+        "divergence should show up in the probe trace: {}",
+        report.summary()
+    );
+
+    // Harvest the adversary's strike schedule from a fixed-schedule run.
+    let adversary = ArrivalOrderFaults::new(SimWeb::new(), PERIOD);
+    let log = adversary.log_handle();
+    let faulted = run_scenario_on(adversary, 1).await;
+    let clean = run_scenario_on(SimWeb::new(), 1).await;
+    let clean_hash = clean.fingerprint.trace_hash;
+    assert_ne!(faulted.fingerprint.trace_hash, clean_hash);
+
+    let schedule = canonical_events(log.lock().clone());
+    assert!(
+        schedule.len() > 5,
+        "want a non-trivial schedule to shrink, got {} events",
+        schedule.len()
+    );
+
+    // Shrunk: a 1-minimal sub-schedule that still perturbs the study.
+    let minimal = ddmin_async(&schedule, |events| async move {
+        let replay = run_scenario_on(ScriptedFaults::new(SimWeb::new(), events), 1).await;
+        replay.fingerprint.trace_hash != clean_hash
+    })
+    .await;
+    assert!(
+        !minimal.is_empty() && minimal.len() <= 5,
+        "shrinker stopped at {} events: {minimal:?}",
+        minimal.len()
+    );
+
+    // Emitted and replayable: the fixture survives serialization and still
+    // reproduces the divergence when scripted back over the clean web.
+    let fixture = ReproFixture::new(
+        "arrival-order fault schedule perturbing the DST scenario trace",
+        0,
+        minimal,
+    );
+    let path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("shrunk_repro.json");
+    fs::write(&path, fixture.to_json()).expect("emit fixture");
+    let parsed = ReproFixture::from_json(&fs::read_to_string(&path).expect("read fixture"))
+        .expect("fixture parses");
+    assert_eq!(parsed, fixture);
+    let replay = run_scenario_on(ScriptedFaults::new(SimWeb::new(), parsed.events), 1).await;
+    assert_ne!(
+        replay.fingerprint.trace_hash, clean_hash,
+        "replayed fixture no longer reproduces the divergence"
+    );
+}
+
+/// Invariant checkers pass on a clean replay and catch tampered evidence.
+#[tokio::test(flavor = "current_thread")]
+async fn invariants_hold_on_replays_and_catch_tampering() {
+    let run = run_scenario(7, 1).await;
+    let limits = ProbeLimits::of(&scenario_engine_config(1));
+
+    let violations = check_trace(&run.trace, scenario_plan_len(), &limits);
+    assert!(violations.is_empty(), "{violations:?}");
+    let violations = check_study(&run.result, &scenario_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // A cooked attempt ledger is caught…
+    let mut tampered = run.trace.clone();
+    tampered.events[0].attempts = 99;
+    let violations = check_trace(&tampered, scenario_plan_len(), &limits);
+    assert!(
+        violations.iter().any(|v| v.invariant == "attempt-budget"),
+        "{violations:?}"
+    );
+
+    // …and so is a duplicated completion.
+    let mut duplicated = run.trace.clone();
+    let extra = duplicated.events[0].clone();
+    duplicated.events.push(extra);
+    let violations = check_trace(&duplicated, scenario_plan_len(), &limits);
+    assert!(
+        violations.iter().any(|v| v.invariant == "completeness"),
+        "{violations:?}"
+    );
+}
