@@ -238,6 +238,54 @@ impl StreamingArtifacts {
     }
 }
 
+/// The sharded-vs-single orchestration ablation: the same baseline pass
+/// run as one plain streaming study and through the orchestrator at
+/// several shard counts, under the same straggler-heavy fault plan.
+/// Correctness first — every sharded run must merge to the identical
+/// study — then wall-clock, since each shard drives its own full-
+/// concurrency probe stream.
+pub struct ShardingArtifacts {
+    /// The injected fault plan (straggler-heavy).
+    pub plan: FaultPlan,
+    /// Domains in the ablation's baseline pass.
+    pub domains: usize,
+    /// Domains per work unit.
+    pub work_unit_domains: usize,
+    /// Work units in the shard plan.
+    pub total_units: usize,
+    /// Probes per run.
+    pub probes: usize,
+    /// Shard counts measured, with each run's wall-clock.
+    pub runs: Vec<(usize, Duration)>,
+    /// Wall-clock of the plain single-stream `Top10kStudy::baseline`.
+    pub single_wall: Duration,
+    /// Whether every sharded run's merged store and archive were
+    /// identical to the single-stream run's — the determinism claim.
+    pub identical: bool,
+}
+
+impl ShardingArtifacts {
+    /// Single-stream wall over the fastest sharded wall (> 1 means
+    /// sharding pays).
+    pub fn best_speedup(&self) -> f64 {
+        let best = self
+            .runs
+            .iter()
+            .map(|(_, w)| *w)
+            .min()
+            .unwrap_or(self.single_wall);
+        self.single_wall.as_secs_f64() / best.as_secs_f64().max(1e-9)
+    }
+
+    /// Wall-clock for a given shard count, if measured.
+    pub fn wall(&self, shards: usize) -> Option<Duration> {
+        self.runs
+            .iter()
+            .find(|(s, _)| *s == shards)
+            .map(|(_, w)| *w)
+    }
+}
+
 /// §3 exploration artefacts.
 pub struct ExplorationArtifacts {
     /// NS-identified Cloudflare customers.
@@ -634,6 +682,74 @@ impl Harness {
         }
     }
 
+    /// The sharded-vs-single orchestration ablation under `plan` (use
+    /// [`FaultPlan::straggler`]): one baseline pass, run plain and then
+    /// through the orchestrator at each of `shard_counts`, on fresh
+    /// engines each time so breaker and invocation state never leak
+    /// between legs. Asserts nothing itself; `identical` reports whether
+    /// every sharded merge reproduced the single-stream study.
+    pub async fn sharded(&self, plan: FaultPlan, shard_counts: &[usize]) -> ShardingArtifacts {
+        use geoblock_orchestrator::{Orchestrator, OrchestratorConfig};
+
+        const WORK_UNIT_DOMAINS: usize = 4;
+        let domains: Vec<String> = (1..=self.scale.top_n.min(64))
+            .map(|r| self.world.population.spec(r).name)
+            .collect();
+        let countries: Vec<CountryCode> = self.countries().into_iter().take(6).collect();
+        let config = StudyConfig::builder()
+            .rep_countries(countries.iter().copied().take(2))
+            .countries(countries)
+            .work_unit_domains(WORK_UNIT_DOMAINS)
+            .build()
+            .expect("ablation study config is valid");
+        let make_engine = || {
+            let luminati = LuminatiNetwork::new(self.internet.clone());
+            let faulty = FaultyTransport::new(luminati, plan.clone());
+            let engine_config = LumscanConfig::builder()
+                .concurrency(8)
+                .build()
+                .expect("ablation config is valid");
+            Arc::new(Lumscan::new(faulty, engine_config))
+        };
+
+        // Reference leg: the plain streaming baseline.
+        let study = Top10kStudy::new(make_engine(), config.clone());
+        let start = Instant::now();
+        let reference = study.baseline(&domains).await;
+        let single_wall = start.elapsed();
+        let reference_digest = result_digest(&reference);
+
+        let mut runs = Vec::new();
+        let mut identical = true;
+        let mut total_units = 0;
+        for &shards in shard_counts {
+            let orch = Orchestrator::new(
+                make_engine(),
+                config.clone(),
+                OrchestratorConfig::default().shards(shards),
+            );
+            total_units = orch.shard_plan(&domains).total_units();
+            let start = Instant::now();
+            let run = orch
+                .baseline(&domains)
+                .await
+                .expect("ablation baseline never checkpoints, so it cannot fail");
+            runs.push((shards, start.elapsed()));
+            identical &= result_digest(&run.result) == reference_digest;
+        }
+
+        ShardingArtifacts {
+            plan,
+            domains: domains.len(),
+            work_unit_domains: WORK_UNIT_DOMAINS,
+            total_units,
+            probes: domains.len() * config.countries.len() * config.baseline_samples as usize,
+            runs,
+            single_wall,
+            identical,
+        }
+    }
+
     /// The §6 Cloudflare rules snapshot.
     pub fn cloudflare_snapshot(&self) -> RulesSnapshot {
         RulesSnapshot::generate(self.scale.seed, self.scale.cf_scale)
@@ -656,6 +772,24 @@ impl Harness {
     pub fn flagged_pairs(store: &geoblock_core::SampleStore) -> usize {
         flagged_explicit_pairs(store).len()
     }
+}
+
+/// A canonical text digest of a study's data — cells in store order,
+/// archived bodies sorted by key — so two results compare by string
+/// equality regardless of how they were assembled.
+fn result_digest(result: &StudyResult) -> String {
+    let mut out = String::new();
+    for (d, c, samples) in result.store.iter_cells() {
+        out.push_str(&format!("{d}/{c}:{samples:?}\n"));
+    }
+    let mut docs: Vec<String> = result
+        .archive
+        .iter()
+        .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{body}"))
+        .collect();
+    docs.sort();
+    out.push_str(&docs.join("\n"));
+    out
 }
 
 #[cfg(test)]
@@ -719,6 +853,19 @@ mod tests {
         // Both legs must actually get responses through the weather.
         assert!(s.stream_stats.responded * 10 >= s.stream_stats.total * 9);
         assert!(s.batch_stats.responded * 10 >= s.batch_stats.total * 9);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn quick_scale_sharding_ablation_is_lossless() {
+        let h = Harness::new(Scale::quick(42));
+        let s = h.sharded(FaultPlan::straggler(13), &[1, 2, 8]).await;
+        assert!(
+            s.identical,
+            "a sharded merge diverged from the single-stream baseline"
+        );
+        assert_eq!(s.runs.len(), 3);
+        assert!(s.total_units > 8, "want more units than shards");
+        assert!(s.probes >= 1000, "ablation load too small to mean anything");
     }
 
     #[tokio::test(flavor = "multi_thread")]

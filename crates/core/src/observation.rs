@@ -93,6 +93,20 @@ impl Obs {
             .map(|k| k.is_explicit_geoblock())
             .unwrap_or(false)
     }
+
+    /// A short stable label: `resp:<status>:<len>:<page>` for responses
+    /// (`-` when no block page matched), `err:<kind>` for errors. Byte-
+    /// stable across runs and platforms, so it can participate in trace
+    /// lines and checkpoint integrity hashes.
+    pub fn stable_label(&self) -> String {
+        match self {
+            Obs::Error(kind) => format!("err:{kind:?}"),
+            Obs::Response { status, len, page } => {
+                let page = page.map(|p| p.label()).unwrap_or("-");
+                format!("resp:{status}:{len}:{page}")
+            }
+        }
+    }
 }
 
 /// All samples of a study pass, indexed `[domain][country] -> Vec<Obs>`.
@@ -232,6 +246,16 @@ impl BodyArchive {
         }
     }
 
+    /// Insert an already-retained document verbatim, bypassing the
+    /// retention rule. This is how a sharded run's merge step rebuilds the
+    /// global archive: each work unit applied [`offer`](BodyArchive::offer)
+    /// with its own per-domain length ceilings, and its decisions are
+    /// final — re-judging them against another shard's ceilings would make
+    /// retention depend on shard geometry.
+    pub fn insert(&mut self, domain: u32, country: u16, sample: u16, body: String) {
+        self.docs.insert((domain, country, sample), body);
+    }
+
     /// Retrieve a retained document.
     pub fn get(&self, domain: u32, country: u16, sample: u16) -> Option<&str> {
         self.docs
@@ -336,6 +360,28 @@ mod tests {
         let long = "x".repeat(10_000);
         a.offer(2, 0, 0, 3000, &long);
         assert_eq!(a.get(2, 0, 0).unwrap().len(), BodyArchive::DOC_CAP);
+    }
+
+    #[test]
+    fn archive_insert_bypasses_retention() {
+        let mut a = BodyArchive::new();
+        a.offer(1, 0, 0, 20_000, "big page");
+        assert!(a.get(1, 0, 0).is_none());
+        // A sharded merge re-inserts another shard's retained doc verbatim,
+        // even where this archive's own ceiling would have rejected it.
+        a.insert(1, 0, 1, "kept elsewhere".to_string());
+        assert_eq!(a.get(1, 0, 1), Some("kept elsewhere"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn stable_labels_are_fixed_format() {
+        assert_eq!(resp(200, 64, None).stable_label(), "resp:200:64:-");
+        assert_eq!(
+            resp(403, 1500, Some(PageKind::Cloudflare)).stable_label(),
+            format!("resp:403:1500:{}", PageKind::Cloudflare.label())
+        );
+        assert_eq!(Obs::Error(ErrKind::Timeout).stable_label(), "err:Timeout");
     }
 
     #[test]

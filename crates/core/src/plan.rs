@@ -153,6 +153,19 @@ impl<'a> TargetPlan<'a> {
     pub fn iter(&self) -> impl Iterator<Item = ProbeTarget> + '_ {
         (0..self.len()).map(|i| self.target(i))
     }
+
+    /// Lazily enumerate the targets of an index sub-range, in index order —
+    /// the slice a sharded work unit probes. The range is clamped to the
+    /// plan's bounds, so an over-long range is a prefix of nothing extra,
+    /// not a panic.
+    pub fn iter_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = ProbeTarget> + '_ {
+        let end = range.end.min(self.len());
+        let start = range.start.min(end);
+        (start..end).map(|i| self.target(i))
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +315,23 @@ mod tests {
             }),
             None
         );
+    }
+
+    #[test]
+    fn iter_range_is_a_window_of_iter() {
+        let domains = domains();
+        let countries = [cc("IR"), cc("US")];
+        let plan = TargetPlan::grid(&domains, &countries, 3);
+        let all: Vec<_> = plan.iter().collect();
+        let window: Vec<_> = plan.iter_range(3..9).collect();
+        assert_eq!(window.len(), 6);
+        for (w, a) in window.iter().zip(&all[3..9]) {
+            assert_eq!(w.url.host.as_str(), a.url.host.as_str());
+            assert_eq!(w.country, a.country);
+        }
+        // Out-of-bounds ranges clamp instead of panicking.
+        assert_eq!(plan.iter_range(9..100).count(), plan.len() - 9);
+        assert_eq!(plan.iter_range(50..100).count(), 0);
     }
 
     #[test]

@@ -39,11 +39,18 @@ pub struct StudyConfig {
     /// Representative countries for the outlier heuristic and body
     /// retention (the "top 20 geoblocking countries").
     pub rep_countries: Vec<CountryCode>,
-    /// Domains per probing chunk. Retained for configuration compatibility:
-    /// the streaming pipeline bounds in-flight memory by the engine's
-    /// `concurrency` instead, so this no longer changes what a pass probes
-    /// or retains (see `resample_is_chunk_invariant`).
-    pub chunk_domains: usize,
+    /// Domains per orchestrator work unit: a sharded run partitions the
+    /// baseline grid along the domain axis into units of this many domains
+    /// (the last may be smaller). The single-stream path ignores it — the
+    /// streaming pipeline bounds in-flight memory by the engine's
+    /// `concurrency` — so observations never depend on it either way (see
+    /// `resample_is_chunk_invariant` and the orchestrator's shard sweep).
+    ///
+    /// This is the old `chunk_domains` knob, rerouted: the batch path it
+    /// once configured is gone, but work-unit sizing is the same decision
+    /// (how much of the domain axis moves together), so the value regains
+    /// meaning here.
+    pub work_unit_domains: usize,
 }
 
 impl StudyConfig {
@@ -55,7 +62,7 @@ impl StudyConfig {
             baseline_samples: 3,
             confirm: ConfirmConfig::default(),
             rep_countries,
-            chunk_domains: 256,
+            work_unit_domains: 256,
         }
     }
 
@@ -74,7 +81,7 @@ pub struct StudyConfigBuilder {
     rep_countries: Vec<CountryCode>,
     baseline_samples: Option<u32>,
     confirm: Option<ConfirmConfig>,
-    chunk_domains: Option<usize>,
+    work_unit_domains: Option<usize>,
 }
 
 impl StudyConfigBuilder {
@@ -102,10 +109,18 @@ impl StudyConfigBuilder {
         self
     }
 
-    /// Domains per probing chunk (default 256).
-    pub fn chunk_domains(mut self, n: usize) -> Self {
-        self.chunk_domains = Some(n);
+    /// Domains per orchestrator work unit (default 256).
+    pub fn work_unit_domains(mut self, n: usize) -> Self {
+        self.work_unit_domains = Some(n);
         self
+    }
+
+    /// Former name of [`work_unit_domains`](Self::work_unit_domains): the
+    /// batch-path chunk knob it configured is gone, and the value now sizes
+    /// the orchestrator's work units instead.
+    #[deprecated(since = "0.1.0", note = "renamed to `work_unit_domains`")]
+    pub fn chunk_domains(self, n: usize) -> Self {
+        self.work_unit_domains(n)
     }
 
     /// Validate and build.
@@ -123,11 +138,11 @@ impl StudyConfigBuilder {
                 "baseline needs at least one sample per pair",
             ));
         }
-        let chunk_domains = self.chunk_domains.unwrap_or(256);
-        if chunk_domains == 0 {
+        let work_unit_domains = self.work_unit_domains.unwrap_or(256);
+        if work_unit_domains == 0 {
             return Err(ConfigError::new(
-                "chunk_domains",
-                "chunking needs at least one domain per chunk",
+                "work_unit_domains",
+                "a work unit needs at least one domain",
             ));
         }
         for rep in &self.rep_countries {
@@ -143,7 +158,7 @@ impl StudyConfigBuilder {
             baseline_samples,
             confirm: self.confirm.unwrap_or_default(),
             rep_countries: self.rep_countries,
-            chunk_domains,
+            work_unit_domains,
         })
     }
 }
@@ -433,8 +448,19 @@ mod tests {
             .unwrap();
         let legacy = StudyConfig::new(vec![cc("IR"), cc("US")], vec![cc("IR")]);
         assert_eq!(built.baseline_samples, legacy.baseline_samples);
-        assert_eq!(built.chunk_domains, legacy.chunk_domains);
+        assert_eq!(built.work_unit_domains, legacy.work_unit_domains);
         assert_eq!(built.countries, legacy.countries);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chunk_domains_routes_to_work_unit_domains() {
+        let config = StudyConfig::builder()
+            .countries([cc("US")])
+            .chunk_domains(7)
+            .build()
+            .unwrap();
+        assert_eq!(config.work_unit_domains, 7);
     }
 
     #[test]
@@ -455,11 +481,11 @@ mod tests {
         assert_eq!(
             StudyConfig::builder()
                 .countries([cc("US")])
-                .chunk_domains(0)
+                .work_unit_domains(0)
                 .build()
                 .unwrap_err()
                 .field,
-            "chunk_domains"
+            "work_unit_domains"
         );
         assert_eq!(
             StudyConfig::builder()
@@ -535,11 +561,11 @@ mod tests {
     #[tokio::test]
     async fn resample_is_chunk_invariant() {
         // Regression for the old batch resample, which hard-coded
-        // 4096-pair chunks and ignored `config.chunk_domains`. The
-        // streaming path has no chunks at all: observations must be
-        // identical whatever chunk_domains says, and in-flight work is
-        // bounded by the engine's concurrency, not by any chunk size.
-        async fn run(chunk_domains: usize) -> (StudyResult, geoblock_lumscan::GaugeSink) {
+        // 4096-pair chunks and ignored the chunk knob. The streaming path
+        // has no chunks at all: observations must be identical whatever
+        // work_unit_domains says, and in-flight work is bounded by the
+        // engine's concurrency, not by any chunk size.
+        async fn run(work_unit_domains: usize) -> (StudyResult, geoblock_lumscan::GaugeSink) {
             let engine = Arc::new(Lumscan::new(
                 ToyNet,
                 LumscanConfig::builder().concurrency(4).build().unwrap(),
@@ -547,7 +573,7 @@ mod tests {
             let config = StudyConfig::builder()
                 .countries([cc("IR"), cc("US"), cc("DE")])
                 .rep_countries([cc("IR"), cc("US")])
-                .chunk_domains(chunk_domains)
+                .work_unit_domains(work_unit_domains)
                 .build()
                 .unwrap();
             let s = Top10kStudy::new(engine, config);
@@ -565,7 +591,7 @@ mod tests {
         for ((d, c, a), (_, _, b)) in small.store.iter_cells().zip(large.store.iter_cells()) {
             assert_eq!(
                 a, b,
-                "cell ({d}, {c}) differs across chunk_domains settings"
+                "cell ({d}, {c}) differs across work_unit_domains settings"
             );
         }
         assert_eq!(

@@ -277,6 +277,23 @@ impl<T: Transport + 'static> Lumscan<T> {
         *counter
     }
 
+    /// Advance `target`'s invocation counter by `n` without probing — as if
+    /// `n` probes of this (host, country) pair had already been claimed.
+    ///
+    /// This is the resume path's bridge: exit sessions are derived from
+    /// per-pair invocation numbers, so when an orchestrator restores a
+    /// checkpoint into a *fresh* engine, the counters of already-probed
+    /// pairs must be wound forward to where the interrupted run left them —
+    /// otherwise later passes (confirmation resampling) would re-derive the
+    /// interrupted run's baseline sessions instead of continuing past them.
+    pub fn advance_invocations(&self, target: &ProbeTarget, n: u32) {
+        let host_hash = hash_host(target.url.host.as_str());
+        let cidx = target.country.index().unwrap_or(255) as u16;
+        let shard = (host_hash as usize ^ cidx as usize) % INVOCATION_SHARDS;
+        let mut map = self.invocations[shard].lock();
+        *map.entry((host_hash, cidx)).or_insert(0) += n;
+    }
+
     /// Access the underlying transport.
     pub fn transport(&self) -> &T {
         &self.transport
@@ -795,5 +812,20 @@ mod tests {
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.quarantined_exits, 3, "each attempt burned one exit");
         assert_eq!(stats.attempts_histogram, vec![0, 0, 1]);
+    }
+
+    #[tokio::test]
+    async fn advance_invocations_winds_the_counter_forward() {
+        let engine = Lumscan::new(FakeNet::new(), LumscanConfig::default());
+        let target = ProbeTarget::http("a.com", cc("US"));
+        engine.advance_invocations(&target, 3);
+        // The next claim continues where the advanced counter left off —
+        // exactly what a fresh engine resuming 3 recorded samples needs.
+        assert_eq!(engine.claim_invocation(&target), 4);
+        // Other pairs are untouched.
+        let other = ProbeTarget::http("b.com", cc("US"));
+        assert_eq!(engine.claim_invocation(&other), 1);
+        let other_country = ProbeTarget::http("a.com", cc("IR"));
+        assert_eq!(engine.claim_invocation(&other_country), 1);
     }
 }

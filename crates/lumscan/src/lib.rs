@@ -74,5 +74,5 @@ pub use engine::{ConfigError, Lumscan, LumscanConfig, LumscanConfigBuilder};
 pub use result::{BatchStats, ProbeResult};
 pub use retry::{CircuitBreaker, RetryPolicy};
 pub use session::{SessionAllocator, SessionId};
-pub use stream::{GaugeSink, NoopSink, ProbeSink, ProbeStream};
+pub use stream::{GaugeSink, NoopSink, ProbeSink, ProbeStream, SharedSink};
 pub use transport::{follow_redirects, ProbeTarget, Transport, TransportRequest};

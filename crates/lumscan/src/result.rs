@@ -132,6 +132,33 @@ impl BatchStats {
         }
     }
 
+    /// Fold another batch's statistics into this one — the sharded
+    /// orchestrator's merge step, combining per-work-unit stats into one
+    /// study-wide ledger. Additive fields sum; the attempts histogram adds
+    /// elementwise; `quarantined_exits` takes the max, because shards share
+    /// one engine (and so one circuit breaker) — summing would count the
+    /// same quarantined exit once per shard.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.total += other.total;
+        self.responded += other.responded;
+        self.failed += other.failed;
+        self.proxy_failures += other.proxy_failures;
+        self.proxy_refused += other.proxy_refused;
+        self.attempts += other.attempts;
+        self.recovered += other.recovered;
+        if self.attempts_histogram.len() < other.attempts_histogram.len() {
+            self.attempts_histogram
+                .resize(other.attempts_histogram.len(), 0);
+        }
+        for (slot, n) in other.attempts_histogram.iter().enumerate() {
+            self.attempts_histogram[slot] += n;
+        }
+        for (&kind, &n) in &other.fault_counts {
+            *self.fault_counts.entry(kind).or_insert(0) += n;
+        }
+        self.quarantined_exits = self.quarantined_exits.max(other.quarantined_exits);
+    }
+
     /// Error rate in [0, 1] ("unable to get a response from the site").
     pub fn error_rate(&self) -> f64 {
         if self.total == 0 {
@@ -239,6 +266,37 @@ mod tests {
             inc.record(r);
         }
         assert_eq!(inc, BatchStats::of(&results));
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one_batch() {
+        let results = vec![
+            ok_result(),
+            ok_result(),
+            err_result(FetchError::Timeout, 3),
+            err_result(
+                FetchError::ProxyRefused {
+                    reason: "blocked".into(),
+                },
+                1,
+            ),
+        ];
+        let whole = BatchStats::of(&results);
+        let mut merged = BatchStats::of(&results[..1]);
+        merged.merge(&BatchStats::of(&results[1..3]));
+        merged.merge(&BatchStats::of(&results[3..]));
+        assert_eq!(merged, whole);
+        // Shards share one breaker: quarantine merges by max, not sum.
+        let mut a = BatchStats {
+            quarantined_exits: 2,
+            ..BatchStats::default()
+        };
+        let b = BatchStats {
+            quarantined_exits: 2,
+            ..BatchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.quarantined_exits, 2);
     }
 
     #[test]

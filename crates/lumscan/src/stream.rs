@@ -141,6 +141,92 @@ impl ProbeSink for GaugeSink {
     }
 }
 
+/// A fan-in adapter: many per-shard streams, one underlying sink.
+///
+/// The sharded orchestrator runs one [`ProbeStream`] per work unit, but a
+/// study observer (trace recorder, gauge) wants to see a single pass.
+/// `SharedSink` clones hand each unit stream a view onto the same inner
+/// sink, with a per-clone index offset so unit-local probe indices land as
+/// global plan indices.
+///
+/// Per-stream `finished` callbacks are swallowed — each unit's stream
+/// exhausts independently, and forwarding them would fire the inner sink's
+/// `finished` once per unit, violating its exactly-once contract. The
+/// owner calls [`finish`](SharedSink::finish) once after the last unit.
+pub struct SharedSink<S: ProbeSink> {
+    inner: Arc<parking_lot::Mutex<S>>,
+    offset: usize,
+}
+
+impl<S: ProbeSink> SharedSink<S> {
+    /// Wrap a sink for fan-in.
+    pub fn new(sink: S) -> SharedSink<S> {
+        SharedSink {
+            inner: Arc::new(parking_lot::Mutex::new(sink)),
+            offset: 0,
+        }
+    }
+
+    /// A clone whose forwarded probe indices are shifted by `offset` — the
+    /// view handed to the unit stream covering plan range `offset..`.
+    pub fn at_offset(&self, offset: usize) -> SharedSink<S> {
+        SharedSink {
+            inner: Arc::clone(&self.inner),
+            offset,
+        }
+    }
+
+    /// Fire the inner sink's `finished` exactly once, after every unit
+    /// stream has drained.
+    pub fn finish(&self, stats: &BatchStats) {
+        self.inner.lock().finished(stats);
+    }
+
+    /// Recover the inner sink. Returns `None` while clones are still alive.
+    pub fn into_inner(self) -> Option<S> {
+        Arc::try_unwrap(self.inner).ok().map(|m| m.into_inner())
+    }
+
+    /// Run `f` against the inner sink (inspection mid-run).
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl<S: ProbeSink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink {
+            inner: Arc::clone(&self.inner),
+            offset: self.offset,
+        }
+    }
+}
+
+impl<S: ProbeSink> ProbeSink for SharedSink<S> {
+    fn started(&mut self, index: usize, target: &ProbeTarget, in_flight: usize) {
+        self.inner
+            .lock()
+            .started(index + self.offset, target, in_flight);
+    }
+
+    fn completed(
+        &mut self,
+        index: usize,
+        result: &ProbeResult,
+        stats: &BatchStats,
+        in_flight: usize,
+    ) {
+        self.inner
+            .lock()
+            .completed(index + self.offset, result, stats, in_flight);
+    }
+
+    fn finished(&mut self, _stats: &BatchStats) {
+        // Swallowed: per-unit streams finish many times; the owner fires
+        // the inner sink's `finished` once via `SharedSink::finish`.
+    }
+}
+
 /// Render a panic payload the way the default hook would.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -468,6 +554,55 @@ mod tests {
             sink.peak_in_flight
         );
         assert_eq!(sink.per_country.get(&cc("US")), Some(&40));
+    }
+
+    #[tokio::test]
+    async fn shared_sink_fans_in_with_global_indices() {
+        #[derive(Default)]
+        struct SeenSink {
+            indices: Vec<usize>,
+            finishes: usize,
+        }
+        impl ProbeSink for SeenSink {
+            fn completed(
+                &mut self,
+                index: usize,
+                _result: &ProbeResult,
+                _stats: &BatchStats,
+                _in_flight: usize,
+            ) {
+                self.indices.push(index);
+            }
+            fn finished(&mut self, _stats: &BatchStats) {
+                self.finishes += 1;
+            }
+        }
+
+        let engine = engine(2);
+        let shared = SharedSink::new(SeenSink::default());
+        // Two "unit" streams share the sink; the second is offset past the
+        // first unit's index range.
+        {
+            let mut view = shared.at_offset(0);
+            let mut stream = engine.probe_stream_with(targets(&["a.com", "b.com"]), &mut view);
+            while stream.next().await.is_some() {}
+        }
+        {
+            let mut view = shared.at_offset(2);
+            let mut stream = engine.probe_stream_with(targets(&["c.com", "d.com"]), &mut view);
+            while stream.next().await.is_some() {}
+        }
+        assert_eq!(
+            shared.with(|s| s.finishes),
+            0,
+            "per-stream finished must be swallowed"
+        );
+        shared.finish(&BatchStats::default());
+        let seen = shared.into_inner().expect("no live clones remain");
+        assert_eq!(seen.finishes, 1, "owner-driven finish fires exactly once");
+        let mut indices = seen.indices;
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3], "offsets map to global indices");
     }
 
     #[tokio::test]

@@ -1,0 +1,425 @@
+//! Resumable study checkpoints: serde-JSON snapshots of completed work.
+//!
+//! A checkpoint is written atomically (temp file + rename) every
+//! `checkpoint_every` completed units, and carries two self-describing
+//! hashes:
+//!
+//! * `config_hash` — FNV-1a over a canonical rendering of the study shape
+//!   (domain list, vantage panel, representative panel, samples per pair,
+//!   work-unit size). Resume refuses a checkpoint whose hash disagrees
+//!   with the study it is being restored into: resuming a different
+//!   study's progress would silently misfile every record.
+//! * `trace_hash` — FNV-1a over every completed record's
+//!   [`canonical_line`](crate::record::ProbeRecord::canonical_line) in
+//!   index order. [`Checkpoint::load`] recomputes it, so a record tampered
+//!   with (or bit-rotted) after the write surfaces as a typed
+//!   [`CheckpointError::Integrity`] instead of corrupting the merge.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use geoblock_core::StudyConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::fnv1a;
+use crate::record::ProbeRecord;
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A body the unit's archive retained, keyed by *global* plan coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchivedDoc {
+    /// Global domain index.
+    pub domain: u32,
+    /// Country index.
+    pub country: u16,
+    /// Sample number.
+    pub sample: u16,
+    /// The retained (already truncated) body.
+    pub body: String,
+}
+
+/// Everything one completed work unit produced: its plan geometry, one
+/// [`ProbeRecord`] per probe in index order, and the bodies its archive
+/// retained. This is the single merge currency — freshly probed and
+/// checkpoint-restored units are indistinguishable downstream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// Unit number in the shard plan.
+    pub id: usize,
+    /// First plan index covered.
+    pub start: usize,
+    /// One past the last plan index covered.
+    pub end: usize,
+    /// First domain index covered.
+    pub domain_start: usize,
+    /// One past the last domain index covered.
+    pub domain_end: usize,
+    /// One record per probe, in index order.
+    pub records: Vec<ProbeRecord>,
+    /// Bodies retained by the unit's archive, sorted by coordinate.
+    pub docs: Vec<ArchivedDoc>,
+}
+
+/// A persisted snapshot of a partially (or fully) completed study pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Hash of the study shape this progress belongs to.
+    pub config_hash: u64,
+    /// Total probes in the study's grid plan.
+    pub plan_len: usize,
+    /// Domains per work unit when the progress was made.
+    pub work_unit_domains: usize,
+    /// Units in the full shard plan (completed + remaining).
+    pub total_units: usize,
+    /// Integrity hash over every completed record's canonical line.
+    pub trace_hash: u64,
+    /// Completed units, sorted by plan offset.
+    pub units: Vec<UnitResult>,
+}
+
+impl Checkpoint {
+    /// Snapshot `units` (cloned, then sorted by plan offset) with a fresh
+    /// integrity hash.
+    pub fn snapshot(
+        config_hash: u64,
+        plan_len: usize,
+        work_unit_domains: usize,
+        total_units: usize,
+        units: &[UnitResult],
+    ) -> Checkpoint {
+        let mut units = units.to_vec();
+        units.sort_by_key(|u| u.start);
+        let trace_hash = trace_hash_of(&units);
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config_hash,
+            plan_len,
+            work_unit_domains,
+            total_units,
+            trace_hash,
+            units,
+        }
+    }
+
+    /// IDs of the units this checkpoint has completed.
+    pub fn completed_ids(&self) -> BTreeSet<usize> {
+        self.units.iter().map(|u| u.id).collect()
+    }
+
+    /// Completed probes across all units.
+    pub fn completed_probes(&self) -> usize {
+        self.units.iter().map(|u| u.records.len()).sum()
+    }
+
+    /// Write the checkpoint to `path` atomically: serialize to
+    /// `<path>.tmp`, flush, then rename over the destination — a crash
+    /// mid-write leaves the previous checkpoint intact, never a truncated
+    /// JSON document under the real name.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| CheckpointError::Malformed(format!("serialize: {e}")))?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            file.flush()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint: I/O errors, unparseable or
+    /// truncated JSON, unknown versions, and integrity-hash mismatches
+    /// each surface as their own [`CheckpointError`] variant — never a
+    /// panic, and never a silently-wrong resume.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let bytes = fs::read(path)?;
+        let checkpoint: Checkpoint = serde_json::from_slice(&bytes)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: checkpoint.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let recomputed = trace_hash_of(&checkpoint.units);
+        if recomputed != checkpoint.trace_hash {
+            return Err(CheckpointError::Integrity {
+                expected: checkpoint.trace_hash,
+                found: recomputed,
+            });
+        }
+        Ok(checkpoint)
+    }
+}
+
+/// FNV-1a over every record's canonical line, units sorted by plan offset
+/// and records in stored (index) order, one line per record,
+/// newline-terminated — the same shape as a simtest canonical trace text.
+pub fn trace_hash_of(units: &[UnitResult]) -> u64 {
+    let mut sorted: Vec<&UnitResult> = units.iter().collect();
+    sorted.sort_by_key(|u| u.start);
+    let mut text = String::new();
+    for unit in sorted {
+        for record in &unit.records {
+            text.push_str(&record.canonical_line());
+            text.push('\n');
+        }
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// The study-shape hash stored in (and demanded of) every checkpoint:
+/// FNV-1a over a canonical rendering of everything that determines where a
+/// record files — the domain list and vantage panel (index meanings), the
+/// representative panel (retention), samples per pair and work-unit size
+/// (plan geometry).
+pub fn hash_study_config(domains: &[String], config: &StudyConfig) -> u64 {
+    let mut text = String::from("geoblock-study-v1\n");
+    text.push_str("domains:");
+    for d in domains {
+        text.push(' ');
+        text.push_str(d);
+    }
+    text.push_str("\ncountries:");
+    for c in &config.countries {
+        text.push_str(&format!(" {c}"));
+    }
+    text.push_str("\nrep_countries:");
+    for c in &config.rep_countries {
+        text.push_str(&format!(" {c}"));
+    }
+    text.push_str(&format!(
+        "\nbaseline_samples: {}\nwork_unit_domains: {}\n",
+        config.baseline_samples, config.work_unit_domains
+    ));
+    fnv1a(text.as_bytes())
+}
+
+/// Why a checkpoint could not be written, read, or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not a checkpoint: truncated, not JSON, or the wrong
+    /// shape. Carries the decoder's message.
+    Malformed(String),
+    /// The file is a checkpoint from an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The checkpoint belongs to a different study configuration.
+    ConfigMismatch {
+        /// Hash of the study being resumed into.
+        expected: u64,
+        /// Hash recorded in the checkpoint.
+        found: u64,
+    },
+    /// The stored trace hash does not match the stored records: the file
+    /// was modified (or corrupted) after it was written.
+    Integrity {
+        /// Hash recorded in the checkpoint.
+        expected: u64,
+        /// Hash recomputed from the stored records.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::Version { found, supported } => write!(
+                f,
+                "checkpoint version {found} is not supported (this build reads {supported})"
+            ),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different study \
+                 (config hash {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::Integrity { expected, found } => write!(
+                f,
+                "checkpoint failed integrity validation \
+                 (stored trace hash {expected:#018x}, recomputed {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_core::Obs;
+    use geoblock_worldgen::cc;
+
+    fn unit(id: usize, start: usize) -> UnitResult {
+        UnitResult {
+            id,
+            start,
+            end: start + 2,
+            domain_start: id,
+            domain_end: id + 1,
+            records: (0..2)
+                .map(|k| ProbeRecord {
+                    index: start + k,
+                    host: format!("d{id}.example"),
+                    country: cc("IR"),
+                    attempts: 1,
+                    sessions: vec![(start + k) as u64 + 1],
+                    faults: Vec::new(),
+                    hops: 1,
+                    obs: Obs::Response {
+                        status: 200,
+                        len: 64,
+                        page: None,
+                    },
+                })
+                .collect(),
+            docs: vec![ArchivedDoc {
+                domain: id as u32,
+                country: 0,
+                sample: 0,
+                body: "<html>blocked</html>".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn trace_hash_ignores_unit_arrival_order() {
+        let forward = [unit(0, 0), unit(1, 2)];
+        let shuffled = [unit(1, 2), unit(0, 0)];
+        assert_eq!(trace_hash_of(&forward), trace_hash_of(&shuffled));
+        let mut tampered = [unit(0, 0), unit(1, 2)];
+        tampered[1].records[0].attempts = 9;
+        assert_ne!(trace_hash_of(&forward), trace_hash_of(&tampered));
+    }
+
+    #[test]
+    fn config_hash_tracks_every_axis() {
+        let domains = vec!["a.example".to_string(), "b.example".to_string()];
+        let config = StudyConfig::builder()
+            .countries([cc("IR"), cc("US")])
+            .rep_countries([cc("IR")])
+            .build()
+            .unwrap();
+        let base = hash_study_config(&domains, &config);
+        assert_eq!(base, hash_study_config(&domains, &config), "stable");
+
+        let fewer = hash_study_config(&domains[..1], &config);
+        assert_ne!(base, fewer, "domain list must move the hash");
+
+        let mut other = config.clone();
+        other.work_unit_domains += 1;
+        assert_ne!(
+            base,
+            hash_study_config(&domains, &other),
+            "unit size must move the hash"
+        );
+
+        let reordered = vec![domains[1].clone(), domains[0].clone()];
+        assert_ne!(
+            base,
+            hash_study_config(&reordered, &config),
+            "domain order defines index meaning"
+        );
+    }
+
+    #[test]
+    fn snapshot_sorts_and_roundtrips() {
+        let dir =
+            std::env::temp_dir().join(format!("geoblock-checkpoint-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt");
+
+        let cp = Checkpoint::snapshot(0xabcd, 6, 1, 3, &[unit(1, 2), unit(0, 0)]);
+        assert_eq!(cp.units[0].id, 0, "snapshot sorts by plan offset");
+        assert_eq!(cp.completed_ids().len(), 2);
+        assert_eq!(cp.completed_probes(), 4);
+        cp.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, cp);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!(
+            "geoblock-checkpoint-corrupt-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+
+        // Not JSON at all.
+        let garbage = dir.join("garbage.ckpt");
+        fs::write(&garbage, b"\x00\x01not json").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&garbage),
+            Err(CheckpointError::Malformed(_))
+        ));
+
+        // Truncated mid-document (a non-atomic writer's crash artifact).
+        let cp = Checkpoint::snapshot(1, 6, 1, 3, &[unit(0, 0)]);
+        let full = serde_json::to_string(&cp).unwrap();
+        let truncated = dir.join("truncated.ckpt");
+        fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&truncated),
+            Err(CheckpointError::Malformed(_))
+        ));
+
+        // A tampered record: parses fine, fails the integrity hash.
+        let tampered_json = full.replace("\"attempts\":1", "\"attempts\":9");
+        assert_ne!(tampered_json, full, "tamper target must exist");
+        let tampered = dir.join("tampered.ckpt");
+        fs::write(&tampered, tampered_json).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&tampered),
+            Err(CheckpointError::Integrity { .. })
+        ));
+
+        // Missing file.
+        assert!(matches!(
+            Checkpoint::load(&dir.join("absent.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+
+        // Future version.
+        let mut future = cp.clone();
+        future.version = CHECKPOINT_VERSION + 1;
+        let future_path = dir.join("future.ckpt");
+        fs::write(&future_path, serde_json::to_string(&future).unwrap()).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&future_path),
+            Err(CheckpointError::Version { found, .. }) if found == CHECKPOINT_VERSION + 1
+        ));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

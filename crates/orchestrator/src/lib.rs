@@ -1,0 +1,86 @@
+//! The sharded study orchestrator: killable, resumable study passes.
+//!
+//! A full-scale baseline pass (§5: 50,000 sampled domains × 177 countries
+//! × 3 samples) runs for hours through a residential proxy network. One
+//! [`ProbeStream`](geoblock_lumscan::ProbeStream) survives transient
+//! weather, but it cannot survive the *process* dying — and a study that
+//! must restart from probe zero after an interruption at 90% is not a
+//! practical instrument. This crate makes the pass both **sharded** and
+//! **resumable**:
+//!
+//! * [`ShardPlan`] partitions a grid [`TargetPlan`]'s index space into
+//!   *domain-aligned* work units ([`WorkUnit`]) of
+//!   [`work_unit_domains`] domains each;
+//! * [`Orchestrator`] dispatches units to at most `shards` concurrent
+//!   per-unit probe streams — work-stealing, in that each finished worker
+//!   immediately claims the next pending unit — and folds every completed
+//!   unit into a [`UnitResult`];
+//! * completed units are persisted to a [`Checkpoint`] (serde-JSON,
+//!   written atomically every `checkpoint_every` units), which records the
+//!   study's config hash and a running trace hash over every completed
+//!   probe;
+//! * [`Orchestrator::resume`] restores a checkpoint into a fresh engine —
+//!   validating config hash and record integrity, winding per-pair
+//!   invocation counters forward — and probes only the remaining units.
+//!
+//! # Why domain alignment makes the merge deterministic
+//!
+//! The baseline grid is domain-major: all `countries × samples` probes of
+//! one domain occupy a contiguous index range. Cutting the plan only on
+//! domain boundaries therefore guarantees two properties:
+//!
+//! 1. **every (domain, country) pair lives in exactly one unit**, whose
+//!    stream yields ordered — so the pair's samples are probed in sample
+//!    order by a single stream, claim consecutive invocation numbers, and
+//!    ride the same exit sessions as a sequential run;
+//! 2. **body-retention ceilings are unit-local**: the
+//!    [`BodyArchive`](geoblock_core::BodyArchive)'s per-domain length
+//!    ceiling only ever compares bodies of the same domain, and a domain
+//!    never spans units — each unit's retention decisions equal the
+//!    sequential run's.
+//!
+//! Merging is then pure bookkeeping: sort units by plan offset, replay
+//! each record's observation into a global
+//! [`SampleStore`](geoblock_core::SampleStore), and insert each retained
+//! body verbatim. For any shard count — and for any kill/resume split —
+//! the merged [`StudyResult`](geoblock_core::StudyResult) is bit-identical
+//! to a single-stream pass, a property the simtest shard sweep asserts by
+//! fingerprint.
+//!
+//! [`TargetPlan`]: geoblock_core::TargetPlan
+//! [`work_unit_domains`]: geoblock_core::StudyConfig::work_unit_domains
+
+pub mod checkpoint;
+pub mod orchestrator;
+pub mod record;
+pub mod shard;
+
+pub use checkpoint::{hash_study_config, ArchivedDoc, Checkpoint, CheckpointError, UnitResult};
+pub use orchestrator::{Orchestrator, OrchestratorConfig, OrchestratorError, OrchestratorRun};
+pub use record::ProbeRecord;
+pub use shard::{ShardPlan, WorkUnit};
+
+/// FNV-1a 64-bit over `bytes` — the checkpoint's integrity hash. A local
+/// copy of the simtest trace hash (this crate sits *below* simtest in the
+/// dependency graph): same constants, same published test vectors, so the
+/// two hash the same bytes to the same value.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

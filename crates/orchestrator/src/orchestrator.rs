@@ -1,0 +1,683 @@
+//! The dispatcher: work-stealing unit execution, checkpointing, merge.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use geoblock_blockpages::FingerprintSet;
+use geoblock_core::{
+    classify_chain, BodyArchive, SampleStore, StudyConfig, StudyResult, TargetPlan,
+};
+use geoblock_lumscan::{
+    BatchStats, Lumscan, NoopSink, ProbeSink, ProbeTarget, SharedSink, Transport,
+};
+use geoblock_worldgen::CountryCode;
+use tokio::task::JoinSet;
+
+use crate::checkpoint::{hash_study_config, ArchivedDoc, Checkpoint, CheckpointError, UnitResult};
+use crate::record::ProbeRecord;
+use crate::shard::{ShardPlan, WorkUnit};
+
+/// How the orchestrator dispatches and persists a pass.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Work units probed concurrently. Each holds one per-unit stream of
+    /// the engine's configured concurrency, so total in-flight probes are
+    /// `shards × engine concurrency`.
+    pub shards: usize,
+    /// Completed units between checkpoint writes (when a path is set).
+    pub checkpoint_every: usize,
+    /// Where to persist progress; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Stop launching new units after this many have been *started* this
+    /// run — the graceful-kill knob. In-flight units still drain and are
+    /// checkpointed, so a stopped run resumes without losing work.
+    pub stop_after_units: Option<usize>,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> OrchestratorConfig {
+        OrchestratorConfig {
+            shards: 1,
+            checkpoint_every: 1,
+            checkpoint_path: None,
+            stop_after_units: None,
+        }
+    }
+}
+
+impl OrchestratorConfig {
+    /// Set the concurrent-unit count.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Set the checkpoint cadence (units between writes).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Persist progress to `path`.
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Stop launching new units after `n` have started this run.
+    pub fn stop_after_units(mut self, n: usize) -> Self {
+        self.stop_after_units = Some(n);
+        self
+    }
+}
+
+/// What a sharded (or resumed) pass produced.
+pub struct OrchestratorRun {
+    /// The merged study data — for a complete run, bit-identical to a
+    /// single-stream [`Top10kStudy::baseline`] pass.
+    ///
+    /// [`Top10kStudy::baseline`]: geoblock_core::Top10kStudy::baseline
+    pub result: StudyResult,
+    /// Statistics over the probes *this process* ran. Restored units were
+    /// counted by the interrupted run that probed them, so a resumed run's
+    /// stats cover only its fresh work.
+    pub stats: BatchStats,
+    /// Every completed unit (restored + fresh), sorted by plan offset —
+    /// the input to trace reconstruction and further checkpoints.
+    pub units: Vec<UnitResult>,
+    /// Units probed by this run.
+    pub fresh_units: usize,
+    /// Units restored from the checkpoint.
+    pub restored_units: usize,
+    /// Units in the full shard plan.
+    pub total_units: usize,
+    /// Whether the run stopped before completing every unit
+    /// (`stop_after_units` engaged); resume from the checkpoint to finish.
+    pub interrupted: bool,
+}
+
+/// Why an orchestrated pass could not run.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// The orchestrator configuration is invalid.
+    Config(String),
+    /// The checkpoint could not be written, or refused to restore.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::Config(msg) => write!(f, "invalid orchestrator config: {msg}"),
+            OrchestratorError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestratorError::Checkpoint(e) => Some(e),
+            OrchestratorError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for OrchestratorError {
+    fn from(e: CheckpointError) -> OrchestratorError {
+        OrchestratorError::Checkpoint(e)
+    }
+}
+
+/// Shards a study's baseline pass across in-process workers and makes it
+/// killable and resumable. Classification uses the same paper fingerprint
+/// set as [`Top10kStudy`], and unit sizing comes from the study's
+/// `work_unit_domains` knob.
+///
+/// [`Top10kStudy`]: geoblock_core::Top10kStudy
+pub struct Orchestrator<T: Transport + 'static> {
+    engine: Arc<Lumscan<T>>,
+    study: StudyConfig,
+    fingerprints: FingerprintSet,
+    config: OrchestratorConfig,
+}
+
+impl<T: Transport + 'static> Orchestrator<T> {
+    /// An orchestrator over `engine` for `study`, dispatched per `config`.
+    pub fn new(
+        engine: Arc<Lumscan<T>>,
+        study: StudyConfig,
+        config: OrchestratorConfig,
+    ) -> Orchestrator<T> {
+        Orchestrator {
+            engine,
+            study,
+            fingerprints: FingerprintSet::paper(),
+            config,
+        }
+    }
+
+    /// The study configuration.
+    pub fn study(&self) -> &StudyConfig {
+        &self.study
+    }
+
+    /// The probing engine.
+    pub fn engine(&self) -> &Arc<Lumscan<T>> {
+        &self.engine
+    }
+
+    /// The shard plan a pass over `domains` will use.
+    pub fn shard_plan(&self, domains: &[String]) -> ShardPlan {
+        ShardPlan::new(
+            domains.len(),
+            self.study.countries.len(),
+            self.study.baseline_samples as usize,
+            self.study.work_unit_domains,
+        )
+    }
+
+    /// The config hash a checkpoint of this pass carries.
+    pub fn config_hash(&self, domains: &[String]) -> u64 {
+        hash_study_config(domains, &self.study)
+    }
+
+    /// Run the sharded baseline pass from scratch.
+    pub async fn baseline(&self, domains: &[String]) -> Result<OrchestratorRun, OrchestratorError> {
+        self.baseline_with(domains, SharedSink::new(NoopSink)).await
+    }
+
+    /// [`baseline`](Orchestrator::baseline) with an observer: every unit
+    /// stream forwards spawns and completions into `sink` at global plan
+    /// indices; its `finished` fires exactly once, after the last unit.
+    pub async fn baseline_with<S: ProbeSink + 'static>(
+        &self,
+        domains: &[String],
+        sink: SharedSink<S>,
+    ) -> Result<OrchestratorRun, OrchestratorError> {
+        self.run(domains, Vec::new(), sink).await
+    }
+
+    /// Resume an interrupted pass: validate the checkpoint against this
+    /// study, wind the engine's per-pair invocation counters forward over
+    /// the restored records, and probe only the units the checkpoint has
+    /// not completed. For a fixed seed the finished run's fingerprint is
+    /// identical to an uninterrupted run's.
+    pub async fn resume(
+        &self,
+        domains: &[String],
+        checkpoint: Checkpoint,
+    ) -> Result<OrchestratorRun, OrchestratorError> {
+        self.resume_with(domains, checkpoint, SharedSink::new(NoopSink))
+            .await
+    }
+
+    /// [`resume`](Orchestrator::resume) with an observer (fresh units
+    /// only — restored probes happened in another process and are not
+    /// replayed through the sink).
+    pub async fn resume_with<S: ProbeSink + 'static>(
+        &self,
+        domains: &[String],
+        checkpoint: Checkpoint,
+        sink: SharedSink<S>,
+    ) -> Result<OrchestratorRun, OrchestratorError> {
+        let expected = self.config_hash(domains);
+        if checkpoint.config_hash != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: checkpoint.config_hash,
+            }
+            .into());
+        }
+        let plan = self.shard_plan(domains);
+        if checkpoint.plan_len != plan.total_probes()
+            || checkpoint.total_units != plan.total_units()
+        {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint geometry ({} probes, {} units) does not match the plan \
+                 ({} probes, {} units)",
+                checkpoint.plan_len,
+                checkpoint.total_units,
+                plan.total_probes(),
+                plan.total_units()
+            ))
+            .into());
+        }
+
+        // Wind invocation counters forward: each restored record claimed
+        // exactly one invocation of its (host, country) pair, and exit
+        // sessions derive from those counters — without this, later passes
+        // (confirmation) would re-derive the interrupted run's sessions.
+        let mut claimed: BTreeMap<(&str, CountryCode), u32> = BTreeMap::new();
+        for unit in &checkpoint.units {
+            for record in &unit.records {
+                *claimed.entry((&record.host, record.country)).or_insert(0) += 1;
+            }
+        }
+        for ((host, country), n) in claimed {
+            self.engine
+                .advance_invocations(&ProbeTarget::http(host, country), n);
+        }
+
+        self.run(domains, checkpoint.units, sink).await
+    }
+
+    /// The dispatcher: seed up to `shards` unit workers, and as each unit
+    /// completes, fold it in, checkpoint on cadence, and hand the freed
+    /// worker slot the next pending unit.
+    async fn run<S: ProbeSink + 'static>(
+        &self,
+        domains: &[String],
+        restored: Vec<UnitResult>,
+        sink: SharedSink<S>,
+    ) -> Result<OrchestratorRun, OrchestratorError> {
+        if self.config.shards == 0 {
+            return Err(OrchestratorError::Config(
+                "shards must be at least 1".to_string(),
+            ));
+        }
+        if self.config.checkpoint_every == 0 {
+            return Err(OrchestratorError::Config(
+                "checkpoint_every must be at least 1".to_string(),
+            ));
+        }
+
+        let plan = self.shard_plan(domains);
+        let config_hash = self.config_hash(domains);
+        let restored_units = restored.len();
+        let done = restored
+            .iter()
+            .map(|u| u.id)
+            .collect::<std::collections::BTreeSet<_>>();
+        let pending: Vec<WorkUnit> = plan
+            .units()
+            .iter()
+            .filter(|u| !done.contains(&u.id))
+            .copied()
+            .collect();
+
+        // Owned, shareable copies of the plan axes for the unit tasks.
+        let domains_arc: Arc<Vec<String>> = Arc::new(domains.to_vec());
+        let countries_arc: Arc<Vec<CountryCode>> = Arc::new(self.study.countries.clone());
+        let rep: Arc<Vec<bool>> = Arc::new(
+            self.study
+                .countries
+                .iter()
+                .map(|c| self.study.rep_countries.contains(c))
+                .collect(),
+        );
+        let samples = self.study.baseline_samples as usize;
+
+        let budget = self.config.stop_after_units.unwrap_or(usize::MAX);
+        let mut join: JoinSet<(UnitResult, BatchStats)> = JoinSet::new();
+        let mut next = 0usize;
+        let mut launched = 0usize;
+        let mut completed = restored;
+        let mut stats = BatchStats::default();
+        let mut since_checkpoint = 0usize;
+
+        let spawn_next = |join: &mut JoinSet<(UnitResult, BatchStats)>, unit: WorkUnit| {
+            let engine = Arc::clone(&self.engine);
+            let domains = Arc::clone(&domains_arc);
+            let countries = Arc::clone(&countries_arc);
+            let rep = Arc::clone(&rep);
+            let fingerprints = self.fingerprints.clone();
+            let view = sink.at_offset(unit.start);
+            join.spawn(async move {
+                run_unit(
+                    engine,
+                    domains,
+                    countries,
+                    rep,
+                    samples,
+                    unit,
+                    fingerprints,
+                    view,
+                )
+                .await
+            });
+        };
+
+        while join.len() < self.config.shards && next < pending.len() && launched < budget {
+            spawn_next(&mut join, pending[next]);
+            next += 1;
+            launched += 1;
+        }
+
+        while let Some(joined) = join.join_next().await {
+            let (unit, unit_stats) = joined.expect("work-unit task must not panic");
+            stats.merge(&unit_stats);
+            completed.push(unit);
+            since_checkpoint += 1;
+            if let Some(path) = &self.config.checkpoint_path {
+                if since_checkpoint >= self.config.checkpoint_every {
+                    Checkpoint::snapshot(
+                        config_hash,
+                        plan.total_probes(),
+                        self.study.work_unit_domains,
+                        plan.total_units(),
+                        &completed,
+                    )
+                    .save(path)?;
+                    since_checkpoint = 0;
+                }
+            }
+            if next < pending.len() && launched < budget {
+                spawn_next(&mut join, pending[next]);
+                next += 1;
+                launched += 1;
+            }
+        }
+
+        // Trailing units that landed since the last cadence write.
+        if since_checkpoint > 0 {
+            if let Some(path) = &self.config.checkpoint_path {
+                Checkpoint::snapshot(
+                    config_hash,
+                    plan.total_probes(),
+                    self.study.work_unit_domains,
+                    plan.total_units(),
+                    &completed,
+                )
+                .save(path)?;
+            }
+        }
+
+        completed.sort_by_key(|u| u.start);
+        stats.quarantined_exits = self.engine.breaker().quarantined_count();
+        // This process's pass is over (even if interrupted): fire the
+        // shared sink's exactly-once `finished`.
+        sink.finish(&stats);
+
+        let fresh_units = completed.len() - restored_units;
+        let interrupted = completed.len() < plan.total_units();
+        let result = merge_units(domains, &self.study, &completed);
+        Ok(OrchestratorRun {
+            result,
+            stats,
+            units: completed,
+            fresh_units,
+            restored_units,
+            total_units: plan.total_units(),
+            interrupted,
+        })
+    }
+}
+
+/// Probe one work unit through its own ordered stream: classify each
+/// completion, offer representative-country bodies to a unit-local archive
+/// (per-domain ceilings never cross units — domains never span units), and
+/// record every probe for checkpointing.
+#[allow(clippy::too_many_arguments)]
+async fn run_unit<T: Transport + 'static, S: ProbeSink + 'static>(
+    engine: Arc<Lumscan<T>>,
+    domains: Arc<Vec<String>>,
+    countries: Arc<Vec<CountryCode>>,
+    rep: Arc<Vec<bool>>,
+    samples: usize,
+    unit: WorkUnit,
+    fingerprints: FingerprintSet,
+    mut sink: SharedSink<S>,
+) -> (UnitResult, BatchStats) {
+    let plan = TargetPlan::grid(&domains, &countries, samples);
+    let mut records = Vec::with_capacity(unit.probes());
+    let mut archive = BodyArchive::new();
+    // Ordered, like every study pass: archive retention and record order
+    // must replay identically between runs.
+    let mut stream = engine
+        .probe_stream_with(plan.iter_range(unit.start..unit.end), &mut sink)
+        .ordered();
+    while let Some((local, result)) = stream.next().await {
+        let index = unit.start + local;
+        let coord = plan.coord(index);
+        let obs = classify_chain(&fingerprints, &result.outcome);
+        if rep[coord.country] {
+            if let Ok(chain) = &result.outcome {
+                let resp = chain.final_response();
+                archive.offer(
+                    coord.domain as u32,
+                    coord.country as u16,
+                    coord.sample as u16,
+                    resp.body.len() as u32,
+                    &resp.body.as_text(),
+                );
+            }
+        }
+        records.push(ProbeRecord::capture(index, &result, obs));
+    }
+    let stats = stream.into_stats();
+    let mut docs: Vec<ArchivedDoc> = archive
+        .iter()
+        .map(|((domain, country, sample), body)| ArchivedDoc {
+            domain,
+            country,
+            sample,
+            body: body.to_string(),
+        })
+        .collect();
+    // HashMap iteration order is arbitrary; checkpoints must be
+    // byte-stable for a given set of completed units.
+    docs.sort_by_key(|d| (d.domain, d.country, d.sample));
+    (
+        UnitResult {
+            id: unit.id,
+            start: unit.start,
+            end: unit.end,
+            domain_start: unit.domain_start,
+            domain_end: unit.domain_end,
+            records,
+            docs,
+        },
+        stats,
+    )
+}
+
+/// Deterministically merge completed units into one [`StudyResult`]:
+/// replay each record's observation at its plan coordinate (units sorted
+/// by offset, records in index order — the sequential pass's order) and
+/// insert each retained body verbatim. Restored and fresh units merge
+/// identically; the merge never re-probes and never re-judges retention.
+fn merge_units(domains: &[String], study: &StudyConfig, units: &[UnitResult]) -> StudyResult {
+    let plan = TargetPlan::grid(domains, &study.countries, study.baseline_samples as usize);
+    let mut store = SampleStore::new(domains.to_vec(), study.countries.clone());
+    let mut archive = BodyArchive::new();
+    for unit in units {
+        for record in &unit.records {
+            let coord = plan.coord(record.index);
+            store.push(coord.domain, coord.country, record.obs);
+        }
+        for doc in &unit.docs {
+            archive.insert(doc.domain, doc.country, doc.sample, doc.body.clone());
+        }
+    }
+    StudyResult { store, archive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::{render, PageKind, PageParams};
+    use geoblock_core::Top10kStudy;
+    use geoblock_http::{FetchError, Response, StatusCode};
+    use geoblock_lumscan::{GaugeSink, LumscanConfig, TransportRequest};
+    use geoblock_worldgen::cc;
+
+    /// The study-module toy internet: `blocked.com` serves a Cloudflare
+    /// 1009 page in IR, content elsewhere; everything else serves content.
+    struct ToyNet;
+
+    impl Transport for ToyNet {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let host = req.request.effective_host();
+            if host == "lumtest.io" {
+                return Ok(Response::builder(StatusCode::OK)
+                    .body(format!("country={}", req.country))
+                    .finish(req.request.url));
+            }
+            if host.starts_with("blocked") && req.country == cc("IR") {
+                let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+                return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+            }
+            Ok(Response::builder(StatusCode::OK)
+                .body("<html><body>".to_string() + &"content ".repeat(500) + "</body></html>")
+                .finish(req.request.url))
+        }
+    }
+
+    fn toy_domains() -> Vec<String> {
+        vec![
+            "blocked-a.com".to_string(),
+            "plain-a.com".to_string(),
+            "blocked-b.com".to_string(),
+            "plain-b.com".to_string(),
+            "plain-c.com".to_string(),
+        ]
+    }
+
+    fn toy_study() -> StudyConfig {
+        StudyConfig::builder()
+            .countries([cc("IR"), cc("US"), cc("DE")])
+            .rep_countries([cc("IR")])
+            .work_unit_domains(2)
+            .build()
+            .unwrap()
+    }
+
+    fn toy_engine() -> Arc<Lumscan<ToyNet>> {
+        Arc::new(Lumscan::new(
+            ToyNet,
+            LumscanConfig::builder().concurrency(2).build().unwrap(),
+        ))
+    }
+
+    async fn single_stream_result() -> StudyResult {
+        let study = Top10kStudy::new(toy_engine(), toy_study());
+        study.baseline(&toy_domains()).await
+    }
+
+    fn assert_same_result(a: &StudyResult, b: &StudyResult) {
+        assert_eq!(a.store.domains, b.store.domains);
+        assert_eq!(a.store.countries, b.store.countries);
+        for ((d, c, cell_a), (_, _, cell_b)) in a.store.iter_cells().zip(b.store.iter_cells()) {
+            assert_eq!(cell_a, cell_b, "cell ({d}, {c}) differs");
+        }
+        assert_eq!(a.archive.len(), b.archive.len(), "archive sizes differ");
+        let mut docs_a: Vec<_> = a.archive.iter().collect();
+        docs_a.sort();
+        let mut docs_b: Vec<_> = b.archive.iter().collect();
+        docs_b.sort();
+        assert_eq!(docs_a, docs_b, "archived documents differ");
+    }
+
+    #[tokio::test]
+    async fn sharded_baseline_matches_single_stream_for_any_shard_count() {
+        let single = single_stream_result().await;
+        for shards in [1, 2, 8] {
+            let orch = Orchestrator::new(
+                toy_engine(),
+                toy_study(),
+                OrchestratorConfig::default().shards(shards),
+            );
+            let run = orch.baseline(&toy_domains()).await.unwrap();
+            assert_eq!(run.total_units, 3, "5 domains / 2 per unit");
+            assert_eq!(run.fresh_units, 3);
+            assert_eq!(run.restored_units, 0);
+            assert!(!run.interrupted);
+            assert_eq!(run.stats.total, 5 * 3 * 3);
+            assert_same_result(&run.result, &single);
+        }
+    }
+
+    #[tokio::test]
+    async fn shared_sink_sees_one_finished_pass_at_global_indices() {
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default().shards(2),
+        );
+        let sink = SharedSink::new(GaugeSink::new());
+        let run = orch
+            .baseline_with(&toy_domains(), sink.clone())
+            .await
+            .unwrap();
+        let gauge = sink.with(|g| g.clone());
+        assert_eq!(gauge.started, run.stats.total);
+        assert_eq!(gauge.completed, run.stats.total);
+        assert!(gauge.finished, "owner-driven finished must fire once");
+    }
+
+    #[tokio::test]
+    async fn kill_and_resume_reproduces_the_uninterrupted_run() {
+        let dir = std::env::temp_dir().join(format!("geoblock-orch-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt");
+
+        // Leg 1: stop after one launched unit; the checkpoint has its work.
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default()
+                .shards(1)
+                .checkpoint_path(&path)
+                .stop_after_units(1),
+        );
+        let leg1 = orch.baseline(&toy_domains()).await.unwrap();
+        assert!(leg1.interrupted);
+        assert_eq!(leg1.fresh_units, 1);
+
+        // Leg 2: a fresh engine resumes from the file and finishes.
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert_eq!(checkpoint.completed_ids().len(), 1);
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default()
+                .shards(2)
+                .checkpoint_path(&path),
+        );
+        let resumed = orch.resume(&toy_domains(), checkpoint).await.unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.restored_units, 1);
+        assert_eq!(resumed.fresh_units, 2);
+        // Fresh-only stats: two units' worth of probes.
+        assert_eq!(resumed.stats.total, 2 * 2 * 3 * 3 - 3 * 3);
+
+        assert_same_result(&resumed.result, &single_stream_result().await);
+
+        // The final checkpoint on disk now holds the complete pass.
+        let final_cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(final_cp.completed_probes(), 5 * 3 * 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[tokio::test]
+    async fn resume_refuses_a_foreign_checkpoint() {
+        let orch = Orchestrator::new(toy_engine(), toy_study(), OrchestratorConfig::default());
+        let checkpoint = Checkpoint::snapshot(0xdead_beef, 45, 2, 3, &[]);
+        let err = orch
+            .resume(&toy_domains(), checkpoint)
+            .await
+            .err()
+            .expect("mismatched config hash must refuse");
+        assert!(matches!(
+            err,
+            OrchestratorError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+        ));
+        assert!(err.to_string().contains("different study"), "{err}");
+    }
+
+    #[tokio::test]
+    async fn zero_shards_is_a_config_error() {
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default().shards(0),
+        );
+        assert!(matches!(
+            orch.baseline(&toy_domains()).await,
+            Err(OrchestratorError::Config(_))
+        ));
+    }
+}

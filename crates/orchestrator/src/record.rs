@@ -1,0 +1,141 @@
+//! The per-probe record a work unit keeps for checkpointing.
+
+use geoblock_core::Obs;
+use geoblock_lumscan::ProbeResult;
+use geoblock_worldgen::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// Everything a completed probe contributes to the study and to the
+/// deterministic-simulation trace, in a serializable form.
+///
+/// This is the checkpoint's unit of progress: a restored record replays
+/// its observation into the merged store without re-probing, and its
+/// attempt/session/fault evidence reconstructs the simtest trace event the
+/// probe would have produced — so a resumed run's trace hash can match an
+/// uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Flat index in the study's grid plan (global, not unit-local).
+    pub index: usize,
+    /// Target host.
+    pub host: String,
+    /// Vantage country.
+    pub country: CountryCode,
+    /// Attempts the engine spent (0 for a panicked slot).
+    pub attempts: u32,
+    /// The exit session each attempt rode, in attempt order.
+    pub sessions: Vec<u64>,
+    /// Stable labels of every absorbed or terminal fault, in attempt order.
+    pub faults: Vec<String>,
+    /// Redirect-chain length of the final successful attempt (0 on error).
+    pub hops: usize,
+    /// The classified observation — what the study keeps of this probe.
+    pub obs: Obs,
+}
+
+impl ProbeRecord {
+    /// Reduce a completed probe to its record. `obs` is passed in rather
+    /// than re-derived so the caller classifies exactly once per probe.
+    pub fn capture(index: usize, result: &ProbeResult, obs: Obs) -> ProbeRecord {
+        ProbeRecord {
+            index,
+            host: result.target.url.host.as_str().to_string(),
+            country: result.target.country,
+            attempts: result.attempts,
+            sessions: result.attempt_sessions.iter().map(|s| s.0).collect(),
+            faults: result
+                .attempt_errors
+                .iter()
+                .map(|e| e.kind().to_string())
+                .collect(),
+            hops: result.chain().map(|c| c.hops.len()).unwrap_or(0),
+            obs,
+        }
+    }
+
+    /// The record's canonical line — fixed field order, byte-stable across
+    /// runs and platforms. The checkpoint's integrity hash is FNV-1a over
+    /// these lines in index order, so any tampered or bit-rotted field
+    /// moves the hash.
+    pub fn canonical_line(&self) -> String {
+        let join = |parts: Vec<String>| {
+            if parts.is_empty() {
+                "-".to_string()
+            } else {
+                parts.join(",")
+            }
+        };
+        let sessions = join(self.sessions.iter().map(|s| format!("{s:016x}")).collect());
+        let faults = join(self.faults.clone());
+        format!(
+            "i={:05} host={} cc={} att={} exits={} faults={} hops={} obs={}",
+            self.index,
+            self.host,
+            self.country,
+            self.attempts,
+            sessions,
+            faults,
+            self.hops,
+            self.obs.stable_label(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_core::ErrKind;
+    use geoblock_worldgen::cc;
+
+    fn record() -> ProbeRecord {
+        ProbeRecord {
+            index: 7,
+            host: "blocked-0.example".to_string(),
+            country: cc("IR"),
+            attempts: 2,
+            sessions: vec![1, 2],
+            faults: vec!["proxy".to_string()],
+            hops: 1,
+            obs: Obs::Response {
+                status: 403,
+                len: 512,
+                page: None,
+            },
+        }
+    }
+
+    #[test]
+    fn canonical_line_is_fixed_format() {
+        assert_eq!(
+            record().canonical_line(),
+            "i=00007 host=blocked-0.example cc=IR att=2 \
+             exits=0000000000000001,0000000000000002 faults=proxy hops=1 \
+             obs=resp:403:512:-"
+        );
+    }
+
+    #[test]
+    fn empty_fields_render_as_dashes() {
+        let mut r = record();
+        r.sessions.clear();
+        r.faults.clear();
+        r.obs = Obs::Error(ErrKind::Timeout);
+        let line = r.canonical_line();
+        assert!(line.contains("exits=- faults=-"), "{line}");
+        assert!(line.ends_with("obs=err:Timeout"), "{line}");
+    }
+
+    #[test]
+    fn every_field_moves_the_line() {
+        let base = record().canonical_line();
+        let mut r = record();
+        r.attempts = 3;
+        assert_ne!(r.canonical_line(), base);
+        let mut r = record();
+        r.sessions.push(9);
+        assert_ne!(r.canonical_line(), base);
+        let mut r = record();
+        r.host.push('x');
+        assert_ne!(r.canonical_line(), base);
+    }
+}

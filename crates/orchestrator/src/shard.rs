@@ -1,0 +1,182 @@
+//! Domain-aligned partitioning of a grid plan into work units.
+//!
+//! The baseline grid is domain-major (`per_domain = countries × samples`
+//! consecutive indices per domain), so cutting only on domain boundaries
+//! keeps every (domain, country) pair — and every per-domain retention
+//! ceiling — inside exactly one unit. That alignment is what lets the
+//! orchestrator's merge reproduce a sequential pass bit for bit; see the
+//! crate docs for the full argument.
+
+/// One contiguous slice of a grid plan: `unit_domains` (or fewer, for the
+/// final unit) whole domains and every probe index they own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Unit number, counting from 0 in plan order.
+    pub id: usize,
+    /// First domain index covered (inclusive).
+    pub domain_start: usize,
+    /// One past the last domain index covered.
+    pub domain_end: usize,
+    /// First plan index covered (inclusive).
+    pub start: usize,
+    /// One past the last plan index covered.
+    pub end: usize,
+}
+
+impl WorkUnit {
+    /// Probes in this unit.
+    pub fn probes(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Domains in this unit.
+    pub fn domains(&self) -> usize {
+        self.domain_end - self.domain_start
+    }
+}
+
+/// The partition of a `domains × countries × samples` grid into
+/// domain-aligned [`WorkUnit`]s.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Total domains in the grid.
+    pub domains: usize,
+    /// Countries per domain.
+    pub countries: usize,
+    /// Samples per (domain, country) pair.
+    pub samples: usize,
+    /// Domains per unit (the last unit may hold fewer).
+    pub unit_domains: usize,
+    units: Vec<WorkUnit>,
+}
+
+impl ShardPlan {
+    /// Partition a grid of `domains × countries × samples` probes into
+    /// units of `unit_domains` whole domains each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_domains` is zero — [`StudyConfig`]'s builder
+    /// rejects that value, so reaching here with it is a driver bug.
+    ///
+    /// [`StudyConfig`]: geoblock_core::StudyConfig
+    pub fn new(domains: usize, countries: usize, samples: usize, unit_domains: usize) -> ShardPlan {
+        assert!(unit_domains > 0, "a work unit needs at least one domain");
+        let per_domain = countries * samples;
+        let units = (0..domains)
+            .step_by(unit_domains)
+            .enumerate()
+            .map(|(id, domain_start)| {
+                let domain_end = (domain_start + unit_domains).min(domains);
+                WorkUnit {
+                    id,
+                    domain_start,
+                    domain_end,
+                    start: domain_start * per_domain,
+                    end: domain_end * per_domain,
+                }
+            })
+            .collect();
+        ShardPlan {
+            domains,
+            countries,
+            samples,
+            unit_domains,
+            units,
+        }
+    }
+
+    /// The units, in plan order.
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn total_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Total probes across all units (the grid plan's length).
+    pub fn total_probes(&self) -> usize {
+        self.domains * self.countries * self.samples
+    }
+
+    /// The unit covering plan index `i`, if any.
+    pub fn unit_of(&self, i: usize) -> Option<&WorkUnit> {
+        self.units.iter().find(|u| u.start <= i && i < u.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_tile_the_plan_exactly() {
+        // 5 domains × 4 countries × 3 samples, 2 domains per unit.
+        let plan = ShardPlan::new(5, 4, 3, 2);
+        assert_eq!(plan.total_units(), 3);
+        assert_eq!(plan.total_probes(), 60);
+        let units = plan.units();
+        assert_eq!(
+            units[0],
+            WorkUnit {
+                id: 0,
+                domain_start: 0,
+                domain_end: 2,
+                start: 0,
+                end: 24
+            }
+        );
+        assert_eq!(
+            units[1],
+            WorkUnit {
+                id: 1,
+                domain_start: 2,
+                domain_end: 4,
+                start: 24,
+                end: 48
+            }
+        );
+        // The last unit holds the one leftover domain.
+        assert_eq!(
+            units[2],
+            WorkUnit {
+                id: 2,
+                domain_start: 4,
+                domain_end: 5,
+                start: 48,
+                end: 60
+            }
+        );
+        assert_eq!(units.iter().map(WorkUnit::probes).sum::<usize>(), 60);
+        // Every index belongs to exactly one unit.
+        for i in 0..60 {
+            let owners = units.iter().filter(|u| u.start <= i && i < u.end).count();
+            assert_eq!(owners, 1, "index {i} owned by {owners} units");
+        }
+        assert_eq!(plan.unit_of(24).unwrap().id, 1);
+        assert_eq!(plan.unit_of(60), None);
+    }
+
+    #[test]
+    fn oversized_units_collapse_to_one() {
+        let plan = ShardPlan::new(3, 2, 1, 4096);
+        assert_eq!(plan.total_units(), 1);
+        assert_eq!(plan.units()[0].probes(), 6);
+        assert_eq!(plan.units()[0].domains(), 3);
+    }
+
+    #[test]
+    fn empty_grids_have_no_units() {
+        let plan = ShardPlan::new(0, 4, 3, 2);
+        assert_eq!(plan.total_units(), 0);
+        assert_eq!(plan.total_probes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_unit_domains_is_a_bug() {
+        ShardPlan::new(5, 4, 3, 0);
+    }
+}

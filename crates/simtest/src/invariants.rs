@@ -103,7 +103,10 @@ pub fn check_trace(
                 ),
             ));
         }
-        if event.attempts == 0 && !event.faults.contains(&"panic") && event.obs.responded() {
+        if event.attempts == 0
+            && !event.faults.iter().any(|f| f == "panic")
+            && event.obs.responded()
+        {
             violations.push(InvariantViolation::new(
                 "attempt-budget",
                 format!("probe {i} responded with zero attempts"),

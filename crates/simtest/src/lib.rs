@@ -24,6 +24,10 @@
 //!   evidence on every replay;
 //! * [`scenario`] — the one shared scenario ([`run_scenario`]) the golden
 //!   corpus, sweeps, and shrinker replays all execute;
+//! * [`sharded`] — the same scenario run through the study orchestrator
+//!   ([`run_sharded_scenario`], [`run_sharded_scenario_resumed`]), so
+//!   shard counts and kill/resume splits compare by fingerprint against
+//!   single-stream runs;
 //! * [`nondet`] — [`ArrivalOrderFaults`], the deliberately
 //!   schedule-coupled adversary the harness proves it can catch and
 //!   shrink.
@@ -31,6 +35,7 @@
 pub mod invariants;
 pub mod nondet;
 pub mod scenario;
+pub mod sharded;
 pub mod shrink;
 pub mod sweep;
 pub mod trace;
@@ -40,6 +45,9 @@ pub use nondet::ArrivalOrderFaults;
 pub use scenario::{
     run_clocked_scenario, run_scenario, run_scenario_on, scenario_config, scenario_domains,
     scenario_engine_config, scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
+};
+pub use sharded::{
+    finish_sharded, run_sharded_scenario, run_sharded_scenario_resumed, trace_from_units,
 };
 pub use shrink::{canonical_events, ddmin, ddmin_async, ReproFixture};
 pub use sweep::{run_sweep, Divergence, StudyFingerprint, SweepReport};

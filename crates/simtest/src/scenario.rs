@@ -94,7 +94,7 @@ pub fn scenario_config() -> StudyConfig {
     StudyConfig::builder()
         .countries([cc("IR"), cc("SY"), cc("US"), cc("DE")])
         .rep_countries([cc("IR"), cc("US")])
-        .chunk_domains(2)
+        .work_unit_domains(2)
         .build()
         .expect("valid study config")
 }

@@ -1,0 +1,203 @@
+//! Sharded-scenario runners: the orchestrator under the DST microscope.
+//!
+//! The orchestrator's whole claim is that sharding and kill/resume are
+//! *invisible* — that for a fixed seed, any shard count and any
+//! interruption point produce the same study as one sequential stream.
+//! This module makes that claim testable by running the standard
+//! [`scenario`](crate::scenario) *through* the orchestrator and reducing
+//! the result to the same [`TracedStudy`] artifacts single-stream runs
+//! produce, so fingerprints compare directly:
+//!
+//! * [`trace_from_units`] rebuilds a [`StudyTrace`] from the orchestrator's
+//!   checkpointable [`ProbeRecord`]s — same canonical fields, index order;
+//! * [`run_sharded_scenario`] runs the scenario's baseline through an
+//!   [`Orchestrator`] at a given shard count;
+//! * [`run_sharded_scenario_resumed`] kills the pass at half its work
+//!   units, then resumes from the checkpoint file on a *fresh* engine —
+//!   the end-to-end resume path.
+//!
+//! Sharded traces are compared unclocked (`ts_micros = 0`), matching the
+//! unclocked single-stream scenario: probes of different units genuinely
+//! interleave, so virtual time is the one field sharding is allowed to
+//! change.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use geoblock_core::Top10kStudy;
+use geoblock_lumscan::{Lumscan, Transport};
+use geoblock_orchestrator::{
+    Checkpoint, Orchestrator, OrchestratorConfig, OrchestratorRun, UnitResult,
+};
+use geoblock_proxynet::{FaultPlan, FaultyTransport};
+
+use crate::scenario::{
+    scenario_config, scenario_domains, scenario_engine_config, SimWeb, TracedStudy,
+};
+use crate::sweep::StudyFingerprint;
+use crate::trace::{StudyTrace, TraceEvent};
+use geoblock_core::TargetPlan;
+use geoblock_worldgen::CountryCode;
+
+/// Rebuild the study trace from completed work units. Records already
+/// carry every canonical field a [`TraceEvent`] needs; units are walked in
+/// plan-offset order, so the trace lists probes in index order — exactly
+/// what [`StudyTrace::canonical_text`] sorts to anyway.
+pub fn trace_from_units(
+    units: &[UnitResult],
+    domains: &[String],
+    countries: &[CountryCode],
+    samples: usize,
+) -> StudyTrace {
+    let plan = TargetPlan::grid(domains, countries, samples);
+    let mut ordered: Vec<&UnitResult> = units.iter().collect();
+    ordered.sort_by_key(|u| u.start);
+    let mut trace = StudyTrace { events: Vec::new() };
+    for unit in ordered {
+        for r in &unit.records {
+            trace.events.push(TraceEvent {
+                index: r.index,
+                coord: (r.index < plan.len()).then(|| plan.coord(r.index)),
+                host: r.host.clone(),
+                country: r.country,
+                attempts: r.attempts,
+                sessions: r.sessions.clone(),
+                faults: r.faults.clone(),
+                hops: r.hops,
+                // Sharded passes are compared unclocked: units interleave,
+                // so completion time is schedule-dependent by design.
+                ts_micros: 0,
+                obs: r.obs,
+            });
+        }
+    }
+    trace
+}
+
+/// Reduce a finished orchestrator run to the scenario's comparable
+/// artifacts: run the confirmation pass on the same engine, rebuild the
+/// trace from the run's units, fingerprint the lot.
+pub async fn finish_sharded<T: Transport + 'static>(
+    engine: Arc<Lumscan<T>>,
+    run: OrchestratorRun,
+) -> TracedStudy {
+    let config = scenario_config();
+    let domains = scenario_domains();
+    let mut result = run.result;
+    let study = Top10kStudy::new(engine, config.clone());
+    let flagged = study.confirm_explicit(&mut result).await;
+    let trace = trace_from_units(
+        &run.units,
+        &domains,
+        &config.countries,
+        config.baseline_samples as usize,
+    );
+    let fingerprint = StudyFingerprint::capture(&trace, &result, &config.confirm);
+    TracedStudy {
+        trace,
+        result,
+        fingerprint,
+        flagged,
+    }
+}
+
+fn scenario_orchestrator(
+    seed: u64,
+    config: OrchestratorConfig,
+) -> Orchestrator<FaultyTransport<SimWeb>> {
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(seed));
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(2)));
+    Orchestrator::new(engine, scenario_config(), config)
+}
+
+/// Run the scenario's baseline through the orchestrator at `shards`
+/// concurrent work units, under [`FaultPlan::standard`] weather for
+/// `seed`. For any `shards`, the fingerprint equals the single-stream
+/// scenario's at the same seed.
+pub async fn run_sharded_scenario(seed: u64, shards: usize) -> TracedStudy {
+    let orch = scenario_orchestrator(seed, OrchestratorConfig::default().shards(shards));
+    let run = orch
+        .baseline(&scenario_domains())
+        .await
+        .expect("sharded scenario baseline");
+    assert!(!run.interrupted, "uninterrupted run must complete");
+    finish_sharded(Arc::clone(orch.engine()), run).await
+}
+
+/// The kill/resume path: run the scenario's baseline until half the work
+/// units have launched, drop the engine, then resume from the checkpoint
+/// at `path` on a fresh engine (same seed, so the simulated weather
+/// replays). The finished run's fingerprint equals an uninterrupted one's.
+pub async fn run_sharded_scenario_resumed(seed: u64, shards: usize, path: &Path) -> TracedStudy {
+    // Leg 1: checkpoint every unit, stop halfway.
+    let config = scenario_config();
+    let total = geoblock_orchestrator::ShardPlan::new(
+        scenario_domains().len(),
+        config.countries.len(),
+        config.baseline_samples as usize,
+        config.work_unit_domains,
+    )
+    .total_units();
+    let orch = scenario_orchestrator(
+        seed,
+        OrchestratorConfig::default()
+            .shards(shards)
+            .checkpoint_every(1)
+            .checkpoint_path(path)
+            .stop_after_units((total / 2).max(1)),
+    );
+    let leg1 = orch
+        .baseline(&scenario_domains())
+        .await
+        .expect("interrupted leg");
+    assert!(
+        leg1.interrupted || total == 1,
+        "leg 1 must stop early (total_units={total})"
+    );
+    drop(orch);
+
+    // Leg 2: a fresh process's engine — same seed — resumes and finishes.
+    let checkpoint = Checkpoint::load(path).expect("checkpoint written by leg 1");
+    let orch = scenario_orchestrator(
+        seed,
+        OrchestratorConfig::default()
+            .shards(shards)
+            .checkpoint_path(path),
+    );
+    let run = orch
+        .resume(&scenario_domains(), checkpoint)
+        .await
+        .expect("resumed leg");
+    assert!(!run.interrupted, "resumed run must complete");
+    finish_sharded(Arc::clone(orch.engine()), run).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, GOLDEN_SEED};
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn one_shard_matches_the_single_stream_scenario() {
+        let single = run_scenario(GOLDEN_SEED, 1).await;
+        let sharded = run_sharded_scenario(GOLDEN_SEED, 1).await;
+        assert_eq!(sharded.fingerprint, single.fingerprint);
+        assert_eq!(
+            sharded.trace.canonical_text(),
+            single.trace.canonical_text()
+        );
+        assert_eq!(sharded.flagged, single.flagged);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn trace_rebuild_preserves_every_canonical_field() {
+        let sharded = run_sharded_scenario(GOLDEN_SEED, 2).await;
+        let single = run_scenario(GOLDEN_SEED, 1).await;
+        // Field-level check, not just the hash: same lines, same order
+        // after canonicalization.
+        assert_eq!(
+            sharded.trace.canonical_text(),
+            single.trace.canonical_text()
+        );
+    }
+}

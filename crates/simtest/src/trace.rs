@@ -42,7 +42,7 @@ pub struct TraceEvent {
     /// The exit session each attempt rode, in attempt order.
     pub sessions: Vec<u64>,
     /// Stable labels of every absorbed or terminal fault, in attempt order.
-    pub faults: Vec<&'static str>,
+    pub faults: Vec<String>,
     /// Redirect-chain length of the final successful attempt (0 on error).
     pub hops: usize,
     /// Virtual-clock micros at completion; 0 when the sink has no clock.
@@ -229,7 +229,11 @@ impl ProbeSink for TraceSink {
             country: result.target.country,
             attempts: result.attempts,
             sessions: result.attempt_sessions.iter().map(|s| s.0).collect(),
-            faults: result.attempt_errors.iter().map(|e| e.kind()).collect(),
+            faults: result
+                .attempt_errors
+                .iter()
+                .map(|e| e.kind().to_string())
+                .collect(),
             hops: result.chain().map(|c| c.hops.len()).unwrap_or(0),
             ts_micros: self.clock.as_ref().map(|c| c.now_micros()).unwrap_or(0),
             obs: classify_chain(&self.fingerprints, &result.outcome),
@@ -258,7 +262,7 @@ mod tests {
             country: cc("IR"),
             attempts,
             sessions: (0..attempts as u64).map(|a| a + 1).collect(),
-            faults: (1..attempts).map(|_| "proxy").collect(),
+            faults: (1..attempts).map(|_| "proxy".to_string()).collect(),
             hops: 1,
             ts_micros: 0,
             obs: Obs::Response {
@@ -298,7 +302,7 @@ mod tests {
         let mut b = a.clone();
         b.events[0].attempts = 2;
         b.events[0].sessions.push(9);
-        b.events[0].faults.push("proxy");
+        b.events[0].faults.push("proxy".to_string());
         assert_ne!(a.content_hash(), b.content_hash());
     }
 

@@ -19,6 +19,7 @@
 //! | [`netsim`] | `geoblock-netsim` | the simulated Internet |
 //! | [`proxynet`] | `geoblock-proxynet` | the residential proxy network |
 //! | [`core`] | `geoblock-core` | the measurement pipeline |
+//! | [`orchestrator`] | `geoblock-orchestrator` | sharded, resumable study passes |
 //! | [`analysis`] | `geoblock-analysis` | tables, figures, statistics |
 //! | [`simtest`] | `geoblock-simtest` | deterministic simulation testing |
 //!
@@ -62,6 +63,7 @@ pub use geoblock_core as core;
 pub use geoblock_http as http;
 pub use geoblock_lumscan as lumscan;
 pub use geoblock_netsim as netsim;
+pub use geoblock_orchestrator as orchestrator;
 pub use geoblock_proxynet as proxynet;
 pub use geoblock_simtest as simtest;
 pub use geoblock_textmine as textmine;
@@ -87,9 +89,12 @@ pub mod prelude {
     pub use geoblock_lumscan::{
         BatchStats, CircuitBreaker, ConfigError, GaugeSink, Lumscan, LumscanConfig,
         LumscanConfigBuilder, NoopSink, ProbeResult, ProbeSink, ProbeStream, ProbeTarget,
-        RetryPolicy, Transport,
+        RetryPolicy, SharedSink, Transport,
     };
     pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
+    pub use geoblock_orchestrator::{
+        Checkpoint, CheckpointError, Orchestrator, OrchestratorConfig, OrchestratorRun, ShardPlan,
+    };
     pub use geoblock_proxynet::{
         FaultEvent, FaultKind, FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig,
         LuminatiNetwork, ScriptedFaults,

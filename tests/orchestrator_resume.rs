@@ -1,0 +1,204 @@
+//! The orchestrator's contract, end to end: sharding and kill/resume are
+//! invisible to the study.
+//!
+//! Three layers of evidence:
+//!
+//! * **shard sweep** — for a fixed seed, the DST scenario's
+//!   `StudyFingerprint` is identical at shard counts {1, 2, 8} and equal
+//!   to the single-stream run's (`SHARD_SWEEP_SEEDS` widens the sweep);
+//! * **kill/resume** — a run stopped at half its work units and resumed
+//!   from the checkpoint file on a fresh engine fingerprints identically
+//!   to an uninterrupted run;
+//! * **checkpoint integrity** — corruption, truncation, tampering, a
+//!   foreign study config, and wrong versions all surface as typed
+//!   [`CheckpointError`]s, never panics and never silent acceptance.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use geoblock::orchestrator::{Checkpoint, CheckpointError, OrchestratorError};
+use geoblock::simtest::{
+    run_scenario, run_sharded_scenario, run_sharded_scenario_resumed, run_sweep, scenario_config,
+    scenario_domains, GOLDEN_SEED,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("orchestrator_resume");
+    fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// The acceptance criterion, verbatim: for a fixed seed the fingerprint is
+/// identical across shard counts {1, 2, 8}, and identical to the
+/// single-stream scenario the golden corpus pins.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fingerprint_is_identical_across_shard_counts() {
+    let single = run_scenario(GOLDEN_SEED, 1).await;
+    for shards in [1usize, 2, 8] {
+        let sharded = run_sharded_scenario(GOLDEN_SEED, shards).await;
+        assert_eq!(
+            sharded.fingerprint, single.fingerprint,
+            "shards={shards} diverged from the single-stream run"
+        );
+        assert_eq!(
+            sharded.trace.canonical_text(),
+            single.trace.canonical_text(),
+            "shards={shards} trace text diverged"
+        );
+        assert_eq!(sharded.flagged, single.flagged);
+    }
+}
+
+/// The sweep form of the same property, across seeds: `SHARD_SWEEP_SEEDS`
+/// tunes the width (CI runs a reduced sweep per PR). The sweep runner
+/// compares fingerprints across the "concurrency" axis, which here carries
+/// the shard count.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn shard_sweep_is_shard_count_independent() {
+    let n: u64 = std::env::var("SHARD_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let seeds: Vec<u64> = (0..n).map(|i| 0x5aa_0000 + i * 6151).collect();
+    let report = run_sweep(&seeds, &[1, 2, 8], |seed, shards| async move {
+        run_sharded_scenario(seed, shards).await.fingerprint
+    })
+    .await;
+    assert_eq!(report.runs as u64, n * 3);
+    assert!(report.is_deterministic(), "{}", report.summary());
+}
+
+/// Kill at half the work units, resume from the checkpoint file on a fresh
+/// engine: the finished study fingerprints identically to one that was
+/// never interrupted.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn kill_and_resume_matches_the_uninterrupted_run() {
+    let uninterrupted = run_sharded_scenario(GOLDEN_SEED, 2).await;
+    let path = tmp("kill_resume.ckpt");
+    let resumed = run_sharded_scenario_resumed(GOLDEN_SEED, 2, &path).await;
+    assert_eq!(
+        resumed.fingerprint, uninterrupted.fingerprint,
+        "kill-at-50%-then-resume must be invisible"
+    );
+    assert_eq!(
+        resumed.trace.canonical_text(),
+        uninterrupted.trace.canonical_text()
+    );
+    assert_eq!(resumed.flagged, uninterrupted.flagged);
+    // The checkpoint left behind covers the complete pass.
+    let cp = Checkpoint::load(&path).expect("final checkpoint");
+    let config = scenario_config();
+    let expected =
+        scenario_domains().len() * config.countries.len() * config.baseline_samples as usize;
+    assert_eq!(cp.completed_probes(), expected);
+    fs::remove_file(&path).ok();
+}
+
+/// A valid checkpoint file for integrity tests, produced by an interrupted
+/// scenario run.
+async fn write_checkpoint(name: &str) -> PathBuf {
+    let path = tmp(name);
+    // The resumed runner both writes and consumes the file; afterwards the
+    // final checkpoint is on disk, valid, and complete.
+    run_sharded_scenario_resumed(GOLDEN_SEED, 1, &path).await;
+    path
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn corrupt_checkpoints_are_typed_errors_not_panics() {
+    let path = write_checkpoint("integrity.ckpt").await;
+    let full = fs::read_to_string(&path).expect("checkpoint text");
+
+    // Garbage bytes: malformed.
+    fs::write(&path, b"\x00\xffnot json at all").unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // Truncation (a crash mid-write of a non-atomic copy): malformed.
+    fs::write(&path, &full[..full.len() / 2]).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // A tampered record: the trace hash no longer matches.
+    let tampered = full.replacen("\"attempts\":1", "\"attempts\":9", 1);
+    assert_ne!(tampered, full, "fixture must contain a 1-attempt record");
+    fs::write(&path, &tampered).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(CheckpointError::Integrity { .. })
+    ));
+
+    // A future format version is refused, not misread.
+    let versioned = full.replacen("\"version\":1", "\"version\":999", 1);
+    assert_ne!(versioned, full);
+    fs::write(&path, &versioned).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(CheckpointError::Version { found: 999, .. })
+    ));
+
+    // A missing file is an I/O error.
+    fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(CheckpointError::Io(_))
+    ));
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn resume_refuses_a_checkpoint_from_a_different_study() {
+    use std::sync::Arc;
+
+    use geoblock::orchestrator::{Orchestrator, OrchestratorConfig};
+    use geoblock::prelude::{FaultPlan, FaultyTransport, Lumscan};
+    use geoblock::simtest::{scenario_engine_config, SimWeb};
+
+    let path = write_checkpoint("config_mismatch.ckpt").await;
+    let checkpoint = Checkpoint::load(&path).expect("valid checkpoint");
+
+    // Same study config, different domain list: a different study.
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(GOLDEN_SEED));
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(1)));
+    let orch = Orchestrator::new(engine, scenario_config(), OrchestratorConfig::default());
+    let mut other_domains = scenario_domains();
+    other_domains.push("straggler.example".to_string());
+    let err = orch
+        .resume(&other_domains, checkpoint)
+        .await
+        .err()
+        .expect("a foreign checkpoint must be refused");
+    assert!(matches!(
+        err,
+        OrchestratorError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+    ));
+    fs::remove_file(&path).ok();
+}
+
+/// Work-unit geometry is what the study config says it is: the scenario's
+/// five domains at two domains per unit make three units.
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn work_unit_size_comes_from_the_study_config() {
+    use std::sync::Arc;
+
+    use geoblock::orchestrator::{Orchestrator, OrchestratorConfig};
+    use geoblock::prelude::{FaultPlan, FaultyTransport, Lumscan};
+    use geoblock::simtest::{scenario_engine_config, SimWeb};
+
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(GOLDEN_SEED));
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(2)));
+    let orch = Orchestrator::new(
+        engine,
+        scenario_config(),
+        OrchestratorConfig::default().shards(2),
+    );
+    let plan = orch.shard_plan(&scenario_domains());
+    assert_eq!(plan.total_units(), 3, "5 domains at 2 per unit");
+    let run = orch.baseline(&scenario_domains()).await.expect("baseline");
+    assert_eq!(run.total_units, 3);
+    assert_eq!(run.fresh_units, 3);
+    assert!(!run.interrupted);
+}

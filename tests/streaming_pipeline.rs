@@ -57,11 +57,11 @@ fn domains() -> Vec<String> {
     ]
 }
 
-fn study_config(chunk_domains: usize) -> StudyConfig {
+fn study_config(work_unit_domains: usize) -> StudyConfig {
     StudyConfig::builder()
         .countries([cc("IR"), cc("SY"), cc("US"), cc("DE")])
         .rep_countries([cc("IR"), cc("US")])
-        .chunk_domains(chunk_domains)
+        .work_unit_domains(work_unit_domains)
         .build()
         .expect("valid study config")
 }
@@ -96,7 +96,7 @@ async fn chunked_batch_baseline<T: Transport + 'static>(
         .iter()
         .map(|c| config.rep_countries.contains(c))
         .collect();
-    for (chunk_no, chunk) in domains.chunks(config.chunk_domains).enumerate() {
+    for (chunk_no, chunk) in domains.chunks(config.work_unit_domains).enumerate() {
         let mut targets = Vec::with_capacity(chunk.len() * nc * ns);
         for domain in chunk {
             for country in &config.countries {
@@ -110,7 +110,7 @@ async fn chunked_batch_baseline<T: Transport + 'static>(
             let local_d = i / (nc * ns);
             let c = (i / ns) % nc;
             let s = i % ns;
-            let d = chunk_no * config.chunk_domains + local_d;
+            let d = chunk_no * config.work_unit_domains + local_d;
             let obs = classify_chain(&fingerprints, &result.outcome);
             if rep_idx[c] {
                 if let Ok(chain) = &result.outcome {
