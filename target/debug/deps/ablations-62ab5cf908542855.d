@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-62ab5cf908542855.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-62ab5cf908542855.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d6822950db92ef8b.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-d6822950db92ef8b.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

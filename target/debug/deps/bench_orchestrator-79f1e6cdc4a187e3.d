@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_orchestrator-79f1e6cdc4a187e3.d: crates/bench/src/bin/bench_orchestrator.rs
+
+/root/repo/target/debug/deps/bench_orchestrator-79f1e6cdc4a187e3: crates/bench/src/bin/bench_orchestrator.rs
+
+crates/bench/src/bin/bench_orchestrator.rs:

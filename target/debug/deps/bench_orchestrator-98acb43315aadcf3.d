@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_orchestrator-98acb43315aadcf3.d: crates/bench/src/bin/bench_orchestrator.rs
+
+/root/repo/target/debug/deps/libbench_orchestrator-98acb43315aadcf3.rmeta: crates/bench/src/bin/bench_orchestrator.rs
+
+crates/bench/src/bin/bench_orchestrator.rs:

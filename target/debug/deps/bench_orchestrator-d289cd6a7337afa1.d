@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_orchestrator-d289cd6a7337afa1.d: crates/bench/src/bin/bench_orchestrator.rs
+
+/root/repo/target/debug/deps/libbench_orchestrator-d289cd6a7337afa1.rmeta: crates/bench/src/bin/bench_orchestrator.rs
+
+crates/bench/src/bin/bench_orchestrator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-c3bf2e8380da3972.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c3bf2e8380da3972.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-942528d417e8e920.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-942528d417e8e920.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_geoblock=placeholder:geoblock

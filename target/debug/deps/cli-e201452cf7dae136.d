@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e201452cf7dae136.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e201452cf7dae136: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_geoblock=/root/repo/target/debug/geoblock

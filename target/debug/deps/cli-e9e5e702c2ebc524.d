@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e9e5e702c2ebc524.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-e9e5e702c2ebc524.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_geoblock=placeholder:geoblock

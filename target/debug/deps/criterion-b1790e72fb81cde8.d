@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b1790e72fb81cde8.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b1790e72fb81cde8.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

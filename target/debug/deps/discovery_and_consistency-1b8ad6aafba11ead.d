@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discovery_and_consistency-1b8ad6aafba11ead.d: tests/discovery_and_consistency.rs
+
+/root/repo/target/debug/deps/discovery_and_consistency-1b8ad6aafba11ead: tests/discovery_and_consistency.rs
+
+tests/discovery_and_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discovery_and_consistency-6bb4f43c7bac7846.d: tests/discovery_and_consistency.rs
+
+/root/repo/target/debug/deps/libdiscovery_and_consistency-6bb4f43c7bac7846.rmeta: tests/discovery_and_consistency.rs
+
+tests/discovery_and_consistency.rs:

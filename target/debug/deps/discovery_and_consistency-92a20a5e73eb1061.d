@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discovery_and_consistency-92a20a5e73eb1061.d: tests/discovery_and_consistency.rs
+
+/root/repo/target/debug/deps/libdiscovery_and_consistency-92a20a5e73eb1061.rmeta: tests/discovery_and_consistency.rs
+
+tests/discovery_and_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_top10k-3e5f5176ef964e09.d: tests/end_to_end_top10k.rs
+
+/root/repo/target/debug/deps/libend_to_end_top10k-3e5f5176ef964e09.rmeta: tests/end_to_end_top10k.rs
+
+tests/end_to_end_top10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_top10k-407c8cddd990d714.d: tests/end_to_end_top10k.rs
+
+/root/repo/target/debug/deps/libend_to_end_top10k-407c8cddd990d714.rmeta: tests/end_to_end_top10k.rs
+
+tests/end_to_end_top10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_top10k-7942c659a78060de.d: tests/end_to_end_top10k.rs
+
+/root/repo/target/debug/deps/end_to_end_top10k-7942c659a78060de: tests/end_to_end_top10k.rs
+
+tests/end_to_end_top10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-4ce9bcf938bc2dbb.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-4ce9bcf938bc2dbb.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-7f217fa8766b196f.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-7f217fa8766b196f.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-db8dc737ef8c718a.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-db8dc737ef8c718a: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7bc51bcad5af51cd.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-7bc51bcad5af51cd.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a46b8344f7ee92cf.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-a46b8344f7ee92cf.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-0edf5f2f822eee41.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-0edf5f2f822eee41.rmeta: src/lib.rs
+
+src/lib.rs:

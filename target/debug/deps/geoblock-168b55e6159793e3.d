@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-168b55e6159793e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-168b55e6159793e3.rmeta: src/lib.rs
+
+src/lib.rs:

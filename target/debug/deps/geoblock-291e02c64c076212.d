@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-291e02c64c076212.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/libgeoblock-291e02c64c076212.rmeta: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

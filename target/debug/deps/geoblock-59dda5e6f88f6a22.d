@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-59dda5e6f88f6a22.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/libgeoblock-59dda5e6f88f6a22.rmeta: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

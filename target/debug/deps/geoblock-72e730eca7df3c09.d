@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-72e730eca7df3c09.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-72e730eca7df3c09.rmeta: src/lib.rs
+
+src/lib.rs:

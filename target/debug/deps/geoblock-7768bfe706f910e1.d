@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-7768bfe706f910e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-7768bfe706f910e1.rmeta: src/lib.rs
+
+src/lib.rs:

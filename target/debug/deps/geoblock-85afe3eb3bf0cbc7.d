@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-85afe3eb3bf0cbc7.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/geoblock-85afe3eb3bf0cbc7: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

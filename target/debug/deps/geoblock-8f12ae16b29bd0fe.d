@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-8f12ae16b29bd0fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/geoblock-8f12ae16b29bd0fe: src/lib.rs
+
+src/lib.rs:

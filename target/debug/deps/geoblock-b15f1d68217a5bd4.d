@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-b15f1d68217a5bd4.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/libgeoblock-b15f1d68217a5bd4.rmeta: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-cd267276a857a190.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/libgeoblock-cd267276a857a190.rmeta: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geoblock-e41cd99d8cb4b121.d: src/bin/geoblock.rs
+
+/root/repo/target/debug/deps/geoblock-e41cd99d8cb4b121: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

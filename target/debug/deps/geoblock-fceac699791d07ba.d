@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geoblock-fceac699791d07ba.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-fceac699791d07ba.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgeoblock-fceac699791d07ba.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/geoblock_analysis-b677cbf35431bdf6.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/coverage.rs crates/analysis/src/export.rs crates/analysis/src/figures.rs crates/analysis/src/fortiguard.rs crates/analysis/src/ooni_scan.rs crates/analysis/src/paper.rs crates/analysis/src/render.rs crates/analysis/src/sampling.rs crates/analysis/src/stats.rs crates/analysis/src/tables.rs
+
+/root/repo/target/debug/deps/libgeoblock_analysis-b677cbf35431bdf6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/coverage.rs crates/analysis/src/export.rs crates/analysis/src/figures.rs crates/analysis/src/fortiguard.rs crates/analysis/src/ooni_scan.rs crates/analysis/src/paper.rs crates/analysis/src/render.rs crates/analysis/src/sampling.rs crates/analysis/src/stats.rs crates/analysis/src/tables.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/coverage.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/fortiguard.rs:
+crates/analysis/src/ooni_scan.rs:
+crates/analysis/src/paper.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/sampling.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/tables.rs:

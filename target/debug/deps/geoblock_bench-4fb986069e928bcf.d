@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geoblock_bench-4fb986069e928bcf.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libgeoblock_bench-4fb986069e928bcf.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

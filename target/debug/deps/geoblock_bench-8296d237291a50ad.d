@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geoblock_bench-8296d237291a50ad.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libgeoblock_bench-8296d237291a50ad.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libgeoblock_bench-8296d237291a50ad.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

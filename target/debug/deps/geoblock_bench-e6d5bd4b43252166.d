@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geoblock_bench-e6d5bd4b43252166.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libgeoblock_bench-e6d5bd4b43252166.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

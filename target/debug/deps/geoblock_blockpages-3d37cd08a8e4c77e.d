@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geoblock_blockpages-3d37cd08a8e4c77e.d: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/debug/deps/libgeoblock_blockpages-3d37cd08a8e4c77e.rlib: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/debug/deps/libgeoblock_blockpages-3d37cd08a8e4c77e.rmeta: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+crates/blockpages/src/lib.rs:
+crates/blockpages/src/fingerprints.rs:
+crates/blockpages/src/kind.rs:
+crates/blockpages/src/provider.rs:
+crates/blockpages/src/templates.rs:

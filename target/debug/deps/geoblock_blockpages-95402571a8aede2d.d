@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geoblock_blockpages-95402571a8aede2d.d: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/debug/deps/libgeoblock_blockpages-95402571a8aede2d.rmeta: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+crates/blockpages/src/lib.rs:
+crates/blockpages/src/fingerprints.rs:
+crates/blockpages/src/kind.rs:
+crates/blockpages/src/provider.rs:
+crates/blockpages/src/templates.rs:

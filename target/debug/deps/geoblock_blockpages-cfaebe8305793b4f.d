@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geoblock_blockpages-cfaebe8305793b4f.d: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/debug/deps/libgeoblock_blockpages-cfaebe8305793b4f.rmeta: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+crates/blockpages/src/lib.rs:
+crates/blockpages/src/fingerprints.rs:
+crates/blockpages/src/kind.rs:
+crates/blockpages/src/provider.rs:
+crates/blockpages/src/templates.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/geoblock_core-69ccb4e942f37964.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/confirm.rs crates/core/src/consistency.rs crates/core/src/diffing.rs crates/core/src/discovery.rs crates/core/src/exploration.rs crates/core/src/observation.rs crates/core/src/outliers.rs crates/core/src/plan.rs crates/core/src/population.rs crates/core/src/regional.rs crates/core/src/study.rs crates/core/src/timeouts.rs
+
+/root/repo/target/debug/deps/libgeoblock_core-69ccb4e942f37964.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/confirm.rs crates/core/src/consistency.rs crates/core/src/diffing.rs crates/core/src/discovery.rs crates/core/src/exploration.rs crates/core/src/observation.rs crates/core/src/outliers.rs crates/core/src/plan.rs crates/core/src/population.rs crates/core/src/regional.rs crates/core/src/study.rs crates/core/src/timeouts.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/confirm.rs:
+crates/core/src/consistency.rs:
+crates/core/src/diffing.rs:
+crates/core/src/discovery.rs:
+crates/core/src/exploration.rs:
+crates/core/src/observation.rs:
+crates/core/src/outliers.rs:
+crates/core/src/plan.rs:
+crates/core/src/population.rs:
+crates/core/src/regional.rs:
+crates/core/src/study.rs:
+crates/core/src/timeouts.rs:

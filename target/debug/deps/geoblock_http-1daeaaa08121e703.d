@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/geoblock_http-1daeaaa08121e703.d: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+/root/repo/target/debug/deps/libgeoblock_http-1daeaaa08121e703.rlib: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+/root/repo/target/debug/deps/libgeoblock_http-1daeaaa08121e703.rmeta: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+crates/http/src/lib.rs:
+crates/http/src/chain.rs:
+crates/http/src/error.rs:
+crates/http/src/headers.rs:
+crates/http/src/method.rs:
+crates/http/src/profile.rs:
+crates/http/src/request.rs:
+crates/http/src/response.rs:
+crates/http/src/status.rs:
+crates/http/src/url.rs:
+crates/http/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/geoblock_http-65298255b839a5dd.d: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+/root/repo/target/debug/deps/libgeoblock_http-65298255b839a5dd.rmeta: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+crates/http/src/lib.rs:
+crates/http/src/chain.rs:
+crates/http/src/error.rs:
+crates/http/src/headers.rs:
+crates/http/src/method.rs:
+crates/http/src/profile.rs:
+crates/http/src/request.rs:
+crates/http/src/response.rs:
+crates/http/src/status.rs:
+crates/http/src/url.rs:
+crates/http/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/geoblock_lumscan-7e6d2bac231a94e5.d: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/debug/deps/libgeoblock_lumscan-7e6d2bac231a94e5.rlib: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/debug/deps/libgeoblock_lumscan-7e6d2bac231a94e5.rmeta: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+crates/lumscan/src/lib.rs:
+crates/lumscan/src/engine.rs:
+crates/lumscan/src/result.rs:
+crates/lumscan/src/retry.rs:
+crates/lumscan/src/session.rs:
+crates/lumscan/src/stream.rs:
+crates/lumscan/src/transport.rs:

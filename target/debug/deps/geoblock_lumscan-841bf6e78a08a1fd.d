@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geoblock_lumscan-841bf6e78a08a1fd.d: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/debug/deps/libgeoblock_lumscan-841bf6e78a08a1fd.rmeta: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+crates/lumscan/src/lib.rs:
+crates/lumscan/src/engine.rs:
+crates/lumscan/src/result.rs:
+crates/lumscan/src/retry.rs:
+crates/lumscan/src/session.rs:
+crates/lumscan/src/stream.rs:
+crates/lumscan/src/transport.rs:

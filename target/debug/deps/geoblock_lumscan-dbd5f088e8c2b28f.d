@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geoblock_lumscan-dbd5f088e8c2b28f.d: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/debug/deps/libgeoblock_lumscan-dbd5f088e8c2b28f.rmeta: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+crates/lumscan/src/lib.rs:
+crates/lumscan/src/engine.rs:
+crates/lumscan/src/result.rs:
+crates/lumscan/src/retry.rs:
+crates/lumscan/src/session.rs:
+crates/lumscan/src/stream.rs:
+crates/lumscan/src/transport.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/geoblock_netsim-2d01461c95d5c7f3.d: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+/root/repo/target/debug/deps/libgeoblock_netsim-2d01461c95d5c7f3.rlib: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+/root/repo/target/debug/deps/libgeoblock_netsim-2d01461c95d5c7f3.rmeta: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/censor.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/dns.rs:
+crates/netsim/src/edge.rs:
+crates/netsim/src/geoip.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/origin.rs:
+crates/netsim/src/vps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geoblock_orchestrator-0d21d85ec1e417ae.d: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/debug/deps/geoblock_orchestrator-0d21d85ec1e417ae: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+crates/orchestrator/src/lib.rs:
+crates/orchestrator/src/checkpoint.rs:
+crates/orchestrator/src/orchestrator.rs:
+crates/orchestrator/src/record.rs:
+crates/orchestrator/src/shard.rs:

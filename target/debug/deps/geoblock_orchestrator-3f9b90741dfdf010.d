@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geoblock_orchestrator-3f9b90741dfdf010.d: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/debug/deps/libgeoblock_orchestrator-3f9b90741dfdf010.rlib: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/debug/deps/libgeoblock_orchestrator-3f9b90741dfdf010.rmeta: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+crates/orchestrator/src/lib.rs:
+crates/orchestrator/src/checkpoint.rs:
+crates/orchestrator/src/orchestrator.rs:
+crates/orchestrator/src/record.rs:
+crates/orchestrator/src/shard.rs:

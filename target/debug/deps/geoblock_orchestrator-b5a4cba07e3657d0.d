@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geoblock_orchestrator-b5a4cba07e3657d0.d: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/debug/deps/libgeoblock_orchestrator-b5a4cba07e3657d0.rmeta: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+crates/orchestrator/src/lib.rs:
+crates/orchestrator/src/checkpoint.rs:
+crates/orchestrator/src/orchestrator.rs:
+crates/orchestrator/src/record.rs:
+crates/orchestrator/src/shard.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geoblock_proxynet-193b3d203e666dd0.d: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+/root/repo/target/debug/deps/libgeoblock_proxynet-193b3d203e666dd0.rlib: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+/root/repo/target/debug/deps/libgeoblock_proxynet-193b3d203e666dd0.rmeta: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+crates/proxynet/src/lib.rs:
+crates/proxynet/src/exits.rs:
+crates/proxynet/src/faults.rs:
+crates/proxynet/src/network.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geoblock_proxynet-d17fe7413bdbbc5b.d: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+/root/repo/target/debug/deps/libgeoblock_proxynet-d17fe7413bdbbc5b.rmeta: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+crates/proxynet/src/lib.rs:
+crates/proxynet/src/exits.rs:
+crates/proxynet/src/faults.rs:
+crates/proxynet/src/network.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geoblock_simtest-16be7a095030fab7.d: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+/root/repo/target/debug/deps/libgeoblock_simtest-16be7a095030fab7.rmeta: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+crates/simtest/src/lib.rs:
+crates/simtest/src/invariants.rs:
+crates/simtest/src/nondet.rs:
+crates/simtest/src/scenario.rs:
+crates/simtest/src/shrink.rs:
+crates/simtest/src/sweep.rs:
+crates/simtest/src/trace.rs:

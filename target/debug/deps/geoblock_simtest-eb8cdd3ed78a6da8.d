@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geoblock_simtest-eb8cdd3ed78a6da8.d: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/sharded.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+/root/repo/target/debug/deps/libgeoblock_simtest-eb8cdd3ed78a6da8.rmeta: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/sharded.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+crates/simtest/src/lib.rs:
+crates/simtest/src/invariants.rs:
+crates/simtest/src/nondet.rs:
+crates/simtest/src/scenario.rs:
+crates/simtest/src/sharded.rs:
+crates/simtest/src/shrink.rs:
+crates/simtest/src/sweep.rs:
+crates/simtest/src/trace.rs:

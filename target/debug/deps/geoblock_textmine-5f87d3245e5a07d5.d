@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geoblock_textmine-5f87d3245e5a07d5.d: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/debug/deps/libgeoblock_textmine-5f87d3245e5a07d5.rlib: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/debug/deps/libgeoblock_textmine-5f87d3245e5a07d5.rmeta: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+crates/textmine/src/lib.rs:
+crates/textmine/src/cluster.rs:
+crates/textmine/src/ngrams.rs:
+crates/textmine/src/sparse.rs:
+crates/textmine/src/tfidf.rs:
+crates/textmine/src/tokenize.rs:

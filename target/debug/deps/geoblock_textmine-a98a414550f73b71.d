@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geoblock_textmine-a98a414550f73b71.d: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/debug/deps/libgeoblock_textmine-a98a414550f73b71.rmeta: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+crates/textmine/src/lib.rs:
+crates/textmine/src/cluster.rs:
+crates/textmine/src/ngrams.rs:
+crates/textmine/src/sparse.rs:
+crates/textmine/src/tfidf.rs:
+crates/textmine/src/tokenize.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geoblock_textmine-c682368db94ee85c.d: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/debug/deps/libgeoblock_textmine-c682368db94ee85c.rmeta: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+crates/textmine/src/lib.rs:
+crates/textmine/src/cluster.rs:
+crates/textmine/src/ngrams.rs:
+crates/textmine/src/sparse.rs:
+crates/textmine/src/tfidf.rs:
+crates/textmine/src/tokenize.rs:

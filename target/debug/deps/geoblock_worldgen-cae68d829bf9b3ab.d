@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/geoblock_worldgen-cae68d829bf9b3ab.d: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+/root/repo/target/debug/deps/libgeoblock_worldgen-cae68d829bf9b3ab.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/category.rs:
+crates/worldgen/src/citizenlab.rs:
+crates/worldgen/src/cloudflare_rules.rs:
+crates/worldgen/src/country.rs:
+crates/worldgen/src/domains.rs:
+crates/worldgen/src/ooni.rs:
+crates/worldgen/src/policy.rs:
+crates/worldgen/src/special.rs:
+crates/worldgen/src/world.rs:

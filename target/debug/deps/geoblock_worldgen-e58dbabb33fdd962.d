@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/geoblock_worldgen-e58dbabb33fdd962.d: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+/root/repo/target/debug/deps/libgeoblock_worldgen-e58dbabb33fdd962.rlib: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+/root/repo/target/debug/deps/libgeoblock_worldgen-e58dbabb33fdd962.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/category.rs:
+crates/worldgen/src/citizenlab.rs:
+crates/worldgen/src/cloudflare_rules.rs:
+crates/worldgen/src/country.rs:
+crates/worldgen/src/domains.rs:
+crates/worldgen/src/ooni.rs:
+crates/worldgen/src/policy.rs:
+crates/worldgen/src/special.rs:
+crates/worldgen/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_datasets-41a357b6ef5344c9.d: tests/ground_truth_datasets.rs
+
+/root/repo/target/debug/deps/libground_truth_datasets-41a357b6ef5344c9.rmeta: tests/ground_truth_datasets.rs
+
+tests/ground_truth_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_datasets-8abf59e22fef6af4.d: tests/ground_truth_datasets.rs
+
+/root/repo/target/debug/deps/ground_truth_datasets-8abf59e22fef6af4: tests/ground_truth_datasets.rs
+
+tests/ground_truth_datasets.rs:

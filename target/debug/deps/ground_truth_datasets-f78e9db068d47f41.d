@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_datasets-f78e9db068d47f41.d: tests/ground_truth_datasets.rs
+
+/root/repo/target/debug/deps/libground_truth_datasets-f78e9db068d47f41.rmeta: tests/ground_truth_datasets.rs
+
+tests/ground_truth_datasets.rs:

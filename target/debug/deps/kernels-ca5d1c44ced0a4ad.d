@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-ca5d1c44ced0a4ad.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-ca5d1c44ced0a4ad.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

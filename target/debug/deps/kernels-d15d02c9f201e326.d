@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-d15d02c9f201e326.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-d15d02c9f201e326.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/libc-abed99a72e93c38c.d: /tmp/stubs/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-abed99a72e93c38c.rmeta: /tmp/stubs/libc/src/lib.rs
+
+/tmp/stubs/libc/src/lib.rs:

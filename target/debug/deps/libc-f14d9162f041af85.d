@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/libc-f14d9162f041af85.d: /tmp/stubs/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-f14d9162f041af85.rlib: /tmp/stubs/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-f14d9162f041af85.rmeta: /tmp/stubs/libc/src/lib.rs
+
+/tmp/stubs/libc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/longitudinal_diff-04a5a323a92da66f.d: tests/longitudinal_diff.rs
+
+/root/repo/target/debug/deps/liblongitudinal_diff-04a5a323a92da66f.rmeta: tests/longitudinal_diff.rs
+
+tests/longitudinal_diff.rs:

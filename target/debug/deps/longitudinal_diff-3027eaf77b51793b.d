@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/longitudinal_diff-3027eaf77b51793b.d: tests/longitudinal_diff.rs
+
+/root/repo/target/debug/deps/liblongitudinal_diff-3027eaf77b51793b.rmeta: tests/longitudinal_diff.rs
+
+tests/longitudinal_diff.rs:

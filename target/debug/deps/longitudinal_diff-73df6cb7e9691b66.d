@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/longitudinal_diff-73df6cb7e9691b66.d: tests/longitudinal_diff.rs
+
+/root/repo/target/debug/deps/longitudinal_diff-73df6cb7e9691b66: tests/longitudinal_diff.rs
+
+tests/longitudinal_diff.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/orchestrator_resume-05cfa8a989502fcf.d: tests/orchestrator_resume.rs
+
+/root/repo/target/debug/deps/liborchestrator_resume-05cfa8a989502fcf.rmeta: tests/orchestrator_resume.rs
+
+tests/orchestrator_resume.rs:
+
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/orchestrator_resume-3d37061e640263fe.d: tests/orchestrator_resume.rs
+
+/root/repo/target/debug/deps/orchestrator_resume-3d37061e640263fe: tests/orchestrator_resume.rs
+
+tests/orchestrator_resume.rs:
+
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_proptests-e6aaec72e40e1d1b.d: crates/core/tests/plan_proptests.rs
+
+/root/repo/target/debug/deps/libplan_proptests-e6aaec72e40e1d1b.rmeta: crates/core/tests/plan_proptests.rs
+
+crates/core/tests/plan_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/population_identification-009f00e5f0efddbe.d: tests/population_identification.rs
+
+/root/repo/target/debug/deps/libpopulation_identification-009f00e5f0efddbe.rmeta: tests/population_identification.rs
+
+tests/population_identification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/population_identification-0b27a721fc7b9fe2.d: tests/population_identification.rs
+
+/root/repo/target/debug/deps/population_identification-0b27a721fc7b9fe2: tests/population_identification.rs
+
+tests/population_identification.rs:

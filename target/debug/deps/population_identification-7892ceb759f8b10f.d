@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/population_identification-7892ceb759f8b10f.d: tests/population_identification.rs
+
+/root/repo/target/debug/deps/libpopulation_identification-7892ceb759f8b10f.rmeta: tests/population_identification.rs
+
+tests/population_identification.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7b41e77953b159db.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7b41e77953b159db.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7b41e77953b159db.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7bf4faf1fae837fb.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7bf4faf1fae837fb.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1a2631f205861911.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-1a2631f205861911.rmeta: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

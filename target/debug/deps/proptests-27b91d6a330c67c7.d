@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-27b91d6a330c67c7.d: crates/blockpages/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-27b91d6a330c67c7.rmeta: crates/blockpages/tests/proptests.rs
+
+crates/blockpages/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7ca90e7dd7a3f674.d: crates/analysis/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-7ca90e7dd7a3f674.rmeta: crates/analysis/tests/proptests.rs
+
+crates/analysis/tests/proptests.rs:

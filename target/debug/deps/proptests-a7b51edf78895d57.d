@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a7b51edf78895d57.d: crates/worldgen/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-a7b51edf78895d57.rmeta: crates/worldgen/tests/proptests.rs
+
+crates/worldgen/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-de2d4d4aca05f08b.d: crates/textmine/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-de2d4d4aca05f08b.rmeta: crates/textmine/tests/proptests.rs
+
+crates/textmine/tests/proptests.rs:

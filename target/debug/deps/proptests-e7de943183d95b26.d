@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e7de943183d95b26.d: crates/http/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-e7de943183d95b26.rmeta: crates/http/tests/proptests.rs
+
+crates/http/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e91ead7bbf4c9fa7.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-e91ead7bbf4c9fa7.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-92f1756c67e8fb5e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-92f1756c67e8fb5e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

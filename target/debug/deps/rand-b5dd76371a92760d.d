@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b5dd76371a92760d.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b5dd76371a92760d.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b5dd76371a92760d.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

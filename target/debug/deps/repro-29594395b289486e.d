@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-29594395b289486e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-29594395b289486e.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

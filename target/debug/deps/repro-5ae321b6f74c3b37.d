@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5ae321b6f74c3b37.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-5ae321b6f74c3b37.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-65b97302bf65acfd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-65b97302bf65acfd.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

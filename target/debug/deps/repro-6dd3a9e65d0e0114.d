@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6dd3a9e65d0e0114.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-6dd3a9e65d0e0114.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-00b0b762bc98f7e7.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-00b0b762bc98f7e7.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-00b0b762bc98f7e7.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

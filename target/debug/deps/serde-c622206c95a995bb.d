@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c622206c95a995bb.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c622206c95a995bb.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7c8fab1889464b65.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7c8fab1889464b65.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7c8fab1889464b65.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b81c3e1d6afbe67c.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b81c3e1d6afbe67c.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

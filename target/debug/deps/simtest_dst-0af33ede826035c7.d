@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simtest_dst-0af33ede826035c7.d: tests/simtest_dst.rs
+
+/root/repo/target/debug/deps/libsimtest_dst-0af33ede826035c7.rmeta: tests/simtest_dst.rs
+
+tests/simtest_dst.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

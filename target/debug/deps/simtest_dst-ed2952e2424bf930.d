@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simtest_dst-ed2952e2424bf930.d: tests/simtest_dst.rs
+
+/root/repo/target/debug/deps/libsimtest_dst-ed2952e2424bf930.rmeta: tests/simtest_dst.rs
+
+tests/simtest_dst.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/special_domains-4dca87ce6fcf15ea.d: tests/special_domains.rs
+
+/root/repo/target/debug/deps/special_domains-4dca87ce6fcf15ea: tests/special_domains.rs
+
+tests/special_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/special_domains-6a0e87c6d2527d94.d: tests/special_domains.rs
+
+/root/repo/target/debug/deps/libspecial_domains-6a0e87c6d2527d94.rmeta: tests/special_domains.rs
+
+tests/special_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/special_domains-e1b0ef801e40ae87.d: tests/special_domains.rs
+
+/root/repo/target/debug/deps/libspecial_domains-e1b0ef801e40ae87.rmeta: tests/special_domains.rs
+
+tests/special_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_pipeline-763ecf572c055576.d: tests/streaming_pipeline.rs
+
+/root/repo/target/debug/deps/streaming_pipeline-763ecf572c055576: tests/streaming_pipeline.rs
+
+tests/streaming_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_pipeline-c52a52c0c9934fa1.d: tests/streaming_pipeline.rs
+
+/root/repo/target/debug/deps/libstreaming_pipeline-c52a52c0c9934fa1.rmeta: tests/streaming_pipeline.rs
+
+tests/streaming_pipeline.rs:

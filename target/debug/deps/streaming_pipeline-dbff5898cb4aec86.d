@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_pipeline-dbff5898cb4aec86.d: tests/streaming_pipeline.rs
+
+/root/repo/target/debug/deps/libstreaming_pipeline-dbff5898cb4aec86.rmeta: tests/streaming_pipeline.rs
+
+tests/streaming_pipeline.rs:

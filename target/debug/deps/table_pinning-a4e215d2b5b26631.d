@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_pinning-a4e215d2b5b26631.d: crates/blockpages/tests/table_pinning.rs
+
+/root/repo/target/debug/deps/libtable_pinning-a4e215d2b5b26631.rmeta: crates/blockpages/tests/table_pinning.rs
+
+crates/blockpages/tests/table_pinning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-8343b8176dcdadec.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/libtables-8343b8176dcdadec.rmeta: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-84fb98bf61e42b7e.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/libtables-84fb98bf61e42b7e.rmeta: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

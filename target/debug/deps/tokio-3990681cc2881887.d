@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio-3990681cc2881887.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-3990681cc2881887.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

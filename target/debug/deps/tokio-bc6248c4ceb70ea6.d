@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tokio-bc6248c4ceb70ea6.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-bc6248c4ceb70ea6.rlib: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-bc6248c4ceb70ea6.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

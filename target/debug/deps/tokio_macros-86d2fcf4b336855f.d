@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio_macros-86d2fcf4b336855f.d: /tmp/stubs/tokio-macros/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio_macros-86d2fcf4b336855f.so: /tmp/stubs/tokio-macros/src/lib.rs
+
+/tmp/stubs/tokio-macros/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crimea_granularity-88b0fbc94ae85d53.d: examples/crimea_granularity.rs
+
+/root/repo/target/debug/examples/libcrimea_granularity-88b0fbc94ae85d53.rmeta: examples/crimea_granularity.rs
+
+examples/crimea_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crimea_granularity-970659603ece3eff.d: examples/crimea_granularity.rs
+
+/root/repo/target/debug/examples/crimea_granularity-970659603ece3eff: examples/crimea_granularity.rs
+
+examples/crimea_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crimea_granularity-dc2aef2daf3f8abd.d: examples/crimea_granularity.rs
+
+/root/repo/target/debug/examples/libcrimea_granularity-dc2aef2daf3f8abd.rmeta: examples/crimea_granularity.rs
+
+examples/crimea_granularity.rs:

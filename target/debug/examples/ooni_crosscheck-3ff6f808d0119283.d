@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ooni_crosscheck-3ff6f808d0119283.d: examples/ooni_crosscheck.rs
+
+/root/repo/target/debug/examples/libooni_crosscheck-3ff6f808d0119283.rmeta: examples/ooni_crosscheck.rs
+
+examples/ooni_crosscheck.rs:

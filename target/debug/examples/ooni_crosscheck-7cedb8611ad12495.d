@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ooni_crosscheck-7cedb8611ad12495.d: examples/ooni_crosscheck.rs
+
+/root/repo/target/debug/examples/ooni_crosscheck-7cedb8611ad12495: examples/ooni_crosscheck.rs
+
+examples/ooni_crosscheck.rs:

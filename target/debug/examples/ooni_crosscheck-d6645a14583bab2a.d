@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ooni_crosscheck-d6645a14583bab2a.d: examples/ooni_crosscheck.rs
+
+/root/repo/target/debug/examples/libooni_crosscheck-d6645a14583bab2a.rmeta: examples/ooni_crosscheck.rs
+
+examples/ooni_crosscheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7b004d832f01b1ef.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-7b004d832f01b1ef.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-91f63931f124446f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-91f63931f124446f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aa63ecf428cd1620.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aa63ecf428cd1620: examples/quickstart.rs
+
+examples/quickstart.rs:

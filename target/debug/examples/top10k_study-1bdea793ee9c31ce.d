@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top10k_study-1bdea793ee9c31ce.d: examples/top10k_study.rs
+
+/root/repo/target/debug/examples/libtop10k_study-1bdea793ee9c31ce.rmeta: examples/top10k_study.rs
+
+examples/top10k_study.rs:

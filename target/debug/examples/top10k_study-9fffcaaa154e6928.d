@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top10k_study-9fffcaaa154e6928.d: examples/top10k_study.rs
+
+/root/repo/target/debug/examples/top10k_study-9fffcaaa154e6928: examples/top10k_study.rs
+
+examples/top10k_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top10k_study-e196e3855ad355ee.d: examples/top10k_study.rs
+
+/root/repo/target/debug/examples/libtop10k_study-e196e3855ad355ee.rmeta: examples/top10k_study.rs
+
+examples/top10k_study.rs:

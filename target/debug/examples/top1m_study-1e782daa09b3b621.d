@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top1m_study-1e782daa09b3b621.d: examples/top1m_study.rs
+
+/root/repo/target/debug/examples/top1m_study-1e782daa09b3b621: examples/top1m_study.rs
+
+examples/top1m_study.rs:

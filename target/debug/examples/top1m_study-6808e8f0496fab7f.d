@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top1m_study-6808e8f0496fab7f.d: examples/top1m_study.rs
+
+/root/repo/target/debug/examples/libtop1m_study-6808e8f0496fab7f.rmeta: examples/top1m_study.rs
+
+examples/top1m_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/top1m_study-776239c87920133d.d: examples/top1m_study.rs
+
+/root/repo/target/debug/examples/libtop1m_study-776239c87920133d.rmeta: examples/top1m_study.rs
+
+examples/top1m_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vps_exploration-47f7941679eb4b76.d: examples/vps_exploration.rs
+
+/root/repo/target/debug/examples/libvps_exploration-47f7941679eb4b76.rmeta: examples/vps_exploration.rs
+
+examples/vps_exploration.rs:

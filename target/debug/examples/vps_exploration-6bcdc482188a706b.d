@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vps_exploration-6bcdc482188a706b.d: examples/vps_exploration.rs
+
+/root/repo/target/debug/examples/libvps_exploration-6bcdc482188a706b.rmeta: examples/vps_exploration.rs
+
+examples/vps_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vps_exploration-c9b9c9b343a89e9a.d: examples/vps_exploration.rs
+
+/root/repo/target/debug/examples/vps_exploration-c9b9c9b343a89e9a: examples/vps_exploration.rs
+
+examples/vps_exploration.rs:

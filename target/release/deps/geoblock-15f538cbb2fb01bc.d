@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geoblock-15f538cbb2fb01bc.d: src/lib.rs
+
+/root/repo/target/release/deps/libgeoblock-15f538cbb2fb01bc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgeoblock-15f538cbb2fb01bc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geoblock-d447e9c69d7bfcef.d: src/bin/geoblock.rs
+
+/root/repo/target/release/deps/geoblock-d447e9c69d7bfcef: src/bin/geoblock.rs
+
+src/bin/geoblock.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/geoblock_analysis-813447e7cd60971a.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/coverage.rs crates/analysis/src/export.rs crates/analysis/src/figures.rs crates/analysis/src/fortiguard.rs crates/analysis/src/ooni_scan.rs crates/analysis/src/paper.rs crates/analysis/src/render.rs crates/analysis/src/sampling.rs crates/analysis/src/stats.rs crates/analysis/src/tables.rs
+
+/root/repo/target/release/deps/libgeoblock_analysis-813447e7cd60971a.rlib: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/coverage.rs crates/analysis/src/export.rs crates/analysis/src/figures.rs crates/analysis/src/fortiguard.rs crates/analysis/src/ooni_scan.rs crates/analysis/src/paper.rs crates/analysis/src/render.rs crates/analysis/src/sampling.rs crates/analysis/src/stats.rs crates/analysis/src/tables.rs
+
+/root/repo/target/release/deps/libgeoblock_analysis-813447e7cd60971a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/coverage.rs crates/analysis/src/export.rs crates/analysis/src/figures.rs crates/analysis/src/fortiguard.rs crates/analysis/src/ooni_scan.rs crates/analysis/src/paper.rs crates/analysis/src/render.rs crates/analysis/src/sampling.rs crates/analysis/src/stats.rs crates/analysis/src/tables.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/coverage.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/fortiguard.rs:
+crates/analysis/src/ooni_scan.rs:
+crates/analysis/src/paper.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/sampling.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/tables.rs:

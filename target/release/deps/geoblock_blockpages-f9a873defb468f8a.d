@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geoblock_blockpages-f9a873defb468f8a.d: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/release/deps/libgeoblock_blockpages-f9a873defb468f8a.rlib: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+/root/repo/target/release/deps/libgeoblock_blockpages-f9a873defb468f8a.rmeta: crates/blockpages/src/lib.rs crates/blockpages/src/fingerprints.rs crates/blockpages/src/kind.rs crates/blockpages/src/provider.rs crates/blockpages/src/templates.rs
+
+crates/blockpages/src/lib.rs:
+crates/blockpages/src/fingerprints.rs:
+crates/blockpages/src/kind.rs:
+crates/blockpages/src/provider.rs:
+crates/blockpages/src/templates.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/geoblock_http-c50b0f1ac4b3f2c1.d: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+/root/repo/target/release/deps/libgeoblock_http-c50b0f1ac4b3f2c1.rlib: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+/root/repo/target/release/deps/libgeoblock_http-c50b0f1ac4b3f2c1.rmeta: crates/http/src/lib.rs crates/http/src/chain.rs crates/http/src/error.rs crates/http/src/headers.rs crates/http/src/method.rs crates/http/src/profile.rs crates/http/src/request.rs crates/http/src/response.rs crates/http/src/status.rs crates/http/src/url.rs crates/http/src/wire.rs
+
+crates/http/src/lib.rs:
+crates/http/src/chain.rs:
+crates/http/src/error.rs:
+crates/http/src/headers.rs:
+crates/http/src/method.rs:
+crates/http/src/profile.rs:
+crates/http/src/request.rs:
+crates/http/src/response.rs:
+crates/http/src/status.rs:
+crates/http/src/url.rs:
+crates/http/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/geoblock_lumscan-d9951d0351a6fbcc.d: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/release/deps/libgeoblock_lumscan-d9951d0351a6fbcc.rlib: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+/root/repo/target/release/deps/libgeoblock_lumscan-d9951d0351a6fbcc.rmeta: crates/lumscan/src/lib.rs crates/lumscan/src/engine.rs crates/lumscan/src/result.rs crates/lumscan/src/retry.rs crates/lumscan/src/session.rs crates/lumscan/src/stream.rs crates/lumscan/src/transport.rs
+
+crates/lumscan/src/lib.rs:
+crates/lumscan/src/engine.rs:
+crates/lumscan/src/result.rs:
+crates/lumscan/src/retry.rs:
+crates/lumscan/src/session.rs:
+crates/lumscan/src/stream.rs:
+crates/lumscan/src/transport.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/geoblock_netsim-53beed9a1acadeb6.d: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+/root/repo/target/release/deps/libgeoblock_netsim-53beed9a1acadeb6.rlib: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+/root/repo/target/release/deps/libgeoblock_netsim-53beed9a1acadeb6.rmeta: crates/netsim/src/lib.rs crates/netsim/src/censor.rs crates/netsim/src/clock.rs crates/netsim/src/dns.rs crates/netsim/src/edge.rs crates/netsim/src/geoip.rs crates/netsim/src/net.rs crates/netsim/src/origin.rs crates/netsim/src/vps.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/censor.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/dns.rs:
+crates/netsim/src/edge.rs:
+crates/netsim/src/geoip.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/origin.rs:
+crates/netsim/src/vps.rs:

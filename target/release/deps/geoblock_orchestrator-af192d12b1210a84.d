@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geoblock_orchestrator-af192d12b1210a84.d: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/release/deps/libgeoblock_orchestrator-af192d12b1210a84.rlib: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+/root/repo/target/release/deps/libgeoblock_orchestrator-af192d12b1210a84.rmeta: crates/orchestrator/src/lib.rs crates/orchestrator/src/checkpoint.rs crates/orchestrator/src/orchestrator.rs crates/orchestrator/src/record.rs crates/orchestrator/src/shard.rs
+
+crates/orchestrator/src/lib.rs:
+crates/orchestrator/src/checkpoint.rs:
+crates/orchestrator/src/orchestrator.rs:
+crates/orchestrator/src/record.rs:
+crates/orchestrator/src/shard.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geoblock_proxynet-e97309f22246a32e.d: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+/root/repo/target/release/deps/libgeoblock_proxynet-e97309f22246a32e.rlib: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+/root/repo/target/release/deps/libgeoblock_proxynet-e97309f22246a32e.rmeta: crates/proxynet/src/lib.rs crates/proxynet/src/exits.rs crates/proxynet/src/faults.rs crates/proxynet/src/network.rs
+
+crates/proxynet/src/lib.rs:
+crates/proxynet/src/exits.rs:
+crates/proxynet/src/faults.rs:
+crates/proxynet/src/network.rs:

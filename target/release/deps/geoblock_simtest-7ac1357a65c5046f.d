@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geoblock_simtest-7ac1357a65c5046f.d: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/sharded.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+/root/repo/target/release/deps/libgeoblock_simtest-7ac1357a65c5046f.rlib: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/sharded.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+/root/repo/target/release/deps/libgeoblock_simtest-7ac1357a65c5046f.rmeta: crates/simtest/src/lib.rs crates/simtest/src/invariants.rs crates/simtest/src/nondet.rs crates/simtest/src/scenario.rs crates/simtest/src/sharded.rs crates/simtest/src/shrink.rs crates/simtest/src/sweep.rs crates/simtest/src/trace.rs
+
+crates/simtest/src/lib.rs:
+crates/simtest/src/invariants.rs:
+crates/simtest/src/nondet.rs:
+crates/simtest/src/scenario.rs:
+crates/simtest/src/sharded.rs:
+crates/simtest/src/shrink.rs:
+crates/simtest/src/sweep.rs:
+crates/simtest/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/geoblock_textmine-feb1c7ddbcea6e72.d: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/release/deps/libgeoblock_textmine-feb1c7ddbcea6e72.rlib: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+/root/repo/target/release/deps/libgeoblock_textmine-feb1c7ddbcea6e72.rmeta: crates/textmine/src/lib.rs crates/textmine/src/cluster.rs crates/textmine/src/ngrams.rs crates/textmine/src/sparse.rs crates/textmine/src/tfidf.rs crates/textmine/src/tokenize.rs
+
+crates/textmine/src/lib.rs:
+crates/textmine/src/cluster.rs:
+crates/textmine/src/ngrams.rs:
+crates/textmine/src/sparse.rs:
+crates/textmine/src/tfidf.rs:
+crates/textmine/src/tokenize.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/geoblock_worldgen-07ea3176b48f537e.d: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+/root/repo/target/release/deps/libgeoblock_worldgen-07ea3176b48f537e.rlib: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+/root/repo/target/release/deps/libgeoblock_worldgen-07ea3176b48f537e.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/category.rs crates/worldgen/src/citizenlab.rs crates/worldgen/src/cloudflare_rules.rs crates/worldgen/src/country.rs crates/worldgen/src/domains.rs crates/worldgen/src/ooni.rs crates/worldgen/src/policy.rs crates/worldgen/src/special.rs crates/worldgen/src/world.rs
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/category.rs:
+crates/worldgen/src/citizenlab.rs:
+crates/worldgen/src/cloudflare_rules.rs:
+crates/worldgen/src/country.rs:
+crates/worldgen/src/domains.rs:
+crates/worldgen/src/ooni.rs:
+crates/worldgen/src/policy.rs:
+crates/worldgen/src/special.rs:
+crates/worldgen/src/world.rs:

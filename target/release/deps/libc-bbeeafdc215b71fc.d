@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/libc-bbeeafdc215b71fc.d: /tmp/stubs/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-bbeeafdc215b71fc.rlib: /tmp/stubs/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-bbeeafdc215b71fc.rmeta: /tmp/stubs/libc/src/lib.rs
+
+/tmp/stubs/libc/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a623c451a8bbdcc8.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a623c451a8bbdcc8.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a623c451a8bbdcc8.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e671f860f09d167d.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e671f860f09d167d.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e671f860f09d167d.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-263a3ab8a701bf84.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-263a3ab8a701bf84.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-263a3ab8a701bf84.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tokio-c0eb9fe33526a8f6.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-c0eb9fe33526a8f6.rlib: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-c0eb9fe33526a8f6.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

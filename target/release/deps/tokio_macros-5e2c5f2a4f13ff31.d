@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tokio_macros-5e2c5f2a4f13ff31.d: /tmp/stubs/tokio-macros/src/lib.rs
+
+/root/repo/target/release/deps/libtokio_macros-5e2c5f2a4f13ff31.so: /tmp/stubs/tokio-macros/src/lib.rs
+
+/tmp/stubs/tokio-macros/src/lib.rs:
