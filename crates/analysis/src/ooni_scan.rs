@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use geoblock_blockpages::{FingerprintSet, PageClass};
+use geoblock_blockpages::{CompiledFingerprintSet, PageClass};
 use geoblock_worldgen::{CountryCode, OoniMeasurement};
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +45,7 @@ impl OoniScanReport {
 /// Run the scan.
 pub fn scan(
     corpus: &[OoniMeasurement],
-    fingerprints: &FingerprintSet,
+    fingerprints: &CompiledFingerprintSet,
     test_list_size: usize,
 ) -> OoniScanReport {
     let mut report = OoniScanReport {
@@ -59,7 +59,7 @@ pub fn scan(
     };
     for m in corpus {
         if let Some(body) = &m.local_body {
-            if let Some(outcome) = fingerprints.classify_text(body) {
+            if let Some(outcome) = fingerprints.classify_bytes(body.as_bytes()) {
                 if outcome.kind.class() == PageClass::ExplicitGeoblock {
                     report.explicit_matches += 1;
                     report.countries.insert(m.country);
@@ -112,7 +112,7 @@ mod tests {
             measurement("a.com", "SY", Some(cf_body), Some(403), Some(200), true),
             measurement("b.com", "IR", None, Some(200), Some(200), false),
         ];
-        let report = scan(&corpus, &FingerprintSet::paper(), 100);
+        let report = scan(&corpus, &CompiledFingerprintSet::paper(), 100);
         assert_eq!(report.explicit_matches, 2);
         assert_eq!(report.domains.len(), 1);
         assert_eq!(report.countries.len(), 2);
@@ -131,7 +131,7 @@ mod tests {
             Some(200),
             true,
         )];
-        let report = scan(&corpus, &FingerprintSet::paper(), 10);
+        let report = scan(&corpus, &CompiledFingerprintSet::paper(), 10);
         assert_eq!(report.explicit_matches, 0);
     }
 
@@ -145,7 +145,7 @@ mod tests {
             // Non-CDN: ignored by both counters.
             measurement("c.com", "DE", None, Some(403), Some(403), false),
         ];
-        let report = scan(&corpus, &FingerprintSet::paper(), 10);
+        let report = scan(&corpus, &CompiledFingerprintSet::paper(), 10);
         assert_eq!(report.control_403_cdn, 1);
         assert_eq!(report.local_blocked_control_ok, 1);
         assert_eq!(report.scanned, 3);

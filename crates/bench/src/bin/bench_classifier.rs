@@ -1,0 +1,244 @@
+//! The classifier-kernel ablation, emitted as a committable JSON baseline.
+//!
+//! ```text
+//! cargo run --release -p geoblock-bench --bin bench_classifier \
+//!     [-- --smoke] [OUTPUT.json]
+//! ```
+//!
+//! Demonstrates the two claims of the zero-copy refactor on each body
+//! class:
+//!
+//! * **single pass** — `CompiledFingerprintSet::classify_bytes` (one
+//!   automaton scan) vs the naive `FingerprintSet::classify_bytes`
+//!   (N marker substring searches per body);
+//! * **zero copy** — matching raw bytes vs the old pipeline's per-match
+//!   lossy UTF-8 materialisation (`String::from_utf8_lossy(..).into_owned()`
+//!   before every classification).
+//!
+//! Body classes cover a rendered block page (small, matching), ordinary
+//! content at two sizes (the no-match hot path, where the naive matcher
+//! must exhaust every marker), and a non-UTF-8 binary body with an
+//! embedded marker (where the lossy copy also has to transcode).
+//!
+//! `--smoke` runs a reduced iteration count and asserts the differential
+//! property (compiled ≡ naive on every body) without writing the baseline
+//! — the CI hook that keeps the kernel honest. This binary is fully
+//! synchronous: no async runtime, no RNG crate (a fixed LCG), and no JSON
+//! library at runtime, so it runs identically under the offline sandbox's
+//! stubbed dependency set.
+
+use std::time::Instant;
+
+use geoblock_blockpages::{render, CompiledFingerprintSet, FingerprintSet, PageKind, PageParams};
+use geoblock_http::Url;
+
+/// Deterministic byte stream (Numerical Recipes LCG) — keeps bodies
+/// identical across runs without an RNG dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_byte(&mut self) -> u8 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u8
+    }
+}
+
+struct BodyClass {
+    name: &'static str,
+    body: Vec<u8>,
+    expect: Option<PageKind>,
+}
+
+fn body_classes(seed: u64) -> Vec<BodyClass> {
+    let params = PageParams::new("shop.example.com", "Syria", "5.0.0.1", seed);
+    let block_small = render(PageKind::Cloudflare, &params)
+        .finish(Url::http("shop.example.com"))
+        .body
+        .into_bytes()
+        .as_ref()
+        .to_vec();
+
+    // Ordinary HTML that matches nothing: the worst case for the naive
+    // matcher, which must run every marker search to completion.
+    let paragraph = b"<p>Daily deals on everything you can imagine, shipped \
+                      worldwide from our warehouses. No restrictions apply \
+                      to this perfectly ordinary storefront page.</p>\n";
+    let content = |target: usize| -> Vec<u8> {
+        let mut b = b"<html><head><title>Example Shop</title></head><body>".to_vec();
+        while b.len() < target {
+            b.extend_from_slice(paragraph);
+        }
+        b.extend_from_slice(b"</body></html>");
+        b
+    };
+    let content_medium = content(64 * 1024);
+    let content_large = content(512 * 1024);
+
+    // Invalid UTF-8 throughout, with one real marker embedded: classifies
+    // under byte matching, and forces the copy path to transcode.
+    let mut lcg = Lcg(seed | 1);
+    let mut binary: Vec<u8> = (0..64 * 1024).map(|_| lcg.next_byte()).collect();
+    let at = binary.len() / 2;
+    binary.splice(at..at, b"Incapsula incident ID".iter().copied());
+
+    vec![
+        BodyClass {
+            name: "block_small",
+            body: block_small,
+            expect: Some(PageKind::Cloudflare),
+        },
+        BodyClass {
+            name: "content_medium",
+            body: content_medium,
+            expect: None,
+        },
+        BodyClass {
+            name: "content_large",
+            body: content_large,
+            expect: None,
+        },
+        BodyClass {
+            name: "binary_nonutf8",
+            body: binary,
+            expect: Some(PageKind::Incapsula),
+        },
+    ]
+}
+
+/// Time `f` over `iters` calls, returning mean ns/op.
+fn time_ns(iters: u64, mut f: impl FnMut() -> Option<PageKind>) -> f64 {
+    // One warm-up call keeps first-touch page faults out of the window.
+    let mut guard = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        guard = f();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(guard);
+    elapsed
+}
+
+struct Row {
+    class: &'static str,
+    bytes: usize,
+    naive_copy_ns: f64,
+    naive_bytes_ns: f64,
+    compiled_copy_ns: f64,
+    compiled_bytes_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_copy_ns / self.compiled_bytes_ns.max(1e-9)
+    }
+
+    fn throughput_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.compiled_bytes_ns.max(1e-9) * 1e3
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"class\": \"{}\", \"bytes\": {}, \
+             \"naive_utf8_copy_ns\": {:.1}, \"naive_bytes_ns\": {:.1}, \
+             \"compiled_utf8_copy_ns\": {:.1}, \"compiled_bytes_ns\": {:.1}, \
+             \"speedup_vs_old_path\": {:.2}, \"compiled_throughput_mb_s\": {:.1}}}",
+            self.class,
+            self.bytes,
+            self.naive_copy_ns,
+            self.naive_bytes_ns,
+            self.compiled_copy_ns,
+            self.compiled_bytes_ns,
+            self.speedup(),
+            self.throughput_mb_s(),
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_classifier.json".to_string());
+    let seed: u64 = std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let naive = FingerprintSet::paper();
+    let compiled = CompiledFingerprintSet::compile(&naive);
+    let classes = body_classes(seed);
+
+    // The differential check runs in every mode: the ablation is
+    // meaningless if the two matchers disagree.
+    for class in &classes {
+        let n = naive.classify_bytes(&class.body).map(|o| o.kind);
+        let c = compiled.classify_bytes(&class.body).map(|o| o.kind);
+        assert_eq!(n, c, "matchers disagree on {}", class.name);
+        assert_eq!(c, class.expect, "unexpected verdict on {}", class.name);
+    }
+
+    let mut rows = Vec::new();
+    for class in &classes {
+        // Size-scaled iteration counts keep wall time flat across classes.
+        let budget: u64 = if smoke { 1 << 22 } else { 1 << 28 };
+        let iters = (budget / class.body.len() as u64).clamp(4, 20_000);
+        let body = &class.body[..];
+        let row = Row {
+            class: class.name,
+            bytes: body.len(),
+            naive_copy_ns: time_ns(iters, || {
+                // The pre-refactor pipeline: lossy-materialise, then N
+                // per-marker rescans.
+                let text = String::from_utf8_lossy(body).into_owned();
+                naive.classify_text(&text).map(|o| o.kind)
+            }),
+            naive_bytes_ns: time_ns(iters, || naive.classify_bytes(body).map(|o| o.kind)),
+            compiled_copy_ns: time_ns(iters, || {
+                let text = String::from_utf8_lossy(body).into_owned();
+                compiled.classify_bytes(text.as_bytes()).map(|o| o.kind)
+            }),
+            compiled_bytes_ns: time_ns(iters, || compiled.classify_bytes(body).map(|o| o.kind)),
+        };
+        println!(
+            "{:<16} {:>8} B  naive+copy {:>12.0} ns  naive {:>12.0} ns  \
+             compiled+copy {:>12.0} ns  compiled {:>12.0} ns  ({:.1}x, {:.0} MB/s)",
+            row.class,
+            row.bytes,
+            row.naive_copy_ns,
+            row.naive_bytes_ns,
+            row.compiled_copy_ns,
+            row.compiled_bytes_ns,
+            row.speedup(),
+            row.throughput_mb_s(),
+        );
+        rows.push(row);
+    }
+
+    if smoke {
+        println!(
+            "smoke ok: compiled ≡ naive on all {} body classes",
+            classes.len()
+        );
+        return;
+    }
+
+    let row_json: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"classifier_kernel\",\n  \"measured\": true,\n  \
+         \"seed\": {seed},\n  \"patterns\": {},\n  \"fingerprints\": {},\n  \
+         \"note\": \"ns/op, mean over size-scaled iterations; regenerate with: \
+         cargo run --release -p geoblock-bench --bin bench_classifier\",\n  \
+         \"rows\": [\n    {}\n  ]\n}}\n",
+        compiled.pattern_count(),
+        naive.iter().count(),
+        row_json.join(",\n    "),
+    );
+    std::fs::write(&out, &json).expect("write baseline");
+    println!("wrote {out}");
+}

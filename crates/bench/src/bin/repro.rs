@@ -19,7 +19,7 @@ use geoblock_analysis::tables;
 use geoblock_analysis::Fortiguard;
 use geoblock_bench::report::{comparison, section, series, table};
 use geoblock_bench::{Harness, Scale};
-use geoblock_blockpages::{FingerprintSet, PageKind, Provider};
+use geoblock_blockpages::{CompiledFingerprintSet, PageKind, Provider};
 use geoblock_core::consistency::confirmed_geoblockers;
 use geoblock_core::population::PopulationReport;
 use geoblock_proxynet::FaultPlan;
@@ -782,7 +782,11 @@ fn cloudflare(h: &Harness) {
 fn ooni(h: &Harness) {
     section("§7.1 — OONI corpus cross-check");
     let corpus = h.ooni_corpus();
-    let report = ooni_scan::scan(&corpus, &FingerprintSet::paper(), h.world.citizenlab.len());
+    let report = ooni_scan::scan(
+        &corpus,
+        &CompiledFingerprintSet::paper(),
+        h.world.citizenlab.len(),
+    );
     comparison(
         "§7.1",
         &[

@@ -406,7 +406,7 @@ impl Harness {
         let discovery = discover(
             &outliers.outliers,
             &result.archive,
-            &geoblock_blockpages::FingerprintSet::paper(),
+            &geoblock_blockpages::CompiledFingerprintSet::paper(),
             &DiscoveryConfig::default(),
         );
         let coverage = CoverageStats::compute(&result.store);
@@ -785,7 +785,7 @@ fn result_digest(result: &StudyResult) -> String {
     let mut docs: Vec<String> = result
         .archive
         .iter()
-        .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{body}"))
+        .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{}", String::from_utf8_lossy(body)))
         .collect();
     docs.sort();
     out.push_str(&docs.join("\n"));

@@ -1,0 +1,508 @@
+//! The compiled classifier kernel: one pass over the body, all signatures.
+//!
+//! [`FingerprintSet::classify`] is correct but re-scans the body once per
+//! marker string (N×`contains` over up to 14 fingerprints). Classification
+//! sits on the hot path of every probe the system ever makes — the §4.1.3
+//! fingerprint check runs on all baseline/resample samples and again over
+//! the §7.1 OONI corpus — so [`CompiledFingerprintSet`] compiles every
+//! `all_of`/`none_of` marker of a set into **one Aho–Corasick automaton**
+//! (hand-rolled trie + failure links, densified to a byte-indexed DFA; the
+//! sandbox carries no external pattern-matching crates) and scans the raw
+//! body bytes exactly once. The scan yields a [`PatternHits`] bitset over
+//! the deduplicated marker strings; per-kind verdicts are then decided
+//! from the bitset alone — `all_of` bits all set, `none_of` bits all
+//! clear, plus the status/header constraints — in the set's specificity
+//! order, so Airbnb still shadows the generic nginx 403 exactly as the
+//! naive matcher decides it.
+//!
+//! Matching is **byte-oriented**: no lossy UTF-8 decode, no allocation on
+//! the match path. For the paper's ASCII marker strings this is
+//! observably identical to matching on `String::from_utf8_lossy` output
+//! (ASCII bytes survive lossy decoding verbatim and replacement
+//! characters contain no ASCII bytes), and the naive byte matcher is kept
+//! as the differential-testing oracle
+//! (`tests/compiled_differential.rs`).
+
+use geoblock_http::Response;
+
+use crate::fingerprints::{Fingerprint, FingerprintSet, MatchOutcome};
+
+/// A bitset over the compiled set's deduplicated marker patterns: bit `p`
+/// is set iff pattern `p` occurred somewhere in the scanned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternHits {
+    bits: Vec<u64>,
+}
+
+impl PatternHits {
+    fn new(patterns: usize) -> PatternHits {
+        PatternHits {
+            bits: vec![0; patterns.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, p: u32) {
+        self.bits[(p / 64) as usize] |= 1 << (p % 64);
+    }
+
+    /// Whether pattern `p` was seen.
+    #[inline]
+    pub fn contains(&self, p: u32) -> bool {
+        self.bits[(p / 64) as usize] & (1 << (p % 64)) != 0
+    }
+
+    /// The set pattern ids, ascending — the stable form pinned by the
+    /// golden-template bitset test.
+    pub fn ones(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (block, &word) in self.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(block as u32 * 64 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+/// One trie node during construction.
+struct BuildNode {
+    /// Child node per byte (sparse; densified after failure computation).
+    children: Vec<(u8, u32)>,
+    /// Longest proper suffix of this node's path that is also a path.
+    fail: u32,
+    /// Patterns ending exactly at this node.
+    out: Vec<u32>,
+}
+
+/// Transition-word flag: the target state has ≥1 output pattern.
+/// Folding this into the transition itself keeps the scan loop to one
+/// table lookup and one predictable branch per body byte — output-list
+/// lookups happen only at actual match ends.
+const HAS_OUT: u32 = 1 << 31;
+
+/// The fingerprint set compiled for single-pass matching.
+///
+/// Construction is O(total pattern bytes × alphabet); matching is one
+/// table lookup per body byte plus bitset updates at output nodes.
+#[derive(Debug, Clone)]
+pub struct CompiledFingerprintSet {
+    /// The source fingerprints, in evaluation (specificity) order.
+    fingerprints: Vec<Fingerprint>,
+    /// Dense DFA, one 256-way row per state: `trans[state][byte]` is the
+    /// next state, with [`HAS_OUT`] set when that state ends a pattern.
+    /// Row indexing by `u8` needs no bounds check, so the hot loop costs
+    /// one checked row lookup per byte.
+    trans: Vec<[u32; 256]>,
+    /// Flat output lists: node `s` owns `out_flat[out_start[s]..out_start[s + 1]]`,
+    /// pattern ids whose match ends at `s` (failure-closure included).
+    out_flat: Vec<u32>,
+    out_start: Vec<u32>,
+    /// Number of deduplicated patterns.
+    patterns: usize,
+    /// Per fingerprint, the pattern ids its `all_of` markers map to.
+    all_of: Vec<Vec<u32>>,
+    /// Per fingerprint, the pattern ids its `none_of` markers map to.
+    none_of: Vec<Vec<u32>>,
+    /// Pattern ids that match the empty string (hit on any input,
+    /// including an empty body).
+    empty_hits: Vec<u32>,
+    /// Bytes on which the root state transitions to itself (no pattern
+    /// starts with them). While at root — the overwhelmingly common state
+    /// on ordinary content pages — the scanner skips runs of such bytes
+    /// with a dependency-free table test instead of chasing the DFA's
+    /// serial load chain.
+    root_stay: [bool; 256],
+}
+
+impl Default for CompiledFingerprintSet {
+    fn default() -> Self {
+        CompiledFingerprintSet::paper()
+    }
+}
+
+impl CompiledFingerprintSet {
+    /// Compile the §4.1.3 paper set.
+    pub fn paper() -> CompiledFingerprintSet {
+        CompiledFingerprintSet::compile(&FingerprintSet::paper())
+    }
+
+    /// Compile any fingerprint set (e.g. a tuned set loaded from JSON).
+    /// Evaluation order is preserved exactly.
+    pub fn compile(set: &FingerprintSet) -> CompiledFingerprintSet {
+        let fingerprints: Vec<Fingerprint> = set.iter().cloned().collect();
+
+        // Deduplicate marker strings into pattern ids: identical markers
+        // across fingerprints (e.g. "Yunjiasu" in Baidu's all_of and
+        // Cloudflare's none_of) share one trie path and one bit. Linear
+        // scan — pattern counts are tens, not thousands.
+        fn intern(patterns: &mut Vec<String>, s: &str) -> u32 {
+            if let Some(id) = patterns.iter().position(|p| p == s) {
+                return id as u32;
+            }
+            patterns.push(s.to_string());
+            (patterns.len() - 1) as u32
+        }
+        let mut patterns: Vec<String> = Vec::new();
+        let mut all_of = Vec::with_capacity(fingerprints.len());
+        let mut none_of = Vec::with_capacity(fingerprints.len());
+        for f in &fingerprints {
+            all_of.push(
+                f.all_of
+                    .iter()
+                    .map(|p| intern(&mut patterns, p))
+                    .collect::<Vec<u32>>(),
+            );
+            none_of.push(
+                f.none_of
+                    .iter()
+                    .map(|p| intern(&mut patterns, p))
+                    .collect::<Vec<u32>>(),
+            );
+        }
+
+        // Trie construction.
+        let mut nodes: Vec<BuildNode> = vec![BuildNode {
+            children: Vec::new(),
+            fail: 0,
+            out: Vec::new(),
+        }];
+        let mut empty_hits = Vec::new();
+        for (id, pattern) in patterns.iter().enumerate() {
+            if pattern.is_empty() {
+                // `contains("")` is unconditionally true; an empty pattern
+                // hits any body, before any byte is consumed.
+                empty_hits.push(id as u32);
+                continue;
+            }
+            let mut state = 0u32;
+            for &b in pattern.as_bytes() {
+                state = match nodes[state as usize]
+                    .children
+                    .iter()
+                    .find(|(byte, _)| *byte == b)
+                {
+                    Some(&(_, next)) => next,
+                    None => {
+                        let next = nodes.len() as u32;
+                        nodes[state as usize].children.push((b, next));
+                        nodes.push(BuildNode {
+                            children: Vec::new(),
+                            fail: 0,
+                            out: Vec::new(),
+                        });
+                        next
+                    }
+                };
+            }
+            nodes[state as usize].out.push(id as u32);
+        }
+
+        // Failure links by BFS, densifying into a full byte-indexed
+        // transition table as we go (the classic goto/fail merge): after
+        // this, `trans` needs no failure chasing at scan time.
+        let n = nodes.len();
+        let mut trans = vec![[0u32; 256]; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &(b, child) in &nodes[0].children {
+            trans[0][b as usize] = child;
+            queue.push_back(child);
+        }
+        while let Some(state) = queue.pop_front() {
+            let fail = nodes[state as usize].fail;
+            // Inherit the failure node's outputs (suffix matches).
+            let inherited: Vec<u32> = nodes[fail as usize].out.clone();
+            nodes[state as usize].out.extend(inherited);
+            let children: Vec<(u8, u32)> = nodes[state as usize].children.clone();
+            // Start from the failure state's (already dense) row, then
+            // overwrite with this node's own edges.
+            trans[state as usize] = trans[fail as usize];
+            for (b, child) in children {
+                nodes[child as usize].fail = trans[fail as usize][b as usize];
+                trans[state as usize][b as usize] = child;
+                queue.push_back(child);
+            }
+        }
+
+        // Flatten outputs, and tag every transition whose target ends a
+        // pattern so the scan loop can skip output lookups otherwise.
+        let mut out_flat = Vec::new();
+        let mut out_start = Vec::with_capacity(n + 1);
+        out_start.push(0u32);
+        for node in &nodes {
+            out_flat.extend_from_slice(&node.out);
+            out_start.push(out_flat.len() as u32);
+        }
+        let has_out: Vec<bool> = nodes.iter().map(|node| !node.out.is_empty()).collect();
+        for row in &mut trans {
+            for t in row.iter_mut() {
+                if has_out[*t as usize] {
+                    *t |= HAS_OUT;
+                }
+            }
+        }
+
+        // Root self-loop bytes: `trans[0][b] == 0` means byte `b` starts
+        // no pattern (state 0 never carries HAS_OUT — empty patterns are
+        // factored out into `empty_hits` above).
+        let mut root_stay = [false; 256];
+        for (b, stay) in root_stay.iter_mut().enumerate() {
+            *stay = trans[0][b] == 0;
+        }
+
+        CompiledFingerprintSet {
+            fingerprints,
+            trans,
+            out_flat,
+            out_start,
+            patterns: patterns.len(),
+            all_of,
+            none_of,
+            empty_hits,
+            root_stay,
+        }
+    }
+
+    /// The source fingerprints in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fingerprint> {
+        self.fingerprints.iter()
+    }
+
+    /// Number of deduplicated marker patterns in the automaton.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// Begin an incremental scan. Feeding the body in arbitrary chunks
+    /// yields the same hits as one contiguous scan — matches straddling
+    /// chunk boundaries are carried by the automaton state.
+    pub fn scanner(&self) -> Scanner<'_> {
+        let mut hits = PatternHits::new(self.patterns);
+        for &p in &self.empty_hits {
+            hits.set(p);
+        }
+        Scanner {
+            set: self,
+            state: 0,
+            hits,
+        }
+    }
+
+    /// One pass over `body`: which patterns occur.
+    pub fn scan(&self, body: &[u8]) -> PatternHits {
+        let mut scanner = self.scanner();
+        scanner.feed(body);
+        scanner.finish()
+    }
+
+    /// Decide the verdict for one fingerprint from a hit bitset (body
+    /// evidence only; status/header constraints are the caller's when a
+    /// full response is in hand).
+    #[inline]
+    fn body_verdict(&self, i: usize, hits: &PatternHits) -> bool {
+        self.all_of[i].iter().all(|&p| hits.contains(p))
+            && !self.none_of[i].iter().any(|&p| hits.contains(p))
+    }
+
+    /// Classify raw body bytes (status/header constraints skipped) — the
+    /// archival-corpus mode. Exactly one pass over `body`.
+    pub fn classify_bytes(&self, body: &[u8]) -> Option<MatchOutcome> {
+        let hits = self.scan(body);
+        self.decide_bytes(&hits)
+    }
+
+    /// The verdict a hit bitset implies under body-only matching; first
+    /// fingerprint in specificity order wins.
+    pub fn decide_bytes(&self, hits: &PatternHits) -> Option<MatchOutcome> {
+        (0..self.fingerprints.len())
+            .find(|&i| self.body_verdict(i, hits))
+            .map(|i| MatchOutcome {
+                kind: self.fingerprints[i].kind,
+            })
+    }
+
+    /// Classify a full response: status and header constraints apply, and
+    /// the body is scanned exactly once.
+    pub fn classify(&self, response: &Response) -> Option<MatchOutcome> {
+        let hits = self.scan(response.body.as_bytes());
+        for (i, f) in self.fingerprints.iter().enumerate() {
+            if let Some(status) = f.status {
+                if response.status != status {
+                    continue;
+                }
+            }
+            if let Some(h) = &f.required_header {
+                if !response.headers.contains(h) {
+                    continue;
+                }
+            }
+            if self.body_verdict(i, &hits) {
+                return Some(MatchOutcome { kind: f.kind });
+            }
+        }
+        None
+    }
+}
+
+/// An in-progress single-pass scan; see
+/// [`CompiledFingerprintSet::scanner`].
+pub struct Scanner<'a> {
+    set: &'a CompiledFingerprintSet,
+    state: u32,
+    hits: PatternHits,
+}
+
+impl Scanner<'_> {
+    /// Consume the next chunk of body bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        let set = self.set;
+        let mut state = self.state as usize;
+        let mut i = 0;
+        while i < chunk.len() {
+            if state == 0 {
+                // At root, skim the run of bytes that cannot start any
+                // pattern. Each test is an independent load — no serial
+                // dependency on the previous byte's transition — so this
+                // path dominates throughput on non-block-page bodies,
+                // where the DFA step below only ever sees the ~15 bytes
+                // that begin some marker.
+                match chunk[i..].iter().position(|&b| !set.root_stay[b as usize]) {
+                    Some(skip) => i += skip,
+                    None => break,
+                }
+            }
+            let t = set.trans[state][chunk[i] as usize];
+            state = (t & !HAS_OUT) as usize;
+            if t & HAS_OUT != 0 {
+                let (lo, hi) = (set.out_start[state], set.out_start[state + 1]);
+                for &p in &set.out_flat[lo as usize..hi as usize] {
+                    self.hits.set(p);
+                }
+            }
+            i += 1;
+        }
+        self.state = state as u32;
+    }
+
+    /// Finish the scan, yielding the hit bitset.
+    pub fn finish(self) -> PatternHits {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::PageKind;
+    use crate::templates::{render, PageParams};
+    use geoblock_http::Url;
+
+    fn rendered(kind: PageKind, nonce: u64) -> Response {
+        let params = PageParams::new("shop.example.com", "Syria", "5.0.0.1", nonce);
+        render(kind, &params).finish(Url::http("shop.example.com"))
+    }
+
+    #[test]
+    fn compiled_classifies_every_template_like_naive() {
+        let naive = FingerprintSet::paper();
+        let compiled = CompiledFingerprintSet::paper();
+        for kind in PageKind::ALL {
+            for nonce in [0u64, 1, 99, 12345] {
+                let resp = rendered(kind, nonce);
+                assert_eq!(
+                    compiled.classify(&resp).map(|o| o.kind),
+                    naive.classify(&resp).map(|o| o.kind),
+                    "{kind} nonce {nonce}"
+                );
+                assert_eq!(compiled.classify(&resp).map(|o| o.kind), Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_markers_share_one_pattern_bit() {
+        // "has banned the country or region" appears in both the
+        // Cloudflare and Baidu fingerprints; "Yunjiasu" in three places.
+        let compiled = CompiledFingerprintSet::paper();
+        let naive = FingerprintSet::paper();
+        let total_markers: usize = naive.iter().map(|f| f.all_of.len() + f.none_of.len()).sum();
+        assert!(
+            compiled.pattern_count() < total_markers,
+            "{} patterns vs {total_markers} markers — dedup had no effect",
+            compiled.pattern_count()
+        );
+    }
+
+    #[test]
+    fn chunked_feed_equals_contiguous_scan() {
+        let compiled = CompiledFingerprintSet::paper();
+        let body = rendered(PageKind::Cloudflare, 7).body;
+        let whole = compiled.scan(body.as_bytes());
+        for chunk_len in [1usize, 2, 3, 7, 64] {
+            let mut scanner = compiled.scanner();
+            for chunk in body.as_bytes().chunks(chunk_len) {
+                scanner.feed(chunk);
+            }
+            assert_eq!(scanner.finish(), whole, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_bodies_scan_without_allocation_or_panic() {
+        let compiled = CompiledFingerprintSet::paper();
+        let mut body = b"prefix \xff\xfe garbage ".to_vec();
+        body.extend_from_slice(b"Incapsula incident ID");
+        body.push(0xFF);
+        assert_eq!(
+            compiled.classify_bytes(&body).map(|o| o.kind),
+            Some(PageKind::Incapsula)
+        );
+    }
+
+    #[test]
+    fn specificity_order_is_preserved() {
+        let compiled = CompiledFingerprintSet::paper();
+        // An Airbnb page is served by nginx and contains the nginx markers
+        // too; the specific fingerprint must still win.
+        let mut body = rendered(PageKind::Airbnb, 5).body.as_bytes().to_vec();
+        body.extend_from_slice(b"<center><h1>403 Forbidden</h1></center><center>nginx</center>");
+        assert_eq!(
+            compiled.classify_bytes(&body).map(|o| o.kind),
+            Some(PageKind::Airbnb)
+        );
+    }
+
+    #[test]
+    fn empty_body_and_empty_patterns() {
+        let compiled = CompiledFingerprintSet::paper();
+        assert_eq!(compiled.classify_bytes(b""), None);
+
+        // A degenerate custom set with an empty marker matches everything.
+        let json = r#"[{"kind":"Incapsula","all_of":[""],"none_of":[],"status":null,"required_header":null}]"#;
+        let set = FingerprintSet::from_json(json).expect("load");
+        let degenerate = CompiledFingerprintSet::compile(&set);
+        assert_eq!(
+            degenerate.classify_bytes(b"").map(|o| o.kind),
+            Some(PageKind::Incapsula)
+        );
+        assert_eq!(
+            set.classify_bytes(b"").map(|o| o.kind),
+            Some(PageKind::Incapsula),
+            "naive oracle must agree on the degenerate set"
+        );
+    }
+
+    #[test]
+    fn hits_ones_reports_ascending_pattern_ids() {
+        let compiled = CompiledFingerprintSet::paper();
+        let hits = compiled.scan(rendered(PageKind::Baidu, 1).body.as_bytes());
+        let ones = hits.ones();
+        assert!(!ones.is_empty());
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        for &p in &ones {
+            assert!(hits.contains(p));
+        }
+    }
+}

@@ -57,7 +57,24 @@ impl Fingerprint {
             && !self.none_of.iter().any(|p| body.contains(p.as_str()))
     }
 
+    /// Byte-level matching: substring search over the raw body, no UTF-8
+    /// decode. For ASCII markers (the whole paper set) this agrees with
+    /// [`Fingerprint::matches_text`] on lossy-decoded text, because lossy
+    /// decoding preserves ASCII bytes verbatim and replacement characters
+    /// introduce none. This is the differential oracle for the compiled
+    /// automaton.
+    pub fn matches_bytes(&self, body: &[u8]) -> bool {
+        self.all_of
+            .iter()
+            .all(|p| contains_bytes(body, p.as_bytes()))
+            && !self
+                .none_of
+                .iter()
+                .any(|p| contains_bytes(body, p.as_bytes()))
+    }
+
     /// Full-response matching, including status and header constraints.
+    /// The body is matched as raw bytes — no lossy decode, no allocation.
     pub fn matches(&self, response: &Response) -> bool {
         if let Some(status) = self.status {
             if response.status != status {
@@ -69,8 +86,18 @@ impl Fingerprint {
                 return false;
             }
         }
-        self.matches_text(&response.body.as_text())
+        self.matches_bytes(response.body.as_bytes())
     }
+}
+
+/// Naive byte-substring search, matching `str::contains` semantics (an
+/// empty needle matches everything). Quadratic worst case — this is the
+/// oracle, not the kernel; the compiled automaton is the fast path.
+fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// The result of matching a response against the full fingerprint set.
@@ -192,6 +219,16 @@ impl FingerprintSet {
         self.fingerprints
             .iter()
             .find(|f| f.matches_text(body))
+            .map(|f| MatchOutcome { kind: f.kind })
+    }
+
+    /// Match raw body bytes only — the naive counterpart of
+    /// [`crate::CompiledFingerprintSet::classify_bytes`], retained as the
+    /// differential-testing oracle.
+    pub fn classify_bytes(&self, body: &[u8]) -> Option<MatchOutcome> {
+        self.fingerprints
+            .iter()
+            .find(|f| f.matches_bytes(body))
             .map(|f| MatchOutcome { kind: f.kind })
     }
 

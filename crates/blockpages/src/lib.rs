@@ -21,11 +21,13 @@
 //! The two sides are tested against each other: every rendered template must
 //! match exactly its own fingerprint (see the crate's property tests).
 
+pub mod compiled;
 pub mod fingerprints;
 pub mod kind;
 pub mod provider;
 pub mod templates;
 
+pub use compiled::{CompiledFingerprintSet, PatternHits, Scanner};
 pub use fingerprints::{Fingerprint, FingerprintSet, MatchOutcome};
 pub use kind::{PageClass, PageKind};
 pub use provider::Provider;

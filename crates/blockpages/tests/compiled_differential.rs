@@ -1,0 +1,303 @@
+//! Differential tests for the compiled classifier kernel: on any byte
+//! body whatsoever, [`CompiledFingerprintSet`] must decide exactly what
+//! the naive per-marker matcher decides. The naive matcher is the oracle
+//! — it is trivially correct (N independent `contains` scans) — and the
+//! automaton is the optimisation under test.
+//!
+//! Three input families, chosen for where automata bugs live:
+//!
+//! * **rendered templates** — every real page kind, many parameters;
+//! * **near-miss mutants** — each marker with one byte flipped, deleted,
+//!   or inserted (failure-link bugs surface on *almost*-matches);
+//! * **random byte soup** — including invalid UTF-8 and markers spliced
+//!   at arbitrary offsets, fed both contiguously and re-chunked at every
+//!   boundary (state-carry bugs surface on straddled matches).
+//!
+//! The deterministic `#[test]`s below run everywhere; the `proptest!`
+//! block adds driver-side randomised depth on top. The golden-template
+//! bitset pin at the bottom freezes the automaton's observable output —
+//! pattern interning order and hit sets — for the whole template corpus.
+
+use geoblock_blockpages::{render, CompiledFingerprintSet, FingerprintSet, PageKind, PageParams};
+use geoblock_http::Url;
+use proptest::prelude::*;
+
+/// Numerical Recipes LCG: deterministic inputs without an RNG dependency
+/// beyond what the workspace already carries.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 33) as u8
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((self.next_u64() >> 16) % n.max(1) as u64) as usize
+    }
+}
+
+fn rendered_body(kind: PageKind, nonce: u64) -> Vec<u8> {
+    let params = PageParams::new("shop.example.com", "Syria", "5.0.0.1", nonce);
+    render(kind, &params)
+        .finish(Url::http("shop.example.com"))
+        .body
+        .into_bytes()
+        .as_ref()
+        .to_vec()
+}
+
+/// Every marker string of the paper set, deduplicated.
+fn paper_markers() -> Vec<Vec<u8>> {
+    let mut markers: Vec<Vec<u8>> = Vec::new();
+    for f in FingerprintSet::paper().iter() {
+        for m in f.all_of.iter().chain(f.none_of.iter()) {
+            if !markers.iter().any(|k| k == m.as_bytes()) {
+                markers.push(m.as_bytes().to_vec());
+            }
+        }
+    }
+    markers
+}
+
+fn assert_agree(naive: &FingerprintSet, compiled: &CompiledFingerprintSet, body: &[u8], ctx: &str) {
+    assert_eq!(
+        compiled.classify_bytes(body).map(|o| o.kind),
+        naive.classify_bytes(body).map(|o| o.kind),
+        "{ctx}: body {:?}…",
+        &body[..body.len().min(60)]
+    );
+}
+
+#[test]
+fn every_rendered_template_agrees_with_naive() {
+    let naive = FingerprintSet::paper();
+    let compiled = CompiledFingerprintSet::paper();
+    for kind in PageKind::ALL {
+        for nonce in [0u64, 1, 7, 99, 12345, u64::MAX] {
+            let body = rendered_body(kind, nonce);
+            assert_agree(&naive, &compiled, &body, &format!("{kind} nonce {nonce}"));
+            assert_eq!(
+                compiled.classify_bytes(&body).map(|o| o.kind),
+                Some(kind),
+                "{kind} nonce {nonce} must classify as itself"
+            );
+        }
+    }
+}
+
+#[test]
+fn near_miss_mutants_agree_with_naive() {
+    let naive = FingerprintSet::paper();
+    let compiled = CompiledFingerprintSet::paper();
+    let mut lcg = Lcg::new(403);
+    for marker in paper_markers() {
+        // A marker embedded verbatim, and three near-miss mutants of it:
+        // one byte flipped, one deleted, one inserted. Each embedded in
+        // filler that keeps the automaton walking.
+        let mut variants: Vec<Vec<u8>> = vec![marker.clone()];
+        for _ in 0..4 {
+            let mut flipped = marker.clone();
+            let at = lcg.below(flipped.len());
+            flipped[at] ^= 1 << (lcg.below(7) + 1);
+            variants.push(flipped);
+
+            let mut deleted = marker.clone();
+            deleted.remove(lcg.below(deleted.len()));
+            variants.push(deleted);
+
+            let mut inserted = marker.clone();
+            let at = lcg.below(inserted.len() + 1);
+            inserted.insert(at, lcg.byte());
+            variants.push(inserted);
+        }
+        // Truncations from both ends — prefixes of a pattern must not hit.
+        variants.push(marker[..marker.len() - 1].to_vec());
+        variants.push(marker[1..].to_vec());
+
+        for (vi, variant) in variants.iter().enumerate() {
+            let mut body = b"<html><body>ordinary filler ".to_vec();
+            body.extend_from_slice(variant);
+            body.extend_from_slice(b" more filler</body></html>");
+            assert_agree(
+                &naive,
+                &compiled,
+                &body,
+                &format!("mutant {vi} of {:?}", String::from_utf8_lossy(&marker)),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_bodies_with_spliced_markers_agree_with_naive() {
+    let naive = FingerprintSet::paper();
+    let compiled = CompiledFingerprintSet::paper();
+    let markers = paper_markers();
+    let mut lcg = Lcg::new(7001);
+    for case in 0..512 {
+        let len = lcg.below(2048);
+        // Raw LCG bytes: overwhelmingly invalid UTF-8.
+        let mut body: Vec<u8> = (0..len).map(|_| lcg.byte()).collect();
+        // Half the cases get 1–3 real markers spliced at random offsets.
+        if case % 2 == 0 {
+            for _ in 0..=lcg.below(3) {
+                let m = &markers[lcg.below(markers.len())];
+                let at = lcg.below(body.len() + 1);
+                body.splice(at..at, m.iter().copied());
+            }
+        }
+        assert_agree(&naive, &compiled, &body, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn random_chunking_equals_contiguous_scan() {
+    let compiled = CompiledFingerprintSet::paper();
+    let markers = paper_markers();
+    let mut lcg = Lcg::new(977);
+    for case in 0..256 {
+        let mut body: Vec<u8> = (0..lcg.below(1024)).map(|_| lcg.byte()).collect();
+        let m = &markers[lcg.below(markers.len())];
+        let at = lcg.below(body.len() + 1);
+        body.splice(at..at, m.iter().copied());
+
+        let whole = compiled.scan(&body);
+        let mut scanner = compiled.scanner();
+        let mut rest: &[u8] = &body;
+        while !rest.is_empty() {
+            let take = (lcg.below(rest.len()) + 1).min(rest.len());
+            scanner.feed(&rest[..take]);
+            rest = &rest[take..];
+        }
+        assert_eq!(scanner.finish(), whole, "case {case}");
+    }
+}
+
+#[test]
+fn markers_straddling_every_split_position_are_found() {
+    // The hard streaming case: a marker cut at *every* interior position,
+    // including cuts inside overlapping shared patterns ("Yunjiasu" sits
+    // in three fingerprints; "has banned the country or region" in two).
+    let compiled = CompiledFingerprintSet::paper();
+    for marker in paper_markers() {
+        let mut body = b"prefix text before the marker ".to_vec();
+        body.extend_from_slice(&marker);
+        body.extend_from_slice(b" and trailing text after");
+        let whole = compiled.scan(&body);
+        for split in 0..=body.len() {
+            let mut scanner = compiled.scanner();
+            scanner.feed(&body[..split]);
+            scanner.feed(&body[split..]);
+            assert_eq!(
+                scanner.finish(),
+                whole,
+                "split {split} inside {:?}",
+                String::from_utf8_lossy(&marker)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: the two matchers agree everywhere.
+    #[test]
+    fn compiled_agrees_on_arbitrary_bytes(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let naive = FingerprintSet::paper();
+        let compiled = CompiledFingerprintSet::paper();
+        prop_assert_eq!(
+            compiled.classify_bytes(&body).map(|o| o.kind),
+            naive.classify_bytes(&body).map(|o| o.kind)
+        );
+    }
+
+    /// Rendered pages with a random byte overwritten still agree — the
+    /// proptest twin of the deterministic mutant test.
+    #[test]
+    fn mutated_templates_agree(
+        kind in proptest::sample::select(PageKind::ALL.to_vec()),
+        nonce in any::<u64>(),
+        at in any::<proptest::sample::Index>(),
+        bit in 1u8..8,
+    ) {
+        let naive = FingerprintSet::paper();
+        let compiled = CompiledFingerprintSet::paper();
+        let mut body = rendered_body(kind, nonce);
+        let i = at.index(body.len());
+        body[i] ^= 1 << bit;
+        prop_assert_eq!(
+            compiled.classify_bytes(&body).map(|o| o.kind),
+            naive.classify_bytes(&body).map(|o| o.kind)
+        );
+    }
+
+    /// Chunked feeding is invariant under the chunking, for any cuts.
+    #[test]
+    fn any_chunking_equals_contiguous(
+        kind in proptest::sample::select(PageKind::ALL.to_vec()),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+    ) {
+        let compiled = CompiledFingerprintSet::paper();
+        let body = rendered_body(kind, 3);
+        let whole = compiled.scan(&body);
+        let mut positions: Vec<usize> = cuts.iter().map(|c| c.index(body.len() + 1)).collect();
+        positions.push(0);
+        positions.push(body.len());
+        positions.sort_unstable();
+        let mut scanner = compiled.scanner();
+        for w in positions.windows(2) {
+            scanner.feed(&body[w[0]..w[1]]);
+        }
+        prop_assert_eq!(scanner.finish(), whole);
+    }
+}
+
+/// The pinned pattern-hit bitsets for the golden template corpus: each
+/// page kind rendered with fixed parameters, scanned once, and the
+/// resulting `ones()` vector frozen. Pattern ids are assigned by interning
+/// order over the paper set, so this pin also freezes the interning —
+/// any change to marker strings, fingerprint order, or automaton output
+/// fails here with the full expected/actual id lists.
+#[test]
+fn golden_template_bitsets_are_pinned() {
+    const PINNED: [(PageKind, &[u32]); 14] = [
+        (PageKind::Akamai, &[14, 15, 16]),
+        (PageKind::Cloudflare, &[2, 3]),
+        (PageKind::AppEngine, &[10, 11]),
+        (PageKind::CloudflareCaptcha, &[3, 5, 6]),
+        (PageKind::CloudflareJs, &[7, 8]),
+        (PageKind::CloudFront, &[12, 13]),
+        (PageKind::BaiduCaptcha, &[4, 6]),
+        (PageKind::Baidu, &[2, 4]),
+        (PageKind::Incapsula, &[17]),
+        (PageKind::Soasta, &[18, 19]),
+        (PageKind::Airbnb, &[0, 1]),
+        (PageKind::DistilCaptcha, &[9]),
+        (PageKind::Nginx403, &[22, 23]),
+        (PageKind::Varnish403, &[20, 21]),
+    ];
+    let compiled = CompiledFingerprintSet::paper();
+    assert_eq!(PINNED.len(), PageKind::ALL.len());
+    for (kind, expected) in PINNED {
+        let body = rendered_body(kind, 0);
+        let hits = compiled.scan(&body);
+        assert_eq!(
+            hits.ones(),
+            expected,
+            "pattern-hit bitset drifted for {kind}"
+        );
+    }
+}

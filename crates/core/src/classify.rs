@@ -1,6 +1,6 @@
 //! Turning fetch outcomes into observations.
 
-use geoblock_blockpages::FingerprintSet;
+use geoblock_blockpages::CompiledFingerprintSet;
 use geoblock_http::{FetchOutcome, RedirectChain};
 
 use crate::observation::{ErrKind, Obs};
@@ -10,15 +10,16 @@ use crate::observation::{ErrKind, Obs};
 /// Fingerprint matching runs only on block-plausible responses (403 / 451 /
 /// 503) — every known block or challenge page rides one of those statuses,
 /// and skipping 200s keeps classification out of the hot path for ordinary
-/// content.
-pub fn classify_chain(fingerprints: &FingerprintSet, outcome: &FetchOutcome) -> Obs {
+/// content. Matching uses the compiled automaton: one pass over the raw
+/// body bytes, no lossy UTF-8 decode.
+pub fn classify_chain(fingerprints: &CompiledFingerprintSet, outcome: &FetchOutcome) -> Obs {
     match outcome {
         Err(e) => Obs::Error(ErrKind::from(e)),
         Ok(chain) => classify_response(fingerprints, chain),
     }
 }
 
-fn classify_response(fingerprints: &FingerprintSet, chain: &RedirectChain) -> Obs {
+fn classify_response(fingerprints: &CompiledFingerprintSet, chain: &RedirectChain) -> Obs {
     let response = chain.final_response();
     let page = if response.status.is_blockish() {
         fingerprints.classify(response).map(|m| m.kind)
@@ -47,7 +48,7 @@ mod tests {
 
     #[test]
     fn block_pages_are_fingerprinted() {
-        let fp = FingerprintSet::paper();
+        let fp = CompiledFingerprintSet::paper();
         let params = PageParams::new("x.com", "Iran", "5.1.1.1", 3);
         let resp = render(PageKind::Cloudflare, &params).finish(Url::http("x.com"));
         let obs = classify_chain(&fp, &Ok(chain_of(resp)));
@@ -57,7 +58,7 @@ mod tests {
 
     #[test]
     fn ordinary_pages_are_not_scanned() {
-        let fp = FingerprintSet::paper();
+        let fp = CompiledFingerprintSet::paper();
         // A 200 whose body *contains* block-page text must not match — the
         // status gate prevents it (a news article quoting a block page is
         // not a block).
@@ -71,7 +72,7 @@ mod tests {
 
     #[test]
     fn plain_403s_match_nothing() {
-        let fp = FingerprintSet::paper();
+        let fp = CompiledFingerprintSet::paper();
         let resp = Response::builder(StatusCode::FORBIDDEN)
             .body("<h1>Forbidden</h1>")
             .finish(Url::http("x.com"));
@@ -82,7 +83,7 @@ mod tests {
 
     #[test]
     fn errors_project_to_errkind() {
-        let fp = FingerprintSet::paper();
+        let fp = CompiledFingerprintSet::paper();
         let obs = classify_chain(&fp, &Err(FetchError::Timeout));
         assert_eq!(obs, Obs::Error(ErrKind::Timeout));
     }

@@ -9,7 +9,7 @@
 //! and the interesting question a reproduction can answer is whether the
 //! clustering isolates those families at all (cluster purity).
 
-use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
+use geoblock_blockpages::{CompiledFingerprintSet, PageClass, PageKind, Provider};
 use geoblock_textmine::{single_link, TfIdfVectorizer};
 use serde::{Deserialize, Serialize};
 
@@ -107,17 +107,22 @@ impl DiscoveryReport {
 }
 
 /// Cluster the outlier corpus.
+///
+/// This is the textmine boundary: archived bodies are lossy-decoded here
+/// (TF-IDF tokenisation is text-based), the one place on the pipeline
+/// where UTF-8 conversion is allowed to allocate. Cluster labelling runs
+/// the compiled automaton over the decoded documents.
 pub fn discover(
     outliers: &[Outlier],
     archive: &BodyArchive,
-    fingerprints: &FingerprintSet,
+    fingerprints: &CompiledFingerprintSet,
     config: &DiscoveryConfig,
 ) -> DiscoveryReport {
     let mut docs: Vec<String> = Vec::new();
     let mut missing_bodies = 0usize;
     for o in outliers {
-        match archive.get(o.domain, o.country, o.sample) {
-            Some(body) => docs.push(body.to_string()),
+        match archive.get_text(o.domain, o.country, o.sample) {
+            Some(body) => docs.push(body.into_owned()),
             None => missing_bodies += 1,
         }
     }
@@ -134,7 +139,7 @@ pub fn discover(
             std::collections::HashMap::new();
         for &m in members.iter() {
             let label = fingerprints
-                .classify_text(&docs[m as usize])
+                .classify_bytes(docs[m as usize].as_bytes())
                 .map(|o| o.kind);
             *label_votes.entry(label).or_insert(0) += 1;
         }
@@ -185,7 +190,7 @@ mod tests {
                     i * 31 + ki as u64,
                 );
                 let resp = render(*kind, &params).finish(Url::http("x.com"));
-                let body = resp.body.as_text().to_string();
+                let body = resp.body.bytes().clone();
                 archive.offer(ki as u32, i as u16, sample, body.len() as u32, &body);
                 outliers.push(Outlier {
                     domain: ki as u32,
@@ -205,7 +210,7 @@ mod tests {
         let report = discover(
             &outliers,
             &archive,
-            &FingerprintSet::paper(),
+            &CompiledFingerprintSet::paper(),
             &DiscoveryConfig::default(),
         );
         assert_eq!(report.corpus_size, 120);
@@ -240,8 +245,7 @@ mod tests {
                 let body = render(*kind, &params)
                     .finish(Url::http("d.com"))
                     .body
-                    .as_text()
-                    .to_string();
+                    .into_bytes();
                 archive.offer(i as u32, j, 0, body.len() as u32, &body);
                 outliers.push(Outlier {
                     domain: i as u32,
@@ -254,7 +258,7 @@ mod tests {
         let report = discover(
             &outliers,
             &archive,
-            &FingerprintSet::paper(),
+            &CompiledFingerprintSet::paper(),
             &DiscoveryConfig::default(),
         );
         let providers = report.discovered_providers();
@@ -275,7 +279,7 @@ mod tests {
         let report = discover(
             &outliers,
             &archive,
-            &FingerprintSet::paper(),
+            &CompiledFingerprintSet::paper(),
             &DiscoveryConfig::default(),
         );
         assert_eq!(report.missing_bodies, 1);

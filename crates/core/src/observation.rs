@@ -5,6 +5,7 @@
 //! retained only where the discovery phase can possibly need it (the
 //! [`BodyArchive`] retention rule).
 
+use bytes::Bytes;
 use geoblock_blockpages::PageKind;
 use geoblock_worldgen::CountryCode;
 use serde::{Deserialize, Serialize};
@@ -214,9 +215,13 @@ impl SampleStore {
 /// 6 KB absolutely, or ≥28% shorter than the longest response seen so far
 /// for its domain. Everything else can never enter the clustering corpus,
 /// so storing it would only burn memory.
+///
+/// Documents are stored as [`Bytes`]: retaining a body is a refcount bump
+/// plus a zero-copy prefix slice, so the archive shares the allocation the
+/// transport made rather than copying every offered body.
 #[derive(Debug, Default)]
 pub struct BodyArchive {
-    docs: HashMap<(u32, u16, u16), String>,
+    docs: HashMap<(u32, u16, u16), Bytes>,
     max_len: HashMap<u32, u32>,
 }
 
@@ -232,16 +237,16 @@ impl BodyArchive {
         BodyArchive::default()
     }
 
-    /// Offer a body for retention.
-    pub fn offer(&mut self, domain: u32, country: u16, sample: u16, len: u32, body: &str) {
+    /// Offer a body for retention. Retaining never copies: the stored
+    /// document is a zero-copy slice of the offered [`Bytes`] handle.
+    pub fn offer(&mut self, domain: u32, country: u16, sample: u16, len: u32, body: &Bytes) {
         let max = self.max_len.entry(domain).or_insert(0);
         let keep = len < Self::SMALL_DOC || (*max > 0 && (len as f64) < 0.72 * *max as f64);
         if len > *max {
             *max = len;
         }
         if keep {
-            let mut doc = body.to_string();
-            doc.truncate(Self::DOC_CAP.min(doc.len()));
+            let doc = body.slice(..Self::DOC_CAP.min(body.len()));
             self.docs.insert((domain, country, sample), doc);
         }
     }
@@ -252,21 +257,34 @@ impl BodyArchive {
     /// with its own per-domain length ceilings, and its decisions are
     /// final — re-judging them against another shard's ceilings would make
     /// retention depend on shard geometry.
-    pub fn insert(&mut self, domain: u32, country: u16, sample: u16, body: String) {
+    pub fn insert(&mut self, domain: u32, country: u16, sample: u16, body: Bytes) {
         self.docs.insert((domain, country, sample), body);
     }
 
-    /// Retrieve a retained document.
-    pub fn get(&self, domain: u32, country: u16, sample: u16) -> Option<&str> {
+    /// Retrieve a retained document's raw bytes.
+    pub fn get(&self, domain: u32, country: u16, sample: u16) -> Option<&[u8]> {
         self.docs
             .get(&(domain, country, sample))
-            .map(String::as_str)
+            .map(|b| b.as_ref())
+    }
+
+    /// Retrieve a retained document as lossy text — the textmine/display
+    /// boundary, where UTF-8 decoding is allowed to allocate.
+    pub fn get_text(
+        &self,
+        domain: u32,
+        country: u16,
+        sample: u16,
+    ) -> Option<std::borrow::Cow<'_, str>> {
+        self.docs
+            .get(&(domain, country, sample))
+            .map(|b| String::from_utf8_lossy(b))
     }
 
     /// Iterate every retained document as `((domain, country, sample), body)`,
     /// in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = ((u32, u16, u16), &str)> {
-        self.docs.iter().map(|(k, v)| (*k, v.as_str()))
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u16, u16), &Bytes)> {
+        self.docs.iter().map(|(k, v)| (*k, v))
     }
 
     /// Number of retained documents.
@@ -336,28 +354,33 @@ mod tests {
         assert_eq!(s.domain_error_rate(0), 0.5);
     }
 
+    fn doc(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
     #[test]
     fn archive_retains_small_and_outlier_bodies() {
         let mut a = BodyArchive::new();
         // First sample: large page establishes the max.
-        a.offer(1, 0, 0, 20_000, "big page");
+        a.offer(1, 0, 0, 20_000, &doc("big page"));
         assert!(a.get(1, 0, 0).is_none());
         // A 30%-shorter sample is retained.
-        a.offer(1, 0, 1, 13_000, "shorter variant");
+        a.offer(1, 0, 1, 13_000, &doc("shorter variant"));
         assert!(a.get(1, 0, 1).is_some());
         // A near-full-length sample is not.
-        a.offer(1, 0, 2, 19_000, "nearly full");
+        a.offer(1, 0, 2, 19_000, &doc("nearly full"));
         assert!(a.get(1, 0, 2).is_none());
         // A tiny block page is always retained.
-        a.offer(1, 5, 0, 1500, "error code: 1009");
-        assert_eq!(a.get(1, 5, 0), Some("error code: 1009"));
+        a.offer(1, 5, 0, 1500, &doc("error code: 1009"));
+        assert_eq!(a.get(1, 5, 0), Some(b"error code: 1009".as_slice()));
+        assert_eq!(a.get_text(1, 5, 0).as_deref(), Some("error code: 1009"));
         assert_eq!(a.len(), 2);
     }
 
     #[test]
-    fn archive_truncates_to_cap() {
+    fn archive_truncates_to_cap_without_copying() {
         let mut a = BodyArchive::new();
-        let long = "x".repeat(10_000);
+        let long = doc(&"x".repeat(10_000));
         a.offer(2, 0, 0, 3000, &long);
         assert_eq!(a.get(2, 0, 0).unwrap().len(), BodyArchive::DOC_CAP);
     }
@@ -365,13 +388,23 @@ mod tests {
     #[test]
     fn archive_insert_bypasses_retention() {
         let mut a = BodyArchive::new();
-        a.offer(1, 0, 0, 20_000, "big page");
+        a.offer(1, 0, 0, 20_000, &doc("big page"));
         assert!(a.get(1, 0, 0).is_none());
         // A sharded merge re-inserts another shard's retained doc verbatim,
         // even where this archive's own ceiling would have rejected it.
-        a.insert(1, 0, 1, "kept elsewhere".to_string());
-        assert_eq!(a.get(1, 0, 1), Some("kept elsewhere"));
+        a.insert(1, 0, 1, doc("kept elsewhere"));
+        assert_eq!(a.get(1, 0, 1), Some(b"kept elsewhere".as_slice()));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn archive_non_utf8_bodies_survive_byte_for_byte() {
+        let mut a = BodyArchive::new();
+        let raw = Bytes::copy_from_slice(b"\xff\xfeincomplete \xe2\x82 page");
+        a.offer(3, 0, 0, raw.len() as u32, &raw);
+        assert_eq!(a.get(3, 0, 0), Some(&raw[..]));
+        // Lossy decoding happens only at the text boundary.
+        assert!(a.get_text(3, 0, 0).unwrap().contains("incomplete"));
     }
 
     #[test]

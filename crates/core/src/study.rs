@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use geoblock_blockpages::{FingerprintSet, PageKind};
+use geoblock_blockpages::{CompiledFingerprintSet, PageKind};
 use geoblock_lumscan::{ConfigError, Lumscan, NoopSink, ProbeResult, ProbeSink, Transport};
 use geoblock_worldgen::CountryCode;
 
@@ -115,14 +115,6 @@ impl StudyConfigBuilder {
         self
     }
 
-    /// Former name of [`work_unit_domains`](Self::work_unit_domains): the
-    /// batch-path chunk knob it configured is gone, and the value now sizes
-    /// the orchestrator's work units instead.
-    #[deprecated(since = "0.1.0", note = "renamed to `work_unit_domains`")]
-    pub fn chunk_domains(self, n: usize) -> Self {
-        self.work_unit_domains(n)
-    }
-
     /// Validate and build.
     pub fn build(self) -> Result<StudyConfig, ConfigError> {
         if self.countries.is_empty() {
@@ -191,7 +183,7 @@ impl StudyResult {
 /// study passes drive this from an
 /// [`ordered`](geoblock_lumscan::ProbeStream::ordered) stream.
 pub struct StudyAccumulator<'a> {
-    fingerprints: &'a FingerprintSet,
+    fingerprints: &'a CompiledFingerprintSet,
     /// `rep[c]` — is country index `c` a representative country?
     rep: Vec<bool>,
     store: &'a mut SampleStore,
@@ -202,7 +194,7 @@ impl<'a> StudyAccumulator<'a> {
     /// An accumulator filling `store` (and `archive`, when given) for a
     /// pass over `countries`, retaining bodies only from `rep_countries`.
     pub fn new(
-        fingerprints: &'a FingerprintSet,
+        fingerprints: &'a CompiledFingerprintSet,
         countries: &[CountryCode],
         rep_countries: &[CountryCode],
         store: &'a mut SampleStore,
@@ -232,7 +224,7 @@ impl<'a> StudyAccumulator<'a> {
                         coord.country as u16,
                         coord.sample as u16,
                         resp.body.len() as u32,
-                        &resp.body.as_text(),
+                        resp.body.bytes(),
                     );
                 }
             }
@@ -246,7 +238,7 @@ impl<'a> StudyAccumulator<'a> {
 pub struct Top10kStudy<T: Transport + 'static> {
     engine: Arc<Lumscan<T>>,
     config: StudyConfig,
-    fingerprints: FingerprintSet,
+    fingerprints: CompiledFingerprintSet,
 }
 
 /// Alias for the §5 campaign: identical machinery, different domain list
@@ -260,7 +252,7 @@ impl<T: Transport + 'static> Top10kStudy<T> {
         Top10kStudy {
             engine,
             config,
-            fingerprints: FingerprintSet::paper(),
+            fingerprints: CompiledFingerprintSet::paper(),
         }
     }
 
@@ -381,7 +373,7 @@ pub async fn rank_blocking_countries<T: Transport + 'static>(
     countries: &[CountryCode],
     top: usize,
 ) -> Vec<CountryCode> {
-    let fingerprints = FingerprintSet::paper();
+    let fingerprints = CompiledFingerprintSet::paper();
     let mut counts: Vec<(CountryCode, u32)> = countries.iter().map(|c| (*c, 0)).collect();
     let plan = TargetPlan::grid(domains, countries, 1);
     // Unordered: counting is commutative, so completions are consumed the
@@ -450,17 +442,6 @@ mod tests {
         assert_eq!(built.baseline_samples, legacy.baseline_samples);
         assert_eq!(built.work_unit_domains, legacy.work_unit_domains);
         assert_eq!(built.countries, legacy.countries);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_chunk_domains_routes_to_work_unit_domains() {
-        let config = StudyConfig::builder()
-            .countries([cc("US")])
-            .chunk_domains(7)
-            .build()
-            .unwrap();
-        assert_eq!(config.work_unit_domains, 7);
     }
 
     #[test]
@@ -539,7 +520,7 @@ mod tests {
             result.archive.len()
         );
         let doc = result.archive.get(0, 0, 0).expect("IR sample retained");
-        assert!(doc.contains("banned the country"));
+        assert!(String::from_utf8_lossy(doc).contains("banned the country"));
     }
 
     #[tokio::test]

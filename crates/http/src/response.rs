@@ -25,6 +25,17 @@ impl Body {
         &self.0
     }
 
+    /// The backing [`Bytes`] handle — clone it to share the body without
+    /// copying (the zero-copy probe→classify→archive path).
+    pub fn bytes(&self) -> &Bytes {
+        &self.0
+    }
+
+    /// Take the backing [`Bytes`] out of the body without copying.
+    pub fn into_bytes(self) -> Bytes {
+        self.0
+    }
+
     /// Body length in bytes — the unit of the paper's page-length heuristic.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -35,7 +46,9 @@ impl Body {
         self.0.is_empty()
     }
 
-    /// Lossy UTF-8 view for text mining and fingerprint matching.
+    /// Lossy UTF-8 view, for text mining and display only. Fingerprint
+    /// matching runs on [`Body::as_bytes`]; keep this off the match path —
+    /// it allocates whenever the body is not valid UTF-8.
     pub fn as_text(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.0)
     }
@@ -56,6 +69,12 @@ impl From<&str> for Body {
 impl From<Bytes> for Body {
     fn from(b: Bytes) -> Self {
         Body(b)
+    }
+}
+
+impl From<Body> for Bytes {
+    fn from(b: Body) -> Self {
+        b.0
     }
 }
 
@@ -174,6 +193,17 @@ mod tests {
 
         let r = Response::builder(StatusCode::FOUND).finish(url("http://x.com/"));
         assert_eq!(r.redirect_target(), None);
+    }
+
+    #[test]
+    fn body_bytes_handle_shares_without_copy() {
+        let b = Body::from("some block page body");
+        let shared: Bytes = b.bytes().clone();
+        assert_eq!(&shared[..], b.as_bytes());
+        let taken: Bytes = b.into_bytes();
+        assert_eq!(shared, taken);
+        let back = Body::from(taken);
+        assert_eq!(back.as_bytes(), &shared[..]);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use geoblock_blockpages::FingerprintSet;
+use bytes::Bytes;
+use geoblock_blockpages::CompiledFingerprintSet;
 use geoblock_core::{
     classify_chain, BodyArchive, SampleStore, StudyConfig, StudyResult, TargetPlan,
 };
@@ -140,7 +141,7 @@ impl From<CheckpointError> for OrchestratorError {
 pub struct Orchestrator<T: Transport + 'static> {
     engine: Arc<Lumscan<T>>,
     study: StudyConfig,
-    fingerprints: FingerprintSet,
+    fingerprints: CompiledFingerprintSet,
     config: OrchestratorConfig,
 }
 
@@ -154,7 +155,7 @@ impl<T: Transport + 'static> Orchestrator<T> {
         Orchestrator {
             engine,
             study,
-            fingerprints: FingerprintSet::paper(),
+            fingerprints: CompiledFingerprintSet::paper(),
             config,
         }
     }
@@ -418,7 +419,7 @@ async fn run_unit<T: Transport + 'static, S: ProbeSink + 'static>(
     rep: Arc<Vec<bool>>,
     samples: usize,
     unit: WorkUnit,
-    fingerprints: FingerprintSet,
+    fingerprints: CompiledFingerprintSet,
     mut sink: SharedSink<S>,
 ) -> (UnitResult, BatchStats) {
     let plan = TargetPlan::grid(&domains, &countries, samples);
@@ -441,7 +442,7 @@ async fn run_unit<T: Transport + 'static, S: ProbeSink + 'static>(
                     coord.country as u16,
                     coord.sample as u16,
                     resp.body.len() as u32,
-                    &resp.body.as_text(),
+                    resp.body.bytes(),
                 );
             }
         }
@@ -454,7 +455,7 @@ async fn run_unit<T: Transport + 'static, S: ProbeSink + 'static>(
             domain,
             country,
             sample,
-            body: body.to_string(),
+            body: String::from_utf8_lossy(body).into_owned(),
         })
         .collect();
     // HashMap iteration order is arbitrary; checkpoints must be
@@ -489,7 +490,12 @@ fn merge_units(domains: &[String], study: &StudyConfig, units: &[UnitResult]) ->
             store.push(coord.domain, coord.country, record.obs);
         }
         for doc in &unit.docs {
-            archive.insert(doc.domain, doc.country, doc.sample, doc.body.clone());
+            archive.insert(
+                doc.domain,
+                doc.country,
+                doc.sample,
+                Bytes::copy_from_slice(doc.body.as_bytes()),
+            );
         }
     }
     StudyResult { store, archive }
@@ -564,9 +570,9 @@ mod tests {
             assert_eq!(cell_a, cell_b, "cell ({d}, {c}) differs");
         }
         assert_eq!(a.archive.len(), b.archive.len(), "archive sizes differ");
-        let mut docs_a: Vec<_> = a.archive.iter().collect();
+        let mut docs_a: Vec<_> = a.archive.iter().map(|(k, v)| (k, v.as_ref())).collect();
         docs_a.sort();
-        let mut docs_b: Vec<_> = b.archive.iter().collect();
+        let mut docs_b: Vec<_> = b.archive.iter().map(|(k, v)| (k, v.as_ref())).collect();
         docs_b.sort();
         assert_eq!(docs_a, docs_b, "archived documents differ");
     }

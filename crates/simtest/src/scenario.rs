@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use geoblock_blockpages::{render, FingerprintSet, PageKind, PageParams};
+use geoblock_blockpages::{render, CompiledFingerprintSet, PageKind, PageParams};
 use geoblock_core::{StudyConfig, StudyResult, Top10kStudy};
 use geoblock_http::{FetchError, Response, StatusCode};
 use geoblock_lumscan::{Lumscan, LumscanConfig, RetryPolicy, Transport, TransportRequest};
@@ -166,7 +166,7 @@ async fn run_with<T: Transport + 'static>(
         domains.clone(),
         config.countries.clone(),
         config.baseline_samples as usize,
-        FingerprintSet::paper(),
+        CompiledFingerprintSet::paper(),
     );
     if let Some(clock) = clock {
         sink = sink.with_clock(clock);

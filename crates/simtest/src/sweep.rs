@@ -59,7 +59,7 @@ impl StudyFingerprint {
         let mut bodies: Vec<String> = result
             .archive
             .iter()
-            .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{body}"))
+            .map(|((d, c, s), body)| format!("{d}/{c}/{s}|{}", String::from_utf8_lossy(body)))
             .collect();
         bodies.sort();
 

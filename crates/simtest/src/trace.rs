@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use geoblock_blockpages::FingerprintSet;
+use geoblock_blockpages::CompiledFingerprintSet;
 use geoblock_core::{classify_chain, Obs, ProbeCoord, TargetPlan};
 use geoblock_lumscan::{BatchStats, ProbeResult, ProbeSink};
 use geoblock_netsim::SimClock;
@@ -165,7 +165,7 @@ pub struct TraceSink {
     domains: Vec<String>,
     countries: Vec<CountryCode>,
     samples: usize,
-    fingerprints: FingerprintSet,
+    fingerprints: CompiledFingerprintSet,
     clock: Option<Arc<SimClock>>,
     trace: StudyTrace,
     finished: bool,
@@ -177,7 +177,7 @@ impl TraceSink {
         domains: Vec<String>,
         countries: Vec<CountryCode>,
         samples: usize,
-        fingerprints: FingerprintSet,
+        fingerprints: CompiledFingerprintSet,
     ) -> TraceSink {
         TraceSink {
             domains,

@@ -126,6 +126,11 @@ pub fn single_link(vectors: &[SparseVec], tau: f32) -> Clustering {
             index.entry(feature).or_default().push(doc);
         }
     }
+    // The inner loop compares O(candidate-pairs) vectors; `cosine` would
+    // recompute both norms (an O(nnz) sweep each) per pair. Precompute the
+    // norms once and compare `dot ≥ threshold·‖a‖·‖b‖` instead, leaving
+    // only the sorted-index merge of `dot` as per-pair work.
+    let norms: Vec<f32> = vectors.iter().map(SparseVec::norm).collect();
     let sim_threshold = 1.0 - tau;
     for postings in index.values() {
         for (a_pos, &a) in postings.iter().enumerate() {
@@ -133,7 +138,10 @@ pub fn single_link(vectors: &[SparseVec], tau: f32) -> Clustering {
                 if uf.find(a) == uf.find(b) {
                     continue;
                 }
-                if vectors[a as usize].cosine(&vectors[b as usize]) >= sim_threshold {
+                let denom = norms[a as usize] * norms[b as usize];
+                if denom > 0.0
+                    && vectors[a as usize].dot(&vectors[b as usize]) >= sim_threshold * denom
+                {
                     uf.union(a, b);
                 }
             }

@@ -27,7 +27,11 @@ fn main() {
     );
     println!("generated {} OONI-style measurements", corpus.len());
 
-    let report = ooni_scan::scan(&corpus, &FingerprintSet::paper(), world.citizenlab.len());
+    let report = ooni_scan::scan(
+        &corpus,
+        &CompiledFingerprintSet::paper(),
+        world.citizenlab.len(),
+    );
 
     println!("\nexplicit geoblock fingerprints in 'censorship' data:");
     println!(

@@ -190,15 +190,15 @@ fn classify(args: &Args) -> Result<(), String> {
         .ok_or("classify needs a file path (or - for stdin)")?;
     let body = if path == "-" {
         use std::io::Read;
-        let mut buf = String::new();
+        let mut buf = Vec::new();
         std::io::stdin()
-            .read_to_string(&mut buf)
+            .read_to_end(&mut buf)
             .map_err(|e| e.to_string())?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        std::fs::read(path).map_err(|e| format!("{path}: {e}"))?
     };
-    match FingerprintSet::paper().classify_text(&body) {
+    match CompiledFingerprintSet::paper().classify_bytes(&body) {
         Some(outcome) => {
             println!(
                 "match: {} ({:?}, served by {})",
@@ -399,7 +399,7 @@ fn probe(args: &Args) -> Result<(), String> {
         .enable_all()
         .build()
         .map_err(|e| e.to_string())?;
-    let fingerprints = FingerprintSet::paper();
+    let fingerprints = CompiledFingerprintSet::paper();
     // Stream the probes: each result is printed (in target order) and
     // dropped the moment it completes.
     runtime.block_on(async {

@@ -77,7 +77,9 @@ pub use geoblock_worldgen as worldgen;
 /// points.
 pub mod prelude {
     pub use geoblock_analysis::{Fortiguard, TextTable};
-    pub use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
+    pub use geoblock_blockpages::{
+        CompiledFingerprintSet, FingerprintSet, PageClass, PageKind, Provider,
+    };
     pub use geoblock_core::{
         ConfirmConfig, GeoblockVerdict, Obs, ProbeCoord, SampleStore, StudyAccumulator,
         StudyConfig, StudyConfigBuilder, StudyResult, TargetPlan, Top10kStudy, Top1mStudy,

@@ -54,7 +54,7 @@ async fn discovery_finds_block_page_families_with_pure_clusters() {
     let report = discover(
         &outliers.outliers,
         &result.archive,
-        &FingerprintSet::paper(),
+        &CompiledFingerprintSet::paper(),
         &DiscoveryConfig::default(),
     );
     assert!(report.corpus_size > 50, "corpus {}", report.corpus_size);

@@ -159,7 +159,7 @@ async fn miniature_study_recovers_ground_truth() {
     let discovery = discover(
         &outlier_report.outliers,
         &result.archive,
-        &FingerprintSet::paper(),
+        &CompiledFingerprintSet::paper(),
         &DiscoveryConfig::default(),
     );
     assert!(discovery.corpus_size > 0);

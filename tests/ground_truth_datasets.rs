@@ -82,7 +82,11 @@ fn ooni_scan_reproduces_the_confound_structure() {
             ..OoniConfig::default()
         },
     );
-    let report = ooni_scan::scan(&corpus, &FingerprintSet::paper(), world.citizenlab.len());
+    let report = ooni_scan::scan(
+        &corpus,
+        &CompiledFingerprintSet::paper(),
+        world.citizenlab.len(),
+    );
 
     // Geoblock fingerprints appear in the "censorship" corpus…
     assert!(report.explicit_matches > 10, "{}", report.explicit_matches);

@@ -26,7 +26,7 @@ async fn observed_kinds(
     country: CountryCode,
     samples: usize,
 ) -> Vec<Option<PageKind>> {
-    let fingerprints = FingerprintSet::paper();
+    let fingerprints = CompiledFingerprintSet::paper();
     let targets = vec![ProbeTarget::http(domain, country); samples];
     engine
         .probe_all(&targets)

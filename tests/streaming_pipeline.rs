@@ -86,7 +86,7 @@ async fn chunked_batch_baseline<T: Transport + 'static>(
     config: &StudyConfig,
     domains: &[String],
 ) -> StudyResult {
-    let fingerprints = FingerprintSet::paper();
+    let fingerprints = CompiledFingerprintSet::paper();
     let mut store = SampleStore::new(domains.to_vec(), config.countries.clone());
     let mut archive = BodyArchive::new();
     let nc = config.countries.len();
@@ -120,7 +120,7 @@ async fn chunked_batch_baseline<T: Transport + 'static>(
                         c as u16,
                         s as u16,
                         resp.body.len() as u32,
-                        &resp.body.as_text(),
+                        resp.body.bytes(),
                     );
                 }
             }
@@ -130,11 +130,11 @@ async fn chunked_batch_baseline<T: Transport + 'static>(
     StudyResult { store, archive }
 }
 
-fn sorted_archive(result: &StudyResult) -> Vec<((u32, u16, u16), String)> {
-    let mut docs: Vec<((u32, u16, u16), String)> = result
+fn sorted_archive(result: &StudyResult) -> Vec<((u32, u16, u16), Vec<u8>)> {
+    let mut docs: Vec<((u32, u16, u16), Vec<u8>)> = result
         .archive
         .iter()
-        .map(|(key, body)| (key, body.to_string()))
+        .map(|(key, body)| (key, body.as_ref().to_vec()))
         .collect();
     docs.sort();
     docs
