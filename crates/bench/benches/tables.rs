@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use geoblock_analysis::{tables, Fortiguard};
 use geoblock_bench::{Harness, Scale};
 use geoblock_core::population::{identify_populations, PopulationProbe};
-use geoblock_core::{ConfirmConfig, StudyConfig, Top10kStudy};
+use geoblock_core::{ConfirmConfig, StudyConfig, StudySession};
 use geoblock_netsim::VpsTransport;
 use geoblock_worldgen::{cc, RulesSnapshot};
 
@@ -37,7 +37,7 @@ fn bench_baseline(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("baseline_150x12x3", |b| {
         b.iter(|| {
-            let study = Top10kStudy::new(
+            let mut session = StudySession::new(
                 h.engine.clone(),
                 StudyConfig::builder()
                     .countries(countries.clone())
@@ -45,7 +45,7 @@ fn bench_baseline(c: &mut Criterion) {
                     .build()
                     .expect("bench study config is valid"),
             );
-            rt.block_on(study.baseline(&domains))
+            rt.block_on(session.baseline(&domains))
         })
     });
     g.finish();

@@ -1,0 +1,240 @@
+//! The monitoring-daemon benchmark: scan wall-clock and cached-query
+//! latency under a dashboard polling workload, emitted as a committable
+//! JSON baseline.
+//!
+//! ```text
+//! cargo run --release -p geoblock-bench --bin bench_monitor \
+//!     [-- --smoke] [OUTPUT.json]
+//! ```
+//!
+//! Drives a [`Monitor`] over a deterministic drifting web, timing each
+//! committed scan, and between commits replays a polling workload against
+//! the [`QueryService`] — the same dashboard keys queried round after
+//! round, the way a monitoring UI refreshes. Reports query p50/p95
+//! latency and the cache hit rate, and asserts the hit rate stays ≥ 0.9:
+//! within one generation every repeat of a key must be served from cache.
+//!
+//! `--smoke` runs a reduced scale and asserts the same invariants without
+//! rewriting the committed `BENCH_monitor.json` baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use geoblock_blockpages::{render, PageKind, PageParams};
+use geoblock_core::StudyConfig;
+use geoblock_http::{FetchError, Response, StatusCode};
+use geoblock_lumscan::{Lumscan, LumscanConfig, Transport, TransportRequest};
+use geoblock_monitor::{Monitor, MonitorConfig, QueryService, SnapshotStore};
+use geoblock_worldgen::{cc, CountryCode};
+
+/// A deterministic drifting web, scan day injected by the engine factory.
+/// Policies are a pure function of (domain index, day): every third site
+/// blocks IR throughout, every fourth also blocks SY until day 2 (then
+/// retreats), and sites ≡ 1 (mod 5) start blocking IR from day 2.
+struct DriftWeb {
+    day: u32,
+}
+
+fn site_index(host: &str) -> usize {
+    host.strip_prefix("site-")
+        .and_then(|rest| rest.strip_suffix(".example"))
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+impl DriftWeb {
+    fn blocks(&self, host: &str, country: CountryCode) -> bool {
+        let i = site_index(host);
+        if i == usize::MAX {
+            return false;
+        }
+        (i.is_multiple_of(3) && country == cc("IR"))
+            || (i.is_multiple_of(4) && self.day < 2 && country == cc("SY"))
+            || (i % 5 == 1 && self.day >= 2 && country == cc("IR"))
+    }
+}
+
+impl Transport for DriftWeb {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let host = req.request.effective_host();
+        if self.blocks(&host, req.country) {
+            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+            return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+        }
+        Ok(Response::builder(StatusCode::OK)
+            .body(format!(
+                "<html><body>{host} content {}</body></html>",
+                "filler ".repeat(400)
+            ))
+            .finish(req.request.url))
+    }
+}
+
+struct Workload {
+    scans: u32,
+    domains: usize,
+    /// Polling rounds per committed scan; each round touches every key.
+    rounds: usize,
+}
+
+struct Measured {
+    scan_wall_ms: Vec<f64>,
+    latencies_ns: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e3
+}
+
+async fn run(w: &Workload) -> Measured {
+    let domains: Vec<String> = (0..w.domains)
+        .map(|i| format!("site-{i}.example"))
+        .collect();
+    let study = StudyConfig::builder()
+        .countries([cc("IR"), cc("SY"), cc("US")])
+        .rep_countries([cc("IR")])
+        .work_unit_domains(4)
+        .build()
+        .expect("valid study config");
+    let query = QueryService::new();
+    let mut store = SnapshotStore::in_memory();
+
+    // The dashboard's working set: a handful of domain panels, both
+    // censor-side country views, and the latest-changes feed.
+    let panel: Vec<String> = domains.iter().take(6).cloned().collect();
+    let mut scan_wall_ms = Vec::new();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+
+    for scan in 0..w.scans {
+        // `run` commits every scan the store is still missing; asking for
+        // `scan + 1` performs exactly one and publishes it.
+        let monitor = Monitor::new(
+            |day: u32| Arc::new(Lumscan::new(DriftWeb { day }, LumscanConfig::default())),
+            domains.clone(),
+            study.clone(),
+            MonitorConfig::default().scans(scan + 1).full_every(3),
+        );
+        let t = Instant::now();
+        let report = monitor.run(&mut store, Some(&query)).await.expect("scan");
+        scan_wall_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(!report.interrupted);
+
+        // The polling workload: every key, round after round, against the
+        // freshly published generation.
+        for _ in 0..w.rounds {
+            for domain in &panel {
+                let t = Instant::now();
+                let history = query.domain_history(domain).await;
+                latencies_ns.push(t.elapsed().as_nanos() as u64);
+                assert_eq!(history.scans.len(), scan as usize + 1);
+            }
+            for country in [cc("IR"), cc("SY")] {
+                let t = Instant::now();
+                let _ = query.country_dashboard(country).await;
+                latencies_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            let t = Instant::now();
+            let feed = query.changes_since(scan).await;
+            latencies_ns.push(t.elapsed().as_nanos() as u64);
+            assert!(feed.since == scan);
+        }
+    }
+
+    let stats = query.cache_stats();
+    latencies_ns.sort_unstable();
+    Measured {
+        scan_wall_ms,
+        latencies_ns,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+fn to_json(w: &Workload, m: &Measured) -> String {
+    let walls: Vec<String> = m.scan_wall_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+    format!(
+        "{{\n  \"bench\": \"monitor_query\",\n  \"measured\": true,\n  \
+         \"domains\": {},\n  \"scans\": {},\n  \"polling_rounds_per_scan\": {},\n  \
+         \"scan_wall_ms\": [{}],\n  \"scan_wall_total_ms\": {:.3},\n  \
+         \"queries\": {},\n  \"query_p50_us\": {:.3},\n  \"query_p95_us\": {:.3},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4}\n}}\n",
+        w.domains,
+        w.scans,
+        w.rounds,
+        walls.join(", "),
+        m.scan_wall_ms.iter().sum::<f64>(),
+        m.latencies_ns.len(),
+        percentile(&m.latencies_ns, 0.50),
+        percentile(&m.latencies_ns, 0.95),
+        m.hits,
+        m.misses,
+        m.hit_rate,
+    )
+}
+
+#[tokio::main]
+async fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_monitor.json".to_string());
+
+    let workload = if smoke {
+        Workload {
+            scans: 3,
+            domains: 12,
+            rounds: 20,
+        }
+    } else {
+        Workload {
+            scans: 6,
+            domains: 48,
+            rounds: 50,
+        }
+    };
+    println!(
+        "monitor bench — {} domains, {} scans, {} polling rounds/scan",
+        workload.domains, workload.scans, workload.rounds
+    );
+
+    let m = run(&workload).await;
+    for (i, ms) in m.scan_wall_ms.iter().enumerate() {
+        println!("  scan {i}: {ms:.1} ms");
+    }
+    println!(
+        "  {} queries: p50 {:.1} µs, p95 {:.1} µs — cache {}/{} hit rate {:.3}",
+        m.latencies_ns.len(),
+        percentile(&m.latencies_ns, 0.50),
+        percentile(&m.latencies_ns, 0.95),
+        m.hits,
+        m.hits + m.misses,
+        m.hit_rate
+    );
+    assert!(
+        m.hit_rate >= 0.9,
+        "polling workload must be served ≥90% from cache, got {:.3}",
+        m.hit_rate
+    );
+
+    if smoke {
+        println!(
+            "smoke ok: cache hit rate {:.3} ≥ 0.9, baseline untouched",
+            m.hit_rate
+        );
+        return;
+    }
+    let json = to_json(&workload, &m);
+    std::fs::write(&out, json).expect("write baseline JSON");
+    println!("  wrote {out}");
+}

@@ -14,8 +14,7 @@ use geoblock_core::outliers::{extract_outliers, OutlierConfig, OutlierReport};
 use geoblock_core::population::{
     identify_by_ns, identify_populations, PopulationProbe, PopulationReport,
 };
-use geoblock_core::study::rank_blocking_countries;
-use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, Top10kStudy};
+use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, StudySession};
 use geoblock_http::HeaderProfile;
 use geoblock_lumscan::{BatchStats, GaugeSink, Lumscan, LumscanConfig, RetryPolicy};
 use geoblock_netsim::{DnsDb, SimInternet, VpsTransport};
@@ -257,7 +256,7 @@ pub struct ShardingArtifacts {
     pub probes: usize,
     /// Shard counts measured, with each run's wall-clock.
     pub runs: Vec<(usize, Duration)>,
-    /// Wall-clock of the plain single-stream `Top10kStudy::baseline`.
+    /// Wall-clock of the plain single-stream `StudySession::baseline`.
     pub single_wall: Duration,
     /// Whether every sharded run's merged store and archive were
     /// identical to the single-stream run's — the determinism claim.
@@ -376,12 +375,11 @@ impl Harness {
                 .copied()
                 .collect()
         } else {
-            rank_blocking_countries(
-                &self.engine,
-                &ns_domains,
-                &countries,
-                self.scale.rep_countries,
+            StudySession::new(
+                self.engine.clone(),
+                StudyConfig::new(countries.clone(), Vec::new()),
             )
+            .rank_countries(&ns_domains, &countries, self.scale.rep_countries)
             .await
         };
 
@@ -390,8 +388,8 @@ impl Harness {
             .rep_countries(rep_countries.clone())
             .build()
             .expect("ranked rep countries come from the vantage panel");
-        let study = Top10kStudy::new(self.engine.clone(), config);
-        let mut result = study.baseline(&safe_domains).await;
+        let mut session = StudySession::new(self.engine.clone(), config);
+        let mut result = session.baseline(&safe_domains).await;
 
         // Outlier extraction, discovery, and coverage are computed on the
         // baseline data, as in the paper (the 30%-metric evaluation of
@@ -414,7 +412,7 @@ impl Harness {
         // "Several days later": arm the makro.co.za policy flip.
         self.internet.clock().advance_days(3);
 
-        let flagged = study.confirm_explicit(&mut result).await;
+        let flagged = session.confirm(&mut result).await;
         let verdicts = result.verdicts(&ConfirmConfig::default());
         let eliminated = eliminated(&result.store, &ConfirmConfig::default());
 
@@ -437,7 +435,7 @@ impl Harness {
         &self,
         artifacts: &Top10kArtifacts,
     ) -> (geoblock_core::SampleStore, Vec<(usize, usize)>) {
-        let study = Top10kStudy::new(
+        let mut session = StudySession::new(
             self.engine.clone(),
             StudyConfig::builder()
                 .countries(artifacts.result.store.countries.clone())
@@ -461,7 +459,7 @@ impl Harness {
             ),
             archive: geoblock_core::BodyArchive::new(),
         };
-        study.resample(&mut temp, &pairs, 100).await;
+        session.resample(&mut temp, &pairs, 100).await;
         (temp.store, pairs)
     }
 
@@ -498,10 +496,10 @@ impl Harness {
             .countries(countries)
             .build()
             .expect("rep panel is a prefix of the vantage panel");
-        let study = Top10kStudy::new(self.engine.clone(), config);
-        let mut result = study.baseline(&sample).await;
-        study.confirm_explicit(&mut result).await;
-        study
+        let mut session = StudySession::new(self.engine.clone(), config);
+        let mut result = session.baseline(&sample).await;
+        session.confirm(&mut result).await;
+        session
             .confirm_ambiguous(&mut result, &[PageKind::Akamai, PageKind::Incapsula])
             .await;
 
@@ -713,9 +711,9 @@ impl Harness {
         };
 
         // Reference leg: the plain streaming baseline.
-        let study = Top10kStudy::new(make_engine(), config.clone());
+        let mut session = StudySession::new(make_engine(), config.clone());
         let start = Instant::now();
-        let reference = study.baseline(&domains).await;
+        let reference = session.baseline(&domains).await;
         let single_wall = start.elapsed();
         let reference_digest = result_digest(&reference);
 

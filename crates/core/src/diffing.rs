@@ -192,4 +192,75 @@ mod tests {
         assert!(diff.deltas.is_empty());
         assert_eq!(diff.stable_pairs, 2);
     }
+
+    #[test]
+    fn provider_changed_requires_kinds_on_both_sides() {
+        // A domain appearing (None -> Some) or vanishing (Some -> None) is
+        // a blocking change, not a provider migration — every mixed-None
+        // combination must answer false.
+        let appear = diff_studies(&[], &[v("new.com", "IR", PageKind::Cloudflare)]);
+        assert_eq!(appear.deltas.len(), 1);
+        assert!(appear.deltas[0].kind_before.is_none());
+        assert!(!appear.deltas[0].provider_changed());
+        assert!(!appear.deltas[0].is_full_retreat());
+
+        let vanish = diff_studies(&[v("gone.com", "IR", PageKind::Cloudflare)], &[]);
+        assert_eq!(vanish.deltas.len(), 1);
+        assert!(vanish.deltas[0].kind_after.is_none());
+        assert!(!vanish.deltas[0].provider_changed());
+        assert!(vanish.deltas[0].is_full_retreat());
+
+        // Same provider, different page flavor (Cloudflare 1009 vs its
+        // CAPTCHA interstitial) is not a migration either.
+        let flavor = diff_studies(
+            &[v("same.com", "IR", PageKind::Cloudflare)],
+            &[v("same.com", "IR", PageKind::CloudflareCaptcha)],
+        );
+        assert_eq!(flavor.deltas.len(), 1, "kind change is still a delta");
+        assert!(!flavor.deltas[0].provider_changed());
+    }
+
+    #[test]
+    fn three_snapshot_chain_composes_block_migrate_retreat() {
+        // The full makro arc across a chain of snapshots: appear, then
+        // migrate providers while expanding, then retreat entirely.
+        // Consecutive diffs must each tell their own chapter and the
+        // endpoints must reconcile.
+        let s0: Vec<GeoblockVerdict> = Vec::new();
+        let s1 = vec![v("arc.com", "IR", PageKind::Cloudflare)];
+        let s2 = vec![
+            v("arc.com", "IR", PageKind::CloudFront),
+            v("arc.com", "SY", PageKind::CloudFront),
+        ];
+        let s3: Vec<GeoblockVerdict> = Vec::new();
+
+        let d01 = diff_studies(&s0, &s1);
+        assert_eq!(d01.new_blockers().len(), 1);
+        assert_eq!(d01.newly_blocked_pairs(), 1);
+        assert_eq!(d01.stable_pairs, 0);
+
+        let d12 = diff_studies(&s1, &s2);
+        assert_eq!(d12.deltas.len(), 1);
+        assert!(d12.deltas[0].provider_changed());
+        assert_eq!(d12.newly_blocked_pairs(), 1, "SY joined");
+        assert_eq!(d12.stable_pairs, 1, "IR persisted through the migration");
+        assert!(d12.new_blockers().is_empty(), "arc.com already blocked");
+
+        let d23 = diff_studies(&s2, &s3);
+        assert_eq!(d23.full_retreats().len(), 1);
+        assert_eq!(d23.unblocked_pairs(), 2);
+
+        // Chain totals reconcile with the end-to-end diff (empty -> empty).
+        let d03 = diff_studies(&s0, &s3);
+        assert!(d03.deltas.is_empty());
+        let chain_new: usize = [&d01, &d12, &d23]
+            .iter()
+            .map(|d| d.newly_blocked_pairs())
+            .sum();
+        let chain_gone: usize = [&d01, &d12, &d23].iter().map(|d| d.unblocked_pairs()).sum();
+        assert_eq!(
+            chain_new, chain_gone,
+            "every blocked pair eventually retreated"
+        );
+    }
 }

@@ -17,9 +17,12 @@
 //! 6. [`population`] — CDN customer identification: response headers
 //!    anywhere in the redirect chain, the Akamai `Pragma` poke, NS
 //!    delegation, and the AppEngine netblock walk;
-//! 7. [`study`] — the Top-10K and Top-1M study drivers, which stream
-//!    lazily-planned targets ([`plan`]) through the probe pipeline and
-//!    classify-and-drop each completion as it lands;
+//! 7. [`session`] — [`StudySession`], the unified study driver: one
+//!    builder carrying engine, config, and observers through baseline,
+//!    confirmation, and ranking passes, streaming lazily-planned targets
+//!    ([`plan`]) through the probe pipeline and classifying-and-dropping
+//!    each completion as it lands ([`study`] keeps the shared
+//!    config/accumulator types and the deprecated pre-session drivers);
 //! 8. [`exploration`] — the §3 VPS exploration;
 //! 9. [`timeouts`] and [`regional`] — the §7.3 future-work analyses
 //!    (timeout-based blocking, sub-country granularity).
@@ -35,6 +38,7 @@ pub mod outliers;
 pub mod plan;
 pub mod population;
 pub mod regional;
+pub mod session;
 pub mod study;
 pub mod timeouts;
 
@@ -47,7 +51,8 @@ pub use outliers::{OutlierConfig, OutlierReport};
 pub use plan::{ProbeCoord, TargetPlan};
 pub use population::{PopulationReport, Resolver};
 pub use regional::{probe_regional, RegionalReport};
-pub use study::{
-    StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyResult, Top10kStudy, Top1mStudy,
-};
+pub use session::{SessionOutcome, StudySession};
+pub use study::{StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyResult};
+#[allow(deprecated)]
+pub use study::{Top10kStudy, Top1mStudy};
 pub use timeouts::{find_suspects, TimeoutSuspect};

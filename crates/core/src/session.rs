@@ -1,0 +1,406 @@
+//! [`StudySession`]: the unified study-driver surface.
+//!
+//! The measurement protocol used to be a sprawl of driver methods and free
+//! functions — `baseline`/`baseline_with`, `resample`/`resample_with`,
+//! `confirm_explicit`, `confirm_ambiguous`, `rank_blocking_countries` —
+//! where every observer-taking variant doubled the API and callers wired
+//! the same `(engine, config)` pair through each call. A session collapses
+//! all of it behind one builder:
+//!
+//! ```ignore
+//! let mut session = StudySession::new(engine, config)
+//!     .sink(&mut progress)     // optional: live progress, gauges
+//!     .trace(&mut trace_sink); // optional: DST trace capture
+//! let outcome = session.full_protocol(&domains).await;
+//! ```
+//!
+//! Observers attach once and see **every** pass the session runs —
+//! baseline, resample, confirmation, ranking. Sessions are cheap handles
+//! over an `Arc`-shared engine: build one per pass when different passes
+//! need different observers (the DST scenario traces only its baseline).
+//!
+//! The old surface ([`Top10kStudy`](crate::study::Top10kStudy) and
+//! friends) survives one release as deprecated shims over this type.
+
+use std::sync::Arc;
+
+use geoblock_blockpages::{CompiledFingerprintSet, PageKind};
+use geoblock_lumscan::{BatchStats, Lumscan, ProbeResult, ProbeSink, ProbeTarget, Transport};
+use geoblock_worldgen::CountryCode;
+
+use crate::classify::classify_chain;
+use crate::confirm::{flagged_explicit_pairs, flagged_pairs};
+use crate::observation::{BodyArchive, Obs, SampleStore};
+use crate::plan::TargetPlan;
+use crate::study::{StudyAccumulator, StudyConfig, StudyResult};
+
+/// Fans stream events out to every attached observer. With no observers it
+/// is exactly a `NoopSink`; with one it is transparent — same calls, same
+/// order — so migrating a `*_with` call site never changes what its sink
+/// sees.
+struct FanoutSink<'a, 'b> {
+    sinks: &'a mut [&'b mut dyn ProbeSink],
+}
+
+impl ProbeSink for FanoutSink<'_, '_> {
+    fn started(&mut self, index: usize, target: &ProbeTarget, in_flight: usize) {
+        for sink in self.sinks.iter_mut() {
+            sink.started(index, target, in_flight);
+        }
+    }
+
+    fn completed(
+        &mut self,
+        index: usize,
+        result: &ProbeResult,
+        stats: &BatchStats,
+        in_flight: usize,
+    ) {
+        for sink in self.sinks.iter_mut() {
+            sink.completed(index, result, stats, in_flight);
+        }
+    }
+
+    fn finished(&mut self, stats: &BatchStats) {
+        for sink in self.sinks.iter_mut() {
+            sink.finished(stats);
+        }
+    }
+}
+
+/// What [`StudySession::full_protocol`] produced: the merged study data
+/// plus how many pairs the baseline flagged for confirmation.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Baseline + confirmation observations and retained bodies.
+    pub result: StudyResult,
+    /// (domain, country) pairs the baseline flagged as explicit blockers.
+    pub flagged: usize,
+}
+
+/// One study driver: an engine, a configuration, and any observers,
+/// carried through every pass of the measurement protocol.
+///
+/// The type is transport-generic and pass-agnostic — §4's Top-10K and §5's
+/// Top-1M campaigns, the monitor's rescans, and the DST scenario are all
+/// the same session pointed at different domain lists.
+pub struct StudySession<'s, T: Transport + 'static> {
+    engine: Arc<Lumscan<T>>,
+    config: StudyConfig,
+    fingerprints: CompiledFingerprintSet,
+    observers: Vec<&'s mut dyn ProbeSink>,
+}
+
+impl<'s, T: Transport + 'static> StudySession<'s, T> {
+    /// A session over `engine` running `config`'s protocol.
+    pub fn new(engine: Arc<Lumscan<T>>, config: StudyConfig) -> StudySession<'s, T> {
+        StudySession {
+            engine,
+            config,
+            fingerprints: CompiledFingerprintSet::paper(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attach an observer: it sees every spawn and completion of every
+    /// pass this session runs (live progress, gauges). Chainable;
+    /// observers fire in attach order.
+    pub fn sink(mut self, sink: &'s mut dyn ProbeSink) -> StudySession<'s, T> {
+        self.observers.push(sink);
+        self
+    }
+
+    /// Attach a trace-capturing observer (a
+    /// `geoblock_simtest::TraceSink`, canonically). Identical mechanics to
+    /// [`sink`](StudySession::sink) — the separate name marks call sites
+    /// that exist for deterministic-replay capture rather than progress.
+    pub fn trace(self, sink: &'s mut dyn ProbeSink) -> StudySession<'s, T> {
+        self.sink(sink)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The probing engine.
+    pub fn engine(&self) -> &Arc<Lumscan<T>> {
+        &self.engine
+    }
+
+    /// Run the baseline pass: `baseline_samples` probes of every
+    /// (domain, country) pair.
+    ///
+    /// Targets stream straight from the plan iterator into the engine and
+    /// each completion is classified and dropped on arrival, so memory
+    /// stays O(concurrency) — no chunk of `domains × countries × samples`
+    /// targets or results ever exists.
+    pub async fn baseline(&mut self, domains: &[String]) -> StudyResult {
+        let mut store = SampleStore::new(domains.to_vec(), self.config.countries.clone());
+        let mut archive = BodyArchive::new();
+        let plan = TargetPlan::grid(
+            domains,
+            &self.config.countries,
+            self.config.baseline_samples as usize,
+        );
+        let mut acc = StudyAccumulator::new(
+            &self.fingerprints,
+            &self.config.countries,
+            &self.config.rep_countries,
+            &mut store,
+            Some(&mut archive),
+        );
+        let mut sink = FanoutSink {
+            sinks: &mut self.observers,
+        };
+        // Ordered: archive retention depends on offer order.
+        let mut stream = self
+            .engine
+            .probe_stream_with(plan.iter(), &mut sink)
+            .ordered();
+        while let Some((i, result)) = stream.next().await {
+            acc.absorb(plan.coord(i), &result);
+        }
+        drop(stream);
+        drop(acc);
+        StudyResult { store, archive }
+    }
+
+    /// Resample arbitrary pairs `n` times each, merging into the store —
+    /// the primitive behind confirmation and the Figure 1/3 sampling
+    /// experiments. Streams `pairs × n` targets lazily; in-flight work is
+    /// bounded by the engine's `concurrency`.
+    pub async fn resample(&mut self, result: &mut StudyResult, pairs: &[(usize, usize)], n: usize) {
+        // The plan cannot borrow the store while the accumulator holds it
+        // mutably, so the coordinate tables are cloned out first.
+        let domains = result.store.domains.clone();
+        let countries = result.store.countries.clone();
+        let plan = TargetPlan::pairs(&domains, &countries, pairs, n);
+        let mut acc =
+            StudyAccumulator::new(&self.fingerprints, &countries, &[], &mut result.store, None);
+        let mut sink = FanoutSink {
+            sinks: &mut self.observers,
+        };
+        let mut stream = self
+            .engine
+            .probe_stream_with(plan.iter(), &mut sink)
+            .ordered();
+        while let Some((i, probe)) = stream.next().await {
+            acc.absorb(plan.coord(i), &probe);
+        }
+    }
+
+    /// Confirmation pass for explicit geoblockers (§4.1.4): every pair
+    /// that showed ≥1 explicit block page is resampled `confirm_samples`
+    /// times; results merge into the store. Returns the number of pairs
+    /// confirmed.
+    pub async fn confirm(&mut self, result: &mut StudyResult) -> usize {
+        let pairs = flagged_explicit_pairs(&result.store);
+        let n = self.config.confirm.confirm_samples as usize;
+        self.resample(result, &pairs, n).await;
+        pairs.len()
+    }
+
+    /// Confirmation pass for ambiguous kinds (§5.1.2): every *domain* that
+    /// showed one of `kinds` anywhere is resampled in **every** country.
+    pub async fn confirm_ambiguous(
+        &mut self,
+        result: &mut StudyResult,
+        kinds: &[PageKind],
+    ) -> usize {
+        let flagged = flagged_pairs(&result.store, kinds);
+        let mut domains: Vec<usize> = flagged.iter().map(|(d, _)| *d).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        let pairs: Vec<(usize, usize)> = domains
+            .iter()
+            .flat_map(|&d| (0..result.store.countries.len()).map(move |c| (d, c)))
+            .collect();
+        let n = self.config.confirm.confirm_samples as usize;
+        self.resample(result, &pairs, n).await;
+        domains.len()
+    }
+
+    /// The full §4 protocol in one call: baseline, then explicit
+    /// confirmation. The staged methods remain for callers that let
+    /// virtual time pass between passes (how `makro.co.za`-style flips
+    /// become observable).
+    pub async fn full_protocol(&mut self, domains: &[String]) -> SessionOutcome {
+        let mut result = self.baseline(domains).await;
+        let flagged = self.confirm(&mut result).await;
+        SessionOutcome { result, flagged }
+    }
+
+    /// Rank countries by how much explicit blocking a quick pre-pass
+    /// observes (the paper seeded its top-20 list from an earlier
+    /// Akamai/Cloudflare sweep). Probes each (domain, country) once;
+    /// ranking uses `countries` rather than the session's vantage panel
+    /// because this pass is how a panel gets *chosen*.
+    pub async fn rank_countries(
+        &mut self,
+        domains: &[String],
+        countries: &[CountryCode],
+        top: usize,
+    ) -> Vec<CountryCode> {
+        let mut counts: Vec<(CountryCode, u32)> = countries.iter().map(|c| (*c, 0)).collect();
+        let plan = TargetPlan::grid(domains, countries, 1);
+        let fingerprints = self.fingerprints.clone();
+        let mut sink = FanoutSink {
+            sinks: &mut self.observers,
+        };
+        // Unordered: counting is commutative, so completions are consumed
+        // the moment they land.
+        let mut stream = self.engine.probe_stream_with(plan.iter(), &mut sink);
+        while let Some((i, result)) = stream.next().await {
+            let obs = classify_chain(&fingerprints, &result.outcome);
+            if let Obs::Response { page: Some(_), .. } = obs {
+                counts[plan.coord(i).country].1 += 1;
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts.into_iter().take(top).map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confirm::ConfirmConfig;
+    use geoblock_http::{FetchError, Response, StatusCode};
+    use geoblock_lumscan::{GaugeSink, LumscanConfig, TransportRequest};
+    use geoblock_worldgen::cc;
+
+    /// A toy internet: `blocked.com` serves a Cloudflare 1009 page in IR,
+    /// content elsewhere; `plain.com` always serves content.
+    struct ToyNet;
+
+    impl Transport for ToyNet {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let host = req.request.effective_host();
+            if host == "lumtest.io" {
+                return Ok(Response::builder(StatusCode::OK)
+                    .body(format!("country={}", req.country))
+                    .finish(req.request.url));
+            }
+            if host == "blocked.com" && req.country == cc("IR") {
+                let params = geoblock_blockpages::PageParams::new(&host, "Iran", "5.1.1.1", 1);
+                return Ok(geoblock_blockpages::render(PageKind::Cloudflare, &params)
+                    .finish(req.request.url));
+            }
+            Ok(Response::builder(StatusCode::OK)
+                .body("<html><body>".to_string() + &"content ".repeat(1000) + "</body></html>")
+                .finish(req.request.url))
+        }
+    }
+
+    fn engine() -> Arc<Lumscan<ToyNet>> {
+        Arc::new(Lumscan::new(ToyNet, LumscanConfig::default()))
+    }
+
+    fn config() -> StudyConfig {
+        StudyConfig::builder()
+            .countries([cc("IR"), cc("US"), cc("DE")])
+            .rep_countries([cc("IR"), cc("US")])
+            .build()
+            .expect("valid study config")
+    }
+
+    fn domains() -> Vec<String> {
+        vec!["blocked.com".to_string(), "plain.com".to_string()]
+    }
+
+    #[tokio::test]
+    async fn full_protocol_confirms_the_blocked_pair() {
+        let mut session = StudySession::new(engine(), config());
+        let outcome = session.full_protocol(&domains()).await;
+        assert_eq!(outcome.flagged, 1);
+        let verdicts = outcome.result.verdicts(&session.config().confirm);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].domain, "blocked.com");
+        assert_eq!(verdicts[0].country, cc("IR"));
+        assert_eq!(verdicts[0].kind, PageKind::Cloudflare);
+        assert_eq!(verdicts[0].total, 23);
+    }
+
+    #[tokio::test]
+    async fn session_matches_the_deprecated_driver_exactly() {
+        // The migration guarantee: same engine config, same seed-free toy
+        // transport, same observations cell for cell.
+        #[allow(deprecated)]
+        let old = {
+            let study = crate::study::Top10kStudy::new(engine(), config());
+            let mut result = study.baseline(&domains()).await;
+            study.confirm_explicit(&mut result).await;
+            result
+        };
+        let mut session = StudySession::new(engine(), config());
+        let new = session.full_protocol(&domains()).await.result;
+        for ((d, c, a), (_, _, b)) in old.store.iter_cells().zip(new.store.iter_cells()) {
+            assert_eq!(a, b, "cell ({d}, {c}) differs between old and new API");
+        }
+        assert_eq!(old.archive.len(), new.archive.len());
+    }
+
+    #[tokio::test]
+    async fn observers_see_every_pass() {
+        let mut gauge = GaugeSink::new();
+        let mut session = StudySession::new(engine(), config()).sink(&mut gauge);
+        let mut result = session.baseline(&domains()).await;
+        let baseline_probes = 2 * 3 * 3;
+        session.confirm(&mut result).await;
+        drop(session);
+        assert_eq!(
+            gauge.started,
+            baseline_probes + 20,
+            "baseline + one flagged pair's confirmation"
+        );
+    }
+
+    #[tokio::test]
+    async fn two_observers_fan_out_identically() {
+        let mut a = GaugeSink::new();
+        let mut b = GaugeSink::new();
+        let mut session = StudySession::new(engine(), config())
+            .sink(&mut a)
+            .trace(&mut b);
+        session.baseline(&domains()).await;
+        drop(session);
+        assert_eq!(a.started, b.started);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.started, 2 * 3 * 3);
+    }
+
+    #[tokio::test]
+    async fn ambiguous_confirmation_resamples_all_countries() {
+        let mut session = StudySession::new(engine(), config());
+        let mut result = session.baseline(&["blocked.com".to_string()]).await;
+        let confirmed = session
+            .confirm_ambiguous(&mut result, &[PageKind::Cloudflare])
+            .await;
+        assert_eq!(confirmed, 1);
+        for c in 0..3 {
+            assert_eq!(result.store.cell(0, c).len(), 23);
+        }
+    }
+
+    #[tokio::test]
+    async fn country_ranking_puts_iran_first() {
+        let mut session = StudySession::new(engine(), config());
+        let ranked = session
+            .rank_countries(&domains(), &[cc("US"), cc("IR"), cc("DE")], 2)
+            .await;
+        assert_eq!(ranked[0], cc("IR"));
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[tokio::test]
+    async fn verdicts_respect_the_agreement_threshold() {
+        let mut session = StudySession::new(engine(), config());
+        let outcome = session.full_protocol(&domains()).await;
+        let strict = ConfirmConfig {
+            confirm_samples: 20,
+            threshold: 1.01, // unattainable
+        };
+        assert!(outcome.result.verdicts(&strict).is_empty());
+    }
+}

@@ -1,13 +1,26 @@
-//! Study drivers: the Top-10K (§4) and Top-1M (§5) measurement campaigns.
+//! Study configuration and accumulation shared by every driver, plus the
+//! deprecated pre-[`StudySession`] driver surface.
 //!
-//! Both studies share one skeleton: a 3-sample **baseline** pass over every
-//! (domain, country) pair, then targeted **confirmation** passes. The
-//! drivers are transport-generic and staged — the caller sequences
-//! baseline → (time passes) → confirmation, which is how policy changes
-//! like `makro.co.za`'s become observable.
+//! Both campaigns (§4 Top-10K, §5 Top-1M) share one skeleton: a 3-sample
+//! **baseline** pass over every (domain, country) pair, then targeted
+//! **confirmation** passes. The protocol logic lives in
+//! [`StudySession`](crate::session::StudySession); this module keeps the
+//! pieces every driver shares — [`StudyConfig`], [`StudyResult`],
+//! [`StudyAccumulator`] — and the old driver types ([`Top10kStudy`],
+//! [`Top1mStudy`], [`rank_blocking_countries`]) as deprecated shims that
+//! delegate to a session. The shims survive one release; migrate:
 //!
-//! Every pass runs on the streaming pipeline: a [`TargetPlan`] enumerates
-//! probe targets lazily, [`probe_stream`](Lumscan::probe_stream) keeps at
+//! ```ignore
+//! // before                                   // after
+//! let study = Top10kStudy::new(engine, cfg);  let mut s = StudySession::new(engine, cfg);
+//! study.baseline_with(&domains, &mut sink)    s = s.sink(&mut sink);
+//!     .await;                                 s.baseline(&domains).await;
+//! study.confirm_explicit(&mut result).await;  s.confirm(&mut result).await;
+//! ```
+//!
+//! Every pass runs on the streaming pipeline: a
+//! [`TargetPlan`](crate::plan::TargetPlan) enumerates probe targets
+//! lazily, [`probe_stream`](Lumscan::probe_stream) keeps at
 //! most `concurrency` of them in flight, and a [`StudyAccumulator`]
 //! classifies each completion the moment it lands — offering
 //! representative-country bodies to the [`BodyArchive`] and dropping
@@ -17,15 +30,14 @@
 use std::sync::Arc;
 
 use geoblock_blockpages::{CompiledFingerprintSet, PageKind};
-use geoblock_lumscan::{ConfigError, Lumscan, NoopSink, ProbeResult, ProbeSink, Transport};
+use geoblock_lumscan::{ConfigError, Lumscan, ProbeResult, ProbeSink, Transport};
 use geoblock_worldgen::CountryCode;
 
 use crate::classify::classify_chain;
-use crate::confirm::{
-    flagged_explicit_pairs, flagged_pairs, verdicts, ConfirmConfig, GeoblockVerdict,
-};
-use crate::observation::{BodyArchive, Obs, SampleStore};
-use crate::plan::{ProbeCoord, TargetPlan};
+use crate::confirm::{verdicts, ConfirmConfig, GeoblockVerdict};
+use crate::observation::{BodyArchive, SampleStore};
+use crate::plan::ProbeCoord;
+use crate::session::StudySession;
 
 /// Shared study configuration.
 #[derive(Debug, Clone)]
@@ -233,27 +245,33 @@ impl<'a> StudyAccumulator<'a> {
     }
 }
 
-/// The generic study driver (named for its §4 debut; the Top-1M study is
-/// the same driver pointed at a sampled domain list).
+/// The pre-session study driver, now a shim over
+/// [`StudySession`](crate::session::StudySession).
+///
+/// Every method builds a one-shot session per call, so behaviour is
+/// probe-for-probe identical to the session API (the
+/// `session_matches_the_deprecated_driver_exactly` test pins this).
+#[deprecated(
+    since = "0.1.0",
+    note = "use geoblock_core::StudySession, which carries observers through every pass"
+)]
 pub struct Top10kStudy<T: Transport + 'static> {
     engine: Arc<Lumscan<T>>,
     config: StudyConfig,
-    fingerprints: CompiledFingerprintSet,
 }
 
 /// Alias for the §5 campaign: identical machinery, different domain list
 /// and confirmation strategy (ambiguous kinds are confirmed across *all*
 /// countries).
+#[deprecated(since = "0.1.0", note = "use geoblock_core::StudySession")]
+#[allow(deprecated)]
 pub type Top1mStudy<T> = Top10kStudy<T>;
 
+#[allow(deprecated)]
 impl<T: Transport + 'static> Top10kStudy<T> {
     /// Create a driver.
     pub fn new(engine: Arc<Lumscan<T>>, config: StudyConfig) -> Top10kStudy<T> {
-        Top10kStudy {
-            engine,
-            config,
-            fingerprints: CompiledFingerprintSet::paper(),
-        }
+        Top10kStudy { engine, config }
     }
 
     /// The configuration.
@@ -266,83 +284,43 @@ impl<T: Transport + 'static> Top10kStudy<T> {
         &self.engine
     }
 
+    fn session(&self) -> StudySession<'static, T> {
+        StudySession::new(self.engine.clone(), self.config.clone())
+    }
+
     /// Run the baseline pass: `baseline_samples` probes of every
     /// (domain, country) pair.
     pub async fn baseline(&self, domains: &[String]) -> StudyResult {
-        self.baseline_with(domains, &mut NoopSink).await
+        self.session().baseline(domains).await
     }
 
-    /// [`Top10kStudy::baseline`] with an observer: `sink` sees every spawn
-    /// and completion (live progress, gauges).
-    ///
-    /// Targets stream straight from the plan iterator into the engine and
-    /// each completion is classified and dropped on arrival, so memory
-    /// stays O(concurrency) — no chunk of `domains × countries × samples`
-    /// targets or results ever exists.
+    /// [`Top10kStudy::baseline`] with an observer — in the session API the
+    /// observer attaches once, via
+    /// [`sink`](crate::session::StudySession::sink).
     pub async fn baseline_with(&self, domains: &[String], sink: &mut dyn ProbeSink) -> StudyResult {
-        let mut store = SampleStore::new(domains.to_vec(), self.config.countries.clone());
-        let mut archive = BodyArchive::new();
-        let plan = TargetPlan::grid(
-            domains,
-            &self.config.countries,
-            self.config.baseline_samples as usize,
-        );
-        let mut acc = StudyAccumulator::new(
-            &self.fingerprints,
-            &self.config.countries,
-            &self.config.rep_countries,
-            &mut store,
-            Some(&mut archive),
-        );
-        // Ordered: archive retention depends on offer order.
-        let mut stream = self.engine.probe_stream_with(plan.iter(), sink).ordered();
-        while let Some((i, result)) = stream.next().await {
-            acc.absorb(plan.coord(i), &result);
-        }
-        drop(stream);
-        drop(acc);
-        StudyResult { store, archive }
+        let mut session = StudySession::new(self.engine.clone(), self.config.clone()).sink(sink);
+        session.baseline(domains).await
     }
 
-    /// Confirmation pass for explicit geoblockers (§4.1.4): every pair that
-    /// showed ≥1 explicit block page is resampled `confirm_samples` times;
-    /// results merge into the store. Returns the number of pairs confirmed.
+    /// Confirmation pass for explicit geoblockers (§4.1.4); see
+    /// [`confirm`](crate::session::StudySession::confirm).
     pub async fn confirm_explicit(&self, result: &mut StudyResult) -> usize {
-        let pairs = flagged_explicit_pairs(&result.store);
-        self.resample(result, &pairs, self.config.confirm.confirm_samples as usize)
-            .await;
-        pairs.len()
+        self.session().confirm(result).await
     }
 
-    /// Confirmation pass for ambiguous kinds (§5.1.2): every *domain* that
-    /// showed one of `kinds` anywhere is resampled in **every** country.
+    /// Confirmation pass for ambiguous kinds (§5.1.2); see
+    /// [`confirm_ambiguous`](crate::session::StudySession::confirm_ambiguous).
     pub async fn confirm_ambiguous(&self, result: &mut StudyResult, kinds: &[PageKind]) -> usize {
-        let flagged = flagged_pairs(&result.store, kinds);
-        let mut domains: Vec<usize> = flagged.iter().map(|(d, _)| *d).collect();
-        domains.sort_unstable();
-        domains.dedup();
-        let pairs: Vec<(usize, usize)> = domains
-            .iter()
-            .flat_map(|&d| (0..result.store.countries.len()).map(move |c| (d, c)))
-            .collect();
-        self.resample(result, &pairs, self.config.confirm.confirm_samples as usize)
-            .await;
-        domains.len()
+        self.session().confirm_ambiguous(result, kinds).await
     }
 
-    /// Resample arbitrary pairs `n` times each, merging into the store —
-    /// the primitive behind confirmation and the Figure 1/3 sampling
-    /// experiments.
+    /// Resample arbitrary pairs `n` times each; see
+    /// [`resample`](crate::session::StudySession::resample).
     pub async fn resample(&self, result: &mut StudyResult, pairs: &[(usize, usize)], n: usize) {
-        self.resample_with(result, pairs, n, &mut NoopSink).await
+        self.session().resample(result, pairs, n).await
     }
 
     /// [`Top10kStudy::resample`] with an observer.
-    ///
-    /// Streams `pairs × n` targets lazily — in-flight work is bounded by
-    /// the engine's `concurrency`, never by a materialized chunk (the old
-    /// batch path hard-coded a 4096-pair chunk, ignoring
-    /// `config.chunk_domains` entirely).
     pub async fn resample_with(
         &self,
         result: &mut StudyResult,
@@ -350,46 +328,33 @@ impl<T: Transport + 'static> Top10kStudy<T> {
         n: usize,
         sink: &mut dyn ProbeSink,
     ) {
-        // The plan cannot borrow the store while the accumulator holds it
-        // mutably, so the coordinate tables are cloned out first.
-        let domains = result.store.domains.clone();
-        let countries = result.store.countries.clone();
-        let plan = TargetPlan::pairs(&domains, &countries, pairs, n);
-        let mut acc =
-            StudyAccumulator::new(&self.fingerprints, &countries, &[], &mut result.store, None);
-        let mut stream = self.engine.probe_stream_with(plan.iter(), sink).ordered();
-        while let Some((i, probe)) = stream.next().await {
-            acc.absorb(plan.coord(i), &probe);
-        }
+        let mut session = StudySession::new(self.engine.clone(), self.config.clone()).sink(sink);
+        session.resample(result, pairs, n).await
     }
 }
 
-/// Rank countries by how much explicit blocking a quick pre-pass observes
-/// (the paper seeded its top-20 list from an earlier Akamai/Cloudflare
-/// sweep). Probes each (domain, country) once.
+/// Rank countries by observed explicit blocking; shim over
+/// [`rank_countries`](crate::session::StudySession::rank_countries).
+#[deprecated(
+    since = "0.1.0",
+    note = "use StudySession::rank_countries, which also reports to attached observers"
+)]
 pub async fn rank_blocking_countries<T: Transport + 'static>(
     engine: &Arc<Lumscan<T>>,
     domains: &[String],
     countries: &[CountryCode],
     top: usize,
 ) -> Vec<CountryCode> {
-    let fingerprints = CompiledFingerprintSet::paper();
-    let mut counts: Vec<(CountryCode, u32)> = countries.iter().map(|c| (*c, 0)).collect();
-    let plan = TargetPlan::grid(domains, countries, 1);
-    // Unordered: counting is commutative, so completions are consumed the
-    // moment they land.
-    let mut stream = engine.probe_stream(plan.iter());
-    while let Some((i, result)) = stream.next().await {
-        let obs = classify_chain(&fingerprints, &result.outcome);
-        if let Obs::Response { page: Some(_), .. } = obs {
-            counts[plan.coord(i).country].1 += 1;
-        }
-    }
-    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    counts.into_iter().take(top).map(|(c, _)| c).collect()
+    // The session's vantage panel is irrelevant to ranking, but its config
+    // must validate, so the candidate list doubles as the panel.
+    let config = StudyConfig::new(countries.to_vec(), Vec::new());
+    StudySession::new(engine.clone(), config)
+        .rank_countries(domains, countries, top)
+        .await
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use geoblock_http::{FetchError, Response, StatusCode};

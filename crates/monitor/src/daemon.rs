@@ -1,0 +1,656 @@
+//! The monitoring daemon: scheduled rescans over an evolving world.
+//!
+//! [`Monitor`] turns the one-shot study into the longitudinal instrument
+//! the paper's conclusion gestures at (and its `makro.co.za` anecdote
+//! demands): scan the same domain grid every `cadence_days` virtual days,
+//! commit each scan's verdicts to a [`SnapshotStore`], and diff
+//! consecutive snapshots so policy motion — new blockers, retreats,
+//! provider migrations — is first-class data rather than an accident of
+//! two papers' timing.
+//!
+//! # Scan modes
+//!
+//! Every `full_every`-th scan (including scan 0) runs the **full**
+//! baseline + confirmation protocol through the sharded
+//! [`Orchestrator`] — killable and checkpoint-resumable mid-scan. The
+//! scans between run in **delta** mode: only the (domain, country) pairs
+//! the previous snapshot confirmed blocked are re-probed (at full
+//! baseline + confirmation depth, so verdicts meet the same 23-sample/80%
+//! bar). Deltas observe retreats and kind changes at a fraction of the
+//! probe budget but are blind to new blockers — the full-scan cadence
+//! bounds that blindness.
+//!
+//! # Determinism
+//!
+//! The monitor builds a **fresh engine per scan** through its factory,
+//! which receives the scan's virtual day. Per-(host, country) invocation
+//! counters therefore start from zero each scan, and a scan interrupted
+//! and resumed in another process reproduces the uninterrupted run
+//! exactly: the orchestrator winds counters over restored records, the
+//! confirmation pass continues from wherever the baseline left them, and
+//! the committed snapshot — hence the store's
+//! [`timeline_hash`](SnapshotStore::timeline_hash) — is bit-identical for
+//! any shard count or kill point. Crash ordering is handled by running
+//! scans idempotently: the scan checkpoint is deleted *before* its
+//! snapshot commits, so a crash between the two merely re-runs a
+//! deterministic scan.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use geoblock_core::{
+    diff_studies, BodyArchive, GeoblockVerdict, SampleStore, StudyConfig, StudyResult, StudySession,
+};
+use geoblock_lumscan::{Lumscan, Transport};
+use geoblock_orchestrator::{
+    Checkpoint, CheckpointError, Orchestrator, OrchestratorConfig, OrchestratorError,
+};
+
+use crate::query::QueryService;
+use crate::store::{ScanMode, ScanSnapshot, SnapshotStore, StoreError};
+
+/// How the daemon schedules and persists its scans.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Virtual days between consecutive scans (scan `i` runs on day
+    /// `i × cadence_days`).
+    pub cadence_days: u32,
+    /// Every `full_every`-th scan (scan 0 included) runs the full grid;
+    /// the rest run delta re-probes. `1` makes every scan full.
+    pub full_every: u32,
+    /// Total scans in the monitoring horizon; [`Monitor::run`] continues
+    /// from the store's current length until this many have committed.
+    pub scans: u32,
+    /// Concurrent work units per full scan (the orchestrator's knob).
+    pub shards: usize,
+    /// Completed units between mid-scan checkpoint writes.
+    pub checkpoint_every: usize,
+    /// Where full scans persist mid-scan progress; also consulted at scan
+    /// start to resume an interrupted scan. `None` disables mid-scan
+    /// persistence (kill/resume then loses at most one scan's work).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Stop the current full scan after launching this many units — the
+    /// graceful-kill knob, for tests and drills.
+    pub stop_after_units: Option<usize>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            cadence_days: 1,
+            full_every: 1,
+            scans: 1,
+            shards: 1,
+            checkpoint_every: 1,
+            checkpoint_path: None,
+            stop_after_units: None,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Set the days between scans.
+    pub fn cadence_days(mut self, days: u32) -> Self {
+        self.cadence_days = days;
+        self
+    }
+
+    /// Run a full scan every `n`-th scan, deltas between.
+    pub fn full_every(mut self, n: u32) -> Self {
+        self.full_every = n;
+        self
+    }
+
+    /// Set the monitoring horizon in scans.
+    pub fn scans(mut self, n: u32) -> Self {
+        self.scans = n;
+        self
+    }
+
+    /// Set the orchestrator's concurrent-unit count.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Set the mid-scan checkpoint cadence.
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Persist mid-scan progress to `path`.
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Stop the current full scan after `n` launched units.
+    pub fn stop_after_units(mut self, n: usize) -> Self {
+        self.stop_after_units = Some(n);
+        self
+    }
+}
+
+/// What one scan attempt produced.
+#[derive(Debug)]
+pub enum ScanStep {
+    /// The scan completed; commit this snapshot.
+    Committed(ScanSnapshot),
+    /// The scan stopped early (`stop_after_units`); resume from this
+    /// checkpoint to finish it.
+    Interrupted(Checkpoint),
+}
+
+/// What a [`Monitor::run`] call accomplished.
+#[derive(Debug)]
+pub struct MonitorReport {
+    /// Scans committed by this call.
+    pub scans_run: u32,
+    /// Total snapshots in the store afterwards.
+    pub total_scans: u32,
+    /// Whether the horizon is unfinished (a scan was interrupted).
+    pub interrupted: bool,
+    /// The virtual day of the last committed scan, if any.
+    pub last_day: Option<u32>,
+    /// The store's timeline hash afterwards.
+    pub timeline_hash: u64,
+}
+
+/// Why the monitor could not run.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// The monitor configuration is invalid.
+    Config(String),
+    /// A full scan's orchestrated pass failed.
+    Orchestrator(OrchestratorError),
+    /// The snapshot store refused a read or write.
+    Store(StoreError),
+    /// A mid-scan checkpoint could not be read or written.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Config(msg) => write!(f, "invalid monitor config: {msg}"),
+            MonitorError::Orchestrator(e) => write!(f, "{e}"),
+            MonitorError::Store(e) => write!(f, "{e}"),
+            MonitorError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Config(_) => None,
+            MonitorError::Orchestrator(e) => Some(e),
+            MonitorError::Store(e) => Some(e),
+            MonitorError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<OrchestratorError> for MonitorError {
+    fn from(e: OrchestratorError) -> MonitorError {
+        MonitorError::Orchestrator(e)
+    }
+}
+
+impl From<StoreError> for MonitorError {
+    fn from(e: StoreError) -> MonitorError {
+        MonitorError::Store(e)
+    }
+}
+
+impl From<CheckpointError> for MonitorError {
+    fn from(e: CheckpointError) -> MonitorError {
+        MonitorError::Checkpoint(e)
+    }
+}
+
+/// The longitudinal monitoring daemon.
+///
+/// Generic over an engine **factory** rather than an engine: each scan
+/// gets a fresh [`Lumscan`] built for that scan's virtual day, which is
+/// what makes kill/resume deterministic across process boundaries (see
+/// the module docs). In simulation the factory builds a fresh
+/// [`SimInternet`](geoblock_netsim::SimInternet) over a shared world and
+/// [`PolicyTimeline`](geoblock_netsim::PolicyTimeline) and advances its
+/// clock to the requested day.
+pub struct Monitor<T, F>
+where
+    T: Transport + 'static,
+    F: Fn(u32) -> Arc<Lumscan<T>>,
+{
+    factory: F,
+    domains: Vec<String>,
+    study: StudyConfig,
+    config: MonitorConfig,
+}
+
+impl<T, F> Monitor<T, F>
+where
+    T: Transport + 'static,
+    F: Fn(u32) -> Arc<Lumscan<T>>,
+{
+    /// A monitor scanning `domains` under `study`, on `config`'s
+    /// schedule, probing through engines from `factory` (called once per
+    /// scan with the scan's virtual day).
+    pub fn new(
+        factory: F,
+        domains: Vec<String>,
+        study: StudyConfig,
+        config: MonitorConfig,
+    ) -> Monitor<T, F> {
+        Monitor {
+            factory,
+            domains,
+            study,
+            config,
+        }
+    }
+
+    /// The schedule configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Which mode scan `scan_index` runs in.
+    pub fn scan_mode(&self, scan_index: u32) -> ScanMode {
+        if self.config.full_every <= 1 || scan_index.is_multiple_of(self.config.full_every) {
+            ScanMode::Full
+        } else {
+            ScanMode::Delta
+        }
+    }
+
+    /// The virtual day scan `scan_index` runs on.
+    pub fn scan_day(&self, scan_index: u32) -> u32 {
+        scan_index.saturating_mul(self.config.cadence_days)
+    }
+
+    fn validate(&self) -> Result<(), MonitorError> {
+        if self.config.cadence_days == 0 {
+            return Err(MonitorError::Config(
+                "cadence_days must be at least 1".to_string(),
+            ));
+        }
+        if self.config.full_every == 0 {
+            return Err(MonitorError::Config(
+                "full_every must be at least 1".to_string(),
+            ));
+        }
+        if self.domains.is_empty() {
+            return Err(MonitorError::Config(
+                "a monitor needs at least one domain".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run the next scan for `store` (the scan index is the store's
+    /// length). Pass a `resume` checkpoint to continue an interrupted
+    /// full scan in-process; [`Monitor::run`] handles the on-disk
+    /// variant. Does **not** append to the store — the caller owns the
+    /// commit so crash ordering stays in one place.
+    pub async fn run_scan(
+        &self,
+        store: &SnapshotStore,
+        resume: Option<Checkpoint>,
+    ) -> Result<ScanStep, MonitorError> {
+        self.validate()?;
+        let scan_index = store.len() as u32;
+        let day = self.scan_day(scan_index);
+        let mode = self.scan_mode(scan_index);
+        let engine = (self.factory)(day);
+
+        let verdicts = match mode {
+            ScanMode::Full => {
+                let orch_config = {
+                    let mut c = OrchestratorConfig::default()
+                        .shards(self.config.shards)
+                        .checkpoint_every(self.config.checkpoint_every);
+                    if let Some(path) = &self.config.checkpoint_path {
+                        c = c.checkpoint_path(path);
+                    }
+                    if let Some(n) = self.config.stop_after_units {
+                        c = c.stop_after_units(n);
+                    }
+                    c
+                };
+                let orch = Orchestrator::new(engine.clone(), self.study.clone(), orch_config);
+                let run = match resume {
+                    Some(checkpoint) => orch.resume(&self.domains, checkpoint).await?,
+                    None => orch.baseline(&self.domains).await?,
+                };
+                if run.interrupted {
+                    let plan = orch.shard_plan(&self.domains);
+                    return Ok(ScanStep::Interrupted(Checkpoint::snapshot(
+                        orch.config_hash(&self.domains),
+                        plan.total_probes(),
+                        self.study.work_unit_domains,
+                        plan.total_units(),
+                        &run.units,
+                    )));
+                }
+                let mut result = run.result;
+                // Confirmation rides the same engine: its invocation
+                // counters continue from the baseline's, exactly as in an
+                // uninterrupted (or single-stream) run.
+                let mut session = StudySession::new(engine, self.study.clone());
+                session.confirm(&mut result).await;
+                result.verdicts(&self.study.confirm)
+            }
+            ScanMode::Delta => {
+                let previous = store
+                    .last()
+                    .expect("delta scans follow a committed snapshot");
+                let pairs = self.delta_pairs(previous);
+                let mut result = StudyResult {
+                    store: SampleStore::new(self.domains.clone(), self.study.countries.clone()),
+                    archive: BodyArchive::new(),
+                };
+                let samples =
+                    (self.study.baseline_samples + self.study.confirm.confirm_samples) as usize;
+                let mut session = StudySession::new(engine, self.study.clone());
+                session.resample(&mut result, &pairs, samples).await;
+                result.verdicts(&self.study.confirm)
+            }
+        };
+
+        let empty = Vec::new();
+        let previous_verdicts = store.last().map(|s| &s.verdicts).unwrap_or(&empty);
+        let diff = diff_studies(previous_verdicts, &verdicts);
+        Ok(ScanStep::Committed(ScanSnapshot::new(
+            scan_index, day, mode, verdicts, diff,
+        )))
+    }
+
+    /// The (domain, country) index pairs a delta scan re-probes: every
+    /// pair the previous snapshot confirmed blocked, in snapshot order.
+    /// Pairs naming a domain or country outside the current axes are
+    /// skipped (the grid is fixed for a monitoring run, so this is
+    /// defensive, not routine).
+    fn delta_pairs(&self, previous: &ScanSnapshot) -> Vec<(usize, usize)> {
+        previous
+            .verdicts
+            .iter()
+            .filter_map(|v: &GeoblockVerdict| {
+                let d = self.domains.iter().position(|x| *x == v.domain)?;
+                let c = self.study.countries.iter().position(|x| *x == v.country)?;
+                Some((d, c))
+            })
+            .collect()
+    }
+
+    /// Drive the monitoring horizon forward: scan, commit, publish,
+    /// repeat, until `config.scans` snapshots exist or a scan stops early.
+    ///
+    /// Crash/kill ordering per scan: an interrupted scan's checkpoint is
+    /// saved to `checkpoint_path` and the call returns with
+    /// `interrupted = true`; on the next call (any process) the
+    /// checkpoint is loaded and the scan resumes mid-grid. On completion
+    /// the checkpoint is deleted, *then* the snapshot commits, then the
+    /// query service (when given) is published to — so queries only ever
+    /// see committed scans, and its caches invalidate exactly at commit.
+    pub async fn run(
+        &self,
+        store: &mut SnapshotStore,
+        query: Option<&QueryService>,
+    ) -> Result<MonitorReport, MonitorError> {
+        self.validate()?;
+        let mut scans_run = 0;
+        while (store.len() as u32) < self.config.scans {
+            let resume = match &self.config.checkpoint_path {
+                Some(path) if path.exists() => Some(Checkpoint::load(path)?),
+                _ => None,
+            };
+            match self.run_scan(store, resume).await? {
+                ScanStep::Interrupted(checkpoint) => {
+                    if let Some(path) = &self.config.checkpoint_path {
+                        checkpoint.save(path)?;
+                    }
+                    return Ok(MonitorReport {
+                        scans_run,
+                        total_scans: store.len() as u32,
+                        interrupted: true,
+                        last_day: store.last().map(|s| s.day),
+                        timeline_hash: store.timeline_hash(),
+                    });
+                }
+                ScanStep::Committed(snapshot) => {
+                    if let Some(path) = &self.config.checkpoint_path {
+                        if path.exists() {
+                            std::fs::remove_file(path)
+                                .map_err(|e| MonitorError::Store(StoreError::Io(e)))?;
+                        }
+                    }
+                    store.append(snapshot)?;
+                    if let Some(service) = query {
+                        service.publish(store.snapshots()).await;
+                    }
+                    scans_run += 1;
+                }
+            }
+        }
+        Ok(MonitorReport {
+            scans_run,
+            total_scans: store.len() as u32,
+            interrupted: false,
+            last_day: store.last().map(|s| s.day),
+            timeline_hash: store.timeline_hash(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryService;
+    use crate::store::SnapshotStore;
+    use geoblock_blockpages::{render, PageKind, PageParams};
+    use geoblock_http::{FetchError, Response, StatusCode};
+    use geoblock_lumscan::{LumscanConfig, Transport, TransportRequest};
+    use geoblock_worldgen::cc;
+
+    /// A toy evolving internet, day injected at construction (the factory
+    /// passes the scan day): `drifter.example` blocks IR on days 0–1 then
+    /// fully retreats; `late.example` starts blocking IR on day 2;
+    /// `stable.example` always blocks IR; `plain.example` never blocks.
+    struct EvolvingWeb {
+        day: u32,
+    }
+
+    impl EvolvingWeb {
+        fn blocks(&self, host: &str) -> bool {
+            match host {
+                "drifter.example" => self.day < 2,
+                "late.example" => self.day >= 2,
+                "stable.example" => true,
+                _ => false,
+            }
+        }
+    }
+
+    impl Transport for EvolvingWeb {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            let host = req.request.effective_host();
+            if self.blocks(&host) && req.country == cc("IR") {
+                let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+                return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+            }
+            Ok(Response::builder(StatusCode::OK)
+                .body("<html><body>".to_string() + &"content ".repeat(1000) + "</body></html>")
+                .finish(req.request.url))
+        }
+    }
+
+    fn domains() -> Vec<String> {
+        vec![
+            "drifter.example".to_string(),
+            "late.example".to_string(),
+            "plain.example".to_string(),
+            "stable.example".to_string(),
+        ]
+    }
+
+    fn study() -> StudyConfig {
+        StudyConfig::builder()
+            .countries([cc("IR"), cc("US")])
+            .rep_countries([cc("IR")])
+            .work_unit_domains(1)
+            .build()
+            .expect("valid study config")
+    }
+
+    fn monitor(
+        config: MonitorConfig,
+    ) -> Monitor<EvolvingWeb, impl Fn(u32) -> Arc<Lumscan<EvolvingWeb>>> {
+        let factory =
+            |day: u32| Arc::new(Lumscan::new(EvolvingWeb { day }, LumscanConfig::default()));
+        Monitor::new(factory, domains(), study(), config)
+    }
+
+    fn blocked_domains(snapshot: &ScanSnapshot) -> Vec<&str> {
+        let mut out: Vec<&str> = snapshot
+            .verdicts
+            .iter()
+            .map(|v| v.domain.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[tokio::test]
+    async fn full_scans_track_the_evolving_policies() {
+        let m = monitor(MonitorConfig::default().scans(3));
+        let mut store = SnapshotStore::in_memory();
+        let query = QueryService::new();
+        let report = m.run(&mut store, Some(&query)).await.expect("run");
+        assert_eq!(report.scans_run, 3);
+        assert!(!report.interrupted);
+        assert_eq!(report.last_day, Some(2));
+
+        let snaps = store.snapshots();
+        assert_eq!(
+            blocked_domains(&snaps[0]),
+            vec!["drifter.example", "stable.example"]
+        );
+        assert_eq!(
+            blocked_domains(&snaps[2]),
+            vec!["late.example", "stable.example"]
+        );
+        // Scan 2's diff records both the retreat and the new blocker.
+        assert_eq!(snaps[2].diff.full_retreats().len(), 1);
+        assert_eq!(snaps[2].diff.new_blockers().len(), 1);
+        // One publish per committed scan.
+        assert_eq!(query.generation().await, 3);
+        assert_eq!(query.scans_visible().await, 3);
+    }
+
+    #[tokio::test]
+    async fn delta_scans_see_retreats_but_are_blind_to_new_blockers() {
+        // Scan 0 full, scans 1-2 delta: the day-2 delta re-probes only
+        // the pairs scan 1 confirmed, so it observes drifter's retreat
+        // but cannot see late.example start blocking.
+        let m = monitor(MonitorConfig::default().scans(3).full_every(3));
+        let mut store = SnapshotStore::in_memory();
+        m.run(&mut store, None).await.expect("run");
+
+        let snaps = store.snapshots();
+        assert_eq!(snaps[1].mode, ScanMode::Delta);
+        assert_eq!(snaps[2].mode, ScanMode::Delta);
+        assert_eq!(
+            blocked_domains(&snaps[1]),
+            vec!["drifter.example", "stable.example"]
+        );
+        assert_eq!(blocked_domains(&snaps[2]), vec!["stable.example"]);
+        assert_eq!(snaps[2].diff.full_retreats().len(), 1);
+        assert!(snaps[2].diff.new_blockers().is_empty());
+        // Delta verdicts meet the same evidence bar as full ones.
+        assert!(snaps[1].verdicts.iter().all(|v| v.total == 23));
+    }
+
+    #[tokio::test]
+    async fn kill_and_resume_reproduces_the_uninterrupted_timeline() {
+        let mut uninterrupted = SnapshotStore::in_memory();
+        monitor(MonitorConfig::default().scans(2))
+            .run(&mut uninterrupted, None)
+            .await
+            .expect("uninterrupted run");
+
+        // Kill scan 0 after two of four units, then resume from the
+        // in-memory checkpoint and finish the horizon.
+        let mut resumed = SnapshotStore::in_memory();
+        let killer = monitor(MonitorConfig::default().scans(2).stop_after_units(2));
+        let checkpoint = match killer.run_scan(&resumed, None).await.expect("partial scan") {
+            ScanStep::Interrupted(checkpoint) => checkpoint,
+            ScanStep::Committed(_) => panic!("stop_after_units must interrupt"),
+        };
+        assert_eq!(checkpoint.units.len(), 2);
+        let finisher = monitor(MonitorConfig::default().scans(2));
+        match finisher
+            .run_scan(&resumed, Some(checkpoint))
+            .await
+            .expect("resumed scan")
+        {
+            ScanStep::Committed(snapshot) => resumed.append(snapshot).expect("commit"),
+            ScanStep::Interrupted(_) => panic!("resume must complete"),
+        }
+        finisher
+            .run(&mut resumed, None)
+            .await
+            .expect("rest of horizon");
+
+        assert_eq!(
+            uninterrupted.timeline_hash(),
+            resumed.timeline_hash(),
+            "a killed-and-resumed scan must be bit-identical to the uninterrupted one"
+        );
+    }
+
+    #[tokio::test]
+    async fn shard_count_never_changes_the_timeline() {
+        let mut narrow = SnapshotStore::in_memory();
+        monitor(MonitorConfig::default().scans(2).shards(1))
+            .run(&mut narrow, None)
+            .await
+            .expect("1-shard run");
+        let mut wide = SnapshotStore::in_memory();
+        monitor(MonitorConfig::default().scans(2).shards(3))
+            .run(&mut wide, None)
+            .await
+            .expect("3-shard run");
+        assert_eq!(narrow.timeline_hash(), wide.timeline_hash());
+    }
+
+    #[tokio::test]
+    async fn schedule_arithmetic_and_validation() {
+        let m = monitor(MonitorConfig::default().cadence_days(7).full_every(4));
+        assert_eq!(m.scan_mode(0), ScanMode::Full);
+        assert_eq!(m.scan_mode(3), ScanMode::Delta);
+        assert_eq!(m.scan_mode(4), ScanMode::Full);
+        assert_eq!(m.scan_day(3), 21);
+
+        let bad = monitor(MonitorConfig::default().cadence_days(0));
+        let store = SnapshotStore::in_memory();
+        assert!(matches!(
+            bad.run_scan(&store, None).await,
+            Err(MonitorError::Config(_))
+        ));
+        let empty = Monitor::new(
+            |day: u32| Arc::new(Lumscan::new(EvolvingWeb { day }, LumscanConfig::default())),
+            Vec::new(),
+            study(),
+            MonitorConfig::default(),
+        );
+        assert!(matches!(
+            empty.run_scan(&store, None).await,
+            Err(MonitorError::Config(_))
+        ));
+    }
+}

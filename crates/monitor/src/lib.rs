@@ -1,0 +1,37 @@
+//! Longitudinal geoblocking monitor — scheduled rescans, a snapshot
+//! store, and a cached query API.
+//!
+//! The paper is a one-shot measurement, but its own data argues for a
+//! daemon: `makro.co.za` blocked 33 countries during the baseline and
+//! none days later (§4.2), and the conclusion calls for tracking
+//! geoblocking as it evolves. This crate supplies that missing system as
+//! three pieces over the existing study pipeline:
+//!
+//! - [`daemon`] — [`Monitor`], the scan scheduler: full
+//!   orchestrator-backed rescans (killable and checkpoint-resumable
+//!   mid-scan) on a fixed cadence, with cheap delta re-probes of
+//!   previously-flagged pairs between them;
+//! - [`store`] — [`SnapshotStore`], the append-only scan history:
+//!   per-scan verdict sets plus the [`StudyDiff`](geoblock_core::StudyDiff)
+//!   against the previous scan, each stamped with a serde-independent
+//!   content hash so tests can pin whole golden timelines;
+//! - [`query`] — [`QueryService`], the async read side: domain
+//!   histories, country dashboards, and a change feed, memoised under a
+//!   generation stamp that advances exactly when a scan commits — cached
+//!   answers are provably fresh by construction.
+//!
+//! Determinism is the design invariant throughout: for a fixed (seed,
+//! policy timeline, cadence), the store's
+//! [`timeline_hash`](SnapshotStore::timeline_hash) is bit-identical for
+//! any shard count and across kill/resume at any checkpoint boundary.
+
+pub mod daemon;
+pub mod query;
+pub mod store;
+
+pub use daemon::{Monitor, MonitorConfig, MonitorError, MonitorReport, ScanStep};
+pub use query::{
+    CacheStats, ChangeEvent, ChangeFeed, CountryDashboard, CountryScanEntry, DomainHistory,
+    DomainScanEntry, QueryService,
+};
+pub use store::{ScanMode, ScanSnapshot, SnapshotStore, StoreError, STORE_VERSION};

@@ -1,0 +1,660 @@
+//! The cached query API over the snapshot store.
+//!
+//! [`QueryService`] is the read side of the monitor: an in-process,
+//! async service answering the three questions a longitudinal study is
+//! for — *how has this domain's blocking evolved*, *what does country X
+//! look like right now*, and *what changed since scan N* — without
+//! re-walking the snapshot history on every call.
+//!
+//! # Cache freshness
+//!
+//! Answers are memoised under a **generation stamp**. Every
+//! [`publish`](QueryService::publish) (called by the daemon exactly when
+//! a scan commits) bumps the generation and drops the memo table; a
+//! cached answer is served only when its stamp equals the current
+//! generation. Staleness is therefore structurally impossible: there is
+//! no TTL to tune and no invalidation to forget, because the only event
+//! that can change an answer — a committed scan — is the same event that
+//! advances the generation.
+//!
+//! Between commits the store is immutable, so the steady-state hit rate
+//! for a repeated dashboard poll is bounded only by the scan cadence;
+//! [`cache_stats`](QueryService::cache_stats) exposes the measured rate
+//! and `bench_monitor` asserts it stays ≥90% under a polling workload.
+//!
+//! # Wire access
+//!
+//! [`serve_text`](QueryService::serve_text) answers a raw HTTP/1.1
+//! request text (the workspace's own [`wire`](geoblock_http::wire)
+//! framing — no sockets) with a plain-text report, so the daemon binary
+//! can expose the service without any networking stack:
+//!
+//! - `GET /domains/{name}` — per-scan blocking history for one domain;
+//! - `GET /countries/{cc}` — a country's dashboard;
+//! - `GET /changes/{n}` — the change feed from scan `n` onward.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use geoblock_blockpages::PageKind;
+use geoblock_http::wire;
+use geoblock_http::{Response, StatusCode};
+use geoblock_worldgen::CountryCode;
+
+use crate::store::ScanSnapshot;
+
+/// One scan's view of a single domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainScanEntry {
+    /// The scan this entry came from.
+    pub scan_index: u32,
+    /// The virtual day the scan ran on.
+    pub day: u32,
+    /// Countries confirmed blocking the domain in this scan, sorted.
+    pub blocked_in: Vec<CountryCode>,
+    /// The block page kind observed (first verdict's), if any.
+    pub kind: Option<PageKind>,
+}
+
+/// A domain's full blocking history, one entry per scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainHistory {
+    /// The domain asked about.
+    pub domain: String,
+    /// One entry per committed scan, in scan order (including scans
+    /// where the domain blocked nowhere).
+    pub scans: Vec<DomainScanEntry>,
+}
+
+impl DomainHistory {
+    /// Whether the latest scan sees the domain blocking anywhere.
+    pub fn currently_blocking(&self) -> bool {
+        self.scans
+            .last()
+            .map(|e| !e.blocked_in.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// One scan's view of a single country.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountryScanEntry {
+    /// The scan this entry came from.
+    pub scan_index: u32,
+    /// The virtual day the scan ran on.
+    pub day: u32,
+    /// Domains confirmed blocked from this country in this scan.
+    pub blocked_domains: usize,
+}
+
+/// A country's dashboard: blocked-domain counts over time plus the
+/// current block list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountryDashboard {
+    /// The country asked about.
+    pub country: CountryCode,
+    /// One entry per committed scan, in scan order.
+    pub scans: Vec<CountryScanEntry>,
+    /// Domains the latest scan confirms blocked from this country,
+    /// sorted.
+    pub currently_blocked: Vec<String>,
+}
+
+/// One policy change observed between consecutive scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// The scan that observed the change (against its predecessor).
+    pub scan_index: u32,
+    /// The virtual day of that scan.
+    pub day: u32,
+    /// The domain whose policy moved.
+    pub domain: String,
+    /// Countries newly blocked.
+    pub newly_blocked: Vec<CountryCode>,
+    /// Countries unblocked.
+    pub unblocked: Vec<CountryCode>,
+    /// Whether the serving provider (by block page) changed.
+    pub provider_changed: bool,
+    /// A `makro.co.za`-style full retreat.
+    pub full_retreat: bool,
+}
+
+/// Every policy change from a given scan onward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeFeed {
+    /// The first scan index included.
+    pub since: u32,
+    /// Changes in (scan, domain) order.
+    pub events: Vec<ChangeEvent>,
+}
+
+/// Cache hit/miss counters since service creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that recomputed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when nothing was asked yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    Domain(String),
+    Country(CountryCode),
+    Changes(u32),
+}
+
+#[derive(Clone)]
+enum Answer {
+    Domain(Arc<DomainHistory>),
+    Country(Arc<CountryDashboard>),
+    Changes(Arc<ChangeFeed>),
+}
+
+struct Cached {
+    generation: u64,
+    answer: Answer,
+}
+
+struct State {
+    generation: u64,
+    snapshots: Arc<Vec<ScanSnapshot>>,
+    cache: HashMap<QueryKey, Cached>,
+}
+
+/// The in-process query service. See the module docs for the freshness
+/// argument.
+pub struct QueryService {
+    state: RwLock<State>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryService {
+    fn default() -> QueryService {
+        QueryService::new()
+    }
+}
+
+impl QueryService {
+    /// An empty service at generation 0 (no scans published).
+    pub fn new() -> QueryService {
+        QueryService {
+            state: RwLock::new(State {
+                generation: 0,
+                snapshots: Arc::new(Vec::new()),
+                cache: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the visible snapshot history with `snapshots`, bump the
+    /// generation, and drop every memoised answer. The daemon calls this
+    /// exactly once per committed scan.
+    pub async fn publish(&self, snapshots: &[ScanSnapshot]) {
+        let mut state = self.state.write().expect("query lock");
+        state.generation += 1;
+        state.snapshots = Arc::new(snapshots.to_vec());
+        state.cache.clear();
+    }
+
+    /// The current cache generation (one per publish).
+    pub async fn generation(&self) -> u64 {
+        self.state.read().expect("query lock").generation
+    }
+
+    /// How many scans the service currently sees.
+    pub async fn scans_visible(&self) -> usize {
+        self.state.read().expect("query lock").snapshots.len()
+    }
+
+    /// Cache counters since creation.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    async fn lookup(&self, key: &QueryKey) -> Option<Answer> {
+        let state = self.state.read().expect("query lock");
+        match state.cache.get(key) {
+            // The freshness rule: a memoised answer is valid iff its
+            // stamp equals the current generation.
+            Some(cached) if cached.generation == state.generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cached.answer.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    async fn compute_and_insert(&self, key: QueryKey) -> Answer {
+        let mut state = self.state.write().expect("query lock");
+        let snapshots = state.snapshots.clone();
+        let answer = match &key {
+            QueryKey::Domain(domain) => {
+                Answer::Domain(Arc::new(domain_history(domain, &snapshots)))
+            }
+            QueryKey::Country(country) => {
+                Answer::Country(Arc::new(country_dashboard(*country, &snapshots)))
+            }
+            QueryKey::Changes(since) => Answer::Changes(Arc::new(change_feed(*since, &snapshots))),
+        };
+        let generation = state.generation;
+        state.cache.insert(
+            key,
+            Cached {
+                generation,
+                answer: answer.clone(),
+            },
+        );
+        answer
+    }
+
+    /// Per-scan blocking history for `domain`.
+    pub async fn domain_history(&self, domain: &str) -> Arc<DomainHistory> {
+        let key = QueryKey::Domain(domain.to_string());
+        let answer = match self.lookup(&key).await {
+            Some(answer) => answer,
+            None => self.compute_and_insert(key).await,
+        };
+        match answer {
+            Answer::Domain(history) => history,
+            _ => unreachable!("domain key memoises a domain answer"),
+        }
+    }
+
+    /// Blocked-domain counts over time plus the current block list for
+    /// `country`.
+    pub async fn country_dashboard(&self, country: CountryCode) -> Arc<CountryDashboard> {
+        let key = QueryKey::Country(country);
+        let answer = match self.lookup(&key).await {
+            Some(answer) => answer,
+            None => self.compute_and_insert(key).await,
+        };
+        match answer {
+            Answer::Country(dashboard) => dashboard,
+            _ => unreachable!("country key memoises a country answer"),
+        }
+    }
+
+    /// Every policy change observed from scan `since` onward (scan 0's
+    /// "changes" are its initial blockings, diffed against nothing).
+    pub async fn changes_since(&self, since: u32) -> Arc<ChangeFeed> {
+        let key = QueryKey::Changes(since);
+        let answer = match self.lookup(&key).await {
+            Some(answer) => answer,
+            None => self.compute_and_insert(key).await,
+        };
+        match answer {
+            Answer::Changes(feed) => feed,
+            _ => unreachable!("changes key memoises a changes answer"),
+        }
+    }
+
+    /// Answer one wire-framed HTTP request with a wire-framed plain-text
+    /// response. See the module docs for the routes.
+    pub async fn serve_text(&self, raw: &str) -> String {
+        let request = match wire::parse_request(raw, "http") {
+            Ok(request) => request,
+            Err(e) => {
+                let url = geoblock_http::Url::http("monitor.local");
+                let response = Response::builder(StatusCode::BAD_REQUEST)
+                    .header("Content-Type", "text/plain")
+                    .body(format!("bad request: {e}\n"))
+                    .finish(url);
+                return wire::write_response(&response);
+            }
+        };
+        let url = request.url.clone();
+        let (status, body) = self.route(&url.path).await;
+        let response = Response::builder(status)
+            .header("Content-Type", "text/plain")
+            .body(body)
+            .finish(url);
+        wire::write_response(&response)
+    }
+
+    async fn route(&self, path: &str) -> (StatusCode, String) {
+        if let Some(domain) = path.strip_prefix("/domains/") {
+            if domain.is_empty() {
+                return (StatusCode::NOT_FOUND, "missing domain\n".to_string());
+            }
+            let history = self.domain_history(domain).await;
+            return (StatusCode::OK, render_domain(&history));
+        }
+        if let Some(code) = path.strip_prefix("/countries/") {
+            if code.len() != 2 || !code.bytes().all(|b| b.is_ascii_alphabetic()) {
+                return (
+                    StatusCode::NOT_FOUND,
+                    format!("not a country code: {code}\n"),
+                );
+            }
+            let dashboard = self.country_dashboard(CountryCode::new(code)).await;
+            return (StatusCode::OK, render_country(&dashboard));
+        }
+        if let Some(n) = path.strip_prefix("/changes/") {
+            match n.parse::<u32>() {
+                Ok(since) => {
+                    let feed = self.changes_since(since).await;
+                    return (StatusCode::OK, render_changes(&feed));
+                }
+                Err(_) => {
+                    return (StatusCode::NOT_FOUND, format!("not a scan index: {n}\n"));
+                }
+            }
+        }
+        (
+            StatusCode::NOT_FOUND,
+            "routes: /domains/{name}, /countries/{cc}, /changes/{n}\n".to_string(),
+        )
+    }
+}
+
+fn domain_history(domain: &str, snapshots: &[ScanSnapshot]) -> DomainHistory {
+    let scans = snapshots
+        .iter()
+        .map(|snapshot| {
+            let mut blocked_in = Vec::new();
+            let mut kind = None;
+            for v in &snapshot.verdicts {
+                if v.domain == domain {
+                    blocked_in.push(v.country);
+                    kind.get_or_insert(v.kind);
+                }
+            }
+            blocked_in.sort();
+            DomainScanEntry {
+                scan_index: snapshot.scan_index,
+                day: snapshot.day,
+                blocked_in,
+                kind,
+            }
+        })
+        .collect();
+    DomainHistory {
+        domain: domain.to_string(),
+        scans,
+    }
+}
+
+fn country_dashboard(country: CountryCode, snapshots: &[ScanSnapshot]) -> CountryDashboard {
+    let scans: Vec<CountryScanEntry> = snapshots
+        .iter()
+        .map(|snapshot| CountryScanEntry {
+            scan_index: snapshot.scan_index,
+            day: snapshot.day,
+            blocked_domains: snapshot
+                .verdicts
+                .iter()
+                .filter(|v| v.country == country)
+                .count(),
+        })
+        .collect();
+    let mut currently_blocked: Vec<String> = snapshots
+        .last()
+        .map(|snapshot| {
+            snapshot
+                .verdicts
+                .iter()
+                .filter(|v| v.country == country)
+                .map(|v| v.domain.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    currently_blocked.sort();
+    currently_blocked.dedup();
+    CountryDashboard {
+        country,
+        scans,
+        currently_blocked,
+    }
+}
+
+fn change_feed(since: u32, snapshots: &[ScanSnapshot]) -> ChangeFeed {
+    let mut events = Vec::new();
+    for snapshot in snapshots.iter().filter(|s| s.scan_index >= since) {
+        for delta in &snapshot.diff.deltas {
+            events.push(ChangeEvent {
+                scan_index: snapshot.scan_index,
+                day: snapshot.day,
+                domain: delta.domain.clone(),
+                newly_blocked: delta.newly_blocked.clone(),
+                unblocked: delta.unblocked.clone(),
+                provider_changed: delta.provider_changed(),
+                full_retreat: delta.is_full_retreat(),
+            });
+        }
+    }
+    ChangeFeed { since, events }
+}
+
+fn render_countries(codes: &[CountryCode]) -> String {
+    codes
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_domain(history: &DomainHistory) -> String {
+    let mut out = format!("domain: {}\n", history.domain);
+    for entry in &history.scans {
+        let kind = entry
+            .kind
+            .map(|k| format!("{k:?}"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "scan {} day {}: blocked_in=[{}] kind={}\n",
+            entry.scan_index,
+            entry.day,
+            render_countries(&entry.blocked_in),
+            kind
+        ));
+    }
+    out
+}
+
+fn render_country(dashboard: &CountryDashboard) -> String {
+    let mut out = format!("country: {}\n", dashboard.country);
+    for entry in &dashboard.scans {
+        out.push_str(&format!(
+            "scan {} day {}: blocked_domains={}\n",
+            entry.scan_index, entry.day, entry.blocked_domains
+        ));
+    }
+    out.push_str(&format!(
+        "currently_blocked: [{}]\n",
+        dashboard.currently_blocked.join(",")
+    ));
+    out
+}
+
+fn render_changes(feed: &ChangeFeed) -> String {
+    let mut out = format!("changes since scan {}\n", feed.since);
+    for event in &feed.events {
+        out.push_str(&format!(
+            "scan {} day {} {}: +[{}] -[{}]{}{}\n",
+            event.scan_index,
+            event.day,
+            event.domain,
+            render_countries(&event.newly_blocked),
+            render_countries(&event.unblocked),
+            if event.provider_changed {
+                " provider-changed"
+            } else {
+                ""
+            },
+            if event.full_retreat {
+                " full-retreat"
+            } else {
+                ""
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{ScanMode, ScanSnapshot};
+    use geoblock_core::{diff_studies, GeoblockVerdict};
+    use geoblock_worldgen::CountryCode;
+
+    fn cc(code: &str) -> CountryCode {
+        CountryCode::new(code)
+    }
+
+    fn verdict(domain: &str, country: &str, kind: PageKind) -> GeoblockVerdict {
+        GeoblockVerdict {
+            domain: domain.to_string(),
+            country: cc(country),
+            kind,
+            block_count: 20,
+            total: 23,
+        }
+    }
+
+    fn snapshot(
+        scan_index: u32,
+        before: &[GeoblockVerdict],
+        after: Vec<GeoblockVerdict>,
+    ) -> ScanSnapshot {
+        let diff = diff_studies(before, &after);
+        ScanSnapshot::new(scan_index, scan_index, ScanMode::Full, after, diff)
+    }
+
+    fn history_fixture() -> Vec<ScanSnapshot> {
+        // Scan 0: drifter blocked in IR+SY, stable blocked in IR.
+        // Scan 1: drifter retreats fully; stable gains SY.
+        let s0 = vec![
+            verdict("drifter.example", "IR", PageKind::Cloudflare),
+            verdict("drifter.example", "SY", PageKind::Cloudflare),
+            verdict("stable.example", "IR", PageKind::Cloudflare),
+        ];
+        let s1 = vec![
+            verdict("stable.example", "IR", PageKind::Cloudflare),
+            verdict("stable.example", "SY", PageKind::Cloudflare),
+        ];
+        vec![snapshot(0, &[], s0.clone()), snapshot(1, &s0, s1)]
+    }
+
+    #[tokio::test]
+    async fn domain_history_tracks_the_retreat() {
+        let service = QueryService::new();
+        service.publish(&history_fixture()).await;
+        let history = service.domain_history("drifter.example").await;
+        assert_eq!(history.scans.len(), 2);
+        assert_eq!(history.scans[0].blocked_in, vec![cc("IR"), cc("SY")]);
+        assert!(history.scans[1].blocked_in.is_empty());
+        assert!(!history.currently_blocking());
+        let stable = service.domain_history("stable.example").await;
+        assert!(stable.currently_blocking());
+    }
+
+    #[tokio::test]
+    async fn country_dashboard_counts_and_lists() {
+        let service = QueryService::new();
+        service.publish(&history_fixture()).await;
+        let ir = service.country_dashboard(cc("IR")).await;
+        assert_eq!(ir.scans[0].blocked_domains, 2);
+        assert_eq!(ir.scans[1].blocked_domains, 1);
+        assert_eq!(ir.currently_blocked, vec!["stable.example".to_string()]);
+        let sy = service.country_dashboard(cc("SY")).await;
+        assert_eq!(sy.currently_blocked, vec!["stable.example".to_string()]);
+    }
+
+    #[tokio::test]
+    async fn change_feed_reports_retreats_and_new_blocks() {
+        let service = QueryService::new();
+        service.publish(&history_fixture()).await;
+        let feed = service.changes_since(1).await;
+        let drifter = feed
+            .events
+            .iter()
+            .find(|e| e.domain == "drifter.example")
+            .expect("drifter's retreat is an event");
+        assert!(drifter.full_retreat);
+        assert_eq!(drifter.unblocked, vec![cc("IR"), cc("SY")]);
+        let stable = feed
+            .events
+            .iter()
+            .find(|e| e.domain == "stable.example")
+            .expect("stable's new country is an event");
+        assert_eq!(stable.newly_blocked, vec![cc("SY")]);
+        // From scan 0 the initial blockings appear too.
+        let all = service.changes_since(0).await;
+        assert!(all.events.len() > feed.events.len());
+    }
+
+    #[tokio::test]
+    async fn cached_answers_are_generation_fresh() {
+        let service = QueryService::new();
+        let snaps = history_fixture();
+        service.publish(&snaps[..1]).await;
+        let g1 = service.generation().await;
+
+        let first = service.domain_history("drifter.example").await;
+        let second = service.domain_history("drifter.example").await;
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "a repeated query within one generation is served from cache"
+        );
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // A commit invalidates: same query now recomputes and sees the
+        // new scan.
+        service.publish(&snaps).await;
+        assert_eq!(service.generation().await, g1 + 1);
+        let third = service.domain_history("drifter.example").await;
+        assert!(!Arc::ptr_eq(&second, &third), "publish dropped the memo");
+        assert_eq!(third.scans.len(), 2);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(stats.hit_rate() < 0.5);
+    }
+
+    #[tokio::test]
+    async fn wire_requests_route_to_the_right_answers() {
+        let service = QueryService::new();
+        service.publish(&history_fixture()).await;
+
+        let raw = "GET /countries/IR HTTP/1.1\r\nHost: monitor.local\r\n\r\n";
+        let response = service.serve_text(raw).await;
+        assert!(response.starts_with("HTTP/1.1 200"));
+        assert!(response.contains("currently_blocked: [stable.example]"));
+
+        let raw = "GET /domains/drifter.example HTTP/1.1\r\nHost: monitor.local\r\n\r\n";
+        let response = service.serve_text(raw).await;
+        assert!(response.contains("scan 0 day 0: blocked_in=[IR,SY] kind=Cloudflare"));
+
+        let raw = "GET /changes/1 HTTP/1.1\r\nHost: monitor.local\r\n\r\n";
+        let response = service.serve_text(raw).await;
+        assert!(response.contains("full-retreat"));
+
+        let raw = "GET /nope HTTP/1.1\r\nHost: monitor.local\r\n\r\n";
+        let response = service.serve_text(raw).await;
+        assert!(response.starts_with("HTTP/1.1 404"));
+    }
+}

@@ -1,0 +1,462 @@
+//! The observation store: an append-only timeline of scan snapshots.
+//!
+//! Each completed scan commits one [`ScanSnapshot`]: the confirmed verdict
+//! set, the [`StudyDiff`] against the previous snapshot, and a content
+//! hash over a canonical text rendering of the verdicts. The store is the
+//! monitor's durable state — the daemon resumes a monitoring run purely
+//! from `snapshots.len()`, and simtest pins golden timelines by
+//! [`timeline_hash`](SnapshotStore::timeline_hash), the fold of every
+//! snapshot's content hash.
+//!
+//! Persistence follows the checkpoint idiom
+//! ([`Checkpoint`](geoblock_orchestrator::Checkpoint)): one versioned
+//! serde-JSON document, written atomically (temp file + rename), with
+//! every content hash recomputed on load so corruption surfaces as a
+//! typed [`StoreError::Integrity`] instead of a silently wrong history.
+//! The hash itself is computed over canonical *text*, never over the JSON
+//! encoding, so two stores agree on hashes regardless of how (or whether)
+//! they were serialized.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use geoblock_core::{GeoblockVerdict, StudyDiff};
+use geoblock_orchestrator::fnv1a;
+use serde::{Deserialize, Serialize};
+
+/// The store format version this build reads and writes.
+pub const STORE_VERSION: u32 = 1;
+
+/// How a scan covered the domain grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanMode {
+    /// The full baseline + confirmation protocol over every
+    /// (domain, country) pair — observes new blockers and retreats alike.
+    Full,
+    /// A cheap re-probe of only the pairs the previous snapshot confirmed
+    /// as blocked — observes retreats (and kind changes) quickly, but is
+    /// blind to new blockers until the next full scan.
+    Delta,
+}
+
+impl fmt::Display for ScanMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanMode::Full => write!(f, "full"),
+            ScanMode::Delta => write!(f, "delta"),
+        }
+    }
+}
+
+/// One committed scan: what was confirmed blocked, and what changed since
+/// the previous scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanSnapshot {
+    /// Position in the timeline (0-based; equals the store index).
+    pub scan_index: u32,
+    /// Virtual day the scan ran on.
+    pub day: u32,
+    /// Full grid or delta re-probe.
+    pub mode: ScanMode,
+    /// The scan's confirmed verdicts, in study order.
+    pub verdicts: Vec<GeoblockVerdict>,
+    /// Changes against the previous snapshot (empty for the first).
+    pub diff: StudyDiff,
+    /// FNV-1a over [`canonical_text`](ScanSnapshot::canonical_text) —
+    /// recomputed on load, pinned by golden timelines.
+    pub content_hash: u64,
+}
+
+impl ScanSnapshot {
+    /// Build a snapshot, computing its content hash.
+    pub fn new(
+        scan_index: u32,
+        day: u32,
+        mode: ScanMode,
+        verdicts: Vec<GeoblockVerdict>,
+        diff: StudyDiff,
+    ) -> ScanSnapshot {
+        let mut snapshot = ScanSnapshot {
+            scan_index,
+            day,
+            mode,
+            verdicts,
+            diff,
+            content_hash: 0,
+        };
+        snapshot.content_hash = fnv1a(snapshot.canonical_text().as_bytes());
+        snapshot
+    }
+
+    /// The canonical text the content hash covers: scan header plus one
+    /// line per verdict. The diff is derived data (reconstructible from
+    /// consecutive verdict sets), so it stays outside the hash.
+    pub fn canonical_text(&self) -> String {
+        let mut text = format!(
+            "geoblock-scan-v1\nscan: {}\nday: {}\nmode: {}\n",
+            self.scan_index, self.day, self.mode
+        );
+        for v in &self.verdicts {
+            text.push_str(&format!(
+                "verdict: {} {} {:?} {}/{}\n",
+                v.domain, v.country, v.kind, v.block_count, v.total
+            ));
+        }
+        text
+    }
+
+    /// (domain, country) pairs this snapshot confirms blocked.
+    pub fn blocked_pairs(&self) -> impl Iterator<Item = (&str, geoblock_worldgen::CountryCode)> {
+        self.verdicts.iter().map(|v| (v.domain.as_str(), v.country))
+    }
+}
+
+/// The persisted document shape.
+#[derive(Serialize, Deserialize)]
+struct StoreFile {
+    version: u32,
+    snapshots: Vec<ScanSnapshot>,
+}
+
+/// Append-only snapshot store, optionally persisted.
+///
+/// With a path, every append rewrites the document atomically — the store
+/// is small (verdicts, not probes; a monitoring run's history is a few
+/// hundred snapshots of tens of verdicts), so the rewrite is cheap and
+/// buys crash safety: a kill mid-append leaves the previous timeline
+/// intact. Without a path ([`in_memory`](SnapshotStore::in_memory)) the
+/// store is a plain vector — benches and simulation tests run without
+/// touching a filesystem.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    path: Option<PathBuf>,
+    snapshots: Vec<ScanSnapshot>,
+}
+
+impl SnapshotStore {
+    /// A store that never touches disk.
+    pub fn in_memory() -> SnapshotStore {
+        SnapshotStore {
+            path: None,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Open (or create) a persisted store at `path`. An existing file is
+    /// loaded and validated: version gate, then every snapshot's content
+    /// hash recomputed from its canonical text.
+    pub fn open(path: impl Into<PathBuf>) -> Result<SnapshotStore, StoreError> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok(SnapshotStore {
+                path: Some(path),
+                snapshots: Vec::new(),
+            });
+        }
+        let bytes = fs::read(&path)?;
+        let file: StoreFile =
+            serde_json::from_slice(&bytes).map_err(|e| StoreError::Malformed(e.to_string()))?;
+        if file.version != STORE_VERSION {
+            return Err(StoreError::Version {
+                found: file.version,
+                supported: STORE_VERSION,
+            });
+        }
+        for (i, snapshot) in file.snapshots.iter().enumerate() {
+            if snapshot.scan_index as usize != i {
+                return Err(StoreError::Malformed(format!(
+                    "snapshot at position {i} claims scan_index {}",
+                    snapshot.scan_index
+                )));
+            }
+            let recomputed = fnv1a(snapshot.canonical_text().as_bytes());
+            if recomputed != snapshot.content_hash {
+                return Err(StoreError::Integrity {
+                    scan_index: snapshot.scan_index,
+                    expected: snapshot.content_hash,
+                    found: recomputed,
+                });
+            }
+        }
+        Ok(SnapshotStore {
+            path: Some(path),
+            snapshots: file.snapshots,
+        })
+    }
+
+    /// Append one committed scan; with a path, the document is rewritten
+    /// atomically before the call returns.
+    pub fn append(&mut self, snapshot: ScanSnapshot) -> Result<(), StoreError> {
+        if snapshot.scan_index as usize != self.snapshots.len() {
+            return Err(StoreError::OutOfOrder {
+                expected: self.snapshots.len() as u32,
+                found: snapshot.scan_index,
+            });
+        }
+        self.snapshots.push(snapshot);
+        if let Some(path) = &self.path {
+            save_atomically(path, &self.snapshots)?;
+        }
+        Ok(())
+    }
+
+    /// All snapshots, oldest first.
+    pub fn snapshots(&self) -> &[ScanSnapshot] {
+        &self.snapshots
+    }
+
+    /// Committed scans.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether no scan has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<&ScanSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// The timeline's identity: FNV-1a over one line per snapshot's
+    /// content hash. Two monitoring runs agree here iff they committed the
+    /// same verdict history — the value golden tests pin across shard
+    /// counts and kill/resume splits.
+    pub fn timeline_hash(&self) -> u64 {
+        let mut text = String::new();
+        for s in &self.snapshots {
+            text.push_str(&format!("snap {}: {:016x}\n", s.scan_index, s.content_hash));
+        }
+        fnv1a(text.as_bytes())
+    }
+}
+
+fn save_atomically(path: &Path, snapshots: &[ScanSnapshot]) -> Result<(), StoreError> {
+    let file = StoreFile {
+        version: STORE_VERSION,
+        snapshots: snapshots.to_vec(),
+    };
+    let json = serde_json::to_string(&file)
+        .map_err(|e| StoreError::Malformed(format!("serialize: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.flush()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Why the store could not be read, written, or appended to.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not a snapshot store: truncated, not JSON, or the
+    /// wrong shape (including misnumbered snapshots).
+    Malformed(String),
+    /// The file is a store from an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A stored content hash does not match the stored verdicts: the file
+    /// was modified (or corrupted) after it was written.
+    Integrity {
+        /// The snapshot that failed validation.
+        scan_index: u32,
+        /// Hash recorded in the file.
+        expected: u64,
+        /// Hash recomputed from the stored verdicts.
+        found: u64,
+    },
+    /// An append skipped or repeated a scan index.
+    OutOfOrder {
+        /// The index the store expected next.
+        expected: u32,
+        /// The index the snapshot carried.
+        found: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot store: {msg}"),
+            StoreError::Version { found, supported } => write!(
+                f,
+                "snapshot store version {found} is not supported (this build reads {supported})"
+            ),
+            StoreError::Integrity {
+                scan_index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot {scan_index} failed integrity validation \
+                 (stored hash {expected:#018x}, recomputed {found:#018x})"
+            ),
+            StoreError::OutOfOrder { expected, found } => write!(
+                f,
+                "snapshot appended out of order (expected scan {expected}, got {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_blockpages::PageKind;
+    use geoblock_core::diff_studies;
+    use geoblock_worldgen::cc;
+
+    fn verdict(domain: &str, country: &str) -> GeoblockVerdict {
+        GeoblockVerdict {
+            domain: domain.into(),
+            country: cc(country),
+            kind: PageKind::Cloudflare,
+            block_count: 23,
+            total: 23,
+        }
+    }
+
+    fn snap(index: u32, verdicts: Vec<GeoblockVerdict>) -> ScanSnapshot {
+        ScanSnapshot::new(index, index, ScanMode::Full, verdicts, StudyDiff::default())
+    }
+
+    #[test]
+    fn content_hash_is_text_stable_and_content_sensitive() {
+        let a = snap(0, vec![verdict("x.com", "IR")]);
+        let b = snap(0, vec![verdict("x.com", "IR")]);
+        assert_eq!(a.content_hash, b.content_hash);
+        let c = snap(0, vec![verdict("x.com", "SY")]);
+        assert_ne!(a.content_hash, c.content_hash, "country must move the hash");
+        let d = snap(1, vec![verdict("x.com", "IR")]);
+        assert_ne!(a.content_hash, d.content_hash, "scan index must move it");
+    }
+
+    #[test]
+    fn hash_ignores_the_derived_diff() {
+        let verdicts = vec![verdict("x.com", "IR")];
+        let plain = snap(0, verdicts.clone());
+        let with_diff = ScanSnapshot::new(
+            0,
+            0,
+            ScanMode::Full,
+            verdicts.clone(),
+            diff_studies(&[], &verdicts),
+        );
+        assert_eq!(plain.content_hash, with_diff.content_hash);
+    }
+
+    #[test]
+    fn appends_enforce_timeline_order() {
+        let mut store = SnapshotStore::in_memory();
+        store.append(snap(0, vec![])).unwrap();
+        let err = store.append(snap(2, vec![])).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::OutOfOrder {
+                expected: 1,
+                found: 2
+            }
+        ));
+        store.append(snap(1, vec![verdict("x.com", "IR")])).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.last().unwrap().scan_index, 1);
+    }
+
+    #[test]
+    fn timeline_hash_folds_every_snapshot() {
+        let mut a = SnapshotStore::in_memory();
+        let mut b = SnapshotStore::in_memory();
+        for store in [&mut a, &mut b] {
+            store.append(snap(0, vec![verdict("x.com", "IR")])).unwrap();
+            store.append(snap(1, vec![])).unwrap();
+        }
+        assert_eq!(a.timeline_hash(), b.timeline_hash());
+        let mut c = SnapshotStore::in_memory();
+        c.append(snap(0, vec![verdict("x.com", "IR")])).unwrap();
+        c.append(snap(1, vec![verdict("x.com", "IR")])).unwrap();
+        assert_ne!(a.timeline_hash(), c.timeline_hash());
+    }
+
+    #[test]
+    fn persisted_store_roundtrips_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("geoblock-store-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeline.json");
+
+        let mut store = SnapshotStore::open(&path).unwrap();
+        store.append(snap(0, vec![verdict("x.com", "IR")])).unwrap();
+        store.append(snap(1, vec![])).unwrap();
+        let hash = store.timeline_hash();
+        drop(store);
+
+        let reopened = SnapshotStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.timeline_hash(), hash);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_panic() {
+        let dir =
+            std::env::temp_dir().join(format!("geoblock-store-corrupt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+
+        let garbage = dir.join("garbage.json");
+        fs::write(&garbage, b"\x00not json").unwrap();
+        assert!(matches!(
+            SnapshotStore::open(&garbage),
+            Err(StoreError::Malformed(_))
+        ));
+
+        // A tampered verdict parses fine but fails the content hash.
+        let path = dir.join("timeline.json");
+        let mut store = SnapshotStore::open(&path).unwrap();
+        store.append(snap(0, vec![verdict("x.com", "IR")])).unwrap();
+        drop(store);
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"block_count\":23", "\"block_count\":22");
+        assert_ne!(tampered, text, "tamper target must exist");
+        fs::write(&path, tampered).unwrap();
+        assert!(matches!(
+            SnapshotStore::open(&path),
+            Err(StoreError::Integrity { scan_index: 0, .. })
+        ));
+
+        // Future version.
+        fs::write(&path, "{\"version\":99,\"snapshots\":[]}").unwrap();
+        assert!(matches!(
+            SnapshotStore::open(&path),
+            Err(StoreError::Version { found: 99, .. })
+        ));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,6 +24,9 @@
 //!   debug headers;
 //! * [`dns`] — NS/A/TXT resolution, including the recursive
 //!   `_cloud-netblocks` discovery used to find AppEngine customers;
+//! * [`timeline`] — scripted, seed-deterministic policy evolution over
+//!   virtual days (rules added/removed, provider migrations, `makro`-style
+//!   full retreats), so longitudinal scans observe a moving world;
 //! * [`net`] — [`SimInternet`], the request entry point;
 //! * [`vps`] — datacenter vantage points implementing
 //!   [`geoblock_lumscan::Transport`] for the §3 exploration.
@@ -35,6 +38,7 @@ pub mod edge;
 pub mod geoip;
 pub mod net;
 pub mod origin;
+pub mod timeline;
 pub mod vps;
 
 pub use censor::{CensorAction, Censorship};
@@ -42,4 +46,5 @@ pub use clock::SimClock;
 pub use dns::{DnsDb, DnsRecord, RrType};
 pub use geoip::{ClientAddr, Region};
 pub use net::{ClientContext, SimInternet};
+pub use timeline::{PolicyChange, PolicyTimeline, TimelineEvent};
 pub use vps::VpsTransport;

@@ -12,6 +12,7 @@ use crate::clock::SimClock;
 use crate::edge;
 use crate::geoip::Region;
 use crate::origin::OriginCache;
+use crate::timeline::PolicyTimeline;
 
 /// Who is asking: the edge-visible client identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +52,9 @@ pub struct SimInternet {
     /// hot path uncontended. These make per-request randomness replayable
     /// regardless of async interleaving.
     seq: Vec<Mutex<HashMap<(u32, u16), u32>>>,
+    /// Scheduled policy evolution, applied to each request's spec copy by
+    /// virtual day. `None` (the default) freezes the world.
+    timeline: Option<Arc<PolicyTimeline>>,
 }
 
 impl SimInternet {
@@ -64,7 +68,21 @@ impl SimInternet {
             seq: (0..SEQ_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            timeline: None,
         }
+    }
+
+    /// Attach a [`PolicyTimeline`]: from now on, every request's spec has
+    /// all events up to the clock's current day applied before the edge
+    /// serves, so repeated scans observe an evolving world.
+    pub fn with_timeline(mut self, timeline: PolicyTimeline) -> SimInternet {
+        self.timeline = Some(Arc::new(timeline));
+        self
+    }
+
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&Arc<PolicyTimeline>> {
+        self.timeline.as_ref()
     }
 
     /// The world this Internet serves.
@@ -104,9 +122,14 @@ impl SimInternet {
                 .finish(request.url.clone()));
         }
 
-        let Some(spec) = self.world.population.spec_of(&host) else {
+        let Some(mut spec) = self.world.population.spec_of(&host) else {
             return Err(FetchError::DnsFailure { host });
         };
+        // Policy evolution: the spec is a per-request copy, so applying
+        // the timeline here leaves worldgen's ground truth untouched.
+        if let Some(timeline) = &self.timeline {
+            timeline.apply(&mut spec, self.clock.day());
+        }
 
         // Network-side censorship happens before any CDN edge is reached.
         // Over HTTPS the censor sees only the SNI: it can reset or drop the
@@ -252,6 +275,62 @@ mod tests {
             }
         }
         panic!("no block-page-censored domain in the tiny world");
+    }
+
+    #[test]
+    fn timeline_rules_activate_and_retreat_with_the_clock() {
+        use crate::timeline::{PolicyChange, PolicyTimeline, TimelineEvent};
+        use geoblock_blockpages::Provider;
+
+        let world = Arc::new(World::build(WorldConfig::tiny(42)));
+        // A Cloudflare-fronted domain with no blocking of its own that
+        // serves Botswana normally.
+        let probe_net = SimInternet::new(world.clone());
+        let mut target = None;
+        for rank in 1..=world.config.population_size {
+            let spec = world.population.spec(rank);
+            if !spec.uses(Provider::Cloudflare)
+                || spec.policy.geoblocks()
+                || spec.policy.challenged.contains(cc("BW"))
+                || probe_net.censor().action(cc("BW"), &spec).is_some()
+            {
+                continue;
+            }
+            if probe_net
+                .request(&get(&spec.name), &client("BW"))
+                .is_ok_and(|r| r.status.is_success() || r.status.is_redirect())
+            {
+                target = Some(spec.name.clone());
+                break;
+            }
+        }
+        let name = target.expect("tiny world has a clean Cloudflare domain");
+
+        let net = SimInternet::new(world).with_timeline(PolicyTimeline::scripted([
+            TimelineEvent {
+                day: 1,
+                host: name.clone(),
+                change: PolicyChange::BlockCountry(cc("BW")),
+            },
+            TimelineEvent {
+                day: 3,
+                host: name.clone(),
+                change: PolicyChange::FullRetreat,
+            },
+        ]));
+        let blocked_count = |net: &SimInternet| {
+            (0..10)
+                .filter(|_| {
+                    net.request(&get(&name), &client("BW"))
+                        .is_ok_and(|r| r.status == StatusCode::FORBIDDEN)
+                })
+                .count()
+        };
+        assert_eq!(blocked_count(&net), 0, "day 0: rule not yet active");
+        net.clock().advance_days(1);
+        assert!(blocked_count(&net) > 0, "day 1: the rule is live");
+        net.clock().advance_days(2);
+        assert_eq!(blocked_count(&net), 0, "day 3: full retreat");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! [`PolicyTimeline`]: scripted, seed-deterministic policy evolution.
+//!
+//! The paper's `makro.co.za` anecdote (§4.2) — 33 countries geoblocked
+//! during the baseline, none days later — is a single hard-coded flip in
+//! [`edge`](crate::edge) ([`POLICY_FLIP_DAY`]). A longitudinal monitor
+//! needs a whole *world* that moves: rules added and removed, domains
+//! migrating provider, full retreats — all deterministic in the seed so
+//! repeated scans observe genuinely different (but replayable) policies.
+//!
+//! A timeline is a set of [`TimelineEvent`]s, each naming a host, a virtual
+//! day, and a [`PolicyChange`]. [`SimInternet`](crate::SimInternet) applies
+//! every event with `day <= clock.day()` to the freshly computed
+//! [`DomainSpec`] before the edge serves — ground truth in `worldgen` is
+//! never mutated, so two Internets over the same world but different
+//! timelines disagree only where the timelines do.
+//!
+//! [`POLICY_FLIP_DAY`]: crate::edge::POLICY_FLIP_DAY
+
+use std::collections::HashMap;
+
+use geoblock_blockpages::Provider;
+use geoblock_worldgen::{CountryCode, CountrySet, DomainSpec};
+
+/// One mutation of a domain's ground-truth blocking policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyChange {
+    /// Add `country` to the domain's explicitly geoblocked set.
+    BlockCountry(CountryCode),
+    /// Remove `country` from the geoblocked set.
+    UnblockCountry(CountryCode),
+    /// Drop every geoblocking rule — the `makro.co.za` shape: blocked
+    /// somewhere before the event's day, nowhere after.
+    FullRetreat,
+    /// Re-front the domain on a different provider (the block page — and
+    /// the passive headers — change with it).
+    MigrateProvider(Provider),
+}
+
+/// A [`PolicyChange`] scheduled for one host on one virtual day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// First virtual day (inclusive) on which the change is in effect.
+    pub day: u32,
+    /// The affected host.
+    pub host: String,
+    /// What changes.
+    pub change: PolicyChange,
+}
+
+/// A deterministic script of policy mutations over virtual time.
+///
+/// Events for one host apply in `day` order (ties keep script order), so a
+/// `BlockCountry` at day 1 followed by a `FullRetreat` at day 4 yields a
+/// domain that blocks during early scans and retreats later.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyTimeline {
+    /// Per-host events, each list sorted by day (stable).
+    by_host: HashMap<String, Vec<TimelineEvent>>,
+    len: usize,
+}
+
+/// splitmix64-style avalanche, the same construction the edge uses for its
+/// per-request draws — timelines must not depend on `rand` so generation
+/// stays allocation-light and stub-safe.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PolicyTimeline {
+    /// A timeline with no events: the world stands still.
+    pub fn empty() -> PolicyTimeline {
+        PolicyTimeline::default()
+    }
+
+    /// Build from an explicit script. Events are grouped by host and
+    /// stably sorted by day, so same-day events keep script order.
+    pub fn scripted(events: impl IntoIterator<Item = TimelineEvent>) -> PolicyTimeline {
+        let mut by_host: HashMap<String, Vec<TimelineEvent>> = HashMap::new();
+        let mut len = 0;
+        for event in events {
+            by_host.entry(event.host.clone()).or_default().push(event);
+            len += 1;
+        }
+        for list in by_host.values_mut() {
+            list.sort_by_key(|e| e.day);
+        }
+        PolicyTimeline { by_host, len }
+    }
+
+    /// Generate a seed-deterministic timeline over `hosts`: roughly a
+    /// quarter of the hosts gain a blocking rule early in the horizon, a
+    /// slice of those retreat fully later, and a few migrate provider —
+    /// enough motion that every scan of a monitoring run observes a
+    /// different world. Countries are drawn from `countries` so the
+    /// changes land inside a study's vantage panel.
+    pub fn generate(
+        seed: u64,
+        hosts: &[String],
+        countries: &[CountryCode],
+        horizon_days: u32,
+    ) -> PolicyTimeline {
+        let mut events = Vec::new();
+        let horizon = horizon_days.max(2);
+        for (i, host) in hosts.iter().enumerate() {
+            let h = mix(seed ^ mix(i as u64 + 1));
+            if countries.is_empty() {
+                continue;
+            }
+            // ~25%: a new blocking rule lands in the first half of the
+            // horizon.
+            if h % 100 < 25 {
+                let country = countries[(mix(h ^ 0xb10c) % countries.len() as u64) as usize];
+                let day = 1 + (mix(h ^ 0xda7) % (horizon / 2).max(1) as u64) as u32;
+                events.push(TimelineEvent {
+                    day,
+                    host: host.clone(),
+                    change: PolicyChange::BlockCountry(country),
+                });
+                // ~40% of fresh blockers retreat fully in the second half.
+                if mix(h ^ 0x9e7) % 100 < 40 {
+                    let retreat = day + 1 + (mix(h ^ 0x4e7) % (horizon - day).max(1) as u64) as u32;
+                    events.push(TimelineEvent {
+                        day: retreat,
+                        host: host.clone(),
+                        change: PolicyChange::FullRetreat,
+                    });
+                }
+            }
+            // ~8%: the domain re-fronts on another big anycast CDN.
+            if mix(h ^ 0x31f) % 100 < 8 {
+                let to = if mix(h ^ 0x77).is_multiple_of(2) {
+                    Provider::CloudFront
+                } else {
+                    Provider::Cloudflare
+                };
+                let day = 1 + (mix(h ^ 0x1117) % horizon as u64) as u32;
+                events.push(TimelineEvent {
+                    day,
+                    host: host.clone(),
+                    change: PolicyChange::MigrateProvider(to),
+                });
+            }
+        }
+        PolicyTimeline::scripted(events)
+    }
+
+    /// Total scheduled events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the timeline schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The events scheduled for `host`, sorted by day.
+    pub fn events_for(&self, host: &str) -> &[TimelineEvent] {
+        self.by_host.get(host).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Apply every event with `event.day <= day` to `spec`, in day order.
+    /// The spec is a per-request copy, so ground truth never mutates.
+    pub fn apply(&self, spec: &mut DomainSpec, day: u32) {
+        let Some(events) = self.by_host.get(&spec.name) else {
+            return;
+        };
+        for event in events.iter().take_while(|e| e.day <= day) {
+            match &event.change {
+                PolicyChange::BlockCountry(c) => {
+                    spec.policy.geoblocked.insert(*c);
+                }
+                PolicyChange::UnblockCountry(c) => {
+                    spec.policy.geoblocked.remove(*c);
+                }
+                PolicyChange::FullRetreat => {
+                    spec.policy.geoblocked = CountrySet::new();
+                    spec.policy.appengine_sanctions = false;
+                    // The edge's built-in flip would re-activate rules
+                    // before POLICY_FLIP_DAY; a retreat overrides it.
+                    spec.policy.policy_flip = false;
+                }
+                PolicyChange::MigrateProvider(p) => {
+                    spec.providers = vec![*p];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoblock_worldgen::{cc, Category, CfTier};
+
+    fn spec_named(name: &str) -> DomainSpec {
+        DomainSpec {
+            name: name.to_string(),
+            rank: 10,
+            category: Category::Shopping,
+            providers: vec![Provider::Cloudflare],
+            cf_tier: Some(CfTier::Enterprise),
+            base_page_bytes: 40_000,
+            on_citizenlab: false,
+            policy: Default::default(),
+            policy_seed: 0x5eed,
+        }
+    }
+
+    #[test]
+    fn events_apply_in_day_order_up_to_the_clock() {
+        let tl = PolicyTimeline::scripted([
+            TimelineEvent {
+                day: 4,
+                host: "moving.example".into(),
+                change: PolicyChange::FullRetreat,
+            },
+            TimelineEvent {
+                day: 1,
+                host: "moving.example".into(),
+                change: PolicyChange::BlockCountry(cc("IR")),
+            },
+        ]);
+        let base = spec_named("moving.example");
+
+        let mut day0 = base.clone();
+        tl.apply(&mut day0, 0);
+        assert!(!day0.policy.geoblocked.contains(cc("IR")), "nothing yet");
+
+        let mut day2 = base.clone();
+        tl.apply(&mut day2, 2);
+        assert!(day2.policy.geoblocked.contains(cc("IR")), "rule landed");
+
+        let mut day4 = base.clone();
+        tl.apply(&mut day4, 4);
+        assert!(day4.policy.geoblocked.is_empty(), "retreat wins on its day");
+    }
+
+    #[test]
+    fn unrelated_hosts_are_untouched() {
+        let tl = PolicyTimeline::scripted([TimelineEvent {
+            day: 0,
+            host: "other.example".into(),
+            change: PolicyChange::BlockCountry(cc("SY")),
+        }]);
+        let mut spec = spec_named("bystander.example");
+        let before = spec.policy.geoblocked;
+        tl.apply(&mut spec, 10);
+        assert_eq!(spec.policy.geoblocked.len(), before.len());
+    }
+
+    #[test]
+    fn provider_migration_swaps_the_front() {
+        let tl = PolicyTimeline::scripted([TimelineEvent {
+            day: 3,
+            host: "mover.example".into(),
+            change: PolicyChange::MigrateProvider(Provider::CloudFront),
+        }]);
+        let mut spec = spec_named("mover.example");
+        tl.apply(&mut spec, 2);
+        assert_eq!(spec.providers, vec![Provider::Cloudflare]);
+        tl.apply(&mut spec, 3);
+        assert_eq!(spec.providers, vec![Provider::CloudFront]);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic_and_seed_sensitive() {
+        let hosts: Vec<String> = (0..200).map(|i| format!("d{i}.example")).collect();
+        let countries = [cc("IR"), cc("SY"), cc("US")];
+        let a = PolicyTimeline::generate(7, &hosts, &countries, 10);
+        let b = PolicyTimeline::generate(7, &hosts, &countries, 10);
+        let c = PolicyTimeline::generate(8, &hosts, &countries, 10);
+        assert!(!a.is_empty(), "200 hosts must schedule something");
+        assert_eq!(a.len(), b.len());
+        for host in &hosts {
+            assert_eq!(a.events_for(host), b.events_for(host));
+        }
+        let schedule = |tl: &PolicyTimeline| -> Vec<Vec<TimelineEvent>> {
+            hosts.iter().map(|h| tl.events_for(h).to_vec()).collect()
+        };
+        assert_ne!(
+            schedule(&a),
+            schedule(&c),
+            "different seeds should schedule different worlds"
+        );
+    }
+
+    #[test]
+    fn retreat_overrides_the_builtin_policy_flip() {
+        let tl = PolicyTimeline::scripted([TimelineEvent {
+            day: 1,
+            host: "flip.example".into(),
+            change: PolicyChange::FullRetreat,
+        }]);
+        let mut spec = spec_named("flip.example");
+        spec.policy.policy_flip = true;
+        spec.policy.geoblocked.insert(cc("BW"));
+        tl.apply(&mut spec, 1);
+        assert!(!spec.policy.policy_flip);
+        assert!(spec.policy.geoblocked.is_empty());
+    }
+}

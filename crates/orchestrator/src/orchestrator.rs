@@ -77,9 +77,9 @@ impl OrchestratorConfig {
 /// What a sharded (or resumed) pass produced.
 pub struct OrchestratorRun {
     /// The merged study data — for a complete run, bit-identical to a
-    /// single-stream [`Top10kStudy::baseline`] pass.
+    /// single-stream [`StudySession::baseline`] pass.
     ///
-    /// [`Top10kStudy::baseline`]: geoblock_core::Top10kStudy::baseline
+    /// [`StudySession::baseline`]: geoblock_core::StudySession::baseline
     pub result: StudyResult,
     /// Statistics over the probes *this process* ran. Restored units were
     /// counted by the interrupted run that probed them, so a resumed run's
@@ -134,10 +134,10 @@ impl From<CheckpointError> for OrchestratorError {
 
 /// Shards a study's baseline pass across in-process workers and makes it
 /// killable and resumable. Classification uses the same paper fingerprint
-/// set as [`Top10kStudy`], and unit sizing comes from the study's
+/// set as [`StudySession`], and unit sizing comes from the study's
 /// `work_unit_domains` knob.
 ///
-/// [`Top10kStudy`]: geoblock_core::Top10kStudy
+/// [`StudySession`]: geoblock_core::StudySession
 pub struct Orchestrator<T: Transport + 'static> {
     engine: Arc<Lumscan<T>>,
     study: StudyConfig,
@@ -505,7 +505,7 @@ fn merge_units(domains: &[String], study: &StudyConfig, units: &[UnitResult]) ->
 mod tests {
     use super::*;
     use geoblock_blockpages::{render, PageKind, PageParams};
-    use geoblock_core::Top10kStudy;
+    use geoblock_core::StudySession;
     use geoblock_http::{FetchError, Response, StatusCode};
     use geoblock_lumscan::{GaugeSink, LumscanConfig, TransportRequest};
     use geoblock_worldgen::cc;
@@ -559,8 +559,8 @@ mod tests {
     }
 
     async fn single_stream_result() -> StudyResult {
-        let study = Top10kStudy::new(toy_engine(), toy_study());
-        study.baseline(&toy_domains()).await
+        let mut session = StudySession::new(toy_engine(), toy_study());
+        session.baseline(&toy_domains()).await
     }
 
     fn assert_same_result(a: &StudyResult, b: &StudyResult) {

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use geoblock_blockpages::{render, CompiledFingerprintSet, PageKind, PageParams};
-use geoblock_core::{StudyConfig, StudyResult, Top10kStudy};
+use geoblock_core::{StudyConfig, StudyResult, StudySession};
 use geoblock_http::{FetchError, Response, StatusCode};
 use geoblock_lumscan::{Lumscan, LumscanConfig, RetryPolicy, Transport, TransportRequest};
 use geoblock_netsim::SimClock;
@@ -160,7 +160,6 @@ async fn run_with<T: Transport + 'static>(
     let config = scenario_config();
     let domains = scenario_domains();
     let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(concurrency)));
-    let study = Top10kStudy::new(engine, config.clone());
 
     let mut sink = TraceSink::grid(
         domains.clone(),
@@ -171,8 +170,16 @@ async fn run_with<T: Transport + 'static>(
     if let Some(clock) = clock {
         sink = sink.with_clock(clock);
     }
-    let mut result = study.baseline_with(&domains, &mut sink).await;
-    let flagged = study.confirm_explicit(&mut result).await;
+    // The trace grid is sized for the baseline pass, so only the baseline
+    // session carries the sink; confirmation runs sink-free on the same
+    // engine, exactly as the pre-session driver did.
+    let mut result = {
+        let mut session = StudySession::new(engine.clone(), config.clone()).trace(&mut sink);
+        session.baseline(&domains).await
+    };
+    let flagged = StudySession::new(engine, config.clone())
+        .confirm(&mut result)
+        .await;
     let trace = sink.into_trace();
     let fingerprint = StudyFingerprint::capture(&trace, &result, &config.confirm);
     TracedStudy {

@@ -24,7 +24,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use geoblock_core::Top10kStudy;
+use geoblock_core::StudySession;
 use geoblock_lumscan::{Lumscan, Transport};
 use geoblock_orchestrator::{
     Checkpoint, Orchestrator, OrchestratorConfig, OrchestratorRun, UnitResult,
@@ -84,8 +84,9 @@ pub async fn finish_sharded<T: Transport + 'static>(
     let config = scenario_config();
     let domains = scenario_domains();
     let mut result = run.result;
-    let study = Top10kStudy::new(engine, config.clone());
-    let flagged = study.confirm_explicit(&mut result).await;
+    let flagged = StudySession::new(engine, config.clone())
+        .confirm(&mut result)
+        .await;
     let trace = trace_from_units(
         &run.units,
         &domains,

@@ -48,21 +48,23 @@ async fn main() {
         .rep_countries(rep)
         .build()
         .expect("valid study config");
-    let study = Top10kStudy::new(engine, config);
     println!("baseline: 3 samples x {} pairs...", domains.len() * 14);
     // A GaugeSink watches the probe stream: the baseline classifies and
     // drops each completion as it lands, so in-flight work stays at the
-    // engine's concurrency no matter how large the study is.
+    // engine's concurrency no matter how large the study is. The session
+    // carries the observer through every pass.
     let mut gauge = GaugeSink::new();
-    let mut result = study.baseline_with(&domains, &mut gauge).await;
+    let mut session = StudySession::new(engine, config).sink(&mut gauge);
+    let mut result = session.baseline(&domains).await;
+
+    // Days pass; then the confirmation resample.
+    internet.clock().advance_days(3);
+    let flagged = session.confirm(&mut result).await;
+    drop(session);
     println!(
         "  streamed {} probes, peak {} in flight, {} recovered by retries",
         gauge.completed, gauge.peak_in_flight, gauge.recovered
     );
-
-    // Days pass; then the confirmation resample.
-    internet.clock().advance_days(3);
-    let flagged = study.confirm_explicit(&mut result).await;
     println!("flagged {} pairs for 20-sample confirmation", flagged);
 
     let verdicts = result.verdicts(&ConfirmConfig::default());

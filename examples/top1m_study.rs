@@ -147,11 +147,11 @@ async fn main() {
     );
     let mut result = run.result;
 
-    // Confirmation passes reuse the same engine via the plain study
-    // driver; they stream as before.
-    let study = Top1mStudy::new(engine, config);
-    study.confirm_explicit(&mut result).await;
-    study
+    // Confirmation passes reuse the same engine via a study session;
+    // they stream as before.
+    let mut session = StudySession::new(engine, config);
+    session.confirm(&mut result).await;
+    session
         .confirm_ambiguous(&mut result, &[PageKind::Akamai, PageKind::Incapsula])
         .await;
 

@@ -305,15 +305,15 @@ fn study(args: &Args) -> Result<(), String> {
         .build()
         .map_err(|e| e.to_string())?;
     let baseline_probes = domains.len() * config.countries.len() * config.baseline_samples as usize;
-    let study = Top10kStudy::new(engine, config);
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
         .build()
         .map_err(|e| e.to_string())?;
     let mut progress = ProgressSink::new(baseline_probes);
-    let mut result = runtime.block_on(study.baseline_with(&domains, &mut progress));
+    let mut session = StudySession::new(engine, config).sink(&mut progress);
+    let mut result = runtime.block_on(session.baseline(&domains));
     internet.clock().advance_days(3);
-    runtime.block_on(study.confirm_explicit(&mut result));
+    runtime.block_on(session.confirm(&mut result));
     let verdicts = result.verdicts(&ConfirmConfig::default());
 
     println!("{}", tables::table5(&verdicts).render());

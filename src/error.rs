@@ -1,0 +1,157 @@
+//! One error type over the whole workspace.
+//!
+//! Each crate keeps its own precise error enum — an engine
+//! misconfiguration ([`ConfigError`]), a failed fetch ([`FetchError`]), a
+//! rejected checkpoint ([`CheckpointError`]), an orchestration failure
+//! ([`OrchestratorError`]), a snapshot-store refusal ([`StoreError`]), or
+//! a monitoring-run failure ([`MonitorError`]). Application code gluing
+//! several subsystems together (the CLI, the daemon, integration
+//! harnesses) usually wants one `Result<_, geoblock::Error>` instead;
+//! the `From` impls here make `?` compose across all of them.
+
+use std::fmt;
+
+use geoblock_http::FetchError;
+use geoblock_lumscan::ConfigError;
+use geoblock_monitor::{MonitorError, StoreError};
+use geoblock_orchestrator::{CheckpointError, OrchestratorError};
+
+/// Any failure the workspace can produce, one level up.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Engine configuration was rejected.
+    Config(ConfigError),
+    /// An HTTP fetch failed beyond retry.
+    Fetch(FetchError),
+    /// A checkpoint could not be read, written, or trusted.
+    Checkpoint(CheckpointError),
+    /// A sharded study pass failed.
+    Orchestrator(OrchestratorError),
+    /// The monitor's snapshot store refused a read or write.
+    Store(StoreError),
+    /// A monitoring run failed.
+    Monitor(MonitorError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "engine config: {e}"),
+            Error::Fetch(e) => write!(f, "fetch: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Error::Orchestrator(e) => write!(f, "orchestrator: {e}"),
+            Error::Store(e) => write!(f, "snapshot store: {e}"),
+            Error::Monitor(e) => write!(f, "monitor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Fetch(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+            Error::Orchestrator(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Monitor(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+impl From<FetchError> for Error {
+    fn from(e: FetchError) -> Error {
+        Error::Fetch(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Error {
+        Error::Checkpoint(e)
+    }
+}
+
+impl From<OrchestratorError> for Error {
+    fn from(e: OrchestratorError) -> Error {
+        Error::Orchestrator(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Error {
+        Error::Store(e)
+    }
+}
+
+impl From<MonitorError> for Error {
+    fn from(e: MonitorError) -> Error {
+        Error::Monitor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lift<E: Into<Error>>(e: E) -> Error {
+        e.into()
+    }
+
+    #[test]
+    fn every_subsystem_error_lifts_via_question_mark() {
+        let e = lift(CheckpointError::Version {
+            found: 9,
+            supported: 1,
+        });
+        assert!(matches!(e, Error::Checkpoint(_)));
+        assert!(e.to_string().starts_with("checkpoint: "));
+
+        let e = lift(OrchestratorError::Config("zero shards".to_string()));
+        assert!(matches!(e, Error::Orchestrator(_)));
+
+        let e = lift(StoreError::OutOfOrder {
+            expected: 3,
+            found: 7,
+        });
+        assert!(matches!(e, Error::Store(_)));
+        assert!(e.to_string().starts_with("snapshot store: "));
+
+        let e = lift(MonitorError::Config("cadence 0".to_string()));
+        assert!(matches!(e, Error::Monitor(_)));
+    }
+
+    #[test]
+    fn sources_chain_to_the_subsystem_error() {
+        use std::error::Error as _;
+        let e: Error = MonitorError::Store(StoreError::OutOfOrder {
+            expected: 0,
+            found: 2,
+        })
+        .into();
+        // geoblock::Error -> MonitorError -> StoreError: two hops down.
+        let monitor = e.source().expect("monitor source");
+        assert!(monitor.source().is_some(), "store error below the monitor");
+    }
+
+    #[test]
+    fn nested_monitor_errors_stay_whole() {
+        // MonitorError already wraps orchestrator/store/checkpoint causes;
+        // lifting must not flatten that structure.
+        let e: Error = MonitorError::Checkpoint(CheckpointError::ConfigMismatch {
+            expected: 1,
+            found: 2,
+        })
+        .into();
+        match e {
+            Error::Monitor(MonitorError::Checkpoint(_)) => {}
+            other => panic!("flattened: {other:?}"),
+        }
+    }
+}

@@ -20,8 +20,11 @@
 //! | [`proxynet`] | `geoblock-proxynet` | the residential proxy network |
 //! | [`core`] | `geoblock-core` | the measurement pipeline |
 //! | [`orchestrator`] | `geoblock-orchestrator` | sharded, resumable study passes |
+//! | [`monitor`] | `geoblock-monitor` | longitudinal monitoring + cached query API |
 //! | [`analysis`] | `geoblock-analysis` | tables, figures, statistics |
 //! | [`simtest`] | `geoblock-simtest` | deterministic simulation testing |
+//!
+//! Failures from any subsystem lift into one [`Error`] type via `?`.
 //!
 //! # Quickstart
 //!
@@ -62,12 +65,16 @@ pub use geoblock_blockpages as blockpages;
 pub use geoblock_core as core;
 pub use geoblock_http as http;
 pub use geoblock_lumscan as lumscan;
+pub use geoblock_monitor as monitor;
 pub use geoblock_netsim as netsim;
 pub use geoblock_orchestrator as orchestrator;
 pub use geoblock_proxynet as proxynet;
 pub use geoblock_simtest as simtest;
 pub use geoblock_textmine as textmine;
 pub use geoblock_worldgen as worldgen;
+
+mod error;
+pub use error::Error;
 
 /// The most commonly used types, re-exported flat.
 ///
@@ -81,8 +88,9 @@ pub mod prelude {
         CompiledFingerprintSet, FingerprintSet, PageClass, PageKind, Provider,
     };
     pub use geoblock_core::{
-        ConfirmConfig, GeoblockVerdict, Obs, ProbeCoord, SampleStore, StudyAccumulator,
-        StudyConfig, StudyConfigBuilder, StudyResult, TargetPlan, Top10kStudy, Top1mStudy,
+        diff_studies, ConfirmConfig, GeoblockVerdict, Obs, ProbeCoord, SampleStore, SessionOutcome,
+        StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyDiff, StudyResult, StudySession,
+        TargetPlan,
     };
     pub use geoblock_http::{
         FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability, StatusCode,
@@ -93,7 +101,14 @@ pub mod prelude {
         LumscanConfigBuilder, NoopSink, ProbeResult, ProbeSink, ProbeStream, ProbeTarget,
         RetryPolicy, SharedSink, Transport,
     };
-    pub use geoblock_netsim::{ClientContext, DnsDb, SimInternet, VpsTransport};
+    pub use geoblock_monitor::{
+        Monitor, MonitorConfig, MonitorError, MonitorReport, QueryService, ScanMode, ScanSnapshot,
+        SnapshotStore, StoreError,
+    };
+    pub use geoblock_netsim::{
+        ClientContext, DnsDb, PolicyChange, PolicyTimeline, SimInternet, TimelineEvent,
+        VpsTransport,
+    };
     pub use geoblock_orchestrator::{
         Checkpoint, CheckpointError, Orchestrator, OrchestratorConfig, OrchestratorRun, ShardPlan,
     };

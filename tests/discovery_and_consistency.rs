@@ -28,7 +28,7 @@ async fn discovery_finds_block_page_families_with_pure_clusters() {
     let fg = Fortiguard::new(&world);
     let domains: Vec<String> = fg.safe_toplist(900);
     let rep = panel()[..6].to_vec();
-    let study = Top10kStudy::new(
+    let mut session = StudySession::new(
         engine,
         StudyConfig::builder()
             .countries(panel())
@@ -36,7 +36,7 @@ async fn discovery_finds_block_page_families_with_pure_clusters() {
             .build()
             .expect("valid study config"),
     );
-    let result = study.baseline(&domains).await;
+    let result = session.baseline(&domains).await;
 
     let outliers = extract_outliers(
         &result.store,
@@ -92,7 +92,7 @@ async fn consistency_rule_separates_geoblockers_from_bot_noise() {
     assert!(akamai_domains.len() > 30, "{}", akamai_domains.len());
 
     let rep = panel()[..4].to_vec();
-    let study = Top1mStudy::new(
+    let mut session = StudySession::new(
         engine,
         StudyConfig::builder()
             .countries(panel())
@@ -100,8 +100,8 @@ async fn consistency_rule_separates_geoblockers_from_bot_noise() {
             .build()
             .expect("valid study config"),
     );
-    let mut result = study.baseline(&akamai_domains).await;
-    study
+    let mut result = session.baseline(&akamai_domains).await;
+    session
         .confirm_ambiguous(&mut result, &[PageKind::Akamai])
         .await;
 

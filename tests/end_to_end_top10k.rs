@@ -30,7 +30,7 @@ fn rep_countries() -> Vec<CountryCode> {
 
 struct Fixture {
     world: Arc<World>,
-    study: Top10kStudy<LuminatiNetwork>,
+    study: StudySession<'static, LuminatiNetwork>,
     domains: Vec<String>,
 }
 
@@ -50,14 +50,14 @@ fn fixture() -> Fixture {
     let domains: Vec<String> = fg.safe_toplist(750).into_iter().take(600).collect();
     Fixture {
         world: world.clone(),
-        study: Top10kStudy::new(engine, config),
+        study: StudySession::new(engine, config),
         domains,
     }
 }
 
 #[tokio::test(flavor = "multi_thread")]
 async fn miniature_study_recovers_ground_truth() {
-    let fx = fixture();
+    let mut fx = fixture();
     let mut result = fx.study.baseline(&fx.domains).await;
 
     // --- coverage sanity (§4.1.1 shape) ---
@@ -73,7 +73,7 @@ async fn miniature_study_recovers_ground_truth() {
     );
 
     // --- confirmation & verdicts ---
-    let flagged = fx.study.confirm_explicit(&mut result).await;
+    let flagged = fx.study.confirm(&mut result).await;
     assert!(flagged > 0, "no pairs flagged in the tiny world");
     let verdicts = result.verdicts(&ConfirmConfig::default());
     assert!(!verdicts.is_empty(), "no confirmed geoblocking");
@@ -193,9 +193,9 @@ async fn studies_replay_identically() {
             .rep_countries(rep_countries())
             .build()
             .expect("valid study config");
-        let study = Top10kStudy::new(engine, config);
+        let mut session = StudySession::new(engine, config);
         let domains: Vec<String> = (1..=60).map(|r| world.population.spec(r).name).collect();
-        let result = study.baseline(&domains).await;
+        let result = session.baseline(&domains).await;
         result
             .verdicts(&ConfirmConfig {
                 confirm_samples: 0,

@@ -40,11 +40,11 @@ async fn diff_detects_the_makro_policy_flip() {
         .rep_countries(countries[..2].to_vec())
         .build()
         .expect("valid study config");
-    let study = Top10kStudy::new(engine.clone(), config.clone());
+    let mut session = StudySession::new(engine.clone(), config.clone());
 
     // Snapshot 1: during the baseline window (day 0), confirmed same-day.
-    let mut first = study.baseline(&domains).await;
-    study.confirm_explicit(&mut first).await;
+    let mut first = session.baseline(&domains).await;
+    session.confirm(&mut first).await;
     let before = first.verdicts(&ConfirmConfig::default());
     assert!(
         before.iter().any(|v| v.domain == "makro.co.za"),
@@ -60,8 +60,8 @@ async fn diff_detects_the_makro_policy_flip() {
     internet.clock().advance_days(3);
 
     // Snapshot 2: a fresh study after the flip.
-    let mut second = study.baseline(&domains).await;
-    study.confirm_explicit(&mut second).await;
+    let mut second = session.baseline(&domains).await;
+    session.confirm(&mut second).await;
     let after = second.verdicts(&ConfirmConfig::default());
     assert!(
         !after.iter().any(|v| v.domain == "makro.co.za"),

@@ -1,0 +1,238 @@
+//! Acceptance tests for the longitudinal monitoring pipeline, driven
+//! entirely through the `geoblock` facade:
+//!
+//! * **timeline determinism** — the same (transport, config, horizon)
+//!   produces bit-identical snapshot content hashes whatever the shard
+//!   count, and a scan killed mid-flight and resumed from its checkpoint
+//!   commits the same timeline as an uninterrupted run;
+//! * **query freshness** — the cached query API returns the same `Arc`
+//!   until a scan commit publishes a new generation, and never after;
+//! * **delta semantics** — cheap re-scans observe retreats among the
+//!   previously-flagged pairs but are structurally blind to new blockers;
+//! * **error lifting** — monitor failures ride `?` into [`geoblock::Error`].
+
+use std::sync::Arc;
+
+use geoblock::blockpages::{render, PageParams};
+use geoblock::lumscan::TransportRequest;
+use geoblock::monitor::{MonitorError, ScanStep};
+use geoblock::prelude::*;
+
+/// A deterministic evolving web, scan day injected at construction (the
+/// monitor's engine factory passes the day). `makro.example` replays the
+/// §4.2 arc — blocks IR and SY on days 0–1 then fully retreats;
+/// `riser.example` starts blocking IR on day 2; `bedrock.example` always
+/// blocks IR; `open.example` never blocks.
+struct ShiftingWeb {
+    day: u32,
+}
+
+impl ShiftingWeb {
+    fn blocks(&self, host: &str, country: CountryCode) -> bool {
+        match host {
+            "makro.example" => self.day < 2 && (country == cc("IR") || country == cc("SY")),
+            "riser.example" => self.day >= 2 && country == cc("IR"),
+            "bedrock.example" => country == cc("IR"),
+            _ => false,
+        }
+    }
+}
+
+impl Transport for ShiftingWeb {
+    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+        let host = req.request.effective_host();
+        if self.blocks(&host, req.country) {
+            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+            return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+        }
+        Ok(Response::builder(StatusCode::OK)
+            .body(format!(
+                "<html><body>{host} day content {}</body></html>",
+                "filler ".repeat(600)
+            ))
+            .finish(req.request.url))
+    }
+}
+
+fn domains() -> Vec<String> {
+    vec![
+        "bedrock.example".to_string(),
+        "makro.example".to_string(),
+        "open.example".to_string(),
+        "riser.example".to_string(),
+    ]
+}
+
+fn study() -> StudyConfig {
+    StudyConfig::builder()
+        .countries([cc("IR"), cc("SY"), cc("US")])
+        .rep_countries([cc("IR")])
+        .work_unit_domains(1)
+        .build()
+        .expect("valid study config")
+}
+
+fn monitor(
+    config: MonitorConfig,
+) -> Monitor<ShiftingWeb, impl Fn(u32) -> Arc<Lumscan<ShiftingWeb>>> {
+    let factory = |day: u32| Arc::new(Lumscan::new(ShiftingWeb { day }, LumscanConfig::default()));
+    Monitor::new(factory, domains(), study(), config)
+}
+
+#[tokio::test]
+async fn shard_width_never_changes_the_snapshot_hashes() {
+    let mut narrow = SnapshotStore::in_memory();
+    monitor(MonitorConfig::default().scans(3).shards(1))
+        .run(&mut narrow, None)
+        .await
+        .expect("1-shard run");
+    let mut wide = SnapshotStore::in_memory();
+    monitor(MonitorConfig::default().scans(3).shards(4))
+        .run(&mut wide, None)
+        .await
+        .expect("4-shard run");
+
+    assert_eq!(narrow.len(), 3);
+    for (a, b) in narrow.snapshots().iter().zip(wide.snapshots()) {
+        assert_eq!(
+            a.content_hash, b.content_hash,
+            "scan {} diverged across shard widths",
+            a.scan_index
+        );
+    }
+    assert_eq!(narrow.timeline_hash(), wide.timeline_hash());
+}
+
+#[tokio::test]
+async fn killed_and_resumed_scan_commits_the_uninterrupted_timeline() {
+    let mut uninterrupted = SnapshotStore::in_memory();
+    monitor(MonitorConfig::default().scans(3))
+        .run(&mut uninterrupted, None)
+        .await
+        .expect("uninterrupted run");
+
+    // Kill scan 0 after two of four work units; the interruption hands
+    // back a checkpoint instead of committing a partial snapshot.
+    let mut resumed = SnapshotStore::in_memory();
+    let killer = monitor(MonitorConfig::default().scans(3).stop_after_units(2));
+    let checkpoint = match killer.run_scan(&resumed, None).await.expect("partial scan") {
+        ScanStep::Interrupted(checkpoint) => checkpoint,
+        ScanStep::Committed(_) => panic!("stop_after_units must interrupt the scan"),
+    };
+    assert!(resumed.is_empty(), "an interrupted scan must not commit");
+
+    let finisher = monitor(MonitorConfig::default().scans(3));
+    match finisher
+        .run_scan(&resumed, Some(checkpoint))
+        .await
+        .expect("resumed scan")
+    {
+        ScanStep::Committed(snapshot) => resumed.append(snapshot).expect("commit scan 0"),
+        ScanStep::Interrupted(_) => panic!("the resumed scan must run to completion"),
+    }
+    finisher
+        .run(&mut resumed, None)
+        .await
+        .expect("rest of the horizon");
+
+    assert_eq!(
+        uninterrupted.timeline_hash(),
+        resumed.timeline_hash(),
+        "kill/resume must be invisible in the committed timeline"
+    );
+}
+
+#[tokio::test]
+async fn query_answers_stay_cached_within_a_generation_and_refresh_on_publish() {
+    let query = QueryService::new();
+    let mut store = SnapshotStore::in_memory();
+    monitor(MonitorConfig::default().scans(2))
+        .run(&mut store, Some(&query))
+        .await
+        .expect("monitored run");
+    // One publish per committed scan, none before, none after.
+    assert_eq!(query.generation().await, 2);
+    assert_eq!(query.scans_visible().await, 2);
+
+    let first = query.domain_history("makro.example").await;
+    let second = query.domain_history("makro.example").await;
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "a repeat query inside one generation must hit the cache"
+    );
+    assert!(first.currently_blocking(), "makro still blocks on day 1");
+    let stats = query.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    // A third scan commits and publishes: the cache entry is stale by
+    // generation and must be recomputed against the longer history.
+    monitor(MonitorConfig::default().scans(3))
+        .run(&mut store, Some(&query))
+        .await
+        .expect("one more scan");
+    assert_eq!(query.generation().await, 3);
+    let third = query.domain_history("makro.example").await;
+    assert!(
+        !Arc::ptr_eq(&second, &third),
+        "a publish must invalidate every cached answer"
+    );
+    assert_eq!(third.scans.len(), 3);
+    assert!(!third.currently_blocking(), "day 2 saw the full retreat");
+
+    // The wire surface serves the same freshness-checked answers.
+    let text = query
+        .serve_text("GET /domains/makro.example HTTP/1.1\r\nHost: monitor\r\n\r\n")
+        .await;
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    assert!(text.contains("makro.example"));
+}
+
+#[tokio::test]
+async fn delta_scans_surface_retreats_but_not_new_blockers() {
+    // Scan 0 is full; scans 1-2 are deltas that only re-probe the pairs
+    // the previous snapshot flagged.
+    let query = QueryService::new();
+    let mut store = SnapshotStore::in_memory();
+    monitor(MonitorConfig::default().scans(3).full_every(3))
+        .run(&mut store, Some(&query))
+        .await
+        .expect("delta horizon");
+
+    let snaps = store.snapshots();
+    assert_eq!(snaps[0].mode, ScanMode::Full);
+    assert_eq!(snaps[1].mode, ScanMode::Delta);
+    assert_eq!(snaps[2].mode, ScanMode::Delta);
+
+    let feed = query.changes_since(2).await;
+    let retreat = feed
+        .events
+        .iter()
+        .find(|e| e.domain == "makro.example")
+        .expect("the day-2 delta must record makro's retreat");
+    assert!(retreat.full_retreat);
+    assert!(!retreat.provider_changed);
+    assert_eq!(retreat.unblocked.len(), 2, "IR and SY both unblocked");
+    assert!(
+        !feed.events.iter().any(|e| e.domain == "riser.example"),
+        "a delta scan cannot see a domain start blocking"
+    );
+
+    // The country dashboard tells the same story from the IR axis.
+    let dashboard = query.country_dashboard(cc("IR")).await;
+    assert_eq!(dashboard.currently_blocked, vec!["bedrock.example"]);
+    assert_eq!(dashboard.scans.last().expect("3 scans").blocked_domains, 1);
+}
+
+#[tokio::test]
+async fn monitor_failures_lift_into_the_workspace_error() {
+    async fn drive() -> Result<(), geoblock::Error> {
+        let m = monitor(MonitorConfig::default().cadence_days(0));
+        let mut store = SnapshotStore::in_memory();
+        m.run(&mut store, None).await?;
+        Ok(())
+    }
+    match drive().await {
+        Err(geoblock::Error::Monitor(MonitorError::Config(_))) => {}
+        other => panic!("expected a lifted monitor config error, got {other:?}"),
+    }
+}

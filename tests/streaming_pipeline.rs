@@ -147,8 +147,8 @@ async fn fixed_seed_streaming_baseline_matches_chunked_batch() {
     let seed = 0x5eed_cafe;
 
     let batch = chunked_batch_baseline(&faulty_engine(seed, 1), &config, &domains).await;
-    let study = Top10kStudy::new(faulty_engine(seed, 1), config);
-    let streamed = study.baseline(&domains).await;
+    let mut session = StudySession::new(faulty_engine(seed, 1), config);
+    let streamed = session.baseline(&domains).await;
 
     // Every observation cell agrees, field for field.
     let batch_cells: Vec<(usize, usize, Vec<Obs>)> = batch
@@ -180,11 +180,13 @@ async fn fixed_seed_streaming_baseline_matches_chunked_batch() {
 #[tokio::test(flavor = "multi_thread")]
 async fn streaming_baseline_is_bounded_and_keeps_only_rep_bodies() {
     let domains = domains();
-    let study = Top10kStudy::new(faulty_engine(7, 8), study_config(256));
     let mut gauge = GaugeSink::new();
-    let result = study.baseline_with(&domains, &mut gauge).await;
+    let mut session = StudySession::new(faulty_engine(7, 8), study_config(256)).sink(&mut gauge);
+    let result = session.baseline(&domains).await;
+    let config = session.config().clone();
+    drop(session);
 
-    let expected = domains.len() * study.config().countries.len() * 3;
+    let expected = domains.len() * config.countries.len() * 3;
     assert_eq!(gauge.started, expected);
     assert_eq!(gauge.completed, expected);
     assert!(gauge.finished, "the sink must see the end of the stream");
@@ -196,12 +198,11 @@ async fn streaming_baseline_is_bounded_and_keeps_only_rep_bodies() {
 
     // Bodies survive only from representative countries — everything else
     // was classified and dropped on arrival.
-    let rep: Vec<u16> = study
-        .config()
+    let rep: Vec<u16> = config
         .countries
         .iter()
         .enumerate()
-        .filter(|(_, c)| study.config().rep_countries.contains(c))
+        .filter(|(_, c)| config.rep_countries.contains(c))
         .map(|(i, _)| i as u16)
         .collect();
     assert!(
