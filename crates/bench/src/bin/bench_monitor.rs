@@ -1,4 +1,4 @@
-//! The monitoring-daemon benchmark: scan wall-clock and cached-query
+//! The monitoring query-layer benchmark: commit latency and cached-query
 //! latency under a dashboard polling workload, emitted as a committable
 //! JSON baseline.
 //!
@@ -7,67 +7,72 @@
 //!     [-- --smoke] [OUTPUT.json]
 //! ```
 //!
-//! Drives a [`Monitor`] over a deterministic drifting web, timing each
-//! committed scan, and between commits replays a polling workload against
-//! the [`QueryService`] — the same dashboard keys queried round after
+//! Synthesizes a deterministic drifting timeline — the same policy
+//! function the monitor's DST tests scan: every third site blocks IR
+//! throughout, every fourth also blocks SY until day 2 (then retreats),
+//! and sites ≡ 1 (mod 5) start blocking IR from day 2 — and commits one
+//! [`ScanSnapshot`] per scan to a [`QueryService`], timing each
+//! build-and-publish. Between commits it replays a polling workload
+//! against the service — the same dashboard keys queried round after
 //! round, the way a monitoring UI refreshes. Reports query p50/p95
 //! latency and the cache hit rate, and asserts the hit rate stays ≥ 0.9:
-//! within one generation every repeat of a key must be served from cache.
+//! within one generation every repeat of a key must be served from
+//! cache.
+//!
+//! The query service's async surface never actually awaits — every
+//! future is ready on its first poll — so the whole benchmark runs on a
+//! one-poll no-op-waker executor: no async runtime, and identical
+//! behaviour under the offline sandbox's stubbed dependency set.
 //!
 //! `--smoke` runs a reduced scale and asserts the same invariants without
 //! rewriting the committed `BENCH_monitor.json` baseline.
 
-use std::sync::Arc;
+use std::future::Future;
+use std::pin::pin;
+use std::task::{Context, Poll, Waker};
 use std::time::Instant;
 
-use geoblock_blockpages::{render, PageKind, PageParams};
-use geoblock_core::StudyConfig;
-use geoblock_http::{FetchError, Response, StatusCode};
-use geoblock_lumscan::{Lumscan, LumscanConfig, Transport, TransportRequest};
-use geoblock_monitor::{Monitor, MonitorConfig, QueryService, SnapshotStore};
+use geoblock_blockpages::PageKind;
+use geoblock_core::{diff_studies, GeoblockVerdict};
+use geoblock_monitor::{QueryService, ScanMode, ScanSnapshot};
 use geoblock_worldgen::{cc, CountryCode};
 
-/// A deterministic drifting web, scan day injected by the engine factory.
-/// Policies are a pure function of (domain index, day): every third site
-/// blocks IR throughout, every fourth also blocks SY until day 2 (then
-/// retreats), and sites ≡ 1 (mod 5) start blocking IR from day 2.
-struct DriftWeb {
-    day: u32,
-}
-
-fn site_index(host: &str) -> usize {
-    host.strip_prefix("site-")
-        .and_then(|rest| rest.strip_suffix(".example"))
-        .and_then(|digits| digits.parse().ok())
-        .unwrap_or(usize::MAX)
-}
-
-impl DriftWeb {
-    fn blocks(&self, host: &str, country: CountryCode) -> bool {
-        let i = site_index(host);
-        if i == usize::MAX {
-            return false;
-        }
-        (i.is_multiple_of(3) && country == cc("IR"))
-            || (i.is_multiple_of(4) && self.day < 2 && country == cc("SY"))
-            || (i % 5 == 1 && self.day >= 2 && country == cc("IR"))
+/// Resolve a query future on its first poll. [`QueryService`]'s methods
+/// never await anything (their locks are synchronous), so a ready-on-first
+/// -poll executor is exact, not an approximation.
+fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    match pin!(fut).poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => unreachable!("query futures are ready on first poll"),
     }
 }
 
-impl Transport for DriftWeb {
-    async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
-        let host = req.request.effective_host();
-        if self.blocks(&host, req.country) {
-            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
-            return Ok(render(PageKind::Cloudflare, &params).finish(req.request.url));
+/// The drift policy, a pure function of (site index, day, country).
+fn blocks(i: usize, day: u32, country: CountryCode) -> bool {
+    (i.is_multiple_of(3) && country == cc("IR"))
+        || (i.is_multiple_of(4) && day < 2 && country == cc("SY"))
+        || (i % 5 == 1 && day >= 2 && country == cc("IR"))
+}
+
+/// One scan's confirmed verdicts under the drift policy, in study order.
+fn scan_verdicts(domains: &[String], day: u32) -> Vec<GeoblockVerdict> {
+    let mut verdicts = Vec::new();
+    for (i, domain) in domains.iter().enumerate() {
+        for country in [cc("IR"), cc("SY"), cc("US")] {
+            if blocks(i, day, country) {
+                verdicts.push(GeoblockVerdict {
+                    domain: domain.clone(),
+                    country,
+                    kind: PageKind::Cloudflare,
+                    block_count: 23,
+                    total: 23,
+                });
+            }
         }
-        Ok(Response::builder(StatusCode::OK)
-            .body(format!(
-                "<html><body>{host} content {}</body></html>",
-                "filler ".repeat(400)
-            ))
-            .finish(req.request.url))
     }
+    verdicts
 }
 
 struct Workload {
@@ -93,55 +98,56 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1e3
 }
 
-async fn run(w: &Workload) -> Measured {
+fn run(w: &Workload) -> Measured {
     let domains: Vec<String> = (0..w.domains)
         .map(|i| format!("site-{i}.example"))
         .collect();
-    let study = StudyConfig::builder()
-        .countries([cc("IR"), cc("SY"), cc("US")])
-        .rep_countries([cc("IR")])
-        .work_unit_domains(4)
-        .build()
-        .expect("valid study config");
     let query = QueryService::new();
-    let mut store = SnapshotStore::in_memory();
 
     // The dashboard's working set: a handful of domain panels, both
     // censor-side country views, and the latest-changes feed.
     let panel: Vec<String> = domains.iter().take(6).cloned().collect();
+    let mut timeline: Vec<ScanSnapshot> = Vec::new();
     let mut scan_wall_ms = Vec::new();
     let mut latencies_ns: Vec<u64> = Vec::new();
 
     for scan in 0..w.scans {
-        // `run` commits every scan the store is still missing; asking for
-        // `scan + 1` performs exactly one and publishes it.
-        let monitor = Monitor::new(
-            |day: u32| Arc::new(Lumscan::new(DriftWeb { day }, LumscanConfig::default())),
-            domains.clone(),
-            study.clone(),
-            MonitorConfig::default().scans(scan + 1).full_every(3),
-        );
+        // The commit path: derive the scan's verdicts, diff against the
+        // previous snapshot, hash, append, publish — everything a
+        // committed scan does downstream of the probe pass.
         let t = Instant::now();
-        let report = monitor.run(&mut store, Some(&query)).await.expect("scan");
+        let verdicts = scan_verdicts(&domains, scan);
+        let previous: &[GeoblockVerdict] = timeline
+            .last()
+            .map(|s| s.verdicts.as_slice())
+            .unwrap_or_default();
+        let diff = diff_studies(previous, &verdicts);
+        timeline.push(ScanSnapshot::new(
+            scan,
+            scan,
+            ScanMode::Full,
+            verdicts,
+            diff,
+        ));
+        block_on(query.publish(&timeline));
         scan_wall_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        assert!(!report.interrupted);
 
         // The polling workload: every key, round after round, against the
         // freshly published generation.
         for _ in 0..w.rounds {
             for domain in &panel {
                 let t = Instant::now();
-                let history = query.domain_history(domain).await;
+                let history = block_on(query.domain_history(domain));
                 latencies_ns.push(t.elapsed().as_nanos() as u64);
                 assert_eq!(history.scans.len(), scan as usize + 1);
             }
             for country in [cc("IR"), cc("SY")] {
                 let t = Instant::now();
-                let _ = query.country_dashboard(country).await;
+                let _ = block_on(query.country_dashboard(country));
                 latencies_ns.push(t.elapsed().as_nanos() as u64);
             }
             let t = Instant::now();
-            let feed = query.changes_since(scan).await;
+            let feed = block_on(query.changes_since(scan));
             latencies_ns.push(t.elapsed().as_nanos() as u64);
             assert!(feed.since == scan);
         }
@@ -180,8 +186,7 @@ fn to_json(w: &Workload, m: &Measured) -> String {
     )
 }
 
-#[tokio::main]
-async fn main() {
+fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
@@ -208,9 +213,9 @@ async fn main() {
         workload.domains, workload.scans, workload.rounds
     );
 
-    let m = run(&workload).await;
+    let m = run(&workload);
     for (i, ms) in m.scan_wall_ms.iter().enumerate() {
-        println!("  scan {i}: {ms:.1} ms");
+        println!("  scan {i} commit: {ms:.3} ms");
     }
     println!(
         "  {} queries: p50 {:.1} µs, p95 {:.1} µs — cache {}/{} hit rate {:.3}",

@@ -89,7 +89,12 @@ pub fn verdicts(store: &SampleStore, config: &ConfirmConfig) -> Vec<GeoblockVerd
                 }
             }
         }
-        let Some((&kind, &block_count)) = counts.iter().max_by_key(|(_, v)| **v) else {
+        // Modal kind, ties broken by `PageKind` order so verdicts are a
+        // deterministic function of the store (a 50/50 split can reach a
+        // lowered threshold, and iteration order must not pick its kind).
+        let mut counted: Vec<(PageKind, u32)> = counts.into_iter().collect();
+        counted.sort_unstable_by_key(|&(k, v)| (std::cmp::Reverse(v), k));
+        let Some(&(kind, block_count)) = counted.first() else {
             continue;
         };
         let total = samples.len() as u32;
@@ -207,6 +212,87 @@ mod tests {
         let v = verdicts(&s, &ConfirmConfig::default());
         assert_eq!(v.len(), 1);
         assert!(v[0].agreement() > 0.8);
+    }
+
+    #[test]
+    fn zero_sample_confirm_accepts_baseline_evidence() {
+        // confirm_samples == 0: the volume gate degenerates to "any
+        // sample at all", so a unanimous baseline is enough.
+        let config = ConfirmConfig {
+            confirm_samples: 0,
+            threshold: 0.80,
+        };
+        let s = store_with(&[(0, block(PageKind::Cloudflare))]);
+        let v = verdicts(&s, &config);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].total, 1);
+        assert_eq!(v[0].block_count, 1);
+        // A clean pair still yields nothing, even with no volume gate.
+        assert!(verdicts(&store_with(&[(0, ok())]), &config).is_empty());
+    }
+
+    #[test]
+    fn threshold_exactly_at_eighty_percent_passes() {
+        // 20 blocks over 25 samples is agreement == 0.80 exactly; the
+        // comparison is ≥, so the pair is confirmed.
+        let mut s = store_with(&[]);
+        for i in 0..25 {
+            s.push(
+                0,
+                0,
+                if i < 20 {
+                    block(PageKind::Cloudflare)
+                } else {
+                    ok()
+                },
+            );
+        }
+        let v = verdicts(&s, &ConfirmConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!((v[0].agreement() - 0.80).abs() < 1e-9);
+
+        // One block fewer (19/24 ≈ 79.2%) falls under the bar.
+        let mut s = store_with(&[]);
+        for i in 0..24 {
+            s.push(
+                0,
+                0,
+                if i < 19 {
+                    block(PageKind::Cloudflare)
+                } else {
+                    ok()
+                },
+            );
+        }
+        assert!(verdicts(&s, &ConfirmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unanimous_disagreement_ties_break_deterministically() {
+        // Two kinds split a pair 12/12. Under the default 80% threshold
+        // neither can win, but a lowered threshold can confirm the pair —
+        // and the winning kind must be a function of the data, not of
+        // hash-map iteration order: ties break toward the smaller
+        // `PageKind` in its derived order.
+        let mut s = store_with(&[]);
+        for _ in 0..12 {
+            s.push(0, 0, block(PageKind::Cloudflare));
+            s.push(0, 0, block(PageKind::Baidu));
+        }
+        assert!(verdicts(&s, &ConfirmConfig::default()).is_empty());
+
+        let half = ConfirmConfig {
+            confirm_samples: 20,
+            threshold: 0.5,
+        };
+        let expected = PageKind::Cloudflare.min(PageKind::Baidu);
+        for _ in 0..8 {
+            let v = verdicts(&s, &half);
+            assert_eq!(v.len(), 1);
+            assert_eq!(v[0].kind, expected);
+            assert_eq!(v[0].block_count, 12);
+            assert_eq!(v[0].total, 24);
+        }
     }
 
     #[test]

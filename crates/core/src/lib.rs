@@ -18,11 +18,12 @@
 //!    anywhere in the redirect chain, the Akamai `Pragma` poke, NS
 //!    delegation, and the AppEngine netblock walk;
 //! 7. [`session`] — [`StudySession`], the unified study driver: one
-//!    builder carrying engine, config, and observers through baseline,
-//!    confirmation, and ranking passes, streaming lazily-planned targets
+//!    builder carrying engine, config, observers, and a [`sampling`]
+//!    policy through every pass, streaming lazily-planned targets
 //!    ([`plan`]) through the probe pipeline and classifying-and-dropping
 //!    each completion as it lands ([`study`] keeps the shared
-//!    config/accumulator types and the deprecated pre-session drivers);
+//!    config/accumulator types; [`sampling`] decides who gets probed
+//!    next and tracks the probe-budget ledger);
 //! 8. [`exploration`] — the §3 VPS exploration;
 //! 9. [`timeouts`] and [`regional`] — the §7.3 future-work analyses
 //!    (timeout-based blocking, sub-country granularity).
@@ -38,6 +39,7 @@ pub mod outliers;
 pub mod plan;
 pub mod population;
 pub mod regional;
+pub mod sampling;
 pub mod session;
 pub mod study;
 pub mod timeouts;
@@ -48,11 +50,13 @@ pub use consistency::{consistency_scores, ConsistencyReport};
 pub use diffing::{diff_studies, StudyDiff};
 pub use observation::{BodyArchive, ErrKind, Obs, SampleStore};
 pub use outliers::{OutlierConfig, OutlierReport};
-pub use plan::{ProbeCoord, TargetPlan};
+pub use plan::{ProbeCoord, RoundCoord, TargetPlan};
 pub use population::{PopulationReport, Resolver};
 pub use regional::{probe_regional, RegionalReport};
+pub use sampling::{
+    AdaptiveBandit, DeltaPolicy, EvidenceState, PairEvidence, PaperExact, ProbeBudget, RoundSpend,
+    SampleRequest, SamplingPolicy,
+};
 pub use session::{SessionOutcome, StudySession};
 pub use study::{StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyResult};
-#[allow(deprecated)]
-pub use study::{Top10kStudy, Top1mStudy};
 pub use timeouts::{find_suspects, TimeoutSuspect};

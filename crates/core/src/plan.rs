@@ -30,6 +30,36 @@ pub struct ProbeCoord {
     pub sample: usize,
 }
 
+/// A [`ProbeCoord`] qualified by which policy round produced it — the
+/// coordinate system of a policy-driven run, where the same (domain,
+/// country, sample) triple can recur across rounds (each round's plan
+/// restarts its sample axis at 0). `ProbeCoord` stays untouched as the
+/// within-round coordinate, so every existing trace and checkpoint format
+/// is unchanged; round indexing wraps it rather than widening it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCoord {
+    /// Policy round index (the order [`next_round`] emitted requests).
+    ///
+    /// [`next_round`]: crate::sampling::SamplingPolicy::next_round
+    pub round: usize,
+    /// The within-round plan coordinate.
+    pub coord: ProbeCoord,
+}
+
+impl RoundCoord {
+    /// Coordinate `coord` of round `round`.
+    pub fn new(round: usize, coord: ProbeCoord) -> RoundCoord {
+        RoundCoord { round, coord }
+    }
+
+    /// The flat offset of this coordinate in a concatenation of all
+    /// rounds' plans, given the probe counts of the preceding rounds and
+    /// this round's plan. `None` when the coordinate is not in the plan.
+    pub fn flat_index(&self, preceding_probes: usize, plan: &TargetPlan<'_>) -> Option<usize> {
+        plan.index(self.coord).map(|i| preceding_probes + i)
+    }
+}
+
 /// A lazy enumeration of probe targets with index↔coordinate mapping.
 #[derive(Debug, Clone, Copy)]
 pub struct TargetPlan<'a> {
@@ -332,6 +362,48 @@ mod tests {
         // Out-of-bounds ranges clamp instead of panicking.
         assert_eq!(plan.iter_range(9..100).count(), plan.len() - 9);
         assert_eq!(plan.iter_range(50..100).count(), 0);
+    }
+
+    #[test]
+    fn round_coords_flatten_across_round_plans() {
+        let domains = domains();
+        let countries = [cc("IR"), cc("US")];
+        // Round 0: the 2×2×3 baseline grid. Round 1: one confirmed pair.
+        let baseline = TargetPlan::grid(&domains, &countries, 3);
+        let pairs = [(1, 0)];
+        let confirm = TargetPlan::pairs(&domains, &countries, &pairs, 20);
+
+        let first = RoundCoord::new(
+            0,
+            ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 0,
+            },
+        );
+        assert_eq!(first.flat_index(0, &baseline), Some(0));
+
+        // The first confirmation probe lands right after the baseline.
+        let c = RoundCoord::new(
+            1,
+            ProbeCoord {
+                domain: 1,
+                country: 0,
+                sample: 0,
+            },
+        );
+        assert_eq!(c.flat_index(baseline.len(), &confirm), Some(12));
+
+        // A coordinate absent from its round's plan has no flat index.
+        let absent = RoundCoord::new(
+            1,
+            ProbeCoord {
+                domain: 0,
+                country: 0,
+                sample: 0,
+            },
+        );
+        assert_eq!(absent.flat_index(baseline.len(), &confirm), None);
     }
 
     #[test]

@@ -1,0 +1,631 @@
+//! The sampling-protocol layer: who gets probed next, and how many times.
+//!
+//! The paper's fixed 3-baseline / 20-confirmation protocol used to be
+//! hard-coded in three places that each re-derived phase arithmetic their
+//! own way — the session's `baseline`/`confirm` methods, the
+//! orchestrator's whole-grid work units, and the monitor's delta rescans.
+//! A [`SamplingPolicy`] turns the protocol into data: given the evidence
+//! collected so far ([`EvidenceState`]) and the probe spend to date
+//! ([`ProbeBudget`]), it emits the next [`SampleRequest`] — a round —
+//! until it answers [`SampleRequest::Done`]. The session executes rounds;
+//! policies only decide them.
+//!
+//! Three policies ship:
+//!
+//! * [`PaperExact`] — the default everywhere. Round 0 is the full
+//!   `baseline_samples` grid, round 1 confirms every flagged pair at
+//!   `confirm_samples`, then done. Probe for probe, in order, this is
+//!   exactly the pre-policy protocol, so every golden trace and
+//!   fingerprint is bit-identical unless another policy is opted into.
+//! * [`AdaptiveBandit`] — successive-halving in the spirit of ROADMAP
+//!   item 4: pairs whose samples agree unanimously with no blocking
+//!   signal are early-stopped after a single clean scout sample, freed
+//!   budget goes to the pairs whose inter-sample disagreement is highest,
+//!   and any pair that **ever** shows an explicit blocking signal keeps
+//!   the hard floor of the full `baseline + confirm` sample count — the
+//!   paper's 23-sample/80% evidence bar is preserved exactly where
+//!   verdicts are claimed.
+//! * [`DeltaPolicy`] — the monitor's delta scan as a policy: one round
+//!   re-probing a fixed pair list at full baseline + confirmation depth.
+//!
+//! Budget spend is a first-class ledger so orchestrated runs can
+//! checkpoint it and prove a resumed run replays to the identical spend
+//! (see the orchestrator's `run_policy`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::confirm::flagged_explicit_pairs;
+use crate::observation::SampleStore;
+use crate::study::StudyConfig;
+
+/// Per-(domain, country) evidence summary a policy decides from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairEvidence {
+    /// Domain index.
+    pub domain: usize,
+    /// Country index.
+    pub country: usize,
+    /// Samples collected so far.
+    pub samples: usize,
+    /// Samples that showed an explicit geoblock page.
+    pub block_samples: usize,
+    /// Distinct stable labels among the samples — 0 or 1 means the pair
+    /// has never disagreed with itself.
+    pub distinct_labels: usize,
+}
+
+impl PairEvidence {
+    /// Whether the pair has ever shown an explicit blocking signal.
+    pub fn flagged(&self) -> bool {
+        self.block_samples > 0
+    }
+
+    /// Whether every sample so far told the same story (vacuously false
+    /// for an unsampled pair — nothing has been established yet).
+    pub fn unanimous(&self) -> bool {
+        self.samples > 0 && self.distinct_labels <= 1
+    }
+
+    /// Inter-sample disagreement: how many label changes the samples show.
+    pub fn disagreement(&self) -> usize {
+        self.distinct_labels.saturating_sub(1)
+    }
+}
+
+/// A read-only view over the evidence a study has collected, handed to
+/// [`SamplingPolicy::next_round`]: the sample store, the study
+/// configuration (phase depths), and the number of rounds already run.
+#[derive(Debug, Clone, Copy)]
+pub struct EvidenceState<'a> {
+    store: &'a SampleStore,
+    config: &'a StudyConfig,
+    round: usize,
+}
+
+impl<'a> EvidenceState<'a> {
+    /// Evidence after `round` completed rounds over `store`.
+    pub fn new(store: &'a SampleStore, config: &'a StudyConfig, round: usize) -> EvidenceState<'a> {
+        EvidenceState {
+            store,
+            config,
+            round,
+        }
+    }
+
+    /// Completed rounds so far (the next request is round `round()`).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The study configuration (phase depths, confirmation policy).
+    pub fn config(&self) -> &StudyConfig {
+        self.config
+    }
+
+    /// The raw sample store, for policies that need more than summaries.
+    pub fn store(&self) -> &SampleStore {
+        self.store
+    }
+
+    /// Per-pair evidence summaries in domain-major order. Only pairs with
+    /// at least one sample appear — an unprobed pair has no evidence to
+    /// summarize (policies cover the whole grid in their opening round).
+    pub fn pairs(&self) -> impl Iterator<Item = PairEvidence> + 'a {
+        self.store.iter_cells().map(|(domain, country, samples)| {
+            let block_samples = samples.iter().filter(|o| o.explicit_geoblock()).count();
+            let mut labels: Vec<String> = samples.iter().map(|o| o.stable_label()).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            PairEvidence {
+                domain,
+                country,
+                samples: samples.len(),
+                block_samples,
+                distinct_labels: labels.len(),
+            }
+        })
+    }
+
+    /// Pairs whose evidence shows any explicit geoblock page, in
+    /// domain-major order — the confirmation set.
+    pub fn flagged_explicit(&self) -> Vec<(usize, usize)> {
+        flagged_explicit_pairs(self.store)
+    }
+}
+
+/// One round of probing a policy asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleRequest {
+    /// Probe the full `domains × countries` grid, `samples` per pair,
+    /// archiving representative-country bodies (a baseline-shaped pass).
+    Grid {
+        /// Samples per (domain, country) pair.
+        samples: usize,
+    },
+    /// Probe the listed (domain index, country index) pairs, `samples`
+    /// each, in pair order (a confirmation-shaped pass; no archiving).
+    Pairs {
+        /// The pairs to probe, in order.
+        pairs: Vec<(usize, usize)>,
+        /// Samples per pair.
+        samples: usize,
+    },
+    /// The protocol is complete.
+    Done,
+}
+
+impl SampleRequest {
+    /// Whether this request ends the protocol.
+    pub fn is_done(&self) -> bool {
+        matches!(self, SampleRequest::Done)
+    }
+
+    /// Probes this request will spend over a `domains × countries` grid.
+    pub fn probes(&self, domains: usize, countries: usize) -> usize {
+        match self {
+            SampleRequest::Grid { samples } => domains * countries * samples,
+            SampleRequest::Pairs { pairs, samples } => pairs.len() * samples,
+            SampleRequest::Done => 0,
+        }
+    }
+}
+
+/// One round's spend in a [`ProbeBudget`] ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundSpend {
+    /// Round index.
+    pub round: u32,
+    /// Probes charged to the round.
+    pub probes: u64,
+}
+
+/// A probe-spend ledger: an optional hard cap plus a per-round record of
+/// every charge. The ledger is plain serde data so checkpoints can carry
+/// it, and equality is structural — a resumed run proving it replayed to
+/// the identical ledger is `assert_eq!` on two of these.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeBudget {
+    /// Probe ceiling, when capped.
+    pub cap: Option<u64>,
+    /// Probes spent so far.
+    pub spent: u64,
+    /// Per-round spend, in charge order (consecutive charges to the same
+    /// round merge into one entry).
+    pub rounds: Vec<RoundSpend>,
+}
+
+impl ProbeBudget {
+    /// A ledger with no ceiling.
+    pub fn unlimited() -> ProbeBudget {
+        ProbeBudget::default()
+    }
+
+    /// A ledger that runs out after `cap` probes.
+    pub fn capped(cap: u64) -> ProbeBudget {
+        ProbeBudget {
+            cap: Some(cap),
+            ..ProbeBudget::default()
+        }
+    }
+
+    /// Charge `probes` to `round`.
+    pub fn charge(&mut self, round: usize, probes: u64) {
+        self.spent += probes;
+        match self.rounds.last_mut() {
+            Some(last) if last.round == round as u32 => last.probes += probes,
+            _ => self.rounds.push(RoundSpend {
+                round: round as u32,
+                probes,
+            }),
+        }
+    }
+
+    /// Probes left under the cap; `None` means unlimited.
+    pub fn remaining(&self) -> Option<u64> {
+        self.cap.map(|cap| cap.saturating_sub(self.spent))
+    }
+
+    /// Whether a capped ledger has nothing left to spend.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == Some(0)
+    }
+}
+
+/// Decides study rounds from evidence. Implementations must be
+/// deterministic functions of `(evidence, budget)` plus their own
+/// configuration: a killed-and-resumed run re-asks the same questions and
+/// must get the same answers.
+pub trait SamplingPolicy: Send {
+    /// The policy's stable name (budget ledgers and logs carry it).
+    fn name(&self) -> &'static str;
+
+    /// The next round to run, or [`SampleRequest::Done`].
+    fn next_round(&mut self, evidence: &EvidenceState<'_>, budget: &ProbeBudget) -> SampleRequest;
+}
+
+/// The paper's protocol, exactly: a `baseline_samples` grid, then one
+/// `confirm_samples` pass over every flagged pair (in domain-major order —
+/// the order `flagged_explicit_pairs` reports), then done. This is the
+/// default policy everywhere, and it is probe-for-probe identical to the
+/// pre-policy `baseline` + `confirm` pipeline, including the empty
+/// confirmation pass when nothing was flagged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperExact;
+
+impl SamplingPolicy for PaperExact {
+    fn name(&self) -> &'static str {
+        "paper-exact"
+    }
+
+    fn next_round(&mut self, evidence: &EvidenceState<'_>, _budget: &ProbeBudget) -> SampleRequest {
+        match evidence.round() {
+            0 => SampleRequest::Grid {
+                samples: evidence.config().baseline_samples as usize,
+            },
+            // Always emitted, even when no pair was flagged: the legacy
+            // confirm pass ran (an empty resample) either way, and
+            // bit-identity extends to what attached observers see.
+            1 => SampleRequest::Pairs {
+                pairs: evidence.flagged_explicit(),
+                samples: evidence.config().confirm.confirm_samples as usize,
+            },
+            _ => SampleRequest::Done,
+        }
+    }
+}
+
+/// Budget-aware successive halving over the pair population.
+///
+/// Round 0 scouts the whole grid with `scout_samples` (default 1) probes
+/// per pair. From then on, each round re-probes only the pairs still
+/// worth money: pairs that showed a blocking signal, and pairs whose
+/// samples disagree with each other, ordered by disagreement (highest
+/// first) so a capped budget is spent where the evidence is noisiest.
+/// Pairs that answered unanimously-clean are never probed again — that is
+/// where the savings come from. Once no pair needs baseline work, every
+/// flagged pair is topped up to the full `baseline + confirm` sample
+/// count: the hard floor. Floor rounds ignore the cap — a flagged pair
+/// short of 23 samples would be a verdict the paper's methodology never
+/// certified.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBandit {
+    /// Samples per pair in the scouting round (default 1).
+    pub scout_samples: usize,
+}
+
+impl Default for AdaptiveBandit {
+    fn default() -> AdaptiveBandit {
+        AdaptiveBandit { scout_samples: 1 }
+    }
+}
+
+impl SamplingPolicy for AdaptiveBandit {
+    fn name(&self) -> &'static str {
+        "adaptive-bandit"
+    }
+
+    fn next_round(&mut self, evidence: &EvidenceState<'_>, budget: &ProbeBudget) -> SampleRequest {
+        let base = evidence.config().baseline_samples as usize;
+        let full = base + evidence.config().confirm.confirm_samples as usize;
+        if evidence.round() == 0 {
+            return SampleRequest::Grid {
+                samples: self.scout_samples.clamp(1, base),
+            };
+        }
+
+        // Baseline continuation: pairs that are flagged or self-disagreeing
+        // and still short of the baseline depth get one more sample each,
+        // noisiest first. A capped budget truncates this set (never the
+        // floor below): the cheap scout already bought every pair a look.
+        let mut active: Vec<PairEvidence> = evidence
+            .pairs()
+            .filter(|e| e.samples < base && (e.flagged() || !e.unanimous()))
+            .collect();
+        if !active.is_empty() {
+            active.sort_by_key(|e| (std::cmp::Reverse(e.disagreement()), e.domain, e.country));
+            if let Some(remaining) = budget.remaining() {
+                active.truncate(remaining as usize);
+            }
+            if !active.is_empty() {
+                return SampleRequest::Pairs {
+                    pairs: active.iter().map(|e| (e.domain, e.country)).collect(),
+                    samples: 1,
+                };
+            }
+        }
+
+        // The hard floor: every pair that ever showed a blocking signal
+        // reaches the full protocol's sample count, cap or no cap. Rounds
+        // are uniform (the smallest outstanding deficit), so pairs flagged
+        // at different depths converge over a couple of rounds.
+        let deficient: Vec<PairEvidence> = evidence
+            .pairs()
+            .filter(|e| e.flagged() && e.samples < full)
+            .collect();
+        if let Some(step) = deficient.iter().map(|e| full - e.samples).min() {
+            return SampleRequest::Pairs {
+                pairs: deficient.iter().map(|e| (e.domain, e.country)).collect(),
+                samples: step,
+            };
+        }
+        SampleRequest::Done
+    }
+}
+
+/// The monitor's delta scan as a policy: one round re-probing a fixed
+/// pair list at full baseline + confirmation depth (so delta verdicts
+/// meet the same 23-sample evidence bar as full-scan ones), then done.
+#[derive(Debug, Clone)]
+pub struct DeltaPolicy {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl DeltaPolicy {
+    /// A delta pass over `pairs` (previous-snapshot order).
+    pub fn new(pairs: Vec<(usize, usize)>) -> DeltaPolicy {
+        DeltaPolicy { pairs }
+    }
+}
+
+impl SamplingPolicy for DeltaPolicy {
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+
+    fn next_round(&mut self, evidence: &EvidenceState<'_>, _budget: &ProbeBudget) -> SampleRequest {
+        if evidence.round() == 0 {
+            let config = evidence.config();
+            SampleRequest::Pairs {
+                pairs: self.pairs.clone(),
+                samples: (config.baseline_samples + config.confirm.confirm_samples) as usize,
+            }
+        } else {
+            SampleRequest::Done
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Obs;
+    use geoblock_blockpages::PageKind;
+    use geoblock_worldgen::cc;
+
+    fn block() -> Obs {
+        Obs::Response {
+            status: 403,
+            len: 1500,
+            page: Some(PageKind::Cloudflare),
+        }
+    }
+
+    fn ok() -> Obs {
+        Obs::Response {
+            status: 200,
+            len: 9000,
+            page: None,
+        }
+    }
+
+    fn config() -> StudyConfig {
+        StudyConfig::builder()
+            .countries([cc("IR"), cc("US")])
+            .build()
+            .unwrap()
+    }
+
+    fn store(domains: usize) -> SampleStore {
+        SampleStore::new(
+            (0..domains).map(|i| format!("d{i}.example")).collect(),
+            vec![cc("IR"), cc("US")],
+        )
+    }
+
+    /// Drive a policy to completion over a deterministic obs oracle,
+    /// returning (final store, budget).
+    fn drive(
+        policy: &mut dyn SamplingPolicy,
+        config: &StudyConfig,
+        domains: usize,
+        oracle: impl Fn(usize, usize) -> Obs,
+        cap: Option<u64>,
+    ) -> (SampleStore, ProbeBudget) {
+        let mut s = store(domains);
+        let mut budget = cap.map(ProbeBudget::capped).unwrap_or_default();
+        for round in 0.. {
+            let request = policy.next_round(&EvidenceState::new(&s, config, round), &budget);
+            let probes = request.probes(s.domains.len(), s.countries.len());
+            match request {
+                SampleRequest::Done => break,
+                SampleRequest::Grid { samples } => {
+                    for d in 0..s.domains.len() {
+                        for c in 0..s.countries.len() {
+                            for _ in 0..samples {
+                                s.push(d, c, oracle(d, c));
+                            }
+                        }
+                    }
+                }
+                SampleRequest::Pairs { pairs, samples } => {
+                    for (d, c) in pairs {
+                        for _ in 0..samples {
+                            s.push(d, c, oracle(d, c));
+                        }
+                    }
+                }
+            }
+            budget.charge(round, probes as u64);
+            assert!(round < 64, "policy failed to terminate");
+        }
+        (s, budget)
+    }
+
+    #[test]
+    fn paper_exact_replays_the_fixed_protocol() {
+        let config = config();
+        // Domain 0 blocks IR; everything else is clean.
+        let oracle = |d: usize, c: usize| if d == 0 && c == 0 { block() } else { ok() };
+        let (s, budget) = drive(&mut PaperExact, &config, 3, oracle, None);
+        // Every pair gets 3 baseline samples; the one flagged pair 23.
+        for (d, c, cell) in s.iter_cells() {
+            let expected = if (d, c) == (0, 0) { 23 } else { 3 };
+            assert_eq!(cell.len(), expected, "cell ({d}, {c})");
+        }
+        // Ledger: grid round then confirmation round.
+        assert_eq!(budget.spent, (3 * 2 * 3 + 20) as u64);
+        assert_eq!(budget.rounds.len(), 2);
+        assert_eq!(budget.rounds[0].probes, 18);
+        assert_eq!(budget.rounds[1].probes, 20);
+    }
+
+    #[test]
+    fn paper_exact_confirm_round_is_emitted_even_when_empty() {
+        // Bit-identity with the legacy pipeline includes the empty
+        // confirmation resample observers used to see.
+        let config = config();
+        let s = store(1);
+        let mut seeded = s;
+        for c in 0..2 {
+            for _ in 0..3 {
+                seeded.push(0, c, ok());
+            }
+        }
+        let request = PaperExact.next_round(
+            &EvidenceState::new(&seeded, &config, 1),
+            &ProbeBudget::default(),
+        );
+        assert_eq!(
+            request,
+            SampleRequest::Pairs {
+                pairs: Vec::new(),
+                samples: 20
+            }
+        );
+    }
+
+    #[test]
+    fn bandit_early_stops_clean_pairs_and_floors_flagged_ones() {
+        let config = config();
+        let oracle = |d: usize, c: usize| if d == 0 && c == 0 { block() } else { ok() };
+        let (s, budget) = drive(&mut AdaptiveBandit::default(), &config, 4, oracle, None);
+        for (d, c, cell) in s.iter_cells() {
+            if (d, c) == (0, 0) {
+                assert_eq!(cell.len(), 23, "flagged pair must reach the full floor");
+            } else {
+                assert_eq!(cell.len(), 1, "clean unanimous pairs stop after 1 sample");
+            }
+        }
+        // 8 scout probes + 22 top-ups ≪ the fixed protocol's 8*3 + 20.
+        assert_eq!(budget.spent, 8 + 22);
+    }
+
+    #[test]
+    fn bandit_spends_on_disagreement_but_never_past_baseline_for_clean_pairs() {
+        let config = config();
+        // Pair (1, 1) flips between two answers; never a block signal. A
+        // 2-sample scout catches the flip in the opening round.
+        let flip = std::cell::Cell::new(false);
+        let oracle = move |d: usize, c: usize| {
+            if (d, c) == (1, 1) {
+                flip.set(!flip.get());
+                if flip.get() {
+                    ok()
+                } else {
+                    Obs::Response {
+                        status: 500,
+                        len: 100,
+                        page: None,
+                    }
+                }
+            } else {
+                ok()
+            }
+        };
+        let mut policy = AdaptiveBandit { scout_samples: 2 };
+        let (s, _) = drive(&mut policy, &config, 2, oracle, None);
+        assert_eq!(
+            s.cell(1, 1).len(),
+            3,
+            "disagreeing unflagged pairs resolve at baseline depth"
+        );
+        assert_eq!(s.cell(0, 0).len(), 2, "unanimous pairs stop at the scout");
+    }
+
+    #[test]
+    fn bandit_floor_ignores_an_exhausted_cap() {
+        let config = config();
+        let oracle = |d: usize, c: usize| if d == 0 && c == 0 { block() } else { ok() };
+        // Cap below even the scout cost: baseline continuation is starved,
+        // but the flagged pair still reaches the full 23-sample bar.
+        let (s, budget) = drive(&mut AdaptiveBandit::default(), &config, 4, oracle, Some(6));
+        assert_eq!(s.cell(0, 0).len(), 23);
+        assert!(budget.spent > 6, "floor rounds spend past the cap");
+    }
+
+    #[test]
+    fn delta_policy_is_one_full_depth_pass() {
+        let config = config();
+        let mut policy = DeltaPolicy::new(vec![(1, 0), (0, 1)]);
+        let oracle = |_: usize, _: usize| block();
+        let (s, budget) = drive(&mut policy, &config, 2, oracle, None);
+        assert_eq!(s.cell(1, 0).len(), 23);
+        assert_eq!(s.cell(0, 1).len(), 23);
+        assert_eq!(s.cell(0, 0).len(), 0);
+        assert_eq!(budget.rounds.len(), 1);
+        assert_eq!(budget.spent, 46);
+    }
+
+    #[test]
+    fn budget_ledger_merges_same_round_charges_and_serializes() {
+        let mut budget = ProbeBudget::capped(100);
+        budget.charge(0, 30);
+        budget.charge(0, 10);
+        budget.charge(1, 5);
+        assert_eq!(budget.spent, 45);
+        assert_eq!(budget.remaining(), Some(55));
+        assert_eq!(budget.rounds.len(), 2);
+        assert_eq!(
+            budget.rounds[0],
+            RoundSpend {
+                round: 0,
+                probes: 40
+            }
+        );
+        let json = serde_json::to_string(&budget).unwrap();
+        let back: ProbeBudget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, budget);
+
+        assert!(!ProbeBudget::unlimited().exhausted());
+        assert_eq!(ProbeBudget::unlimited().remaining(), None);
+        let mut tiny = ProbeBudget::capped(2);
+        tiny.charge(0, 2);
+        assert!(tiny.exhausted());
+    }
+
+    #[test]
+    fn evidence_summaries_count_blocks_and_labels() {
+        let config = config();
+        let mut s = store(1);
+        s.push(0, 0, block());
+        s.push(0, 0, ok());
+        let ev = EvidenceState::new(&s, &config, 1);
+        let pairs: Vec<PairEvidence> = ev.pairs().collect();
+        // Unsampled pairs have no evidence and do not appear.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].samples, 2);
+        assert_eq!(pairs[0].block_samples, 1);
+        assert!(pairs[0].flagged());
+        assert!(!pairs[0].unanimous());
+        assert_eq!(pairs[0].disagreement(), 1);
+        let unsampled = PairEvidence {
+            domain: 0,
+            country: 1,
+            samples: 0,
+            block_samples: 0,
+            distinct_labels: 0,
+        };
+        assert!(!unsampled.unanimous(), "an unsampled pair proves nothing");
+        assert_eq!(ev.flagged_explicit(), vec![(0, 0)]);
+    }
+}

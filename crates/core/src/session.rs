@@ -19,8 +19,13 @@
 //! over an `Arc`-shared engine: build one per pass when different passes
 //! need different observers (the DST scenario traces only its baseline).
 //!
-//! The old surface ([`Top10kStudy`](crate::study::Top10kStudy) and
-//! friends) survives one release as deprecated shims over this type.
+//! Phases are driven by a [`SamplingPolicy`](crate::sampling): the
+//! session executes the [`SampleRequest`] rounds a policy emits
+//! ([`run_round`](StudySession::run_round) /
+//! [`run_policy`](StudySession::run_policy)), and the staged
+//! `baseline`/`confirm` methods are those same round executors with the
+//! default [`PaperExact`] phase arithmetic baked in — so opting into a
+//! different policy changes *which* probes run, never *how* they run.
 
 use std::sync::Arc;
 
@@ -32,6 +37,7 @@ use crate::classify::classify_chain;
 use crate::confirm::{flagged_explicit_pairs, flagged_pairs};
 use crate::observation::{BodyArchive, Obs, SampleStore};
 use crate::plan::TargetPlan;
+use crate::sampling::{EvidenceState, PaperExact, ProbeBudget, SampleRequest, SamplingPolicy};
 use crate::study::{StudyAccumulator, StudyConfig, StudyResult};
 
 /// Fans stream events out to every attached observer. With no observers it
@@ -89,6 +95,7 @@ pub struct StudySession<'s, T: Transport + 'static> {
     config: StudyConfig,
     fingerprints: CompiledFingerprintSet,
     observers: Vec<&'s mut dyn ProbeSink>,
+    policy: Option<Box<dyn SamplingPolicy>>,
 }
 
 impl<'s, T: Transport + 'static> StudySession<'s, T> {
@@ -99,7 +106,16 @@ impl<'s, T: Transport + 'static> StudySession<'s, T> {
             config,
             fingerprints: CompiledFingerprintSet::paper(),
             observers: Vec::new(),
+            policy: None,
         }
+    }
+
+    /// Attach a sampling policy; [`full_protocol`](StudySession::full_protocol)
+    /// drives its rounds instead of the default [`PaperExact`]. Chainable,
+    /// like [`sink`](StudySession::sink).
+    pub fn policy(mut self, policy: impl SamplingPolicy + 'static) -> StudySession<'s, T> {
+        self.policy = Some(Box::new(policy));
+        self
     }
 
     /// Attach an observer: it sees every spawn and completion of every
@@ -128,6 +144,15 @@ impl<'s, T: Transport + 'static> StudySession<'s, T> {
         &self.engine
     }
 
+    /// An empty result shaped `domains × config.countries` — the store a
+    /// policy-driven run fills round by round.
+    pub fn empty_result(&self, domains: &[String]) -> StudyResult {
+        StudyResult {
+            store: SampleStore::new(domains.to_vec(), self.config.countries.clone()),
+            archive: BodyArchive::new(),
+        }
+    }
+
     /// Run the baseline pass: `baseline_samples` probes of every
     /// (domain, country) pair.
     ///
@@ -136,19 +161,27 @@ impl<'s, T: Transport + 'static> StudySession<'s, T> {
     /// stays O(concurrency) — no chunk of `domains × countries × samples`
     /// targets or results ever exists.
     pub async fn baseline(&mut self, domains: &[String]) -> StudyResult {
-        let mut store = SampleStore::new(domains.to_vec(), self.config.countries.clone());
-        let mut archive = BodyArchive::new();
-        let plan = TargetPlan::grid(
-            domains,
-            &self.config.countries,
-            self.config.baseline_samples as usize,
-        );
+        let mut result = self.empty_result(domains);
+        self.grid_pass(&mut result, self.config.baseline_samples as usize)
+            .await;
+        result
+    }
+
+    /// A baseline-shaped grid pass merging into `result`: `samples` probes
+    /// of every pair in the result's axes, with representative-country
+    /// bodies offered to the archive.
+    async fn grid_pass(&mut self, result: &mut StudyResult, samples: usize) {
+        // The plan cannot borrow the store while the accumulator holds it
+        // mutably, so the coordinate tables are cloned out first.
+        let domains = result.store.domains.clone();
+        let countries = result.store.countries.clone();
+        let plan = TargetPlan::grid(&domains, &countries, samples);
         let mut acc = StudyAccumulator::new(
             &self.fingerprints,
-            &self.config.countries,
+            &countries,
             &self.config.rep_countries,
-            &mut store,
-            Some(&mut archive),
+            &mut result.store,
+            Some(&mut result.archive),
         );
         let mut sink = FanoutSink {
             sinks: &mut self.observers,
@@ -161,9 +194,47 @@ impl<'s, T: Transport + 'static> StudySession<'s, T> {
         while let Some((i, result)) = stream.next().await {
             acc.absorb(plan.coord(i), &result);
         }
-        drop(stream);
-        drop(acc);
-        StudyResult { store, archive }
+    }
+
+    /// Execute one policy round against `result`, returning the probes
+    /// spent. [`SampleRequest::Grid`] runs a baseline-shaped pass (bodies
+    /// archived); [`SampleRequest::Pairs`] a confirmation-shaped
+    /// [`resample`](StudySession::resample); [`SampleRequest::Done`] is a
+    /// no-op.
+    pub async fn run_round(&mut self, result: &mut StudyResult, request: &SampleRequest) -> usize {
+        let probes = request.probes(result.store.domains.len(), result.store.countries.len());
+        match request {
+            SampleRequest::Done => {}
+            SampleRequest::Grid { samples } => self.grid_pass(result, *samples).await,
+            SampleRequest::Pairs { pairs, samples } => self.resample(result, pairs, *samples).await,
+        }
+        probes
+    }
+
+    /// Drive `policy` to completion over `domains`, charging every round
+    /// to `budget`. Rounds are asked for one at a time against the
+    /// evidence collected so far, so the policy's decisions (and the
+    /// ledger) are a deterministic replay for a given engine seed.
+    pub async fn run_policy(
+        &mut self,
+        policy: &mut dyn SamplingPolicy,
+        domains: &[String],
+        budget: &mut ProbeBudget,
+    ) -> SessionOutcome {
+        let mut result = self.empty_result(domains);
+        for round in 0.. {
+            let request = {
+                let evidence = EvidenceState::new(&result.store, &self.config, round);
+                policy.next_round(&evidence, budget)
+            };
+            if request.is_done() {
+                break;
+            }
+            let probes = self.run_round(&mut result, &request).await;
+            budget.charge(round, probes as u64);
+        }
+        let flagged = flagged_explicit_pairs(&result.store).len();
+        SessionOutcome { result, flagged }
     }
 
     /// Resample arbitrary pairs `n` times each, merging into the store —
@@ -221,14 +292,19 @@ impl<'s, T: Transport + 'static> StudySession<'s, T> {
         domains.len()
     }
 
-    /// The full §4 protocol in one call: baseline, then explicit
+    /// The full protocol in one call, driven by the attached policy
+    /// ([`policy`](StudySession::policy)) or [`PaperExact`] by default —
+    /// under which this is probe-for-probe the §4 baseline + explicit
     /// confirmation. The staged methods remain for callers that let
     /// virtual time pass between passes (how `makro.co.za`-style flips
     /// become observable).
     pub async fn full_protocol(&mut self, domains: &[String]) -> SessionOutcome {
-        let mut result = self.baseline(domains).await;
-        let flagged = self.confirm(&mut result).await;
-        SessionOutcome { result, flagged }
+        let mut policy: Box<dyn SamplingPolicy> =
+            self.policy.take().unwrap_or_else(|| Box::new(PaperExact));
+        let mut budget = ProbeBudget::unlimited();
+        let outcome = self.run_policy(policy.as_mut(), domains, &mut budget).await;
+        self.policy = Some(policy);
+        outcome
     }
 
     /// Rank countries by how much explicit blocking a quick pre-pass
@@ -323,22 +399,128 @@ mod tests {
     }
 
     #[tokio::test]
-    async fn session_matches_the_deprecated_driver_exactly() {
-        // The migration guarantee: same engine config, same seed-free toy
-        // transport, same observations cell for cell.
-        #[allow(deprecated)]
-        let old = {
-            let study = crate::study::Top10kStudy::new(engine(), config());
-            let mut result = study.baseline(&domains()).await;
-            study.confirm_explicit(&mut result).await;
+    async fn policy_path_matches_the_staged_pipeline_exactly() {
+        // The refactor guarantee: full_protocol (PaperExact rounds) is
+        // probe-for-probe the staged baseline + confirm on a fresh engine.
+        let staged = {
+            let mut session = StudySession::new(engine(), config());
+            let mut result = session.baseline(&domains()).await;
+            session.confirm(&mut result).await;
             result
         };
         let mut session = StudySession::new(engine(), config());
-        let new = session.full_protocol(&domains()).await.result;
-        for ((d, c, a), (_, _, b)) in old.store.iter_cells().zip(new.store.iter_cells()) {
-            assert_eq!(a, b, "cell ({d}, {c}) differs between old and new API");
+        let policy = session.full_protocol(&domains()).await.result;
+        for ((d, c, a), (_, _, b)) in staged.store.iter_cells().zip(policy.store.iter_cells()) {
+            assert_eq!(
+                a, b,
+                "cell ({d}, {c}) differs between staged and policy paths"
+            );
         }
-        assert_eq!(old.archive.len(), new.archive.len());
+        assert_eq!(staged.archive.len(), policy.archive.len());
+    }
+
+    #[tokio::test]
+    async fn baseline_collects_three_samples_per_pair() {
+        let mut session = StudySession::new(engine(), config());
+        let result = session.baseline(&domains()).await;
+        assert_eq!(result.store.total_samples(), 2 * 3 * 3);
+        for d in 0..2 {
+            for c in 0..3 {
+                assert_eq!(result.store.cell(d, c).len(), 3);
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn block_page_bodies_are_archived_in_rep_countries() {
+        let mut session = StudySession::new(engine(), config());
+        let result = session.baseline(&["blocked.com".to_string()]).await;
+        // IR is a rep country and its samples are block pages → retained.
+        assert!(
+            result.archive.len() >= 3,
+            "archived {}",
+            result.archive.len()
+        );
+        let doc = result.archive.get(0, 0, 0).expect("IR sample retained");
+        assert!(String::from_utf8_lossy(doc).contains("banned the country"));
+    }
+
+    #[tokio::test]
+    async fn resample_is_chunk_invariant() {
+        // The streaming path has no chunks: observations must be identical
+        // whatever work_unit_domains says, and in-flight work is bounded by
+        // the engine's concurrency, not by any chunk size.
+        async fn run(work_unit_domains: usize) -> (StudyResult, GaugeSink) {
+            let engine = Arc::new(Lumscan::new(
+                ToyNet,
+                LumscanConfig::builder().concurrency(4).build().unwrap(),
+            ));
+            let config = StudyConfig::builder()
+                .countries([cc("IR"), cc("US"), cc("DE")])
+                .rep_countries([cc("IR"), cc("US")])
+                .work_unit_domains(work_unit_domains)
+                .build()
+                .unwrap();
+            let mut gauge = GaugeSink::new();
+            let mut result = {
+                let mut session = StudySession::new(engine.clone(), config.clone());
+                session.baseline(&domains()).await
+            };
+            let pairs: Vec<(usize, usize)> =
+                (0..2).flat_map(|d| (0..3).map(move |c| (d, c))).collect();
+            let mut session = StudySession::new(engine, config).sink(&mut gauge);
+            session.resample(&mut result, &pairs, 5).await;
+            drop(session);
+            (result, gauge)
+        }
+        let (small, gauge) = run(1).await;
+        let (large, _) = run(4096).await;
+        for ((d, c, a), (_, _, b)) in small.store.iter_cells().zip(large.store.iter_cells()) {
+            assert_eq!(
+                a, b,
+                "cell ({d}, {c}) differs across work_unit_domains settings"
+            );
+        }
+        assert_eq!(
+            gauge.started,
+            2 * 3 * 5,
+            "resample probes every pair n times"
+        );
+        assert!(
+            gauge.peak_in_flight <= 4,
+            "in-flight {} exceeded engine concurrency",
+            gauge.peak_in_flight
+        );
+    }
+
+    #[tokio::test]
+    async fn adaptive_bandit_floors_flagged_pairs_and_skips_clean_ones() {
+        use crate::sampling::AdaptiveBandit;
+        let mut session = StudySession::new(engine(), config()).policy(AdaptiveBandit::default());
+        let outcome = session.full_protocol(&domains()).await;
+        assert_eq!(outcome.flagged, 1);
+        // The flagged pair reaches the full 23-sample bar; ToyNet is
+        // deterministic, so every clean pair stops at one scout sample.
+        assert_eq!(outcome.result.store.cell(0, 0).len(), 23);
+        assert_eq!(outcome.result.store.cell(1, 1).len(), 1);
+        let verdicts = outcome.result.verdicts(&session.config().confirm);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].domain, "blocked.com");
+        assert_eq!(verdicts[0].total, 23);
+    }
+
+    #[tokio::test]
+    async fn run_policy_records_the_ledger() {
+        use crate::sampling::PaperExact;
+        let mut session = StudySession::new(engine(), config());
+        let mut budget = ProbeBudget::unlimited();
+        let mut policy = PaperExact;
+        let outcome = session
+            .run_policy(&mut policy, &domains(), &mut budget)
+            .await;
+        assert_eq!(outcome.flagged, 1);
+        assert_eq!(budget.spent, (2 * 3 * 3 + 20) as u64);
+        assert_eq!(budget.rounds.len(), 2);
     }
 
     #[tokio::test]

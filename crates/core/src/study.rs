@@ -1,22 +1,12 @@
-//! Study configuration and accumulation shared by every driver, plus the
-//! deprecated pre-[`StudySession`] driver surface.
+//! Study configuration and accumulation shared by every driver.
 //!
 //! Both campaigns (§4 Top-10K, §5 Top-1M) share one skeleton: a 3-sample
 //! **baseline** pass over every (domain, country) pair, then targeted
 //! **confirmation** passes. The protocol logic lives in
-//! [`StudySession`](crate::session::StudySession); this module keeps the
-//! pieces every driver shares — [`StudyConfig`], [`StudyResult`],
-//! [`StudyAccumulator`] — and the old driver types ([`Top10kStudy`],
-//! [`Top1mStudy`], [`rank_blocking_countries`]) as deprecated shims that
-//! delegate to a session. The shims survive one release; migrate:
-//!
-//! ```ignore
-//! // before                                   // after
-//! let study = Top10kStudy::new(engine, cfg);  let mut s = StudySession::new(engine, cfg);
-//! study.baseline_with(&domains, &mut sink)    s = s.sink(&mut sink);
-//!     .await;                                 s.baseline(&domains).await;
-//! study.confirm_explicit(&mut result).await;  s.confirm(&mut result).await;
-//! ```
+//! [`StudySession`](crate::session::StudySession) (with phase arithmetic
+//! delegated to [`sampling`](crate::sampling) policies); this module
+//! keeps the pieces every driver shares — [`StudyConfig`],
+//! [`StudyResult`], [`StudyAccumulator`].
 //!
 //! Every pass runs on the streaming pipeline: a
 //! [`TargetPlan`](crate::plan::TargetPlan) enumerates probe targets
@@ -27,17 +17,14 @@
 //! everything else. No pass materializes a target or result vector, so
 //! peak memory is O(concurrency) regardless of study scale.
 
-use std::sync::Arc;
-
-use geoblock_blockpages::{CompiledFingerprintSet, PageKind};
-use geoblock_lumscan::{ConfigError, Lumscan, ProbeResult, ProbeSink, Transport};
+use geoblock_blockpages::CompiledFingerprintSet;
+use geoblock_lumscan::{ConfigError, ProbeResult};
 use geoblock_worldgen::CountryCode;
 
 use crate::classify::classify_chain;
 use crate::confirm::{verdicts, ConfirmConfig, GeoblockVerdict};
 use crate::observation::{BodyArchive, SampleStore};
 use crate::plan::ProbeCoord;
-use crate::session::StudySession;
 
 /// Shared study configuration.
 #[derive(Debug, Clone)]
@@ -67,7 +54,9 @@ pub struct StudyConfig {
 
 impl StudyConfig {
     /// Reasonable defaults over the given countries; `rep_countries`
-    /// should come from [`rank_blocking_countries`] or prior knowledge.
+    /// should come from
+    /// [`rank_countries`](crate::session::StudySession::rank_countries)
+    /// or prior knowledge.
     pub fn new(countries: Vec<CountryCode>, rep_countries: Vec<CountryCode>) -> StudyConfig {
         StudyConfig {
             countries,
@@ -245,156 +234,10 @@ impl<'a> StudyAccumulator<'a> {
     }
 }
 
-/// The pre-session study driver, now a shim over
-/// [`StudySession`](crate::session::StudySession).
-///
-/// Every method builds a one-shot session per call, so behaviour is
-/// probe-for-probe identical to the session API (the
-/// `session_matches_the_deprecated_driver_exactly` test pins this).
-#[deprecated(
-    since = "0.1.0",
-    note = "use geoblock_core::StudySession, which carries observers through every pass"
-)]
-pub struct Top10kStudy<T: Transport + 'static> {
-    engine: Arc<Lumscan<T>>,
-    config: StudyConfig,
-}
-
-/// Alias for the §5 campaign: identical machinery, different domain list
-/// and confirmation strategy (ambiguous kinds are confirmed across *all*
-/// countries).
-#[deprecated(since = "0.1.0", note = "use geoblock_core::StudySession")]
-#[allow(deprecated)]
-pub type Top1mStudy<T> = Top10kStudy<T>;
-
-#[allow(deprecated)]
-impl<T: Transport + 'static> Top10kStudy<T> {
-    /// Create a driver.
-    pub fn new(engine: Arc<Lumscan<T>>, config: StudyConfig) -> Top10kStudy<T> {
-        Top10kStudy { engine, config }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &StudyConfig {
-        &self.config
-    }
-
-    /// The probing engine.
-    pub fn engine(&self) -> &Arc<Lumscan<T>> {
-        &self.engine
-    }
-
-    fn session(&self) -> StudySession<'static, T> {
-        StudySession::new(self.engine.clone(), self.config.clone())
-    }
-
-    /// Run the baseline pass: `baseline_samples` probes of every
-    /// (domain, country) pair.
-    pub async fn baseline(&self, domains: &[String]) -> StudyResult {
-        self.session().baseline(domains).await
-    }
-
-    /// [`Top10kStudy::baseline`] with an observer — in the session API the
-    /// observer attaches once, via
-    /// [`sink`](crate::session::StudySession::sink).
-    pub async fn baseline_with(&self, domains: &[String], sink: &mut dyn ProbeSink) -> StudyResult {
-        let mut session = StudySession::new(self.engine.clone(), self.config.clone()).sink(sink);
-        session.baseline(domains).await
-    }
-
-    /// Confirmation pass for explicit geoblockers (§4.1.4); see
-    /// [`confirm`](crate::session::StudySession::confirm).
-    pub async fn confirm_explicit(&self, result: &mut StudyResult) -> usize {
-        self.session().confirm(result).await
-    }
-
-    /// Confirmation pass for ambiguous kinds (§5.1.2); see
-    /// [`confirm_ambiguous`](crate::session::StudySession::confirm_ambiguous).
-    pub async fn confirm_ambiguous(&self, result: &mut StudyResult, kinds: &[PageKind]) -> usize {
-        self.session().confirm_ambiguous(result, kinds).await
-    }
-
-    /// Resample arbitrary pairs `n` times each; see
-    /// [`resample`](crate::session::StudySession::resample).
-    pub async fn resample(&self, result: &mut StudyResult, pairs: &[(usize, usize)], n: usize) {
-        self.session().resample(result, pairs, n).await
-    }
-
-    /// [`Top10kStudy::resample`] with an observer.
-    pub async fn resample_with(
-        &self,
-        result: &mut StudyResult,
-        pairs: &[(usize, usize)],
-        n: usize,
-        sink: &mut dyn ProbeSink,
-    ) {
-        let mut session = StudySession::new(self.engine.clone(), self.config.clone()).sink(sink);
-        session.resample(result, pairs, n).await
-    }
-}
-
-/// Rank countries by observed explicit blocking; shim over
-/// [`rank_countries`](crate::session::StudySession::rank_countries).
-#[deprecated(
-    since = "0.1.0",
-    note = "use StudySession::rank_countries, which also reports to attached observers"
-)]
-pub async fn rank_blocking_countries<T: Transport + 'static>(
-    engine: &Arc<Lumscan<T>>,
-    domains: &[String],
-    countries: &[CountryCode],
-    top: usize,
-) -> Vec<CountryCode> {
-    // The session's vantage panel is irrelevant to ranking, but its config
-    // must validate, so the candidate list doubles as the panel.
-    let config = StudyConfig::new(countries.to_vec(), Vec::new());
-    StudySession::new(engine.clone(), config)
-        .rank_countries(domains, countries, top)
-        .await
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use geoblock_http::{FetchError, Response, StatusCode};
-    use geoblock_lumscan::{LumscanConfig, TransportRequest};
     use geoblock_worldgen::cc;
-
-    /// A toy internet: `blocked.com` serves a Cloudflare 1009 page in IR,
-    /// content elsewhere; `plain.com` always serves content.
-    struct ToyNet;
-
-    impl Transport for ToyNet {
-        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
-            let host = req.request.effective_host();
-            if host == "lumtest.io" {
-                return Ok(Response::builder(StatusCode::OK)
-                    .body(format!("country={}", req.country))
-                    .finish(req.request.url));
-            }
-            let blocked = host == "blocked.com" && req.country == cc("IR");
-            if blocked {
-                let params = geoblock_blockpages::PageParams::new(&host, "Iran", "5.1.1.1", 1);
-                Ok(geoblock_blockpages::render(PageKind::Cloudflare, &params)
-                    .finish(req.request.url))
-            } else {
-                Ok(Response::builder(StatusCode::OK)
-                    .body("<html><body>".to_string() + &"content ".repeat(1000) + "</body></html>")
-                    .finish(req.request.url))
-            }
-        }
-    }
-
-    fn study() -> Top10kStudy<ToyNet> {
-        let engine = Arc::new(Lumscan::new(ToyNet, LumscanConfig::default()));
-        let config = StudyConfig::builder()
-            .countries([cc("IR"), cc("US"), cc("DE")])
-            .rep_countries([cc("IR"), cc("US")])
-            .build()
-            .expect("valid study config");
-        Top10kStudy::new(engine, config)
-    }
 
     #[test]
     fn builder_defaults_match_new() {
@@ -442,127 +285,5 @@ mod tests {
                 .field,
             "rep_countries"
         );
-    }
-
-    #[tokio::test]
-    async fn baseline_collects_three_samples_per_pair() {
-        let s = study();
-        let result = s
-            .baseline(&["blocked.com".to_string(), "plain.com".to_string()])
-            .await;
-        assert_eq!(result.store.total_samples(), 2 * 3 * 3);
-        for d in 0..2 {
-            for c in 0..3 {
-                assert_eq!(result.store.cell(d, c).len(), 3);
-            }
-        }
-    }
-
-    #[tokio::test]
-    async fn full_pipeline_confirms_the_blocked_pair() {
-        let s = study();
-        let mut result = s
-            .baseline(&["blocked.com".to_string(), "plain.com".to_string()])
-            .await;
-        let flagged = s.confirm_explicit(&mut result).await;
-        assert_eq!(flagged, 1);
-        let verdicts = result.verdicts(&s.config().confirm);
-        assert_eq!(verdicts.len(), 1);
-        assert_eq!(verdicts[0].domain, "blocked.com");
-        assert_eq!(verdicts[0].country, cc("IR"));
-        assert_eq!(verdicts[0].kind, PageKind::Cloudflare);
-        assert_eq!(verdicts[0].total, 23);
-    }
-
-    #[tokio::test]
-    async fn block_page_bodies_are_archived_in_rep_countries() {
-        let s = study();
-        let result = s.baseline(&["blocked.com".to_string()]).await;
-        // IR is a rep country and its samples are block pages → retained.
-        assert!(
-            result.archive.len() >= 3,
-            "archived {}",
-            result.archive.len()
-        );
-        let doc = result.archive.get(0, 0, 0).expect("IR sample retained");
-        assert!(String::from_utf8_lossy(doc).contains("banned the country"));
-    }
-
-    #[tokio::test]
-    async fn ambiguous_confirmation_resamples_all_countries() {
-        // ToyNet serves Cloudflare pages, so flag on Cloudflare to test the
-        // machinery (kind choice is arbitrary here).
-        let s = study();
-        let mut result = s.baseline(&["blocked.com".to_string()]).await;
-        let domains = s
-            .confirm_ambiguous(&mut result, &[PageKind::Cloudflare])
-            .await;
-        assert_eq!(domains, 1);
-        // Every country of the domain received 3 + 20 samples.
-        for c in 0..3 {
-            assert_eq!(result.store.cell(0, c).len(), 23);
-        }
-    }
-
-    #[tokio::test]
-    async fn resample_is_chunk_invariant() {
-        // Regression for the old batch resample, which hard-coded
-        // 4096-pair chunks and ignored the chunk knob. The streaming path
-        // has no chunks at all: observations must be identical whatever
-        // work_unit_domains says, and in-flight work is bounded by the
-        // engine's concurrency, not by any chunk size.
-        async fn run(work_unit_domains: usize) -> (StudyResult, geoblock_lumscan::GaugeSink) {
-            let engine = Arc::new(Lumscan::new(
-                ToyNet,
-                LumscanConfig::builder().concurrency(4).build().unwrap(),
-            ));
-            let config = StudyConfig::builder()
-                .countries([cc("IR"), cc("US"), cc("DE")])
-                .rep_countries([cc("IR"), cc("US")])
-                .work_unit_domains(work_unit_domains)
-                .build()
-                .unwrap();
-            let s = Top10kStudy::new(engine, config);
-            let mut result = s
-                .baseline(&["blocked.com".to_string(), "plain.com".to_string()])
-                .await;
-            let pairs: Vec<(usize, usize)> =
-                (0..2).flat_map(|d| (0..3).map(move |c| (d, c))).collect();
-            let mut sink = geoblock_lumscan::GaugeSink::new();
-            s.resample_with(&mut result, &pairs, 5, &mut sink).await;
-            (result, sink)
-        }
-        let (small, gauge) = run(1).await;
-        let (large, _) = run(4096).await;
-        for ((d, c, a), (_, _, b)) in small.store.iter_cells().zip(large.store.iter_cells()) {
-            assert_eq!(
-                a, b,
-                "cell ({d}, {c}) differs across work_unit_domains settings"
-            );
-        }
-        assert_eq!(
-            gauge.started,
-            2 * 3 * 5,
-            "resample probes every pair n times"
-        );
-        assert!(
-            gauge.peak_in_flight <= 4,
-            "in-flight {} exceeded engine concurrency",
-            gauge.peak_in_flight
-        );
-    }
-
-    #[tokio::test]
-    async fn country_ranking_puts_iran_first() {
-        let engine = Arc::new(Lumscan::new(ToyNet, LumscanConfig::default()));
-        let ranked = rank_blocking_countries(
-            &engine,
-            &["blocked.com".to_string(), "plain.com".to_string()],
-            &[cc("US"), cc("IR"), cc("DE")],
-            2,
-        )
-        .await;
-        assert_eq!(ranked[0], cc("IR"));
-        assert_eq!(ranked.len(), 2);
     }
 }

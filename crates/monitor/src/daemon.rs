@@ -13,12 +13,13 @@
 //! Every `full_every`-th scan (including scan 0) runs the **full**
 //! baseline + confirmation protocol through the sharded
 //! [`Orchestrator`] — killable and checkpoint-resumable mid-scan. The
-//! scans between run in **delta** mode: only the (domain, country) pairs
-//! the previous snapshot confirmed blocked are re-probed (at full
-//! baseline + confirmation depth, so verdicts meet the same 23-sample/80%
-//! bar). Deltas observe retreats and kind changes at a fraction of the
-//! probe budget but are blind to new blockers — the full-scan cadence
-//! bounds that blindness.
+//! scans between run in **delta** mode, expressed as a
+//! [`DeltaPolicy`](geoblock_core::DeltaPolicy) sampling policy: only the
+//! (domain, country) pairs the previous snapshot confirmed blocked are
+//! re-probed (at full baseline + confirmation depth, so verdicts meet the
+//! same 23-sample/80% bar). Deltas observe retreats and kind changes at a
+//! fraction of the probe budget but are blind to new blockers — the
+//! full-scan cadence bounds that blindness.
 //!
 //! # Determinism
 //!
@@ -40,7 +41,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use geoblock_core::{
-    diff_studies, BodyArchive, GeoblockVerdict, SampleStore, StudyConfig, StudyResult, StudySession,
+    diff_studies, DeltaPolicy, GeoblockVerdict, ProbeBudget, StudyConfig, StudySession,
 };
 use geoblock_lumscan::{Lumscan, Transport};
 use geoblock_orchestrator::{
@@ -348,16 +349,18 @@ where
                 let previous = store
                     .last()
                     .expect("delta scans follow a committed snapshot");
-                let pairs = self.delta_pairs(previous);
-                let mut result = StudyResult {
-                    store: SampleStore::new(self.domains.clone(), self.study.countries.clone()),
-                    archive: BodyArchive::new(),
-                };
-                let samples =
-                    (self.study.baseline_samples + self.study.confirm.confirm_samples) as usize;
+                // The delta rescan is a sampling policy like any other:
+                // one round over the previously-confirmed pairs at full
+                // baseline + confirmation depth. `run_policy` executes it
+                // through the same resample path the manual delta pass
+                // used, probe for probe.
+                let mut policy = DeltaPolicy::new(self.delta_pairs(previous));
                 let mut session = StudySession::new(engine, self.study.clone());
-                session.resample(&mut result, &pairs, samples).await;
-                result.verdicts(&self.study.confirm)
+                let mut budget = ProbeBudget::unlimited();
+                let outcome = session
+                    .run_policy(&mut policy, &self.domains, &mut budget)
+                    .await;
+                outcome.result.verdicts(&self.study.confirm)
             }
         };
 

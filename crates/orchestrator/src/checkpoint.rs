@@ -21,7 +21,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use geoblock_core::StudyConfig;
+use geoblock_core::{ProbeBudget, StudyConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::fnv1a;
@@ -82,6 +82,16 @@ pub struct Checkpoint {
     pub trace_hash: u64,
     /// Completed units, sorted by plan offset.
     pub units: Vec<UnitResult>,
+    /// The probe-budget ledger as of this snapshot — present for
+    /// policy-driven passes ([`run_policy`]), absent (and omitted from the
+    /// JSON, keeping plain baseline checkpoints byte-identical to version
+    /// 1 writers) otherwise. A resumed policy run restores this ledger and
+    /// must finish with the same final ledger an uninterrupted run
+    /// produces.
+    ///
+    /// [`run_policy`]: crate::Orchestrator::run_policy
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub budget: Option<ProbeBudget>,
 }
 
 impl Checkpoint {
@@ -105,7 +115,14 @@ impl Checkpoint {
             total_units,
             trace_hash,
             units,
+            budget: None,
         }
+    }
+
+    /// Attach a probe-budget ledger (policy-driven passes carry one).
+    pub fn with_budget(mut self, budget: ProbeBudget) -> Checkpoint {
+        self.budget = Some(budget);
+        self
     }
 
     /// IDs of the units this checkpoint has completed.
@@ -365,6 +382,33 @@ mod tests {
         cp.save(&path).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, cp);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_ledger_roundtrips_and_budgetless_files_still_load() {
+        let dir =
+            std::env::temp_dir().join(format!("geoblock-checkpoint-budget-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt");
+
+        let mut ledger = ProbeBudget::capped(100);
+        ledger.charge(0, 18);
+        let cp = Checkpoint::snapshot(0xabcd, 6, 1, 3, &[unit(0, 0)]).with_budget(ledger.clone());
+        cp.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.budget, Some(ledger));
+
+        // A plain baseline checkpoint has no ledger — and its JSON omits
+        // the field entirely, so version-1 writers and readers agree.
+        let plain = Checkpoint::snapshot(0xabcd, 6, 1, 3, &[unit(0, 0)]);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !json.contains("budget"),
+            "budgetless checkpoints omit the field"
+        );
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.budget, None);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,7 +21,14 @@
 //!   probe;
 //! * [`Orchestrator::resume`] restores a checkpoint into a fresh engine —
 //!   validating config hash and record integrity, winding per-pair
-//!   invocation counters forward — and probes only the remaining units.
+//!   invocation counters forward — and probes only the remaining units;
+//! * [`Orchestrator::run_policy`] drives a whole
+//!   [`SamplingPolicy`](geoblock_core::SamplingPolicy) protocol: the
+//!   policy's grid round shards through the same dispatcher, later pair
+//!   rounds run on the same engine, every checkpoint carries the
+//!   [`ProbeBudget`](geoblock_core::ProbeBudget) ledger, and
+//!   [`Orchestrator::resume_policy`] finishes an interrupted protocol with
+//!   a final ledger identical to an uninterrupted run's.
 //!
 //! # Why domain alignment makes the merge deterministic
 //!
@@ -56,7 +63,9 @@ pub mod record;
 pub mod shard;
 
 pub use checkpoint::{hash_study_config, ArchivedDoc, Checkpoint, CheckpointError, UnitResult};
-pub use orchestrator::{Orchestrator, OrchestratorConfig, OrchestratorError, OrchestratorRun};
+pub use orchestrator::{
+    Orchestrator, OrchestratorConfig, OrchestratorError, OrchestratorRun, PolicyRun,
+};
 pub use record::ProbeRecord;
 pub use shard::{ShardPlan, WorkUnit};
 

@@ -7,8 +7,10 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use geoblock_blockpages::CompiledFingerprintSet;
+use geoblock_core::confirm::flagged_explicit_pairs;
 use geoblock_core::{
-    classify_chain, BodyArchive, SampleStore, StudyConfig, StudyResult, TargetPlan,
+    classify_chain, BodyArchive, EvidenceState, ProbeBudget, SampleRequest, SampleStore,
+    SamplingPolicy, StudyConfig, StudyResult, StudySession, TargetPlan,
 };
 use geoblock_lumscan::{
     BatchStats, Lumscan, NoopSink, ProbeSink, ProbeTarget, SharedSink, Transport,
@@ -99,6 +101,33 @@ pub struct OrchestratorRun {
     pub interrupted: bool,
 }
 
+/// What an orchestrated policy run produced: the merged study data, the
+/// pairs the evidence flagged, and the probe-budget ledger the run charged
+/// round by round. For [`PaperExact`](geoblock_core::PaperExact) the
+/// result is bit-identical to the sharded baseline followed by a session
+/// confirmation pass on the same engine.
+pub struct PolicyRun {
+    /// Every round's observations and retained bodies, merged.
+    pub result: StudyResult,
+    /// (domain, country) pairs flagged as explicit blockers by the end.
+    pub flagged: Vec<(usize, usize)>,
+    /// The final probe-budget ledger. A killed-and-resumed run finishes
+    /// with a ledger identical to an uninterrupted run's.
+    pub budget: ProbeBudget,
+    /// Completed policy rounds.
+    pub rounds: usize,
+    /// Grid-round units probed by this process.
+    pub fresh_units: usize,
+    /// Grid-round units restored from a checkpoint.
+    pub restored_units: usize,
+    /// Units in the grid round's shard plan (0 if the policy never asked
+    /// for a grid).
+    pub total_units: usize,
+    /// Whether the grid round stopped early (`stop_after_units`); resume
+    /// from the checkpoint to finish the protocol.
+    pub interrupted: bool,
+}
+
 /// Why an orchestrated pass could not run.
 #[derive(Debug)]
 pub enum OrchestratorError {
@@ -170,12 +199,19 @@ impl<T: Transport + 'static> Orchestrator<T> {
         &self.engine
     }
 
-    /// The shard plan a pass over `domains` will use.
+    /// The shard plan a baseline pass over `domains` will use.
     pub fn shard_plan(&self, domains: &[String]) -> ShardPlan {
+        self.shard_plan_for(domains, self.study.baseline_samples as usize)
+    }
+
+    /// The shard plan of a grid round at `samples` per pair — the baseline
+    /// plan when `samples == baseline_samples`, a policy's scouting plan
+    /// otherwise.
+    fn shard_plan_for(&self, domains: &[String], samples: usize) -> ShardPlan {
         ShardPlan::new(
             domains.len(),
             self.study.countries.len(),
-            self.study.baseline_samples as usize,
+            samples,
             self.study.work_unit_domains,
         )
     }
@@ -198,7 +234,14 @@ impl<T: Transport + 'static> Orchestrator<T> {
         domains: &[String],
         sink: SharedSink<S>,
     ) -> Result<OrchestratorRun, OrchestratorError> {
-        self.run(domains, Vec::new(), sink).await
+        self.run(
+            domains,
+            self.study.baseline_samples as usize,
+            Vec::new(),
+            sink,
+            None,
+        )
+        .await
     }
 
     /// Resume an interrupted pass: validate the checkpoint against this
@@ -247,12 +290,191 @@ impl<T: Transport + 'static> Orchestrator<T> {
             .into());
         }
 
-        // Wind invocation counters forward: each restored record claimed
-        // exactly one invocation of its (host, country) pair, and exit
-        // sessions derive from those counters — without this, later passes
-        // (confirmation) would re-derive the interrupted run's sessions.
+        self.wind_invocations(&checkpoint.units);
+        self.run(
+            domains,
+            self.study.baseline_samples as usize,
+            checkpoint.units,
+            sink,
+            None,
+        )
+        .await
+    }
+
+    /// Drive a [`SamplingPolicy`] to completion, sharding its grid round
+    /// across workers: round 0's grid runs through the same work-stealing
+    /// dispatcher as [`baseline`](Orchestrator::baseline) (checkpointed,
+    /// killable), later pair rounds run through a [`StudySession`] on the
+    /// same engine. Every completed round charges `budget`, and every
+    /// checkpoint carries the ledger, so a resumed run can prove it
+    /// replayed to the identical spend.
+    ///
+    /// Policies may request a grid only as their opening round (all
+    /// shipped policies do); a later grid request is a config error.
+    pub async fn run_policy(
+        &self,
+        domains: &[String],
+        policy: &mut dyn SamplingPolicy,
+        budget: ProbeBudget,
+    ) -> Result<PolicyRun, OrchestratorError> {
+        self.drive_policy(domains, policy, budget, Vec::new()).await
+    }
+
+    /// Resume an interrupted [`run_policy`](Orchestrator::run_policy)
+    /// pass: validate the checkpoint, restore its budget ledger and
+    /// completed grid units, wind the engine's invocation counters, and
+    /// drive the policy to completion. The finished ledger and result are
+    /// identical to an uninterrupted run's for a fixed engine seed.
+    pub async fn resume_policy(
+        &self,
+        domains: &[String],
+        checkpoint: Checkpoint,
+        policy: &mut dyn SamplingPolicy,
+    ) -> Result<PolicyRun, OrchestratorError> {
+        let expected = self.config_hash(domains);
+        if checkpoint.config_hash != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: checkpoint.config_hash,
+            }
+            .into());
+        }
+        let budget = checkpoint.budget.clone().unwrap_or_default();
+        // Round-0 geometry: ask the policy for its opening request against
+        // an empty store — exactly what a fresh run asks, so a
+        // deterministic policy answers identically here.
+        let empty = SampleStore::new(domains.to_vec(), self.study.countries.clone());
+        let opening = policy.next_round(&EvidenceState::new(&empty, &self.study, 0), &budget);
+        let SampleRequest::Grid { samples } = opening else {
+            return Err(OrchestratorError::Config(
+                "resume_policy needs a policy whose opening round is a grid".to_string(),
+            ));
+        };
+        let plan = self.shard_plan_for(domains, samples);
+        if checkpoint.plan_len != plan.total_probes()
+            || checkpoint.total_units != plan.total_units()
+        {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint geometry ({} probes, {} units) does not match the policy's \
+                 grid round ({} probes, {} units)",
+                checkpoint.plan_len,
+                checkpoint.total_units,
+                plan.total_probes(),
+                plan.total_units()
+            ))
+            .into());
+        }
+        self.wind_invocations(&checkpoint.units);
+        self.drive_policy(domains, policy, budget, checkpoint.units)
+            .await
+    }
+
+    /// The policy loop: ask, execute, charge, checkpoint — until done.
+    async fn drive_policy(
+        &self,
+        domains: &[String],
+        policy: &mut dyn SamplingPolicy,
+        mut budget: ProbeBudget,
+        restored: Vec<UnitResult>,
+    ) -> Result<PolicyRun, OrchestratorError> {
+        let mut result = StudyResult {
+            store: SampleStore::new(domains.to_vec(), self.study.countries.clone()),
+            archive: BodyArchive::new(),
+        };
+        let mut session = StudySession::new(Arc::clone(&self.engine), self.study.clone());
+        let mut restored = Some(restored);
+        let mut units: Vec<UnitResult> = Vec::new();
+        let mut grid_samples: Option<usize> = None;
+        let mut fresh_units = 0;
+        let mut restored_units = 0;
+        let mut total_units = 0;
+        let mut interrupted = false;
+        let mut rounds = 0;
+
+        for round in 0.. {
+            let request = {
+                let evidence = EvidenceState::new(&result.store, &self.study, round);
+                policy.next_round(&evidence, &budget)
+            };
+            // Protocol spend, not per-process accounting: a resumed grid
+            // round still charges the full grid, so the final ledger is
+            // identical to an uninterrupted run's.
+            let probes = request.probes(result.store.domains.len(), result.store.countries.len());
+            match request {
+                SampleRequest::Done => break,
+                SampleRequest::Grid { samples } => {
+                    if round != 0 {
+                        return Err(OrchestratorError::Config(
+                            "orchestrated policies may request a grid only as round 0".to_string(),
+                        ));
+                    }
+                    let run = self
+                        .run(
+                            domains,
+                            samples,
+                            restored.take().unwrap_or_default(),
+                            SharedSink::new(NoopSink),
+                            Some(&budget),
+                        )
+                        .await?;
+                    grid_samples = Some(samples);
+                    fresh_units = run.fresh_units;
+                    restored_units = run.restored_units;
+                    total_units = run.total_units;
+                    units = run.units;
+                    result = run.result;
+                    if run.interrupted {
+                        interrupted = true;
+                        break;
+                    }
+                }
+                SampleRequest::Pairs { pairs, samples } => {
+                    session.resample(&mut result, &pairs, samples).await;
+                }
+            }
+            budget.charge(round, probes as u64);
+            rounds = round + 1;
+            // Persist the round boundary: the grid round's units plus the
+            // ledger as charged so far.
+            if let (Some(path), Some(samples)) = (&self.config.checkpoint_path, grid_samples) {
+                let plan = self.shard_plan_for(domains, samples);
+                Checkpoint::snapshot(
+                    self.config_hash(domains),
+                    plan.total_probes(),
+                    self.study.work_unit_domains,
+                    plan.total_units(),
+                    &units,
+                )
+                .with_budget(budget.clone())
+                .save(path)?;
+            }
+        }
+
+        let flagged = if interrupted {
+            Vec::new()
+        } else {
+            flagged_explicit_pairs(&result.store)
+        };
+        Ok(PolicyRun {
+            result,
+            flagged,
+            budget,
+            rounds,
+            fresh_units,
+            restored_units,
+            total_units,
+            interrupted,
+        })
+    }
+
+    /// Wind invocation counters forward over restored units: each restored
+    /// record claimed exactly one invocation of its (host, country) pair,
+    /// and exit sessions derive from those counters — without this, later
+    /// passes (confirmation) would re-derive the interrupted run's
+    /// sessions.
+    fn wind_invocations(&self, units: &[UnitResult]) {
         let mut claimed: BTreeMap<(&str, CountryCode), u32> = BTreeMap::new();
-        for unit in &checkpoint.units {
+        for unit in units {
             for record in &unit.records {
                 *claimed.entry((&record.host, record.country)).or_insert(0) += 1;
             }
@@ -261,18 +483,21 @@ impl<T: Transport + 'static> Orchestrator<T> {
             self.engine
                 .advance_invocations(&ProbeTarget::http(host, country), n);
         }
-
-        self.run(domains, checkpoint.units, sink).await
     }
 
     /// The dispatcher: seed up to `shards` unit workers, and as each unit
     /// completes, fold it in, checkpoint on cadence, and hand the freed
-    /// worker slot the next pending unit.
+    /// worker slot the next pending unit. `samples` is the grid depth per
+    /// pair (the baseline's for plain passes, a policy round's otherwise);
+    /// `ledger` is attached to every checkpoint when this grid round
+    /// belongs to a policy run.
     async fn run<S: ProbeSink + 'static>(
         &self,
         domains: &[String],
+        samples: usize,
         restored: Vec<UnitResult>,
         sink: SharedSink<S>,
+        ledger: Option<&ProbeBudget>,
     ) -> Result<OrchestratorRun, OrchestratorError> {
         if self.config.shards == 0 {
             return Err(OrchestratorError::Config(
@@ -285,7 +510,7 @@ impl<T: Transport + 'static> Orchestrator<T> {
             ));
         }
 
-        let plan = self.shard_plan(domains);
+        let plan = self.shard_plan_for(domains, samples);
         let config_hash = self.config_hash(domains);
         let restored_units = restored.len();
         let done = restored
@@ -309,7 +534,6 @@ impl<T: Transport + 'static> Orchestrator<T> {
                 .map(|c| self.study.rep_countries.contains(c))
                 .collect(),
         );
-        let samples = self.study.baseline_samples as usize;
 
         let budget = self.config.stop_after_units.unwrap_or(usize::MAX);
         let mut join: JoinSet<(UnitResult, BatchStats)> = JoinSet::new();
@@ -354,14 +578,17 @@ impl<T: Transport + 'static> Orchestrator<T> {
             since_checkpoint += 1;
             if let Some(path) = &self.config.checkpoint_path {
                 if since_checkpoint >= self.config.checkpoint_every {
-                    Checkpoint::snapshot(
+                    let mut snap = Checkpoint::snapshot(
                         config_hash,
                         plan.total_probes(),
                         self.study.work_unit_domains,
                         plan.total_units(),
                         &completed,
-                    )
-                    .save(path)?;
+                    );
+                    if let Some(ledger) = ledger {
+                        snap = snap.with_budget(ledger.clone());
+                    }
+                    snap.save(path)?;
                     since_checkpoint = 0;
                 }
             }
@@ -375,14 +602,17 @@ impl<T: Transport + 'static> Orchestrator<T> {
         // Trailing units that landed since the last cadence write.
         if since_checkpoint > 0 {
             if let Some(path) = &self.config.checkpoint_path {
-                Checkpoint::snapshot(
+                let mut snap = Checkpoint::snapshot(
                     config_hash,
                     plan.total_probes(),
                     self.study.work_unit_domains,
                     plan.total_units(),
                     &completed,
-                )
-                .save(path)?;
+                );
+                if let Some(ledger) = ledger {
+                    snap = snap.with_budget(ledger.clone());
+                }
+                snap.save(path)?;
             }
         }
 
@@ -656,6 +886,147 @@ mod tests {
         let final_cp = Checkpoint::load(&path).unwrap();
         assert_eq!(final_cp.completed_probes(), 5 * 3 * 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[tokio::test]
+    async fn policy_run_matches_baseline_plus_session_confirm() {
+        use geoblock_core::PaperExact;
+        // The pre-policy orchestrated protocol: sharded baseline, then a
+        // session confirmation pass on the same engine.
+        let legacy = {
+            let engine = toy_engine();
+            let orch = Orchestrator::new(
+                Arc::clone(&engine),
+                toy_study(),
+                OrchestratorConfig::default().shards(2),
+            );
+            let mut result = orch.baseline(&toy_domains()).await.unwrap().result;
+            let mut session = StudySession::new(engine, toy_study());
+            session.confirm(&mut result).await;
+            result
+        };
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default().shards(2),
+        );
+        let run = orch
+            .run_policy(
+                &toy_domains(),
+                &mut PaperExact,
+                geoblock_core::ProbeBudget::unlimited(),
+            )
+            .await
+            .unwrap();
+        assert_same_result(&run.result, &legacy);
+        assert_eq!(run.rounds, 2);
+        assert_eq!(
+            run.flagged,
+            vec![(0, 0), (2, 0)],
+            "both blocked-* domains in IR"
+        );
+        // Ledger: a full grid round plus two pairs × 20 confirmations.
+        assert_eq!(run.budget.spent, (5 * 3 * 3 + 2 * 20) as u64);
+        assert_eq!(run.budget.rounds.len(), 2);
+    }
+
+    #[tokio::test]
+    async fn policy_kill_and_resume_replays_an_identical_ledger() {
+        use geoblock_core::PaperExact;
+        let dir =
+            std::env::temp_dir().join(format!("geoblock-policy-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.ckpt");
+
+        let uninterrupted = {
+            let orch = Orchestrator::new(toy_engine(), toy_study(), OrchestratorConfig::default());
+            orch.run_policy(
+                &toy_domains(),
+                &mut PaperExact,
+                geoblock_core::ProbeBudget::unlimited(),
+            )
+            .await
+            .unwrap()
+        };
+
+        // Leg 1: killed after one grid unit. The checkpoint carries the
+        // (still-uncharged) ledger.
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default()
+                .shards(1)
+                .checkpoint_path(&path)
+                .stop_after_units(1),
+        );
+        let leg1 = orch
+            .run_policy(
+                &toy_domains(),
+                &mut PaperExact,
+                geoblock_core::ProbeBudget::unlimited(),
+            )
+            .await
+            .unwrap();
+        assert!(leg1.interrupted);
+        assert_eq!(leg1.budget.spent, 0, "rounds charge only on completion");
+
+        // Leg 2: a fresh engine resumes and finishes the whole protocol.
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert_eq!(
+            checkpoint.budget,
+            Some(geoblock_core::ProbeBudget::unlimited())
+        );
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default()
+                .shards(2)
+                .checkpoint_path(&path),
+        );
+        let resumed = orch
+            .resume_policy(&toy_domains(), checkpoint, &mut PaperExact)
+            .await
+            .unwrap();
+        assert!(!resumed.interrupted);
+        assert_same_result(&resumed.result, &uninterrupted.result);
+        assert_eq!(
+            resumed.budget, uninterrupted.budget,
+            "identical ledger replay"
+        );
+        assert_eq!(resumed.flagged, uninterrupted.flagged);
+
+        // The final checkpoint holds the fully-charged ledger.
+        let final_cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(final_cp.budget, Some(resumed.budget.clone()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[tokio::test]
+    async fn adaptive_policy_floors_flagged_pairs_under_orchestration() {
+        use geoblock_core::AdaptiveBandit;
+        let orch = Orchestrator::new(
+            toy_engine(),
+            toy_study(),
+            OrchestratorConfig::default().shards(2),
+        );
+        let run = orch
+            .run_policy(
+                &toy_domains(),
+                &mut AdaptiveBandit::default(),
+                geoblock_core::ProbeBudget::unlimited(),
+            )
+            .await
+            .unwrap();
+        // Both blocked-* × IR pairs reach the full 23-sample floor; clean
+        // pairs stop at one scout sample on the deterministic ToyNet.
+        for &(d, c) in &run.flagged {
+            assert_eq!(run.result.store.cell(d, c).len(), 23);
+        }
+        assert_eq!(run.result.store.cell(1, 1).len(), 1);
+        assert!(
+            run.budget.spent < (5 * 3 * 3 + 2 * 20) as u64,
+            "spends less than fixed"
+        );
     }
 
     #[tokio::test]

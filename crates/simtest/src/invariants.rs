@@ -22,7 +22,7 @@ use crate::trace::StudyTrace;
 pub struct InvariantViolation {
     /// Stable identifier of the invariant (`completeness`, `attempt-budget`,
     /// `session-ledger`, `exit-rotation`, `request-budget`, `cell-samples`,
-    /// `rep-retention`, `agreement`).
+    /// `rep-retention`, `agreement`, `flagged-floor`).
     pub invariant: &'static str,
     /// Human-readable description of the breach.
     pub detail: String,
@@ -288,6 +288,40 @@ pub fn check_study(result: &StudyResult, config: &StudyConfig) -> Vec<InvariantV
     violations
 }
 
+/// Check the adaptive-sampling hard floor, independently of any policy's
+/// own bookkeeping: every (domain, country) cell whose samples include
+/// **any** explicit geoblock observation must hold at least the full
+/// `baseline + confirm` sample count. This is the promise that lets
+/// [`AdaptiveBandit`](geoblock_core::AdaptiveBandit) early-stop clean
+/// pairs — a pair is only ever judged on the paper's full 23-sample
+/// evidence bar, no matter what the budget did.
+///
+/// Note this is deliberately **not** part of [`check_study`]:
+/// `check_study`'s `cell-samples` invariant asserts the fixed protocol's
+/// uniform baseline depth, which adaptive policies intentionally relax,
+/// and a baseline-only result (no confirmation yet) would trip this floor
+/// spuriously. Run this checker on completed policy-driven results.
+pub fn check_flagged_floor(result: &StudyResult, config: &StudyConfig) -> Vec<InvariantViolation> {
+    let full = config.baseline_samples + config.confirm.confirm_samples;
+    let mut violations = Vec::new();
+    for (d, c, samples) in result.store.iter_cells() {
+        if samples.iter().any(|o| o.explicit_geoblock()) && (samples.len() as u32) < full {
+            violations.push(InvariantViolation::new(
+                "flagged-floor",
+                format!(
+                    "cell ({}, {}) shows a blocking signal but holds only {} of the {} samples \
+                     the full protocol requires",
+                    result.store.domains[d],
+                    result.store.countries[c],
+                    samples.len(),
+                    full
+                ),
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +408,63 @@ mod tests {
             violations.iter().any(|v| v.invariant == "exit-rotation"),
             "{violations:?}"
         );
+    }
+
+    fn floor_fixture(flagged_samples: usize) -> (StudyResult, StudyConfig) {
+        use geoblock_blockpages::PageKind;
+        use geoblock_core::{BodyArchive, SampleStore};
+
+        let config = StudyConfig::new(vec![cc("IR")], vec![cc("IR")]);
+        let mut store = SampleStore::new(
+            vec!["blocked.com".into(), "clean.com".into()],
+            vec![cc("IR")],
+        );
+        // The flagged pair: every sample an explicit block page.
+        for _ in 0..flagged_samples {
+            store.push(
+                0,
+                0,
+                Obs::Response {
+                    status: 403,
+                    len: 1500,
+                    page: Some(PageKind::Cloudflare),
+                },
+            );
+        }
+        // A clean pair early-stopped at one sample — allowed by the floor.
+        store.push(
+            1,
+            0,
+            Obs::Response {
+                status: 200,
+                len: 900,
+                page: None,
+            },
+        );
+        (
+            StudyResult {
+                store,
+                archive: BodyArchive::new(),
+            },
+            config,
+        )
+    }
+
+    #[test]
+    fn flagged_floor_accepts_fully_sampled_flagged_pairs() {
+        let defaults = StudyConfig::new(vec![cc("IR")], vec![cc("IR")]);
+        let full = (defaults.baseline_samples + defaults.confirm.confirm_samples) as usize;
+        let (result, config) = floor_fixture(full);
+        assert!(check_flagged_floor(&result, &config).is_empty());
+    }
+
+    #[test]
+    fn flagged_floor_catches_under_sampled_flagged_pairs() {
+        let (result, config) = floor_fixture(2);
+        let violations = check_flagged_floor(&result, &config);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].invariant, "flagged-floor");
+        assert!(violations[0].detail.contains("blocked.com"));
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! * [`invariants`] — [`check_trace`]/[`check_study`] re-derive the
 //!   paper's promises (23-sample/80% agreement, representative-country
 //!   body retention, retry and per-exit request budgets) from raw
-//!   evidence on every replay;
+//!   evidence on every replay, and [`check_flagged_floor`] holds
+//!   adaptive sampling policies to the hard floor (any pair showing a
+//!   blocking signal carries the full `baseline + confirm` samples);
 //! * [`scenario`] — the one shared scenario ([`run_scenario`]) the golden
 //!   corpus, sweeps, and shrinker replays all execute;
 //! * [`sharded`] — the same scenario run through the study orchestrator
@@ -40,11 +42,13 @@ pub mod shrink;
 pub mod sweep;
 pub mod trace;
 
-pub use invariants::{check_study, check_trace, InvariantViolation, ProbeLimits};
+pub use invariants::{
+    check_flagged_floor, check_study, check_trace, InvariantViolation, ProbeLimits,
+};
 pub use nondet::ArrivalOrderFaults;
 pub use scenario::{
-    run_clocked_scenario, run_scenario, run_scenario_on, scenario_config, scenario_domains,
-    scenario_engine_config, scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
+    run_clocked_scenario, run_policy_scenario, run_scenario, run_scenario_on, scenario_config,
+    scenario_domains, scenario_engine_config, scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
 };
 pub use sharded::{
     finish_sharded, run_sharded_scenario, run_sharded_scenario_resumed, trace_from_units,

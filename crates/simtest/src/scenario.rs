@@ -13,7 +13,10 @@
 use std::sync::Arc;
 
 use geoblock_blockpages::{render, CompiledFingerprintSet, PageKind, PageParams};
-use geoblock_core::{StudyConfig, StudyResult, StudySession};
+use geoblock_core::confirm::flagged_explicit_pairs;
+use geoblock_core::{
+    EvidenceState, PaperExact, ProbeBudget, SamplingPolicy, StudyConfig, StudyResult, StudySession,
+};
 use geoblock_http::{FetchError, Response, StatusCode};
 use geoblock_lumscan::{Lumscan, LumscanConfig, RetryPolicy, Transport, TransportRequest};
 use geoblock_netsim::SimClock;
@@ -190,9 +193,111 @@ async fn run_with<T: Transport + 'static>(
     }
 }
 
+/// Run the scenario through the round-by-round policy driver under
+/// [`FaultPlan::standard`] weather for `seed`, with [`PaperExact`] by
+/// default (`policy = None`). The opening grid round carries the trace
+/// sink and later pair rounds run sink-free on the same engine — the
+/// exact observer structure of [`run_scenario`], whose baseline session
+/// is the only traced one. The refactor's promise is that under
+/// `PaperExact` this run's [`StudyFingerprint`] is byte-identical to
+/// [`run_scenario`]'s for every seed.
+pub async fn run_policy_scenario(
+    seed: u64,
+    concurrency: usize,
+    policy: Option<Box<dyn SamplingPolicy>>,
+) -> TracedStudy {
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(seed));
+    let config = scenario_config();
+    let domains = scenario_domains();
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(concurrency)));
+    let mut policy = policy.unwrap_or_else(|| Box::new(PaperExact));
+    let mut budget = ProbeBudget::unlimited();
+
+    let mut sink = TraceSink::grid(
+        domains.clone(),
+        config.countries.clone(),
+        config.baseline_samples as usize,
+        CompiledFingerprintSet::paper(),
+    );
+    let mut result = StudySession::new(engine.clone(), config.clone()).empty_result(&domains);
+    for round in 0.. {
+        let request = {
+            let evidence = EvidenceState::new(&result.store, &config, round);
+            policy.next_round(&evidence, &budget)
+        };
+        if request.is_done() {
+            break;
+        }
+        let probes = if round == 0 {
+            let mut session = StudySession::new(engine.clone(), config.clone()).trace(&mut sink);
+            session.run_round(&mut result, &request).await
+        } else {
+            let mut session = StudySession::new(engine.clone(), config.clone());
+            session.run_round(&mut result, &request).await
+        };
+        budget.charge(round, probes as u64);
+    }
+
+    let flagged = flagged_explicit_pairs(&result.store).len();
+    let trace = sink.into_trace();
+    let fingerprint = StudyFingerprint::capture(&trace, &result, &config.confirm);
+    TracedStudy {
+        trace,
+        result,
+        fingerprint,
+        flagged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::invariants::check_flagged_floor;
+    use geoblock_core::AdaptiveBandit;
+
+    #[tokio::test]
+    async fn paper_exact_policy_reproduces_the_scenario_bit_for_bit() {
+        // The tentpole guarantee: routing the scenario through the policy
+        // driver with PaperExact changes nothing — same trace, same
+        // fingerprint, same flagged count — at more than one seed.
+        for seed in [GOLDEN_SEED, 7, 1009] {
+            let legacy = run_scenario(seed, 1).await;
+            let policy = run_policy_scenario(seed, 1, None).await;
+            assert_eq!(policy.fingerprint, legacy.fingerprint, "seed {seed}");
+            assert_eq!(
+                policy.trace.canonical_text(),
+                legacy.trace.canonical_text(),
+                "seed {seed}"
+            );
+            assert_eq!(policy.flagged, legacy.flagged, "seed {seed}");
+        }
+    }
+
+    #[tokio::test]
+    async fn adaptive_policy_never_under_samples_a_flagged_pair() {
+        let config = scenario_config();
+        let run =
+            run_policy_scenario(GOLDEN_SEED, 1, Some(Box::new(AdaptiveBandit::default()))).await;
+        let violations = check_flagged_floor(&run.result, &config);
+        assert!(violations.is_empty(), "{violations:?}");
+        // The adaptive run still finds the scenario's blocked pairs …
+        assert!(run.flagged >= 1);
+        let verdicts = run.result.verdicts(&config.confirm);
+        assert!(
+            verdicts.iter().any(|v| v.domain.starts_with("blocked-")),
+            "{verdicts:?}"
+        );
+        // … while early-stopping at least one clean pair below baseline
+        // depth (the probes the fixed protocol would have spent there).
+        let min_cell = run
+            .result
+            .store
+            .iter_cells()
+            .map(|(_, _, s)| s.len())
+            .min()
+            .expect("cells probed");
+        assert!(min_cell < config.baseline_samples as usize, "{min_cell}");
+    }
 
     #[tokio::test]
     async fn scenario_is_deterministic_at_fixed_concurrency() {

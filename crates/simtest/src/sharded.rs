@@ -177,6 +177,33 @@ pub async fn run_sharded_scenario_resumed(seed: u64, shards: usize, path: &Path)
 mod tests {
     use super::*;
     use crate::scenario::{run_scenario, GOLDEN_SEED};
+    use geoblock_core::{PaperExact, ProbeBudget};
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn orchestrated_paper_exact_matches_single_stream_for_any_shard_count() {
+        // The policy driver rides the same dispatcher as `baseline`, so
+        // shard count must stay invisible in the study outputs. Probe
+        // records live inside the policy run, not on `PolicyRun`, so the
+        // comparison is on the data fingerprint (cells, archive, verdicts)
+        // with the trace component held empty on both sides.
+        let single = run_scenario(GOLDEN_SEED, 1).await;
+        let empty = StudyTrace { events: Vec::new() };
+        let config = scenario_config();
+        let single_fp = StudyFingerprint::capture(&empty, &single.result, &config.confirm);
+        for shards in [1, 2, 3] {
+            let orch =
+                scenario_orchestrator(GOLDEN_SEED, OrchestratorConfig::default().shards(shards));
+            let mut policy = PaperExact;
+            let run = orch
+                .run_policy(&scenario_domains(), &mut policy, ProbeBudget::unlimited())
+                .await
+                .expect("orchestrated policy run");
+            assert!(!run.interrupted);
+            let fp = StudyFingerprint::capture(&empty, &run.result, &config.confirm);
+            assert_eq!(fp, single_fp, "shards={shards}");
+            assert_eq!(run.flagged.len(), single.flagged, "shards={shards}");
+        }
+    }
 
     #[tokio::test(flavor = "multi_thread")]
     async fn one_shard_matches_the_single_stream_scenario() {

@@ -88,9 +88,10 @@ pub mod prelude {
         CompiledFingerprintSet, FingerprintSet, PageClass, PageKind, Provider,
     };
     pub use geoblock_core::{
-        diff_studies, ConfirmConfig, GeoblockVerdict, Obs, ProbeCoord, SampleStore, SessionOutcome,
-        StudyAccumulator, StudyConfig, StudyConfigBuilder, StudyDiff, StudyResult, StudySession,
-        TargetPlan,
+        diff_studies, AdaptiveBandit, ConfirmConfig, DeltaPolicy, EvidenceState, GeoblockVerdict,
+        Obs, PaperExact, ProbeBudget, ProbeCoord, RoundCoord, SampleRequest, SampleStore,
+        SamplingPolicy, SessionOutcome, StudyAccumulator, StudyConfig, StudyConfigBuilder,
+        StudyDiff, StudyResult, StudySession, TargetPlan,
     };
     pub use geoblock_http::{
         FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability, StatusCode,
@@ -110,7 +111,8 @@ pub mod prelude {
         VpsTransport,
     };
     pub use geoblock_orchestrator::{
-        Checkpoint, CheckpointError, Orchestrator, OrchestratorConfig, OrchestratorRun, ShardPlan,
+        Checkpoint, CheckpointError, Orchestrator, OrchestratorConfig, OrchestratorRun, PolicyRun,
+        ShardPlan,
     };
     pub use geoblock_proxynet::{
         FaultEvent, FaultKind, FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig,

@@ -223,6 +223,72 @@ async fn delta_scans_surface_retreats_but_not_new_blockers() {
     assert_eq!(dashboard.scans.last().expect("3 scans").blocked_domains, 1);
 }
 
+/// The delta scan *is* the `DeltaPolicy` now, and the policy's budget
+/// arithmetic is observable at the transport: a delta scan spends exactly
+/// one round over the previously-confirmed pairs at full protocol depth
+/// (baseline + confirmation samples) — nothing for the rest of the grid.
+#[tokio::test]
+async fn delta_scans_spend_exactly_the_delta_policy_budget() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingWeb {
+        inner: ShiftingWeb,
+        count: Arc<AtomicU64>,
+    }
+    impl Transport for CountingWeb {
+        async fn fetch_one(&self, req: TransportRequest) -> Result<Response, FetchError> {
+            self.count.fetch_add(1, Ordering::SeqCst);
+            self.inner.fetch_one(req).await
+        }
+    }
+
+    let count = Arc::new(AtomicU64::new(0));
+    let factory = {
+        let count = Arc::clone(&count);
+        move |day: u32| {
+            Arc::new(Lumscan::new(
+                CountingWeb {
+                    inner: ShiftingWeb { day },
+                    count: Arc::clone(&count),
+                },
+                LumscanConfig::default(),
+            ))
+        }
+    };
+    let m = Monitor::new(
+        factory,
+        domains(),
+        study(),
+        MonitorConfig::default().scans(2).full_every(3),
+    );
+    let mut store = SnapshotStore::in_memory();
+
+    // Scan 0 is full; note the spend, then run the day-1 delta.
+    match m.run_scan(&store, None).await.expect("full scan") {
+        ScanStep::Committed(snapshot) => store.append(snapshot).expect("commit scan 0"),
+        ScanStep::Interrupted(_) => panic!("an unbounded scan must commit"),
+    }
+    let after_full = count.load(Ordering::SeqCst);
+    match m.run_scan(&store, None).await.expect("delta scan") {
+        ScanStep::Committed(snapshot) => store.append(snapshot).expect("commit scan 1"),
+        ScanStep::Interrupted(_) => panic!("an unbounded scan must commit"),
+    }
+    let delta_spend = count.load(Ordering::SeqCst) - after_full;
+
+    let snaps = store.snapshots();
+    assert_eq!(snaps[1].mode, ScanMode::Delta);
+    let flagged = snaps[0].verdicts.len() as u64;
+    assert!(flagged >= 3, "bedrock(IR) + makro(IR, SY) on day 0");
+    let config = study();
+    let full_depth = (config.baseline_samples + config.confirm.confirm_samples) as u64;
+    assert_eq!(
+        delta_spend,
+        flagged * full_depth,
+        "one DeltaPolicy round: every previously-confirmed pair at \
+         baseline + confirmation depth, nothing else"
+    );
+}
+
 #[tokio::test]
 async fn monitor_failures_lift_into_the_workspace_error() {
     async fn drive() -> Result<(), geoblock::Error> {

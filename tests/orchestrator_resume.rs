@@ -178,6 +178,90 @@ async fn resume_refuses_a_checkpoint_from_a_different_study() {
     fs::remove_file(&path).ok();
 }
 
+/// The orchestrated policy driver's resume contract, end to end: a
+/// `PaperExact` pass killed mid-grid and resumed from its checkpoint on a
+/// fresh engine finishes with the identical probe-budget ledger — same
+/// spend, same per-round charges — and the identical study data, so a
+/// resumed run can *prove* it replayed rather than re-spent.
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn policy_resume_replays_the_identical_budget_ledger() {
+    use std::sync::Arc;
+
+    use geoblock::orchestrator::{Orchestrator, OrchestratorConfig};
+    use geoblock::prelude::{
+        FaultPlan, FaultyTransport, Lumscan, PaperExact, ProbeBudget, StudyFingerprint, StudyTrace,
+    };
+    use geoblock::simtest::{scenario_engine_config, SimWeb};
+
+    fn orch(config: OrchestratorConfig) -> Orchestrator<FaultyTransport<SimWeb>> {
+        let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(GOLDEN_SEED));
+        let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(2)));
+        Orchestrator::new(engine, scenario_config(), config)
+    }
+
+    let uninterrupted = orch(OrchestratorConfig::default().shards(2))
+        .run_policy(
+            &scenario_domains(),
+            &mut PaperExact,
+            ProbeBudget::unlimited(),
+        )
+        .await
+        .expect("uninterrupted policy run");
+    assert!(!uninterrupted.interrupted);
+    assert!(uninterrupted.budget.spent > 0);
+
+    // Leg 1: killed after one grid work unit; the checkpoint carries the
+    // completed unit and the (not-yet-charged) ledger.
+    let path = tmp("policy_ledger.ckpt");
+    let leg1 = orch(
+        OrchestratorConfig::default()
+            .shards(1)
+            .checkpoint_path(&path)
+            .stop_after_units(1),
+    )
+    .run_policy(
+        &scenario_domains(),
+        &mut PaperExact,
+        ProbeBudget::unlimited(),
+    )
+    .await
+    .expect("interrupted policy run");
+    assert!(leg1.interrupted);
+    assert_eq!(leg1.budget.spent, 0, "rounds charge only on completion");
+
+    // Leg 2: a fresh engine (same seed, so the weather replays) resumes
+    // from the file and finishes the whole protocol.
+    let checkpoint = Checkpoint::load(&path).expect("mid-grid checkpoint");
+    let resumed = orch(
+        OrchestratorConfig::default()
+            .shards(2)
+            .checkpoint_path(&path),
+    )
+    .resume_policy(&scenario_domains(), checkpoint, &mut PaperExact)
+    .await
+    .expect("resumed policy run");
+    assert!(!resumed.interrupted);
+    assert!(resumed.restored_units >= 1);
+
+    assert_eq!(
+        resumed.budget, uninterrupted.budget,
+        "the resumed ledger must replay the uninterrupted spend exactly"
+    );
+    assert_eq!(resumed.flagged, uninterrupted.flagged);
+    let empty = StudyTrace { events: Vec::new() };
+    let config = scenario_config();
+    assert_eq!(
+        StudyFingerprint::capture(&empty, &resumed.result, &config.confirm),
+        StudyFingerprint::capture(&empty, &uninterrupted.result, &config.confirm),
+        "kill/resume must be invisible in the study data"
+    );
+
+    // The final checkpoint on disk holds the fully-charged ledger.
+    let final_cp = Checkpoint::load(&path).expect("final checkpoint");
+    assert_eq!(final_cp.budget, Some(resumed.budget.clone()));
+    fs::remove_file(&path).ok();
+}
+
 /// Work-unit geometry is what the study config says it is: the scenario's
 /// five domains at two domains per unit make three units.
 #[tokio::test(flavor = "multi_thread", worker_threads = 2)]

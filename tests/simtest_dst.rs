@@ -19,11 +19,13 @@
 use std::fs;
 use std::path::Path;
 
+use geoblock::prelude::AdaptiveBandit;
 use geoblock::proxynet::ScriptedFaults;
 use geoblock::simtest::{
-    canonical_events, check_study, check_trace, ddmin_async, run_clocked_scenario, run_scenario,
-    run_scenario_on, run_sweep, scenario_config, scenario_engine_config, scenario_plan_len,
-    ArrivalOrderFaults, ProbeLimits, ReproFixture, SimWeb, GOLDEN_SEED,
+    canonical_events, check_flagged_floor, check_study, check_trace, ddmin_async,
+    run_clocked_scenario, run_policy_scenario, run_scenario, run_scenario_on, run_sweep,
+    scenario_config, scenario_engine_config, scenario_plan_len, ArrivalOrderFaults, ProbeLimits,
+    ReproFixture, SimWeb, GOLDEN_SEED,
 };
 
 /// The golden corpus: bootstrap on first run, byte-compare ever after.
@@ -145,6 +147,32 @@ async fn injected_nondeterminism_is_caught_and_shrunk() {
         replay.fingerprint.trace_hash, clean_hash,
         "replayed fixture no longer reproduces the divergence"
     );
+}
+
+/// The sampling-policy refactor is invisible where it must be and bounded
+/// where it may differ: driving the scenario through [`PaperExact`]'s
+/// round loop reproduces the pre-policy study bit for bit (trace, cells,
+/// archive, verdicts), and [`AdaptiveBandit`] — which *is* allowed to
+/// probe less — still never leaves a flagged pair below the paper's full
+/// 23-sample floor.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn sampling_policies_replay_exactly_and_respect_the_floor() {
+    for seed in [GOLDEN_SEED, 7] {
+        let classic = run_scenario(seed, 2).await;
+        let exact = run_policy_scenario(seed, 2, None).await;
+        assert_eq!(
+            exact.fingerprint, classic.fingerprint,
+            "PaperExact diverged from the fixed protocol at seed {seed}"
+        );
+        assert_eq!(exact.trace.canonical_text(), classic.trace.canonical_text());
+        assert_eq!(exact.flagged, classic.flagged);
+    }
+
+    let adaptive =
+        run_policy_scenario(GOLDEN_SEED, 2, Some(Box::new(AdaptiveBandit::default()))).await;
+    assert!(adaptive.flagged >= 1, "the scenario has blocked pairs");
+    let violations = check_flagged_floor(&adaptive.result, &scenario_config());
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 /// Invariant checkers pass on a clean replay and catch tampered evidence.
