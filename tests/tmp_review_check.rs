@@ -1,0 +1,65 @@
+//! Temporary review reproduction: resume from a round-boundary checkpoint
+//! (the one on disk if the process dies during the confirmation round)
+//! and compare the final ledger to an uninterrupted run's.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use geoblock::orchestrator::{Checkpoint, Orchestrator, OrchestratorConfig};
+use geoblock::prelude::{
+    FaultPlan, FaultyTransport, Lumscan, PaperExact, ProbeBudget, RoundSpend,
+};
+use geoblock::simtest::{scenario_config, scenario_domains, scenario_engine_config, SimWeb, GOLDEN_SEED};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("tmp_review_check");
+    fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+fn orch(config: OrchestratorConfig) -> Orchestrator<FaultyTransport<SimWeb>> {
+    let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(GOLDEN_SEED));
+    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(2)));
+    Orchestrator::new(engine, scenario_config(), config)
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn resume_from_round_boundary_checkpoint_double_charges() {
+    let path = tmp("boundary.ckpt");
+
+    // Uninterrupted reference run (writes checkpoints along the way).
+    let uninterrupted = orch(OrchestratorConfig::default()
+        .shards(1)
+        .checkpoint_path(&path))
+        .run_policy(&scenario_domains(), &mut PaperExact, ProbeBudget::unlimited())
+        .await
+        .expect("uninterrupted run");
+    assert!(!uninterrupted.interrupted);
+
+    // Reconstruct the round-0-boundary checkpoint: all grid units done,
+    // ledger charged for round 0 only — exactly what drive_policy writes
+    // after the grid round, i.e. what's on disk if the process is killed
+    // during round 1 (the confirmation resample).
+    let final_cp = Checkpoint::load(&path).expect("final checkpoint");
+    let mut boundary = final_cp.clone();
+    let round0 = uninterrupted.budget.rounds[0];
+    boundary.budget = Some(ProbeBudget {
+        cap: None,
+        spent: round0.probes,
+        rounds: vec![RoundSpend { round: 0, probes: round0.probes }],
+    });
+
+    let resumed = orch(OrchestratorConfig::default().shards(1))
+        .resume_policy(&scenario_domains(), boundary, &mut PaperExact)
+        .await
+        .expect("resumed run");
+
+    eprintln!("uninterrupted ledger: {:?}", uninterrupted.budget);
+    eprintln!("resumed ledger:       {:?}", resumed.budget);
+    assert_eq!(
+        resumed.budget, uninterrupted.budget,
+        "resume from a round-boundary checkpoint must replay the identical ledger"
+    );
+    fs::remove_file(&path).ok();
+}
