@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use geoblock_analysis::coverage::CoverageStats;
 use geoblock_analysis::Fortiguard;
-use geoblock_blockpages::PageKind;
+use geoblock_blockpages::{FingerprintSet, PageClass, PageKind, Provider};
 use geoblock_core::confirm::{eliminated, flagged_explicit_pairs};
 use geoblock_core::consistency::{consistency_scores, ConsistencyReport};
 use geoblock_core::discovery::{discover, DiscoveryConfig, DiscoveryReport};
@@ -15,13 +15,15 @@ use geoblock_core::population::{
     identify_by_ns, identify_populations, PopulationProbe, PopulationReport,
 };
 use geoblock_core::{ConfirmConfig, GeoblockVerdict, StudyConfig, StudyResult, StudySession};
-use geoblock_http::HeaderProfile;
+use geoblock_http::{ClientProfile, HeaderProfile, Request, TlsClientClass, Url};
 use geoblock_lumscan::{BatchStats, GaugeSink, Lumscan, LumscanConfig, RetryPolicy};
-use geoblock_netsim::{DnsDb, SimInternet, VpsTransport};
+use geoblock_netsim::origin::OriginCache;
+use geoblock_netsim::{edge, ClientContext, DnsDb, SimInternet, VpsTransport};
 use geoblock_proxynet::{FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiNetwork};
 use geoblock_worldgen::country::vps_countries;
 use geoblock_worldgen::{
-    cc, ooni, CountryCode, OoniConfig, OoniMeasurement, RulesSnapshot, World, WorldConfig,
+    cc, ooni, Category, CountryCode, DomainPolicy, DomainSpec, OoniConfig, OoniMeasurement,
+    RulesSnapshot, World, WorldConfig,
 };
 
 /// Experiment scale. The paper's scale is `full`; smaller scales shrink
@@ -295,6 +297,62 @@ pub struct ExplorationArtifacts {
     pub sweeps: Vec<SweepResult>,
     /// Browser verification of flagged instances.
     pub verification: Verification,
+}
+
+/// One client profile's measured bias in the evasion ablation: how many
+/// ground-truth-clean (domain, country) pairs the profile saw a block or
+/// challenge page on, split by whether the edge challenged (JS
+/// interstitial / CAPTCHA) or denied outright.
+pub struct EvasionTierRow {
+    /// Profile label (`browser`, `headless`, `zgrab`, `curl`, `bare`).
+    pub profile: &'static str,
+    /// Header-level browser likeness the profile presents.
+    pub likeness: f64,
+    /// Whether the profile executes JS challenges.
+    pub js_capable: bool,
+    /// Whether the profile's TLS stack reads as a scanner ClientHello.
+    pub scanner_tls: bool,
+    /// Clean pairs on which the profile observed any fingerprinted page.
+    pub false_blocked: usize,
+    /// Of those, pairs answered with a challenge (JS interstitial or
+    /// CAPTCHA) — recoverable by a more capable client.
+    pub challenged: usize,
+    /// Of those, pairs answered with a hard denial page.
+    pub denied: usize,
+    /// `false_blocked` over the clean-pair count, in [0, 1].
+    pub false_block_rate: f64,
+}
+
+/// The domain-fronting leg of the evasion ablation: the same fronted
+/// browser-profile request against fronting-intolerant (CloudFront) and
+/// fronting-tolerant (Cloudflare) edges.
+pub struct FrontingArtifacts {
+    /// Fronted requests issued per provider class.
+    pub fronted_requests: usize,
+    /// Intolerant-edge responses classified as the fronting-mismatch page.
+    pub mismatch_pages: usize,
+    /// Tolerant-edge responses that routed on `Host` and served normally
+    /// (no fingerprint matched).
+    pub routed: usize,
+}
+
+/// The prober-bias ablation: the tiered bot-detection pipeline measured
+/// under every canonical [`ClientProfile`], against a panel whose ground
+/// truth has **no geoblocking at all** — so every fingerprinted page any
+/// profile observes is prober-induced, and a naive study crediting those
+/// pages as geoblocking would be wrong by exactly `false_block_rate`.
+pub struct EvasionArtifacts {
+    /// Clean (domain, country) pairs measured (dead/broken pairs, which
+    /// fail identically for every profile, are excluded up front).
+    pub pairs: usize,
+    /// Per-profile rows, most to least browser-like.
+    pub rows: Vec<EvasionTierRow>,
+    /// Observations whose classified page reads as *explicit geoblocking*
+    /// — must be zero: the detection tiers serve challenge/denial pages
+    /// whose classes are never `ExplicitGeoblock`.
+    pub misclassified_geoblock: usize,
+    /// The domain-fronting leg.
+    pub fronting: FrontingArtifacts,
 }
 
 /// The assembled stack.
@@ -770,6 +828,185 @@ impl Harness {
     pub fn flagged_pairs(store: &geoblock_core::SampleStore) -> usize {
         flagged_explicit_pairs(store).len()
     }
+
+    /// The prober-bias (evasion) ablation. An associated fn, not a method:
+    /// the panel is synthesized directly with a known-clean ground truth
+    /// (no geoblocking anywhere) rather than drawn from `self.world`, so
+    /// the measurement isolates the tiered detection pipeline in
+    /// [`edge::serve`] and replays bit-for-bit from `(seed, domains)`.
+    ///
+    /// Every canonical [`ClientProfile`] probes every live (domain,
+    /// country) pair once, with the same request sequence number, so the
+    /// only variable across rows is the client's presented identity. Any
+    /// fingerprinted page is therefore a prober-induced false block. The
+    /// fronting leg sends the same fronted browser request at
+    /// fronting-intolerant (CloudFront) and fronting-tolerant (Cloudflare)
+    /// edges and classifies what comes back.
+    pub fn evasion(seed: u64, domains: usize, countries: &[CountryCode]) -> EvasionArtifacts {
+        const FRONTING_DOMAINS: usize = 24;
+        let set = FingerprintSet::paper();
+        let cache = OriginCache::new(512);
+        let profiles: [(&'static str, ClientProfile); 5] = [
+            ("browser", ClientProfile::browser()),
+            ("headless", ClientProfile::headless()),
+            ("zgrab", ClientProfile::zgrab()),
+            ("curl", ClientProfile::curl()),
+            ("bare", ClientProfile::bare()),
+        ];
+        let mut rows: Vec<EvasionTierRow> = profiles
+            .iter()
+            .map(|(name, p)| EvasionTierRow {
+                profile: name,
+                likeness: edge::browser_likeness(&p.header_map()),
+                js_capable: p.js_capable,
+                scanner_tls: p.tls == TlsClientClass::ScannerStack,
+                false_blocked: 0,
+                challenged: 0,
+                denied: 0,
+                false_block_rate: 0.0,
+            })
+            .collect();
+
+        let mut pairs = 0;
+        let mut misclassified_geoblock = 0;
+        for d in 0..domains {
+            let spec = evasion_spec(seed, d);
+            for &country in countries {
+                let client = ClientContext {
+                    ip: "198.51.100.77".to_string(),
+                    country,
+                    region: None,
+                    residential: false,
+                    seq_nonce: None,
+                };
+                let chash = ((country.0[0] as u64) << 8) | country.0[1] as u64;
+                let seq = splitmix(spec.policy_seed ^ chash ^ 0x5e9);
+                let probe = |profile: &ClientProfile| {
+                    let request =
+                        Request::get(Url::http(spec.name.as_str())).client_profile(profile);
+                    edge::serve(&spec, &cache, &request, &client, 0, seq)
+                };
+                // Dead sites and broken pairs fail identically for every
+                // profile (they precede the detection tiers), so a pair the
+                // browser cannot reach is excluded rather than measured.
+                if probe(&ClientProfile::browser()).is_none() {
+                    continue;
+                }
+                pairs += 1;
+                for (row, (_, profile)) in rows.iter_mut().zip(&profiles) {
+                    let response = probe(profile).expect("liveness is profile-independent");
+                    if let Some(outcome) = set.classify(&response) {
+                        row.false_blocked += 1;
+                        if matches!(
+                            outcome.kind.class(),
+                            PageClass::Captcha | PageClass::JsChallenge
+                        ) {
+                            row.challenged += 1;
+                        } else {
+                            row.denied += 1;
+                        }
+                        if outcome.kind.is_explicit_geoblock() {
+                            misclassified_geoblock += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for row in &mut rows {
+            row.false_block_rate = row.false_blocked as f64 / pairs.max(1) as f64;
+        }
+
+        // Fronting leg: a fresh index space so names never collide with the
+        // bot-detection panel, detection disabled so only the certificate
+        // check is in play.
+        let mut fronting = FrontingArtifacts {
+            fronted_requests: 0,
+            mismatch_pages: 0,
+            routed: 0,
+        };
+        let vantage = countries.first().copied().unwrap_or_else(|| cc("US"));
+        for (i, &provider) in [Provider::CloudFront, Provider::Cloudflare]
+            .iter()
+            .enumerate()
+        {
+            for d in 0..FRONTING_DOMAINS {
+                let mut spec = evasion_spec(seed, domains + i * FRONTING_DOMAINS + d);
+                spec.providers = vec![provider];
+                spec.policy.bot_sensitive = false;
+                let client = ClientContext {
+                    ip: "198.51.100.77".to_string(),
+                    country: vantage,
+                    region: None,
+                    residential: false,
+                    seq_nonce: None,
+                };
+                let request = Request::get(Url::http(spec.name.as_str()))
+                    .client_profile(&ClientProfile::browser())
+                    .fronted("front-door.example");
+                let seq = splitmix(spec.policy_seed ^ 0xf207);
+                // The edge is looked up by the Host header's customer, as a
+                // fronting client intends; `request.url.host` carries the
+                // front. NB: `serve` sees the mismatch before any policy.
+                if let Some(response) = edge::serve(&spec, &cache, &request, &client, 0, seq) {
+                    fronting.fronted_requests += 1;
+                    match set.classify(&response) {
+                        Some(outcome) => {
+                            if outcome.kind == PageKind::CloudFrontFronting {
+                                fronting.mismatch_pages += 1;
+                            }
+                            if outcome.kind.is_explicit_geoblock() {
+                                misclassified_geoblock += 1;
+                            }
+                        }
+                        None => fronting.routed += 1,
+                    }
+                }
+            }
+        }
+
+        EvasionArtifacts {
+            pairs,
+            rows,
+            misclassified_geoblock,
+            fronting,
+        }
+    }
+}
+
+/// splitmix64 avalanche for the evasion panel's synthesis.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One synthesized panel domain: a benign-category site fronted by one of
+/// the bot-detection providers, ~70% of them bot-sensitive, with *no*
+/// geoblocking, challenging, or origin blocks — the clean ground truth the
+/// false-block rate is measured against.
+fn evasion_spec(seed: u64, d: usize) -> DomainSpec {
+    let h = splitmix(seed ^ (d as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let provider = match d % 3 {
+        0 => Provider::Akamai,
+        1 => Provider::Incapsula,
+        _ => Provider::Distil,
+    };
+    DomainSpec {
+        name: format!("evasion-{d}.example"),
+        rank: d as u32 + 1,
+        category: Category::Business,
+        providers: vec![provider],
+        cf_tier: None,
+        base_page_bytes: 30_000 + (h % 20_000) as u32,
+        on_citizenlab: false,
+        policy: DomainPolicy {
+            bot_sensitive: h % 10 < 7,
+            ..DomainPolicy::default()
+        },
+        policy_seed: splitmix(h ^ 0xe7a_510),
+    }
 }
 
 /// A canonical text digest of a study's data — cells in store order,
@@ -794,6 +1031,59 @@ fn result_digest(result: &StudyResult) -> String {
 mod tests {
     use super::*;
     use geoblock_blockpages::Provider;
+
+    #[test]
+    fn evasion_ablation_bias_is_monotone_and_never_reads_as_geoblocking() {
+        let countries: Vec<CountryCode> = ["US", "DE", "NL", "IR", "RU", "BR", "IN", "JP"]
+            .map(cc)
+            .to_vec();
+        let a = Harness::evasion(42, 160, &countries);
+        assert!(a.pairs > 0, "the panel must have live pairs");
+
+        // A full browser passes every tier: its measured study is the
+        // ground truth (all clean).
+        assert_eq!(a.rows[0].profile, "browser");
+        assert_eq!(a.rows[0].false_blocked, 0);
+
+        // Bias grows monotonically as the client sheds browser-likeness,
+        // JS capability, and a browser TLS stack — the rows are ordered
+        // most to least evasive, and the tier-failure sets nest.
+        for pair in a.rows.windows(2) {
+            assert!(
+                pair[0].false_block_rate <= pair[1].false_block_rate,
+                "{} ({:.3}) must not out-block {} ({:.3})",
+                pair[0].profile,
+                pair[0].false_block_rate,
+                pair[1].profile,
+                pair[1].false_block_rate,
+            );
+        }
+        let bare = a.rows.last().expect("five rows");
+        assert!(
+            bare.false_block_rate > 0.5,
+            "bare trips every bot-sensitive pair"
+        );
+
+        // The detection tiers and the fronting check must never be
+        // classified as explicit geoblocking.
+        assert_eq!(a.misclassified_geoblock, 0);
+
+        // Fronting: CloudFront rejects with the mismatch page, Cloudflare
+        // routes on Host and serves normally.
+        assert!(a.fronting.mismatch_pages > 0);
+        assert!(a.fronting.routed > 0);
+        assert_eq!(
+            a.fronting.fronted_requests,
+            a.fronting.mismatch_pages + a.fronting.routed
+        );
+
+        // Bit-for-bit replay from the same seed.
+        let b = Harness::evasion(42, 160, &countries);
+        assert_eq!(a.pairs, b.pairs);
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.false_blocked, y.false_blocked);
+        }
+    }
 
     #[tokio::test(flavor = "multi_thread")]
     async fn quick_scale_top10k_produces_artifacts() {

@@ -107,7 +107,7 @@ pub struct MatchOutcome {
     pub kind: PageKind,
 }
 
-/// The ordered set of all 14 fingerprints.
+/// The ordered set of all 17 fingerprints.
 #[derive(Debug, Clone)]
 pub struct FingerprintSet {
     fingerprints: Vec<Fingerprint>,
@@ -156,12 +156,36 @@ impl FingerprintSet {
                 PageKind::CloudflareJs,
                 &["Checking your browser before accessing", "jschl"],
             ),
+            // The Bot Manager interstitial: JS challenge, never geoblock.
+            Fingerprint::new(
+                PageKind::AkamaiBotManager,
+                &["Verifying your browser", "bm-verify"],
+            ),
             Fingerprint::new(PageKind::DistilCaptcha, &["Pardon Our Interruption"]),
+            // The Incapsula CAPTCHA tier, before the incident page it must
+            // never be confused with.
+            Fingerprint::new(
+                PageKind::IncapsulaCaptcha,
+                &[
+                    "Additional security check is required",
+                    "_Incapsula_Resource",
+                ],
+            ),
             Fingerprint::new(
                 PageKind::AppEngine,
                 &[
                     "Your client does not have permission to get URL",
                     "not available in your country",
+                ],
+            ),
+            // Fronting mismatch before the CloudFront geo page: both carry
+            // the generic "could not be satisfied" banner and are split on
+            // their attribution line.
+            Fingerprint::new(
+                PageKind::CloudFrontFronting,
+                &[
+                    "The request could not be satisfied",
+                    "does not match the certificate",
                 ],
             ),
             Fingerprint::new(
@@ -362,11 +386,33 @@ mod tests {
     }
 
     #[test]
-    fn set_covers_all_fourteen_kinds() {
+    fn set_covers_all_seventeen_kinds() {
         let set = FingerprintSet::paper();
         let mut kinds: Vec<_> = set.iter().map(|f| f.kind).collect();
         kinds.sort();
         kinds.dedup();
         assert_eq!(kinds.len(), PageKind::ALL.len());
+    }
+
+    #[test]
+    fn fronting_and_geo_cloudfront_pages_never_cross_match() {
+        let set = FingerprintSet::paper();
+        let geo = rendered(PageKind::CloudFront, 4);
+        let fronting = rendered(PageKind::CloudFrontFronting, 4);
+        assert_eq!(set.classify(&geo).unwrap().kind, PageKind::CloudFront);
+        assert_eq!(
+            set.classify(&fronting).unwrap().kind,
+            PageKind::CloudFrontFronting
+        );
+    }
+
+    #[test]
+    fn incapsula_captcha_never_matches_the_incident_signature() {
+        let set = FingerprintSet::paper();
+        let captcha = rendered(PageKind::IncapsulaCaptcha, 8);
+        assert_eq!(
+            set.classify(&captcha).unwrap().kind,
+            PageKind::IncapsulaCaptcha
+        );
     }
 }

@@ -1,4 +1,6 @@
-//! The 14 page types of Table 2, and their classification.
+//! The 14 page types of Table 2 plus the evasion-era additions (JS
+//! interstitial, tiered CAPTCHA, fronting mismatch), and their
+//! classification.
 
 use std::fmt;
 
@@ -24,9 +26,15 @@ pub enum PageClass {
     JsChallenge,
     /// A stock web-server error page with no attribution at all.
     GenericError,
+    /// A CDN edge refusing a domain-fronted request: the TLS connection
+    /// named one customer while the `Host` header named another. Not a geo
+    /// policy — it fires identically from every country.
+    FrontingMismatch,
 }
 
-/// One of the 14 block/challenge page types enumerated in Table 2.
+/// One of the 17 block/challenge page types: Table 2's 14 rows plus the
+/// three evasion-workload pages (Akamai Bot Manager JS challenge, the
+/// Incapsula CAPTCHA tier, and CloudFront's fronting-mismatch 403).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PageKind {
     /// Akamai "Access Denied" (ambiguous: geo or abuse).
@@ -59,11 +67,21 @@ pub enum PageKind {
     Nginx403,
     /// Stock Varnish 403 "Guru Meditation" page.
     Varnish403,
+    /// Akamai Bot Manager JS-challenge interstitial (served by the second
+    /// detection tier to clients that cannot run its verification script).
+    AkamaiBotManager,
+    /// Incapsula "additional security check" CAPTCHA (the third detection
+    /// tier; distinct from the incident denial page).
+    IncapsulaCaptcha,
+    /// Amazon CloudFront's 403 for a domain-fronted request whose `Host`
+    /// header does not match the certificate of the TLS connection.
+    CloudFrontFronting,
 }
 
 impl PageKind {
-    /// All 14 kinds in Table 2's row order.
-    pub const ALL: [PageKind; 14] = [
+    /// All 17 kinds: Table 2's rows in row order, then the evasion-era
+    /// additions.
+    pub const ALL: [PageKind; 17] = [
         PageKind::Akamai,
         PageKind::Cloudflare,
         PageKind::AppEngine,
@@ -78,19 +96,22 @@ impl PageKind {
         PageKind::DistilCaptcha,
         PageKind::Nginx403,
         PageKind::Varnish403,
+        PageKind::AkamaiBotManager,
+        PageKind::IncapsulaCaptcha,
+        PageKind::CloudFrontFronting,
     ];
 
     /// The service responsible for serving this page.
     pub fn provider(&self) -> Provider {
         match self {
-            PageKind::Akamai => Provider::Akamai,
+            PageKind::Akamai | PageKind::AkamaiBotManager => Provider::Akamai,
             PageKind::Cloudflare | PageKind::CloudflareCaptcha | PageKind::CloudflareJs => {
                 Provider::Cloudflare
             }
             PageKind::AppEngine => Provider::AppEngine,
-            PageKind::CloudFront => Provider::CloudFront,
+            PageKind::CloudFront | PageKind::CloudFrontFronting => Provider::CloudFront,
             PageKind::Baidu | PageKind::BaiduCaptcha => Provider::Baidu,
-            PageKind::Incapsula => Provider::Incapsula,
+            PageKind::Incapsula | PageKind::IncapsulaCaptcha => Provider::Incapsula,
             PageKind::Soasta => Provider::Soasta,
             PageKind::Airbnb => Provider::Airbnb,
             PageKind::DistilCaptcha => Provider::Distil,
@@ -108,11 +129,13 @@ impl PageKind {
             | PageKind::Baidu
             | PageKind::Airbnb => PageClass::ExplicitGeoblock,
             PageKind::Akamai | PageKind::Incapsula | PageKind::Soasta => PageClass::AmbiguousBlock,
-            PageKind::CloudflareCaptcha | PageKind::BaiduCaptcha | PageKind::DistilCaptcha => {
-                PageClass::Captcha
-            }
-            PageKind::CloudflareJs => PageClass::JsChallenge,
+            PageKind::CloudflareCaptcha
+            | PageKind::BaiduCaptcha
+            | PageKind::DistilCaptcha
+            | PageKind::IncapsulaCaptcha => PageClass::Captcha,
+            PageKind::CloudflareJs | PageKind::AkamaiBotManager => PageClass::JsChallenge,
             PageKind::Nginx403 | PageKind::Varnish403 => PageClass::GenericError,
+            PageKind::CloudFrontFronting => PageClass::FrontingMismatch,
         }
     }
 
@@ -138,6 +161,9 @@ impl PageKind {
             PageKind::DistilCaptcha => "Distil Captcha",
             PageKind::Nginx403 => "nginx",
             PageKind::Varnish403 => "Varnish",
+            PageKind::AkamaiBotManager => "Akamai Bot Manager",
+            PageKind::IncapsulaCaptcha => "Incapsula Captcha",
+            PageKind::CloudFrontFronting => "CloudFront Fronting Mismatch",
         }
     }
 }
@@ -162,14 +188,32 @@ mod tests {
     }
 
     #[test]
-    fn three_captcha_kinds() {
+    fn four_captcha_kinds() {
         assert_eq!(
             PageKind::ALL
                 .iter()
                 .filter(|k| k.class() == PageClass::Captcha)
                 .count(),
-            3
+            4
         );
+    }
+
+    #[test]
+    fn evasion_kinds_are_never_geoblock_classed() {
+        // The tiered bot-detection and fronting pages must not leak into
+        // the geoblocking counts of §4.2.
+        for k in [
+            PageKind::AkamaiBotManager,
+            PageKind::IncapsulaCaptcha,
+            PageKind::CloudFrontFronting,
+        ] {
+            assert!(!k.is_explicit_geoblock(), "{k}");
+        }
+        assert_eq!(
+            PageKind::CloudFrontFronting.class(),
+            PageClass::FrontingMismatch
+        );
+        assert_eq!(PageKind::AkamaiBotManager.class(), PageClass::JsChallenge);
     }
 
     #[test]

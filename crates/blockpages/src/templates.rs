@@ -73,6 +73,9 @@ pub fn render(kind: PageKind, params: &PageParams) -> ResponseBuilder {
         PageKind::DistilCaptcha => distil_captcha(params),
         PageKind::Nginx403 => nginx_403(params),
         PageKind::Varnish403 => varnish_403(params),
+        PageKind::AkamaiBotManager => akamai_botmanager(params),
+        PageKind::IncapsulaCaptcha => incapsula_captcha(params),
+        PageKind::CloudFrontFronting => cloudfront_fronting(params),
     }
 }
 
@@ -427,6 +430,92 @@ fn varnish_403(params: &PageParams) -> ResponseBuilder {
         .body(body)
 }
 
+fn akamai_botmanager(params: &PageParams) -> ResponseBuilder {
+    // Bot Manager's interstitial: a script the client must execute and a
+    // verification token to post back. No geography anywhere on the page.
+    let token = hex_id(params.nonce, 0xba, 44);
+    let body = format!(
+        r#"<html><head>
+<title>Verifying your browser&hellip;</title>
+<script type="text/javascript" src="/_bm/challenge.js?v={script_v}"></script>
+</head>
+<body>
+<h1>Verifying your browser</h1>
+<p>Please wait while we verify that you are not a robot. This check runs
+automatically in your browser and {domain} will load once it completes.</p>
+<form id="bm-challenge" action="/_bm/verify" method="post">
+  <input type="hidden" name="bm-verify" value="{token}"/>
+</form>
+<noscript><p>JavaScript is required to pass this check.</p></noscript>
+</body>
+</html>"#,
+        script_v = hex_id(params.nonce, 0xbb, 12),
+        domain = params.domain,
+        token = token,
+    );
+    Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+        .header("Server", "AkamaiGHost")
+        .header("Akamai-BM-Token", token)
+        .body(body)
+}
+
+fn incapsula_captcha(params: &PageParams) -> ResponseBuilder {
+    // The CAPTCHA tier, distinct from the incident denial page: no
+    // "Incapsula incident ID" marker appears here.
+    let body = format!(
+        r#"<html>
+<head><meta http-equiv="Content-Type" content="text/html; charset=utf-8"></head>
+<body style="margin:0px;padding:0px;">
+<h1>Additional security check is required</h1>
+<p>To access {domain}, please complete the check below.</p>
+<iframe src="/_Incapsula_Resource?CWUDNSAI={resource}&xinfo=captcha" frameborder="0"
+ width="100%" height="100%" marginheight="0px" marginwidth="0px"></iframe>
+<div class="g-recaptcha" data-sitekey="{sitekey}"></div>
+</body>
+</html>"#,
+        domain = params.domain,
+        resource = hex_id(params.nonce, 0x21, 10),
+        sitekey = hex_id(params.nonce, 0x22, 40),
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header(
+            "X-Iinfo",
+            format!("{}-captcha", hex_id(params.nonce, 0x23, 8)),
+        )
+        .header("X-CDN", "Incapsula")
+        .body(body)
+}
+
+fn cloudfront_fronting(params: &PageParams) -> ResponseBuilder {
+    let request_id = hex_id(params.nonce, 0xcf + 1, 56);
+    let body = format!(
+        r#"<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN" "http://www.w3.org/TR/html4/loose.dtd">
+<html><head><meta http-equiv="Content-Type" content="text/html; charset=iso-8859-1">
+<title>ERROR: The request could not be satisfied</title>
+</head><body>
+<h1>403 ERROR</h1>
+<h2>The request could not be satisfied.</h2>
+<hr noshade size="1px">
+The distribution does not match the certificate for which the HTTPS connection
+was established with. ({domain} was requested over a connection for another
+distribution.)
+<br clear="all">
+<hr noshade size="1px">
+<pre>
+Generated by cloudfront (CloudFront)
+Request ID: {request_id}
+</pre>
+</body></html>"#,
+        domain = params.domain,
+        request_id = request_id,
+    );
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Server", "CloudFront")
+        .header("X-Amz-Cf-Id", request_id)
+        .header("X-Cache", "Error from cloudfront")
+        .body(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,15 +569,41 @@ mod tests {
 
     #[test]
     fn status_codes_match_page_semantics() {
-        assert_eq!(
-            finish(PageKind::CloudflareJs, 3).status,
-            StatusCode::SERVICE_UNAVAILABLE
-        );
+        // JS interstitials are 503 ("come back once the check passes");
+        // every denial and CAPTCHA page is a plain 403.
+        let js = [PageKind::CloudflareJs, PageKind::AkamaiBotManager];
+        for kind in js {
+            assert_eq!(
+                finish(kind, 3).status,
+                StatusCode::SERVICE_UNAVAILABLE,
+                "{kind}"
+            );
+        }
         for kind in PageKind::ALL {
-            if kind != PageKind::CloudflareJs {
+            if !js.contains(&kind) {
                 assert_eq!(finish(kind, 3).status, StatusCode::FORBIDDEN, "{kind}");
             }
         }
+    }
+
+    #[test]
+    fn incapsula_captcha_is_not_the_incident_page() {
+        let text = finish(PageKind::IncapsulaCaptcha, 5)
+            .body
+            .as_text()
+            .to_string();
+        assert!(text.contains("Additional security check is required"));
+        assert!(!text.contains("Incapsula incident ID"));
+    }
+
+    #[test]
+    fn fronting_page_names_the_certificate_mismatch_not_geography() {
+        let text = finish(PageKind::CloudFrontFronting, 5)
+            .body
+            .as_text()
+            .to_string();
+        assert!(text.contains("does not match the certificate"));
+        assert!(!text.contains("block access from your country"));
     }
 
     #[test]

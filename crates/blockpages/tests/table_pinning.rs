@@ -1,14 +1,14 @@
-//! Regression pin for the paper's block-page table: all 14 page kinds,
-//! their row labels, providers, and pipeline classes, frozen field by
-//! field. A fingerprint or taxonomy edit that drops, renames, or
-//! reclassifies a provider must fail here loudly instead of silently
-//! shifting the §4.2 geoblocking counts.
+//! Regression pin for the paper's block-page table plus the simulated
+//! evasion pages: all 17 page kinds, their row labels, providers, and
+//! pipeline classes, frozen field by field. A fingerprint or taxonomy
+//! edit that drops, renames, or reclassifies a provider must fail here
+//! loudly instead of silently shifting the §4.2 geoblocking counts.
 
 use geoblock_blockpages::{render, FingerprintSet, PageClass, PageKind, PageParams, Provider};
 
 /// The full table, one row per kind, in `PageKind::ALL` order:
 /// (kind, row label, provider, class).
-const TABLE: [(PageKind, &str, Provider, PageClass); 14] = [
+const TABLE: [(PageKind, &str, Provider, PageClass); 17] = [
     (
         PageKind::Akamai,
         "Akamai",
@@ -93,11 +93,33 @@ const TABLE: [(PageKind, &str, Provider, PageClass); 14] = [
         Provider::Varnish,
         PageClass::GenericError,
     ),
+    (
+        PageKind::AkamaiBotManager,
+        "Akamai Bot Manager",
+        Provider::Akamai,
+        PageClass::JsChallenge,
+    ),
+    (
+        PageKind::IncapsulaCaptcha,
+        "Incapsula Captcha",
+        Provider::Incapsula,
+        PageClass::Captcha,
+    ),
+    (
+        PageKind::CloudFrontFronting,
+        "CloudFront Fronting Mismatch",
+        Provider::CloudFront,
+        PageClass::FrontingMismatch,
+    ),
 ];
 
 #[test]
-fn all_fourteen_rows_are_pinned() {
-    assert_eq!(PageKind::ALL.len(), 14, "the paper's table has 14 rows");
+fn all_seventeen_rows_are_pinned() {
+    assert_eq!(
+        PageKind::ALL.len(),
+        17,
+        "14 paper rows plus the three evasion pages"
+    );
     assert_eq!(TABLE.len(), PageKind::ALL.len());
     for ((kind, label, provider, class), expected_kind) in TABLE.iter().zip(PageKind::ALL) {
         assert_eq!(*kind, expected_kind, "table must follow PageKind::ALL");
@@ -112,9 +134,23 @@ fn class_census_matches_the_paper() {
     let count = |class: PageClass| PageKind::ALL.iter().filter(|k| k.class() == class).count();
     assert_eq!(count(PageClass::ExplicitGeoblock), 5);
     assert_eq!(count(PageClass::AmbiguousBlock), 3);
-    assert_eq!(count(PageClass::Captcha), 3);
-    assert_eq!(count(PageClass::JsChallenge), 1);
+    assert_eq!(count(PageClass::Captcha), 4);
+    assert_eq!(count(PageClass::JsChallenge), 2);
     assert_eq!(count(PageClass::GenericError), 2);
+    assert_eq!(count(PageClass::FrontingMismatch), 1);
+}
+
+/// Bot-detection and fronting pages must never enter the geoblocking
+/// tally: only `ExplicitGeoblock` rows count toward §4.2.
+#[test]
+fn evasion_rows_stay_out_of_the_geoblock_census() {
+    for kind in [
+        PageKind::AkamaiBotManager,
+        PageKind::IncapsulaCaptcha,
+        PageKind::CloudFrontFronting,
+    ] {
+        assert!(!kind.is_explicit_geoblock(), "{kind:?}");
+    }
 }
 
 /// Every kind has a working fingerprint: the rendered template for each

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use geoblock_blockpages::{FingerprintSet, PageKind, Provider};
-use geoblock_http::{HeaderProfile, Request, Url};
+use geoblock_http::{ClientProfile, HeaderProfile, Request, Url};
 use geoblock_lumscan::{follow_redirects, SessionId, Transport};
 use geoblock_worldgen::CountryCode;
 use serde::{Deserialize, Serialize};
@@ -102,7 +102,11 @@ pub async fn sweep<T: Transport + 'static>(
             let idx = next;
             next += 1;
             join.spawn(async move {
-                let request = Request::get(Url::http(domain.as_str())).headers(&profile.headers());
+                // Lift the header bundle into the matching full client
+                // identity: a ZGrab sweep also presents ZGrab's TLS stack
+                // and cannot answer JS interstitials.
+                let request =
+                    Request::get(Url::http(domain.as_str())).client_profile(&profile.into());
                 match follow_redirects(
                     transport.as_ref(),
                     request,
@@ -164,8 +168,10 @@ pub async fn verify_in_browser<T: Transport + 'static>(
         // false-positive bucket.
         let mut still_blocked = false;
         for attempt in 0..3u64 {
+            // A real browser does the verifying: full headers, a browser
+            // TLS stack, and the JS to clear any interstitial.
             let request = Request::get(Url::http(instance.domain.as_str()))
-                .headers(&HeaderProfile::FullBrowser.headers());
+                .client_profile(&ClientProfile::browser());
             let outcome = follow_redirects(
                 transport.as_ref(),
                 request,

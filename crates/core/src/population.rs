@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use geoblock_blockpages::Provider;
-use geoblock_http::{HeaderProfile, Method, Request, Url};
+use geoblock_http::{ClientProfile, Request, Url};
 use geoblock_lumscan::{follow_redirects, SessionId, Transport};
 use geoblock_worldgen::CountryCode;
 use serde::{Deserialize, Serialize};
@@ -163,12 +163,12 @@ pub async fn identify_populations<T: Transport + 'static>(
             let country = probe.country;
             next += 1;
             join.spawn(async move {
-                let request = Request {
-                    method: Method::Head,
-                    url: Url::http(domain.as_str()),
-                    headers: HeaderProfile::FullBrowser.headers(),
-                }
-                .header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
+                // The identification pass probes as a full browser so the
+                // edge's bot-detection tiers never swallow the identifying
+                // headers it is looking for.
+                let request = Request::head(Url::http(domain.as_str()))
+                    .client_profile(&ClientProfile::browser())
+                    .header("Pragma", "akamai-x-cache-on, akamai-x-get-cache-key");
                 match follow_redirects(
                     transport.as_ref(),
                     request,

@@ -10,7 +10,7 @@
 //! being uniform across the country.
 
 use geoblock_blockpages::{FingerprintSet, PageKind};
-use geoblock_http::{HeaderProfile, Request, Url};
+use geoblock_http::{ClientProfile, Request, Url};
 use geoblock_lumscan::{follow_redirects, SessionId, Transport};
 use geoblock_worldgen::CountryCode;
 use serde::{Deserialize, Serialize};
@@ -107,8 +107,9 @@ pub async fn probe_regional<T: Transport>(
             continue;
         };
 
-        let request =
-            Request::get(Url::http(domain)).headers(&HeaderProfile::FullBrowser.headers());
+        // Probe as a full browser so regional observations reflect geo
+        // policy, not the bot-detection tiers.
+        let request = Request::get(Url::http(domain)).client_profile(&ClientProfile::browser());
         let Ok(chain) = follow_redirects(transport, request, country, session, 10).await else {
             continue;
         };

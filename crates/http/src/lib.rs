@@ -44,7 +44,7 @@ pub use chain::{FetchOutcome, Hop, RedirectChain};
 pub use error::{FetchError, Retryability};
 pub use headers::{HeaderMap, HeaderName};
 pub use method::Method;
-pub use profile::HeaderProfile;
+pub use profile::{ClientProfile, HeaderProfile, TlsClientClass};
 pub use request::Request;
 pub use response::{Body, Response, ResponseBuilder};
 pub use status::StatusCode;

@@ -72,6 +72,120 @@ impl HeaderProfile {
     }
 }
 
+/// TLS client-stack fingerprint classes, the wire-level analogue of the
+/// header bundle: a JA3-style grouping of ClientHello shapes. Edges that
+/// deploy client-fingerprint scoring (the deepest detection tier) compare
+/// this against the claimed `User-Agent`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlsClientClass {
+    /// A real browser's TLS stack (NSS/BoringSSL ClientHello with GREASE,
+    /// ALPN h2, a browser cipher ordering).
+    BrowserStack,
+    /// A generic TLS library (OpenSSL defaults — curl, python-requests,
+    /// most probing tools). Suspicious but common enough not to be scored
+    /// on its own.
+    #[default]
+    GenericTls,
+    /// A scanner's minimal stack (ZGrab/masscan-style ClientHello); the
+    /// fingerprint-scoring tier denies these outright.
+    ScannerStack,
+}
+
+/// A full selectable client identity: header bundle, TLS-fingerprint class,
+/// and whether the client executes JavaScript challenges.
+///
+/// [`HeaderProfile`] captures only what rides in the request headers; the
+/// tiered bot-detection pipeline of `netsim::edge` also scores the TLS
+/// stack and serves JS interstitials, so a study phase must declare all
+/// three axes to know which tiers it passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// The header bundle sent with every probe.
+    pub headers: HeaderProfile,
+    /// The TLS client stack presented on the wire.
+    pub tls: TlsClientClass,
+    /// Whether the client runs JS challenges to completion (real browsers
+    /// and headful automation do; HTTP probers do not).
+    pub js_capable: bool,
+}
+
+impl ClientProfile {
+    /// A real browser: full headers, browser TLS stack, JS-capable. Passes
+    /// every detection tier — the profile the paper's manual verification
+    /// and Lumscan's evasion posture correspond to.
+    pub fn browser() -> ClientProfile {
+        ClientProfile {
+            headers: HeaderProfile::FullBrowser,
+            tls: TlsClientClass::BrowserStack,
+            js_capable: true,
+        }
+    }
+
+    /// A headless HTTP prober wearing full browser headers (Lumscan
+    /// without JS): passes header scoring but fails JS interstitials.
+    pub fn headless() -> ClientProfile {
+        ClientProfile {
+            headers: HeaderProfile::FullBrowser,
+            tls: TlsClientClass::GenericTls,
+            js_capable: false,
+        }
+    }
+
+    /// ZGrab as configured in the §3 VPS sweeps: UA-only headers, scanner
+    /// TLS stack, no JS.
+    pub fn zgrab() -> ClientProfile {
+        ClientProfile {
+            headers: HeaderProfile::ZgrabUserAgentOnly,
+            tls: TlsClientClass::ScannerStack,
+            js_capable: false,
+        }
+    }
+
+    /// Stock `curl`: its own UA, generic TLS, no JS.
+    pub fn curl() -> ClientProfile {
+        ClientProfile {
+            headers: HeaderProfile::Curl,
+            tls: TlsClientClass::GenericTls,
+            js_capable: false,
+        }
+    }
+
+    /// No headers at all on a scanner stack; trips every tier.
+    pub fn bare() -> ClientProfile {
+        ClientProfile {
+            headers: HeaderProfile::Bare,
+            tls: TlsClientClass::ScannerStack,
+            js_capable: false,
+        }
+    }
+
+    /// The header bundle this profile sends.
+    pub fn header_map(&self) -> HeaderMap {
+        self.headers.headers()
+    }
+
+    /// Header-level browser likeness (what tier 1 of the edge pipeline
+    /// scores). TLS class and JS capability are scored by later tiers.
+    pub fn browser_likeness(&self) -> f64 {
+        self.headers.browser_likeness()
+    }
+}
+
+/// Lift a bare header profile into the matching full client identity,
+/// preserving pre-profile behaviour: `FullBrowser` maps to the
+/// all-tiers-passing browser, the scanner bundles to their scanner
+/// profiles.
+impl From<HeaderProfile> for ClientProfile {
+    fn from(headers: HeaderProfile) -> ClientProfile {
+        match headers {
+            HeaderProfile::FullBrowser => ClientProfile::browser(),
+            HeaderProfile::ZgrabUserAgentOnly => ClientProfile::zgrab(),
+            HeaderProfile::Curl => ClientProfile::curl(),
+            HeaderProfile::Bare => ClientProfile::bare(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +215,32 @@ mod tests {
     #[test]
     fn bare_is_empty() {
         assert!(HeaderProfile::Bare.headers().is_empty());
+    }
+
+    #[test]
+    fn client_profiles_order_by_evasiveness() {
+        // The five canonical profiles, most to least browser-like.
+        let browser = ClientProfile::browser();
+        let headless = ClientProfile::headless();
+        let zgrab = ClientProfile::zgrab();
+        assert!(browser.js_capable && !headless.js_capable);
+        assert_eq!(browser.browser_likeness(), headless.browser_likeness());
+        assert!(headless.browser_likeness() > zgrab.browser_likeness());
+        assert!(zgrab.browser_likeness() > ClientProfile::curl().browser_likeness());
+        assert!(
+            ClientProfile::curl().browser_likeness() > ClientProfile::bare().browser_likeness()
+        );
+        assert_eq!(zgrab.tls, TlsClientClass::ScannerStack);
+    }
+
+    #[test]
+    fn header_profile_lifts_to_behaviour_preserving_client_profile() {
+        // Pre-profile code that passed FullBrowser must keep passing every
+        // detection tier after the lift.
+        let lifted: ClientProfile = HeaderProfile::FullBrowser.into();
+        assert_eq!(lifted, ClientProfile::browser());
+        let scanner: ClientProfile = HeaderProfile::ZgrabUserAgentOnly.into();
+        assert!(!scanner.js_capable);
+        assert_eq!(lifted.header_map(), HeaderProfile::FullBrowser.headers());
     }
 }

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::headers::HeaderMap;
 use crate::method::Method;
+use crate::profile::{ClientProfile, TlsClientClass};
 use crate::url::Url;
 
 /// An HTTP request as issued by a probing tool.
@@ -19,6 +20,14 @@ pub struct Request {
     pub url: Url,
     /// Request headers.
     pub headers: HeaderMap,
+    /// TLS client stack presented on the wire (simulation metadata; real
+    /// tools express this by their choice of TLS library).
+    #[serde(default)]
+    pub tls: TlsClientClass,
+    /// Whether the issuing client executes JS challenges — consulted by the
+    /// simulated edge's JS-interstitial tier, never serialised on the wire.
+    #[serde(default)]
+    pub js_capable: bool,
 }
 
 impl Request {
@@ -28,6 +37,8 @@ impl Request {
             method: Method::Get,
             url,
             headers: HeaderMap::new(),
+            tls: TlsClientClass::default(),
+            js_capable: false,
         }
     }
 
@@ -52,6 +63,15 @@ impl Request {
         self
     }
 
+    /// Builder-style application of a full [`ClientProfile`]: header
+    /// bundle, TLS class, and JS capability in one step.
+    pub fn client_profile(mut self, profile: &ClientProfile) -> Request {
+        self.headers.extend_from(&profile.header_map());
+        self.tls = profile.tls;
+        self.js_capable = profile.js_capable;
+        self
+    }
+
     /// The `Host` to contact — either an explicit `Host` header or the URL
     /// host. CDN edges route on this value.
     pub fn effective_host(&self) -> String {
@@ -59,6 +79,15 @@ impl Request {
             .get("host")
             .map(str::to_string)
             .unwrap_or_else(|| self.url.host.as_str().to_string())
+    }
+
+    /// Rewrite this request for domain fronting: the connection (URL host,
+    /// the SNI analogue) goes to `front` while the `Host` header keeps
+    /// naming the true target, which is what CDN edges route on.
+    pub fn fronted(mut self, front: &str) -> Request {
+        let target = self.url.host.as_str().to_string();
+        self.url.host = crate::url::Host::new(front);
+        self.header("Host", target)
     }
 }
 
@@ -86,6 +115,24 @@ mod tests {
         assert_eq!(r.effective_host(), "a.com");
         let r = r.header("Host", "b.com");
         assert_eq!(r.effective_host(), "b.com");
+    }
+
+    #[test]
+    fn client_profile_sets_all_three_axes() {
+        let r = Request::get(url("http://a.com/")).client_profile(&ClientProfile::browser());
+        assert!(r.headers.contains("accept-language"));
+        assert_eq!(r.tls, TlsClientClass::BrowserStack);
+        assert!(r.js_capable);
+        let bare = Request::get(url("http://a.com/"));
+        assert_eq!(bare.tls, TlsClientClass::GenericTls);
+        assert!(!bare.js_capable);
+    }
+
+    #[test]
+    fn fronted_requests_split_sni_from_host_header() {
+        let r = Request::get(url("http://blocked.com/")).fronted("benign.com");
+        assert_eq!(r.url.host.as_str(), "benign.com");
+        assert_eq!(r.effective_host(), "blocked.com");
     }
 
     #[test]

@@ -84,10 +84,14 @@ pub fn parse_request(text: &str, scheme: &str) -> Result<Request, FetchError> {
         .map_err(|_| malformed("bad target"))?;
     let mut headers = headers;
     headers.remove("host");
+    // TLS class and JS capability are client-side simulation metadata and
+    // do not survive a wire round trip; parsed requests get the defaults.
     Ok(Request {
         method,
         url,
         headers,
+        tls: Default::default(),
+        js_capable: false,
     })
 }
 

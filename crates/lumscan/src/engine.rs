@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use geoblock_http::{FetchError, HeaderProfile, Method, Request, Url};
+use geoblock_http::{ClientProfile, FetchError, Method, Request, Url};
 use geoblock_worldgen::CountryCode;
 use parking_lot::Mutex;
 
@@ -32,8 +32,15 @@ pub struct LumscanConfig {
     pub superproxies: usize,
     /// Concurrent in-flight probes.
     pub concurrency: usize,
-    /// Header profile applied to every probe.
-    pub profile: HeaderProfile,
+    /// Client profile applied to every probe: header bundle, TLS class,
+    /// and JS capability. Every study phase — baseline, confirmation, and
+    /// each `SamplingPolicy` round — probes under this identity.
+    pub profile: ClientProfile,
+    /// When set, every probe is domain-fronted through this host: the
+    /// connection (URL host / SNI analogue) goes to the front while the
+    /// `Host` header carries the true target. The connectivity check is
+    /// never fronted.
+    pub front_host: Option<String>,
     /// Verify each new exit's connectivity and geolocation against the
     /// proxy-controlled echo page before using it.
     pub verify_connectivity: bool,
@@ -54,7 +61,8 @@ impl Default for LumscanConfig {
             requests_per_exit: 10,
             superproxies: 8,
             concurrency: 64,
-            profile: HeaderProfile::FullBrowser,
+            profile: ClientProfile::browser(),
+            front_host: None,
             verify_connectivity: true,
             enforce_geolocation: true,
             check_url: Url::http("lumtest.io"),
@@ -142,9 +150,18 @@ impl LumscanConfigBuilder {
         self
     }
 
-    /// Header profile applied to every probe.
-    pub fn profile(mut self, profile: HeaderProfile) -> Self {
-        self.config.profile = profile;
+    /// Client profile applied to every probe. Accepts a full
+    /// [`ClientProfile`] or a bare [`geoblock_http::HeaderProfile`] (lifted
+    /// to the matching full identity).
+    pub fn profile(mut self, profile: impl Into<ClientProfile>) -> Self {
+        self.config.profile = profile.into();
+        self
+    }
+
+    /// Domain-front every probe through `front` (see
+    /// [`LumscanConfig::front_host`]).
+    pub fn front_host(mut self, front: impl Into<String>) -> Self {
+        self.config.front_host = Some(front.into());
         self
     }
 
@@ -457,11 +474,16 @@ impl<T: Transport + 'static> Lumscan<T> {
             }
         }
 
-        let request = Request {
+        let mut request = Request {
             method: Method::Get,
             url: target.url.clone(),
-            headers: self.config.profile.headers(),
+            headers: self.config.profile.header_map(),
+            tls: self.config.profile.tls,
+            js_capable: self.config.profile.js_capable,
         };
+        if let Some(front) = &self.config.front_host {
+            request = request.fronted(front);
+        }
         self.issued.fetch_add(1, Ordering::Relaxed);
         let outcome = follow_redirects(
             self.transport.as_ref(),

@@ -101,6 +101,11 @@ pub async fn follow_redirects<T: Transport>(
                     method: request.method,
                     url: next,
                     headers,
+                    // The client identity rides across redirect hops: the
+                    // same TLS stack reconnects and the same runtime (or
+                    // lack of one) faces any challenge on the next hop.
+                    tls: request.tls,
+                    js_capable: request.js_capable,
                 };
             }
         }

@@ -167,7 +167,7 @@ impl SimInternet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geoblock_http::HeaderProfile;
+    use geoblock_http::ClientProfile;
     use geoblock_worldgen::{cc, WorldConfig};
 
     fn internet() -> SimInternet {
@@ -186,7 +186,7 @@ mod tests {
 
     fn get(host: &str) -> Request {
         Request::get(format!("http://{host}/").parse().unwrap())
-            .headers(&HeaderProfile::FullBrowser.headers())
+            .client_profile(&ClientProfile::browser())
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl Transport for VpsTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geoblock_http::{HeaderProfile, Request};
+    use geoblock_http::{ClientProfile, Request};
     use geoblock_lumscan::{follow_redirects, SessionId};
     use geoblock_worldgen::{cc, World, WorldConfig};
 
@@ -118,7 +118,7 @@ mod tests {
         let vps = VpsTransport::new(net.clone(), cc("DE"));
         let name = net.world().population.spec(7).name.clone();
         let req = Request::get(format!("http://{name}/").parse().unwrap())
-            .headers(&HeaderProfile::FullBrowser.headers());
+            .client_profile(&ClientProfile::browser());
         let chain = follow_redirects(&vps, req, cc("DE"), SessionId(0), 10)
             .await
             .unwrap();

@@ -47,8 +47,9 @@ pub use invariants::{
 };
 pub use nondet::ArrivalOrderFaults;
 pub use scenario::{
-    run_clocked_scenario, run_policy_scenario, run_scenario, run_scenario_on, scenario_config,
-    scenario_domains, scenario_engine_config, scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
+    run_clocked_scenario, run_policy_scenario, run_scenario, run_scenario_on,
+    run_scenario_with_config, scenario_config, scenario_domains, scenario_engine_config,
+    scenario_plan_len, SimWeb, TracedStudy, GOLDEN_SEED,
 };
 pub use sharded::{
     finish_sharded, run_sharded_scenario, run_sharded_scenario_resumed, trace_from_units,

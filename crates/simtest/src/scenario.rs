@@ -19,6 +19,7 @@ use geoblock_core::{
 };
 use geoblock_http::{FetchError, Response, StatusCode};
 use geoblock_lumscan::{Lumscan, LumscanConfig, RetryPolicy, Transport, TransportRequest};
+use geoblock_netsim::edge::browser_likeness;
 use geoblock_netsim::SimClock;
 use geoblock_proxynet::{FaultPlan, FaultyTransport, LUMTEST_HOST};
 use geoblock_worldgen::cc;
@@ -34,19 +35,41 @@ pub const GOLDEN_SEED: u64 = 42;
 /// always serve content (length varying by host, to exercise the archive's
 /// length ceilings); the proxy check host echoes the exit's geolocation.
 /// With a clock attached, each exchange charges virtual latency.
+///
+/// The [`SimWeb::evasive`] variant adds a bot-detection front: the edge
+/// routes on the `Host` header (so domain-fronted requests reach the named
+/// origin), serves a CAPTCHA to low-likeness header bundles and a JS
+/// challenge to clients that cannot execute one, and rejects fronted
+/// requests for `blocked-*` hosts with a fronting-mismatch page. The
+/// default web stays exactly as the golden-trace corpus pinned it.
 pub struct SimWeb {
     clock: Option<Arc<SimClock>>,
+    evasive: bool,
 }
 
 impl SimWeb {
     /// The web with no clock: exchanges cost no virtual time.
     pub fn new() -> SimWeb {
-        SimWeb { clock: None }
+        SimWeb {
+            clock: None,
+            evasive: false,
+        }
     }
 
     /// Charge each exchange's latency to `clock`.
     pub fn with_clock(clock: Arc<SimClock>) -> SimWeb {
-        SimWeb { clock: Some(clock) }
+        SimWeb {
+            clock: Some(clock),
+            evasive: false,
+        }
+    }
+
+    /// The web with the tiered bot-detection front enabled.
+    pub fn evasive() -> SimWeb {
+        SimWeb {
+            clock: None,
+            evasive: true,
+        }
     }
 }
 
@@ -61,11 +84,38 @@ impl Transport for SimWeb {
         if let Some(clock) = &self.clock {
             clock.charge_request(req.country);
         }
-        let host = req.request.url.host.as_str().to_string();
+        // The evasive edge routes on the Host header (what real CDN edges
+        // do, and what domain fronting exploits); the pinned default web
+        // routes on the URL host exactly as the golden corpus froze it.
+        let host = if self.evasive {
+            req.request.effective_host()
+        } else {
+            req.request.url.host.as_str().to_string()
+        };
         if host == LUMTEST_HOST {
             return Ok(Response::builder(StatusCode::OK)
                 .body(format!("ip=10.0.0.1&country={}", req.country))
                 .finish(req.request.url));
+        }
+        if self.evasive {
+            let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
+            // Fronting tier: `blocked-*` origins check the certificate
+            // against the Host header and refuse the mismatch; `plain-*`
+            // origins route on Host alone.
+            let fronted = req.request.url.host.as_str() != host;
+            if fronted && host.starts_with("blocked-") {
+                return Ok(render(PageKind::CloudFrontFronting, &params).finish(req.request.url));
+            }
+            // Bot-detection tiers, ahead of any geo policy: a CAPTCHA for
+            // scanner-grade header bundles, a JS interstitial for clients
+            // that cannot execute the challenge. A full browser profile
+            // passes both and observes the same web as the default.
+            if browser_likeness(&req.request.headers) < 0.5 {
+                return Ok(render(PageKind::CloudflareCaptcha, &params).finish(req.request.url));
+            }
+            if !req.request.js_capable {
+                return Ok(render(PageKind::CloudflareJs, &params).finish(req.request.url));
+            }
         }
         if host.starts_with("blocked-") && (req.country == cc("IR") || req.country == cc("SY")) {
             let params = PageParams::new(&host, "Iran", "5.1.1.1", 1);
@@ -145,6 +195,18 @@ pub async fn run_scenario_on<T: Transport + 'static>(
     run_with(transport, concurrency, None).await
 }
 
+/// Run the scenario over an arbitrary transport with a caller-supplied
+/// engine configuration — the entry point for evasion studies, where the
+/// probing [`ClientProfile`](geoblock_http::ClientProfile) or a fronting
+/// host is set on the [`LumscanConfig`] rather than baked into the
+/// scenario.
+pub async fn run_scenario_with_config<T: Transport + 'static>(
+    transport: T,
+    engine_config: LumscanConfig,
+) -> TracedStudy {
+    run_configured(transport, engine_config, None).await
+}
+
 /// Run the golden scenario at concurrency 1 with a [`SimClock`] charged by
 /// the transport and stamped into the trace — the configuration the golden
 /// corpus pins, where virtual timestamps are schedule-independent.
@@ -160,9 +222,17 @@ async fn run_with<T: Transport + 'static>(
     concurrency: usize,
     clock: Option<Arc<SimClock>>,
 ) -> TracedStudy {
+    run_configured(transport, scenario_engine_config(concurrency), clock).await
+}
+
+async fn run_configured<T: Transport + 'static>(
+    transport: T,
+    engine_config: LumscanConfig,
+    clock: Option<Arc<SimClock>>,
+) -> TracedStudy {
     let config = scenario_config();
     let domains = scenario_domains();
-    let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(concurrency)));
+    let engine = Arc::new(Lumscan::new(transport, engine_config));
 
     let mut sink = TraceSink::grid(
         domains.clone(),
@@ -297,6 +367,44 @@ mod tests {
             .min()
             .expect("cells probed");
         assert!(min_cell < config.baseline_samples as usize, "{min_cell}");
+    }
+
+    #[tokio::test]
+    async fn evasive_web_is_invisible_to_a_full_browser() {
+        // The bot-detection front must not perturb what a real browser
+        // measures: the evasive web under the default (browser) profile
+        // reproduces the plain fault-free web bit for bit.
+        let plain = run_scenario_on(SimWeb::new(), 1).await;
+        let evasive = run_scenario_with_config(SimWeb::evasive(), scenario_engine_config(1)).await;
+        assert_eq!(evasive.fingerprint, plain.fingerprint);
+        assert_eq!(evasive.trace.canonical_text(), plain.trace.canonical_text());
+    }
+
+    #[tokio::test]
+    async fn evasive_web_challenges_scanners_instead_of_geoblocking() {
+        use geoblock_http::ClientProfile;
+        let config = LumscanConfig::builder()
+            .retry(RetryPolicy::with_max_retries(3))
+            .concurrency(1)
+            .profile(ClientProfile::zgrab())
+            .build()
+            .expect("valid engine config");
+        let run = run_scenario_with_config(SimWeb::evasive(), config).await;
+        // Every cell observes the CAPTCHA tier; no explicit geoblock page
+        // ever shows, so the study confirms no geoblocking verdicts.
+        assert_eq!(run.flagged, 0);
+        assert!(run.result.verdicts(&scenario_config().confirm).is_empty());
+        let kinds: Vec<PageKind> = run
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e.obs {
+                geoblock_core::Obs::Response { page, .. } => page,
+                geoblock_core::Obs::Error(_) => None,
+            })
+            .collect();
+        assert!(!kinds.is_empty());
+        assert!(kinds.iter().all(|k| *k == PageKind::CloudflareCaptcha));
     }
 
     #[tokio::test]

@@ -89,18 +89,18 @@ pub mod prelude {
     };
     pub use geoblock_core::{
         diff_studies, AdaptiveBandit, ConfirmConfig, DeltaPolicy, EvidenceState, GeoblockVerdict,
-        Obs, PaperExact, ProbeBudget, ProbeCoord, RoundCoord, SampleRequest, SampleStore,
-        SamplingPolicy, SessionOutcome, StudyAccumulator, StudyConfig, StudyConfigBuilder,
-        StudyDiff, StudyResult, StudySession, TargetPlan,
+        Obs, PaperExact, ProbeBudget, ProbeCoord, RoundCoord, RoundSpend, SampleRequest,
+        SampleStore, SamplingPolicy, SessionOutcome, StudyAccumulator, StudyConfig,
+        StudyConfigBuilder, StudyDiff, StudyResult, StudySession, TargetPlan,
     };
     pub use geoblock_http::{
-        FetchError, HeaderMap, HeaderProfile, Method, Request, Response, Retryability, StatusCode,
-        Url,
+        ClientProfile, FetchError, HeaderMap, HeaderProfile, Method, Request, Response,
+        Retryability, StatusCode, TlsClientClass, Url,
     };
     pub use geoblock_lumscan::{
         BatchStats, CircuitBreaker, ConfigError, GaugeSink, Lumscan, LumscanConfig,
         LumscanConfigBuilder, NoopSink, ProbeResult, ProbeSink, ProbeStream, ProbeTarget,
-        RetryPolicy, SharedSink, Transport,
+        RetryPolicy, SessionId, SharedSink, Transport, TransportRequest,
     };
     pub use geoblock_monitor::{
         Monitor, MonitorConfig, MonitorError, MonitorReport, QueryService, ScanMode, ScanSnapshot,
@@ -118,7 +118,10 @@ pub mod prelude {
         FaultEvent, FaultKind, FaultPlan, FaultStatsSnapshot, FaultyTransport, LuminatiConfig,
         LuminatiNetwork, ScriptedFaults,
     };
-    pub use geoblock_simtest::{run_sweep, StudyFingerprint, StudyTrace, SweepReport, TraceSink};
+    pub use geoblock_simtest::{
+        check_study, run_scenario_with_config, run_sweep, scenario_config, scenario_engine_config,
+        SimWeb, StudyFingerprint, StudyTrace, SweepReport, TraceSink,
+    };
     pub use geoblock_worldgen::{
         cc, AlexaPopulation, Category, CfTier, CountryCode, CountrySet, RulesSnapshot, World,
         WorldConfig,

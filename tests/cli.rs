@@ -16,7 +16,7 @@ fn run(args: &[&str]) -> (String, String, bool) {
 }
 
 #[test]
-fn fingerprints_lists_all_fourteen() {
+fn fingerprints_lists_all_seventeen() {
     let (stdout, _, ok) = run(&["fingerprints"]);
     assert!(ok);
     for label in [
@@ -26,10 +26,13 @@ fn fingerprints_lists_all_fourteen() {
         "Varnish",
         "nginx",
         "Distil Captcha",
+        "Akamai Bot Manager",
+        "Incapsula Captcha",
+        "CloudFront Fronting Mismatch",
     ] {
         assert!(stdout.contains(label), "missing {label}:\n{stdout}");
     }
-    assert_eq!(stdout.lines().count(), 15); // header + 14
+    assert_eq!(stdout.lines().count(), 18); // header + 17
 }
 
 #[test]
@@ -37,7 +40,7 @@ fn fingerprints_json_round_trips() {
     let (stdout, _, ok) = run(&["fingerprints", "--json"]);
     assert!(ok);
     let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
-    assert_eq!(parsed.as_array().map(Vec::len), Some(14));
+    assert_eq!(parsed.as_array().map(Vec::len), Some(17));
 }
 
 #[test]

@@ -1,0 +1,111 @@
+//! Domain fronting through the evasive scenario web.
+//!
+//! A fronted request names one host on the connection (the URL host — our
+//! SNI analogue) and another in the `Host` header. Fronting-tolerant
+//! origins route on `Host` alone, so the fronted fetch returns the same
+//! body as a direct one; fronting-intolerant origins notice the
+//! certificate mismatch and answer with a dedicated error page that the
+//! classifier must report as a fronting mismatch — never as geoblocking.
+
+use geoblock::prelude::*;
+
+const FRONT: &str = "plain-0.example";
+
+fn fronted_config(front: &str) -> LumscanConfig {
+    LumscanConfig::builder()
+        .retry(RetryPolicy::with_max_retries(3))
+        .concurrency(1)
+        .profile(ClientProfile::browser())
+        .front_host(front)
+        .build()
+        .expect("valid engine config")
+}
+
+async fn fetch(web: &SimWeb, request: Request, country: &str) -> Response {
+    web.fetch_one(TransportRequest {
+        request,
+        country: cc(country),
+        session: SessionId(0),
+    })
+    .await
+    .expect("SimWeb never errors")
+}
+
+#[tokio::test]
+async fn tolerant_origins_serve_the_fronted_host_verbatim() {
+    let web = SimWeb::evasive();
+    let target = "plain-1.example";
+    let direct = fetch(
+        &web,
+        Request::get(Url::http(target)).client_profile(&ClientProfile::browser()),
+        "US",
+    )
+    .await;
+    let fronted = fetch(
+        &web,
+        Request::get(Url::http(target))
+            .client_profile(&ClientProfile::browser())
+            .fronted(FRONT),
+        "US",
+    )
+    .await;
+    assert_eq!(fronted.status, StatusCode::OK);
+    assert_eq!(
+        fronted.body.as_text(),
+        direct.body.as_text(),
+        "fronting must be invisible on a tolerant origin"
+    );
+    assert!(fronted.body.as_text().contains(target));
+}
+
+#[tokio::test]
+async fn intolerant_origins_reject_with_a_fronting_mismatch_page() {
+    let web = SimWeb::evasive();
+    let set = FingerprintSet::paper();
+    // blocked-* origins check the certificate; the mismatch page shows
+    // from every country — it is a transport-layer refusal, not policy.
+    for country in ["US", "DE", "IR"] {
+        let resp = fetch(
+            &web,
+            Request::get(Url::http("blocked-0.example"))
+                .client_profile(&ClientProfile::browser())
+                .fronted(FRONT),
+            country,
+        )
+        .await;
+        let outcome = set.classify(&resp).expect("the mismatch page classifies");
+        assert_eq!(outcome.kind, PageKind::CloudFrontFronting, "{country}");
+        assert_eq!(outcome.kind.class(), PageClass::FrontingMismatch);
+        assert!(!outcome.kind.is_explicit_geoblock());
+    }
+}
+
+#[tokio::test]
+async fn fronted_study_confirms_no_geoblocking_and_keeps_invariants() {
+    // A whole study probed through the front: the intolerant blocked-*
+    // pairs all observe the mismatch page (uniformly, in every country),
+    // so nothing confirms as geoblocking, and the study's structural
+    // invariants hold as for any other run.
+    let config = scenario_config();
+    let run = run_scenario_with_config(SimWeb::evasive(), fronted_config(FRONT)).await;
+    assert!(run.result.verdicts(&config.confirm).is_empty());
+    assert_eq!(run.flagged, 0);
+    assert!(check_study(&run.result, &config).is_empty());
+
+    let mut mismatches = 0;
+    for event in &run.trace.events {
+        if let Obs::Response {
+            page: Some(page), ..
+        } = event.obs
+        {
+            assert_eq!(page, PageKind::CloudFrontFronting, "{event:?}");
+            mismatches += 1;
+        }
+    }
+    // Two intolerant domains x four countries x three baseline samples.
+    assert_eq!(mismatches, 24);
+
+    // Same study, byte-stable.
+    let again = run_scenario_with_config(SimWeb::evasive(), fronted_config(FRONT)).await;
+    assert_eq!(run.fingerprint, again.fingerprint);
+}

@@ -262,6 +262,68 @@ async fn policy_resume_replays_the_identical_budget_ledger() {
     fs::remove_file(&path).ok();
 }
 
+/// Resume from a *round-boundary* checkpoint — the file on disk if the
+/// process dies during the confirmation round: all grid units complete,
+/// ledger charged for round 0 only. The resumed run must replay the
+/// remaining rounds and land on the uninterrupted ledger exactly, not
+/// double-charge the grid it restored.
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn resume_from_a_round_boundary_checkpoint_does_not_double_charge() {
+    use std::sync::Arc;
+
+    use geoblock::orchestrator::{Orchestrator, OrchestratorConfig};
+    use geoblock::prelude::{
+        FaultPlan, FaultyTransport, Lumscan, PaperExact, ProbeBudget, RoundSpend,
+    };
+    use geoblock::simtest::{scenario_engine_config, SimWeb};
+
+    fn orch(config: OrchestratorConfig) -> Orchestrator<FaultyTransport<SimWeb>> {
+        let transport = FaultyTransport::new(SimWeb::new(), FaultPlan::standard(GOLDEN_SEED));
+        let engine = Arc::new(Lumscan::new(transport, scenario_engine_config(2)));
+        Orchestrator::new(engine, scenario_config(), config)
+    }
+
+    let path = tmp("boundary.ckpt");
+    let uninterrupted = orch(
+        OrchestratorConfig::default()
+            .shards(1)
+            .checkpoint_path(&path),
+    )
+    .run_policy(
+        &scenario_domains(),
+        &mut PaperExact,
+        ProbeBudget::unlimited(),
+    )
+    .await
+    .expect("uninterrupted run");
+    assert!(!uninterrupted.interrupted);
+
+    // Reconstruct the round-0-boundary checkpoint from the final one: all
+    // grid units done, the ledger holding exactly round 0's charge —
+    // what drive_policy writes after the grid round completes.
+    let final_cp = Checkpoint::load(&path).expect("final checkpoint");
+    let mut boundary = final_cp.clone();
+    let round0 = uninterrupted.budget.rounds[0];
+    boundary.budget = Some(ProbeBudget {
+        cap: None,
+        spent: round0.probes,
+        rounds: vec![RoundSpend {
+            round: 0,
+            probes: round0.probes,
+        }],
+    });
+
+    let resumed = orch(OrchestratorConfig::default().shards(1))
+        .resume_policy(&scenario_domains(), boundary, &mut PaperExact)
+        .await
+        .expect("resumed run");
+    assert_eq!(
+        resumed.budget, uninterrupted.budget,
+        "resume from a round-boundary checkpoint must replay the identical ledger"
+    );
+    fs::remove_file(&path).ok();
+}
+
 /// Work-unit geometry is what the study config says it is: the scenario's
 /// five domains at two domains per unit make three units.
 #[tokio::test(flavor = "multi_thread", worker_threads = 2)]

@@ -1,0 +1,103 @@
+//! Prober-bias differential: one evasive world, two client profiles.
+//!
+//! The §3.1 lesson is that the measuring client's fingerprint is part of
+//! the measurement. These tests probe the *same* deterministic web twice —
+//! once presenting a full browser, once presenting a ZGrab-style scanner —
+//! and pin the divergence: the browser measures the domains' actual geo
+//! policy, while the scanner measures the bot-detection front instead,
+//! and the classifier must never launder those challenge pages into
+//! geoblocking verdicts.
+
+use geoblock::prelude::*;
+
+fn engine_config(profile: ClientProfile) -> LumscanConfig {
+    LumscanConfig::builder()
+        .retry(RetryPolicy::with_max_retries(3))
+        .concurrency(1)
+        .profile(profile)
+        .build()
+        .expect("valid engine config")
+}
+
+#[tokio::test]
+async fn browser_sees_geo_policy_where_the_scanner_sees_bot_detection() {
+    let config = scenario_config();
+
+    // A full browser passes every detection tier, so the study resolves
+    // the ground-truth geo policy: both blocked-* domains confirmed from
+    // both censoring countries.
+    let browser =
+        run_scenario_with_config(SimWeb::evasive(), engine_config(ClientProfile::browser())).await;
+    let verdicts = browser.result.verdicts(&config.confirm);
+    assert_eq!(verdicts.len(), 4, "{verdicts:?}");
+    assert!(verdicts.iter().all(|v| v.kind == PageKind::Cloudflare));
+    assert!(verdicts.iter().all(|v| v.kind.is_explicit_geoblock()));
+
+    // The scanner never reaches the geo layer: every observation that
+    // matched a fingerprint is a bot-detection page, and none of them
+    // confirm as geoblocking.
+    let scanner =
+        run_scenario_with_config(SimWeb::evasive(), engine_config(ClientProfile::zgrab())).await;
+    assert!(scanner.result.verdicts(&config.confirm).is_empty());
+    assert_eq!(scanner.flagged, 0, "no pair may reach confirmation");
+    let mut observed = 0;
+    for event in &scanner.trace.events {
+        if let Obs::Response {
+            page: Some(page), ..
+        } = event.obs
+        {
+            observed += 1;
+            assert!(
+                matches!(page.class(), PageClass::Captcha | PageClass::JsChallenge),
+                "{page:?} is not a bot-detection page"
+            );
+            assert!(!page.is_explicit_geoblock(), "{page:?}");
+        }
+    }
+    assert!(observed > 0, "the scanner must trip the detection front");
+
+    // Both runs kept the study invariants despite measuring different
+    // layers of the same world.
+    assert!(check_study(&browser.result, &config).is_empty());
+    assert!(check_study(&scanner.result, &config).is_empty());
+}
+
+#[tokio::test]
+async fn profiled_runs_are_byte_stable() {
+    for profile in [
+        ClientProfile::browser(),
+        ClientProfile::headless(),
+        ClientProfile::zgrab(),
+    ] {
+        let a = run_scenario_with_config(SimWeb::evasive(), engine_config(profile)).await;
+        let b = run_scenario_with_config(SimWeb::evasive(), engine_config(profile)).await;
+        assert_eq!(a.fingerprint, b.fingerprint, "{profile:?}");
+        assert_eq!(
+            a.trace.canonical_text(),
+            b.trace.canonical_text(),
+            "{profile:?}"
+        );
+    }
+}
+
+#[tokio::test]
+async fn headless_browser_fails_only_the_js_tier() {
+    // A headless browser carries full browser headers (likeness above the
+    // CAPTCHA band) but cannot execute a challenge: the evasive web serves
+    // it the JS interstitial on every page, never the CAPTCHA and never a
+    // geoblock page.
+    let run =
+        run_scenario_with_config(SimWeb::evasive(), engine_config(ClientProfile::headless())).await;
+    assert!(run.result.verdicts(&scenario_config().confirm).is_empty());
+    let mut observed = 0;
+    for event in &run.trace.events {
+        if let Obs::Response {
+            page: Some(page), ..
+        } = event.obs
+        {
+            observed += 1;
+            assert_eq!(page, PageKind::CloudflareJs, "JS tier only");
+        }
+    }
+    assert!(observed > 0);
+}
